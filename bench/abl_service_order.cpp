@@ -1,0 +1,53 @@
+// Ablation: counter service discipline (the contention model).
+//
+// A queue lock (MCS) grants a counter in FIFO arrival order; a
+// test-and-set lock grants in arbitrary order. The paper's simulator
+// assumes serialization but not an order; this ablation shows how much
+// the discipline matters for the delay-vs-degree picture.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "simbarrier/sweep.hpp"
+
+using namespace imbar;
+using namespace imbar::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto procs = static_cast<std::size_t>(cli.get_int("procs", 1024));
+  const double t_c = cli.get_double("tc", kTc);
+  const double sigma = cli.get_double("sigma-tc", 12.5) * t_c;
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 30));
+  const auto degrees = cli.get_int_list("degrees", {4, 8, 16, 32, 64});
+
+  Stopwatch sw;
+  print_header("Ablation: FIFO vs random counter service order",
+               "contention-model choice (Section 3 simulator)",
+               "p=" + std::to_string(procs) + ", sigma=" +
+                   Table::fmt(sigma / t_c, 1) + " t_c");
+
+  Table table({"degree", "fifo delay (us)", "random delay (us)", "delta %"});
+  for (long long deg : degrees) {
+    const auto d = static_cast<std::size_t>(deg);
+    simb::SweepOptions fifo;
+    fifo.sigma = sigma;
+    fifo.t_c = t_c;
+    fifo.trials = trials;
+    fifo.service_order = sim::ServiceOrder::kFifo;
+    simb::SweepOptions rnd = fifo;
+    rnd.service_order = sim::ServiceOrder::kRandom;
+
+    const auto arrivals =
+        simb::draw_arrival_sets(procs, sigma, trials, fifo.seed);
+    const double df = simb::simulate_delay(procs, d, fifo, arrivals).mean_delay;
+    const double dr = simb::simulate_delay(procs, d, rnd, arrivals).mean_delay;
+    table.row().num(deg).num(df).num(dr).num((dr / df - 1.0) * 100.0, 1);
+  }
+  std::printf("%s\n", table.str().c_str());
+  print_footer(sw,
+               "the release is driven by the *last* update of each counter, "
+               "so total serialization, not the grant order, sets the delay: "
+               "the curves (and hence the optimal degree) are robust to the "
+               "lock discipline.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation: swap policy of the dynamic placement barrier.
+//
+// The paper's Figure 6 describes a single swap with the highest counter
+// the victor filled; a lock-free concurrent implementation must instead
+// swap at every fill (cascade). kOneLevel (climb at most one level per
+// iteration) is the conservative variant. This ablation measures what
+// the choice costs.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "simbarrier/episode.hpp"
+#include "workload/arrival.hpp"
+
+using namespace imbar;
+using namespace imbar::bench;
+
+namespace {
+const char* policy_name(simb::SwapPolicy p) {
+  switch (p) {
+    case simb::SwapPolicy::kCascade: return "cascade";
+    case simb::SwapPolicy::kSingleHighest: return "single-highest";
+    case simb::SwapPolicy::kOneLevel: return "one-level";
+  }
+  return "?";
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto procs = static_cast<std::size_t>(cli.get_int("procs", 1024));
+  const double sigma = cli.get_double("sigma-us", 250.0);
+  const double mean = cli.get_double("mean-us", 10000.0);
+  const auto degree = static_cast<std::size_t>(cli.get_int("degree", 4));
+  const auto iters = static_cast<std::size_t>(cli.get_int("iterations", 120));
+  const auto slacks_ms = cli.get_double_list("slacks-ms", {0.0, 1.0, 4.0});
+
+  Stopwatch sw;
+  print_header("Ablation: dynamic placement swap policy",
+               "design choice behind Figures 6-8 (see DESIGN.md)",
+               "p=" + std::to_string(procs) + ", degree=" +
+                   std::to_string(degree) + ", sigma=" + Table::fmt(sigma, 0) +
+                   " us");
+
+  const simb::Topology topo = simb::Topology::mcs(procs, degree);
+  Table table({"slack (ms)", "policy", "dyn depth", "speedup",
+               "comm overhead", "swaps/iter"});
+  for (double slack_ms : slacks_ms) {
+    for (auto policy : {simb::SwapPolicy::kCascade,
+                        simb::SwapPolicy::kSingleHighest,
+                        simb::SwapPolicy::kOneLevel}) {
+      IidGenerator gen(procs, make_normal(mean, sigma), 606);
+      simb::SimOptions so;
+      so.swap_policy = policy;
+      simb::EpisodeOptions eo;
+      eo.iterations = iters;
+      eo.warmup = iters / 6;
+      eo.slack = slack_ms * 1000.0;
+      const auto cmp = simb::compare_placement(topo, so, gen, eo);
+      table.row()
+          .num(slack_ms, 1)
+          .add(policy_name(policy))
+          .num(cmp.dynamic_run.mean_last_depth, 2)
+          .num(cmp.sync_speedup, 2)
+          .num(cmp.comm_overhead, 3)
+          .num(cmp.dynamic_run.mean_swaps_per_iter, 1);
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  print_footer(sw,
+               "cascade and single-highest converge to the same depth and "
+               "speedup; cascade pays slightly more swap traffic, one-level "
+               "converges slower but is cheapest — the concurrent-friendly "
+               "cascade is a sound default.");
+  return 0;
+}

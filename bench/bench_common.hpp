@@ -1,0 +1,39 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Conventions: every binary runs argument-free with defaults matching
+// the paper's parameters, prints the paper-shaped table plus (where the
+// paper states numbers) a "paper" column for side-by-side comparison,
+// and accepts --flags for interactive exploration.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace imbar::bench {
+
+/// Default counter-update time: the paper's KSR1-measured 20 us.
+inline constexpr double kTc = 20.0;
+
+inline void print_header(const std::string& what, const std::string& paper_ref,
+                         const std::string& params) {
+  std::printf("%s\n", banner(what).c_str());
+  std::printf("  reproduces : %s\n", paper_ref.c_str());
+  std::printf("  parameters : %s\n", params.c_str());
+  std::printf("\n");
+}
+
+inline void print_footer(const Stopwatch& sw, const std::string& takeaway) {
+  std::printf("  takeaway   : %s\n", takeaway.c_str());
+  std::printf("  (bench wall time: %.2f s)\n\n", sw.elapsed_s());
+}
+
+/// Format "12.3" or "-" for missing cells.
+inline std::string opt_num(double v, int precision = 2, bool present = true) {
+  return present ? Table::fmt(v, precision) : std::string("-");
+}
+
+}  // namespace imbar::bench

@@ -1,0 +1,75 @@
+// Figure 3: simulated optimal combining-tree degree (and its speedup
+// over the classical degree-4 tree) as a function of processor count
+// and load imbalance.
+//
+// Paper-reported anchors: degree 4 optimal at sigma = 0 everywhere;
+// p = 64 at sigma = 25 t_c prefers a single central counter; speedups
+// range from ~1.3 (degree 8) to ~3-4 at the widest imbalance; abstract:
+// optimum grows to 128+ in a 4K system.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "simbarrier/sweep.hpp"
+#include "util/csv.hpp"
+
+using namespace imbar;
+using namespace imbar::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double t_c = cli.get_double("tc", kTc);
+  const auto procs_list = cli.get_int_list("procs", {64, 256, 4096});
+  const auto sigmas_tc =
+      cli.get_double_list("sigmas-tc", {0.0, 1.5625, 6.25, 25.0, 100.0, 400.0});
+
+  Stopwatch sw;
+  print_header("Figure 3: simulated optimal degree (speedup vs degree 4)",
+               "Eichenberger & Abraham, ICPP'95, Figure 3",
+               "exhaustive degree sweep, t_c=" + Table::fmt(t_c, 0) + " us");
+
+  std::vector<std::string> headers{"procs"};
+  for (double s : sigmas_tc) headers.push_back("s=" + Table::fmt(s, 2) + "tc");
+  Table table(headers);
+
+  // Optional machine-readable dump (one row per cell).
+  std::unique_ptr<CsvWriter> csv;
+  if (cli.has("csv"))
+    csv = std::make_unique<CsvWriter>(
+        cli.get("csv", "fig03.csv"),
+        std::vector<std::string>{"procs", "sigma_tc", "opt_degree",
+                                 "opt_delay_us", "delay_at_4_us",
+                                 "speedup_vs_4"});
+
+  for (long long procs : procs_list) {
+    const auto p = static_cast<std::size_t>(procs);
+    table.row().add(std::to_string(procs));
+    for (double sigma_tc : sigmas_tc) {
+      simb::SweepOptions opts;
+      opts.sigma = sigma_tc * t_c;
+      opts.t_c = t_c;
+      opts.trials = p >= 4096 ? 15 : 30;
+      const auto r = simb::find_optimal_degree(p, opts);
+      table.add(std::to_string(r.best_degree) + " (" +
+                Table::fmt(r.speedup_vs_4, 2) + ")");
+      if (csv)
+        csv->write_row_numeric({static_cast<double>(procs), sigma_tc,
+                                static_cast<double>(r.best_degree),
+                                r.best_delay, r.delay_at_4, r.speedup_vs_4});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "  paper      : sigma=0 column is all 4s (1.00); p=64 at sigma=25 t_c\n"
+      "               reaches the central counter (64); speedups grow from\n"
+      "               ~1.3 to 3-4x; optimum reaches >= 128 for p=4096 under\n"
+      "               the widest imbalance.\n");
+  print_footer(sw,
+               "optimal degree grows with sigma/t_c, from the classical 4 to "
+               "central-counter widths; a degree-4 design leaves 1.3-4x on "
+               "the table under imbalance.");
+  return 0;
+}

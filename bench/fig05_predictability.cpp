@@ -1,0 +1,91 @@
+// Figure 5 (described in Section 5's text): under fuzzy-barrier slack,
+// processor arrival times spread out, become right-skewed, and the slow
+// processors *stay* slow — the paper observes lateness persisting for
+// ~20 iterations, which is what makes history-based dynamic placement
+// work.
+//
+// We quantify exactly that: Spearman rank autocorrelation of the
+// per-iteration arrival order at lags 1..20, plus the skewness of the
+// arrival-time distribution, for a range of slacks.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "simbarrier/episode.hpp"
+#include "stats/rank.hpp"
+#include "stats/summary.hpp"
+#include "workload/arrival.hpp"
+#include "workload/fuzzy.hpp"
+
+using namespace imbar;
+using namespace imbar::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto procs = static_cast<std::size_t>(cli.get_int("procs", 1024));
+  const double t_c = cli.get_double("tc", kTc);
+  const double sigma = cli.get_double("sigma-tc", 12.5) * t_c;
+  const double mean = cli.get_double("mean-us", 10000.0);
+  const auto iters = static_cast<std::size_t>(cli.get_int("iterations", 150));
+  const auto slacks_ms =
+      cli.get_double_list("slacks-ms", {0.0, 0.5, 1.0, 2.0, 8.0});
+
+  Stopwatch sw;
+  print_header(
+      "Figure 5: arrival-order predictability under fuzzy-barrier slack",
+      "Eichenberger & Abraham, ICPP'95, Section 5 narrative (Figure 5)",
+      "p=" + std::to_string(procs) + ", sigma=" + Table::fmt(sigma / t_c, 1) +
+          " t_c, iid noise, MCS degree-4 barrier in the loop");
+
+  Table table({"slack (ms)", "rank r lag1", "lag5", "lag10", "lag20",
+               "skewness", "spread p95-p5 (us)"});
+
+  for (double slack_ms : slacks_ms) {
+    const double slack = slack_ms * 1000.0;
+    IidGenerator gen(procs, make_normal(mean, sigma), 2718);
+    simb::TreeBarrierSim sim(simb::Topology::mcs(procs, 4), simb::SimOptions{});
+    FuzzyTimeline tl(procs, slack);
+    std::vector<double> work(procs);
+
+    std::vector<std::vector<double>> rel_rows;  // arrival relative to min
+    RunningStats skew_stats;
+    std::vector<double> spreads;
+    for (std::size_t i = 0; i < iters; ++i) {
+      gen.generate(i, work);
+      const auto sig = tl.signals(work);
+      // Per-iteration arrival times relative to the earliest.
+      double lo = sig[0];
+      for (double s : sig) lo = std::min(lo, s);
+      std::vector<double> rel(sig.begin(), sig.end());
+      for (auto& v : rel) v -= lo;
+      if (i >= 20) {
+        rel_rows.push_back(rel);
+        RunningStats rs;
+        for (double v : rel) rs.add(v);
+        skew_stats.add(rs.skewness());
+        std::vector<double> sorted = rel;
+        spreads.push_back(quantile(sorted, 0.95) - quantile(sorted, 0.05));
+      }
+      const auto r = sim.run_iteration(sig);
+      tl.advance(r.release);
+    }
+
+    table.row()
+        .num(slack_ms, 2)
+        .num(rank_autocorrelation(rel_rows, 1), 3)
+        .num(rank_autocorrelation(rel_rows, 5), 3)
+        .num(rank_autocorrelation(rel_rows, 10), 3)
+        .num(rank_autocorrelation(rel_rows, 20), 3)
+        .num(skew_stats.mean(), 2)
+        .num(mean_of(spreads), 1);
+  }
+  std::printf("%s\n", table.str().c_str());
+  print_footer(sw,
+               "slack 0: arrival order is fresh noise every iteration "
+               "(autocorrelation ~0). With slack, lateness carries over: "
+               "order stays correlated out past lag 20 and the distribution "
+               "grows a slow right tail — the regime where last-iteration "
+               "history predicts the next slow processor.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 9: synchronization delay vs system size — the classical
+// degree-4 tree against the optimal-degree tree, static placement.
+//
+// Paper-reported shape: degree-4 curves grow stepwise with the tree
+// depth (no contention at this sigma); optimal-degree curves sit
+// consistently below and flatten — "the synchronization delay is
+// relatively insensitive to the system size when load imbalance is
+// sufficiently large."
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "model/degree.hpp"
+#include "simbarrier/sweep.hpp"
+
+using namespace imbar;
+using namespace imbar::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double t_c = cli.get_double("tc", kTc);
+  const double sigma = cli.get_double("sigma-tc", 12.5) * t_c;
+  const auto procs_list =
+      cli.get_int_list("procs", {4, 16, 64, 256, 1024, 4096, 16384});
+
+  Stopwatch sw;
+  print_header("Figure 9: delay vs system size, degree 4 vs optimal degree",
+               "Eichenberger & Abraham, ICPP'95, Figure 9",
+               "sigma=" + Table::fmt(sigma / t_c, 1) + " t_c, static placement");
+
+  Table table({"procs", "deg4 delay (us)", "deg4 depth", "opt degree",
+               "opt delay (us)", "gain"});
+  for (long long procs : procs_list) {
+    const auto p = static_cast<std::size_t>(procs);
+    simb::SweepOptions opts;
+    opts.sigma = sigma;
+    opts.t_c = t_c;
+    opts.trials = p >= 16384 ? 8 : (p >= 4096 ? 15 : 30);
+    const auto r = simb::find_optimal_degree(p, opts);
+    table.row()
+        .num(procs)
+        .num(r.delay_at_4)
+        .num(static_cast<long long>(tree_levels(p, std::min<std::size_t>(4, p))))
+        .num(static_cast<long long>(r.best_degree))
+        .num(r.best_delay)
+        .num(r.speedup_vs_4, 2);
+  }
+  std::printf("%s\n", table.str().c_str());
+  print_footer(sw,
+               "the degree-4 delay climbs stepwise with log4(p); the "
+               "optimal-degree delay stays below it and flattens as the "
+               "imbalance dominates (the paper's scalability argument).");
+  return 0;
+}

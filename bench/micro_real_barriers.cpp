@@ -1,0 +1,94 @@
+// Micro-benchmark: real-thread barrier episode latency on this host,
+// for every barrier kind, via google-benchmark's multithreaded runner.
+//
+// Note: this host is small (possibly a single core), so absolute
+// numbers mostly measure scheduler behaviour at higher thread counts;
+// the cross-kind comparison at low thread counts is the useful signal.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "barrier/factory.hpp"
+
+namespace {
+
+using imbar::Barrier;
+using imbar::BarrierConfig;
+using imbar::BarrierKind;
+
+// One instance per registered benchmark; owns the barrier for the whole
+// process lifetime so no thread can race its destruction.
+struct SharedBarrier {
+  std::unique_ptr<Barrier> barrier;
+  std::atomic<bool> ready{false};
+};
+
+void barrier_episode(benchmark::State& state,
+                     const std::shared_ptr<SharedBarrier>& shared,
+                     BarrierKind kind, std::size_t degree) {
+  if (state.thread_index() == 0 && !shared->ready.load()) {
+    BarrierConfig cfg;
+    cfg.kind = kind;
+    cfg.participants = static_cast<std::size_t>(state.threads());
+    cfg.degree = degree;
+    shared->barrier = imbar::make_barrier(cfg);
+    shared->ready.store(true, std::memory_order_release);
+  }
+  while (!shared->ready.load(std::memory_order_acquire))
+    std::this_thread::yield();
+
+  Barrier& bar = *shared->barrier;
+  const auto tid = static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    bar.arrive_and_wait(tid);
+  }
+  if (state.thread_index() == 0) {
+    state.counters["episodes"] =
+        static_cast<double>(bar.counters().episodes);
+  }
+}
+
+void register_benches() {
+  struct Kind {
+    const char* name;
+    BarrierKind kind;
+    std::size_t degree;
+  };
+  const Kind kinds[] = {
+      {"central", BarrierKind::kCentral, 0},
+      {"combining_d2", BarrierKind::kCombiningTree, 2},
+      {"combining_d4", BarrierKind::kCombiningTree, 4},
+      {"mcs_d4", BarrierKind::kMcsTree, 4},
+      {"dynamic_d4", BarrierKind::kDynamicPlacement, 4},
+      {"dissemination", BarrierKind::kDissemination, 0},
+      {"tournament", BarrierKind::kTournament, 0},
+      {"mcs_local", BarrierKind::kMcsLocalSpin, 0},
+      {"adaptive", BarrierKind::kAdaptive, 0},
+  };
+  for (const auto& k : kinds) {
+    for (int threads : {2, 4}) {
+      auto shared = std::make_shared<SharedBarrier>();
+      const std::string name = std::string("barrier/") + k.name +
+                               "/threads:" + std::to_string(threads);
+      auto* b = benchmark::RegisterBenchmark(
+          name.c_str(),
+          [shared, kind = k.kind, degree = k.degree](benchmark::State& st) {
+            barrier_episode(st, shared, kind, degree);
+          });
+      b->Threads(threads)->Iterations(3000)->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

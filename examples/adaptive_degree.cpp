@@ -1,0 +1,77 @@
+// Adaptive-degree barrier in action: the workload's imbalance changes
+// at run time and the barrier re-tunes its combining-tree degree using
+// the paper's analytic model.
+//
+//   $ ./adaptive_degree [--threads=6] [--phase=150]
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "barrier/adaptive_barrier.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace imbar;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  // 8 threads: power-of-two degree candidates {2,4,8} avoid the exact
+  // L*d ties that make the model indifferent for awkward thread counts.
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 8));
+  const auto phase = static_cast<std::size_t>(cli.get_int("phase", 150));
+
+  std::printf(
+      "adaptive_degree: %zu threads, three workload phases of %zu episodes\n"
+      "  phase A: balanced          (expect the classical narrow tree)\n"
+      "  phase B: one slow thread   (expect the tree to widen)\n"
+      "  phase C: balanced again    (expect it to settle back)\n\n",
+      threads, phase);
+
+  AdaptiveBarrier::Options opt;
+  opt.initial_degree = 2;
+  opt.window = 15;    // odd, so reviews never alias a periodic workload
+  opt.t_c_us = 100.0; // scales sigma; sized for this host's jitter floor
+  AdaptiveBarrier barrier(threads, opt);
+
+  struct Sample {
+    std::size_t episode;
+    char phase;
+    std::size_t degree;
+    double sigma;
+  };
+  std::vector<Sample> log;
+
+  std::vector<std::thread> pool;
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    pool.emplace_back([&, tid] {
+      for (std::size_t ep = 0; ep < 3 * phase; ++ep) {
+        const char ph = ep < phase ? 'A' : (ep < 2 * phase ? 'B' : 'C');
+        if (ph == 'B' && tid == threads - 1)
+          std::this_thread::sleep_for(std::chrono::microseconds(1500));
+        barrier.arrive_and_wait(tid);
+        // Only thread 0 touches `log`; the accessors are atomic.
+        if (tid == 0 && ep % 25 == 24)
+          log.push_back({ep + 1, ph, barrier.current_degree(),
+                         barrier.estimated_sigma_us()});
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  Table table({"episode", "phase", "current degree", "sigma estimate (us)"});
+  for (const auto& s : log)
+    table.row()
+        .num(static_cast<long long>(s.episode))
+        .add(std::string(1, s.phase))
+        .num(static_cast<long long>(s.degree))
+        .num(s.sigma, 1);
+  std::printf("%s\n", table.str().c_str());
+  std::printf("tree rebuilds: %llu\n",
+              static_cast<unsigned long long>(barrier.rebuilds()));
+  std::printf(
+      "The degree follows the measured sigma/t_c through the phases — the\n"
+      "run-time realization of the paper's \"adapt their degree at run\n"
+      "time\" conclusion.\n");
+  return 0;
+}

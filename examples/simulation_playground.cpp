@@ -1,0 +1,106 @@
+// Simulation playground: explore the paper's design space from the
+// command line — any processor count, imbalance, degree set, placement
+// policy, and slack, with the analytic model overlaid.
+//
+//   $ ./simulation_playground --procs=1024 --sigma-tc=25 \
+//         --degrees=2,4,8,16,32,64 --slack-ms=2 --dynamic
+//
+// --trace-csv=<path> additionally dumps every counter update of one
+// episode (proc, counter, requested, start, done, filled) for offline
+// inspection of the exact schedule.
+#include <cstdio>
+
+#include "imbar.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace imbar;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto procs = static_cast<std::size_t>(cli.get_int("procs", 256));
+  const double t_c = cli.get_double("tc", 20.0);
+  const double sigma = cli.get_double("sigma-tc", 12.5) * t_c;
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 30));
+  const bool dynamic = cli.get_bool("dynamic", false);
+  const double slack = cli.get_double("slack-ms", 2.0) * 1000.0;
+  auto degrees = cli.get_int_list("degrees", {});
+
+  std::printf(
+      "simulation playground: p=%zu, sigma=%.1f t_c, t_c=%.0f us%s\n\n", procs,
+      sigma / t_c, t_c,
+      dynamic ? " (with dynamic-placement comparison)" : "");
+
+  // Static sweep: simulated delay per degree + analytic overlay.
+  std::vector<std::size_t> sweep;
+  if (degrees.empty()) {
+    sweep = sweep_degrees(procs);
+  } else {
+    for (long long d : degrees) sweep.push_back(static_cast<std::size_t>(d));
+  }
+
+  simb::SweepOptions opts;
+  opts.sigma = sigma;
+  opts.t_c = t_c;
+  opts.trials = trials;
+  const auto arrivals =
+      simb::draw_arrival_sets(procs, sigma, trials, opts.seed);
+
+  Table table({"degree", "depth", "sim delay (us)", "contention (us)",
+               "analytic (us)"});
+  for (std::size_t d : sweep) {
+    const auto s = simb::simulate_delay(procs, d, opts, arrivals);
+    std::string analytic = "-";
+    if (is_full_tree(procs, d))
+      analytic = Table::fmt(
+          analytic_sync_delay({procs, d, sigma, t_c}).sync_delay, 1);
+    table.row()
+        .num(static_cast<long long>(d))
+        .num(static_cast<long long>(tree_levels(procs, d)))
+        .num(s.mean_delay)
+        .num(s.mean_contention)
+        .add(analytic);
+  }
+  std::printf("%s", table.str().c_str());
+
+  const auto est = estimate_optimal_degree_general(procs, sigma, t_c);
+  std::printf("\n  model-recommended degree: %zu (predicted delay %.1f us)\n\n",
+              est.degree, est.predicted_delay);
+
+  if (cli.has("trace-csv")) {
+    // One traced episode at the recommended degree.
+    const std::string path = cli.get("trace-csv", "trace.csv");
+    CsvWriter csv(path, {"proc", "counter", "requested_us", "start_us",
+                         "done_us", "filled"});
+    simb::TreeBarrierSim traced(
+        simb::Topology::plain(procs, std::max<std::size_t>(2, est.degree)),
+        simb::SimOptions{.t_c = t_c});
+    traced.set_trace_observer([&csv](const simb::UpdateEvent& ev) {
+      csv.write_row_numeric({static_cast<double>(ev.proc),
+                             static_cast<double>(ev.counter), ev.requested,
+                             ev.start, ev.done, ev.filled ? 1.0 : 0.0});
+    });
+    traced.run_iteration(arrivals.front());
+    std::printf("  traced one episode (%zu updates) to %s\n\n",
+                static_cast<std::size_t>(csv.rows_written()), path.c_str());
+  }
+
+  if (dynamic) {
+    const auto d = est.degree >= procs ? procs / 2 + 1 : est.degree;
+    const simb::Topology topo = simb::Topology::mcs(procs, std::max<std::size_t>(2, d));
+    IidGenerator gen(procs, make_normal(50.0 * t_c * 10.0, sigma), 99);
+    simb::EpisodeOptions eo;
+    eo.iterations = 100;
+    eo.warmup = 20;
+    eo.slack = slack;
+    const auto cmp = simb::compare_placement(topo, simb::SimOptions{}, gen, eo);
+    std::printf(
+        "  dynamic placement at degree %zu, slack %.1f ms:\n"
+        "    last-proc depth %.2f -> %.2f, sync speedup %.2fx, comm overhead "
+        "%.3f\n",
+        topo.degree(), slack / 1000.0, cmp.static_run.mean_last_depth,
+        cmp.dynamic_run.mean_last_depth, cmp.sync_speedup, cmp.comm_overhead);
+  }
+  return 0;
+}

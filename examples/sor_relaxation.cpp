@@ -1,0 +1,82 @@
+// SOR relaxation (the paper's Section 7 application) on real threads.
+//
+//   $ ./sor_relaxation [--nx=240] [--ny=64] [--threads=4]
+//                      [--iterations=150] [--imbalance-us=500]
+//
+// Runs the same grid with several barrier kinds and reports timing,
+// the measured arrival spread, and the numerical checksum (identical
+// across barriers — the sweep is deterministic).
+#include <cstdio>
+
+#include "apps/sor/sor.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace imbar;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  sor::SorParams params;
+  params.nx = static_cast<std::size_t>(cli.get_int("nx", 240));
+  params.ny = static_cast<std::size_t>(cli.get_int("ny", 64));
+  params.threads = static_cast<std::size_t>(cli.get_int("threads", 4));
+  params.iterations = static_cast<std::size_t>(cli.get_int("iterations", 150));
+  params.extra_work_sigma_us = cli.get_double("imbalance-us", 500.0);
+
+  std::printf(
+      "SOR relaxation: %zux%zu grid, %zu threads, %zu sweeps, injected "
+      "imbalance sigma %.0f us\n\n",
+      params.nx, params.ny, params.threads, params.iterations,
+      params.extra_work_sigma_us);
+
+  struct Config {
+    const char* label;
+    BarrierKind kind;
+    std::size_t degree;
+    sor::SyncMode sync;
+  };
+  const Config configs[] = {
+      {"central counter", BarrierKind::kCentral, 0, sor::SyncMode::kBarrier},
+      {"combining tree d=2", BarrierKind::kCombiningTree, 2,
+       sor::SyncMode::kBarrier},
+      {"combining tree d=4", BarrierKind::kCombiningTree, 4,
+       sor::SyncMode::kBarrier},
+      {"MCS tree d=4", BarrierKind::kMcsTree, 4, sor::SyncMode::kBarrier},
+      {"dynamic placement d=4", BarrierKind::kDynamicPlacement, 4,
+       sor::SyncMode::kBarrier},
+      {"dissemination", BarrierKind::kDissemination, 0,
+       sor::SyncMode::kBarrier},
+      {"tournament", BarrierKind::kTournament, 0, sor::SyncMode::kBarrier},
+      {"MCS local-spin", BarrierKind::kMcsLocalSpin, 0,
+       sor::SyncMode::kBarrier},
+      {"adaptive", BarrierKind::kAdaptive, 0, sor::SyncMode::kBarrier},
+      {"fuzzy combining d=4", BarrierKind::kCombiningTree, 4,
+       sor::SyncMode::kFuzzy},
+      {"fuzzy dynamic d=4", BarrierKind::kDynamicPlacement, 4,
+       sor::SyncMode::kFuzzy},
+      {"neighbor p2p", BarrierKind::kCentral, 0, sor::SyncMode::kNeighbor},
+  };
+
+  Table table({"barrier", "wall (s)", "iter mean (us)", "sigma arrivals (us)",
+               "checksum", "residual"});
+  for (const auto& c : configs) {
+    sor::SorParams p = params;
+    p.barrier.kind = c.kind;
+    p.barrier.degree = c.degree;
+    p.sync = c.sync;
+    const auto r = sor::run_sor(p);
+    table.row()
+        .add(c.label)
+        .num(r.total_seconds, 3)
+        .num(r.mean_iteration_us, 1)
+        .num(r.sigma_arrival_us, 1)
+        .num(r.checksum, 6)
+        .add(Table::fmt(r.max_residual, 8));
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "All checksums are identical: barrier choice changes timing, never the\n"
+      "numerics. The per-iteration arrival sigma is the quantity the paper's\n"
+      "model consumes (see examples/adaptive_degree for closing the loop).\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "apps/power/power_iteration.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "dist/samplers.hpp"
+#include "stats/summary.hpp"
+#include "util/cacheline.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::power {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double now_us(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+/// A[i][j] = 1/(1+|i-j|) + [i==j]: symmetric with all-positive entries,
+/// so by Perron-Frobenius the dominant eigenvalue is simple and the
+/// eigenvector positive; the spectral gap is wide enough for fast
+/// power-iteration convergence.
+double matrix_entry(std::size_t /*n*/, std::size_t i, std::size_t j) {
+  const double off = 1.0 / (1.0 + std::fabs(static_cast<double>(i) -
+                                            static_cast<double>(j)));
+  return i == j ? off + 1.0 : off;
+}
+
+void spin_us(double us, Clock::time_point t0, double start_us) {
+  if (us <= 0.0) return;
+  while (now_us(t0) - start_us < us) {
+  }
+}
+
+struct Partition {
+  std::size_t lo, hi;
+};
+
+Partition block_of(std::size_t n, std::size_t threads, std::size_t tid) {
+  const std::size_t base = n / threads, extra = n % threads;
+  const std::size_t lo = tid * base + std::min(tid, extra);
+  return {lo, lo + base + (tid < extra ? 1 : 0)};
+}
+
+}  // namespace
+
+double reference_eigenvalue(std::size_t n, std::size_t iterations) {
+  PowerParams p;
+  p.n = n;
+  p.iterations = iterations;
+  p.threads = 1;
+  return run_power_iteration(p).eigenvalue;
+}
+
+PowerResult run_power_iteration(const PowerParams& params) {
+  const std::size_t n = params.n;
+  const std::size_t t = params.threads;
+  if (t == 0) throw std::invalid_argument("run_power_iteration: zero threads");
+  if (n < t) throw std::invalid_argument("run_power_iteration: n < threads");
+  if (params.iterations < 1)
+    throw std::invalid_argument("run_power_iteration: zero iterations");
+
+  BarrierConfig cfg = params.barrier;
+  cfg.participants = t;
+  if (cfg.degree < 2) cfg.degree = 2;
+  auto barrier = make_barrier(cfg);
+
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> y(n, 0.0);
+  // Per-thread partial sums, cache-line padded; combined in tid order so
+  // the arithmetic is deterministic for a fixed thread count.
+  std::vector<Padded<double>> partial(t);
+  std::vector<Padded<double>> lambda_partial(t);
+
+  std::vector<std::vector<double>> arrivals(params.iterations,
+                                            std::vector<double>(t, 0.0));
+  const auto t0 = Clock::now();
+  double eigenvalue = 0.0;  // written by every thread with the same value
+
+  auto worker = [&](std::size_t tid) {
+    const auto [lo, hi] = block_of(n, t, tid);
+    Xoshiro256 rng = Xoshiro256::substream(params.seed, tid);
+    NormalSampler imbalance(0.0, params.extra_work_sigma_us);
+    double lambda = 0.0;
+
+    for (std::size_t it = 0; it < params.iterations; ++it) {
+      // Phase 1: y = A x over our rows.
+      for (std::size_t i = lo; i < hi; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+          acc += matrix_entry(n, i, j) * x[j];
+        y[i] = acc;
+      }
+      if (params.extra_work_sigma_us > 0.0) {
+        const double s = now_us(t0);
+        spin_us(std::fabs(imbalance.sample(rng)), t0, s);
+      }
+      // Partial sums for ||y||^2 and the Rayleigh numerator x.y.
+      double ss = 0.0, xy = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        ss += y[i] * y[i];
+        xy += x[i] * y[i];
+      }
+      partial[tid].value = ss;
+      lambda_partial[tid].value = xy;
+      arrivals[it][tid] = now_us(t0);
+      barrier->arrive_and_wait(tid);
+
+      // Phase 2: every thread combines the partials in tid order
+      // (deterministic; redundant but contention-free reads).
+      double norm2 = 0.0, ray = 0.0;
+      for (std::size_t k = 0; k < t; ++k) {
+        norm2 += partial[k].value;
+        ray += lambda_partial[k].value;
+      }
+      const double norm = std::sqrt(norm2);
+      lambda = ray;  // x is unit: Rayleigh quotient = x . A x
+      barrier->arrive_and_wait(tid);
+
+      // Phase 3: normalize our block into x.
+      for (std::size_t i = lo; i < hi; ++i) x[i] = y[i] / norm;
+      barrier->arrive_and_wait(tid);
+    }
+    if (tid == 0) eigenvalue = lambda;
+  };
+
+  if (t == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(t);
+    for (std::size_t tid = 0; tid < t; ++tid) pool.emplace_back(worker, tid);
+    for (auto& th : pool) th.join();
+  }
+
+  PowerResult res;
+  res.total_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  res.eigenvalue = eigenvalue;
+
+  // Residual ||A x - lambda x||_inf, computed serially.
+  double resid = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += matrix_entry(n, i, j) * x[j];
+    resid = std::max(resid, std::fabs(acc - eigenvalue * x[i]));
+  }
+  res.residual = resid;
+
+  RunningStats sigma_stats;
+  for (const auto& row : arrivals) sigma_stats.add(stddev_of(row));
+  res.sigma_arrival_us = sigma_stats.mean();
+  res.barrier_counters = barrier->counters();
+  return res;
+}
+
+}  // namespace imbar::power

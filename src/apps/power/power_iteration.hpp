@@ -1,0 +1,53 @@
+// Parallel power iteration — a second barrier-phase-heavy data-parallel
+// application (the paper's introduction motivates exactly this pattern:
+// "large data structures are updated in parallel by all the processors"
+// with barriers separating the phases).
+//
+// Each iteration has three barrier-separated phases on row-partitioned
+// data:
+//   1. y = A x           (each thread computes its row block)
+//   2. reduce ||y||      (per-thread partial sums, then a deterministic
+//                         combine in thread-id order)
+//   3. x = y / ||y||     (normalize own block)
+// That is 3 p-way barriers per iteration, so barrier performance is a
+// first-order term for small matrices — the regime where the paper's
+// degree choice shows up in end-to-end time.
+//
+// The matrix is a synthetic symmetric positive matrix A[i][j] =
+// 1/(1+|i-j|) + n*[i==j], whose dominant eigenvalue the iteration
+// estimates. Results are bitwise deterministic for a fixed thread count
+// across all barrier kinds (the partial-sum combine order is fixed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "barrier/factory.hpp"
+
+namespace imbar::power {
+
+struct PowerParams {
+  std::size_t n = 256;           // matrix dimension
+  std::size_t threads = 4;
+  std::size_t iterations = 50;   // power steps (3 barriers each)
+  BarrierConfig barrier{};       // participants overridden to `threads`
+  double extra_work_sigma_us = 0.0;  // injected per-thread imbalance
+  std::uint64_t seed = 1;
+};
+
+struct PowerResult {
+  double eigenvalue = 0.0;       // Rayleigh-quotient estimate
+  double residual = 0.0;         // ||A x - lambda x||_inf
+  double total_seconds = 0.0;
+  double sigma_arrival_us = 0.0; // spread at the phase-1 barrier
+  BarrierCounters barrier_counters{};
+};
+
+/// Run the solver. Throws std::invalid_argument on degenerate sizes
+/// (needs n >= threads >= 1, iterations >= 1).
+PowerResult run_power_iteration(const PowerParams& params);
+
+/// Single-threaded reference (same arithmetic order as threads = 1).
+double reference_eigenvalue(std::size_t n, std::size_t iterations);
+
+}  // namespace imbar::power

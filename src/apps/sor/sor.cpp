@@ -1,0 +1,222 @@
+#include "apps/sor/sor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "barrier/point_to_point.hpp"
+#include "dist/samplers.hpp"
+#include "stats/summary.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::sor {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double now_us(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+/// Grid with a one-cell boundary frame. Hot top edge (1.0), cold
+/// elsewhere: a plain heat-diffusion fixture whose checksum is a stable
+/// determinism witness.
+struct Grid {
+  Grid(std::size_t nx, std::size_t ny)
+      : nx(nx), ny(ny), stride(ny + 2), cells((nx + 2) * (ny + 2), 0.0) {
+    for (std::size_t j = 0; j < ny + 2; ++j) cells[j] = 1.0;  // top edge
+  }
+  double& at(std::size_t i, std::size_t j) { return cells[i * stride + j]; }
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    return cells[i * stride + j];
+  }
+  std::size_t nx, ny, stride;
+  std::vector<double> cells;
+};
+
+void sweep_rows(const Grid& src, Grid& dst, std::size_t row_lo, std::size_t row_hi) {
+  for (std::size_t i = row_lo; i < row_hi; ++i)
+    for (std::size_t j = 1; j <= src.ny; ++j)
+      dst.at(i, j) = 0.25 * (src.at(i - 1, j) + src.at(i + 1, j) +
+                             src.at(i, j - 1) + src.at(i, j + 1));
+}
+
+double interior_checksum(const Grid& g) {
+  double sum = 0.0;
+  for (std::size_t i = 1; i <= g.nx; ++i)
+    for (std::size_t j = 1; j <= g.ny; ++j) sum += g.at(i, j);
+  return sum;
+}
+
+/// Busy-spin for `us` microseconds (injected load imbalance).
+void spin_us(double us, Clock::time_point t0, double start_us) {
+  if (us <= 0.0) return;
+  while (now_us(t0) - start_us < us) {
+    // Busy work, not yield: the *point* is to be late.
+  }
+}
+
+}  // namespace
+
+double reference_checksum(std::size_t nx, std::size_t ny, std::size_t iterations) {
+  Grid a(nx, ny), b(nx, ny);
+  Grid* src = &a;
+  Grid* dst = &b;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    sweep_rows(*src, *dst, 1, nx + 1);
+    std::swap(src, dst);
+  }
+  return interior_checksum(*src);
+}
+
+SorResult run_sor(const SorParams& params) {
+  const std::size_t t = params.threads;
+  if (t == 0) throw std::invalid_argument("run_sor: zero threads");
+  if (params.nx < t) throw std::invalid_argument("run_sor: nx < threads");
+  if (params.ny < 1 || params.iterations < 1)
+    throw std::invalid_argument("run_sor: degenerate ny/iterations");
+
+  BarrierConfig cfg = params.barrier;
+  cfg.participants = t;
+  if (cfg.kind == BarrierKind::kCombiningTree ||
+      cfg.kind == BarrierKind::kMcsTree ||
+      cfg.kind == BarrierKind::kDynamicPlacement) {
+    if (cfg.degree < 2) cfg.degree = 2;
+  }
+  std::unique_ptr<Barrier> barrier;
+  std::unique_ptr<FuzzyBarrier> fuzzy;
+  std::unique_ptr<PointToPointSync> p2p;
+  switch (params.sync) {
+    case SyncMode::kBarrier:
+      barrier = make_barrier(cfg);
+      break;
+    case SyncMode::kFuzzy:
+      fuzzy = make_fuzzy_barrier(cfg);  // throws for non-splittable kinds
+      break;
+    case SyncMode::kNeighbor:
+      p2p = std::make_unique<PointToPointSync>(t);
+      break;
+  }
+
+  Grid a(params.nx, params.ny), b(params.nx, params.ny);
+
+  // Per-thread barrier-arrival timestamps, one row per iteration.
+  std::vector<std::vector<double>> arrivals(params.iterations,
+                                            std::vector<double>(t, 0.0));
+  // Last-sweep residual per thread.
+  std::vector<double> residual(t, 0.0);
+
+  const auto t0 = Clock::now();
+
+  auto worker = [&](std::size_t tid) {
+    // Contiguous row block [lo, hi), 1-based interior rows.
+    const std::size_t rows = params.nx;
+    const std::size_t base = rows / t, extra = rows % t;
+    const std::size_t lo = 1 + tid * base + std::min<std::size_t>(tid, extra);
+    const std::size_t hi = lo + base + (tid < extra ? 1 : 0);
+
+    Xoshiro256 rng = Xoshiro256::substream(params.seed, tid);
+    NormalSampler imbalance(0.0, params.extra_work_sigma_us);
+
+    const auto neighbors =
+        p2p ? p2p->stencil_neighbors(tid) : std::vector<std::size_t>{};
+
+    Grid* src = &a;
+    Grid* dst = &b;
+    for (std::size_t it = 0; it < params.iterations; ++it) {
+      auto spin_imbalance = [&] {
+        if (params.extra_work_sigma_us > 0.0) {
+          const double start = now_us(t0);
+          spin_us(std::fabs(imbalance.sample(rng)), t0, start);
+        }
+      };
+      auto capture_residual = [&] {
+        if (it + 1 != params.iterations) return;
+        double r = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+          for (std::size_t j = 1; j <= src->ny; ++j)
+            r = std::max(r, std::fabs(dst->at(i, j) - src->at(i, j)));
+        residual[tid] = r;
+      };
+
+      switch (params.sync) {
+        case SyncMode::kBarrier:
+          sweep_rows(*src, *dst, lo, hi);
+          spin_imbalance();
+          capture_residual();
+          arrivals[it][tid] = now_us(t0);
+          barrier->arrive_and_wait(tid);
+          break;
+
+        case SyncMode::kFuzzy: {
+          // Boundary rows (read by neighbours) are the dependent phase;
+          // interior rows are independent slack work that overlaps other
+          // threads' stragglers (Gupta's fuzzy barrier, paper Section 5).
+          sweep_rows(*src, *dst, lo, lo + 1);
+          if (hi - lo > 1) sweep_rows(*src, *dst, hi - 1, hi);
+          spin_imbalance();
+          arrivals[it][tid] = now_us(t0);
+          fuzzy->arrive(tid);
+          if (hi - lo > 2) sweep_rows(*src, *dst, lo + 1, hi - 1);
+          capture_residual();
+          fuzzy->wait(tid);
+          break;
+        }
+
+        case SyncMode::kNeighbor: {
+          sweep_rows(*src, *dst, lo, hi);
+          spin_imbalance();
+          capture_residual();
+          arrivals[it][tid] = now_us(t0);
+          // Posting epoch e and waiting for the stencil neighbours to
+          // reach e covers both the flow dependence (their boundary
+          // outputs exist) and the anti dependence (they are done
+          // reading the buffer this thread overwrites next sweep).
+          const std::uint64_t ep = p2p->post(tid);
+          p2p->wait_all(neighbors, ep);
+          break;
+        }
+      }
+      std::swap(src, dst);
+    }
+  };
+
+  if (t == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(t);
+    for (std::size_t tid = 0; tid < t; ++tid) pool.emplace_back(worker, tid);
+    for (auto& th : pool) th.join();
+  }
+
+  SorResult res;
+  res.total_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  // After `iterations` sweeps the result lives in `a` iff iterations is
+  // even (threads swapped back), else in `b`.
+  res.checksum = interior_checksum(params.iterations % 2 == 0 ? a : b);
+  for (double r : residual) res.max_residual = std::max(res.max_residual, r);
+
+  RunningStats sigma_stats;
+  double prev_release = 0.0;
+  RunningStats iter_stats;
+  for (std::size_t it = 0; it < params.iterations; ++it) {
+    const auto& row = arrivals[it];
+    sigma_stats.add(stddev_of(row));
+    double last = 0.0;
+    for (double v : row) last = std::max(last, v);
+    iter_stats.add(last - prev_release);
+    prev_release = last;
+  }
+  res.sigma_arrival_us = sigma_stats.mean();
+  res.mean_iteration_us = iter_stats.mean();
+  if (barrier) res.barrier_counters = barrier->counters();
+  if (fuzzy) res.barrier_counters = fuzzy->counters();
+  return res;
+}
+
+}  // namespace imbar::sor

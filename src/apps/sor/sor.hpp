@@ -1,0 +1,62 @@
+// SOR relaxation on two alternating arrays — the paper's measurement
+// application (Section 7), runnable with real threads on this host.
+//
+// The (nx, ny) grid is partitioned along x (rows) across threads, as on
+// the KSR1. Each sweep averages every interior element with its four
+// neighbours, reading the previous array and writing the next one, so
+// sweeps are race-free and a barrier separates them. Optional synthetic
+// per-iteration load imbalance (spin of |N(0, sigma)| microseconds) lets
+// host-scale runs exercise the same imbalance regimes as the paper's
+// communication-contention-induced variance.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "barrier/factory.hpp"
+
+namespace imbar::sor {
+
+/// How sweeps are synchronized.
+enum class SyncMode {
+  kBarrier,   // arrive_and_wait after every sweep (the paper's baseline)
+  kFuzzy,     // Gupta fuzzy barrier: boundary rows -> arrive() ->
+              // interior rows (slack work) -> wait()  (paper Section 5)
+  kNeighbor,  // point-to-point: wait only on the two stencil neighbors
+              // (the Nguyen transformation from the related work)
+};
+
+struct SorParams {
+  std::size_t nx = 240;          // interior rows (partitioned over threads)
+  std::size_t ny = 64;           // interior columns
+  std::size_t threads = 4;
+  std::size_t iterations = 100;  // sweeps (paper: 200 relaxations)
+  SyncMode sync = SyncMode::kBarrier;
+  BarrierConfig barrier{};       // participants is overridden to `threads`;
+                                 // kFuzzy needs a fuzzy-capable kind
+  double extra_work_sigma_us = 0.0;  // injected imbalance per thread/iter
+  std::uint64_t seed = 1;
+};
+
+struct SorResult {
+  double checksum = 0.0;        // sum of the final interior (determinism)
+  double max_residual = 0.0;    // max |last sweep delta|
+  double total_seconds = 0.0;
+  double mean_iteration_us = 0.0;
+  double sigma_arrival_us = 0.0;  // mean per-iteration cross-thread spread
+                                  // of barrier-arrival times
+  BarrierCounters barrier_counters{};
+};
+
+/// Run the solver. Throws std::invalid_argument on degenerate sizes
+/// (needs nx >= threads, ny >= 1, iterations >= 1).
+SorResult run_sor(const SorParams& params);
+
+/// Single-threaded reference sweep for correctness tests: applies
+/// `iterations` sweeps to the same initial condition and returns the
+/// checksum. run_sor must match this for any thread count (the sweep is
+/// order-independent; the checksum is accumulated in fixed row order).
+double reference_checksum(std::size_t nx, std::size_t ny, std::size_t iterations);
+
+}  // namespace imbar::sor

@@ -1,0 +1,135 @@
+#include "barrier/adaptive_barrier.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "model/analytic.hpp"
+#include "util/spin_wait.hpp"
+
+namespace imbar {
+
+namespace {
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+AdaptiveBarrier::AdaptiveBarrier(std::size_t participants)
+    : AdaptiveBarrier(participants, Options{}) {}
+
+AdaptiveBarrier::AdaptiveBarrier(std::size_t participants, Options options)
+    : n_(participants),
+      opt_(options),
+      local_epoch_(participants),
+      arrival_us_(participants),
+      stats_(std::make_unique<detail::ThreadCounters[]>(participants)) {
+  if (participants == 0)
+    throw std::invalid_argument("AdaptiveBarrier: zero participants");
+  if (opt_.initial_degree < 2) opt_.initial_degree = 2;
+  if (opt_.window == 0) opt_.window = 1;
+  if (opt_.max_degree == 0 || opt_.max_degree > participants)
+    opt_.max_degree = participants < 2 ? 2 : participants;
+  current_.store(new Tree(n_, opt_.initial_degree), std::memory_order_release);
+}
+
+AdaptiveBarrier::~AdaptiveBarrier() { delete current_.load(); }
+
+void AdaptiveBarrier::arrive(std::size_t tid) {
+  local_epoch_[tid].value = epoch_.value.load(std::memory_order_acquire);
+  arrival_us_[tid].value = now_us();
+
+  Tree* tree = current_.load(std::memory_order_acquire);
+  std::uint64_t updates = 0;
+  int c = tree->topo.initial_counter()[tid];
+  while (c != -1) {
+    ++updates;
+    const int pos =
+        tree->counters.count[static_cast<std::size_t>(c)].value.fetch_add(
+            1, std::memory_order_acq_rel);
+    if (pos + 1 != tree->counters.fan_in[static_cast<std::size_t>(c)]) break;
+    tree->counters.count[static_cast<std::size_t>(c)].value.store(
+        0, std::memory_order_relaxed);
+    c = tree->counters.parent[static_cast<std::size_t>(c)];
+    if (c == -1) {
+      // We are the releaser: exclusive access to adaptation state until
+      // the epoch bump below.
+      maybe_adapt();
+      epoch_.value.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  stats_[tid].updates.fetch_add(updates, std::memory_order_relaxed);
+}
+
+void AdaptiveBarrier::maybe_adapt() {
+  if (++episodes_since_review_ < opt_.window) return;
+  episodes_since_review_ = 0;
+  if (n_ < 4) return;  // nothing to tune
+
+  // Arrival-time spread of the episode just completed. Every slot was
+  // written before its owner's first counter update, which this thread's
+  // root fill transitively acquired.
+  double mean = 0.0;
+  for (const auto& a : arrival_us_) mean += a.value;
+  mean /= static_cast<double>(n_);
+  double var = 0.0;
+  for (const auto& a : arrival_us_) var += (a.value - mean) * (a.value - mean);
+  const double sigma = std::sqrt(var / static_cast<double>(n_ - 1));
+  sigma_estimate_.value.store(sigma, std::memory_order_relaxed);
+
+  Tree* tree = current_.load(std::memory_order_relaxed);
+  const std::size_t cur = tree->topo.degree();
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t d = 2; d < opt_.max_degree; d *= 2) candidates.push_back(d);
+  candidates.push_back(opt_.max_degree);
+  const auto est =
+      estimate_optimal_degree_general(n_, sigma, opt_.t_c_us, candidates);
+  if (est.degree == cur) return;
+
+  const auto cur_pred =
+      analytic_sync_delay_general({n_, cur, sigma, opt_.t_c_us});
+  if (cur_pred.sync_delay < est.predicted_delay * opt_.hysteresis)
+    return;  // not enough predicted benefit to pay for a rebuild
+
+  auto fresh = std::make_unique<Tree>(n_, est.degree);
+  retired_.emplace_back(tree);  // reclaimed at destruction
+  current_.store(fresh.release(), std::memory_order_release);
+  rebuilds_.value.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AdaptiveBarrier::wait(std::size_t tid) {
+  const std::uint64_t my = local_epoch_[tid].value;
+  SpinWait w;
+  while (epoch_.value.load(std::memory_order_acquire) == my) w.wait();
+}
+
+std::size_t AdaptiveBarrier::current_degree() const noexcept {
+  return current_.load(std::memory_order_acquire)->topo.degree();
+}
+
+BarrierCounters AdaptiveBarrier::counters() const {
+  BarrierCounters c;
+  c.episodes = epoch_.value.load(std::memory_order_relaxed);
+  for (std::size_t t = 0; t < n_; ++t)
+    c.updates += stats_[t].updates.load(std::memory_order_relaxed);
+  return c;
+}
+
+double AdaptiveBarrier::measure_tc_us() {
+  // Mean latency of an RMW on a shared line. Single-threaded, so this
+  // is a lower bound; contended lines on real SMPs cost more. Good
+  // enough to scale sigma into t_c units.
+  std::atomic<std::uint64_t> x{0};
+  constexpr int kIters = 200000;
+  const double t0 = now_us();
+  for (int i = 0; i < kIters; ++i) x.fetch_add(1, std::memory_order_acq_rel);
+  const double t1 = now_us();
+  const double us = (t1 - t0) / kIters;
+  return us > 0.001 ? us : 0.001;
+}
+
+}  // namespace imbar

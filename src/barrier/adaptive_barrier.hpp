@@ -1,0 +1,90 @@
+// Adaptive-degree combining-tree barrier.
+//
+// The paper's conclusion: "This finding also indicates the feasibility
+// of barriers that would adapt their degree at run time to minimize
+// their synchronization delay." This class implements that: it measures
+// the spread of arrival times over a window of episodes, runs the
+// paper's analytic model (generalized Algorithm 1) to estimate the
+// optimal degree for the observed imbalance, and — when the predicted
+// improvement exceeds a hysteresis factor — rebuilds the combining tree
+// between episodes.
+//
+// The rebuild is race-free by construction: only the *last arriver* of
+// an episode (the thread that fills the root) performs it, in the window
+// between the root fill and the release-epoch bump. At that instant
+// every other thread has finished arrive() for this episode and cannot
+// touch tree state again until after it observes the new epoch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "barrier/barrier.hpp"
+#include "barrier/tree_state.hpp"
+#include "simbarrier/topology.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar {
+
+class AdaptiveBarrier final : public FuzzyBarrier {
+ public:
+  struct Options {
+    std::size_t initial_degree = 4;  // the classical default
+    std::size_t window = 32;         // episodes between degree reviews
+    double t_c_us = 0.15;            // cost of one contended counter update
+    double hysteresis = 1.15;        // min predicted delay ratio to switch
+    std::size_t max_degree = 0;      // 0 = participants (central counter)
+  };
+
+  explicit AdaptiveBarrier(std::size_t participants);
+  AdaptiveBarrier(std::size_t participants, Options options);
+  ~AdaptiveBarrier() override;
+
+  void arrive(std::size_t tid) override;
+  void wait(std::size_t tid) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override { return n_; }
+  [[nodiscard]] BarrierCounters counters() const override;
+
+  /// Degree of the tree currently in use.
+  [[nodiscard]] std::size_t current_degree() const noexcept;
+  /// Number of tree rebuilds performed so far.
+  [[nodiscard]] std::uint64_t rebuilds() const noexcept {
+    return rebuilds_.value.load(std::memory_order_relaxed);
+  }
+  /// Most recent arrival-spread estimate (us), 0 before the first review.
+  [[nodiscard]] double estimated_sigma_us() const noexcept {
+    return sigma_estimate_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Rough calibration of t_c on this host: mean cost of a contended
+  /// atomic increment (us). Single-threaded approximation.
+  static double measure_tc_us();
+
+ private:
+  struct Tree {
+    explicit Tree(std::size_t procs, std::size_t degree)
+        : topo(simb::Topology::plain(procs, degree)), counters(topo) {}
+    simb::Topology topo;
+    detail::TreeCounters counters;
+  };
+
+  void maybe_adapt();
+
+  std::size_t n_;
+  Options opt_;
+  std::atomic<Tree*> current_;
+  std::vector<std::unique_ptr<Tree>> retired_;  // touched only by releasers
+
+  PaddedAtomic<std::uint64_t> epoch_{};
+  std::vector<Padded<std::uint64_t>> local_epoch_;
+  std::vector<Padded<double>> arrival_us_;  // per-thread arrival timestamps
+  PaddedAtomic<std::uint64_t> rebuilds_{};
+  Padded<std::atomic<double>> sigma_estimate_{};
+  std::uint64_t episodes_since_review_ = 0;  // releaser-only state
+  std::unique_ptr<detail::ThreadCounters[]> stats_;
+};
+
+}  // namespace imbar

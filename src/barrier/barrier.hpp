@@ -1,0 +1,57 @@
+// Barrier interfaces for real threads.
+//
+// Two shapes:
+//  * Barrier — classic arrive_and_wait.
+//  * FuzzyBarrier — Gupta-style split-phase: arrive() signals (and, for
+//    tree barriers, performs this thread's counter-update duties);
+//    wait() enforces. Independent "slack" work goes between the two.
+//
+// All imbar barriers are reusable across iterations, including fuzzy
+// overlap (a fast thread may arrive at barrier k+1 while slow threads
+// are still inside wait() of barrier k).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace imbar {
+
+/// Instrumentation snapshot shared by all barrier kinds. Counts are
+/// cumulative since construction; "comms" mirror the paper's metric
+/// (shared-line touches: counter updates plus victim relocation reads).
+struct BarrierCounters {
+  std::uint64_t episodes = 0;      // completed barrier episodes
+  std::uint64_t updates = 0;       // counter updates performed
+  std::uint64_t extra_comms = 0;   // victim destination reads (dynamic)
+  std::uint64_t swaps = 0;         // victor swaps performed (dynamic)
+};
+
+class Barrier {
+ public:
+  virtual ~Barrier() = default;
+
+  /// Block until all `participants()` threads of the current episode
+  /// arrived. `tid` in [0, participants()), one distinct tid per thread.
+  virtual void arrive_and_wait(std::size_t tid) = 0;
+
+  [[nodiscard]] virtual std::size_t participants() const noexcept = 0;
+
+  /// Cumulative instrumentation (approximate under concurrency: relaxed
+  /// per-thread counters aggregated on read).
+  [[nodiscard]] virtual BarrierCounters counters() const { return {}; }
+};
+
+class FuzzyBarrier : public Barrier {
+ public:
+  /// Signal arrival; performs this thread's synchronization duties.
+  virtual void arrive(std::size_t tid) = 0;
+  /// Enforce: block until the episode arrive()d by this thread releases.
+  virtual void wait(std::size_t tid) = 0;
+
+  void arrive_and_wait(std::size_t tid) final {
+    arrive(tid);
+    wait(tid);
+  }
+};
+
+}  // namespace imbar

@@ -1,0 +1,43 @@
+#include "barrier/central_barrier.hpp"
+
+#include <stdexcept>
+
+#include "util/spin_wait.hpp"
+
+namespace imbar {
+
+CentralBarrier::CentralBarrier(std::size_t participants)
+    : n_(participants), local_epoch_(participants) {
+  if (participants == 0)
+    throw std::invalid_argument("CentralBarrier: zero participants");
+}
+
+void CentralBarrier::arrive(std::size_t tid) {
+  // Snapshot the epoch *before* contributing: once our increment lands,
+  // the last arriver may advance the epoch at any moment.
+  local_epoch_[tid].value = epoch_.value.load(std::memory_order_acquire);
+
+  const std::uint32_t pos = count_.value.fetch_add(1, std::memory_order_acq_rel);
+  if (pos + 1 == n_) {
+    // Last arriver: reset for the next episode, then release everyone.
+    // The reset is ordered before the epoch bump; re-arrivals for the
+    // next episode can only happen after a wait() that acquires it.
+    count_.value.store(0, std::memory_order_relaxed);
+    epoch_.value.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void CentralBarrier::wait(std::size_t tid) {
+  const std::uint64_t my = local_epoch_[tid].value;
+  SpinWait w;
+  while (epoch_.value.load(std::memory_order_acquire) == my) w.wait();
+}
+
+BarrierCounters CentralBarrier::counters() const {
+  BarrierCounters c;
+  c.episodes = epoch_.value.load(std::memory_order_relaxed);
+  c.updates = c.episodes * n_;
+  return c;
+}
+
+}  // namespace imbar

@@ -1,0 +1,37 @@
+// Central counter barrier (sense-reversing via a release epoch).
+//
+// The classical baseline the paper starts from (Section 1): one shared
+// counter, O(p) serialized updates per episode. At high processor
+// counts its contention delay dominates — exactly what combining trees
+// fix — but under very wide load imbalance it becomes optimal again
+// (paper Figure 3: p = 64, sigma = 25 t_c).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "barrier/barrier.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar {
+
+class CentralBarrier final : public FuzzyBarrier {
+ public:
+  explicit CentralBarrier(std::size_t participants);
+
+  void arrive(std::size_t tid) override;
+  void wait(std::size_t tid) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override { return n_; }
+  [[nodiscard]] BarrierCounters counters() const override;
+
+ private:
+  std::size_t n_;
+  PaddedAtomic<std::uint32_t> count_{};
+  PaddedAtomic<std::uint64_t> epoch_{};
+  // Epoch each thread is waiting to leave (written only by its owner).
+  std::vector<Padded<std::uint64_t>> local_epoch_;
+};
+
+}  // namespace imbar

@@ -1,0 +1,46 @@
+// Software combining-tree barrier (Yew, Tzeng & Lawrie structure).
+//
+// Processors are grouped d per leaf counter; the processor whose update
+// fills a counter carries on to the parent; filling the root releases
+// everyone through a global epoch. Degree is a constructor parameter —
+// the whole point of the paper is that the right degree depends on the
+// load imbalance (use imbar::choose_degree, or AdaptiveBarrier).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "barrier/barrier.hpp"
+#include "barrier/tree_state.hpp"
+#include "simbarrier/topology.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar {
+
+class CombiningTreeBarrier final : public FuzzyBarrier {
+ public:
+  /// Degree >= 2; degree >= participants degenerates to a central
+  /// counter (still correct, one shared counter).
+  CombiningTreeBarrier(std::size_t participants, std::size_t degree);
+
+  void arrive(std::size_t tid) override;
+  void wait(std::size_t tid) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override {
+    return topo_.procs();
+  }
+  [[nodiscard]] std::size_t degree() const noexcept { return topo_.degree(); }
+  [[nodiscard]] const simb::Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] BarrierCounters counters() const override;
+
+ private:
+  simb::Topology topo_;
+  detail::TreeCounters tree_;
+  PaddedAtomic<std::uint64_t> epoch_{};
+  std::vector<Padded<std::uint64_t>> local_epoch_;
+  std::vector<int> first_counter_;  // leaf of each thread (immutable)
+  std::unique_ptr<detail::ThreadCounters[]> stats_;
+};
+
+}  // namespace imbar

@@ -1,0 +1,54 @@
+#include "barrier/dissemination_barrier.hpp"
+
+#include <stdexcept>
+
+#include "util/spin_wait.hpp"
+
+namespace imbar {
+
+namespace {
+std::size_t log2_ceil(std::size_t n) {
+  std::size_t r = 0, v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++r;
+  }
+  return r;
+}
+}  // namespace
+
+DisseminationBarrier::DisseminationBarrier(std::size_t participants)
+    : n_(participants),
+      rounds_(log2_ceil(participants)),
+      flags_(rounds_ * participants),
+      episode_(participants) {
+  if (participants == 0)
+    throw std::invalid_argument("DisseminationBarrier: zero participants");
+}
+
+void DisseminationBarrier::arrive_and_wait(std::size_t tid) {
+  const std::uint64_t ep =
+      episode_[tid].value.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t dist = 1;
+  for (std::size_t r = 0; r < rounds_; ++r, dist <<= 1) {
+    const std::size_t partner = (tid + dist) % n_;
+    flags_[r * n_ + partner].value.fetch_add(1, std::memory_order_acq_rel);
+    SpinWait w;
+    while (flags_[r * n_ + tid].value.load(std::memory_order_acquire) < ep)
+      w.wait();
+  }
+}
+
+BarrierCounters DisseminationBarrier::counters() const {
+  BarrierCounters c;
+  std::uint64_t min_ep = ~0ULL;
+  for (const auto& e : episode_) {
+    const std::uint64_t v = e.value.load(std::memory_order_relaxed);
+    min_ep = v < min_ep ? v : min_ep;
+  }
+  c.episodes = n_ ? min_ep : 0;
+  c.updates = c.episodes * n_ * rounds_;
+  return c;
+}
+
+}  // namespace imbar

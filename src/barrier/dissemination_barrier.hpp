@@ -1,0 +1,43 @@
+// Dissemination barrier (Hensgen/Finkel/Manber) — comparison baseline.
+//
+// ceil(log2 p) rounds; in round r, thread i signals thread
+// (i + 2^r) mod p and waits for its own signal. No single hot counter,
+// but every thread performs log2 p communications, so under heavy load
+// imbalance it behaves like a fixed-depth tree and cannot exploit the
+// wide-tree optimum the paper identifies — that contrast is exactly why
+// it is included here.
+//
+// Signals are monotonically increasing per-round episode counters, so
+// the barrier is reusable without sense flags and tolerates fuzzy-style
+// overlap of adjacent episodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "barrier/barrier.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar {
+
+class DisseminationBarrier final : public Barrier {
+ public:
+  explicit DisseminationBarrier(std::size_t participants);
+
+  void arrive_and_wait(std::size_t tid) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override { return n_; }
+  [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] BarrierCounters counters() const override;
+
+ private:
+  std::size_t n_;
+  std::size_t rounds_;
+  // flags_[r * n_ + i]: episodes thread i has been signalled in round r.
+  std::vector<PaddedAtomic<std::uint64_t>> flags_;
+  // Per thread, owner-incremented; atomic so counters() may read it
+  // concurrently.
+  std::vector<PaddedAtomic<std::uint64_t>> episode_;
+};
+
+}  // namespace imbar

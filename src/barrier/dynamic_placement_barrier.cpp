@@ -1,0 +1,130 @@
+#include "barrier/dynamic_placement_barrier.hpp"
+
+#include <stdexcept>
+
+#include "util/spin_wait.hpp"
+
+namespace imbar {
+
+DynamicPlacementBarrier::DynamicPlacementBarrier(std::size_t participants,
+                                                 std::size_t degree)
+    : topo_(simb::Topology::mcs(participants, degree < 2 ? 2 : degree)),
+      tree_(topo_),
+      local_epoch_(participants),
+      local_(topo_.counters()),
+      destination_(topo_.counters()),
+      is_multi_(topo_.counters(), false),
+      first_counter_(participants),
+      stats_(std::make_unique<detail::ThreadCounters[]>(participants)) {
+  if (participants == 0)
+    throw std::invalid_argument("DynamicPlacementBarrier: zero participants");
+  if (degree < 2)
+    throw std::invalid_argument("DynamicPlacementBarrier: degree < 2");
+
+  for (std::size_t c = 0; c < topo_.counters(); ++c) {
+    is_multi_[c] = topo_.attached_count(static_cast<int>(c)) > 1;
+    local_[c].value.store(kMulti, std::memory_order_relaxed);
+    destination_[c].value.store(-1, std::memory_order_relaxed);
+  }
+  const auto& initial = topo_.initial_counter();
+  for (std::size_t t = 0; t < participants; ++t) {
+    first_counter_[t].value = initial[t];
+    if (!is_multi_[static_cast<std::size_t>(initial[t])])
+      local_[static_cast<std::size_t>(initial[t])].value.store(
+          static_cast<int>(t), std::memory_order_relaxed);
+  }
+}
+
+void DynamicPlacementBarrier::arrive(std::size_t tid) {
+  local_epoch_[tid].value = epoch_.value.load(std::memory_order_acquire);
+
+  int fc = first_counter_[tid].value;
+
+  // Victim detection (Figure 6d): if our counter's Local field no longer
+  // names us, we were displaced last episode; follow Destination. One
+  // extra communication, paid by the faster of the swapped pair.
+  if (!is_multi_[static_cast<std::size_t>(fc)] &&
+      local_[static_cast<std::size_t>(fc)].value.load(
+          std::memory_order_acquire) != static_cast<int>(tid)) {
+    const int dest = destination_[static_cast<std::size_t>(fc)].value.load(
+        std::memory_order_acquire);
+    stats_[tid].extra_comms.fetch_add(1, std::memory_order_relaxed);
+    fc = dest;
+    first_counter_[tid].value = fc;
+    // Claim the new position so our own future displacement is
+    // detectable. Safe: this counter cannot fill this episode before our
+    // update below, so no victor overwrites Local concurrently.
+    if (!is_multi_[static_cast<std::size_t>(fc)])
+      local_[static_cast<std::size_t>(fc)].value.store(
+          static_cast<int>(tid), std::memory_order_release);
+  }
+
+  std::uint64_t updates = 0, swaps = 0;
+  int my_pos = fc;
+  int c = fc;
+  while (c != -1) {
+    ++updates;
+    const int pos = tree_.count[static_cast<std::size_t>(c)].value.fetch_add(
+        1, std::memory_order_acq_rel);
+    if (pos + 1 != tree_.fan_in[static_cast<std::size_t>(c)]) break;
+    tree_.count[static_cast<std::size_t>(c)].value.store(
+        0, std::memory_order_relaxed);
+
+    if (c != my_pos) {
+      // We filled a counter above our position: swap with its occupant
+      // (victor side, Figure 6c). Destination first, then Local — a
+      // victim acquires Local and must then see the right Destination.
+      destination_[static_cast<std::size_t>(c)].value.store(
+          my_pos, std::memory_order_release);
+      local_[static_cast<std::size_t>(c)].value.store(
+          static_cast<int>(tid), std::memory_order_release);
+      first_counter_[tid].value = c;
+      my_pos = c;
+      ++swaps;
+    }
+
+    c = tree_.parent[static_cast<std::size_t>(c)];
+    if (c == -1) epoch_.value.fetch_add(1, std::memory_order_acq_rel);
+  }
+  stats_[tid].updates.fetch_add(updates, std::memory_order_relaxed);
+  if (swaps) stats_[tid].swaps.fetch_add(swaps, std::memory_order_relaxed);
+}
+
+void DynamicPlacementBarrier::wait(std::size_t tid) {
+  const std::uint64_t my = local_epoch_[tid].value;
+  SpinWait w;
+  while (epoch_.value.load(std::memory_order_acquire) == my) w.wait();
+}
+
+BarrierCounters DynamicPlacementBarrier::counters() const {
+  BarrierCounters c;
+  c.episodes = epoch_.value.load(std::memory_order_relaxed);
+  for (std::size_t t = 0; t < topo_.procs(); ++t) {
+    c.updates += stats_[t].updates.load(std::memory_order_relaxed);
+    c.extra_comms += stats_[t].extra_comms.load(std::memory_order_relaxed);
+    c.swaps += stats_[t].swaps.load(std::memory_order_relaxed);
+  }
+  return c;
+}
+
+std::vector<int> DynamicPlacementBarrier::placement_snapshot() const {
+  std::vector<int> snap(topo_.procs());
+  for (std::size_t t = 0; t < topo_.procs(); ++t) {
+    int fc = first_counter_[t].value;
+    // Resolve a pending displacement the owner hasn't noticed yet.
+    if (!is_multi_[static_cast<std::size_t>(fc)] &&
+        local_[static_cast<std::size_t>(fc)].value.load(
+            std::memory_order_acquire) != static_cast<int>(t)) {
+      fc = destination_[static_cast<std::size_t>(fc)].value.load(
+          std::memory_order_acquire);
+    }
+    snap[t] = fc;
+  }
+  return snap;
+}
+
+int DynamicPlacementBarrier::depth_of(std::size_t tid) const {
+  return topo_.depth_to_root(placement_snapshot()[tid]);
+}
+
+}  // namespace imbar

@@ -1,0 +1,79 @@
+// Dynamic-placement combining-tree barrier — the paper's contribution
+// (Section 5, Figures 6-7).
+//
+// Structure: the MCS-variant tree (every counter has an attached
+// processor). Protocol: when a processor's update *fills* a counter
+// above its current position, it swaps with that counter's occupant
+// before carrying to the parent — late (victor) processors migrate
+// toward the root, early (victim) processors absorb the displaced
+// synchronization work. Each counter carries two extra fields, Local
+// (current occupant) and Destination (where a displaced occupant should
+// go); a victim discovers its displacement at its next arrival by
+// noticing Local != self, and pays exactly one extra communication to
+// read Destination (paper Figure 6d).
+//
+// The swap is performed at fill time (cascade semantics) rather than
+// once at the end of the climb: the swap writes must be ordered before
+// the parent update that eventually releases the barrier, otherwise a
+// victim could re-arrive before observing its displacement and the
+// counter would receive fan_in + 1 updates. Fill-time publication rides
+// the release sequence of the counter RMW chain, so every swap is
+// visible to every processor by the time the barrier releases.
+//
+// Key safety invariant (why victim relocation never races with the next
+// episode's swaps): Destination[c] is always a strict descendant of c,
+// and c cannot fill again until the displaced victim has re-homed and
+// contributed — its update is on c's own carry path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "barrier/barrier.hpp"
+#include "barrier/tree_state.hpp"
+#include "simbarrier/topology.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar {
+
+class DynamicPlacementBarrier final : public FuzzyBarrier {
+ public:
+  DynamicPlacementBarrier(std::size_t participants, std::size_t degree);
+
+  void arrive(std::size_t tid) override;
+  void wait(std::size_t tid) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override {
+    return topo_.procs();
+  }
+  [[nodiscard]] std::size_t degree() const noexcept { return topo_.degree(); }
+  [[nodiscard]] const simb::Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] BarrierCounters counters() const override;
+
+  /// Current first counter of every thread. Only meaningful while no
+  /// thread is inside the barrier (quiescent), e.g. between phases or
+  /// in tests.
+  [[nodiscard]] std::vector<int> placement_snapshot() const;
+
+  /// Depth (counters to root) of `tid`'s current position — quiescent
+  /// use only.
+  [[nodiscard]] int depth_of(std::size_t tid) const;
+
+ private:
+  static constexpr int kMulti = -2;  // Local value for multi-attached leaves
+
+  simb::Topology topo_;
+  detail::TreeCounters tree_;
+  PaddedAtomic<std::uint64_t> epoch_{};
+  std::vector<Padded<std::uint64_t>> local_epoch_;
+
+  std::vector<PaddedAtomic<int>> local_;        // per counter: occupant
+  std::vector<PaddedAtomic<int>> destination_;  // per counter: forward addr
+  std::vector<bool> is_multi_;                  // static: leaf with >1 attached
+  std::vector<Padded<int>> first_counter_;      // per thread, owner-written
+  std::unique_ptr<detail::ThreadCounters[]> stats_;
+};
+
+}  // namespace imbar

@@ -1,0 +1,83 @@
+#include "barrier/factory.hpp"
+
+#include <stdexcept>
+
+#include "barrier/central_barrier.hpp"
+#include "barrier/combining_tree_barrier.hpp"
+#include "barrier/dissemination_barrier.hpp"
+#include "barrier/dynamic_placement_barrier.hpp"
+#include "barrier/mcs_local_spin_barrier.hpp"
+#include "barrier/mcs_tree_barrier.hpp"
+#include "barrier/tournament_barrier.hpp"
+
+namespace imbar {
+
+const char* to_string(BarrierKind kind) noexcept {
+  switch (kind) {
+    case BarrierKind::kCentral: return "central";
+    case BarrierKind::kCombiningTree: return "combining";
+    case BarrierKind::kMcsTree: return "mcs";
+    case BarrierKind::kDynamicPlacement: return "dynamic";
+    case BarrierKind::kDissemination: return "dissemination";
+    case BarrierKind::kTournament: return "tournament";
+    case BarrierKind::kMcsLocalSpin: return "mcs-local";
+    case BarrierKind::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+BarrierKind barrier_kind_from_string(const std::string& name) {
+  if (name == "central") return BarrierKind::kCentral;
+  if (name == "combining") return BarrierKind::kCombiningTree;
+  if (name == "mcs") return BarrierKind::kMcsTree;
+  if (name == "dynamic") return BarrierKind::kDynamicPlacement;
+  if (name == "dissemination") return BarrierKind::kDissemination;
+  if (name == "tournament") return BarrierKind::kTournament;
+  if (name == "mcs-local") return BarrierKind::kMcsLocalSpin;
+  if (name == "adaptive") return BarrierKind::kAdaptive;
+  throw std::invalid_argument("unknown barrier kind: " + name);
+}
+
+std::unique_ptr<FuzzyBarrier> make_fuzzy_barrier(const BarrierConfig& config) {
+  if (config.participants == 0)
+    throw std::invalid_argument("make_barrier: zero participants");
+  switch (config.kind) {
+    case BarrierKind::kCentral:
+      return std::make_unique<CentralBarrier>(config.participants);
+    case BarrierKind::kCombiningTree:
+      return std::make_unique<CombiningTreeBarrier>(config.participants,
+                                                    config.degree);
+    case BarrierKind::kMcsTree:
+      return std::make_unique<McsTreeBarrier>(config.participants, config.degree);
+    case BarrierKind::kDynamicPlacement:
+      return std::make_unique<DynamicPlacementBarrier>(config.participants,
+                                                       config.degree);
+    case BarrierKind::kAdaptive:
+      return std::make_unique<AdaptiveBarrier>(config.participants,
+                                               config.adaptive);
+    case BarrierKind::kDissemination:
+    case BarrierKind::kTournament:
+    case BarrierKind::kMcsLocalSpin:
+      throw std::invalid_argument(
+          std::string(to_string(config.kind)) +
+          " barrier has no split arrive/wait phase");
+  }
+  throw std::invalid_argument("make_fuzzy_barrier: unknown kind");
+}
+
+std::unique_ptr<Barrier> make_barrier(const BarrierConfig& config) {
+  if (config.participants == 0)
+    throw std::invalid_argument("make_barrier: zero participants");
+  switch (config.kind) {
+    case BarrierKind::kDissemination:
+      return std::make_unique<DisseminationBarrier>(config.participants);
+    case BarrierKind::kTournament:
+      return std::make_unique<TournamentBarrier>(config.participants);
+    case BarrierKind::kMcsLocalSpin:
+      return std::make_unique<McsLocalSpinBarrier>(config.participants);
+    default:
+      return make_fuzzy_barrier(config);
+  }
+}
+
+}  // namespace imbar

@@ -1,0 +1,44 @@
+// Barrier construction by configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "barrier/adaptive_barrier.hpp"
+#include "barrier/barrier.hpp"
+
+namespace imbar {
+
+enum class BarrierKind {
+  kCentral,
+  kCombiningTree,
+  kMcsTree,
+  kDynamicPlacement,
+  kDissemination,
+  kTournament,
+  kMcsLocalSpin,
+  kAdaptive,
+};
+
+[[nodiscard]] const char* to_string(BarrierKind kind) noexcept;
+
+/// Parse a kind name ("central", "combining", "mcs", "dynamic",
+/// "dissemination", "adaptive"); throws std::invalid_argument otherwise.
+[[nodiscard]] BarrierKind barrier_kind_from_string(const std::string& name);
+
+struct BarrierConfig {
+  BarrierKind kind = BarrierKind::kCombiningTree;
+  std::size_t participants = 0;
+  std::size_t degree = 4;               // tree barriers
+  AdaptiveBarrier::Options adaptive{};  // kAdaptive only
+};
+
+/// Construct any barrier kind.
+[[nodiscard]] std::unique_ptr<Barrier> make_barrier(const BarrierConfig& config);
+
+/// Construct a split-phase (fuzzy-capable) barrier; throws
+/// std::invalid_argument for kinds that cannot split (dissemination).
+[[nodiscard]] std::unique_ptr<FuzzyBarrier> make_fuzzy_barrier(
+    const BarrierConfig& config);
+
+}  // namespace imbar

@@ -1,0 +1,71 @@
+#include "barrier/mcs_local_spin_barrier.hpp"
+
+#include <stdexcept>
+
+#include "util/spin_wait.hpp"
+
+namespace imbar {
+
+McsLocalSpinBarrier::McsLocalSpinBarrier(std::size_t participants,
+                                         std::size_t arrival_fanin,
+                                         std::size_t wakeup_fanout)
+    : n_(participants),
+      fin_(arrival_fanin),
+      fout_(wakeup_fanout),
+      arrived_(participants),
+      wakeup_(participants),
+      episode_(participants) {
+  if (participants == 0)
+    throw std::invalid_argument("McsLocalSpinBarrier: zero participants");
+  if (arrival_fanin < 2 || wakeup_fanout < 2)
+    throw std::invalid_argument("McsLocalSpinBarrier: fan-in/out must be >= 2");
+}
+
+std::size_t McsLocalSpinBarrier::arrival_children(std::size_t tid) const {
+  // Children of tid in the fin_-ary heap layout: fin_*tid + 1 .. + fin_.
+  const std::size_t first = fin_ * tid + 1;
+  if (first >= n_) return 0;
+  const std::size_t last = std::min(n_ - 1, first + fin_ - 1);
+  return last - first + 1;
+}
+
+void McsLocalSpinBarrier::arrive_and_wait(std::size_t tid) {
+  const std::uint64_t ep =
+      episode_[tid].value.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Arrival phase: gather children, then report upward.
+  const std::size_t kids = arrival_children(tid);
+  if (kids > 0) {
+    SpinWait w;
+    while (arrived_[tid].value.load(std::memory_order_acquire) <
+           ep * static_cast<std::uint64_t>(kids))
+      w.wait();
+  }
+  if (tid != 0) {
+    const std::size_t parent = (tid - 1) / fin_;
+    arrived_[parent].value.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // Wakeup phase: the root's own subtree being gathered IS the release
+  // condition; everyone else waits for the wakeup wave.
+  if (tid != 0) {
+    SpinWait w;
+    while (wakeup_[tid].value.load(std::memory_order_acquire) < ep) w.wait();
+  }
+  const std::size_t wfirst = fout_ * tid + 1;
+  for (std::size_t k = 0; k < fout_; ++k) {
+    const std::size_t child = wfirst + k;
+    if (child >= n_) break;
+    wakeup_[child].value.store(ep, std::memory_order_release);
+  }
+}
+
+BarrierCounters McsLocalSpinBarrier::counters() const {
+  BarrierCounters c;
+  c.episodes = episode_[0].value.load(std::memory_order_relaxed);
+  // Per episode: n-1 arrival signals + n-1 wakeup writes.
+  c.updates = c.episodes * (n_ ? 2 * (n_ - 1) : 0);
+  return c;
+}
+
+}  // namespace imbar

@@ -1,0 +1,53 @@
+// The full Mellor-Crummey & Scott tree barrier with local spinning:
+// 4-ary arrival tree, binary wakeup tree, every thread spins only on
+// its own cache-line-padded flags (the algorithm the paper's Section 5
+// structure is derived from; our McsTreeBarrier is the counter-based
+// rendering of the same tree, this class is the flag-based original).
+//
+// Arrival: each thread waits for its (up to 4) arrival children, then
+// signals its arrival parent. Wakeup: the root releases its (up to 2)
+// wakeup children; each thread propagates downward after its own flag
+// fires. Generates the theoretical-minimum communication count on
+// machines without broadcast.
+//
+// Waiting for children happens inside the arrival phase, so this is a
+// plain Barrier (no fuzzy split).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "barrier/barrier.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar {
+
+class McsLocalSpinBarrier final : public Barrier {
+ public:
+  /// Arrival fan-in and wakeup fan-out are configurable; the MCS paper
+  /// uses 4 and 2.
+  explicit McsLocalSpinBarrier(std::size_t participants,
+                               std::size_t arrival_fanin = 4,
+                               std::size_t wakeup_fanout = 2);
+
+  void arrive_and_wait(std::size_t tid) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override { return n_; }
+  [[nodiscard]] std::size_t arrival_fanin() const noexcept { return fin_; }
+  [[nodiscard]] std::size_t wakeup_fanout() const noexcept { return fout_; }
+  [[nodiscard]] BarrierCounters counters() const override;
+
+ private:
+  [[nodiscard]] std::size_t arrival_children(std::size_t tid) const;
+
+  std::size_t n_;
+  std::size_t fin_;
+  std::size_t fout_;
+  // arrived_[i]: cumulative signals received from i's arrival children.
+  std::vector<PaddedAtomic<std::uint64_t>> arrived_;
+  // wakeup_[i]: last episode i has been released in.
+  std::vector<PaddedAtomic<std::uint64_t>> wakeup_;
+  std::vector<PaddedAtomic<std::uint64_t>> episode_;  // owner-incremented
+};
+
+}  // namespace imbar

@@ -1,0 +1,52 @@
+#include "barrier/mcs_tree_barrier.hpp"
+
+#include <stdexcept>
+
+#include "util/spin_wait.hpp"
+
+namespace imbar {
+
+McsTreeBarrier::McsTreeBarrier(std::size_t participants, std::size_t degree)
+    : topo_(simb::Topology::mcs(participants, degree < 2 ? 2 : degree)),
+      tree_(topo_),
+      local_epoch_(participants),
+      first_counter_(topo_.initial_counter()),
+      stats_(std::make_unique<detail::ThreadCounters[]>(participants)) {
+  if (participants == 0)
+    throw std::invalid_argument("McsTreeBarrier: zero participants");
+  if (degree < 2) throw std::invalid_argument("McsTreeBarrier: degree < 2");
+}
+
+void McsTreeBarrier::arrive(std::size_t tid) {
+  local_epoch_[tid].value = epoch_.value.load(std::memory_order_acquire);
+
+  std::uint64_t updates = 0;
+  int c = first_counter_[tid];
+  while (c != -1) {
+    ++updates;
+    const int pos = tree_.count[static_cast<std::size_t>(c)].value.fetch_add(
+        1, std::memory_order_acq_rel);
+    if (pos + 1 != tree_.fan_in[static_cast<std::size_t>(c)]) break;
+    tree_.count[static_cast<std::size_t>(c)].value.store(
+        0, std::memory_order_relaxed);
+    c = tree_.parent[static_cast<std::size_t>(c)];
+    if (c == -1) epoch_.value.fetch_add(1, std::memory_order_acq_rel);
+  }
+  stats_[tid].updates.fetch_add(updates, std::memory_order_relaxed);
+}
+
+void McsTreeBarrier::wait(std::size_t tid) {
+  const std::uint64_t my = local_epoch_[tid].value;
+  SpinWait w;
+  while (epoch_.value.load(std::memory_order_acquire) == my) w.wait();
+}
+
+BarrierCounters McsTreeBarrier::counters() const {
+  BarrierCounters c;
+  c.episodes = epoch_.value.load(std::memory_order_relaxed);
+  for (std::size_t t = 0; t < topo_.procs(); ++t)
+    c.updates += stats_[t].updates.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace imbar

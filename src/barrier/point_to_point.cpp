@@ -1,0 +1,36 @@
+#include "barrier/point_to_point.hpp"
+
+#include <stdexcept>
+
+namespace imbar {
+
+PointToPointSync::PointToPointSync(std::size_t participants)
+    : flags_(participants) {
+  if (participants == 0)
+    throw std::invalid_argument("PointToPointSync: zero participants");
+}
+
+std::uint64_t PointToPointSync::post(std::size_t tid) noexcept {
+  return flags_[tid].value.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+void PointToPointSync::wait_for(std::size_t other,
+                                std::uint64_t epoch) const noexcept {
+  SpinWait w;
+  while (flags_[other].value.load(std::memory_order_acquire) < epoch) w.wait();
+}
+
+void PointToPointSync::wait_all(std::span<const std::size_t> others,
+                                std::uint64_t epoch) const noexcept {
+  for (std::size_t other : others) wait_for(other, epoch);
+}
+
+std::vector<std::size_t> PointToPointSync::stencil_neighbors(
+    std::size_t tid) const {
+  std::vector<std::size_t> out;
+  if (tid > 0) out.push_back(tid - 1);
+  if (tid + 1 < flags_.size()) out.push_back(tid + 1);
+  return out;
+}
+
+}  // namespace imbar

@@ -1,0 +1,62 @@
+// Point-to-point (neighbor) synchronization — the barrier alternative
+// of Nguyen's compiler transformation cited in the paper's related work
+// (Section 2 [14]): instead of a global barrier after each phase, every
+// thread waits only on the threads whose data it actually reads.
+//
+// Under load imbalance this is fundamentally cheaper than any barrier:
+// the expected idle time per iteration is the expected maximum over the
+// *dependence set* (e.g. 3 threads for a 1-D stencil) rather than over
+// all p threads — an E[max of 3 normals] vs E[max of p] gap that grows
+// with p (see dist/order_stats.hpp and bench/ext_p2p_vs_barrier).
+//
+// Mechanics: each thread owns a monotone epoch counter. `post(tid)`
+// publishes completion of one iteration; `wait_for(other, epoch)` spins
+// until `other` has posted at least `epoch` iterations. For a stencil
+// sweep with two alternating buffers, waiting on the dependence set at
+// epoch i before starting iteration i+1 covers both the flow dependence
+// (their outputs exist) and the anti dependence (they are done reading
+// the buffer this thread is about to overwrite).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/cacheline.hpp"
+#include "util/spin_wait.hpp"
+
+namespace imbar {
+
+class PointToPointSync {
+ public:
+  explicit PointToPointSync(std::size_t participants);
+
+  /// Publish completion of the calling thread's current iteration.
+  /// Returns the epoch just completed (1-based).
+  std::uint64_t post(std::size_t tid) noexcept;
+
+  /// Block until `other` has posted at least `epoch`.
+  void wait_for(std::size_t other, std::uint64_t epoch) const noexcept;
+
+  /// Block until every thread in `others` has posted at least `epoch`.
+  void wait_all(std::span<const std::size_t> others,
+                std::uint64_t epoch) const noexcept;
+
+  /// Epoch currently posted by `tid` (racy snapshot).
+  [[nodiscard]] std::uint64_t posted(std::size_t tid) const noexcept {
+    return flags_[tid].value.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t participants() const noexcept {
+    return flags_.size();
+  }
+
+  /// Convenience: the 1-D stencil dependence set {tid-1, tid+1} clipped
+  /// to the valid range (non-periodic).
+  [[nodiscard]] std::vector<std::size_t> stencil_neighbors(std::size_t tid) const;
+
+ private:
+  std::vector<PaddedAtomic<std::uint64_t>> flags_;
+};
+
+}  // namespace imbar

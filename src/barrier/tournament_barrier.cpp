@@ -1,0 +1,70 @@
+#include "barrier/tournament_barrier.hpp"
+
+#include <stdexcept>
+
+#include "util/spin_wait.hpp"
+
+namespace imbar {
+
+namespace {
+std::size_t log2_ceil(std::size_t n) {
+  std::size_t r = 0, v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++r;
+  }
+  return r;
+}
+}  // namespace
+
+TournamentBarrier::TournamentBarrier(std::size_t participants)
+    : n_(participants),
+      rounds_(log2_ceil(participants)),
+      loser_signal_(rounds_ * participants),
+      episode_(participants) {
+  if (participants == 0)
+    throw std::invalid_argument("TournamentBarrier: zero participants");
+}
+
+void TournamentBarrier::arrive_and_wait(std::size_t tid) {
+  const std::uint64_t ep =
+      episode_[tid].value.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  std::size_t span = 1;  // 2^r
+  for (std::size_t r = 0; r < rounds_; ++r, span <<= 1) {
+    if (tid % (span << 1) == 0) {
+      // Winner of this round: wait for the statically paired loser —
+      // if that slot exists (ragged bracket for non-power-of-two p).
+      if (tid + span < n_) {
+        SpinWait w;
+        while (loser_signal_[r * n_ + tid].value.load(
+                   std::memory_order_acquire) < ep)
+          w.wait();
+      }
+    } else {
+      // Loser: signal the winner and leave the bracket.
+      const std::size_t winner = tid - span;
+      loser_signal_[r * n_ + winner].value.fetch_add(
+          1, std::memory_order_acq_rel);
+      break;
+    }
+  }
+
+  if (tid == 0) {
+    // Champion: every subtree has reported; release the epoch.
+    epoch_.value.fetch_add(1, std::memory_order_acq_rel);
+  } else {
+    SpinWait w;
+    while (epoch_.value.load(std::memory_order_acquire) < ep) w.wait();
+  }
+}
+
+BarrierCounters TournamentBarrier::counters() const {
+  BarrierCounters c;
+  c.episodes = epoch_.value.load(std::memory_order_relaxed);
+  // Each episode: one signal per non-champion thread.
+  c.updates = c.episodes * (n_ ? n_ - 1 : 0);
+  return c;
+}
+
+}  // namespace imbar

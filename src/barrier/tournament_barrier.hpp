@@ -1,0 +1,43 @@
+// Tournament barrier (Hensgen, Finkel & Manber) — comparison baseline.
+//
+// log2(p) rounds of statically paired matches: in round r the "loser"
+// of each pair signals the "winner" and drops out; thread 0 wins every
+// match (the pairing is static) and releases everyone through a global
+// epoch. Each thread spins only on its own flag word during the rounds,
+// so there is no hot counter — but, like the dissemination barrier, the
+// depth is fixed at log2(p), so it cannot trade contention against
+// depth the way the paper's variable-degree trees do.
+//
+// Winners must wait for their round opponents inside the arrival phase,
+// so this cannot split into fuzzy arrive/wait: it is a plain Barrier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "barrier/barrier.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar {
+
+class TournamentBarrier final : public Barrier {
+ public:
+  explicit TournamentBarrier(std::size_t participants);
+
+  void arrive_and_wait(std::size_t tid) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override { return n_; }
+  [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] BarrierCounters counters() const override;
+
+ private:
+  std::size_t n_;
+  std::size_t rounds_;
+  // loser_signal_[r * n + winner]: episodes the round-r loser facing
+  // `winner` has signalled.
+  std::vector<PaddedAtomic<std::uint64_t>> loser_signal_;
+  PaddedAtomic<std::uint64_t> epoch_{};
+  std::vector<PaddedAtomic<std::uint64_t>> episode_;  // owner-incremented
+};
+
+}  // namespace imbar

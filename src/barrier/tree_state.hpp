@@ -1,0 +1,43 @@
+// Shared state layout for the threaded tree barriers.
+//
+// The structural source of truth is simb::Topology — the same builder
+// the simulator uses — so simulated and real barriers are structurally
+// identical by construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "simbarrier/topology.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar::detail {
+
+/// One cache line per counter; parent/fan-in are immutable after build.
+struct TreeCounters {
+  explicit TreeCounters(const simb::Topology& topo)
+      : count(topo.counters()),
+        parent(topo.counters()),
+        fan_in(topo.counters()) {
+    for (std::size_t c = 0; c < topo.counters(); ++c) {
+      const auto& n = topo.node(static_cast<int>(c));
+      parent[c] = n.parent;
+      fan_in[c] = n.fan_in;
+      count[c].value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<PaddedAtomic<int>> count;
+  std::vector<int> parent;
+  std::vector<int> fan_in;
+};
+
+/// Per-thread instrumentation slot (single writer, relaxed readers).
+struct alignas(kCacheLineSize) ThreadCounters {
+  std::atomic<std::uint64_t> updates{0};
+  std::atomic<std::uint64_t> extra_comms{0};
+  std::atomic<std::uint64_t> swaps{0};
+};
+
+}  // namespace imbar::detail

@@ -1,0 +1,22 @@
+#include "core/degree_chooser.hpp"
+
+#include <stdexcept>
+
+#include "model/analytic.hpp"
+
+namespace imbar {
+
+std::size_t choose_degree_timed(std::size_t p, double sigma, double t_c) {
+  if (p < 2) return 2;
+  if (t_c <= 0.0)
+    throw std::invalid_argument("choose_degree: t_c must be positive");
+  if (sigma < 0.0)
+    throw std::invalid_argument("choose_degree: sigma must be non-negative");
+  return estimate_optimal_degree_general(p, sigma, t_c).degree;
+}
+
+std::size_t choose_degree(std::size_t p, double sigma_over_tc) {
+  return choose_degree_timed(p, sigma_over_tc, 1.0);
+}
+
+}  // namespace imbar

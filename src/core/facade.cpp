@@ -1,0 +1,57 @@
+#include "core/facade.hpp"
+
+#include <sstream>
+
+namespace imbar {
+
+const char* version() noexcept { return "1.0.0"; }
+
+BarrierConfig recommend_config(std::size_t p, double sigma_us, double tc_us,
+                               bool predictable) {
+  BarrierConfig cfg;
+  cfg.participants = p;
+  cfg.degree = p >= 2 ? choose_degree_timed(p, sigma_us, tc_us) : 2;
+  cfg.kind = predictable ? BarrierKind::kDynamicPlacement
+                         : BarrierKind::kCombiningTree;
+  return cfg;
+}
+
+std::string describe(const BarrierConfig& config) {
+  std::ostringstream out;
+  out << to_string(config.kind) << " barrier, " << config.participants
+      << " threads";
+  if (config.kind != BarrierKind::kCentral &&
+      config.kind != BarrierKind::kDissemination)
+    out << ", degree " << config.degree;
+  return out.str();
+}
+
+TunedBarrier::TunedBarrier(std::size_t participants, double tc_us,
+                           BarrierKind kind)
+    : n_(participants), tc_us_(tc_us), kind_(kind), degree_(4) {
+  BarrierConfig cfg;
+  cfg.kind = kind_;
+  cfg.participants = n_;
+  cfg.degree = degree_;
+  barrier_ = make_barrier(cfg);
+}
+
+bool TunedBarrier::report_iteration(std::span<const double> work_times_us) {
+  estimator_.record_iteration(work_times_us);
+  if (++since_review_ < 16) return false;  // review every 16 iterations
+  since_review_ = 0;
+
+  const std::size_t want = choose_degree_timed(n_, estimator_.sigma(), tc_us_);
+  if (want == degree_) return false;
+
+  BarrierConfig cfg;
+  cfg.kind = kind_;
+  cfg.participants = n_;
+  cfg.degree = want;
+  barrier_ = make_barrier(cfg);
+  degree_ = want;
+  ++rebuilds_;
+  return true;
+}
+
+}  // namespace imbar

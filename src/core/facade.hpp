@@ -1,0 +1,67 @@
+// Top-level convenience API: recommend + build a barrier for a measured
+// workload, and keep it tuned as the workload evolves.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "barrier/factory.hpp"
+#include "core/degree_chooser.hpp"
+#include "core/imbalance_estimator.hpp"
+
+namespace imbar {
+
+/// Library version string.
+[[nodiscard]] const char* version() noexcept;
+
+/// Recommend a barrier configuration for `p` threads whose per-iteration
+/// arrival spread is `sigma_us`, with counter updates costing `tc_us`.
+///  * predictable == true (systemic imbalance or fuzzy-barrier slack):
+///    dynamic placement on an MCS tree at the model-chosen degree.
+///  * predictable == false: a plain combining tree at the model-chosen
+///    degree.
+[[nodiscard]] BarrierConfig recommend_config(std::size_t p, double sigma_us,
+                                             double tc_us,
+                                             bool predictable = false);
+
+/// One-line description of a configuration (for logs).
+[[nodiscard]] std::string describe(const BarrierConfig& config);
+
+/// Self-tuning barrier: an ImbalanceEstimator fed by the caller plus a
+/// periodically re-derived recommendation. Unlike AdaptiveBarrier (which
+/// measures wall-clock arrival times itself), this facade lets the
+/// application report its own per-iteration work times — useful when
+/// the application already instruments its phases.
+class TunedBarrier {
+ public:
+  TunedBarrier(std::size_t participants, double tc_us,
+               BarrierKind kind = BarrierKind::kCombiningTree);
+
+  /// The barrier to synchronize on for the current phase.
+  [[nodiscard]] Barrier& barrier() noexcept { return *barrier_; }
+
+  /// Report one iteration's per-thread work times (any consistent time
+  /// unit matching tc_us). Quiescent-only: call between iterations,
+  /// from one thread, while nobody is inside barrier(). Returns true if
+  /// the barrier was rebuilt with a new degree.
+  bool report_iteration(std::span<const double> work_times_us);
+
+  [[nodiscard]] std::size_t current_degree() const noexcept { return degree_; }
+  [[nodiscard]] const ImbalanceEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+  [[nodiscard]] std::uint64_t rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  std::size_t n_;
+  double tc_us_;
+  BarrierKind kind_;
+  std::size_t degree_;
+  ImbalanceEstimator estimator_;
+  std::unique_ptr<Barrier> barrier_;
+  std::uint64_t rebuilds_ = 0;
+  std::size_t since_review_ = 0;
+};
+
+}  // namespace imbar

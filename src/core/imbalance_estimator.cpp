@@ -1,0 +1,40 @@
+#include "core/imbalance_estimator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace imbar {
+
+ImbalanceEstimator::ImbalanceEstimator(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0)
+    throw std::invalid_argument("ImbalanceEstimator: alpha must be in (0, 1]");
+}
+
+void ImbalanceEstimator::record_iteration(std::span<const double> times) {
+  if (times.size() < 2)
+    throw std::invalid_argument("ImbalanceEstimator: need >= 2 processors");
+
+  double mean = 0.0;
+  for (double t : times) mean += t;
+  mean /= static_cast<double>(times.size());
+  double var = 0.0;
+  for (double t : times) var += (t - mean) * (t - mean);
+  const double sigma = std::sqrt(var / static_cast<double>(times.size() - 1));
+
+  last_sigma_ = sigma;
+  if (n_ == 0) {
+    ewma_sigma_ = sigma;
+    ewma_mean_ = mean;
+  } else {
+    ewma_sigma_ = alpha_ * sigma + (1.0 - alpha_) * ewma_sigma_;
+    ewma_mean_ = alpha_ * mean + (1.0 - alpha_) * ewma_mean_;
+  }
+  ++n_;
+}
+
+void ImbalanceEstimator::reset() noexcept {
+  ewma_sigma_ = ewma_mean_ = last_sigma_ = 0.0;
+  n_ = 0;
+}
+
+}  // namespace imbar

@@ -1,0 +1,46 @@
+// Online load-imbalance estimation.
+//
+// Feeds the degree chooser: records per-iteration arrival times (or
+// work times), tracks the cross-processor standard deviation with an
+// exponentially weighted moving average so slowly evolving imbalance is
+// followed without thrashing on single-iteration noise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace imbar {
+
+class ImbalanceEstimator {
+ public:
+  /// `alpha` in (0, 1]: EWMA weight of the newest iteration.
+  explicit ImbalanceEstimator(double alpha = 0.2);
+
+  /// Record one iteration's per-processor times (arrival or work —
+  /// only their spread matters). Requires >= 2 values.
+  void record_iteration(std::span<const double> times);
+
+  /// Smoothed cross-processor standard deviation (0 until first record).
+  [[nodiscard]] double sigma() const noexcept { return ewma_sigma_; }
+  /// Most recent raw (unsmoothed) iteration sigma.
+  [[nodiscard]] double last_sigma() const noexcept { return last_sigma_; }
+  /// Smoothed iteration mean.
+  [[nodiscard]] double mean() const noexcept { return ewma_mean_; }
+  /// Iterations recorded.
+  [[nodiscard]] std::size_t iterations() const noexcept { return n_; }
+  /// Coefficient of variation sigma/mean (0 if mean is 0).
+  [[nodiscard]] double cv() const noexcept {
+    return ewma_mean_ != 0.0 ? ewma_sigma_ / ewma_mean_ : 0.0;
+  }
+
+  void reset() noexcept;
+
+ private:
+  double alpha_;
+  double ewma_sigma_ = 0.0;
+  double ewma_mean_ = 0.0;
+  double last_sigma_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace imbar

@@ -1,0 +1,51 @@
+#include "dist/order_stats.hpp"
+
+#include <cmath>
+
+#include "dist/normal.hpp"
+
+namespace imbar {
+
+double expected_max_normal_asymptotic(std::size_t p) noexcept {
+  if (p <= 1) return 0.0;
+  const double lp = std::log(static_cast<double>(p));
+  const double s = std::sqrt(2.0 * lp);
+  return s - (std::log(lp) + std::log(4.0 * M_PI)) / (2.0 * s);
+}
+
+double expected_max_normal_exact(std::size_t p) {
+  if (p <= 1) return 0.0;
+  // Integrand g(x) = x * p * phi(x) * Phi(x)^(p-1). The mass
+  // concentrates near sqrt(2 ln p); integrate generously around it.
+  const double n = static_cast<double>(p);
+  const double hi = expected_max_normal_asymptotic(p) + 12.0;
+  const double lo = -9.0;
+  // Composite Simpson with enough panels that the oscillation-free,
+  // smooth integrand is resolved well past double round-off needs.
+  const std::size_t panels = 20000;  // must be even
+  const double h = (hi - lo) / static_cast<double>(panels);
+  auto g = [n](double x) {
+    const double cdf = normal_cdf(x);
+    if (cdf <= 0.0) return 0.0;
+    // Use exp((p-1) * log Phi) to avoid pow() underflow artifacts.
+    const double w = std::exp((n - 1.0) * std::log(cdf));
+    return x * n * normal_pdf(x) * w;
+  };
+  double sum = g(lo) + g(hi);
+  for (std::size_t i = 1; i < panels; ++i) {
+    const double x = lo + h * static_cast<double>(i);
+    sum += g(x) * ((i % 2) ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+double expected_order_stat_blom(std::size_t r, std::size_t p) noexcept {
+  if (p == 0) return 0.0;
+  if (r < 1) r = 1;
+  if (r > p) r = p;
+  const double pr = (static_cast<double>(r) - 0.375) /
+                    (static_cast<double>(p) + 0.25);
+  return normal_inv_cdf(pr);
+}
+
+}  // namespace imbar

@@ -1,0 +1,29 @@
+// Order statistics of the normal distribution.
+//
+// The analytic model (paper Eq. 5) needs the expected arrival time of
+// the *last* of p normally distributed processors. Two routes:
+//   * the closed-form asymptotic the paper uses,
+//   * exact numerical integration (cross-check; also valid for small p
+//     where the asymptotic is poor).
+#pragma once
+
+#include <cstddef>
+
+namespace imbar {
+
+/// Asymptotic expected maximum of p iid standard normals (paper Eq. 5):
+///   E[M_p] ~ sqrt(2 ln p) - (ln ln p + ln 4*pi) / (2 sqrt(2 ln p)).
+/// Defined for p >= 2; p == 1 returns 0.
+[[nodiscard]] double expected_max_normal_asymptotic(std::size_t p) noexcept;
+
+/// Exact E[M_p] = integral of x * p * phi(x) * Phi(x)^(p-1) dx, computed
+/// with adaptive-resolution Simpson integration over [-9, 9+tail].
+/// Accurate to ~1e-10 for p up to ~1e9.
+[[nodiscard]] double expected_max_normal_exact(std::size_t p);
+
+/// Expected r-th smallest of p iid standard normals via the Blom
+/// approximation Phi^-1((r - 0.375) / (p + 0.25)). Exact enough for
+/// subset-placement heuristics; r in [1, p].
+[[nodiscard]] double expected_order_stat_blom(std::size_t r, std::size_t p) noexcept;
+
+}  // namespace imbar

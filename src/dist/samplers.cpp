@@ -1,0 +1,63 @@
+#include "dist/samplers.hpp"
+
+#include <stdexcept>
+
+namespace imbar {
+
+double NormalSampler::sample(Xoshiro256& rng) {
+  if (sigma_ == 0.0) return mu_;
+  if (have_cached_) {
+    have_cached_ = false;
+    return mu_ + sigma_ * cached_;
+  }
+  // Marsaglia polar method.
+  for (;;) {
+    const double u = 2.0 * rng.uniform_open() - 1.0;
+    const double v = 2.0 * rng.uniform_open() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      const double f = std::sqrt(-2.0 * std::log(s) / s);
+      cached_ = v * f;
+      have_cached_ = true;
+      return mu_ + sigma_ * (u * f);
+    }
+  }
+}
+
+double ExponentialSampler::sample(Xoshiro256& rng) {
+  return -mean_ * std::log(rng.uniform_open());
+}
+
+double UniformSampler::sample(Xoshiro256& rng) {
+  return lo_ + (hi_ - lo_) * rng.uniform();
+}
+
+LogNormalSampler::LogNormalSampler(double mean_value, double stddev_value)
+    : target_mean_(mean_value),
+      target_sd_(stddev_value),
+      mu_log_(0.0),
+      sigma_log_(0.0),
+      norm_(0.0, 1.0) {
+  if (mean_value <= 0.0)
+    throw std::invalid_argument("LogNormalSampler: mean must be positive");
+  // Moment match: if X ~ LN(mu, s^2) then
+  //   E[X] = exp(mu + s^2/2),  Var[X] = (exp(s^2)-1) exp(2mu + s^2).
+  const double cv2 = (stddev_value / mean_value) * (stddev_value / mean_value);
+  sigma_log_ = std::sqrt(std::log1p(cv2));
+  mu_log_ = std::log(mean_value) - 0.5 * sigma_log_ * sigma_log_;
+}
+
+double LogNormalSampler::sample(Xoshiro256& rng) {
+  if (target_sd_ == 0.0) return target_mean_;
+  return std::exp(mu_log_ + sigma_log_ * norm_.sample(rng));
+}
+
+std::unique_ptr<Sampler> make_normal(double mu, double sigma) {
+  return std::make_unique<NormalSampler>(mu, sigma);
+}
+
+std::unique_ptr<Sampler> make_constant(double v) {
+  return std::make_unique<ConstantSampler>(v);
+}
+
+}  // namespace imbar

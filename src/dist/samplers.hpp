@@ -1,0 +1,98 @@
+// Random-variate samplers on top of the deterministic PRNG.
+//
+// The paper assumes normally distributed processor execution times
+// (citing Adve/Vernon and Eichenberger/Abraham measurements); the other
+// shapes exist for robustness experiments and property tests.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "util/prng.hpp"
+
+namespace imbar {
+
+/// Polymorphic sampler interface so workload generators can be
+/// parameterized by distribution shape.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  virtual double sample(Xoshiro256& rng) = 0;
+  /// Distribution mean (for centering workloads).
+  [[nodiscard]] virtual double mean() const noexcept = 0;
+  /// Distribution standard deviation.
+  [[nodiscard]] virtual double stddev() const noexcept = 0;
+};
+
+/// N(mu, sigma^2) via the Marsaglia polar method (cached pair).
+class NormalSampler final : public Sampler {
+ public:
+  NormalSampler(double mu, double sigma) noexcept : mu_(mu), sigma_(sigma) {}
+  double sample(Xoshiro256& rng) override;
+  [[nodiscard]] double mean() const noexcept override { return mu_; }
+  [[nodiscard]] double stddev() const noexcept override { return sigma_; }
+
+ private:
+  double mu_, sigma_;
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+/// Exponential with the given mean (shifted so mean/stddev are honest).
+class ExponentialSampler final : public Sampler {
+ public:
+  explicit ExponentialSampler(double mean_value) noexcept : mean_(mean_value) {}
+  double sample(Xoshiro256& rng) override;
+  [[nodiscard]] double mean() const noexcept override { return mean_; }
+  [[nodiscard]] double stddev() const noexcept override { return mean_; }
+
+ private:
+  double mean_;
+};
+
+/// Uniform on [lo, hi).
+class UniformSampler final : public Sampler {
+ public:
+  UniformSampler(double lo, double hi) noexcept : lo_(lo), hi_(hi) {}
+  double sample(Xoshiro256& rng) override;
+  [[nodiscard]] double mean() const noexcept override { return 0.5 * (lo_ + hi_); }
+  [[nodiscard]] double stddev() const noexcept override {
+    return (hi_ - lo_) / std::sqrt(12.0);
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Lognormal parameterized by its *target* mean and stddev (moment
+/// matched), a right-skewed heavy-ish tail for robustness studies.
+class LogNormalSampler final : public Sampler {
+ public:
+  LogNormalSampler(double mean_value, double stddev_value);
+  double sample(Xoshiro256& rng) override;
+  [[nodiscard]] double mean() const noexcept override { return target_mean_; }
+  [[nodiscard]] double stddev() const noexcept override { return target_sd_; }
+
+ private:
+  double target_mean_, target_sd_;
+  double mu_log_, sigma_log_;
+  NormalSampler norm_;
+};
+
+/// Degenerate point mass (for sigma = 0 rows of the paper's tables).
+class ConstantSampler final : public Sampler {
+ public:
+  explicit ConstantSampler(double v) noexcept : v_(v) {}
+  double sample(Xoshiro256&) override { return v_; }
+  [[nodiscard]] double mean() const noexcept override { return v_; }
+  [[nodiscard]] double stddev() const noexcept override { return 0.0; }
+
+ private:
+  double v_;
+};
+
+/// Factory helpers.
+std::unique_ptr<Sampler> make_normal(double mu, double sigma);
+std::unique_ptr<Sampler> make_constant(double v);
+
+}  // namespace imbar

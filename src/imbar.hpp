@@ -1,0 +1,42 @@
+// Umbrella header: the imbar public API.
+//
+//   #include "imbar.hpp"
+//
+//   auto barrier = imbar::make_barrier({
+//       .kind = imbar::BarrierKind::kCombiningTree,
+//       .participants = n,
+//       .degree = imbar::choose_degree(n, sigma_over_tc),
+//   });
+//
+// See README.md for the guided tour and DESIGN.md for the mapping to
+// the ICPP'95 paper this library reproduces.
+#pragma once
+
+// Real-thread barriers.
+#include "barrier/adaptive_barrier.hpp"
+#include "barrier/barrier.hpp"
+#include "barrier/central_barrier.hpp"
+#include "barrier/combining_tree_barrier.hpp"
+#include "barrier/dissemination_barrier.hpp"
+#include "barrier/dynamic_placement_barrier.hpp"
+#include "barrier/factory.hpp"
+#include "barrier/mcs_local_spin_barrier.hpp"
+#include "barrier/mcs_tree_barrier.hpp"
+#include "barrier/point_to_point.hpp"
+#include "barrier/tournament_barrier.hpp"
+
+// Degree selection and imbalance estimation.
+#include "core/degree_chooser.hpp"
+#include "core/facade.hpp"
+#include "core/imbalance_estimator.hpp"
+#include "model/analytic.hpp"
+#include "model/degree.hpp"
+
+// Simulation substrate (for experiments and what-if analysis).
+#include "simbarrier/episode.hpp"
+#include "simbarrier/sweep.hpp"
+#include "simbarrier/topology.hpp"
+#include "simbarrier/tree_sim.hpp"
+#include "workload/arrival.hpp"
+#include "workload/fuzzy.hpp"
+#include "workload/sor_model.hpp"

@@ -1,0 +1,167 @@
+#include "model/analytic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dist/normal.hpp"
+#include "dist/order_stats.hpp"
+#include "model/degree.hpp"
+
+namespace imbar {
+
+AnalyticResult analytic_sync_delay(const AnalyticParams& params) {
+  const std::size_t p = params.procs;
+  const std::size_t d = params.degree;
+  if (p < 2) throw std::invalid_argument("analytic_sync_delay: p < 2");
+  if (!is_full_tree(p, d))
+    throw std::invalid_argument("analytic_sync_delay: degree is not full-tree feasible");
+
+  const std::size_t L = tree_levels(p, d);
+  const double t_c = params.t_c;
+  const double sigma = params.sigma;
+
+  AnalyticResult res;
+  // Eq. 5: expected arrival of the last processor. For small p the
+  // asymptotic misbehaves, so use the exact integral below a threshold.
+  const double e_max =
+      p <= 1024 ? expected_max_normal_exact(p) : expected_max_normal_asymptotic(p);
+  res.last_arrival = sigma * e_max;
+  // Eq. 7: the last processor updates one counter per level.
+  res.last_release = res.last_arrival + static_cast<double>(L) * t_c;
+
+  res.subsets.reserve(L);
+  // Compute P_before per Eq. 2 first (bottom-up l = 0..L-1), patching
+  // the l = L-1 edge case.
+  std::vector<double> p_before(L);
+  double d_pow = static_cast<double>(d);  // d^(l+1)
+  for (std::size_t l = 0; l < L; ++l) {
+    p_before[l] = 1.0 - d_pow / static_cast<double>(p);
+    d_pow *= static_cast<double>(d);
+  }
+  if (L >= 2) {
+    p_before[L - 1] = p_before[L - 2] / 2.0;
+  } else {
+    p_before[0] = 0.5 / static_cast<double>(p);
+  }
+
+  double max_release = res.last_release;
+  std::size_t subset_size = d - 1;  // (d-1) d^l
+  for (std::size_t l = 0; l < L; ++l) {
+    SubsetTerm term;
+    term.level = l;
+    term.size = subset_size;
+    term.p_before = p_before[l];
+    // Eq. 4 (mu omitted: all times are relative to the mean arrival).
+    term.arrival = sigma * normal_inv_cdf(p_before[l]);
+    // Eq. 6: the contention term covers subset S_l's own subtrees AND
+    // the level-(l+1) path counter they feed (d simultaneous children),
+    // i.e. Eq. 1 with l+1 levels, followed by contention-free
+    // propagation over the remaining L-l-1 hops. This is the reading
+    // that reproduces the paper's own anchors: at sigma = 0 the maximum
+    // over l is exactly Eq. 1's L*d*t_c, and the estimated optimal
+    // degrees match Figure 4 (4 at sigma=0, 8 at 6.2 t_c, 64 at 25 t_c
+    // for p = 64). The OCR'd equation text reads "l*d*t_c + (L-l)*t_c",
+    // which fails both anchors (it would make a central counter free of
+    // contention).
+    term.release = term.arrival +
+                   static_cast<double>(l + 1) * static_cast<double>(d) * t_c +
+                   static_cast<double>(L - l - 1) * t_c;
+    max_release = std::max(max_release, term.release);
+    res.subsets.push_back(term);
+    subset_size *= d;
+  }
+
+  // Eq. 8.
+  res.sync_delay = max_release - res.last_arrival;
+  return res;
+}
+
+AnalyticResult analytic_sync_delay_general(const AnalyticParams& params) {
+  const std::size_t p = params.procs;
+  const std::size_t d = params.degree;
+  if (p < 2) throw std::invalid_argument("analytic_sync_delay_general: p < 2");
+  if (d < 2) throw std::invalid_argument("analytic_sync_delay_general: d < 2");
+  if (is_full_tree(p, d)) return analytic_sync_delay(params);
+
+  const std::size_t L = tree_levels(p, d);
+  const double t_c = params.t_c;
+  const double sigma = params.sigma;
+
+  AnalyticResult res;
+  const double e_max =
+      p <= 1024 ? expected_max_normal_exact(p) : expected_max_normal_asymptotic(p);
+  res.last_arrival = sigma * e_max;
+  res.last_release = res.last_arrival + static_cast<double>(L) * t_c;
+
+  // Eq. 2 with the geometric progression capped at p; non-positive
+  // P_before values use the paper's edge rule (half the level above).
+  std::vector<double> p_before(L);
+  double d_pow = static_cast<double>(d);
+  for (std::size_t l = 0; l < L; ++l) {
+    p_before[l] = 1.0 - d_pow / static_cast<double>(p);
+    d_pow *= static_cast<double>(d);
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    if (p_before[l] <= 0.0)
+      p_before[l] = l == 0 ? 0.5 / static_cast<double>(p) : p_before[l - 1] / 2.0;
+  }
+
+  double max_release = res.last_release;
+  for (std::size_t l = 0; l < L; ++l) {
+    SubsetTerm term;
+    term.level = l;
+    // Subset sizes are only used for reporting in the general case.
+    term.size = 0;
+    term.p_before = p_before[l];
+    term.arrival = sigma * normal_inv_cdf(p_before[l]);
+    // Same Eq. 6 reading as analytic_sync_delay: contention through the
+    // level-(l+1) path counter, then contention-free propagation.
+    term.release = term.arrival +
+                   static_cast<double>(l + 1) * static_cast<double>(d) * t_c +
+                   static_cast<double>(L - l - 1) * t_c;
+    max_release = std::max(max_release, term.release);
+    res.subsets.push_back(term);
+  }
+  res.sync_delay = max_release - res.last_arrival;
+  return res;
+}
+
+DegreeEstimate estimate_optimal_degree_general(std::size_t p, double sigma,
+                                               double t_c,
+                                               std::vector<std::size_t> candidates) {
+  if (p < 2) throw std::invalid_argument("estimate_optimal_degree_general: p < 2");
+  if (candidates.empty()) {
+    for (std::size_t d = 2; d < p; d *= 2) candidates.push_back(d);
+    candidates.push_back(p);
+  }
+  DegreeEstimate best;
+  for (std::size_t d : candidates) {
+    if (d < 2 || d > p) continue;
+    const auto r = analytic_sync_delay_general({p, d, sigma, t_c});
+    // Ties break toward the larger degree (shallower tree).
+    if (best.degree == 0 || r.sync_delay <= best.predicted_delay) {
+      best.degree = d;
+      best.predicted_delay = r.sync_delay;
+    }
+  }
+  return best;
+}
+
+DegreeEstimate estimate_optimal_degree(std::size_t p, double sigma, double t_c) {
+  const auto degrees = full_tree_degrees(p);
+  if (degrees.empty())
+    throw std::invalid_argument("estimate_optimal_degree: p has no full-tree degree");
+  DegreeEstimate best;
+  for (std::size_t d : degrees) {
+    const auto r = analytic_sync_delay({p, d, sigma, t_c});
+    // Ties (e.g. L*d*t_c coinciding at sigma = 0) break toward the
+    // larger degree, matching the simulation sweep's convention.
+    if (best.degree == 0 || r.sync_delay <= best.predicted_delay) {
+      best.degree = d;
+      best.predicted_delay = r.sync_delay;
+    }
+  }
+  return best;
+}
+
+}  // namespace imbar

@@ -1,0 +1,80 @@
+// The paper's analytic synchronization-delay model (Section 3).
+//
+// Given p processors whose arrival times at the barrier are N(mu,
+// sigma^2) and a degree-d combining tree with L full levels, Algorithm 1
+// approximates the synchronization delay (release time minus last
+// arrival) as follows:
+//
+//  * Partition the p-1 earlier processors into subsets S_0..S_{L-1},
+//    where S_l holds the (d-1) d^l processors in the depth-l subtrees
+//    hanging off the last processor's path to the root.
+//  * Eq. 2: the fraction arriving before S_l is 1 - d^(l+1)/p.
+//  * Eq. 4: subset arrival time T_arr(S_l) = sigma * Phi^-1(P_before).
+//  * Eq. 5: last arrival  T_arr(last) = sigma * E[max of p N(0,1)].
+//  * Eq. 6: subset release T_rel(S_l) = T_arr(S_l) + l*d*t_c + (L-l)*t_c
+//    (internal zero-imbalance contention per Eq. 1, then propagation).
+//  * Eq. 7: last release   T_rel(last) = T_arr(last) + L*t_c.
+//  * Eq. 8: T_sync = max(all releases) - T_arr(last).
+//
+// Edge case (paper footnote): P_before(S_{L-1}) would be 0 and
+// Phi^-1(0) = -inf; substitute P_before(S_{L-2})/2 (or 1/(2p) if L == 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace imbar {
+
+struct AnalyticParams {
+  std::size_t procs = 0;   // p (must admit a full degree-d tree)
+  std::size_t degree = 0;  // d
+  double sigma = 0.0;      // arrival stddev, same unit as t_c
+  double t_c = 20.0;       // counter update time (us by convention)
+};
+
+/// Per-subset intermediate values, exposed for tests and for the model
+/// explainability bench.
+struct SubsetTerm {
+  std::size_t level = 0;     // l
+  std::size_t size = 0;      // (d-1) d^l
+  double p_before = 0.0;     // Eq. 2
+  double arrival = 0.0;      // Eq. 4
+  double release = 0.0;      // Eq. 6
+};
+
+struct AnalyticResult {
+  double sync_delay = 0.0;       // Eq. 8
+  double last_arrival = 0.0;     // Eq. 5 (relative to mean)
+  double last_release = 0.0;     // Eq. 7
+  std::vector<SubsetTerm> subsets;
+};
+
+/// Run Algorithm 1. Throws std::invalid_argument unless the tree is
+/// full (d^L == p) — the model is defined only for full trees.
+[[nodiscard]] AnalyticResult analytic_sync_delay(const AnalyticParams& params);
+
+/// Estimate of the optimal degree: argmin of analytic_sync_delay over
+/// the full-tree-feasible degrees of p. Returns the degree and its
+/// predicted delay.
+struct DegreeEstimate {
+  std::size_t degree = 0;
+  double predicted_delay = 0.0;
+};
+[[nodiscard]] DegreeEstimate estimate_optimal_degree(std::size_t p, double sigma,
+                                                     double t_c);
+
+/// Generalization of Algorithm 1 to arbitrary p (non-full trees), used
+/// by the runtime degree chooser: L = ceil(log_d p); subset sizes follow
+/// the same geometric progression capped at p; P_before values that
+/// collapse to <= 0 fall back to half the previous level's (the paper's
+/// own edge rule). For full trees this coincides with
+/// analytic_sync_delay.
+[[nodiscard]] AnalyticResult analytic_sync_delay_general(const AnalyticParams& params);
+
+/// Degree estimate over arbitrary candidate degrees (default:
+/// powers of two up to p, plus p itself), using the generalized model.
+[[nodiscard]] DegreeEstimate estimate_optimal_degree_general(
+    std::size_t p, double sigma, double t_c,
+    std::vector<std::size_t> candidates = {});
+
+}  // namespace imbar

@@ -1,0 +1,47 @@
+#include "model/degree.hpp"
+
+#include <stdexcept>
+
+namespace imbar {
+
+std::size_t tree_levels(std::size_t p, std::size_t d) {
+  if (p < 1) throw std::invalid_argument("tree_levels: p < 1");
+  if (d < 2) throw std::invalid_argument("tree_levels: d < 2");
+  std::size_t levels = 0;
+  std::size_t remaining = p;
+  while (remaining > 1) {
+    remaining = (remaining + d - 1) / d;
+    ++levels;
+  }
+  return levels == 0 ? 1 : levels;
+}
+
+bool is_full_tree(std::size_t p, std::size_t d) {
+  if (p < 1 || d < 2) return false;
+  std::size_t power = 1;
+  while (power < p) {
+    if (power > p / d) return false;  // overflow-safe power *= d check
+    power *= d;
+  }
+  return power == p;
+}
+
+std::vector<std::size_t> full_tree_degrees(std::size_t p) {
+  std::vector<std::size_t> out;
+  for (std::size_t d = 2; d <= p; ++d)
+    if (is_full_tree(p, d)) out.push_back(d);
+  return out;
+}
+
+std::vector<std::size_t> sweep_degrees(std::size_t p) {
+  std::vector<std::size_t> out;
+  for (std::size_t d = 2; d < p; d *= 2) out.push_back(d);
+  if (p >= 2) out.push_back(p);
+  return out;
+}
+
+double eq1_sync_delay(std::size_t p, std::size_t d, double t_c) {
+  return static_cast<double>(tree_levels(p, d)) * static_cast<double>(d) * t_c;
+}
+
+}  // namespace imbar

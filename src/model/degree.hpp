@@ -1,0 +1,32 @@
+// Combining-tree degree arithmetic and feasibility enumeration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace imbar {
+
+/// Number of levels of a degree-d combining tree over p processors:
+/// ceil(log_d p), computed in exact integer arithmetic. d == p gives 1
+/// (a single central counter). Requires p >= 1, d >= 2.
+[[nodiscard]] std::size_t tree_levels(std::size_t p, std::size_t d);
+
+/// True iff a degree-d tree over p processors has only full levels,
+/// i.e. d^L == p exactly for some integer L >= 1.
+[[nodiscard]] bool is_full_tree(std::size_t p, std::size_t d);
+
+/// All degrees d in [2, p] such that d^L == p exactly (full trees).
+/// This is the feasible set of the paper's analytic model — e.g. for
+/// p = 4096: {2, 4, 8, 16, 64, 4096} (note: 32 is infeasible, which is
+/// why Figure 2 has no analytic bar for degree 32).
+[[nodiscard]] std::vector<std::size_t> full_tree_degrees(std::size_t p);
+
+/// Power-of-two degree sweep {2, 4, ..., <= p} plus p itself (central
+/// counter), the grid used by the exhaustive simulations.
+[[nodiscard]] std::vector<std::size_t> sweep_degrees(std::size_t p);
+
+/// Closed-form zero-imbalance synchronization delay (paper Eq. 1):
+/// T = L * d * t_c with L = log_d p; minimized near d = e.
+[[nodiscard]] double eq1_sync_delay(std::size_t p, std::size_t d, double t_c);
+
+}  // namespace imbar

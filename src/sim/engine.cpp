@@ -1,0 +1,45 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace imbar::sim {
+
+void Engine::schedule(Time t, Action action) {
+  if (t < now_)
+    throw std::logic_error("sim::Engine: scheduling into the past");
+  heap_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+Time Engine::run() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the Event must be moved out before
+    // pop so the action survives, hence the const_cast idiom.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.t;
+    ++dispatched_;
+    ev.action();
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time t_stop) {
+  while (!heap_.empty() && heap_.top().t <= t_stop) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.t;
+    ++dispatched_;
+    ev.action();
+  }
+  if (now_ < t_stop) now_ = t_stop;
+  return now_;
+}
+
+void Engine::reset() {
+  while (!heap_.empty()) heap_.pop();
+  now_ = 0.0;
+  next_seq_ = 0;
+}
+
+}  // namespace imbar::sim

@@ -1,0 +1,39 @@
+#include "sim/resource.hpp"
+
+#include <utility>
+
+namespace imbar::sim {
+
+void SerialResource::request(Time service_time, Completion on_done) {
+  queue_.push_back(Pending{eng_->now(), service_time, std::move(on_done)});
+  if (!busy_) start_next();
+}
+
+void SerialResource::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+
+  std::size_t pick = 0;
+  if (order_ == ServiceOrder::kRandom && queue_.size() > 1 && rng_ != nullptr) {
+    pick = static_cast<std::size_t>(rng_->below(queue_.size()));
+  }
+  Pending p = std::move(queue_[pick]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+
+  const Time start = eng_->now();
+  const Time service = scaler_ ? scaler_(p.service, queue_.size()) : p.service;
+  const Time done = start + service;
+  total_wait_ += start - p.arrival;
+  total_busy_ += service;
+  ++served_;
+
+  eng_->schedule(done, [this, start, done, cb = std::move(p.on_done)]() {
+    if (cb) cb(start, done);
+    start_next();
+  });
+}
+
+}  // namespace imbar::sim

@@ -1,0 +1,81 @@
+// Serially-served resources: the contention model.
+//
+// A barrier counter protected by a lock serves one update at a time;
+// everything the paper calls "contention delay" is queueing at these
+// resources. Service order is FIFO by default; RANDOM order exists for
+// the contention-model ablation (a test-and-set lock grants in
+// arbitrary order, an MCS lock in FIFO order).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::sim {
+
+enum class ServiceOrder : std::uint8_t {
+  kFifo,    // queue lock (MCS): grants in arrival order
+  kRandom,  // test-and-set lock: grants in arbitrary order
+};
+
+/// One-at-a-time server. Each request occupies the resource for
+/// `service_time`; on completion the callback fires with (start, done)
+/// times so callers can split waiting (contention) from service (update).
+class SerialResource {
+ public:
+  using Completion = std::function<void(Time start, Time done)>;
+  /// Optional service-time inflation evaluated when service *starts*:
+  /// receives the request's base service time and the number of
+  /// requests still queued behind it. Models hot-spot congestion
+  /// (Pfister & Norton): spinning waiters slow the holder down.
+  using ServiceScaler = std::function<Time(Time base, std::size_t queued)>;
+
+  SerialResource(Engine& eng, ServiceOrder order = ServiceOrder::kFifo,
+                 Xoshiro256* rng = nullptr) noexcept
+      : eng_(&eng), order_(order), rng_(rng) {}
+
+  /// Install (or clear) a hot-spot service scaler.
+  void set_service_scaler(ServiceScaler scaler) {
+    scaler_ = std::move(scaler);
+  }
+
+  /// Request service at the current simulated time.
+  void request(Time service_time, Completion on_done);
+
+  /// Requests currently waiting (not in service).
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+
+  /// Lifetime statistics.
+  [[nodiscard]] std::uint64_t requests_served() const noexcept { return served_; }
+  [[nodiscard]] Time total_wait() const noexcept { return total_wait_; }
+  [[nodiscard]] Time total_busy() const noexcept { return total_busy_; }
+
+  void reset_stats() noexcept {
+    served_ = 0;
+    total_wait_ = total_busy_ = 0.0;
+  }
+
+ private:
+  struct Pending {
+    Time arrival;
+    Time service;
+    Completion on_done;
+  };
+
+  void start_next();
+
+  Engine* eng_;
+  ServiceOrder order_;
+  Xoshiro256* rng_;
+  ServiceScaler scaler_;
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  std::uint64_t served_ = 0;
+  Time total_wait_ = 0.0;
+  Time total_busy_ = 0.0;
+};
+
+}  // namespace imbar::sim

@@ -1,0 +1,91 @@
+#include "simbarrier/episode.hpp"
+
+#include <stdexcept>
+
+#include "workload/fuzzy.hpp"
+
+namespace imbar::simb {
+
+EpisodeMetrics run_episode(TreeBarrierSim& sim, ArrivalGenerator& gen,
+                           const EpisodeOptions& opts) {
+  if (gen.procs() != sim.topology().procs())
+    throw std::invalid_argument("run_episode: generator/topology size mismatch");
+  if (opts.warmup >= opts.iterations)
+    throw std::invalid_argument("run_episode: warmup >= iterations");
+
+  FuzzyTimeline timeline(gen.procs(), opts.slack);
+  std::vector<double> work(gen.procs());
+
+  EpisodeMetrics m;
+  const std::size_t measured = opts.iterations - opts.warmup;
+  m.sync_delays.reserve(measured);
+  m.last_depths.reserve(measured);
+
+  double sum_delay = 0.0, sum_depth = 0.0, sum_wait = 0.0;
+  std::uint64_t comms0 = 0, swaps0 = 0;
+
+  for (std::size_t i = 0; i < opts.iterations; ++i) {
+    if (i == opts.warmup) {
+      // Snapshot lifetime counters (before this iteration runs) so the
+      // per-iteration comm averages cover exactly the measured window.
+      comms0 = sim.total_comms();
+      swaps0 = sim.total_swaps();
+    }
+    gen.generate(i, work);
+    const auto signals = timeline.signals(work);
+    const IterationResult r = sim.run_iteration(signals);
+    timeline.advance(r.release);
+
+    if (i >= opts.warmup) {
+      sum_delay += r.sync_delay;
+      sum_depth += r.last_proc_depth;
+      sum_wait += r.last_proc_wait;
+      m.sync_delays.push_back(r.sync_delay);
+      m.last_depths.push_back(static_cast<double>(r.last_proc_depth));
+    }
+  }
+
+  m.measured_iterations = measured;
+  const auto n = static_cast<double>(measured);
+  m.mean_sync_delay = sum_delay / n;
+  m.mean_last_depth = sum_depth / n;
+  m.mean_last_wait = sum_wait / n;
+  m.mean_comms_per_iter =
+      static_cast<double>(sim.total_comms() - comms0) / n;
+  m.mean_swaps_per_iter =
+      static_cast<double>(sim.total_swaps() - swaps0) / n;
+  return m;
+}
+
+PlacementComparison compare_placement(const Topology& topo, SimOptions sim_opts,
+                                      ArrivalGenerator& gen,
+                                      const EpisodeOptions& opts) {
+  RecordedGenerator recording = record(gen, opts.iterations);
+
+  PlacementComparison cmp;
+  {
+    SimOptions o = sim_opts;
+    o.placement = Placement::kStatic;
+    TreeBarrierSim sim(topo, o);
+    RecordedGenerator replay = recording;
+    cmp.static_run = run_episode(sim, replay, opts);
+  }
+  {
+    SimOptions o = sim_opts;
+    o.placement = Placement::kDynamic;
+    TreeBarrierSim sim(topo, o);
+    RecordedGenerator replay = recording;
+    cmp.dynamic_run = run_episode(sim, replay, opts);
+  }
+  cmp.sync_speedup = cmp.dynamic_run.mean_sync_delay > 0.0
+                         ? cmp.static_run.mean_sync_delay /
+                               cmp.dynamic_run.mean_sync_delay
+                         : 0.0;
+  cmp.comm_overhead = cmp.static_run.mean_comms_per_iter > 0.0
+                          ? cmp.dynamic_run.mean_comms_per_iter /
+                                cmp.static_run.mean_comms_per_iter
+                          : 0.0;
+  return cmp;
+}
+
+}  // namespace imbar::simb

@@ -1,0 +1,55 @@
+// Multi-iteration barrier episodes with fuzzy-barrier slack.
+//
+// Drives a TreeBarrierSim through a closed loop: workload -> signals ->
+// barrier -> release -> next-iteration start times (FuzzyTimeline).
+// This is the harness behind the dynamic-placement experiments
+// (Figures 8, 10, 11, 13): run the *same recorded workload* under static
+// and dynamic placement and compare.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simbarrier/tree_sim.hpp"
+#include "workload/arrival.hpp"
+
+namespace imbar::simb {
+
+struct EpisodeOptions {
+  std::size_t iterations = 200;  // paper Section 7 uses 200 relaxations
+  std::size_t warmup = 20;       // iterations excluded from the averages
+  double slack = 0.0;            // fuzzy-barrier slack S
+};
+
+struct EpisodeMetrics {
+  double mean_sync_delay = 0.0;
+  double mean_last_depth = 0.0;
+  double mean_comms_per_iter = 0.0;   // updates + victim extras
+  double mean_swaps_per_iter = 0.0;
+  double mean_last_wait = 0.0;        // contention on last proc's path
+  std::size_t measured_iterations = 0;
+  std::vector<double> sync_delays;    // post-warmup series
+  std::vector<double> last_depths;    // post-warmup series
+};
+
+/// Run `opts.iterations` barrier episodes; statistics cover iterations
+/// past the warmup. The generator is consumed from iteration 0.
+EpisodeMetrics run_episode(TreeBarrierSim& sim, ArrivalGenerator& gen,
+                           const EpisodeOptions& opts);
+
+/// Static-vs-dynamic comparison on an identical recorded workload.
+struct PlacementComparison {
+  EpisodeMetrics static_run;
+  EpisodeMetrics dynamic_run;
+  double sync_speedup = 0.0;    // static delay / dynamic delay
+  double comm_overhead = 0.0;   // dynamic comms / static comms
+};
+
+/// Records `opts.iterations` rows from `gen`, then replays them through
+/// a static and a dynamic TreeBarrierSim built from `topo`/`sim_opts`
+/// (the placement field of sim_opts is overridden per run).
+PlacementComparison compare_placement(const Topology& topo, SimOptions sim_opts,
+                                      ArrivalGenerator& gen,
+                                      const EpisodeOptions& opts);
+
+}  // namespace imbar::simb

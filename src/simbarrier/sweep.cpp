@@ -1,0 +1,125 @@
+#include "simbarrier/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dist/samplers.hpp"
+#include "model/degree.hpp"
+#include "stats/summary.hpp"
+
+namespace imbar::simb {
+
+std::vector<std::vector<double>> draw_arrival_sets(std::size_t procs, double sigma,
+                                                   std::size_t trials,
+                                                   std::uint64_t seed) {
+  std::vector<std::vector<double>> sets(trials, std::vector<double>(procs, 0.0));
+  if (sigma <= 0.0) return sets;  // simultaneous arrivals
+
+  Xoshiro256 rng(seed);
+  NormalSampler normal(0.0, sigma);
+  for (auto& set : sets) {
+    double lo = 0.0;
+    for (std::size_t p = 0; p < procs; ++p) {
+      set[p] = normal.sample(rng);
+      lo = std::min(lo, set[p]);
+    }
+    for (auto& a : set) a -= lo;  // engine time starts at 0
+  }
+  return sets;
+}
+
+std::vector<std::vector<double>> draw_arrival_sets_from(std::size_t procs,
+                                                        Sampler& sampler,
+                                                        std::size_t trials,
+                                                        std::uint64_t seed) {
+  std::vector<std::vector<double>> sets(trials, std::vector<double>(procs, 0.0));
+  Xoshiro256 rng(seed);
+  for (auto& set : sets) {
+    double lo = 1e300;
+    for (std::size_t p = 0; p < procs; ++p) {
+      set[p] = sampler.sample(rng);
+      lo = std::min(lo, set[p]);
+    }
+    for (auto& a : set) a -= lo;
+  }
+  return sets;
+}
+
+DelayStats simulate_delay(std::size_t procs, std::size_t degree,
+                          const SweepOptions& opts,
+                          const std::vector<std::vector<double>>& arrivals) {
+  if (arrivals.empty()) throw std::invalid_argument("simulate_delay: no trials");
+
+  Topology topo = opts.kind == TreeKind::kPlain ? Topology::plain(procs, degree)
+                                                : Topology::mcs(procs, degree);
+  SimOptions so;
+  so.t_c = opts.t_c;
+  so.placement = Placement::kStatic;
+  so.service_order = opts.service_order;
+  so.hotspot_coefficient = opts.hotspot_coefficient;
+  so.rng_seed = opts.seed ^ 0x5b1ce0f3u;
+  const int levels = topo.max_depth();
+  TreeBarrierSim sim(std::move(topo), so);
+
+  RunningStats delay, depth;
+  for (const auto& set : arrivals) {
+    sim.reset();
+    const IterationResult r = sim.run_iteration(set);
+    delay.add(r.sync_delay);
+    depth.add(static_cast<double>(r.last_proc_depth));
+  }
+
+  DelayStats s;
+  s.mean_delay = delay.mean();
+  // Figure 2's decomposition: the update component is the release
+  // path's length (tree depth) times t_c; everything above it is
+  // contention. Using the structural depth keeps the split well defined
+  // under simultaneous arrivals, where "the last processor" is a tie.
+  s.mean_update = static_cast<double>(levels) * opts.t_c;
+  s.mean_contention = s.mean_delay - s.mean_update;
+  s.mean_last_depth = depth.mean();
+  s.stddev_delay = delay.stddev();
+  return s;
+}
+
+DelayStats simulate_delay(std::size_t procs, std::size_t degree,
+                          const SweepOptions& opts) {
+  const auto arrivals =
+      draw_arrival_sets(procs, opts.sigma, opts.trials, opts.seed);
+  return simulate_delay(procs, degree, opts, arrivals);
+}
+
+OptimalDegreeResult find_optimal_degree(std::size_t procs, const SweepOptions& opts,
+                                        std::vector<std::size_t> degrees) {
+  if (degrees.empty()) degrees = sweep_degrees(procs);
+  if (procs > 4 &&
+      std::find(degrees.begin(), degrees.end(), std::size_t{4}) == degrees.end())
+    degrees.insert(degrees.begin(), 4);
+  std::sort(degrees.begin(), degrees.end());
+  degrees.erase(std::unique(degrees.begin(), degrees.end()), degrees.end());
+
+  const auto arrivals =
+      draw_arrival_sets(procs, opts.sigma, opts.trials, opts.seed);
+
+  OptimalDegreeResult res;
+  res.degrees = degrees;
+  res.stats.reserve(degrees.size());
+  for (std::size_t d : degrees) {
+    const DelayStats s = simulate_delay(procs, d, opts, arrivals);
+    res.stats.push_back(s);
+    // Ties (exact at sigma = 0, where delay = L*d*t_c can coincide for
+    // several degrees) break toward the larger degree: the shallower
+    // tree is preferable the moment any imbalance appears.
+    if (res.best_degree == 0 || s.mean_delay <= res.best_delay) {
+      res.best_degree = d;
+      res.best_delay = s.mean_delay;
+    }
+    if (d == 4) res.delay_at_4 = s.mean_delay;
+  }
+  if (res.delay_at_4 == 0.0) res.delay_at_4 = res.best_delay;  // p <= 4
+  res.speedup_vs_4 = res.best_delay > 0.0 ? res.delay_at_4 / res.best_delay : 1.0;
+  return res;
+}
+
+}  // namespace imbar::simb

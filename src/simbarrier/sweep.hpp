@@ -1,0 +1,74 @@
+// Single-shot synchronization-delay measurements and degree sweeps.
+//
+// These drive the static-barrier experiments (Figures 2, 3, 4, 9 and
+// the Section 4 MCS-vs-plain comparison): draw one set of normally
+// distributed arrivals, simulate one barrier, record the delay; repeat
+// over trials. The same arrival sets are reused across all degrees so
+// degree comparisons are paired (variance-reduced).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/samplers.hpp"
+#include "sim/resource.hpp"
+#include "simbarrier/tree_sim.hpp"
+
+namespace imbar::simb {
+
+struct SweepOptions {
+  std::size_t trials = 40;
+  double sigma = 0.0;   // arrival-time stddev (same unit as t_c)
+  double t_c = 20.0;    // counter update time
+  TreeKind kind = TreeKind::kPlain;
+  sim::ServiceOrder service_order = sim::ServiceOrder::kFifo;
+  double hotspot_coefficient = 0.0;  // see SimOptions::hotspot_coefficient
+  std::uint64_t seed = 0x1CCB5EEDULL;
+};
+
+struct DelayStats {
+  double mean_delay = 0.0;       // mean sync delay over trials
+  double mean_update = 0.0;      // last-proc depth * t_c component
+  double mean_contention = 0.0;  // mean_delay - mean_update
+  double mean_last_depth = 0.0;
+  double stddev_delay = 0.0;
+};
+
+/// Draw `trials` independent arrival sets of p processors ~ N(0, sigma),
+/// each shifted so its minimum is 0 (shifting does not change delays).
+[[nodiscard]] std::vector<std::vector<double>> draw_arrival_sets(
+    std::size_t procs, double sigma, std::size_t trials, std::uint64_t seed);
+
+/// Same, drawing from an arbitrary distribution shape (the paper
+/// assumes normal arrivals; this feeds the robustness ablation).
+[[nodiscard]] std::vector<std::vector<double>> draw_arrival_sets_from(
+    std::size_t procs, Sampler& sampler, std::size_t trials,
+    std::uint64_t seed);
+
+/// Mean single-barrier delay of a degree-`degree` tree over the given
+/// arrival sets.
+[[nodiscard]] DelayStats simulate_delay(std::size_t procs, std::size_t degree,
+                                        const SweepOptions& opts,
+                                        const std::vector<std::vector<double>>& arrivals);
+
+/// Convenience: draws arrivals internally from opts.seed.
+[[nodiscard]] DelayStats simulate_delay(std::size_t procs, std::size_t degree,
+                                        const SweepOptions& opts);
+
+struct OptimalDegreeResult {
+  std::size_t best_degree = 0;
+  double best_delay = 0.0;
+  double delay_at_4 = 0.0;   // baseline: the classical degree-4 tree
+  double speedup_vs_4 = 0.0; // delay_at_4 / best_delay
+  std::vector<std::size_t> degrees;  // swept degrees
+  std::vector<DelayStats> stats;     // aligned with degrees
+};
+
+/// Exhaustive simulation over `degrees` (default: sweep_degrees(p)),
+/// paired across degrees via shared arrival sets. Degree 4 is always
+/// included so the speedup-vs-4 baseline exists.
+[[nodiscard]] OptimalDegreeResult find_optimal_degree(
+    std::size_t procs, const SweepOptions& opts,
+    std::vector<std::size_t> degrees = {});
+
+}  // namespace imbar::simb

@@ -1,0 +1,219 @@
+#include "simbarrier/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imbar::simb {
+
+int Topology::new_node(int ring) {
+  nodes_.emplace_back();
+  nodes_.back().ring = ring;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Topology Topology::plain(std::size_t procs, std::size_t degree) {
+  if (procs < 1) throw std::invalid_argument("Topology::plain: procs < 1");
+  if (degree < 2) throw std::invalid_argument("Topology::plain: degree < 2");
+
+  Topology t;
+  t.kind_ = TreeKind::kPlain;
+  t.degree_ = degree;
+  t.initial_counter_.resize(procs);
+  t.proc_ring_.assign(procs, 0);
+
+  // Leaf level: ceil(p/d) counters, processors in contiguous chunks.
+  const std::size_t leaves = (procs + degree - 1) / degree;
+  std::vector<int> level_nodes;
+  level_nodes.reserve(leaves);
+  for (std::size_t l = 0; l < leaves; ++l) {
+    const int c = t.new_node(0);
+    const std::size_t lo = l * degree;
+    const std::size_t hi = std::min(procs, lo + degree);
+    t.nodes_[static_cast<std::size_t>(c)].fan_in = static_cast<int>(hi - lo);
+    for (std::size_t p = lo; p < hi; ++p) t.initial_counter_[p] = c;
+    level_nodes.push_back(c);
+  }
+
+  // Internal levels: group counters d at a time until one remains.
+  while (level_nodes.size() > 1) {
+    std::vector<int> next;
+    next.reserve((level_nodes.size() + degree - 1) / degree);
+    for (std::size_t i = 0; i < level_nodes.size(); i += degree) {
+      const int parent = t.new_node(0);
+      const std::size_t hi = std::min(level_nodes.size(), i + degree);
+      for (std::size_t j = i; j < hi; ++j) {
+        t.nodes_[static_cast<std::size_t>(level_nodes[j])].parent = parent;
+        t.nodes_[static_cast<std::size_t>(parent)].children.push_back(level_nodes[j]);
+      }
+      t.nodes_[static_cast<std::size_t>(parent)].fan_in = static_cast<int>(hi - i);
+      next.push_back(parent);
+    }
+    level_nodes = std::move(next);
+  }
+  t.root_ = level_nodes.front();
+  return t;
+}
+
+int Topology::build_mcs_subtree(std::size_t lo, std::size_t hi, int ring,
+                                std::size_t degree) {
+  const std::size_t n = hi - lo;
+  const int c = new_node(ring);
+  if (n <= degree + 1) {
+    // Leaf counter: all processors attach here.
+    nodes_[static_cast<std::size_t>(c)].fan_in = static_cast<int>(n);
+    for (std::size_t p = lo; p < hi; ++p) {
+      initial_counter_[p] = c;
+      proc_ring_[p] = ring;
+    }
+    return c;
+  }
+  // Internal counter: first processor attaches here, the rest split
+  // into `degree` nearly equal child groups.
+  initial_counter_[lo] = c;
+  proc_ring_[lo] = ring;
+  const std::size_t rest = n - 1;
+  std::size_t start = lo + 1;
+  int children = 0;
+  for (std::size_t g = 0; g < degree && start < hi; ++g) {
+    const std::size_t size = rest / degree + (g < rest % degree ? 1 : 0);
+    if (size == 0) continue;
+    const int child = build_mcs_subtree(start, start + size, ring, degree);
+    nodes_[static_cast<std::size_t>(child)].parent = c;
+    nodes_[static_cast<std::size_t>(c)].children.push_back(child);
+    start += size;
+    ++children;
+  }
+  nodes_[static_cast<std::size_t>(c)].fan_in = children + 1;
+  return c;
+}
+
+Topology Topology::mcs(std::size_t procs, std::size_t degree) {
+  if (procs < 1) throw std::invalid_argument("Topology::mcs: procs < 1");
+  if (degree < 2) throw std::invalid_argument("Topology::mcs: degree < 2");
+
+  Topology t;
+  t.kind_ = TreeKind::kMcs;
+  t.degree_ = degree;
+  t.initial_counter_.resize(procs);
+  t.proc_ring_.assign(procs, 0);
+  t.root_ = t.build_mcs_subtree(0, procs, 0, degree);
+  return t;
+}
+
+Topology Topology::mcs_rings(const std::vector<std::size_t>& ring_sizes,
+                             std::size_t degree) {
+  if (ring_sizes.empty())
+    throw std::invalid_argument("Topology::mcs_rings: no rings");
+  for (auto s : ring_sizes)
+    if (s < 1) throw std::invalid_argument("Topology::mcs_rings: empty ring");
+  if (ring_sizes.size() == 1) return mcs(ring_sizes[0], degree);
+  if (degree < 2) throw std::invalid_argument("Topology::mcs_rings: degree < 2");
+
+  std::size_t procs = 0;
+  for (auto s : ring_sizes) procs += s;
+  if (ring_sizes[0] < 2)
+    throw std::invalid_argument(
+        "Topology::mcs_rings: ring 0 needs >= 2 procs (one attaches to the root)");
+
+  Topology t;
+  t.kind_ = TreeKind::kMcs;
+  t.degree_ = degree;
+  t.initial_counter_.resize(procs);
+  t.proc_ring_.assign(procs, 0);
+
+  // Root counter carries ring 0's first processor (KSR1-style merge of
+  // per-ring subtrees by one additional level).
+  const int root = t.new_node(0);
+  t.initial_counter_[0] = root;
+  t.proc_ring_[0] = 0;
+
+  std::size_t start = 1;  // proc 0 is the root's attachment
+  int children = 0;
+  for (std::size_t r = 0; r < ring_sizes.size(); ++r) {
+    const std::size_t size = ring_sizes[r] - (r == 0 ? 1 : 0);
+    const int sub =
+        t.build_mcs_subtree(start, start + size, static_cast<int>(r), degree);
+    t.nodes_[static_cast<std::size_t>(sub)].parent = root;
+    t.nodes_[static_cast<std::size_t>(root)].children.push_back(sub);
+    start += size;
+    ++children;
+  }
+  t.nodes_[static_cast<std::size_t>(root)].fan_in = children + 1;
+  t.root_ = root;
+  return t;
+}
+
+int Topology::depth_to_root(int c) const {
+  int depth = 0;
+  while (c != -1) {
+    ++depth;
+    c = nodes_.at(static_cast<std::size_t>(c)).parent;
+  }
+  return depth;
+}
+
+int Topology::max_depth() const {
+  int best = 0;
+  for (int c : initial_counter_) best = std::max(best, depth_to_root(c));
+  return best;
+}
+
+int Topology::attached_count(int c) const {
+  const auto& n = nodes_.at(static_cast<std::size_t>(c));
+  return n.fan_in - static_cast<int>(n.children.size());
+}
+
+void Topology::validate() const {
+  if (root_ < 0 || static_cast<std::size_t>(root_) >= nodes_.size())
+    throw std::logic_error("Topology: bad root");
+  if (nodes_[static_cast<std::size_t>(root_)].parent != -1)
+    throw std::logic_error("Topology: root has a parent");
+
+  // Exactly one root; children/parent pointers agree.
+  std::size_t roots = 0;
+  for (std::size_t c = 0; c < nodes_.size(); ++c) {
+    const auto& n = nodes_[c];
+    if (n.parent == -1) {
+      ++roots;
+    } else {
+      const auto& par = nodes_.at(static_cast<std::size_t>(n.parent));
+      if (std::find(par.children.begin(), par.children.end(),
+                    static_cast<int>(c)) == par.children.end())
+        throw std::logic_error("Topology: parent/child mismatch");
+    }
+    if (n.fan_in < 1) throw std::logic_error("Topology: counter with fan_in < 1");
+    if (attached_count(static_cast<int>(c)) < 0)
+      throw std::logic_error("Topology: fan_in below child count");
+  }
+  if (roots != 1) throw std::logic_error("Topology: not exactly one root");
+
+  // Every processor is placed on an existing counter, and per-counter
+  // attachment totals match fan-ins.
+  std::vector<int> attached(nodes_.size(), 0);
+  for (std::size_t p = 0; p < initial_counter_.size(); ++p) {
+    const int c = initial_counter_[p];
+    if (c < 0 || static_cast<std::size_t>(c) >= nodes_.size())
+      throw std::logic_error("Topology: processor on nonexistent counter");
+    ++attached[static_cast<std::size_t>(c)];
+  }
+  for (std::size_t c = 0; c < nodes_.size(); ++c) {
+    if (attached[c] != attached_count(static_cast<int>(c)))
+      throw std::logic_error("Topology: attachment count != fan_in - children");
+    if (kind_ == TreeKind::kMcs && attached[c] < 1)
+      throw std::logic_error("Topology: MCS counter without attached processor");
+    if (kind_ == TreeKind::kPlain && !nodes_[c].children.empty() && attached[c] != 0)
+      throw std::logic_error("Topology: plain internal counter has attachments");
+  }
+
+  // Acyclicity: depth_to_root terminates within counters() steps.
+  for (std::size_t c = 0; c < nodes_.size(); ++c) {
+    int cur = static_cast<int>(c), steps = 0;
+    while (cur != -1) {
+      cur = nodes_[static_cast<std::size_t>(cur)].parent;
+      if (++steps > static_cast<int>(nodes_.size()))
+        throw std::logic_error("Topology: cycle in parent chain");
+    }
+  }
+}
+
+}  // namespace imbar::simb

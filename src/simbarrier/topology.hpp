@@ -1,0 +1,97 @@
+// Combining-tree topologies for the simulated barriers.
+//
+// Two structural kinds (paper Sections 1 and 5):
+//  * kPlain — the Yew/Tzeng/Lawrie software combining tree: processors
+//    attach only to leaf counters (d per leaf); internal counters are
+//    fed purely by child carries. A degree >= p tree degenerates to the
+//    single central counter.
+//  * kMcs  — the Mellor-Crummey & Scott variant: every counter has at
+//    least one statically attached processor; leaf counters hold up to
+//    d+1 processors. This is the structure the dynamic-placement
+//    barrier modifies.
+//
+// Topologies can be partitioned into locality *rings* (KSR1: rings of
+// 32 processors); dynamic placement never swaps across ring boundaries
+// (paper footnote 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace imbar::simb {
+
+enum class TreeKind { kPlain, kMcs };
+
+struct CounterNode {
+  int parent = -1;            // -1 for the root
+  std::vector<int> children;  // child counter ids
+  int ring = 0;               // locality group
+  int fan_in = 0;             // updates required to fill: children + attached
+};
+
+class Topology {
+ public:
+  /// Plain combining tree: ceil(p/d) leaves with d processors each.
+  static Topology plain(std::size_t procs, std::size_t degree);
+
+  /// Central counter == plain tree of degree p.
+  static Topology central(std::size_t procs) { return plain(procs, procs); }
+
+  /// MCS-variant tree: one processor attached per internal counter,
+  /// up to degree+1 per leaf.
+  static Topology mcs(std::size_t procs, std::size_t degree);
+
+  /// MCS-variant tree over locality rings: one subtree per ring, merged
+  /// under a single root counter (which carries ring 0's first
+  /// processor, mirroring the paper's KSR1 setup of 32+24 processors).
+  static Topology mcs_rings(const std::vector<std::size_t>& ring_sizes,
+                            std::size_t degree);
+
+  [[nodiscard]] TreeKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t degree() const noexcept { return degree_; }
+  [[nodiscard]] std::size_t procs() const noexcept { return initial_counter_.size(); }
+  [[nodiscard]] std::size_t counters() const noexcept { return nodes_.size(); }
+  [[nodiscard]] int root() const noexcept { return root_; }
+  [[nodiscard]] const CounterNode& node(int c) const { return nodes_.at(static_cast<std::size_t>(c)); }
+
+  /// Counter each processor initially updates first.
+  [[nodiscard]] const std::vector<int>& initial_counter() const noexcept {
+    return initial_counter_;
+  }
+  /// Ring of each processor.
+  [[nodiscard]] const std::vector<int>& proc_ring() const noexcept {
+    return proc_ring_;
+  }
+
+  /// Number of counters on the path from c to the root, inclusive —
+  /// the "depth seen by" a processor whose first counter is c.
+  [[nodiscard]] int depth_to_root(int c) const;
+
+  /// Longest depth_to_root over all initial placements (the tree depth
+  /// reported in Figure 2's update-delay component).
+  [[nodiscard]] int max_depth() const;
+
+  /// Initial attached-processor count of counter c (fan_in minus child
+  /// carries) — constant under dynamic placement swaps.
+  [[nodiscard]] int attached_count(int c) const;
+
+  /// Throws std::logic_error if structural invariants are violated
+  /// (every proc placed, fan-ins consistent, tree acyclic, one root).
+  void validate() const;
+
+ private:
+  Topology() = default;
+
+  int new_node(int ring);
+  int build_mcs_subtree(std::size_t lo, std::size_t hi, int ring,
+                        std::size_t degree);
+
+  TreeKind kind_ = TreeKind::kPlain;
+  std::size_t degree_ = 0;
+  std::vector<CounterNode> nodes_;
+  std::vector<int> initial_counter_;  // per processor
+  std::vector<int> proc_ring_;        // per processor
+  int root_ = -1;
+};
+
+}  // namespace imbar::simb

@@ -1,0 +1,207 @@
+#include "simbarrier/tree_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imbar::simb {
+
+TreeBarrierSim::TreeBarrierSim(Topology topology, SimOptions opts)
+    : topo_(std::move(topology)), opts_(opts), rng_(opts.rng_seed) {
+  if (opts_.placement == Placement::kDynamic && topo_.kind() != TreeKind::kMcs)
+    throw std::invalid_argument(
+        "TreeBarrierSim: dynamic placement requires an MCS-variant tree "
+        "(every counter needs an attached processor to swap with)");
+  if (opts_.t_c <= 0.0)
+    throw std::invalid_argument("TreeBarrierSim: t_c must be positive");
+  if (opts_.cross_ring_factor < 1.0)
+    throw std::invalid_argument(
+        "TreeBarrierSim: cross_ring_factor must be >= 1");
+
+  if (opts_.hotspot_coefficient < 0.0)
+    throw std::invalid_argument(
+        "TreeBarrierSim: hotspot_coefficient must be >= 0");
+
+  const std::size_t nc = topo_.counters();
+  resources_.reserve(nc);  // never reallocated: resources self-schedule
+  for (std::size_t c = 0; c < nc; ++c) {
+    resources_.emplace_back(engine_, opts_.service_order, &rng_);
+    if (opts_.hotspot_coefficient > 0.0) {
+      const double h = opts_.hotspot_coefficient;
+      resources_.back().set_service_scaler(
+          [h](sim::Time base, std::size_t queued) {
+            return base * (1.0 + h * static_cast<double>(queued));
+          });
+    }
+  }
+
+  counter_of_proc_ = topo_.initial_counter();
+  attached_.assign(nc, {});
+  for (std::size_t p = 0; p < counter_of_proc_.size(); ++p)
+    attached_[static_cast<std::size_t>(counter_of_proc_[p])].push_back(
+        static_cast<int>(p));
+  victim_penalty_.assign(topo_.procs(), false);
+
+  counts_.assign(nc, 0);
+  filler_.assign(nc, -1);
+  updates_of_proc_.assign(topo_.procs(), 0);
+  wait_of_proc_.assign(topo_.procs(), 0.0);
+}
+
+void TreeBarrierSim::reset() {
+  engine_.reset();
+  counter_of_proc_ = topo_.initial_counter();
+  for (auto& a : attached_) a.clear();
+  for (std::size_t p = 0; p < counter_of_proc_.size(); ++p)
+    attached_[static_cast<std::size_t>(counter_of_proc_[p])].push_back(
+        static_cast<int>(p));
+  std::fill(victim_penalty_.begin(), victim_penalty_.end(), false);
+  total_updates_ = total_extras_ = total_swaps_ = 0;
+}
+
+void TreeBarrierSim::issue_update(int proc, int counter) {
+  const double requested = engine_.now();
+  double service = opts_.t_c;
+  if (opts_.cross_ring_factor != 1.0 &&
+      topo_.node(counter).ring != topo_.proc_ring()[static_cast<std::size_t>(proc)])
+    service *= opts_.cross_ring_factor;
+  resources_[static_cast<std::size_t>(counter)].request(
+      service, [this, proc, counter, requested](double start, double done) {
+        wait_of_proc_[static_cast<std::size_t>(proc)] += start - requested;
+        if (observer_) {
+          UpdateEvent ev;
+          ev.proc = proc;
+          ev.counter = counter;
+          ev.requested = requested;
+          ev.start = start;
+          ev.done = done;
+          ev.filled = counts_[static_cast<std::size_t>(counter)] + 1 ==
+                      topo_.node(counter).fan_in;
+          observer_(ev);
+        }
+        on_update_done(proc, counter, done);
+      });
+}
+
+void TreeBarrierSim::on_update_done(int proc, int counter, double done) {
+  ++updates_of_proc_[static_cast<std::size_t>(proc)];
+  ++iter_updates_;
+  const auto& node = topo_.node(counter);
+  if (++counts_[static_cast<std::size_t>(counter)] == node.fan_in) {
+    filler_[static_cast<std::size_t>(counter)] = proc;
+    if (node.parent != -1) {
+      issue_update(proc, node.parent);  // carry: engine.now() == done
+    } else {
+      release_ = done;
+      root_filled_ = true;
+    }
+  }
+}
+
+IterationResult TreeBarrierSim::run_iteration(std::span<const double> signals) {
+  if (signals.size() != topo_.procs())
+    throw std::invalid_argument("run_iteration: signal count != procs");
+
+  std::fill(counts_.begin(), counts_.end(), 0);
+  std::fill(filler_.begin(), filler_.end(), -1);
+  std::fill(updates_of_proc_.begin(), updates_of_proc_.end(), 0);
+  std::fill(wait_of_proc_.begin(), wait_of_proc_.end(), 0.0);
+  iter_updates_ = 0;
+  root_filled_ = false;
+
+  IterationResult res;
+  for (std::size_t p = 0; p < signals.size(); ++p) {
+    double arrival = signals[p];
+    if (arrival < engine_.now())
+      throw std::invalid_argument(
+          "run_iteration: arrival precedes previous release");
+    if (victim_penalty_[p]) {
+      // Swapped-out victim: one extra communication to read the
+      // Destination field of its old counter (paper Figure 6d).
+      arrival += opts_.t_c;
+      ++total_extras_;
+      ++res.extra_comms;
+      victim_penalty_[p] = false;
+    }
+    const int proc = static_cast<int>(p);
+    engine_.schedule(arrival,
+                     [this, proc] { issue_update(proc, counter_of_proc_[static_cast<std::size_t>(proc)]); });
+    if (signals[p] > res.last_arrival || res.last_proc < 0) {
+      res.last_arrival = signals[p];
+      res.last_proc = proc;
+    }
+  }
+
+  engine_.run();
+  if (!root_filled_)
+    throw std::logic_error("run_iteration: barrier did not release");
+
+  res.release = release_;
+  res.sync_delay = release_ - res.last_arrival;
+  res.last_proc_depth = updates_of_proc_[static_cast<std::size_t>(res.last_proc)];
+  res.last_proc_wait = wait_of_proc_[static_cast<std::size_t>(res.last_proc)];
+  res.updates = iter_updates_;
+  total_updates_ += iter_updates_;
+
+  if (opts_.placement == Placement::kDynamic) apply_dynamic_swaps(res);
+  return res;
+}
+
+void TreeBarrierSim::swap_into(int victor, int target, IterationResult& result) {
+  auto& target_att = attached_[static_cast<std::size_t>(target)];
+  // Swap targets are strict ancestors of the victor's position, hence
+  // internal MCS counters with exactly one attached processor.
+  const int victim = target_att.front();
+  const int old_counter = counter_of_proc_[static_cast<std::size_t>(victor)];
+
+  auto& old_att = attached_[static_cast<std::size_t>(old_counter)];
+  old_att.erase(std::find(old_att.begin(), old_att.end(), victor));
+  target_att.erase(std::find(target_att.begin(), target_att.end(), victim));
+
+  target_att.push_back(victor);
+  old_att.push_back(victim);
+  counter_of_proc_[static_cast<std::size_t>(victor)] = target;
+  counter_of_proc_[static_cast<std::size_t>(victim)] = old_counter;
+  victim_penalty_[static_cast<std::size_t>(victim)] = true;
+  ++result.swaps;
+  ++total_swaps_;
+}
+
+void TreeBarrierSim::apply_dynamic_swaps(IterationResult& result) {
+  // Victors: for each processor, the chain of counters it filled above
+  // its first counter (contiguous by construction: a processor only
+  // reaches counter c's parent by filling c).
+  for (std::size_t p = 0; p < counter_of_proc_.size(); ++p) {
+    const int proc = static_cast<int>(p);
+    const int first = counter_of_proc_[p];
+    const int ring = topo_.proc_ring()[p];
+
+    // Collect the filled chain strictly above `first`.
+    std::vector<int> chain;
+    int c = first;
+    while (c != -1 && filler_[static_cast<std::size_t>(c)] == proc) {
+      if (c != first) {
+        if (opts_.respect_rings && topo_.node(c).ring != ring)
+          break;  // locality: never migrate across ring boundaries
+        chain.push_back(c);
+      }
+      c = topo_.node(c).parent;
+    }
+    if (chain.empty()) continue;
+
+    switch (opts_.swap_policy) {
+      case SwapPolicy::kCascade:
+        // Climb one counter at a time, displacing each occupant to the
+        // victor's previous position.
+        for (int target : chain) swap_into(proc, target, result);
+        break;
+      case SwapPolicy::kSingleHighest:
+        swap_into(proc, chain.back(), result);
+        break;
+      case SwapPolicy::kOneLevel:
+        swap_into(proc, chain.front(), result);
+        break;
+    }
+  }
+}
+
+}  // namespace imbar::simb

@@ -1,0 +1,158 @@
+// Event-driven simulation of combining-tree barriers.
+//
+// Mechanics (paper Sections 1, 3, 5): each counter is a serially-served
+// resource; an update occupies it for t_c. The processor whose update
+// brings a counter to its fan-in ("the filler") carries on to the
+// parent; filling the root releases the barrier. Synchronization delay
+// = root-fill time - last arrival.
+//
+// With Placement::kDynamic the simulator also applies the paper's
+// dynamic-placement protocol after every iteration: the filler of a
+// chain of counters swaps with the processor attached to the highest
+// counter it filled (the victor/victim swap of Figures 6-7), subject to
+// ring-locality constraints. The victim pays one extra communication at
+// its next barrier to discover its new initial counter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "simbarrier/topology.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::simb {
+
+/// One completed counter update, as seen by a trace observer.
+struct UpdateEvent {
+  int proc = -1;
+  int counter = -1;
+  double requested = 0.0;  // when the processor asked for the counter
+  double start = 0.0;      // when service began (start - requested = wait)
+  double done = 0.0;       // start + service time
+  bool filled = false;     // this update brought the counter to fan_in
+};
+
+/// Called once per completed update, in completion order.
+using TraceObserver = std::function<void(const UpdateEvent&)>;
+
+enum class Placement { kStatic, kDynamic };
+
+/// How a victor repositions along the chain of counters it filled.
+///  * kCascade — swap at every fill: the victor climbs one counter at a
+///    time, displacing each counter's occupant to its previous position.
+///    This is what a lock-free concurrent implementation can do (the
+///    swap must be published before the parent update), and is the
+///    semantics of the threaded DynamicPlacementBarrier.
+///  * kSingleHighest — one end-of-round swap with the highest filled
+///    counter (the literal reading of the paper's Figure 6).
+///  * kOneLevel — at most one level of climb per iteration (ablation).
+enum class SwapPolicy { kCascade, kSingleHighest, kOneLevel };
+
+struct SimOptions {
+  double t_c = 20.0;                       // counter update time
+  Placement placement = Placement::kStatic;
+  sim::ServiceOrder service_order = sim::ServiceOrder::kFifo;
+  SwapPolicy swap_policy = SwapPolicy::kCascade;
+  bool respect_rings = true;               // forbid cross-ring swaps
+  // NUMA-style locality: an update on a counter in a different ring
+  // than the issuing processor costs t_c * cross_ring_factor (KSR1
+  // cross-ring accesses traverse the upper ring). 1.0 = uniform memory.
+  double cross_ring_factor = 1.0;
+  // Hot-spot congestion (Pfister & Norton): each update's service time
+  // is inflated to t_c * (1 + hotspot_coefficient * waiters_behind_it),
+  // modelling the traffic that spinning processors impose on the
+  // counter's memory module. 0 = the paper's plain serialization model.
+  double hotspot_coefficient = 0.0;
+  std::uint64_t rng_seed = 1;              // only used by kRandom service
+};
+
+struct IterationResult {
+  double release = 0.0;        // absolute time the root counter filled
+  double last_arrival = 0.0;   // max over signals
+  double sync_delay = 0.0;     // release - last_arrival
+  int last_proc = -1;          // argmax of signals
+  int last_proc_depth = 0;     // counters the last processor updated
+  double last_proc_wait = 0.0; // contention delay on its path
+  std::uint64_t updates = 0;   // counter updates this iteration
+  std::uint64_t extra_comms = 0;  // victim destination reads paid this iter
+  std::size_t swaps = 0;       // dynamic swaps applied after this iter
+};
+
+class TreeBarrierSim {
+ public:
+  TreeBarrierSim(Topology topology, SimOptions opts);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const SimOptions& options() const noexcept { return opts_; }
+
+  /// Simulate one barrier. `signals` are absolute arrival times, all
+  /// >= the previous iteration's release (a barrier cannot be re-entered
+  /// before it released). Throws std::invalid_argument on size mismatch.
+  IterationResult run_iteration(std::span<const double> signals);
+
+  /// Restore initial placement and rewind the simulated clock.
+  void reset();
+
+  /// Current first counter of every processor (changes under dynamic
+  /// placement).
+  [[nodiscard]] const std::vector<int>& placement() const noexcept {
+    return counter_of_proc_;
+  }
+
+  /// Per-processor update counts of the most recent iteration.
+  [[nodiscard]] const std::vector<int>& last_updates_per_proc() const noexcept {
+    return updates_of_proc_;
+  }
+
+  /// Install (or clear, with nullptr) a per-update trace observer.
+  /// Adds overhead; meant for tests and debugging dumps.
+  void set_trace_observer(TraceObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Lifetime communication totals (updates + victim extras).
+  [[nodiscard]] std::uint64_t total_comms() const noexcept {
+    return total_updates_ + total_extras_;
+  }
+  [[nodiscard]] std::uint64_t total_updates() const noexcept { return total_updates_; }
+  [[nodiscard]] std::uint64_t total_extras() const noexcept { return total_extras_; }
+  [[nodiscard]] std::uint64_t total_swaps() const noexcept { return total_swaps_; }
+
+ private:
+  void issue_update(int proc, int counter);
+  void on_update_done(int proc, int counter, double done);
+  void apply_dynamic_swaps(IterationResult& result);
+  void swap_into(int victor, int target, IterationResult& result);
+
+  Topology topo_;
+  SimOptions opts_;
+  sim::Engine engine_;
+  Xoshiro256 rng_;
+  TraceObserver observer_;
+  std::vector<sim::SerialResource> resources_;  // one per counter
+
+  // Placement state (mutated by dynamic swaps).
+  std::vector<int> counter_of_proc_;
+  std::vector<std::vector<int>> attached_;  // procs per counter
+  std::vector<bool> victim_penalty_;        // extra comm pending
+
+  // Per-iteration scratch.
+  std::vector<int> counts_;          // updates received per counter
+  std::vector<int> filler_;          // proc that filled each counter
+  std::vector<int> updates_of_proc_;
+  std::vector<double> wait_of_proc_;
+  double release_ = 0.0;
+  bool root_filled_ = false;
+
+  std::uint64_t iter_updates_ = 0;
+  std::uint64_t total_updates_ = 0;
+  std::uint64_t total_extras_ = 0;
+  std::uint64_t total_swaps_ = 0;
+};
+
+}  // namespace imbar::simb

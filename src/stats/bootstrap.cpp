@@ -1,0 +1,30 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/prng.hpp"
+
+namespace imbar {
+
+Interval bootstrap_mean_ci(std::span<const double> xs, double level,
+                           int resamples, std::uint64_t seed) {
+  if (xs.empty()) return {};
+  if (xs.size() == 1 || resamples <= 0) return {xs[0], xs[0]};
+
+  Xoshiro256 rng(seed);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  const auto n = xs.size();
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += xs[rng.below(n)];
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - level) / 2.0;
+  return {quantile_sorted(means, alpha), quantile_sorted(means, 1.0 - alpha)};
+}
+
+}  // namespace imbar

@@ -1,0 +1,23 @@
+// Bootstrap confidence intervals for bench summary lines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace imbar {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+  [[nodiscard]] bool contains(double x) const noexcept { return x >= lo && x <= hi; }
+};
+
+/// Percentile-bootstrap CI of the sample mean. `level` in (0,1), e.g.
+/// 0.95. Deterministic given `seed`. Degenerate samples return [x,x].
+[[nodiscard]] Interval bootstrap_mean_ci(std::span<const double> xs,
+                                         double level = 0.95,
+                                         int resamples = 1000,
+                                         std::uint64_t seed = 42);
+
+}  // namespace imbar

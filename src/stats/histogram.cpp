@@ -1,0 +1,61 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace imbar {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0)
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge guard
+  ++counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::fraction(std::size_t bin) const {
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  return in_range ? static_cast<double>(count(bin)) / static_cast<double>(in_range)
+                  : 0.0;
+}
+
+std::string Histogram::ascii(int max_bar) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  char buf[96];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const int bar = static_cast<int>(static_cast<double>(counts_[b]) /
+                                     static_cast<double>(peak) * max_bar);
+    std::snprintf(buf, sizeof(buf), "  [%10.3f, %10.3f) ", bin_lo(b), bin_hi(b));
+    out << buf << std::string(static_cast<std::size_t>(bar), '#') << ' '
+        << counts_[b] << '\n';
+  }
+  if (underflow_ || overflow_)
+    out << "  (underflow " << underflow_ << ", overflow " << overflow_ << ")\n";
+  return out.str();
+}
+
+}  // namespace imbar

@@ -1,0 +1,37 @@
+// Fixed-bin histogram with ASCII rendering.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace imbar {
+
+/// Equal-width histogram over [lo, hi); samples outside the range are
+/// counted in underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Fraction of in-range samples in `bin` (0 if histogram is empty).
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Render as rows of `lo..hi | #### count`.
+  [[nodiscard]] std::string ascii(int max_bar = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0, underflow_ = 0, overflow_ = 0;
+};
+
+}  // namespace imbar

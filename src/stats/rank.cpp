@@ -1,0 +1,69 @@
+#include "stats/rank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace imbar {
+
+std::vector<double> ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+  std::vector<double> r(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[idx[j + 1]] == xs[idx[i]]) ++j;
+    // Average rank for the tie group [i, j].
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[idx[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const auto rx = ranks(xs);
+  const auto ry = ranks(ys);
+  return pearson(rx, ry);
+}
+
+double rank_autocorrelation(const std::vector<std::vector<double>>& rows,
+                            std::size_t lag) {
+  if (rows.size() <= lag || lag == 0) return lag == 0 ? 1.0 : 0.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = 0; t + lag < rows.size(); ++t) {
+    sum += spearman(rows[t], rows[t + lag]);
+    ++count;
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace imbar

@@ -1,0 +1,27 @@
+// Rank statistics: used to quantify how *predictable* processor arrival
+// order is across barrier iterations (paper Section 5 / Figure 5: slow
+// processors stay slow for ~20 iterations under fuzzy-barrier slack).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace imbar {
+
+/// Fractional ranks (1-based, ties get the average rank).
+[[nodiscard]] std::vector<double> ranks(std::span<const double> xs);
+
+/// Spearman rank correlation coefficient of two equal-length samples.
+/// Returns 0 for degenerate inputs (n < 2 or zero variance).
+[[nodiscard]] double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation (helper; also used by spearman on ranks).
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Rank autocorrelation of a (iterations x processors) series:
+/// mean over t of spearman(row[t], row[t+lag]). `rows` is addressed as
+/// rows[t][p]. Returns 0 when fewer than lag+1 rows.
+[[nodiscard]] double rank_autocorrelation(
+    const std::vector<std::vector<double>>& rows, std::size_t lag);
+
+}  // namespace imbar

@@ -1,0 +1,53 @@
+// Descriptive statistics: streaming moments and batch quantiles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace imbar {
+
+/// Streaming mean/variance/min/max via Welford's algorithm, plus third
+/// and fourth central moments for skewness/kurtosis. Numerically stable
+/// for long runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void clear() noexcept { *this = RunningStats(); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Fisher skewness g1 = m3 / m2^(3/2); 0 for degenerate samples.
+  [[nodiscard]] double skewness() const noexcept;
+  /// Excess kurtosis g2 = m4/m2^2 - 3; 0 for degenerate samples.
+  [[nodiscard]] double excess_kurtosis() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0, m3_ = 0.0, m4_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Compute the q-quantile (0 <= q <= 1) of a sample with linear
+/// interpolation (type-7, the numpy/R default). Copies and sorts.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Quantile of an already ascending-sorted sample (no copy).
+[[nodiscard]] double quantile_sorted(std::span<const double> xs, double q);
+
+/// Convenience: mean of a sample (0 for empty).
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Convenience: sample standard deviation (n-1); 0 for n < 2.
+[[nodiscard]] double stddev_of(std::span<const double> xs) noexcept;
+
+}  // namespace imbar

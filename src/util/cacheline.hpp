@@ -1,0 +1,57 @@
+// Cache-line geometry and padded atomics.
+//
+// Software barriers live and die by false sharing: two counters that
+// share a cache line turn logically independent updates into ping-pong
+// traffic. Every shared mutable slot in imbar is padded to a full
+// destructive-interference span.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+
+namespace imbar {
+
+// Fixed at 64 (the x86-64/aarch64 line size) rather than
+// std::hardware_destructive_interference_size: the constant feeds ABI-
+// relevant layout and GCC warns that the library value may drift across
+// -mtune settings.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// A value padded out to occupy (at least) one full cache line.
+///
+/// Use for arrays of per-thread or per-counter state where neighbouring
+/// slots are written by different threads.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Round the footprint up to a multiple of the line size.
+  static constexpr std::size_t pad_bytes() {
+    return (sizeof(T) % kCacheLineSize == 0)
+               ? 0
+               : kCacheLineSize - sizeof(T) % kCacheLineSize;
+  }
+  [[maybe_unused]] std::byte pad_[pad_bytes() == 0 ? 1 : pad_bytes()]{};
+};
+
+/// Cache-line padded std::atomic, the building block of all shared
+/// barrier state.
+template <typename T>
+using PaddedAtomic = Padded<std::atomic<T>>;
+
+static_assert(sizeof(Padded<int>) >= kCacheLineSize);
+static_assert(alignof(Padded<int>) == kCacheLineSize);
+static_assert(sizeof(PaddedAtomic<unsigned>) >= kCacheLineSize);
+
+}  // namespace imbar

@@ -1,0 +1,71 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace imbar {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg.substr(2)] = "true";
+      } else {
+        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+long long Cli::get_int(const std::string& key, long long def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<long long> Cli::get_int_list(const std::string& key,
+                                         const std::vector<long long>& def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<long long> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ','))
+    if (!tok.empty()) out.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+  return out;
+}
+
+std::vector<double> Cli::get_double_list(const std::string& key,
+                                         const std::vector<double>& def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ','))
+    if (!tok.empty()) out.push_back(std::strtod(tok.c_str(), nullptr));
+  return out;
+}
+
+}  // namespace imbar

@@ -1,0 +1,43 @@
+// Tiny --key=value flag parser for the bench/example binaries.
+//
+// All binaries must run argument-free (the harness executes them in a
+// loop), so every flag carries a default; flags exist for interactive
+// exploration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace imbar {
+
+class Cli {
+ public:
+  /// Parses `--key=value` and bare `--flag` arguments. Unknown
+  /// positional arguments are collected separately.
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& def) const;
+  [[nodiscard]] long long get_int(const std::string& key, long long def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  /// Comma-separated list of integers, e.g. --degrees=2,4,8.
+  [[nodiscard]] std::vector<long long> get_int_list(
+      const std::string& key, const std::vector<long long>& def) const;
+  /// Comma-separated list of doubles.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& key, const std::vector<double>& def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace imbar

@@ -1,0 +1,48 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace imbar {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), cols_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(header);
+  rows_ = 0;  // header doesn't count
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != cols_)
+    throw std::runtime_error("CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    cells.emplace_back(buf);
+  }
+  write_row(cells);
+}
+
+}  // namespace imbar

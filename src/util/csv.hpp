@@ -1,0 +1,31 @@
+// Minimal CSV writer (for piping bench output into plotting tools).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace imbar {
+
+/// Streams rows to a .csv file. Values containing commas/quotes are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file can't be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row_numeric(const std::vector<double>& values, int precision = 6);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  std::size_t cols_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace imbar

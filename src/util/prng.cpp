@@ -1,0 +1,18 @@
+#include "util/prng.hpp"
+
+namespace imbar {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's multiply-shift with rejection of the biased low range.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(bound);
+    const auto low = static_cast<std::uint64_t>(m);
+    if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+}  // namespace imbar

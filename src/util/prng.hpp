@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulation results must be bit-reproducible across runs and platforms,
+// so imbar carries its own generators instead of relying on
+// implementation-defined std::default_random_engine behaviour:
+//   * SplitMix64 — seeding / stream splitting
+//   * Xoshiro256** — the workhorse uniform generator
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace imbar {
+
+/// SplitMix64 (Steele, Lea, Flood). Used to expand a single user seed
+/// into well-distributed state words and independent substreams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** (Blackman & Vigna): fast, 256-bit state, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Derive the i-th independent substream of a master seed.
+  /// Substreams get unrelated state via SplitMix64 re-keying.
+  static Xoshiro256 substream(std::uint64_t seed, std::uint64_t index) noexcept {
+    SplitMix64 sm(seed ^ (0xA3EC647659359ACDULL * (index + 1)));
+    Xoshiro256 g(sm.next());
+    return g;
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1) — never exactly 0, safe for log()/Phi^-1().
+  double uniform_open() noexcept {
+    return (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Unbiased via rejection (Lemire).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace imbar

@@ -1,0 +1,60 @@
+// Adaptive spin-wait for busy-wait loops.
+//
+// Barrier wait loops run on anything from a dedicated core to a heavily
+// oversubscribed host (this project's CI runs on a single core with up
+// to 8 worker threads). A naive `while (!flag) {}` live-locks the
+// sched-quantum away in that regime, so the policy here is: a short
+// burst of pause instructions, then escalate to std::this_thread::yield.
+#pragma once
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace imbar {
+
+/// Issue one CPU relax hint (PAUSE on x86, ISB-ish fallback elsewhere).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Portable fallback: a compiler barrier so the loop load is re-issued.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Escalating waiter: pause for the first `spin_limit` rounds, then
+/// yield the time slice on every round. Reset per wait episode.
+class SpinWait {
+ public:
+  explicit SpinWait(int spin_limit = 64) noexcept : spin_limit_(spin_limit) {}
+
+  void wait() noexcept {
+    if (count_ < spin_limit_) {
+      // Exponentially growing pause bursts: 1, 2, 4, ... relax hints.
+      for (int i = 0; i < (1 << (count_ < 6 ? count_ : 6)); ++i) cpu_relax();
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  int spin_limit_;
+  int count_ = 0;
+};
+
+/// Spin until `pred()` is true, yielding politely under oversubscription.
+template <typename Pred>
+void spin_until(Pred&& pred) {
+  SpinWait w;
+  while (!pred()) w.wait();
+}
+
+}  // namespace imbar

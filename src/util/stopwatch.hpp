@@ -1,0 +1,25 @@
+// Monotonic wall-clock stopwatch (microsecond resolution helpers).
+#pragma once
+
+#include <chrono>
+
+namespace imbar {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_us() / 1000.0; }
+  [[nodiscard]] double elapsed_s() const noexcept { return elapsed_us() / 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace imbar

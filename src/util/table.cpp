@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace imbar {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (cells_.empty()) cells_.emplace_back();
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::num(double v, int precision) { return add(fmt(v, precision)); }
+
+Table& Table::num(long long v) { return add(std::to_string(v)); }
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if ((c < '0' || c > '9') && c != '.' && c != '-' && c != '+' && c != 'e' &&
+        c != 'x' && c != '%')
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::string Table::str(int indent) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream out;
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << pad;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      const std::size_t fill = width[c] - cell.size();
+      if (looks_numeric(cell)) {
+        out << std::string(fill, ' ') << cell;  // right-align numbers
+      } else {
+        out << cell << std::string(fill, ' ');
+      }
+      if (c + 1 < headers_.size()) out << "  ";
+    }
+    out << '\n';
+  };
+
+  emit(headers_);
+  out << pad;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(width[c], '-');
+    if (c + 1 < headers_.size()) out << "  ";
+  }
+  out << '\n';
+  for (const auto& row : cells_) emit(row);
+  return out.str();
+}
+
+std::string banner(const std::string& title, int width) {
+  std::string s = "== " + title + " ";
+  if (static_cast<int>(s.size()) < width)
+    s += std::string(static_cast<std::size_t>(width) - s.size(), '=');
+  return s;
+}
+
+}  // namespace imbar

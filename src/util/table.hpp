@@ -1,0 +1,42 @@
+// Aligned ASCII table rendering for benchmark output.
+//
+// Every bench binary prints paper-shaped tables; this keeps their
+// formatting consistent and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace imbar {
+
+/// Column-aligned plain-text table. Cells are strings; numeric helpers
+/// format with fixed precision. Rendered with a header rule and
+/// right-aligned numeric-looking cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add()/num() calls fill it left to right.
+  Table& row();
+  Table& add(std::string cell);
+  Table& num(double v, int precision = 2);
+  Table& num(long long v);
+
+  /// Render the full table, `indent` spaces before each line.
+  [[nodiscard]] std::string str(int indent = 2) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+
+  /// Format a double with fixed precision (shared helper).
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Print a section banner: `== title ==================`.
+std::string banner(const std::string& title, int width = 72);
+
+}  // namespace imbar

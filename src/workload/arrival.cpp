@@ -1,0 +1,112 @@
+#include "workload/arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace imbar {
+
+IidGenerator::IidGenerator(std::size_t procs, std::unique_ptr<Sampler> sampler,
+                           std::uint64_t seed)
+    : p_(procs), sampler_(std::move(sampler)), rng_(seed) {
+  if (p_ == 0) throw std::invalid_argument("IidGenerator: procs == 0");
+  if (!sampler_) throw std::invalid_argument("IidGenerator: null sampler");
+}
+
+void IidGenerator::generate(std::size_t /*iteration*/, std::span<double> out) {
+  if (out.size() != p_) throw std::invalid_argument("generate: span size mismatch");
+  for (auto& w : out) w = sampler_->sample(rng_);
+}
+
+SystemicGenerator::SystemicGenerator(std::size_t procs, double mean,
+                                     double sigma_bias, double sigma_noise,
+                                     std::uint64_t seed)
+    : p_(procs),
+      mean_(mean),
+      sigma_noise_(sigma_noise),
+      sigma_bias_(sigma_bias),
+      rng_(seed),
+      noise_(0.0, sigma_noise) {
+  if (p_ == 0) throw std::invalid_argument("SystemicGenerator: procs == 0");
+  NormalSampler bias_sampler(0.0, sigma_bias);
+  bias_.resize(p_);
+  for (auto& b : bias_) b = bias_sampler.sample(rng_);
+}
+
+void SystemicGenerator::generate(std::size_t /*iteration*/, std::span<double> out) {
+  if (out.size() != p_) throw std::invalid_argument("generate: span size mismatch");
+  for (std::size_t i = 0; i < p_; ++i)
+    out[i] = mean_ + bias_[i] + noise_.sample(rng_);
+}
+
+double SystemicGenerator::nominal_stddev() const noexcept {
+  return std::sqrt(sigma_bias_ * sigma_bias_ + sigma_noise_ * sigma_noise_);
+}
+
+EvolvingGenerator::EvolvingGenerator(std::size_t procs, double mean,
+                                     double sigma_bias, double sigma_noise,
+                                     double rho, std::uint64_t seed)
+    : p_(procs),
+      mean_(mean),
+      sigma_bias_(sigma_bias),
+      sigma_noise_(sigma_noise),
+      rho_(rho),
+      rng_(seed),
+      unit_(0.0, 1.0) {
+  if (p_ == 0) throw std::invalid_argument("EvolvingGenerator: procs == 0");
+  if (rho < 0.0 || rho > 1.0)
+    throw std::invalid_argument("EvolvingGenerator: rho must be in [0,1]");
+  bias_.resize(p_);
+  // Start from the stationary distribution so iteration 0 is typical.
+  for (auto& b : bias_) b = sigma_bias_ * unit_.sample(rng_);
+}
+
+void EvolvingGenerator::generate(std::size_t /*iteration*/, std::span<double> out) {
+  if (out.size() != p_) throw std::invalid_argument("generate: span size mismatch");
+  const double innov = sigma_bias_ * std::sqrt(1.0 - rho_ * rho_);
+  for (std::size_t i = 0; i < p_; ++i) {
+    bias_[i] = rho_ * bias_[i] + innov * unit_.sample(rng_);
+    out[i] = mean_ + bias_[i] + sigma_noise_ * unit_.sample(rng_);
+  }
+}
+
+double EvolvingGenerator::nominal_stddev() const noexcept {
+  return std::sqrt(sigma_bias_ * sigma_bias_ + sigma_noise_ * sigma_noise_);
+}
+
+RecordedGenerator::RecordedGenerator(std::vector<std::vector<double>> rows)
+    : rows_(std::move(rows)) {
+  if (rows_.empty() || rows_.front().empty())
+    throw std::invalid_argument("RecordedGenerator: empty recording");
+  p_ = rows_.front().size();
+  RunningStats rs;
+  for (const auto& row : rows_) {
+    if (row.size() != p_)
+      throw std::invalid_argument("RecordedGenerator: ragged recording");
+    for (double w : row) rs.add(w);
+  }
+  mean_ = rs.mean();
+  sd_ = rs.stddev();
+}
+
+void RecordedGenerator::generate(std::size_t iteration, std::span<double> out) {
+  if (iteration >= rows_.size())
+    throw std::out_of_range("RecordedGenerator: iteration beyond recording");
+  if (out.size() != p_) throw std::invalid_argument("generate: span size mismatch");
+  const auto& row = rows_[iteration];
+  std::copy(row.begin(), row.end(), out.begin());
+}
+
+RecordedGenerator record(ArrivalGenerator& gen, std::size_t iterations) {
+  std::vector<std::vector<double>> rows(iterations,
+                                        std::vector<double>(gen.procs()));
+  for (std::size_t i = 0; i < iterations; ++i) rows[i] = [&] {
+    std::vector<double> row(gen.procs());
+    gen.generate(i, row);
+    return row;
+  }();
+  return RecordedGenerator(std::move(rows));
+}
+
+}  // namespace imbar

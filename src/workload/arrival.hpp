@@ -1,0 +1,127 @@
+// Per-iteration processor work-time generators (the load imbalance).
+//
+// The paper distinguishes (Section 1):
+//   * non-deterministic imbalance — iid noise, the last processor
+//     changes every iteration (IidGenerator);
+//   * systemic imbalance — uneven partitioning, the same processors are
+//     consistently late (SystemicGenerator);
+//   * evolving imbalance — the workload drifts slowly from iteration to
+//     iteration (EvolvingGenerator, an AR(1) bias per processor).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dist/samplers.hpp"
+#include "util/prng.hpp"
+
+namespace imbar {
+
+/// Produces the work time W_p(i) of every processor for iteration i.
+/// Implementations are deterministic given their seed.
+class ArrivalGenerator {
+ public:
+  virtual ~ArrivalGenerator() = default;
+
+  [[nodiscard]] virtual std::size_t procs() const noexcept = 0;
+
+  /// Fill `out` (size == procs()) with this iteration's work times.
+  /// Must be called with strictly increasing `iteration` values.
+  virtual void generate(std::size_t iteration, std::span<double> out) = 0;
+
+  /// Nominal mean work time (for reporting).
+  [[nodiscard]] virtual double nominal_mean() const noexcept = 0;
+  /// Nominal per-iteration standard deviation across processors.
+  [[nodiscard]] virtual double nominal_stddev() const noexcept = 0;
+};
+
+/// iid draws from a given distribution shape each iteration.
+class IidGenerator final : public ArrivalGenerator {
+ public:
+  IidGenerator(std::size_t procs, std::unique_ptr<Sampler> sampler,
+               std::uint64_t seed);
+
+  [[nodiscard]] std::size_t procs() const noexcept override { return p_; }
+  void generate(std::size_t iteration, std::span<double> out) override;
+  [[nodiscard]] double nominal_mean() const noexcept override {
+    return sampler_->mean();
+  }
+  [[nodiscard]] double nominal_stddev() const noexcept override {
+    return sampler_->stddev();
+  }
+
+ private:
+  std::size_t p_;
+  std::unique_ptr<Sampler> sampler_;
+  Xoshiro256 rng_;
+};
+
+/// Per-processor constant bias (drawn once, N(0, sigma_bias)) plus iid
+/// noise (N(0, sigma_noise)): systemic imbalance.
+class SystemicGenerator final : public ArrivalGenerator {
+ public:
+  SystemicGenerator(std::size_t procs, double mean, double sigma_bias,
+                    double sigma_noise, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t procs() const noexcept override { return p_; }
+  void generate(std::size_t iteration, std::span<double> out) override;
+  [[nodiscard]] double nominal_mean() const noexcept override { return mean_; }
+  [[nodiscard]] double nominal_stddev() const noexcept override;
+
+  [[nodiscard]] std::span<const double> biases() const noexcept { return bias_; }
+
+ private:
+  std::size_t p_;
+  double mean_, sigma_noise_, sigma_bias_;
+  std::vector<double> bias_;
+  Xoshiro256 rng_;
+  NormalSampler noise_;
+};
+
+/// AR(1) evolving bias: b_p(i+1) = rho*b_p(i) + sqrt(1-rho^2)*eta,
+/// eta ~ N(0, sigma_bias); stationary marginal N(0, sigma_bias).
+/// rho close to 1 models slowly drifting workload.
+class EvolvingGenerator final : public ArrivalGenerator {
+ public:
+  EvolvingGenerator(std::size_t procs, double mean, double sigma_bias,
+                    double sigma_noise, double rho, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t procs() const noexcept override { return p_; }
+  void generate(std::size_t iteration, std::span<double> out) override;
+  [[nodiscard]] double nominal_mean() const noexcept override { return mean_; }
+  [[nodiscard]] double nominal_stddev() const noexcept override;
+
+ private:
+  std::size_t p_;
+  double mean_, sigma_bias_, sigma_noise_, rho_;
+  std::vector<double> bias_;
+  Xoshiro256 rng_;
+  NormalSampler unit_;
+};
+
+/// Replays a fixed (iterations x procs) matrix; for tests and for
+/// running static vs dynamic placement on identical inputs.
+class RecordedGenerator final : public ArrivalGenerator {
+ public:
+  explicit RecordedGenerator(std::vector<std::vector<double>> rows);
+
+  [[nodiscard]] std::size_t procs() const noexcept override { return p_; }
+  void generate(std::size_t iteration, std::span<double> out) override;
+  [[nodiscard]] double nominal_mean() const noexcept override { return mean_; }
+  [[nodiscard]] double nominal_stddev() const noexcept override { return sd_; }
+
+  [[nodiscard]] std::size_t iterations() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<double>> rows_;
+  std::size_t p_;
+  double mean_, sd_;
+};
+
+/// Record `iterations` rows from any generator into a RecordedGenerator
+/// so the identical workload can be replayed against several barriers.
+RecordedGenerator record(ArrivalGenerator& gen, std::size_t iterations);
+
+}  // namespace imbar

@@ -1,0 +1,7 @@
+// FuzzyTimeline is header-only; this TU anchors the library target and
+// hosts the (intentionally empty) out-of-line pieces.
+#include "workload/fuzzy.hpp"
+
+namespace imbar {
+// No out-of-line definitions needed.
+}  // namespace imbar

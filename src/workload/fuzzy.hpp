@@ -1,0 +1,68 @@
+// Fuzzy-barrier timeline (Gupta's fuzzy barriers, paper Section 5).
+//
+// A fuzzy barrier splits the barrier into a *signal* (release phase) and
+// an *enforce* point, with S units of independent (slack) work scheduled
+// between them. A processor therefore restarts its next dependent phase
+// at
+//     start_p(i+1) = max(signal_p(i) + S, release(i)).
+//
+// This carry-over is the mechanism behind the paper's Figure 5
+// observation: with S = 0 every processor restarts at release(i), so
+// next-iteration arrival order is fresh noise; with large S a late
+// processor stays late, making history-based (dynamic) placement
+// effective.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace imbar {
+
+class FuzzyTimeline {
+ public:
+  /// All processors start their first iteration at time 0.
+  FuzzyTimeline(std::size_t procs, double slack)
+      : slack_(slack), start_(procs, 0.0), signal_(procs, 0.0) {
+    if (procs == 0) throw std::invalid_argument("FuzzyTimeline: procs == 0");
+    if (slack < 0.0) throw std::invalid_argument("FuzzyTimeline: negative slack");
+  }
+
+  [[nodiscard]] std::size_t procs() const noexcept { return start_.size(); }
+  [[nodiscard]] double slack() const noexcept { return slack_; }
+
+  /// Compute this iteration's barrier arrival (signal) times from the
+  /// per-processor work times; returns a view of the signal vector.
+  std::span<const double> signals(std::span<const double> work) {
+    if (work.size() != start_.size())
+      throw std::invalid_argument("FuzzyTimeline: work size mismatch");
+    for (std::size_t p = 0; p < start_.size(); ++p)
+      signal_[p] = start_[p] + work[p];
+    return signal_;
+  }
+
+  /// Advance past the barrier released at absolute time `release`:
+  /// each processor resumes dependent work at max(signal + slack,
+  /// release). `release` must be >= every signal (a barrier cannot
+  /// release before its last arrival).
+  void advance(double release) {
+    for (std::size_t p = 0; p < start_.size(); ++p) {
+      const double resume = signal_[p] + slack_;
+      start_[p] = resume > release ? resume : release;
+    }
+  }
+
+  /// Per-processor start times of the upcoming iteration.
+  [[nodiscard]] std::span<const double> starts() const noexcept { return start_; }
+  /// Signal times of the latest signals() call.
+  [[nodiscard]] std::span<const double> last_signals() const noexcept {
+    return signal_;
+  }
+
+ private:
+  double slack_;
+  std::vector<double> start_;
+  std::vector<double> signal_;
+};
+
+}  // namespace imbar

@@ -1,0 +1,45 @@
+#include "workload/sor_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace imbar {
+
+std::size_t sor_comm_events(const SorModelParams& p) noexcept {
+  return 4 * ((p.dy + p.subline - 1) / p.subline);
+}
+
+double sor_predicted_mean_us(const SorModelParams& p) noexcept {
+  const double compute =
+      static_cast<double>(p.dx_per_proc) * static_cast<double>(p.dy) * p.t_flop_us;
+  return compute + static_cast<double>(sor_comm_events(p)) *
+                       (p.t_comm_us + p.sigma_evt_us);
+}
+
+double sor_predicted_sigma_us(const SorModelParams& p) noexcept {
+  return std::sqrt(static_cast<double>(sor_comm_events(p))) * p.sigma_evt_us;
+}
+
+SorWorkloadModel::SorWorkloadModel(const SorModelParams& params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  if (params_.procs == 0 || params_.dy == 0 || params_.subline == 0)
+    throw std::invalid_argument("SorWorkloadModel: zero-sized parameter");
+  compute_us_ = static_cast<double>(params_.dx_per_proc) *
+                static_cast<double>(params_.dy) * params_.t_flop_us;
+  n_events_ = sor_comm_events(params_);
+}
+
+void SorWorkloadModel::generate(std::size_t /*iteration*/, std::span<double> out) {
+  if (out.size() != params_.procs)
+    throw std::invalid_argument("SorWorkloadModel: span size mismatch");
+  for (auto& w : out) {
+    double comm = 0.0;
+    for (std::size_t e = 0; e < n_events_; ++e) {
+      // Exponential contention tail on each communication event.
+      comm += params_.t_comm_us - params_.sigma_evt_us * std::log(rng_.uniform_open());
+    }
+    w = compute_us_ + comm;
+  }
+}
+
+}  // namespace imbar

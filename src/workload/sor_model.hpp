@@ -1,0 +1,72 @@
+// SOR workload model: the KSR1 substitute for paper Section 7.
+//
+// The paper measures a red/black SOR relaxation on a 56-processor KSR1:
+// the (d_x, d_y) grid is partitioned along x, giving each processor
+// 4 * ceil(d_y / 16) communication events per iteration (16 = KSR1 cache
+// sub-line size). Communication incurs random contention delays, so the
+// per-iteration execution time variance grows with d_y — which is how
+// the paper sweeps sigma in Figure 12.
+//
+// We model each iteration's work time per processor as
+//     W = compute + sum over comm events of (t_comm + Exp(sigma_evt)),
+// which makes W approximately normal (sum of many iid terms) with
+//     mean  = compute + n_evt * (t_comm + sigma_evt)
+//     sigma = sqrt(n_evt) * sigma_evt.
+// The default constants are calibrated so d_y = 210 reproduces the
+// paper's measured 9.5 ms mean and 110 us standard deviation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "workload/arrival.hpp"
+
+namespace imbar {
+
+struct SorModelParams {
+  std::size_t procs = 56;        // paper: 56 of the KSR1's 64 processors
+  std::size_t dx_per_proc = 60;  // data points per processor along x
+  std::size_t dy = 210;          // y-dimension (the Figure 12 sweep axis)
+  std::size_t subline = 16;      // KSR1 cache sub-line size
+  double t_flop_us = 0.578;      // per-point update cost (calibrated)
+  double t_comm_us = 25.0;       // deterministic part of one comm event
+  double sigma_evt_us = 14.7;    // stochastic part (exponential mean/sd)
+};
+
+/// Number of communication events per processor per iteration:
+/// 4 * ceil(dy / subline) (paper Section 7).
+[[nodiscard]] std::size_t sor_comm_events(const SorModelParams& p) noexcept;
+
+/// Model-predicted mean iteration time (us).
+[[nodiscard]] double sor_predicted_mean_us(const SorModelParams& p) noexcept;
+
+/// Model-predicted per-iteration stddev across processors (us).
+[[nodiscard]] double sor_predicted_sigma_us(const SorModelParams& p) noexcept;
+
+/// Arrival generator drawing each processor's iteration time from the
+/// SOR model.
+class SorWorkloadModel final : public ArrivalGenerator {
+ public:
+  SorWorkloadModel(const SorModelParams& params, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t procs() const noexcept override {
+    return params_.procs;
+  }
+  void generate(std::size_t iteration, std::span<double> out) override;
+  [[nodiscard]] double nominal_mean() const noexcept override {
+    return sor_predicted_mean_us(params_);
+  }
+  [[nodiscard]] double nominal_stddev() const noexcept override {
+    return sor_predicted_sigma_us(params_);
+  }
+
+  [[nodiscard]] const SorModelParams& params() const noexcept { return params_; }
+
+ private:
+  SorModelParams params_;
+  double compute_us_;
+  std::size_t n_events_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace imbar

@@ -1,0 +1,67 @@
+#include "workload/trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace imbar {
+
+std::size_t save_trace_csv(const std::string& path, ArrivalGenerator& gen,
+                           std::size_t iterations) {
+  std::vector<std::string> header;
+  header.reserve(gen.procs());
+  for (std::size_t p = 0; p < gen.procs(); ++p)
+    header.push_back("p" + std::to_string(p));
+  CsvWriter writer(path, header);
+
+  std::vector<double> row(gen.procs());
+  for (std::size_t i = 0; i < iterations; ++i) {
+    gen.generate(i, row);
+    writer.write_row_numeric(row, 12);
+  }
+  return writer.rows_written();
+}
+
+RecordedGenerator load_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_csv: cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("load_trace_csv: empty file " + path);
+  // Column count from the header.
+  std::size_t cols = 1;
+  for (char c : line) cols += (c == ',');
+
+  std::vector<std::vector<double>> rows;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<double> row;
+    row.reserve(cols);
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str())
+        throw std::runtime_error("load_trace_csv: non-numeric cell at line " +
+                                 std::to_string(lineno));
+      row.push_back(v);
+    }
+    if (row.size() != cols)
+      throw std::runtime_error("load_trace_csv: ragged row at line " +
+                               std::to_string(lineno));
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty())
+    throw std::runtime_error("load_trace_csv: no data rows in " + path);
+  return RecordedGenerator(std::move(rows));
+}
+
+}  // namespace imbar

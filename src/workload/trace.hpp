@@ -1,0 +1,26 @@
+// Trace-driven workloads: save and load per-iteration execution-time
+// matrices as CSV, so measured traces from real applications can be
+// replayed through the simulator (episode runner, placement
+// comparisons, degree sweeps).
+//
+// Format: a header row `p0,p1,...,pN-1` followed by one row per
+// iteration with that iteration's per-processor work times.
+#pragma once
+
+#include <string>
+
+#include "workload/arrival.hpp"
+
+namespace imbar {
+
+/// Write `iterations` rows drawn from `gen` to `path`.
+/// Returns the number of iterations written.
+std::size_t save_trace_csv(const std::string& path, ArrivalGenerator& gen,
+                           std::size_t iterations);
+
+/// Load a trace written by save_trace_csv (or produced by any external
+/// tool using the same layout). Throws std::runtime_error on I/O or
+/// format errors (missing file, ragged rows, non-numeric cells).
+RecordedGenerator load_trace_csv(const std::string& path);
+
+}  // namespace imbar

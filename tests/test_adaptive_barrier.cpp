@@ -1,0 +1,133 @@
+// Adaptive-degree barrier: run-time degree selection (the paper's
+// future-work feature).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "barrier/adaptive_barrier.hpp"
+
+namespace imbar {
+namespace {
+
+void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < n; ++t) pool.emplace_back(body, t);
+  for (auto& th : pool) th.join();
+}
+
+TEST(AdaptiveBarrier, StartsAtInitialDegree) {
+  AdaptiveBarrier::Options opt;
+  opt.initial_degree = 4;
+  AdaptiveBarrier bar(8, opt);
+  EXPECT_EQ(bar.current_degree(), 4u);
+  EXPECT_EQ(bar.rebuilds(), 0u);
+  EXPECT_DOUBLE_EQ(bar.estimated_sigma_us(), 0.0);
+}
+
+TEST(AdaptiveBarrier, OptionClamping) {
+  AdaptiveBarrier::Options opt;
+  opt.initial_degree = 0;  // clamped to 2
+  opt.window = 0;          // clamped to 1
+  opt.max_degree = 1000;   // clamped to participants
+  AdaptiveBarrier bar(4, opt);
+  EXPECT_EQ(bar.current_degree(), 2u);
+}
+
+TEST(AdaptiveBarrier, Validation) {
+  EXPECT_THROW(AdaptiveBarrier(0), std::invalid_argument);
+}
+
+TEST(AdaptiveBarrier, BasicSynchronizationWorks) {
+  AdaptiveBarrier bar(6);
+  run_threads(6, [&](std::size_t tid) {
+    for (int i = 0; i < 200; ++i) bar.arrive_and_wait(tid);
+  });
+  EXPECT_EQ(bar.counters().episodes, 200u);
+}
+
+TEST(AdaptiveBarrier, WideImbalanceWidensTheTree) {
+  // One thread is dramatically slower than the rest (sigma far above
+  // t_c): the model must push the degree wide.
+  AdaptiveBarrier::Options opt;
+  opt.initial_degree = 2;
+  opt.window = 8;
+  opt.t_c_us = 1.0;  // declare counter updates cheap vs the imbalance
+  AdaptiveBarrier bar(8, opt);
+  run_threads(8, [&](std::size_t tid) {
+    for (int i = 0; i < 120; ++i) {
+      if (tid == 7)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      bar.arrive_and_wait(tid);
+    }
+  });
+  EXPECT_GT(bar.rebuilds(), 0u);
+  EXPECT_GT(bar.current_degree(), 2u);
+  EXPECT_GT(bar.estimated_sigma_us(), opt.t_c_us);
+  EXPECT_EQ(bar.counters().episodes, 120u);
+}
+
+TEST(AdaptiveBarrier, SigmaEstimateIsMeasured) {
+  AdaptiveBarrier::Options opt;
+  opt.window = 4;
+  AdaptiveBarrier bar(4, opt);
+  run_threads(4, [&](std::size_t tid) {
+    for (int i = 0; i < 20; ++i) {
+      if (tid == 3)
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      bar.arrive_and_wait(tid);
+    }
+  });
+  // One slow thread out of 4 by ~500us: sigma should be in the
+  // hundreds of microseconds.
+  EXPECT_GT(bar.estimated_sigma_us(), 50.0);
+}
+
+TEST(AdaptiveBarrier, RebuildPreservesCorrectness) {
+  // Hammer the rebuild path (tiny window, alternating imbalance) while
+  // checking the phase-consistency property.
+  AdaptiveBarrier::Options opt;
+  opt.window = 4;
+  opt.t_c_us = 1.0;
+  opt.hysteresis = 1.0;  // rebuild eagerly
+  AdaptiveBarrier bar(5, opt);
+  std::vector<std::atomic<int>> phase(5);
+  std::atomic<bool> violation{false};
+  run_threads(5, [&](std::size_t tid) {
+    for (int p = 1; p <= 300; ++p) {
+      if (tid == static_cast<std::size_t>(p / 40) % 5 && p % 3 == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      phase[tid].store(p, std::memory_order_release);
+      bar.arrive_and_wait(tid);
+      for (auto& ph : phase)
+        if (ph.load(std::memory_order_acquire) < p) violation.store(true);
+      bar.arrive_and_wait(tid);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(bar.counters().episodes, 600u);
+}
+
+TEST(AdaptiveBarrier, MeasureTcIsPositiveAndSane) {
+  const double tc = AdaptiveBarrier::measure_tc_us();
+  EXPECT_GT(tc, 0.0);
+  EXPECT_LT(tc, 100.0);  // an atomic RMW is well under 100us anywhere
+}
+
+TEST(AdaptiveBarrier, TinyGroupsNeverAdapt) {
+  AdaptiveBarrier::Options opt;
+  opt.window = 1;
+  AdaptiveBarrier bar(2, opt);
+  run_threads(2, [&](std::size_t tid) {
+    for (int i = 0; i < 50; ++i) {
+      if (tid == 1) std::this_thread::sleep_for(std::chrono::microseconds(200));
+      bar.arrive_and_wait(tid);
+    }
+  });
+  EXPECT_EQ(bar.rebuilds(), 0u);
+}
+
+}  // namespace
+}  // namespace imbar

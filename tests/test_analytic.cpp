@@ -1,0 +1,189 @@
+// The paper's analytic model (Algorithm 1, Eqs. 1-8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/normal.hpp"
+#include "dist/order_stats.hpp"
+#include "model/analytic.hpp"
+#include "model/degree.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(Analytic, RejectsNonFullTrees) {
+  EXPECT_THROW(analytic_sync_delay({4096, 32, 10.0, 20.0}),
+               std::invalid_argument);
+  EXPECT_THROW(analytic_sync_delay({1, 2, 0.0, 20.0}), std::invalid_argument);
+}
+
+TEST(Analytic, SubsetSizesFollowGeometricLaw) {
+  // S_l holds (d-1) d^l processors and they sum to p - 1.
+  const auto r = analytic_sync_delay({64, 4, 5.0, 20.0});
+  ASSERT_EQ(r.subsets.size(), 3u);  // L = 3
+  EXPECT_EQ(r.subsets[0].size, 3u);
+  EXPECT_EQ(r.subsets[1].size, 12u);
+  EXPECT_EQ(r.subsets[2].size, 48u);
+  std::size_t total = 1;
+  for (const auto& s : r.subsets) total += s.size;
+  EXPECT_EQ(total, 64u);
+}
+
+TEST(Analytic, PBeforeMatchesEq2) {
+  // P_before(S_l) = 1 - d^(l+1)/p, with the top level patched to half
+  // the level below.
+  const auto r = analytic_sync_delay({64, 4, 5.0, 20.0});
+  EXPECT_NEAR(r.subsets[0].p_before, 1.0 - 4.0 / 64.0, 1e-12);
+  EXPECT_NEAR(r.subsets[1].p_before, 1.0 - 16.0 / 64.0, 1e-12);
+  EXPECT_NEAR(r.subsets[2].p_before, (1.0 - 16.0 / 64.0) / 2.0, 1e-12);
+}
+
+TEST(Analytic, ZeroSigmaReducesToEq1) {
+  // With sigma = 0 every arrival term vanishes and Eq. 8 reduces
+  // exactly to Eq. 1's L * d * t_c — the paper's simultaneous-arrival
+  // anchor. This also covers the central counter: p * t_c.
+  for (std::size_t d : {2u, 4u, 8u, 64u}) {
+    const std::size_t p = 64;
+    const auto r = analytic_sync_delay({p, d, 0.0, 20.0});
+    EXPECT_DOUBLE_EQ(r.sync_delay, eq1_sync_delay(p, d, 20.0)) << "degree " << d;
+  }
+  EXPECT_DOUBLE_EQ(analytic_sync_delay({256, 256, 0.0, 20.0}).sync_delay,
+                   256 * 20.0);
+}
+
+TEST(Analytic, DelayIsNonIncreasingInSigmaForWideTrees) {
+  // For a central counter, wider arrival spread hides more contention.
+  double prev = 1e300;
+  for (double sigma : {0.0, 100.0, 400.0, 1600.0}) {
+    const auto r = analytic_sync_delay({256, 256, sigma, 20.0});
+    EXPECT_LE(r.sync_delay, prev + 1e-9);
+    prev = r.sync_delay;
+  }
+}
+
+TEST(Analytic, LastArrivalGrowsWithSigma) {
+  const auto a = analytic_sync_delay({64, 4, 10.0, 20.0});
+  const auto b = analytic_sync_delay({64, 4, 100.0, 20.0});
+  EXPECT_GT(b.last_arrival, a.last_arrival);
+  EXPECT_NEAR(b.last_arrival / a.last_arrival, 10.0, 1e-6);
+}
+
+TEST(Analytic, EstimateAtZeroSigmaIsClassical) {
+  // sigma = 0 must reproduce the classical small-degree optimum (2/4
+  // tie breaks to 4, the value the paper's Figures 3-4 report).
+  EXPECT_EQ(estimate_optimal_degree(64, 0.0, 20.0).degree, 4u);
+  EXPECT_EQ(estimate_optimal_degree(256, 0.0, 20.0).degree, 4u);
+  EXPECT_EQ(estimate_optimal_degree(4096, 0.0, 20.0).degree, 4u);
+}
+
+TEST(Analytic, EstimateGrowsWithImbalance) {
+  // The paper's headline: optimal degree increases with sigma/t_c.
+  const double t_c = 20.0;
+  std::size_t prev = 2;
+  for (double sigma_tc : {0.0, 6.25, 25.0, 100.0, 400.0}) {
+    const auto est = estimate_optimal_degree(4096, sigma_tc * t_c, t_c);
+    EXPECT_GE(est.degree, prev) << "sigma = " << sigma_tc << " t_c";
+    prev = est.degree;
+  }
+  EXPECT_GE(estimate_optimal_degree(4096, 400.0 * t_c, t_c).degree, 64u);
+}
+
+TEST(Analytic, SmallSystemWideImbalancePrefersCentralCounter) {
+  // Paper Figure 3: p = 64, sigma = 25 t_c -> single counter optimal.
+  const auto est = estimate_optimal_degree(64, 25.0 * 20.0, 20.0);
+  EXPECT_EQ(est.degree, 64u);
+}
+
+TEST(Analytic, Figure4EstimatedRowForP64) {
+  // The paper's Figure 4 "est" row for 64 processors: degree 4 at
+  // sigma = 0, degree 8 at sigma = 6.2 t_c, central counter at 25 t_c.
+  const double t_c = 20.0;
+  EXPECT_EQ(estimate_optimal_degree(64, 0.0, t_c).degree, 4u);
+  EXPECT_EQ(estimate_optimal_degree(64, 6.2 * t_c, t_c).degree, 8u);
+  EXPECT_EQ(estimate_optimal_degree(64, 25.0 * t_c, t_c).degree, 64u);
+}
+
+TEST(Analytic, GoldenDelayValuesP64) {
+  // Hand-computed values (see DESIGN.md section 6 for the Eq. 6
+  // reading): sigma = 500 us (25 t_c), t_c = 20 us.
+  //   d = 8,  L = 2: T_rel(S_0) = 500*Phi^-1(0.875) + 1*8*20 + 1*20
+  //   T_arr(last) = 500 * E[max 64].
+  const double sigma = 500.0, t_c = 20.0;
+  const auto r = analytic_sync_delay({64, 8, sigma, t_c});
+  const double arr_s0 = sigma * normal_inv_cdf(1.0 - 8.0 / 64.0);
+  const double rel_s0 = arr_s0 + 1.0 * 8.0 * t_c + 1.0 * t_c;
+  EXPECT_NEAR(r.subsets[0].arrival, arr_s0, 1e-9);
+  EXPECT_NEAR(r.subsets[0].release, rel_s0, 1e-9);
+  EXPECT_NEAR(r.last_arrival, sigma * expected_max_normal_exact(64), 1e-6);
+  EXPECT_NEAR(r.last_release, r.last_arrival + 2 * t_c, 1e-9);
+}
+
+TEST(AnalyticGeneral, AgreesWithFullTreeModel) {
+  for (std::size_t d : {2u, 4u, 8u, 64u}) {
+    const AnalyticParams params{64, d, 80.0, 20.0};
+    EXPECT_DOUBLE_EQ(analytic_sync_delay(params).sync_delay,
+                     analytic_sync_delay_general(params).sync_delay);
+  }
+}
+
+TEST(AnalyticGeneral, HandlesArbitraryP) {
+  // 56 processors (the KSR1 configuration) has no full tree except the
+  // central counter; the general model must still rank degrees sanely.
+  const auto low = estimate_optimal_degree_general(56, 0.0, 20.0);
+  EXPECT_LE(low.degree, 8u);
+  const auto high = estimate_optimal_degree_general(56, 1000.0, 20.0);
+  EXPECT_GE(high.degree, low.degree);
+  EXPECT_GT(low.predicted_delay, 0.0);
+}
+
+TEST(AnalyticGeneral, CandidateFiltering) {
+  const auto est =
+      estimate_optimal_degree_general(64, 0.0, 20.0, {1, 3, 4, 100});
+  EXPECT_EQ(est.degree, 4u);  // 1 and 100 are filtered out, 3 vs 4 ranked
+}
+
+TEST(AnalyticGeneral, Validation) {
+  EXPECT_THROW(analytic_sync_delay_general({1, 2, 0.0, 20.0}),
+               std::invalid_argument);
+  EXPECT_THROW(analytic_sync_delay_general({8, 1, 0.0, 20.0}),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_optimal_degree_general(1, 0.0, 20.0),
+               std::invalid_argument);
+}
+
+TEST(Analytic, ReleaseTimesAreConsistent) {
+  const auto r = analytic_sync_delay({256, 4, 50.0, 20.0});
+  // Eq. 7: last release = last arrival + L * t_c.
+  EXPECT_DOUBLE_EQ(r.last_release, r.last_arrival + 4 * 20.0);
+  // Eq. 8: the delay at least covers the last processor's own path.
+  EXPECT_GE(r.sync_delay, 4 * 20.0 - 1e-9);
+}
+
+// Property sweep: for every full-tree configuration, the model's delay
+// is positive and at least the update component L * t_c.
+struct ModelCase {
+  std::size_t p;
+  std::size_t d;
+  double sigma;
+};
+
+class AnalyticProperty : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(AnalyticProperty, DelayBoundedBelowByUpdatePath) {
+  const auto [p, d, sigma] = GetParam();
+  const auto r = analytic_sync_delay({p, d, sigma, 20.0});
+  EXPECT_GE(r.sync_delay,
+            static_cast<double>(tree_levels(p, d)) * 20.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AnalyticProperty,
+    ::testing::Values(ModelCase{64, 2, 0.0}, ModelCase{64, 4, 10.0},
+                      ModelCase{64, 8, 100.0}, ModelCase{64, 64, 500.0},
+                      ModelCase{256, 4, 50.0}, ModelCase{256, 16, 200.0},
+                      ModelCase{4096, 4, 0.0}, ModelCase{4096, 16, 250.0},
+                      ModelCase{4096, 64, 1000.0},
+                      ModelCase{4096, 4096, 8000.0}));
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,243 @@
+// Real threaded barriers: correctness under concurrency for every kind.
+//
+// The core property: a barrier-separated phase counter is consistent —
+// no thread observes another thread lagging a phase behind after the
+// barrier. Checked with randomized per-thread delays (the load-imbalance
+// regime the library is built for).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "barrier/central_barrier.hpp"
+#include "barrier/combining_tree_barrier.hpp"
+#include "barrier/dissemination_barrier.hpp"
+#include "barrier/dynamic_placement_barrier.hpp"
+#include "barrier/factory.hpp"
+#include "barrier/mcs_tree_barrier.hpp"
+#include "util/cacheline.hpp"
+#include "util/prng.hpp"
+
+namespace imbar {
+namespace {
+
+struct BarrierCase {
+  const char* name;
+  BarrierKind kind;
+  std::size_t threads;
+  std::size_t degree;
+};
+
+void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) pool.emplace_back(body, t);
+  for (auto& th : pool) th.join();
+}
+
+class BarrierCorrectness : public ::testing::TestWithParam<BarrierCase> {};
+
+TEST_P(BarrierCorrectness, PhaseCounterNeverLags) {
+  const auto& param = GetParam();
+  BarrierConfig cfg;
+  cfg.kind = param.kind;
+  cfg.participants = param.threads;
+  cfg.degree = param.degree;
+  auto barrier = make_barrier(cfg);
+
+  constexpr int kPhases = 400;
+  std::vector<PaddedAtomic<int>> phase(param.threads);
+  std::atomic<bool> violation{false};
+
+  run_threads(param.threads, [&](std::size_t tid) {
+    Xoshiro256 rng = Xoshiro256::substream(2024, tid);
+    for (int p = 1; p <= kPhases; ++p) {
+      if (rng.below(8) == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(rng.below(200)));
+      phase[tid].value.store(p, std::memory_order_release);
+      barrier->arrive_and_wait(tid);
+      // After the barrier every thread must have published phase >= p.
+      for (std::size_t o = 0; o < param.threads; ++o) {
+        if (phase[o].value.load(std::memory_order_acquire) < p)
+          violation.store(true, std::memory_order_relaxed);
+      }
+      barrier->arrive_and_wait(tid);  // protect the check phase
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(barrier->participants(), param.threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, BarrierCorrectness,
+    ::testing::Values(
+        BarrierCase{"central_4", BarrierKind::kCentral, 4, 0},
+        BarrierCase{"combining_5_d2", BarrierKind::kCombiningTree, 5, 2},
+        BarrierCase{"combining_8_d4", BarrierKind::kCombiningTree, 8, 4},
+        BarrierCase{"combining_3_central", BarrierKind::kCombiningTree, 3, 8},
+        BarrierCase{"mcs_6_d2", BarrierKind::kMcsTree, 6, 2},
+        BarrierCase{"mcs_8_d4", BarrierKind::kMcsTree, 8, 4},
+        BarrierCase{"dynamic_6_d2", BarrierKind::kDynamicPlacement, 6, 2},
+        BarrierCase{"dynamic_8_d4", BarrierKind::kDynamicPlacement, 8, 4},
+        BarrierCase{"dissemination_5", BarrierKind::kDissemination, 5, 0},
+        BarrierCase{"dissemination_8", BarrierKind::kDissemination, 8, 0},
+        BarrierCase{"tournament_6", BarrierKind::kTournament, 6, 0},
+        BarrierCase{"mcs_local_7", BarrierKind::kMcsLocalSpin, 7, 0},
+        BarrierCase{"adaptive_6", BarrierKind::kAdaptive, 6, 0}),
+    [](const auto& info) { return info.param.name; });
+
+class FuzzyCorrectness : public ::testing::TestWithParam<BarrierCase> {};
+
+TEST_P(FuzzyCorrectness, SplitPhaseOverlapIsSafe) {
+  // arrive(); slack work; wait() — fast threads may arrive at barrier
+  // k+1 while slow threads still sit in wait(k).
+  const auto& param = GetParam();
+  BarrierConfig cfg;
+  cfg.kind = param.kind;
+  cfg.participants = param.threads;
+  cfg.degree = param.degree;
+  auto barrier = make_fuzzy_barrier(cfg);
+
+  constexpr int kPhases = 300;
+  std::vector<PaddedAtomic<int>> arrived(param.threads);
+  std::atomic<bool> violation{false};
+
+  run_threads(param.threads, [&](std::size_t tid) {
+    Xoshiro256 rng = Xoshiro256::substream(77, tid);
+    for (int p = 1; p <= kPhases; ++p) {
+      arrived[tid].value.store(p, std::memory_order_release);
+      barrier->arrive(tid);
+      // Slack work of random length.
+      if (rng.below(4) == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(rng.below(150)));
+      barrier->wait(tid);
+      for (std::size_t o = 0; o < param.threads; ++o)
+        if (arrived[o].value.load(std::memory_order_acquire) < p)
+          violation.store(true, std::memory_order_relaxed);
+      // No second sync: the next arrive may overlap other threads'
+      // wait — exactly the fuzzy regime under test.
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, FuzzyCorrectness,
+    ::testing::Values(
+        BarrierCase{"central", BarrierKind::kCentral, 4, 0},
+        BarrierCase{"combining", BarrierKind::kCombiningTree, 6, 2},
+        BarrierCase{"mcs", BarrierKind::kMcsTree, 6, 2},
+        BarrierCase{"dynamic", BarrierKind::kDynamicPlacement, 7, 2},
+        BarrierCase{"adaptive", BarrierKind::kAdaptive, 5, 0}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Barriers, SingleParticipantNeverBlocks) {
+  for (auto kind : {BarrierKind::kCentral, BarrierKind::kCombiningTree,
+                    BarrierKind::kMcsTree, BarrierKind::kDynamicPlacement,
+                    BarrierKind::kDissemination, BarrierKind::kTournament,
+                    BarrierKind::kMcsLocalSpin, BarrierKind::kAdaptive}) {
+    BarrierConfig cfg;
+    cfg.kind = kind;
+    cfg.participants = 1;
+    cfg.degree = 2;
+    auto b = make_barrier(cfg);
+    for (int i = 0; i < 100; ++i) b->arrive_and_wait(0);
+    EXPECT_EQ(b->participants(), 1u) << to_string(kind);
+  }
+}
+
+TEST(Barriers, EpisodeCountersAdvance) {
+  BarrierConfig cfg;
+  cfg.kind = BarrierKind::kCombiningTree;
+  cfg.participants = 4;
+  cfg.degree = 2;
+  auto b = make_barrier(cfg);
+  run_threads(4, [&](std::size_t tid) {
+    for (int i = 0; i < 50; ++i) b->arrive_and_wait(tid);
+  });
+  const auto c = b->counters();
+  EXPECT_EQ(c.episodes, 50u);
+  // Plain tree of 4, degree 2: 3 counters; 4 + 2 updates per episode.
+  EXPECT_EQ(c.updates, 50u * 6u);
+}
+
+TEST(Barriers, CentralCounterUpdatesArePPerEpisode) {
+  CentralBarrier b(3);
+  run_threads(3, [&](std::size_t tid) {
+    for (int i = 0; i < 20; ++i) b.arrive_and_wait(tid);
+  });
+  const auto c = b.counters();
+  EXPECT_EQ(c.episodes, 20u);
+  EXPECT_EQ(c.updates, 60u);
+}
+
+TEST(Barriers, FactoryValidation) {
+  BarrierConfig cfg;
+  cfg.participants = 0;
+  EXPECT_THROW(make_barrier(cfg), std::invalid_argument);
+  cfg.participants = 4;
+  for (auto kind : {BarrierKind::kDissemination, BarrierKind::kTournament,
+                    BarrierKind::kMcsLocalSpin}) {
+    cfg.kind = kind;
+    EXPECT_THROW(make_fuzzy_barrier(cfg), std::invalid_argument);
+    EXPECT_NO_THROW(make_barrier(cfg));
+  }
+}
+
+TEST(Barriers, KindStringsRoundTrip) {
+  for (auto kind : {BarrierKind::kCentral, BarrierKind::kCombiningTree,
+                    BarrierKind::kMcsTree, BarrierKind::kDynamicPlacement,
+                    BarrierKind::kDissemination, BarrierKind::kTournament,
+                    BarrierKind::kMcsLocalSpin, BarrierKind::kAdaptive}) {
+    EXPECT_EQ(barrier_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(barrier_kind_from_string("nope"), std::invalid_argument);
+}
+
+TEST(Barriers, ConstructorValidation) {
+  EXPECT_THROW(CentralBarrier(0), std::invalid_argument);
+  EXPECT_THROW(CombiningTreeBarrier(0, 4), std::invalid_argument);
+  EXPECT_THROW(CombiningTreeBarrier(8, 1), std::invalid_argument);
+  EXPECT_THROW(McsTreeBarrier(8, 0), std::invalid_argument);
+  EXPECT_THROW(DynamicPlacementBarrier(8, 1), std::invalid_argument);
+  EXPECT_THROW(DisseminationBarrier(0), std::invalid_argument);
+}
+
+TEST(Barriers, TreeBarriersExposeTopology) {
+  CombiningTreeBarrier plain(8, 4);
+  EXPECT_EQ(plain.degree(), 4u);
+  EXPECT_EQ(plain.topology().procs(), 8u);
+  McsTreeBarrier mcs(8, 4);
+  EXPECT_EQ(mcs.topology().kind(), simb::TreeKind::kMcs);
+}
+
+TEST(Barriers, DisseminationRoundsAreLogP) {
+  EXPECT_EQ(DisseminationBarrier(8).rounds(), 3u);
+  EXPECT_EQ(DisseminationBarrier(5).rounds(), 3u);
+  EXPECT_EQ(DisseminationBarrier(2).rounds(), 1u);
+  EXPECT_EQ(DisseminationBarrier(1).rounds(), 0u);
+}
+
+TEST(Barriers, ManyEpisodesStress) {
+  // Longer randomized soak across two tree kinds at once.
+  DynamicPlacementBarrier dyn(5, 2);
+  McsTreeBarrier mcs(5, 2);
+  run_threads(5, [&](std::size_t tid) {
+    Xoshiro256 rng = Xoshiro256::substream(5150, tid);
+    for (int i = 0; i < 1500; ++i) {
+      if (rng.below(32) == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      dyn.arrive_and_wait(tid);
+      mcs.arrive_and_wait(tid);
+    }
+  });
+  EXPECT_EQ(dyn.counters().episodes, 1500u);
+  EXPECT_EQ(mcs.counters().episodes, 1500u);
+}
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,131 @@
+// Tournament and full-MCS (local-spin) baseline barriers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "barrier/mcs_local_spin_barrier.hpp"
+#include "barrier/tournament_barrier.hpp"
+#include "util/cacheline.hpp"
+#include "util/prng.hpp"
+
+namespace imbar {
+namespace {
+
+void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < n; ++t) pool.emplace_back(body, t);
+  for (auto& th : pool) th.join();
+}
+
+template <typename B>
+void check_phase_consistency(B& barrier, std::size_t threads, int phases) {
+  std::vector<PaddedAtomic<int>> phase(threads);
+  std::atomic<bool> violation{false};
+  run_threads(threads, [&](std::size_t tid) {
+    Xoshiro256 rng = Xoshiro256::substream(404, tid);
+    for (int p = 1; p <= phases; ++p) {
+      if (rng.below(8) == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(rng.below(150)));
+      phase[tid].value.store(p, std::memory_order_release);
+      barrier.arrive_and_wait(tid);
+      for (std::size_t o = 0; o < threads; ++o)
+        if (phase[o].value.load(std::memory_order_acquire) < p)
+          violation.store(true, std::memory_order_relaxed);
+      barrier.arrive_and_wait(tid);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+class TournamentSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TournamentSizes, PhaseConsistent) {
+  TournamentBarrier barrier(GetParam());
+  check_phase_consistency(barrier, GetParam(), 250);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TournamentSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8));
+
+class McsLocalSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(McsLocalSizes, PhaseConsistent) {
+  McsLocalSpinBarrier barrier(GetParam());
+  check_phase_consistency(barrier, GetParam(), 250);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, McsLocalSizes,
+                         ::testing::Values(1, 2, 3, 5, 6, 8));
+
+TEST(Tournament, Validation) {
+  EXPECT_THROW(TournamentBarrier(0), std::invalid_argument);
+}
+
+TEST(Tournament, RoundsAreLog2) {
+  EXPECT_EQ(TournamentBarrier(8).rounds(), 3u);
+  EXPECT_EQ(TournamentBarrier(5).rounds(), 3u);
+  EXPECT_EQ(TournamentBarrier(1).rounds(), 0u);
+}
+
+TEST(Tournament, SingleThreadNeverBlocks) {
+  TournamentBarrier barrier(1);
+  for (int i = 0; i < 200; ++i) barrier.arrive_and_wait(0);
+  EXPECT_EQ(barrier.counters().episodes, 200u);
+}
+
+TEST(Tournament, EpisodeAndSignalAccounting) {
+  TournamentBarrier barrier(6);
+  run_threads(6, [&](std::size_t tid) {
+    for (int i = 0; i < 100; ++i) barrier.arrive_and_wait(tid);
+  });
+  const auto c = barrier.counters();
+  EXPECT_EQ(c.episodes, 100u);
+  EXPECT_EQ(c.updates, 100u * 5u);  // one signal per non-champion
+}
+
+TEST(McsLocal, Validation) {
+  EXPECT_THROW(McsLocalSpinBarrier(0), std::invalid_argument);
+  EXPECT_THROW(McsLocalSpinBarrier(4, 1, 2), std::invalid_argument);
+  EXPECT_THROW(McsLocalSpinBarrier(4, 4, 1), std::invalid_argument);
+}
+
+TEST(McsLocal, DefaultFanMatchesMcsPaper) {
+  McsLocalSpinBarrier barrier(16);
+  EXPECT_EQ(barrier.arrival_fanin(), 4u);
+  EXPECT_EQ(barrier.wakeup_fanout(), 2u);
+}
+
+TEST(McsLocal, CustomFanWorks) {
+  McsLocalSpinBarrier barrier(7, 2, 3);
+  check_phase_consistency(barrier, 7, 150);
+}
+
+TEST(McsLocal, CommunicationCountIsTheoreticalMinimumTimesTwo) {
+  // n-1 arrival signals and n-1 wakeup writes per episode.
+  McsLocalSpinBarrier barrier(5);
+  run_threads(5, [&](std::size_t tid) {
+    for (int i = 0; i < 80; ++i) barrier.arrive_and_wait(tid);
+  });
+  const auto c = barrier.counters();
+  EXPECT_EQ(c.episodes, 80u);
+  EXPECT_EQ(c.updates, 80u * 8u);
+}
+
+TEST(McsLocal, SoakWithStraggler) {
+  McsLocalSpinBarrier barrier(6);
+  run_threads(6, [&](std::size_t tid) {
+    for (int i = 0; i < 500; ++i) {
+      if (tid == 5 && i % 7 == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(120));
+      barrier.arrive_and_wait(tid);
+    }
+  });
+  EXPECT_EQ(barrier.counters().episodes, 500u);
+}
+
+}  // namespace
+}  // namespace imbar

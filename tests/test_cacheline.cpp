@@ -1,0 +1,67 @@
+// Padding/alignment invariants that the barrier layouts depend on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/cacheline.hpp"
+#include "util/spin_wait.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(Cacheline, PaddedOccupiesFullLines) {
+  EXPECT_EQ(sizeof(Padded<char>) % kCacheLineSize, 0u);
+  EXPECT_EQ(sizeof(Padded<int>) % kCacheLineSize, 0u);
+  EXPECT_EQ(sizeof(Padded<double>) % kCacheLineSize, 0u);
+  EXPECT_EQ(sizeof(PaddedAtomic<std::uint64_t>) % kCacheLineSize, 0u);
+}
+
+TEST(Cacheline, PaddedIsLineAligned) {
+  EXPECT_EQ(alignof(Padded<char>), kCacheLineSize);
+  EXPECT_EQ(alignof(PaddedAtomic<int>), kCacheLineSize);
+}
+
+TEST(Cacheline, VectorElementsLandOnDistinctLines) {
+  std::vector<PaddedAtomic<int>> v(8);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&v[i - 1]);
+    const auto b = reinterpret_cast<std::uintptr_t>(&v[i]);
+    EXPECT_GE(b - a, kCacheLineSize);
+  }
+}
+
+TEST(Cacheline, PaddedAccessors) {
+  Padded<int> p(41);
+  EXPECT_EQ(*p, 41);
+  *p = 42;
+  EXPECT_EQ(p.value, 42);
+}
+
+TEST(Cacheline, PaddedLargerThanLine) {
+  struct Big {
+    char data[100];
+  };
+  EXPECT_EQ(sizeof(Padded<Big>) % kCacheLineSize, 0u);
+  EXPECT_GE(sizeof(Padded<Big>), sizeof(Big));
+}
+
+TEST(SpinWait, PredicateLoopTerminates) {
+  std::atomic<bool> flag{false};
+  std::thread setter([&] { flag.store(true, std::memory_order_release); });
+  spin_until([&] { return flag.load(std::memory_order_acquire); });
+  setter.join();
+  EXPECT_TRUE(flag.load());
+}
+
+TEST(SpinWait, ResetRestartsBackoff) {
+  SpinWait w(4);
+  for (int i = 0; i < 10; ++i) w.wait();  // escalates to yield
+  w.reset();
+  w.wait();  // must not crash / hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace imbar

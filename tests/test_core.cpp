@@ -1,0 +1,154 @@
+// Core facade: imbalance estimation, degree choice, recommendations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/degree_chooser.hpp"
+#include "core/facade.hpp"
+#include "core/imbalance_estimator.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(ImbalanceEstimator, Validation) {
+  EXPECT_THROW(ImbalanceEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(ImbalanceEstimator(1.5), std::invalid_argument);
+  ImbalanceEstimator e;
+  std::vector<double> one{1.0};
+  EXPECT_THROW(e.record_iteration(one), std::invalid_argument);
+}
+
+TEST(ImbalanceEstimator, FirstIterationSeedsEwma) {
+  ImbalanceEstimator e(0.2);
+  e.record_iteration(std::vector<double>{10.0, 12.0, 14.0});
+  EXPECT_DOUBLE_EQ(e.mean(), 12.0);
+  EXPECT_DOUBLE_EQ(e.sigma(), 2.0);
+  EXPECT_DOUBLE_EQ(e.last_sigma(), 2.0);
+  EXPECT_EQ(e.iterations(), 1u);
+}
+
+TEST(ImbalanceEstimator, EwmaSmoothsSpikes) {
+  ImbalanceEstimator e(0.1);
+  for (int i = 0; i < 20; ++i)
+    e.record_iteration(std::vector<double>{10.0, 10.0, 10.0, 10.0});
+  EXPECT_NEAR(e.sigma(), 0.0, 1e-12);
+  // One wild iteration barely moves the smoothed value.
+  e.record_iteration(std::vector<double>{0.0, 0.0, 100.0, 100.0});
+  EXPECT_GT(e.last_sigma(), 50.0);
+  EXPECT_LT(e.sigma(), 10.0);
+}
+
+TEST(ImbalanceEstimator, TracksDriftingImbalance) {
+  ImbalanceEstimator e(0.3);
+  for (int i = 1; i <= 40; ++i) {
+    const double s = static_cast<double>(i);
+    e.record_iteration(std::vector<double>{10.0 - s, 10.0 + s});
+  }
+  // sigma of {10-s, 10+s} is s * sqrt(2); the EWMA should be near the
+  // late-iteration values.
+  EXPECT_GT(e.sigma(), 30.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 10.0);
+}
+
+TEST(ImbalanceEstimator, CvAndReset) {
+  ImbalanceEstimator e;
+  e.record_iteration(std::vector<double>{8.0, 12.0});
+  EXPECT_GT(e.cv(), 0.0);
+  e.reset();
+  EXPECT_EQ(e.iterations(), 0u);
+  EXPECT_DOUBLE_EQ(e.sigma(), 0.0);
+  EXPECT_DOUBLE_EQ(e.cv(), 0.0);
+}
+
+TEST(ChooseDegree, ZeroImbalanceIsClassical) {
+  EXPECT_LE(choose_degree(64, 0.0), 4u);
+  EXPECT_GE(choose_degree(64, 0.0), 2u);
+  EXPECT_LE(choose_degree(4096, 0.0), 4u);
+}
+
+TEST(ChooseDegree, GrowsWithSigma) {
+  // Not strictly monotone step-by-step (non-full ceil trees make the
+  // candidate ranking bumpy), but the trend and endpoints must hold.
+  const std::size_t calm = choose_degree(1024, 0.0);
+  const std::size_t wild = choose_degree(1024, 512.0);
+  EXPECT_LE(calm, 4u);
+  EXPECT_GE(wild, 32u);
+  EXPECT_GE(choose_degree(1024, 128.0), choose_degree(1024, 2.0));
+}
+
+TEST(ChooseDegree, HeadlineResult) {
+  // The abstract: "the optimum degree ... increases from four to as
+  // much as 128 in a 4K system as the load imbalance increases."
+  EXPECT_LE(choose_degree(4096, 0.0), 4u);
+  EXPECT_GE(choose_degree(4096, 400.0), 64u);
+}
+
+TEST(ChooseDegree, TimedVariantScales) {
+  // Only the ratio sigma/t_c matters.
+  EXPECT_EQ(choose_degree_timed(256, 500.0, 20.0), choose_degree(256, 25.0));
+  EXPECT_EQ(choose_degree_timed(256, 50.0, 2.0), choose_degree(256, 25.0));
+}
+
+TEST(ChooseDegree, Validation) {
+  EXPECT_EQ(choose_degree(1, 0.0), 2u);  // degenerate: any degree works
+  EXPECT_THROW(choose_degree_timed(64, -1.0, 20.0), std::invalid_argument);
+  EXPECT_THROW(choose_degree_timed(64, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Recommend, PredictabilitySelectsDynamicPlacement) {
+  const auto steady = recommend_config(64, 10.0, 20.0, false);
+  EXPECT_EQ(steady.kind, BarrierKind::kCombiningTree);
+  const auto predictable = recommend_config(64, 10.0, 20.0, true);
+  EXPECT_EQ(predictable.kind, BarrierKind::kDynamicPlacement);
+  EXPECT_EQ(predictable.participants, 64u);
+  EXPECT_GE(predictable.degree, 2u);
+}
+
+TEST(Recommend, DegreeFollowsImbalance) {
+  const auto tight = recommend_config(256, 0.0, 20.0);
+  const auto wide = recommend_config(256, 5000.0, 20.0);
+  EXPECT_GT(wide.degree, tight.degree);
+}
+
+TEST(Describe, MentionsKindAndDegree) {
+  BarrierConfig cfg;
+  cfg.kind = BarrierKind::kMcsTree;
+  cfg.participants = 16;
+  cfg.degree = 8;
+  const std::string s = describe(cfg);
+  EXPECT_NE(s.find("mcs"), std::string::npos);
+  EXPECT_NE(s.find("16"), std::string::npos);
+  EXPECT_NE(s.find("8"), std::string::npos);
+  cfg.kind = BarrierKind::kCentral;
+  EXPECT_EQ(describe(cfg).find("degree"), std::string::npos);
+}
+
+TEST(Version, IsNonEmpty) { EXPECT_GT(std::string(version()).size(), 0u); }
+
+TEST(TunedBarrier, RebuildsWhenImbalanceGrows) {
+  TunedBarrier tuned(64, /*tc_us=*/20.0);
+  EXPECT_EQ(tuned.current_degree(), 4u);
+  std::vector<double> calm(64, 1000.0);
+  for (int i = 0; i < 20; ++i) tuned.report_iteration(calm);
+  EXPECT_EQ(tuned.rebuilds(), 0u);
+
+  // Now a wide spread: alternate +-10000us around the mean.
+  std::vector<double> wild(64);
+  for (std::size_t i = 0; i < 64; ++i)
+    wild[i] = 1000.0 + (i % 2 ? 10000.0 : -10000.0);
+  bool rebuilt = false;
+  for (int i = 0; i < 40; ++i) rebuilt |= tuned.report_iteration(wild);
+  EXPECT_TRUE(rebuilt);
+  EXPECT_GT(tuned.current_degree(), 4u);
+  EXPECT_GE(tuned.rebuilds(), 1u);
+  EXPECT_EQ(tuned.barrier().participants(), 64u);
+}
+
+TEST(TunedBarrier, EstimatorIsExposed) {
+  TunedBarrier tuned(8, 20.0);
+  tuned.report_iteration(std::vector<double>(8, 5.0));
+  EXPECT_EQ(tuned.estimator().iterations(), 1u);
+}
+
+}  // namespace
+}  // namespace imbar

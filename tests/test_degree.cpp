@@ -1,0 +1,89 @@
+// Degree arithmetic and the Eq. 1 closed form.
+#include <gtest/gtest.h>
+
+#include "model/degree.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(TreeLevels, KnownValues) {
+  EXPECT_EQ(tree_levels(4096, 2), 12u);
+  EXPECT_EQ(tree_levels(4096, 4), 6u);
+  EXPECT_EQ(tree_levels(4096, 8), 4u);
+  EXPECT_EQ(tree_levels(4096, 16), 3u);
+  EXPECT_EQ(tree_levels(4096, 64), 2u);
+  EXPECT_EQ(tree_levels(4096, 4096), 1u);
+  // The paper's Figure 2 degrees: 2,4,8,16,32,64 -> depths 12,6,4,3,3,2.
+  EXPECT_EQ(tree_levels(4096, 32), 3u);
+}
+
+TEST(TreeLevels, CeilingBehaviour) {
+  EXPECT_EQ(tree_levels(5, 2), 3u);
+  EXPECT_EQ(tree_levels(9, 3), 2u);
+  EXPECT_EQ(tree_levels(10, 3), 3u);
+  EXPECT_EQ(tree_levels(1, 2), 1u);
+}
+
+TEST(TreeLevels, Validation) {
+  EXPECT_THROW(tree_levels(0, 2), std::invalid_argument);
+  EXPECT_THROW(tree_levels(4, 1), std::invalid_argument);
+}
+
+TEST(IsFullTree, PowersOnly) {
+  EXPECT_TRUE(is_full_tree(64, 2));
+  EXPECT_TRUE(is_full_tree(64, 4));
+  EXPECT_TRUE(is_full_tree(64, 8));
+  EXPECT_TRUE(is_full_tree(64, 64));
+  EXPECT_FALSE(is_full_tree(64, 16));
+  EXPECT_FALSE(is_full_tree(64, 3));
+  EXPECT_FALSE(is_full_tree(56, 4));
+  EXPECT_TRUE(is_full_tree(56, 56));
+}
+
+TEST(FullTreeDegrees, MatchPaperFeasibleSets) {
+  // For p = 4096 the feasible analytic degrees exclude 32 — which is
+  // why Figure 2 shows no approximation bar for degree 32.
+  EXPECT_EQ(full_tree_degrees(4096),
+            (std::vector<std::size_t>{2, 4, 8, 16, 64, 4096}));
+  EXPECT_EQ(full_tree_degrees(64), (std::vector<std::size_t>{2, 4, 8, 64}));
+  EXPECT_EQ(full_tree_degrees(256), (std::vector<std::size_t>{2, 4, 16, 256}));
+}
+
+TEST(FullTreeDegrees, PrimeHasOnlyItself) {
+  EXPECT_EQ(full_tree_degrees(7), (std::vector<std::size_t>{7}));
+}
+
+TEST(SweepDegrees, PowersOfTwoPlusCentral) {
+  EXPECT_EQ(sweep_degrees(64),
+            (std::vector<std::size_t>{2, 4, 8, 16, 32, 64}));
+  EXPECT_EQ(sweep_degrees(56), (std::vector<std::size_t>{2, 4, 8, 16, 32, 56}));
+  EXPECT_EQ(sweep_degrees(2), (std::vector<std::size_t>{2}));
+}
+
+TEST(Eq1, ClosedFormAndOptimum) {
+  // T = L * d * t_c; for p = 4096, t_c = 20: degree 2 -> 480, 4 -> 480,
+  // 8 -> 640.
+  EXPECT_DOUBLE_EQ(eq1_sync_delay(4096, 2, 20.0), 480.0);
+  EXPECT_DOUBLE_EQ(eq1_sync_delay(4096, 4, 20.0), 480.0);
+  EXPECT_DOUBLE_EQ(eq1_sync_delay(4096, 8, 20.0), 640.0);
+  EXPECT_DOUBLE_EQ(eq1_sync_delay(4096, 4096, 20.0), 81920.0);
+}
+
+TEST(Eq1, MinimizedNearE) {
+  // Over integer degrees the continuous optimum d = e lands on 3 (or
+  // the 2/4 tie for power-of-two populations).
+  const std::size_t p = 3 * 3 * 3 * 3 * 3;  // 243
+  double best = 1e300;
+  std::size_t best_d = 0;
+  for (std::size_t d = 2; d <= 9; ++d) {
+    const double v = eq1_sync_delay(p, d, 1.0);
+    if (v < best) {
+      best = v;
+      best_d = d;
+    }
+  }
+  EXPECT_EQ(best_d, 3u);
+}
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,151 @@
+// Threaded dynamic-placement barrier: migration behaviour and the
+// victor/victim protocol under real concurrency.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "barrier/dynamic_placement_barrier.hpp"
+#include "barrier/mcs_tree_barrier.hpp"
+#include "util/prng.hpp"
+
+namespace imbar {
+namespace {
+
+void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < n; ++t) pool.emplace_back(body, t);
+  for (auto& th : pool) th.join();
+}
+
+void expect_placement_invariant(const DynamicPlacementBarrier& bar) {
+  const auto snap = bar.placement_snapshot();
+  std::vector<int> count(bar.topology().counters(), 0);
+  for (int c : snap) ++count[static_cast<std::size_t>(c)];
+  for (std::size_t c = 0; c < count.size(); ++c)
+    ASSERT_EQ(count[c], bar.topology().attached_count(static_cast<int>(c)))
+        << "counter " << c;
+}
+
+TEST(DynamicBarrier, ConsistentlySlowThreadMigratesToRoot) {
+  DynamicPlacementBarrier bar(6, 2);
+  const int slow = 5;
+  const int d0 = bar.depth_of(slow);
+  ASSERT_GT(d0, 1);
+  run_threads(6, [&](std::size_t tid) {
+    for (int i = 0; i < 200; ++i) {
+      if (tid == static_cast<std::size_t>(slow))
+        std::this_thread::sleep_for(std::chrono::microseconds(400));
+      bar.arrive_and_wait(tid);
+    }
+  });
+  EXPECT_EQ(bar.depth_of(slow), 1);  // attached at the root
+  expect_placement_invariant(bar);
+  EXPECT_GT(bar.counters().swaps, 0u);
+}
+
+TEST(DynamicBarrier, SwapsAreAccountedWithVictimReads) {
+  DynamicPlacementBarrier bar(8, 2);
+  run_threads(8, [&](std::size_t tid) {
+    Xoshiro256 rng = Xoshiro256::substream(1, tid);
+    for (int i = 0; i < 400; ++i) {
+      std::this_thread::sleep_for(std::chrono::microseconds(rng.below(120)));
+      bar.arrive_and_wait(tid);
+    }
+  });
+  const auto c = bar.counters();
+  EXPECT_EQ(c.episodes, 400u);
+  // Each swap produces at most one victim read, possibly deferred past
+  // the last episode.
+  EXPECT_LE(c.extra_comms, c.swaps);
+  EXPECT_GE(c.extra_comms + 8, c.swaps);
+  expect_placement_invariant(bar);
+}
+
+TEST(DynamicBarrier, BalancedLoadKeepsCommOverheadBounded) {
+  const std::size_t d = 4;
+  DynamicPlacementBarrier bar(8, d);
+  const std::size_t episodes = 600;
+  run_threads(8, [&](std::size_t tid) {
+    Xoshiro256 rng = Xoshiro256::substream(9, tid);
+    for (std::size_t i = 0; i < episodes; ++i) {
+      if (rng.below(16) == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      bar.arrive_and_wait(tid);
+    }
+  });
+  const auto c = bar.counters();
+  // Paper Section 5: overhead bounded by 1/(d+1) extra comms/processor.
+  const double per_proc_per_episode =
+      static_cast<double>(c.extra_comms) / static_cast<double>(episodes) / 8.0;
+  EXPECT_LE(per_proc_per_episode, 1.0 / (d + 1) + 1e-9);
+}
+
+TEST(DynamicBarrier, AlternatingSlowThreadsStayConsistent) {
+  DynamicPlacementBarrier bar(6, 2);
+  run_threads(6, [&](std::size_t tid) {
+    for (int i = 0; i < 300; ++i) {
+      const std::size_t slow = (i / 25) % 2 == 0 ? 4u : 1u;
+      if (tid == slow)
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      bar.arrive_and_wait(tid);
+    }
+  });
+  expect_placement_invariant(bar);
+  EXPECT_EQ(bar.counters().episodes, 300u);
+}
+
+TEST(DynamicBarrier, MatchesStaticMcsUpdateTotalsWhenBalanced) {
+  // With zero swaps, communication equals the static MCS tree's
+  // p + counters - 1 per episode; swaps only ever add victim reads.
+  DynamicPlacementBarrier bar(6, 4);
+  run_threads(6, [&](std::size_t tid) {
+    for (int i = 0; i < 100; ++i) bar.arrive_and_wait(tid);
+  });
+  const auto c = bar.counters();
+  const std::size_t counters = bar.topology().counters();
+  EXPECT_EQ(c.updates, 100u * (6u + counters - 1u));
+}
+
+TEST(DynamicBarrier, TwoThreadsDegenerate) {
+  DynamicPlacementBarrier bar(2, 2);
+  run_threads(2, [&](std::size_t tid) {
+    for (int i = 0; i < 500; ++i) bar.arrive_and_wait(tid);
+  });
+  EXPECT_EQ(bar.counters().episodes, 500u);
+}
+
+TEST(DynamicBarrier, FuzzySplitWithMigration) {
+  DynamicPlacementBarrier bar(5, 2);
+  run_threads(5, [&](std::size_t tid) {
+    for (int i = 0; i < 300; ++i) {
+      if (tid == 4) std::this_thread::sleep_for(std::chrono::microseconds(200));
+      bar.arrive(tid);
+      // slack work
+      bar.wait(tid);
+    }
+  });
+  EXPECT_EQ(bar.counters().episodes, 300u);
+  EXPECT_LE(bar.depth_of(4), 2);
+  expect_placement_invariant(bar);
+}
+
+TEST(DynamicBarrier, SnapshotResolvesPendingDisplacements) {
+  // After a run, every thread's snapshot position must be a counter
+  // whose capacity admits it — even if the owner hasn't yet noticed a
+  // swap that displaced it.
+  DynamicPlacementBarrier bar(7, 2);
+  run_threads(7, [&](std::size_t tid) {
+    Xoshiro256 rng = Xoshiro256::substream(3, tid);
+    for (int i = 0; i < 250; ++i) {
+      std::this_thread::sleep_for(std::chrono::microseconds(rng.below(150)));
+      bar.arrive_and_wait(tid);
+    }
+  });
+  expect_placement_invariant(bar);
+}
+
+}  // namespace
+}  // namespace imbar

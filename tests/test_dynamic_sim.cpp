@@ -1,0 +1,228 @@
+// Dynamic placement in the simulator: swap mechanics, invariants,
+// migration behaviour, ring constraints, swap policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "simbarrier/tree_sim.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::simb {
+namespace {
+
+SimOptions dyn_opts(SwapPolicy policy = SwapPolicy::kCascade) {
+  SimOptions o;
+  o.t_c = 20.0;
+  o.placement = Placement::kDynamic;
+  o.swap_policy = policy;
+  return o;
+}
+
+/// Attachment multiset must always match the topology's per-counter
+/// capacity (swaps are permutations).
+void expect_placement_invariant(const TreeBarrierSim& sim) {
+  const auto& topo = sim.topology();
+  std::vector<int> count(topo.counters(), 0);
+  for (int c : sim.placement()) ++count[static_cast<std::size_t>(c)];
+  for (std::size_t c = 0; c < topo.counters(); ++c)
+    ASSERT_EQ(count[c], topo.attached_count(static_cast<int>(c)))
+        << "counter " << c;
+}
+
+/// Run `iters` iterations where `slow` is always late, starting at
+/// absolute time `base` (pass the previous return value to continue on
+/// the same simulator). Returns the time after the last release.
+double run_slow_proc(TreeBarrierSim& sim, std::size_t procs, int slow,
+                     std::size_t iters, double lateness = 500.0,
+                     double base = 0.0) {
+  for (std::size_t i = 0; i < iters; ++i) {
+    std::vector<double> signals(procs, base);
+    signals[static_cast<std::size_t>(slow)] = base + lateness;
+    const auto r = sim.run_iteration(signals);
+    base = r.release + 10.0;
+  }
+  return base;
+}
+
+TEST(DynamicSim, SlowProcessorMigratesToRoot) {
+  const Topology topo = Topology::mcs(64, 4);
+  TreeBarrierSim sim(topo, dyn_opts());
+  const int slow = 63;  // a leaf-attached processor
+  const int initial_depth = topo.depth_to_root(topo.initial_counter()[slow]);
+  EXPECT_GT(initial_depth, 1);
+
+  run_slow_proc(sim, 64, slow, 20);
+  EXPECT_EQ(sim.placement()[static_cast<std::size_t>(slow)], topo.root());
+  expect_placement_invariant(sim);
+}
+
+TEST(DynamicSim, StaticPlacementNeverMoves) {
+  const Topology topo = Topology::mcs(64, 4);
+  SimOptions o = dyn_opts();
+  o.placement = Placement::kStatic;
+  TreeBarrierSim sim(topo, o);
+  run_slow_proc(sim, 64, 63, 10);
+  EXPECT_EQ(sim.placement(), topo.initial_counter());
+  EXPECT_EQ(sim.total_swaps(), 0u);
+  EXPECT_EQ(sim.total_extras(), 0u);
+}
+
+TEST(DynamicSim, LastProcDepthConvergesToOne) {
+  const Topology topo = Topology::mcs(256, 4);
+  TreeBarrierSim sim(topo, dyn_opts());
+  const int slow = 200;
+  const double base = run_slow_proc(sim, 256, slow, 30);
+  // One more measured iteration: the slow processor is now at the root
+  // and performs exactly one update (depth 1, the paper's asymptote).
+  std::vector<double> signals(256, base);
+  signals[slow] = base + 500.0;
+  const auto r = sim.run_iteration(signals);
+  EXPECT_EQ(r.last_proc, slow);
+  EXPECT_EQ(r.last_proc_depth, 1);
+  // And its delay collapsed to a single counter update.
+  EXPECT_DOUBLE_EQ(r.sync_delay, 20.0);
+}
+
+TEST(DynamicSim, SwapsProduceVictimPenalties) {
+  const Topology topo = Topology::mcs(64, 4);
+  TreeBarrierSim sim(topo, dyn_opts());
+  run_slow_proc(sim, 64, 63, 10);
+  EXPECT_GT(sim.total_swaps(), 0u);
+  // Every swap is eventually paid for by exactly one victim read
+  // (within one iteration of slack).
+  EXPECT_GE(sim.total_extras() + 64, sim.total_swaps());
+  EXPECT_LE(sim.total_extras(), sim.total_swaps());
+}
+
+TEST(DynamicSim, CommOverheadBoundedByPaperFormula) {
+  // At most one swap per counter per iteration: extra comms per
+  // iteration <= counters <= p / (d+1) * (something); the paper states
+  // the per-processor bound 1/(d+1).
+  const std::size_t p = 256, d = 4;
+  const Topology topo = Topology::mcs(p, d);
+  TreeBarrierSim sim(topo, dyn_opts());
+  std::vector<double> signals(p);
+  Xoshiro256 rng(5);
+  double base = 0.0;
+  const std::size_t iters = 50;
+  for (std::size_t i = 0; i < iters; ++i) {
+    for (auto& s : signals) s = base + rng.uniform() * 300.0;
+    base = sim.run_iteration(signals).release + 10.0;
+  }
+  const double per_proc_per_iter =
+      static_cast<double>(sim.total_extras()) /
+      static_cast<double>(iters) / static_cast<double>(p);
+  EXPECT_LE(per_proc_per_iter, 1.0 / (d + 1) + 1e-9);
+}
+
+TEST(DynamicSim, PlacementInvariantUnderRandomWorkloads) {
+  const Topology topo = Topology::mcs(100, 3);
+  TreeBarrierSim sim(topo, dyn_opts());
+  Xoshiro256 rng(11);
+  std::vector<double> signals(100);
+  double base = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    for (auto& s : signals) s = base + rng.uniform() * 500.0;
+    base = sim.run_iteration(signals).release + 5.0;
+    expect_placement_invariant(sim);
+  }
+}
+
+TEST(DynamicSim, AlternatingSlowProcessorsSwapBackAndForth) {
+  const Topology topo = Topology::mcs(64, 4);
+  TreeBarrierSim sim(topo, dyn_opts());
+  double base = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<double> signals(64, base);
+    signals[static_cast<std::size_t>(i % 2 == 0 ? 60 : 20)] = base + 500.0;
+    base = sim.run_iteration(signals).release + 10.0;
+    expect_placement_invariant(sim);
+  }
+  // Both must still be placed somewhere legal; at least one of them
+  // near the top.
+  const int d60 = topo.depth_to_root(sim.placement()[60]);
+  const int d20 = topo.depth_to_root(sim.placement()[20]);
+  EXPECT_LE(std::min(d60, d20), 2);
+}
+
+TEST(DynamicSim, RingConstraintKeepsProcessorsInRing) {
+  const Topology topo = Topology::mcs_rings({32, 24}, 4);
+  TreeBarrierSim sim(topo, dyn_opts());
+  // Slowest processor is in ring 1; the root belongs to ring 0, so it
+  // must never reach the root.
+  const int slow = 40;  // ring 1
+  ASSERT_EQ(topo.proc_ring()[slow], 1);
+  run_slow_proc(sim, 56, slow, 30);
+  EXPECT_NE(sim.placement()[slow], topo.root());
+  // But it should have climbed to the top of its ring subtree.
+  const int pos = sim.placement()[slow];
+  EXPECT_EQ(topo.node(pos).ring, 1);
+  EXPECT_LE(topo.depth_to_root(pos), 2);
+  expect_placement_invariant(sim);
+}
+
+TEST(DynamicSim, RingConstraintCanBeDisabled) {
+  const Topology topo = Topology::mcs_rings({32, 24}, 4);
+  SimOptions o = dyn_opts();
+  o.respect_rings = false;
+  TreeBarrierSim sim(topo, o);
+  run_slow_proc(sim, 56, 40, 30);
+  EXPECT_EQ(sim.placement()[40], topo.root());
+}
+
+TEST(DynamicSim, SwapPoliciesAllConvergeDifferently) {
+  // Cascade and single-highest reach the root; one-level climbs slowly
+  // but monotonically.
+  for (auto policy : {SwapPolicy::kCascade, SwapPolicy::kSingleHighest,
+                      SwapPolicy::kOneLevel}) {
+    const Topology topo = Topology::mcs(256, 4);
+    TreeBarrierSim sim(topo, dyn_opts(policy));
+    const int slow = 255;
+    const int d0 = topo.depth_to_root(topo.initial_counter()[slow]);
+    const double base = run_slow_proc(sim, 256, slow, 2);
+    const int d2 = topo.depth_to_root(sim.placement()[slow]);
+    EXPECT_LT(d2, d0);
+    run_slow_proc(sim, 256, slow, 20, 500.0, base);
+    EXPECT_EQ(sim.placement()[slow], topo.root());
+    expect_placement_invariant(sim);
+  }
+}
+
+TEST(DynamicSim, OneLevelClimbsExactlyOneStepPerIteration) {
+  const Topology topo = Topology::mcs(256, 2);
+  TreeBarrierSim sim(topo, dyn_opts(SwapPolicy::kOneLevel));
+  const int slow = 255;
+  int prev_depth = topo.depth_to_root(topo.initial_counter()[slow]);
+  double base = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<double> signals(256, base);
+    signals[slow] = base + 500.0;
+    base = sim.run_iteration(signals).release + 10.0;
+    const int depth = topo.depth_to_root(sim.placement()[slow]);
+    EXPECT_GE(depth, prev_depth - 1);
+    EXPECT_LE(depth, prev_depth);
+    prev_depth = depth;
+  }
+}
+
+TEST(DynamicSim, CascadeSwapsCoverTheLateProcessorsClimb) {
+  // With cascade semantics every fill above a processor's home counter
+  // is a swap, so the iteration's swap count is at least the late
+  // processor's climb (other processors fill counters too and may also
+  // swap — simultaneous early arrivals make fills ambiguous among them).
+  const Topology topo = Topology::mcs(64, 2);
+  TreeBarrierSim sim(topo, dyn_opts(SwapPolicy::kCascade));
+  std::vector<double> signals(64, 0.0);
+  signals[63] = 500.0;
+  const auto r = sim.run_iteration(signals);
+  const int climbed =
+      topo.depth_to_root(topo.initial_counter()[63]) -
+      topo.depth_to_root(sim.placement()[63]);
+  EXPECT_GT(climbed, 0);
+  EXPECT_GE(r.swaps, static_cast<std::size_t>(climbed));
+  expect_placement_invariant(sim);
+}
+
+}  // namespace
+}  // namespace imbar::simb

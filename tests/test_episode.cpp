@@ -1,0 +1,145 @@
+// Multi-iteration episodes with fuzzy slack: the Figure 8 machinery.
+#include <gtest/gtest.h>
+
+#include "simbarrier/episode.hpp"
+#include "workload/arrival.hpp"
+
+namespace imbar::simb {
+namespace {
+
+SimOptions base_opts() {
+  SimOptions o;
+  o.t_c = 20.0;
+  return o;
+}
+
+TEST(Episode, Validation) {
+  TreeBarrierSim sim(Topology::mcs(16, 4), base_opts());
+  IidGenerator wrong(8, make_normal(1000, 10), 1);
+  EpisodeOptions eo;
+  EXPECT_THROW(run_episode(sim, wrong, eo), std::invalid_argument);
+
+  IidGenerator gen(16, make_normal(1000, 10), 1);
+  eo.iterations = 5;
+  eo.warmup = 5;
+  EXPECT_THROW(run_episode(sim, gen, eo), std::invalid_argument);
+}
+
+TEST(Episode, AggregatesPostWarmupOnly) {
+  TreeBarrierSim sim(Topology::mcs(16, 4), base_opts());
+  IidGenerator gen(16, make_normal(1000.0, 50.0), 3);
+  EpisodeOptions eo;
+  eo.iterations = 30;
+  eo.warmup = 10;
+  const auto m = run_episode(sim, gen, eo);
+  EXPECT_EQ(m.measured_iterations, 20u);
+  EXPECT_EQ(m.sync_delays.size(), 20u);
+  EXPECT_EQ(m.last_depths.size(), 20u);
+  EXPECT_GT(m.mean_sync_delay, 0.0);
+  EXPECT_GT(m.mean_last_depth, 0.0);
+  EXPECT_GT(m.mean_comms_per_iter, 16.0);  // at least one update per proc
+}
+
+TEST(Episode, StaticMcsCommsAreExact) {
+  const Topology topo = Topology::mcs(64, 4);
+  TreeBarrierSim sim(topo, base_opts());
+  IidGenerator gen(64, make_normal(1000.0, 30.0), 9);
+  EpisodeOptions eo;
+  eo.iterations = 20;
+  eo.warmup = 4;
+  const auto m = run_episode(sim, gen, eo);
+  // Static placement: comms per iteration == p + counters - 1 exactly.
+  EXPECT_DOUBLE_EQ(m.mean_comms_per_iter,
+                   64.0 + static_cast<double>(topo.counters()) - 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_swaps_per_iter, 0.0);
+}
+
+TEST(Episode, ComparePlacementUsesIdenticalWorkload) {
+  // Determinism: the same seed gives identical static runs regardless
+  // of the dynamic run sharing the comparison.
+  const Topology topo = Topology::mcs(64, 4);
+  IidGenerator gen1(64, make_normal(5000.0, 100.0), 21);
+  IidGenerator gen2(64, make_normal(5000.0, 100.0), 21);
+  EpisodeOptions eo;
+  eo.iterations = 40;
+  eo.warmup = 8;
+  eo.slack = 1000.0;
+  const auto a = compare_placement(topo, base_opts(), gen1, eo);
+  const auto b = compare_placement(topo, base_opts(), gen2, eo);
+  EXPECT_DOUBLE_EQ(a.static_run.mean_sync_delay, b.static_run.mean_sync_delay);
+  EXPECT_DOUBLE_EQ(a.dynamic_run.mean_sync_delay, b.dynamic_run.mean_sync_delay);
+  EXPECT_DOUBLE_EQ(a.sync_speedup, b.sync_speedup);
+}
+
+TEST(Episode, ZeroSlackGivesNoDynamicAdvantage) {
+  // Paper Figure 8, slack 0: prediction from the previous iteration is
+  // worthless under iid noise; speedup ~= 1.
+  const Topology topo = Topology::mcs(256, 4);
+  IidGenerator gen(256, make_normal(10000.0, 250.0), 33);
+  EpisodeOptions eo;
+  eo.iterations = 60;
+  eo.warmup = 10;
+  eo.slack = 0.0;
+  const auto cmp = compare_placement(topo, base_opts(), gen, eo);
+  EXPECT_NEAR(cmp.sync_speedup, 1.0, 0.15);
+}
+
+TEST(Episode, LargeSlackGivesLargeDynamicSpeedup) {
+  // Paper Figure 8, large slack: arrival order becomes persistent, the
+  // late processor sits near the root, depth -> ~1.2 and speedup grows
+  // toward depth_static / depth_dynamic.
+  const Topology topo = Topology::mcs(256, 4);
+  IidGenerator gen(256, make_normal(10000.0, 250.0), 34);
+  EpisodeOptions eo;
+  eo.iterations = 80;
+  eo.warmup = 20;
+  eo.slack = 4000.0;
+  const auto cmp = compare_placement(topo, base_opts(), gen, eo);
+  EXPECT_GT(cmp.sync_speedup, 1.5);
+  EXPECT_LT(cmp.dynamic_run.mean_last_depth,
+            cmp.static_run.mean_last_depth - 0.5);
+  EXPECT_LT(cmp.dynamic_run.mean_last_depth, 2.0);
+}
+
+TEST(Episode, CommOverheadIsSmallAndBounded) {
+  const std::size_t d = 4;
+  const Topology topo = Topology::mcs(256, d);
+  IidGenerator gen(256, make_normal(10000.0, 250.0), 35);
+  EpisodeOptions eo;
+  eo.iterations = 60;
+  eo.warmup = 10;
+  eo.slack = 2000.0;
+  const auto cmp = compare_placement(topo, base_opts(), gen, eo);
+  EXPECT_GE(cmp.comm_overhead, 1.0);
+  // Paper bound: at most 1/(d+1) extra communications per processor.
+  EXPECT_LE(cmp.comm_overhead, 1.0 + 1.0 / (d + 1));
+}
+
+TEST(Episode, SlackZeroDepthMatchesStatic) {
+  const Topology topo = Topology::mcs(64, 4);
+  IidGenerator gen(64, make_normal(10000.0, 250.0), 36);
+  EpisodeOptions eo;
+  eo.iterations = 40;
+  eo.warmup = 10;
+  eo.slack = 0.0;
+  const auto cmp = compare_placement(topo, base_opts(), gen, eo);
+  EXPECT_NEAR(cmp.dynamic_run.mean_last_depth, cmp.static_run.mean_last_depth,
+              1.0);
+}
+
+TEST(Episode, SystemicImbalanceHelpsEvenWithoutSlack) {
+  // With systemic bias the same processor is late every iteration, so
+  // dynamic placement wins even at slack 0 — the other prediction-
+  // friendly regime of Section 5.
+  const Topology topo = Topology::mcs(256, 4);
+  SystemicGenerator gen(256, 10000.0, 300.0, 30.0, 37);
+  EpisodeOptions eo;
+  eo.iterations = 60;
+  eo.warmup = 15;
+  eo.slack = 0.0;
+  const auto cmp = compare_placement(topo, base_opts(), gen, eo);
+  EXPECT_GT(cmp.sync_speedup, 1.2);
+}
+
+}  // namespace
+}  // namespace imbar::simb

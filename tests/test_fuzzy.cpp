@@ -1,0 +1,102 @@
+// Fuzzy-barrier timeline: the slack carry-over mechanism of Section 5.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rank.hpp"
+#include "workload/arrival.hpp"
+#include "workload/fuzzy.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(FuzzyTimeline, Validation) {
+  EXPECT_THROW(FuzzyTimeline(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(FuzzyTimeline(4, -1.0), std::invalid_argument);
+  FuzzyTimeline tl(4, 0.0);
+  std::vector<double> wrong(3, 1.0);
+  EXPECT_THROW(tl.signals(wrong), std::invalid_argument);
+}
+
+TEST(FuzzyTimeline, FirstIterationStartsAtZero) {
+  FuzzyTimeline tl(3, 5.0);
+  std::vector<double> work{1.0, 2.0, 3.0};
+  const auto sig = tl.signals(work);
+  EXPECT_DOUBLE_EQ(sig[0], 1.0);
+  EXPECT_DOUBLE_EQ(sig[1], 2.0);
+  EXPECT_DOUBLE_EQ(sig[2], 3.0);
+}
+
+TEST(FuzzyTimeline, ZeroSlackResynchronizesEveryone) {
+  FuzzyTimeline tl(3, 0.0);
+  std::vector<double> work{1.0, 5.0, 9.0};
+  tl.signals(work);
+  tl.advance(10.0);  // release >= last signal
+  for (double s : tl.starts()) EXPECT_DOUBLE_EQ(s, 10.0);
+}
+
+TEST(FuzzyTimeline, LargeSlackPreservesLateness) {
+  FuzzyTimeline tl(3, 100.0);
+  std::vector<double> work{1.0, 5.0, 9.0};
+  tl.signals(work);
+  tl.advance(9.5);
+  // signal + slack dominates the release for everyone.
+  EXPECT_DOUBLE_EQ(tl.starts()[0], 101.0);
+  EXPECT_DOUBLE_EQ(tl.starts()[1], 105.0);
+  EXPECT_DOUBLE_EQ(tl.starts()[2], 109.0);
+}
+
+TEST(FuzzyTimeline, MixedRegime) {
+  // Slack covers the early processor but not the late one.
+  FuzzyTimeline tl(2, 3.0);
+  std::vector<double> work{1.0, 10.0};
+  tl.signals(work);
+  tl.advance(10.5);
+  EXPECT_DOUBLE_EQ(tl.starts()[0], 10.5);  // 1 + 3 < 10.5: resynced
+  EXPECT_DOUBLE_EQ(tl.starts()[1], 13.0);  // 10 + 3 > 10.5: stays late
+}
+
+TEST(FuzzyTimeline, SignalsAccumulateAcrossIterations) {
+  FuzzyTimeline tl(2, 0.0);
+  std::vector<double> work{2.0, 4.0};
+  tl.signals(work);
+  tl.advance(4.0);
+  const auto sig = tl.signals(work);
+  EXPECT_DOUBLE_EQ(sig[0], 6.0);
+  EXPECT_DOUBLE_EQ(sig[1], 8.0);
+}
+
+// The paper's Figure 5 claim, reproduced as a property: with iid noise,
+// arrival *order* is unpredictable at slack 0 and strongly persistent
+// once slack exceeds the spread of the distribution.
+TEST(FuzzyTimeline, SlackInducesArrivalOrderPersistence) {
+  auto run = [](double slack) {
+    IidGenerator gen(64, make_normal(1000.0, 25.0), 31);
+    FuzzyTimeline tl(64, slack);
+    std::vector<double> work(64);
+    std::vector<std::vector<double>> signal_rows;
+    for (std::size_t i = 0; i < 120; ++i) {
+      gen.generate(i, work);
+      const auto sig = tl.signals(work);
+      signal_rows.emplace_back(sig.begin(), sig.end());
+      double release = 0.0;
+      for (double s : sig) release = std::max(release, s);
+      tl.advance(release + 1.0);  // small sync cost
+    }
+    return rank_autocorrelation(signal_rows, 1);
+  };
+  EXPECT_NEAR(run(0.0), 0.0, 0.15);
+  EXPECT_GT(run(500.0), 0.6);
+}
+
+TEST(FuzzyTimeline, AccessorsReflectState) {
+  FuzzyTimeline tl(2, 7.5);
+  EXPECT_EQ(tl.procs(), 2u);
+  EXPECT_DOUBLE_EQ(tl.slack(), 7.5);
+  std::vector<double> work{1.0, 2.0};
+  tl.signals(work);
+  EXPECT_DOUBLE_EQ(tl.last_signals()[1], 2.0);
+}
+
+}  // namespace
+}  // namespace imbar

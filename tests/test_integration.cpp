@@ -1,0 +1,130 @@
+// Cross-module integration: analytic model vs simulator vs real
+// threads, and end-to-end recommendation flows.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "barrier/mcs_tree_barrier.hpp"
+#include "core/facade.hpp"
+#include "model/analytic.hpp"
+#include "simbarrier/episode.hpp"
+#include "simbarrier/sweep.hpp"
+#include "workload/sor_model.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(Integration, AnalyticTracksSimulationAtModerateImbalance) {
+  // Paper Section 3 closes with "this approximation still captures the
+  // behavior of synchronization under workload imbalance": the analytic
+  // and simulated delays must agree within a small factor across the
+  // full-tree degrees, and must agree on the broad ranking.
+  const std::size_t p = 256;
+  const double sigma = 12.5 * 20.0, t_c = 20.0;
+  simb::SweepOptions o;
+  o.sigma = sigma;
+  o.t_c = t_c;
+  o.trials = 25;
+  for (std::size_t d : {2u, 4u, 16u}) {
+    const double sim = simb::simulate_delay(p, d, o).mean_delay;
+    const double model = analytic_sync_delay({p, d, sigma, t_c}).sync_delay;
+    EXPECT_GT(model, 0.3 * sim) << d;
+    EXPECT_LT(model, 3.0 * sim) << d;
+  }
+}
+
+TEST(Integration, EstimatedDegreePerformsNearSimulatedOptimum) {
+  // The paper's 7% claim, loosened for our trial counts: the analytic
+  // degree's simulated delay must be within 40% of the exhaustive
+  // simulated optimum across the sigma grid.
+  const std::size_t p = 256;
+  const double t_c = 20.0;
+  for (double sigma_tc : {0.0, 6.25, 25.0, 100.0}) {
+    simb::SweepOptions o;
+    o.sigma = sigma_tc * t_c;
+    o.t_c = t_c;
+    o.trials = 25;
+    const auto sim_opt = simb::find_optimal_degree(p, o);
+    const auto est = estimate_optimal_degree(p, o.sigma, t_c);
+    const double est_delay = simb::simulate_delay(p, est.degree, o).mean_delay;
+    EXPECT_LE(est_delay, sim_opt.best_delay * 1.4)
+        << "sigma = " << sigma_tc << " t_c (est degree " << est.degree
+        << ", sim best " << sim_opt.best_degree << ")";
+  }
+}
+
+TEST(Integration, ThreadedMcsCommsMatchSimulatedComms) {
+  // Structural equivalence of the real barrier and its simulation: the
+  // per-episode communication count is a topology invariant
+  // (p + counters - 1), so both worlds must report identical totals.
+  const std::size_t p = 6, degree = 2, episodes = 50;
+  McsTreeBarrier real(p, degree);
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < p; ++t)
+    pool.emplace_back([&real, t] {
+      for (std::size_t i = 0; i < episodes; ++i) real.arrive_and_wait(t);
+    });
+  for (auto& th : pool) th.join();
+
+  simb::TreeBarrierSim sim(simb::Topology::mcs(p, degree), simb::SimOptions{});
+  std::uint64_t sim_updates = 0;
+  double base = 0.0;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    const auto r = sim.run_iteration(std::vector<double>(p, base));
+    sim_updates += r.updates;
+    base = r.release + 1.0;
+  }
+  EXPECT_EQ(real.counters().updates, sim_updates);
+}
+
+TEST(Integration, SorModelDrivesOptimalDegreeUpward) {
+  // Figure 12 end-to-end shape: larger d_y -> larger sigma -> larger
+  // optimal degree on the KSR1-like 56-processor ring topology.
+  auto best_for_dy = [](std::size_t dy) {
+    SorModelParams sp;
+    sp.dy = dy;
+    simb::SweepOptions o;
+    o.sigma = sor_predicted_sigma_us(sp);
+    o.t_c = 20.0;
+    o.trials = 25;
+    return simb::find_optimal_degree(56, o).best_degree;
+  };
+  const std::size_t lo = best_for_dy(60);
+  const std::size_t hi = best_for_dy(840);
+  EXPECT_LE(lo, 8u);
+  EXPECT_GE(hi, lo);
+  EXPECT_GE(hi, 8u);
+}
+
+TEST(Integration, RecommendedConfigSynchronizesRealThreads) {
+  const auto cfg = recommend_config(5, /*sigma_us=*/100.0, /*tc_us=*/1.0,
+                                    /*predictable=*/true);
+  auto barrier = make_barrier(cfg);
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < 5; ++t)
+    pool.emplace_back([&barrier, t] {
+      for (int i = 0; i < 100; ++i) barrier->arrive_and_wait(t);
+    });
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(barrier->counters().episodes, 100u);
+}
+
+TEST(Integration, DynamicPlacementBeatsStaticUnderSlackAcrossDegrees) {
+  // Figure 8's qualitative content as a property over degrees.
+  for (std::size_t degree : {4u, 16u}) {
+    const simb::Topology topo = simb::Topology::mcs(512, degree);
+    IidGenerator gen(512, make_normal(10000.0, 250.0), 51);
+    simb::EpisodeOptions eo;
+    eo.iterations = 50;
+    eo.warmup = 15;
+    eo.slack = 4000.0;
+    const auto cmp = simb::compare_placement(topo, simb::SimOptions{}, gen, eo);
+    EXPECT_GT(cmp.sync_speedup, 1.2) << "degree " << degree;
+    // Deeper (smaller-degree) trees gain more (paper: 4.71 vs 2.45).
+    if (degree == 4) EXPECT_GT(cmp.sync_speedup, 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace imbar

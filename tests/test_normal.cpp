@@ -1,0 +1,94 @@
+// Normal distribution machinery: Phi, Phi^-1 (paper Eq. 4 depends on
+// inverse accuracy deep into the tails).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "dist/normal.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.39894228040143267794, 1e-15);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_DOUBLE_EQ(normal_pdf(3.0), normal_pdf(-3.0));
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145705, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+}
+
+TEST(NormalCdf, TailsAreAccurate) {
+  // erfc-based evaluation stays accurate where 1 - Phi underflows.
+  EXPECT_NEAR(normal_cdf(-6.0), 9.865876450376946e-10, 1e-18);
+  EXPECT_GT(normal_cdf(-37.0), 0.0);
+}
+
+TEST(NormalCdf, Monotone) {
+  double prev = -1.0;
+  for (double x = -8.0; x <= 8.0; x += 0.25) {
+    const double c = normal_cdf(x);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(NormalInvCdf, KnownQuantiles) {
+  EXPECT_NEAR(normal_inv_cdf(0.5), 0.0, 1e-15);
+  EXPECT_NEAR(normal_inv_cdf(0.975), 1.959963984540054, 1e-12);
+  EXPECT_NEAR(normal_inv_cdf(0.8413447460685429), 1.0, 1e-12);
+  EXPECT_NEAR(normal_inv_cdf(0.025), -1.959963984540054, 1e-12);
+}
+
+TEST(NormalInvCdf, EdgeCases) {
+  EXPECT_EQ(normal_inv_cdf(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normal_inv_cdf(1.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normal_inv_cdf(-0.1), -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(normal_inv_cdf(std::nan(""))));
+}
+
+TEST(NormalInvCdf, Antisymmetric) {
+  for (double p : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(normal_inv_cdf(p), -normal_inv_cdf(1.0 - p), 1e-12);
+  }
+}
+
+// Round-trip property sweep: Phi(Phi^-1(p)) == p across the full open
+// interval, including deep tails.
+class InvCdfRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(InvCdfRoundTrip, PhiOfInverseIsIdentity) {
+  const double p = GetParam();
+  const double x = normal_inv_cdf(p);
+  EXPECT_NEAR(normal_cdf(x), p, 1e-12 + p * 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, InvCdfRoundTrip,
+                         ::testing::Values(1e-12, 1e-9, 1e-6, 1e-4, 0.001, 0.01,
+                                           0.02425, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.97575, 0.99, 0.999, 1 - 1e-6,
+                                           1 - 1e-9));
+
+TEST(NormalGeneral, LocationScale) {
+  EXPECT_NEAR(normal_cdf(10.0, 10.0, 2.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(12.0, 10.0, 2.0), normal_cdf(1.0), 1e-15);
+  EXPECT_NEAR(normal_inv_cdf(0.5, 10.0, 2.0), 10.0, 1e-12);
+  EXPECT_NEAR(normal_inv_cdf(0.8413447460685429, 10.0, 2.0), 12.0, 1e-9);
+}
+
+TEST(NormalInvCdf, MonotoneOnGrid) {
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double p = 0.001; p < 1.0; p += 0.001) {
+    const double x = normal_inv_cdf(p);
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+}
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,168 @@
+// Differential test: the event-driven barrier simulator against an
+// independently implemented oracle.
+//
+// The oracle computes the same model a completely different way: it
+// processes counters in topological (children-first) order; for each
+// counter it gathers the arrival times (attached processors' signals
+// plus child fill times), sorts them, and serves them sequentially with
+// start_k = max(arrival_k, done_{k-1}). For distinct arrival times and a
+// uniform service time this is exactly the FIFO queueing discipline of
+// the DES, with none of its machinery (no event heap, no resources, no
+// callbacks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "simbarrier/tree_sim.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::simb {
+namespace {
+
+struct OracleResult {
+  double release = 0.0;
+  std::vector<double> fill_time;  // per counter
+};
+
+OracleResult oracle_release(const Topology& topo,
+                            const std::vector<double>& signals, double t_c) {
+  const std::size_t nc = topo.counters();
+  OracleResult res;
+  res.fill_time.assign(nc, -1.0);
+
+  // Children-first (topological) order by repeated scanning — O(n^2),
+  // deliberately naive and independent of the DES implementation.
+  std::vector<bool> done(nc, false);
+  std::size_t remaining = nc;
+  // Attached processors per counter, from the initial placement.
+  std::vector<std::vector<int>> attached(nc);
+  for (std::size_t p = 0; p < signals.size(); ++p)
+    attached[static_cast<std::size_t>(topo.initial_counter()[p])].push_back(
+        static_cast<int>(p));
+
+  while (remaining > 0) {
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (done[c]) continue;
+      const auto& node = topo.node(static_cast<int>(c));
+      bool ready = true;
+      for (int child : node.children)
+        if (!done[static_cast<std::size_t>(child)]) ready = false;
+      if (!ready) continue;
+
+      std::vector<double> arrivals;
+      for (int p : attached[c]) arrivals.push_back(signals[static_cast<std::size_t>(p)]);
+      for (int child : node.children)
+        arrivals.push_back(res.fill_time[static_cast<std::size_t>(child)]);
+      std::sort(arrivals.begin(), arrivals.end());
+
+      double busy = 0.0;
+      bool first = true;
+      for (double a : arrivals) {
+        const double start = first ? a : std::max(a, busy);
+        busy = start + t_c;
+        first = false;
+      }
+      res.fill_time[c] = busy;
+      done[c] = true;
+      --remaining;
+    }
+  }
+  res.release = res.fill_time[static_cast<std::size_t>(topo.root())];
+  return res;
+}
+
+struct DiffCase {
+  std::size_t procs;
+  std::size_t degree;
+  TreeKind kind;
+  double sigma;
+};
+
+class OracleDiff : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(OracleDiff, ReleaseTimesAgreeOverRandomTrials) {
+  const auto [procs, degree, kind, sigma] = GetParam();
+  const Topology topo = kind == TreeKind::kPlain
+                            ? Topology::plain(procs, degree)
+                            : Topology::mcs(procs, degree);
+  SimOptions opts;
+  opts.t_c = 20.0;
+  TreeBarrierSim sim(topo, opts);
+
+  Xoshiro256 rng(0xD1FFu ^ procs ^ (degree << 8));
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> signals(procs);
+    for (auto& s : signals) s = rng.uniform() * sigma;  // distinct w.p. 1
+    sim.reset();
+    const auto r = sim.run_iteration(signals);
+    const auto oracle = oracle_release(topo, signals, opts.t_c);
+    ASSERT_NEAR(r.release, oracle.release, 1e-9)
+        << "trial " << trial << " p=" << procs << " d=" << degree;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OracleDiff,
+    ::testing::Values(DiffCase{4, 2, TreeKind::kPlain, 100.0},
+                      DiffCase{16, 2, TreeKind::kPlain, 50.0},
+                      DiffCase{16, 4, TreeKind::kPlain, 0.0},
+                      DiffCase{64, 4, TreeKind::kPlain, 500.0},
+                      DiffCase{64, 8, TreeKind::kPlain, 30.0},
+                      DiffCase{100, 3, TreeKind::kPlain, 200.0},
+                      DiffCase{256, 16, TreeKind::kPlain, 1000.0},
+                      DiffCase{5, 2, TreeKind::kMcs, 100.0},
+                      DiffCase{17, 2, TreeKind::kMcs, 80.0},
+                      DiffCase{56, 4, TreeKind::kMcs, 300.0},
+                      DiffCase{64, 4, TreeKind::kMcs, 500.0},
+                      DiffCase{200, 16, TreeKind::kMcs, 700.0},
+                      DiffCase{256, 4, TreeKind::kMcs, 1500.0}));
+
+TEST(OracleDiff, TraceObserverSeesEveryUpdateConsistently) {
+  const Topology topo = Topology::mcs(32, 4);
+  SimOptions opts;
+  opts.t_c = 10.0;
+  TreeBarrierSim sim(topo, opts);
+
+  std::vector<UpdateEvent> trace;
+  sim.set_trace_observer([&](const UpdateEvent& ev) { trace.push_back(ev); });
+
+  Xoshiro256 rng(99);
+  std::vector<double> signals(32);
+  for (auto& s : signals) s = rng.uniform() * 200.0;
+  const auto r = sim.run_iteration(signals);
+
+  // One event per update, matching the iteration's total.
+  ASSERT_EQ(trace.size(), r.updates);
+  // Completion order is nondecreasing in time; waits are nonnegative;
+  // exactly counters() fills; the last fill is the root at release time.
+  double prev_done = 0.0;
+  std::size_t fills = 0;
+  for (const auto& ev : trace) {
+    EXPECT_GE(ev.start, ev.requested);
+    EXPECT_DOUBLE_EQ(ev.done, ev.start + opts.t_c);
+    EXPECT_GE(ev.done, prev_done);
+    prev_done = ev.done;
+    fills += ev.filled ? 1 : 0;
+  }
+  EXPECT_EQ(fills, topo.counters());
+  EXPECT_TRUE(trace.back().filled);
+  EXPECT_EQ(trace.back().counter, topo.root());
+  EXPECT_DOUBLE_EQ(trace.back().done, r.release);
+}
+
+TEST(OracleDiff, PerProcUpdateSumsMatchTrace) {
+  const Topology topo = Topology::plain(24, 3);
+  TreeBarrierSim sim(topo, SimOptions{});
+  std::vector<int> per_proc(24, 0);
+  sim.set_trace_observer(
+      [&](const UpdateEvent& ev) { ++per_proc[static_cast<std::size_t>(ev.proc)]; });
+  Xoshiro256 rng(5);
+  std::vector<double> signals(24);
+  for (auto& s : signals) s = rng.uniform() * 100.0;
+  sim.run_iteration(signals);
+  EXPECT_EQ(per_proc, sim.last_updates_per_proc());
+}
+
+}  // namespace
+}  // namespace imbar::simb

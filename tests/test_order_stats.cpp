@@ -1,0 +1,91 @@
+// Expected extremes of normal samples (paper Eq. 5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/normal.hpp"
+#include "dist/order_stats.hpp"
+#include "dist/samplers.hpp"
+#include "util/prng.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(ExpectedMax, TrivialCases) {
+  EXPECT_DOUBLE_EQ(expected_max_normal_asymptotic(1), 0.0);
+  EXPECT_DOUBLE_EQ(expected_max_normal_exact(1), 0.0);
+}
+
+TEST(ExpectedMax, ExactKnownValues) {
+  // E[max of 2 N(0,1)] = 1/sqrt(pi); well-tabulated small-n values.
+  EXPECT_NEAR(expected_max_normal_exact(2), 1.0 / std::sqrt(M_PI), 1e-8);
+  EXPECT_NEAR(expected_max_normal_exact(3), 0.846284375, 1e-6);
+  EXPECT_NEAR(expected_max_normal_exact(5), 1.162964, 1e-5);
+  EXPECT_NEAR(expected_max_normal_exact(10), 1.538753, 1e-5);
+}
+
+TEST(ExpectedMax, ExactIsMonotoneInP) {
+  double prev = 0.0;
+  for (std::size_t p : {2u, 4u, 8u, 16u, 64u, 256u, 1024u}) {
+    const double v = expected_max_normal_exact(p);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ExpectedMax, AsymptoticApproachesExactForLargeP) {
+  // The Eq. 5 asymptotic converges like (ln ln p)/(ln p)^(3/2): slow.
+  // Check it is within ~8% by p = 256 and that the error shrinks.
+  double prev_err = 1.0;
+  for (std::size_t p : {256u, 1024u, 4096u, 16384u}) {
+    const double exact = expected_max_normal_exact(p);
+    const double asym = expected_max_normal_asymptotic(p);
+    const double err = std::fabs(asym / exact - 1.0);
+    EXPECT_LT(err, 0.08) << "p = " << p;
+    EXPECT_LE(err, prev_err + 1e-12) << "p = " << p;
+    prev_err = err;
+  }
+}
+
+TEST(ExpectedMax, ExactMatchesMonteCarlo) {
+  Xoshiro256 rng(31);
+  NormalSampler normal(0.0, 1.0);
+  const std::size_t p = 64;
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    double mx = -1e300;
+    for (std::size_t i = 0; i < p; ++i) mx = std::max(mx, normal.sample(rng));
+    sum += mx;
+  }
+  EXPECT_NEAR(sum / trials, expected_max_normal_exact(p), 0.02);
+}
+
+TEST(Blom, ExtremesAndMedian) {
+  // Median order statistic of odd n sits at 0.
+  EXPECT_NEAR(expected_order_stat_blom(3, 5), 0.0, 1e-12);
+  // Max estimate close to the exact expected max.
+  EXPECT_NEAR(expected_order_stat_blom(64, 64), expected_max_normal_exact(64),
+              0.05);
+  // Symmetric: r-th smallest = -(r-th largest).
+  EXPECT_NEAR(expected_order_stat_blom(1, 10),
+              -expected_order_stat_blom(10, 10), 1e-12);
+}
+
+TEST(Blom, ClampsOutOfRangeRanks) {
+  EXPECT_DOUBLE_EQ(expected_order_stat_blom(0, 10),
+                   expected_order_stat_blom(1, 10));
+  EXPECT_DOUBLE_EQ(expected_order_stat_blom(99, 10),
+                   expected_order_stat_blom(10, 10));
+  EXPECT_DOUBLE_EQ(expected_order_stat_blom(1, 0), 0.0);
+}
+
+TEST(ExpectedMax, Eq5ShapeUsedByModel) {
+  // The paper's Eq. 5 at p = 4096: sqrt(2 ln p) dominates.
+  const double v = expected_max_normal_asymptotic(4096);
+  EXPECT_GT(v, 3.0);
+  EXPECT_LT(v, 4.5);
+}
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,127 @@
+// Point-to-point neighbor synchronization.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "barrier/point_to_point.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar {
+namespace {
+
+void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < n; ++t) pool.emplace_back(body, t);
+  for (auto& th : pool) th.join();
+}
+
+TEST(PointToPoint, Validation) {
+  EXPECT_THROW(PointToPointSync(0), std::invalid_argument);
+}
+
+TEST(PointToPoint, PostReturnsMonotoneEpochs) {
+  PointToPointSync sync(2);
+  EXPECT_EQ(sync.post(0), 1u);
+  EXPECT_EQ(sync.post(0), 2u);
+  EXPECT_EQ(sync.posted(0), 2u);
+  EXPECT_EQ(sync.posted(1), 0u);
+}
+
+TEST(PointToPoint, StencilNeighborsAreClipped) {
+  PointToPointSync sync(4);
+  EXPECT_EQ(sync.stencil_neighbors(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(sync.stencil_neighbors(1), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(sync.stencil_neighbors(3), (std::vector<std::size_t>{2}));
+  PointToPointSync solo(1);
+  EXPECT_TRUE(solo.stencil_neighbors(0).empty());
+}
+
+TEST(PointToPoint, WaitForBlocksUntilPosted) {
+  PointToPointSync sync(2);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    sync.wait_for(0, 1);
+    released.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(released.load(std::memory_order_acquire));
+  sync.post(0);
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(PointToPoint, StencilChainEnforcesLocalOrdering) {
+  // Each thread writes phase p, posts, waits for its stencil neighbors,
+  // then verifies the neighbors (and only the neighbors) are at >= p.
+  constexpr std::size_t kThreads = 6;
+  constexpr int kPhases = 400;
+  PointToPointSync sync(kThreads);
+  std::vector<PaddedAtomic<int>> phase(kThreads);
+  std::atomic<bool> violation{false};
+  run_threads(kThreads, [&](std::size_t tid) {
+    const auto neighbors = sync.stencil_neighbors(tid);
+    for (int p = 1; p <= kPhases; ++p) {
+      phase[tid].value.store(p, std::memory_order_release);
+      const auto ep = sync.post(tid);
+      sync.wait_all(neighbors, ep);
+      for (std::size_t o : neighbors)
+        if (phase[o].value.load(std::memory_order_acquire) < p)
+          violation.store(true, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(PointToPoint, AllowsDistantThreadsToDecouple) {
+  // Thread 0 and thread 3 share no dependence: thread 0 can finish all
+  // its epochs while thread 3 is still asleep, which no barrier allows.
+  PointToPointSync sync(4);
+  std::atomic<bool> t0_done{false};
+  std::thread t0([&] {
+    for (int i = 0; i < 50; ++i) sync.post(0);
+    t0_done.store(true, std::memory_order_release);
+  });
+  t0.join();
+  EXPECT_TRUE(t0_done.load());
+  EXPECT_EQ(sync.posted(0), 50u);
+  EXPECT_EQ(sync.posted(3), 0u);
+}
+
+TEST(PointToPoint, SkewIsBoundedByDependenceChain) {
+  // With the stencil chain, thread 0 can run at most `distance` epochs
+  // ahead of thread n-1 plus one; verify threads stay within a small
+  // skew while one straggler sleeps.
+  constexpr std::size_t kThreads = 4;
+  PointToPointSync sync(kThreads);
+  std::atomic<std::uint64_t> max_skew{0};
+  run_threads(kThreads, [&](std::size_t tid) {
+    const auto neighbors = sync.stencil_neighbors(tid);
+    for (int i = 0; i < 300; ++i) {
+      if (tid == kThreads - 1 && i % 10 == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      const auto ep = sync.post(tid);
+      sync.wait_all(neighbors, ep);
+      // Snapshot skew vs the slowest participant (racy but bounded).
+      std::uint64_t lo = ~0ULL, hi = 0;
+      for (std::size_t o = 0; o < kThreads; ++o) {
+        const auto v = sync.posted(o);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      std::uint64_t skew = hi - lo;
+      std::uint64_t cur = max_skew.load();
+      while (skew > cur && !max_skew.compare_exchange_weak(cur, skew)) {
+      }
+    }
+  });
+  // Chain distance is kThreads-1; +1 for in-flight post.
+  EXPECT_LE(max_skew.load(), kThreads);
+  EXPECT_GE(max_skew.load(), 1u);
+}
+
+}  // namespace
+}  // namespace imbar

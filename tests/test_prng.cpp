@@ -1,0 +1,116 @@
+// PRNG determinism, stream independence, and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, KnownFirstValue) {
+  // Reference value of splitmix64(0) from the public-domain reference
+  // implementation.
+  SplitMix64 g(0);
+  EXPECT_EQ(g.next(), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, SubstreamsAreDistinct) {
+  auto a = Xoshiro256::substream(99, 0);
+  auto b = Xoshiro256::substream(99, 1);
+  int same = 0;
+  for (int i = 0; i < 256; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, SubstreamIsDeterministic) {
+  auto a = Xoshiro256::substream(5, 3);
+  auto b = Xoshiro256::substream(5, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 g(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformOpenNeverZeroOrOne) {
+  Xoshiro256 g(321);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform_open();
+    ASSERT_GT(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanNearHalf) {
+  Xoshiro256 g(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BelowRespectsBound) {
+  Xoshiro256 g(77);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(g.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BelowOneAlwaysZero) {
+  Xoshiro256 g(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(g.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 g(2024);
+  const std::uint64_t bound = 7;
+  std::vector<int> counts(bound, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[g.below(bound)];
+  for (auto c : counts) EXPECT_NEAR(c, n / static_cast<int>(bound), n / 100);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ULL);
+  Xoshiro256 g(1);
+  std::vector<int> v{3, 1, 2};
+  std::shuffle(v.begin(), v.end(), g);  // compiles and runs
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Xoshiro256, NoShortCycles) {
+  Xoshiro256 g(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(g.next());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace imbar

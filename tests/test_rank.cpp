@@ -1,0 +1,97 @@
+// Rank statistics: the machinery behind the Figure 5 predictability
+// experiment.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rank.hpp"
+#include "util/prng.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(Ranks, SimpleOrdering) {
+  const auto r = ranks(std::vector<double>{30, 10, 20});
+  EXPECT_EQ(r, (std::vector<double>{3, 1, 2}));
+}
+
+TEST(Ranks, TiesGetAverageRank) {
+  const auto r = ranks(std::vector<double>{1, 2, 2, 3});
+  EXPECT_EQ(r, (std::vector<double>{1, 2.5, 2.5, 4}));
+}
+
+TEST(Ranks, AllEqual) {
+  const auto r = ranks(std::vector<double>{5, 5, 5});
+  EXPECT_EQ(r, (std::vector<double>{2, 2, 2}));
+}
+
+TEST(Ranks, Empty) { EXPECT_TRUE(ranks(std::vector<double>{}).empty()); }
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4}, y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  std::vector<double> x{1, 2, 3, 4}, y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  std::vector<double> x{1, 1, 1}, y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);  // zero variance
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{1.0}, std::vector<double>{2.0}), 0.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{1, 8, 27, 64, 125};  // x^3: nonlinear, monotone
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, IndependentIsNearZero) {
+  Xoshiro256 rng(12);
+  std::vector<double> x(2000), y(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  EXPECT_NEAR(spearman(x, y), 0.0, 0.06);
+}
+
+TEST(Spearman, MismatchedSizesAreZero) {
+  EXPECT_DOUBLE_EQ(
+      spearman(std::vector<double>{1, 2}, std::vector<double>{1, 2, 3}), 0.0);
+}
+
+TEST(RankAutocorrelation, LagZeroIsOne) {
+  std::vector<std::vector<double>> rows{{1, 2, 3}, {3, 2, 1}};
+  EXPECT_DOUBLE_EQ(rank_autocorrelation(rows, 0), 1.0);
+}
+
+TEST(RankAutocorrelation, PersistentOrderIsHigh) {
+  // Every iteration preserves the processor ordering + small noise.
+  Xoshiro256 rng(4);
+  std::vector<std::vector<double>> rows(50, std::vector<double>(20));
+  for (auto& row : rows)
+    for (std::size_t p = 0; p < row.size(); ++p)
+      row[p] = static_cast<double>(p) + 0.01 * rng.uniform();
+  EXPECT_GT(rank_autocorrelation(rows, 1), 0.99);
+  EXPECT_GT(rank_autocorrelation(rows, 10), 0.99);
+}
+
+TEST(RankAutocorrelation, IidOrderIsLow) {
+  Xoshiro256 rng(8);
+  std::vector<std::vector<double>> rows(200, std::vector<double>(30));
+  for (auto& row : rows)
+    for (auto& v : row) v = rng.uniform();
+  EXPECT_NEAR(rank_autocorrelation(rows, 1), 0.0, 0.1);
+}
+
+TEST(RankAutocorrelation, TooFewRowsIsZero) {
+  std::vector<std::vector<double>> rows{{1, 2, 3}};
+  EXPECT_DOUBLE_EQ(rank_autocorrelation(rows, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,115 @@
+// Random-variate samplers: moment matching across shapes (TEST_P sweep).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "dist/samplers.hpp"
+#include "stats/summary.hpp"
+#include "util/prng.hpp"
+
+namespace imbar {
+namespace {
+
+struct SamplerCase {
+  const char* name;
+  std::function<std::unique_ptr<Sampler>()> make;
+  double tol_mean;
+  double tol_sd;
+};
+
+class SamplerMoments : public ::testing::TestWithParam<SamplerCase> {};
+
+TEST_P(SamplerMoments, EmpiricalMomentsMatchDeclared) {
+  const auto& param = GetParam();
+  auto s = param.make();
+  Xoshiro256 rng(1234);
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i) rs.add(s->sample(rng));
+  EXPECT_NEAR(rs.mean(), s->mean(), param.tol_mean) << param.name;
+  EXPECT_NEAR(rs.stddev(), s->stddev(), param.tol_sd) << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SamplerMoments,
+    ::testing::Values(
+        SamplerCase{"normal", [] { return make_normal(10.0, 2.0); }, 0.05, 0.05},
+        SamplerCase{"normal_wide",
+                    [] { return make_normal(0.0, 50.0); }, 0.8, 0.8},
+        SamplerCase{"exponential",
+                    [] { return std::make_unique<ExponentialSampler>(5.0); },
+                    0.1, 0.1},
+        SamplerCase{"uniform",
+                    [] { return std::make_unique<UniformSampler>(2.0, 6.0); },
+                    0.05, 0.05},
+        SamplerCase{"lognormal",
+                    [] { return std::make_unique<LogNormalSampler>(8.0, 3.0); },
+                    0.15, 0.25},
+        SamplerCase{"constant", [] { return make_constant(4.5); }, 1e-12, 1e-12}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(NormalSampler, ZeroSigmaIsDegenerate) {
+  NormalSampler s(7.0, 0.0);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(s.sample(rng), 7.0);
+}
+
+TEST(NormalSampler, IsGaussianByKurtosis) {
+  NormalSampler s(0.0, 1.0);
+  Xoshiro256 rng(2);
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i) rs.add(s.sample(rng));
+  EXPECT_NEAR(rs.skewness(), 0.0, 0.03);
+  EXPECT_NEAR(rs.excess_kurtosis(), 0.0, 0.06);
+}
+
+TEST(ExponentialSampler, IsPositiveAndSkewed) {
+  ExponentialSampler s(3.0);
+  Xoshiro256 rng(3);
+  RunningStats rs;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = s.sample(rng);
+    ASSERT_GT(x, 0.0);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.skewness(), 2.0, 0.15);
+}
+
+TEST(UniformSampler, StaysInRange) {
+  UniformSampler s(-1.0, 1.0);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = s.sample(rng);
+    ASSERT_GE(x, -1.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(LogNormalSampler, IsPositive) {
+  LogNormalSampler s(5.0, 10.0);  // heavy tail (cv = 2)
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) ASSERT_GT(s.sample(rng), 0.0);
+}
+
+TEST(LogNormalSampler, RejectsNonPositiveMean) {
+  EXPECT_THROW(LogNormalSampler(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogNormalSampler(-2.0, 1.0), std::invalid_argument);
+}
+
+TEST(LogNormalSampler, ZeroSigmaIsDegenerate) {
+  LogNormalSampler s(6.0, 0.0);
+  Xoshiro256 rng(6);
+  EXPECT_DOUBLE_EQ(s.sample(rng), 6.0);
+}
+
+TEST(Samplers, DeterministicGivenRngState) {
+  auto a = make_normal(0.0, 1.0);
+  auto b = make_normal(0.0, 1.0);
+  Xoshiro256 r1(9), r2(9);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a->sample(r1), b->sample(r2));
+}
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,120 @@
+// Discrete-event kernel: ordering, FIFO ties, time semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace imbar::sim {
+namespace {
+
+TEST(Engine, StartsAtZeroAndIdle) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.events_dispatched(), 0u);
+}
+
+TEST(Engine, DispatchesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3.0, [&] { order.push_back(3); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_dispatched(), 3u);
+}
+
+TEST(Engine, EqualTimesAreFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) e.schedule(5.0, [&, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(e.now());
+    if (times.size() < 5) e.schedule_in(1.5, chain);
+  };
+  e.schedule(0.0, chain);
+  e.run();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times.back(), 6.0);
+}
+
+TEST(Engine, SchedulingIntoThePastThrows) {
+  Engine e;
+  e.schedule(10.0, [&] {
+    EXPECT_THROW(e.schedule(5.0, [] {}), std::logic_error);
+  });
+  e.run();
+}
+
+TEST(Engine, RunUntilStopsAndResumes) {
+  Engine e;
+  std::vector<int> fired;
+  e.schedule(1.0, [&] { fired.push_back(1); });
+  e.schedule(5.0, [&] { fired.push_back(5); });
+  e.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_FALSE(e.idle());
+  e.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 5}));
+}
+
+TEST(Engine, RunUntilIncludesEventsExactlyAtStopTime) {
+  Engine e;
+  int fired = 0;
+  e.schedule(3.0, [&] { ++fired; });
+  e.run_until(3.0);  // boundary is inclusive
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWithoutEvents) {
+  Engine e;
+  e.run_until(7.0);
+  EXPECT_DOUBLE_EQ(e.now(), 7.0);
+}
+
+TEST(Engine, ResetClearsEverything) {
+  Engine e;
+  int fired = 0;
+  e.schedule(4.0, [&] { ++fired; });
+  e.reset();
+  EXPECT_TRUE(e.idle());
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  e.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, ScheduleInUsesCurrentTime) {
+  Engine e;
+  double observed = -1.0;
+  e.schedule(2.0, [&] { e.schedule_in(3.0, [&] { observed = e.now(); }); });
+  e.run();
+  EXPECT_DOUBLE_EQ(observed, 5.0);
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine e;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 1000; i > 0; --i)
+    e.schedule(static_cast<double>(i % 97), [&] {
+      if (e.now() < last) monotone = false;
+      last = e.now();
+    });
+  e.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(e.events_dispatched(), 1000u);
+}
+
+}  // namespace
+}  // namespace imbar::sim

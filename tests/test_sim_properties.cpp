@@ -1,0 +1,167 @@
+// Property sweeps over the simulator: invariants that must hold for
+// every (p, degree, kind, sigma, service-order, placement) combination.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "model/degree.hpp"
+#include "simbarrier/episode.hpp"
+#include "simbarrier/tree_sim.hpp"
+#include "workload/arrival.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::simb {
+namespace {
+
+struct PropCase {
+  std::size_t procs;
+  std::size_t degree;
+  TreeKind kind;
+  double sigma;
+  sim::ServiceOrder order;
+};
+
+class SimProperty : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(SimProperty, StructuralInvariantsHoldPerIteration) {
+  const auto& c = GetParam();
+  const Topology topo = c.kind == TreeKind::kPlain
+                            ? Topology::plain(c.procs, c.degree)
+                            : Topology::mcs(c.procs, c.degree);
+  topo.validate();
+
+  SimOptions opts;
+  opts.t_c = 20.0;
+  opts.service_order = c.order;
+  TreeBarrierSim sim(topo, opts);
+
+  Xoshiro256 rng(0xBEEF ^ c.procs ^ (c.degree << 10));
+  std::vector<double> signals(c.procs);
+  double base = 0.0;
+  for (int iter = 0; iter < 8; ++iter) {
+    for (auto& s : signals) s = base + rng.uniform() * c.sigma;
+    const auto r = sim.run_iteration(signals);
+    base = r.release + 1.0;
+
+    // 1. The release cannot precede the last arrival plus its own path.
+    EXPECT_GE(r.sync_delay,
+              static_cast<double>(tree_levels(c.procs, c.degree)) * opts.t_c -
+                  1e-9);
+    // 2. ...and cannot exceed full serialization of every update.
+    EXPECT_LE(r.sync_delay,
+              static_cast<double>(r.updates) * opts.t_c + 1e-9);
+    // 3. Exactly p + counters - 1 updates (every counter fills once).
+    EXPECT_EQ(r.updates, c.procs + topo.counters() - 1);
+    // 4. Per-processor updates sum to the total; each in [1, depth].
+    const auto& per = sim.last_updates_per_proc();
+    EXPECT_EQ(std::accumulate(per.begin(), per.end(), std::size_t{0},
+                              [](std::size_t a, int b) {
+                                return a + static_cast<std::size_t>(b);
+                              }),
+              r.updates);
+    for (int u : per) {
+      EXPECT_GE(u, 1);
+      EXPECT_LE(u, topo.max_depth());
+    }
+    // 5. The last processor's metrics are consistent.
+    EXPECT_GE(r.last_proc, 0);
+    EXPECT_LT(r.last_proc, static_cast<int>(c.procs));
+    EXPECT_GE(r.last_proc_wait, 0.0);
+    EXPECT_EQ(r.last_proc_depth,
+              per[static_cast<std::size_t>(r.last_proc)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimProperty,
+    ::testing::Values(
+        PropCase{2, 2, TreeKind::kPlain, 0.0, sim::ServiceOrder::kFifo},
+        PropCase{7, 2, TreeKind::kPlain, 50.0, sim::ServiceOrder::kFifo},
+        PropCase{16, 4, TreeKind::kPlain, 0.0, sim::ServiceOrder::kFifo},
+        PropCase{33, 4, TreeKind::kPlain, 300.0, sim::ServiceOrder::kFifo},
+        PropCase{64, 8, TreeKind::kPlain, 100.0, sim::ServiceOrder::kRandom},
+        PropCase{100, 3, TreeKind::kPlain, 800.0, sim::ServiceOrder::kFifo},
+        PropCase{256, 16, TreeKind::kPlain, 40.0, sim::ServiceOrder::kRandom},
+        PropCase{256, 256, TreeKind::kPlain, 500.0, sim::ServiceOrder::kFifo},
+        PropCase{5, 4, TreeKind::kMcs, 10.0, sim::ServiceOrder::kFifo},
+        PropCase{56, 4, TreeKind::kMcs, 150.0, sim::ServiceOrder::kFifo},
+        PropCase{64, 2, TreeKind::kMcs, 0.0, sim::ServiceOrder::kRandom},
+        PropCase{200, 16, TreeKind::kMcs, 600.0, sim::ServiceOrder::kFifo},
+        PropCase{1024, 4, TreeKind::kMcs, 250.0, sim::ServiceOrder::kFifo}));
+
+class DynamicProperty : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(DynamicProperty, DynamicInvariantsHoldAcrossEpisodes) {
+  const auto& c = GetParam();
+  const Topology topo = Topology::mcs(c.procs, c.degree);
+  SimOptions opts;
+  opts.t_c = 20.0;
+  opts.placement = Placement::kDynamic;
+  TreeBarrierSim sim(topo, opts);
+
+  Xoshiro256 rng(0xFACE ^ c.procs);
+  std::vector<double> signals(c.procs);
+  double base = 0.0;
+  std::uint64_t prev_extras = 0;
+  for (int iter = 0; iter < 20; ++iter) {
+    for (auto& s : signals) s = base + rng.uniform() * c.sigma;
+    const auto r = sim.run_iteration(signals);
+    base = r.release + 1.0;
+
+    // Placement stays a permutation respecting per-counter capacity.
+    std::vector<int> count(topo.counters(), 0);
+    for (int pc : sim.placement()) ++count[static_cast<std::size_t>(pc)];
+    for (std::size_t cc = 0; cc < topo.counters(); ++cc)
+      ASSERT_EQ(count[cc], topo.attached_count(static_cast<int>(cc)));
+
+    // Victim reads never outnumber swaps; both bounded per episode.
+    EXPECT_LE(sim.total_extras(), sim.total_swaps());
+    EXPECT_LE(sim.total_extras() - prev_extras, topo.counters());
+    prev_extras = sim.total_extras();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DynamicProperty,
+    ::testing::Values(
+        PropCase{8, 2, TreeKind::kMcs, 100.0, sim::ServiceOrder::kFifo},
+        PropCase{56, 4, TreeKind::kMcs, 400.0, sim::ServiceOrder::kFifo},
+        PropCase{64, 16, TreeKind::kMcs, 50.0, sim::ServiceOrder::kFifo},
+        PropCase{200, 3, TreeKind::kMcs, 900.0, sim::ServiceOrder::kFifo},
+        PropCase{512, 4, TreeKind::kMcs, 250.0, sim::ServiceOrder::kFifo}));
+
+TEST(SimProperty, SlackMonotonicallyHelpsDynamicPlacement) {
+  // Across slacks, the dynamic scheme's mean last-proc depth must be
+  // non-increasing (within noise) — the Figure 8 trend as a property.
+  const Topology topo = Topology::mcs(256, 4);
+  double prev_depth = 1e9;
+  for (double slack : {0.0, 1000.0, 4000.0}) {
+    IidGenerator gen(256, make_normal(10000.0, 250.0), 99);
+    SimOptions so;
+    so.placement = Placement::kDynamic;
+    TreeBarrierSim sim(topo, so);
+    EpisodeOptions eo;
+    eo.iterations = 60;
+    eo.warmup = 15;
+    eo.slack = slack;
+    const auto m = run_episode(sim, gen, eo);
+    EXPECT_LE(m.mean_last_depth, prev_depth + 0.3) << "slack " << slack;
+    prev_depth = m.mean_last_depth;
+  }
+  EXPECT_LT(prev_depth, 2.0);
+}
+
+TEST(SimProperty, CentralEqualsDegreePTree) {
+  // A plain tree of degree >= p IS the central counter.
+  Xoshiro256 rng(3);
+  std::vector<double> signals(48);
+  for (auto& s : signals) s = rng.uniform() * 400.0;
+  TreeBarrierSim central(Topology::central(48), SimOptions{});
+  TreeBarrierSim wide(Topology::plain(48, 48), SimOptions{});
+  EXPECT_DOUBLE_EQ(central.run_iteration(signals).release,
+                   wide.run_iteration(signals).release);
+}
+
+}  // namespace
+}  // namespace imbar::simb

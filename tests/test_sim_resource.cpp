@@ -1,0 +1,171 @@
+// Serial resources: queueing math is the contention model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::sim {
+namespace {
+
+TEST(SerialResource, SingleRequestServedImmediately) {
+  Engine e;
+  SerialResource r(e);
+  double start = -1, done = -1;
+  e.schedule(2.0, [&] {
+    r.request(3.0, [&](Time s, Time d) {
+      start = s;
+      done = d;
+    });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(start, 2.0);
+  EXPECT_DOUBLE_EQ(done, 5.0);
+  EXPECT_EQ(r.requests_served(), 1u);
+  EXPECT_DOUBLE_EQ(r.total_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(r.total_busy(), 3.0);
+}
+
+TEST(SerialResource, SimultaneousRequestsSerializeFifo) {
+  Engine e;
+  SerialResource r(e);
+  std::vector<double> done_times;
+  e.schedule(0.0, [&] {
+    for (int i = 0; i < 4; ++i)
+      r.request(1.0, [&](Time, Time d) { done_times.push_back(d); });
+  });
+  e.run();
+  EXPECT_EQ(done_times, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(r.total_wait(), 0.0 + 1.0 + 2.0 + 3.0);
+}
+
+TEST(SerialResource, LateArrivalWaitsForBusyServer) {
+  Engine e;
+  SerialResource r(e);
+  double second_start = -1;
+  e.schedule(0.0, [&] { r.request(10.0, [](Time, Time) {}); });
+  e.schedule(4.0, [&] {
+    r.request(1.0, [&](Time s, Time) { second_start = s; });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(second_start, 10.0);
+  EXPECT_DOUBLE_EQ(r.total_wait(), 6.0);
+}
+
+TEST(SerialResource, IdleGapThenNewRequest) {
+  Engine e;
+  SerialResource r(e);
+  double start2 = -1;
+  e.schedule(0.0, [&] { r.request(1.0, [](Time, Time) {}); });
+  e.schedule(50.0, [&] { r.request(1.0, [&](Time s, Time) { start2 = s; }); });
+  e.run();
+  EXPECT_DOUBLE_EQ(start2, 50.0);  // no phantom busy time
+}
+
+TEST(SerialResource, CompletionMayRequestOtherResources) {
+  Engine e;
+  SerialResource a(e), b(e);
+  double b_done = -1;
+  e.schedule(0.0, [&] {
+    a.request(2.0, [&](Time, Time) {
+      b.request(3.0, [&](Time, Time d) { b_done = d; });
+    });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(b_done, 5.0);
+}
+
+TEST(SerialResource, RandomOrderServesEveryRequest) {
+  Engine e;
+  Xoshiro256 rng(77);
+  SerialResource r(e, ServiceOrder::kRandom, &rng);
+  int completed = 0;
+  e.schedule(0.0, [&] {
+    for (int i = 0; i < 50; ++i) r.request(1.0, [&](Time, Time) { ++completed; });
+  });
+  e.run();
+  EXPECT_EQ(completed, 50);
+  EXPECT_EQ(r.requests_served(), 50u);
+  // Total busy/wait are order-independent for equal service times.
+  EXPECT_DOUBLE_EQ(r.total_busy(), 50.0);
+  EXPECT_DOUBLE_EQ(r.total_wait(), 49.0 * 50.0 / 2.0);
+}
+
+TEST(SerialResource, RandomOrderIsDeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Engine e;
+    Xoshiro256 rng(seed);
+    SerialResource r(e, ServiceOrder::kRandom, &rng);
+    std::vector<int> order;
+    e.schedule(0.0, [&] {
+      for (int i = 0; i < 10; ++i)
+        r.request(1.0, [&order, i](Time, Time) { order.push_back(i); });
+    });
+    e.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+}
+
+TEST(SerialResource, StatsReset) {
+  Engine e;
+  SerialResource r(e);
+  e.schedule(0.0, [&] { r.request(1.0, [](Time, Time) {}); });
+  e.run();
+  r.reset_stats();
+  EXPECT_EQ(r.requests_served(), 0u);
+  EXPECT_DOUBLE_EQ(r.total_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(r.total_busy(), 0.0);
+}
+
+TEST(SerialResource, ServiceScalerInflatesByQueueDepth) {
+  // Hot-spot model: with 3 back-to-back requests of base 10 and scaler
+  // base*(1 + 0.5*queued): the first starts immediately (nothing queued
+  // behind it yet) -> 10 (0-10); the second starts with one waiter
+  // still queued -> 15 (10-25); the third runs alone -> 10 (25-35).
+  Engine e;
+  SerialResource r(e);
+  r.set_service_scaler([](Time base, std::size_t queued) {
+    return base * (1.0 + 0.5 * static_cast<double>(queued));
+  });
+  std::vector<double> done_times;
+  e.schedule(0.0, [&] {
+    for (int i = 0; i < 3; ++i)
+      r.request(10.0, [&](Time, Time d) { done_times.push_back(d); });
+  });
+  e.run();
+  EXPECT_EQ(done_times, (std::vector<double>{10.0, 25.0, 35.0}));
+}
+
+TEST(SerialResource, ScalerIgnoredWhenQueueEmpty) {
+  Engine e;
+  SerialResource r(e);
+  r.set_service_scaler([](Time base, std::size_t queued) {
+    return base * (1.0 + 10.0 * static_cast<double>(queued));
+  });
+  double done = -1;
+  e.schedule(0.0, [&] { r.request(5.0, [&](Time, Time d) { done = d; }); });
+  e.run();
+  EXPECT_DOUBLE_EQ(done, 5.0);
+}
+
+TEST(SerialResource, MeanWaitMatchesMd1Queueing) {
+  // Deterministic service t_c with batch arrival of n requests: the
+  // k-th served waits (k-1) * t_c; mean wait = (n-1)/2 * t_c. This is
+  // the contention formula implicit in the paper's Eq. 1 (each level of
+  // a full tree serves d updates per episode).
+  Engine e;
+  SerialResource r(e);
+  const int n = 16;
+  const double tc = 20.0;
+  e.schedule(0.0, [&] {
+    for (int i = 0; i < n; ++i) r.request(tc, [](Time, Time) {});
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(r.total_wait() / n, (n - 1) / 2.0 * tc);
+}
+
+}  // namespace
+}  // namespace imbar::sim

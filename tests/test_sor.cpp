@@ -1,0 +1,225 @@
+// SOR application: numerical determinism across thread counts and
+// barrier kinds, physical sanity of the relaxation.
+#include <gtest/gtest.h>
+
+#include "apps/sor/sor.hpp"
+
+namespace imbar::sor {
+namespace {
+
+TEST(SorReference, ChecksumIsDeterministic) {
+  EXPECT_DOUBLE_EQ(reference_checksum(32, 16, 10),
+                   reference_checksum(32, 16, 10));
+}
+
+TEST(SorReference, HeatDiffusesDownward) {
+  // More iterations push more heat from the hot top edge into the
+  // interior: checksum grows monotonically toward steady state.
+  double prev = 0.0;
+  for (std::size_t it : {1u, 5u, 20u, 80u}) {
+    const double c = reference_checksum(16, 16, it);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(SorRun, Validation) {
+  SorParams p;
+  p.threads = 0;
+  EXPECT_THROW(run_sor(p), std::invalid_argument);
+  p = {};
+  p.nx = 2;
+  p.threads = 4;
+  EXPECT_THROW(run_sor(p), std::invalid_argument);
+  p = {};
+  p.iterations = 0;
+  EXPECT_THROW(run_sor(p), std::invalid_argument);
+}
+
+TEST(SorRun, SingleThreadMatchesReference) {
+  SorParams p;
+  p.nx = 40;
+  p.ny = 24;
+  p.iterations = 15;
+  p.threads = 1;
+  const auto r = run_sor(p);
+  EXPECT_DOUBLE_EQ(r.checksum, reference_checksum(40, 24, 15));
+}
+
+// The headline determinism property: identical results for every thread
+// count and barrier kind (the sweep reads only the previous array, so
+// scheduling cannot change the arithmetic).
+struct SorCase {
+  const char* name;
+  std::size_t threads;
+  BarrierKind kind;
+  std::size_t degree;
+};
+
+class SorDeterminism : public ::testing::TestWithParam<SorCase> {};
+
+TEST_P(SorDeterminism, MatchesSerialReference) {
+  const auto& param = GetParam();
+  SorParams p;
+  p.nx = 48;
+  p.ny = 20;
+  p.iterations = 12;
+  p.threads = param.threads;
+  p.barrier.kind = param.kind;
+  p.barrier.degree = param.degree;
+  const auto r = run_sor(p);
+  EXPECT_DOUBLE_EQ(r.checksum, reference_checksum(48, 20, 12));
+  EXPECT_GT(r.total_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SorDeterminism,
+    ::testing::Values(
+        SorCase{"t2_central", 2, BarrierKind::kCentral, 0},
+        SorCase{"t3_combining_d2", 3, BarrierKind::kCombiningTree, 2},
+        SorCase{"t4_combining_d4", 4, BarrierKind::kCombiningTree, 4},
+        SorCase{"t4_mcs_d2", 4, BarrierKind::kMcsTree, 2},
+        SorCase{"t5_dynamic_d2", 5, BarrierKind::kDynamicPlacement, 2},
+        SorCase{"t4_dissemination", 4, BarrierKind::kDissemination, 0},
+        SorCase{"t4_tournament", 4, BarrierKind::kTournament, 0},
+        SorCase{"t5_mcs_local", 5, BarrierKind::kMcsLocalSpin, 0},
+        SorCase{"t4_adaptive", 4, BarrierKind::kAdaptive, 0},
+        SorCase{"t6_dynamic_d4", 6, BarrierKind::kDynamicPlacement, 4}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(SorRun, OddIterationCountAlsoDeterministic) {
+  SorParams p;
+  p.nx = 30;
+  p.ny = 10;
+  p.iterations = 7;  // result lives in the other buffer
+  p.threads = 3;
+  const auto r = run_sor(p);
+  EXPECT_DOUBLE_EQ(r.checksum, reference_checksum(30, 10, 7));
+}
+
+TEST(SorRun, ResidualShrinksWithIterations) {
+  SorParams p;
+  p.nx = 24;
+  p.ny = 24;
+  p.threads = 2;
+  p.iterations = 5;
+  const double early = run_sor(p).max_residual;
+  p.iterations = 100;
+  const double late = run_sor(p).max_residual;
+  EXPECT_LT(late, early);
+  EXPECT_GT(early, 0.0);
+}
+
+TEST(SorRun, InjectedImbalanceRaisesMeasuredSigma) {
+  SorParams p;
+  p.nx = 32;
+  p.ny = 16;
+  p.threads = 3;
+  p.iterations = 30;
+  p.extra_work_sigma_us = 0.0;
+  const double calm = run_sor(p).sigma_arrival_us;
+  p.extra_work_sigma_us = 2000.0;
+  const double wild = run_sor(p).sigma_arrival_us;
+  EXPECT_GT(wild, calm);
+  EXPECT_GT(wild, 300.0);
+}
+
+TEST(SorRun, BarrierCountersMatchIterations) {
+  SorParams p;
+  p.nx = 16;
+  p.ny = 8;
+  p.threads = 4;
+  p.iterations = 25;
+  p.barrier.kind = BarrierKind::kCombiningTree;
+  p.barrier.degree = 2;
+  const auto r = run_sor(p);
+  EXPECT_EQ(r.barrier_counters.episodes, 25u);
+}
+
+TEST(SorFuzzy, MatchesSerialReference) {
+  SorParams p;
+  p.nx = 48;
+  p.ny = 20;
+  p.iterations = 14;
+  p.threads = 4;
+  p.sync = SyncMode::kFuzzy;
+  p.barrier.kind = BarrierKind::kCombiningTree;
+  p.barrier.degree = 2;
+  EXPECT_DOUBLE_EQ(run_sor(p).checksum, reference_checksum(48, 20, 14));
+}
+
+TEST(SorFuzzy, WorksWithDynamicPlacementAndImbalance) {
+  SorParams p;
+  p.nx = 40;
+  p.ny = 16;
+  p.iterations = 20;
+  p.threads = 5;
+  p.sync = SyncMode::kFuzzy;
+  p.barrier.kind = BarrierKind::kDynamicPlacement;
+  p.barrier.degree = 2;
+  p.extra_work_sigma_us = 400.0;
+  EXPECT_DOUBLE_EQ(run_sor(p).checksum, reference_checksum(40, 16, 20));
+}
+
+TEST(SorFuzzy, TinyBlocksHaveNoInteriorSlack) {
+  // One row per thread: everything is boundary; still correct.
+  SorParams p;
+  p.nx = 4;
+  p.ny = 8;
+  p.iterations = 9;
+  p.threads = 4;
+  p.sync = SyncMode::kFuzzy;
+  p.barrier.kind = BarrierKind::kCentral;
+  EXPECT_DOUBLE_EQ(run_sor(p).checksum, reference_checksum(4, 8, 9));
+}
+
+TEST(SorFuzzy, RejectsNonSplittableBarrier) {
+  SorParams p;
+  p.sync = SyncMode::kFuzzy;
+  p.barrier.kind = BarrierKind::kDissemination;
+  EXPECT_THROW(run_sor(p), std::invalid_argument);
+}
+
+TEST(SorNeighbor, MatchesSerialReference) {
+  SorParams p;
+  p.nx = 48;
+  p.ny = 20;
+  p.iterations = 14;
+  p.threads = 4;
+  p.sync = SyncMode::kNeighbor;
+  EXPECT_DOUBLE_EQ(run_sor(p).checksum, reference_checksum(48, 20, 14));
+}
+
+TEST(SorNeighbor, CorrectUnderHeavyImbalance) {
+  SorParams p;
+  p.nx = 36;
+  p.ny = 12;
+  p.iterations = 25;
+  p.threads = 6;
+  p.sync = SyncMode::kNeighbor;
+  p.extra_work_sigma_us = 600.0;
+  EXPECT_DOUBLE_EQ(run_sor(p).checksum, reference_checksum(36, 12, 25));
+}
+
+TEST(SorNeighbor, SingleThreadDegenerates) {
+  SorParams p;
+  p.nx = 12;
+  p.ny = 6;
+  p.iterations = 5;
+  p.threads = 1;
+  p.sync = SyncMode::kNeighbor;
+  EXPECT_DOUBLE_EQ(run_sor(p).checksum, reference_checksum(12, 6, 5));
+}
+
+TEST(SorRun, UnevenRowPartitionIsHandled) {
+  // 17 rows over 4 threads: 5/4/4/4.
+  SorParams p;
+  p.nx = 17;
+  p.ny = 9;
+  p.threads = 4;
+  p.iterations = 9;
+  EXPECT_DOUBLE_EQ(run_sor(p).checksum, reference_checksum(17, 9, 9));
+}
+
+}  // namespace
+}  // namespace imbar::sor

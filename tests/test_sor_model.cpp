@@ -1,0 +1,90 @@
+// SOR workload model: the KSR1 substitute's calibration and scaling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "workload/sor_model.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(SorModel, CommEventFormulaMatchesPaper) {
+  // 4 * ceil(dy / 16): the paper's footnote-3 expression.
+  SorModelParams p;
+  p.dy = 210;
+  p.subline = 16;
+  EXPECT_EQ(sor_comm_events(p), 4u * 14u);
+  p.dy = 16;
+  EXPECT_EQ(sor_comm_events(p), 4u);
+  p.dy = 17;
+  EXPECT_EQ(sor_comm_events(p), 8u);
+}
+
+TEST(SorModel, DefaultCalibrationHitsPaperOperatingPoint) {
+  // Paper Section 7: d_y = 210 gives ~9.5 ms mean iteration time with
+  // sigma ~110 us on 56 processors.
+  SorModelParams p;  // defaults are the calibrated values
+  EXPECT_NEAR(sor_predicted_mean_us(p), 9500.0, 250.0);
+  EXPECT_NEAR(sor_predicted_sigma_us(p), 110.0, 5.0);
+}
+
+TEST(SorModel, SigmaGrowsWithDy) {
+  SorModelParams p;
+  double prev = 0.0;
+  for (std::size_t dy : {60u, 120u, 210u, 420u, 840u}) {
+    p.dy = dy;
+    const double s = sor_predicted_sigma_us(p);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(SorModel, EmpiricalMomentsMatchPrediction) {
+  SorModelParams p;
+  SorWorkloadModel gen(p, 77);
+  RunningStats rs;
+  std::vector<double> row(p.procs);
+  for (std::size_t i = 0; i < 400; ++i) {
+    gen.generate(i, row);
+    for (double w : row) rs.add(w);
+  }
+  EXPECT_NEAR(rs.mean(), sor_predicted_mean_us(p), sor_predicted_mean_us(p) * 0.01);
+  EXPECT_NEAR(rs.stddev(), sor_predicted_sigma_us(p),
+              sor_predicted_sigma_us(p) * 0.1);
+}
+
+TEST(SorModel, NominalAccessors) {
+  SorModelParams p;
+  SorWorkloadModel gen(p, 1);
+  EXPECT_EQ(gen.procs(), 56u);
+  EXPECT_DOUBLE_EQ(gen.nominal_mean(), sor_predicted_mean_us(p));
+  EXPECT_DOUBLE_EQ(gen.nominal_stddev(), sor_predicted_sigma_us(p));
+  EXPECT_EQ(gen.params().dy, p.dy);
+}
+
+TEST(SorModel, Validation) {
+  SorModelParams p;
+  p.procs = 0;
+  EXPECT_THROW(SorWorkloadModel(p, 1), std::invalid_argument);
+  p = {};
+  p.dy = 0;
+  EXPECT_THROW(SorWorkloadModel(p, 1), std::invalid_argument);
+  p = {};
+  SorWorkloadModel gen(p, 1);
+  std::vector<double> wrong(p.procs + 1);
+  EXPECT_THROW(gen.generate(0, wrong), std::invalid_argument);
+}
+
+TEST(SorModel, WorkTimesArePositiveAndAboveCompute) {
+  SorModelParams p;
+  SorWorkloadModel gen(p, 5);
+  const double compute =
+      static_cast<double>(p.dx_per_proc * p.dy) * p.t_flop_us;
+  std::vector<double> row(p.procs);
+  gen.generate(0, row);
+  for (double w : row) EXPECT_GT(w, compute);
+}
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,165 @@
+// Descriptive statistics: streaming moments, merging, quantiles,
+// histogram, bootstrap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "util/prng.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(RunningStats, MatchesClosedFormOnSmallSample) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.sem(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Xoshiro256 rng(3);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10 - 3;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_NEAR(a.skewness(), whole.skewness(), 1e-6);
+  EXPECT_NEAR(a.excess_kurtosis(), whole.excess_kurtosis(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningStats, SkewnessSignMatchesShape) {
+  RunningStats right, sym;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform_open();
+    right.add(-std::log(u));        // exponential: skew +2
+    sym.add(u - 0.5);               // uniform: skew 0
+  }
+  EXPECT_GT(right.skewness(), 1.5);
+  EXPECT_NEAR(sym.skewness(), 0.0, 0.05);
+  // Uniform excess kurtosis is -1.2.
+  EXPECT_NEAR(sym.excess_kurtosis(), -1.2, 0.1);
+}
+
+TEST(Quantile, KnownValues) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.1), 1.4);  // type-7 interpolation
+}
+
+TEST(Quantile, UnsortedInputIsHandled) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.3), 7.0);
+}
+
+TEST(MeanStd, Helpers) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.0);
+  h.add(9.99);
+  h.add(-1.0);   // underflow
+  h.add(10.0);   // overflow (hi-exclusive)
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+  EXPECT_NEAR(h.fraction(0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiRendersEachBin) {
+  Histogram h(0, 4, 4);
+  for (int i = 0; i < 4; ++i) h.add(i + 0.5);
+  const std::string art = h.ascii();
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+TEST(Bootstrap, CoversTrueMeanOfNormalSample) {
+  Xoshiro256 rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i)
+    xs.push_back(10.0 + (rng.uniform() - 0.5));  // mean 10, tight
+  const Interval ci = bootstrap_mean_ci(xs, 0.95, 500, 7);
+  EXPECT_TRUE(ci.contains(10.0));
+  EXPECT_LT(ci.width(), 0.2);
+  EXPECT_GT(ci.width(), 0.0);
+}
+
+TEST(Bootstrap, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(bootstrap_mean_ci({}, 0.95).width(), 0.0);
+  std::vector<double> one{4.0};
+  const Interval ci = bootstrap_mean_ci(one);
+  EXPECT_DOUBLE_EQ(ci.lo, 4.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 4.0);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  const Interval a = bootstrap_mean_ci(xs, 0.9, 300, 99);
+  const Interval b = bootstrap_mean_ci(xs, 0.9, 300, 99);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,155 @@
+// Degree sweeps: the exhaustive-simulation machinery behind Figs 2-4.
+#include <gtest/gtest.h>
+
+#include "model/degree.hpp"
+#include "simbarrier/sweep.hpp"
+
+namespace imbar::simb {
+namespace {
+
+TEST(DrawArrivals, ShapeAndShift) {
+  const auto sets = draw_arrival_sets(32, 100.0, 5, 7);
+  ASSERT_EQ(sets.size(), 5u);
+  for (const auto& set : sets) {
+    ASSERT_EQ(set.size(), 32u);
+    double lo = 1e300;
+    for (double a : set) lo = std::min(lo, a);
+    EXPECT_DOUBLE_EQ(lo, 0.0);  // shifted so the earliest arrival is 0
+  }
+}
+
+TEST(DrawArrivals, SigmaZeroIsAllZeros) {
+  const auto sets = draw_arrival_sets(8, 0.0, 3, 1);
+  for (const auto& set : sets)
+    for (double a : set) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(DrawArrivals, DeterministicGivenSeed) {
+  EXPECT_EQ(draw_arrival_sets(16, 50.0, 4, 9), draw_arrival_sets(16, 50.0, 4, 9));
+}
+
+TEST(DrawArrivals, FromArbitrarySamplerIsShiftedNonNegative) {
+  ExponentialSampler exp_sampler(100.0);
+  const auto sets = draw_arrival_sets_from(16, exp_sampler, 5, 3);
+  ASSERT_EQ(sets.size(), 5u);
+  for (const auto& set : sets) {
+    double lo = 1e300;
+    for (double a : set) {
+      EXPECT_GE(a, 0.0);
+      lo = std::min(lo, a);
+    }
+    EXPECT_DOUBLE_EQ(lo, 0.0);
+  }
+}
+
+TEST(SimulateDelay, SigmaZeroEqualsEq1ForFullTrees) {
+  SweepOptions o;
+  o.sigma = 0.0;
+  o.trials = 1;
+  for (std::size_t d : {2u, 4u, 8u, 64u}) {
+    const auto s = simulate_delay(64, d, o);
+    EXPECT_DOUBLE_EQ(s.mean_delay, eq1_sync_delay(64, d, o.t_c)) << d;
+    EXPECT_DOUBLE_EQ(s.stddev_delay, 0.0);
+  }
+}
+
+TEST(SimulateDelay, SplitsUpdateAndContention) {
+  SweepOptions o;
+  o.sigma = 0.0;
+  o.trials = 1;
+  const auto s = simulate_delay(64, 4, o);
+  EXPECT_DOUBLE_EQ(s.mean_update, 3 * o.t_c);  // structural depth 3
+  EXPECT_DOUBLE_EQ(s.mean_contention, s.mean_delay - s.mean_update);
+  // At sigma = 0 "the last processor" is a tie; depth is still >= 1.
+  EXPECT_GE(s.mean_last_depth, 1.0);
+}
+
+TEST(SimulateDelay, RejectsEmptyTrials) {
+  SweepOptions o;
+  EXPECT_THROW(simulate_delay(8, 2, o, {}), std::invalid_argument);
+}
+
+TEST(FindOptimal, SigmaZeroIsClassicalFour) {
+  SweepOptions o;
+  o.sigma = 0.0;
+  o.trials = 1;
+  for (std::size_t p : {64u, 256u}) {
+    const auto r = find_optimal_degree(p, o);
+    EXPECT_EQ(r.best_degree, 4u) << p;
+    EXPECT_DOUBLE_EQ(r.speedup_vs_4, 1.0);
+  }
+}
+
+TEST(FindOptimal, WideImbalanceSmallSystemPrefersCentral) {
+  // Paper Figure 3: p = 64, sigma = 25 t_c -> the central counter wins.
+  SweepOptions o;
+  o.sigma = 25.0 * o.t_c;
+  o.trials = 20;
+  const auto r = find_optimal_degree(64, o);
+  EXPECT_EQ(r.best_degree, 64u);
+  EXPECT_GT(r.speedup_vs_4, 1.5);
+}
+
+TEST(FindOptimal, OptimalDegreeGrowsWithSigma) {
+  SweepOptions o;
+  o.trials = 12;
+  std::size_t prev = 0;
+  for (double sigma_tc : {0.0, 6.25, 25.0, 100.0}) {
+    o.sigma = sigma_tc * o.t_c;
+    const auto r = find_optimal_degree(256, o);
+    EXPECT_GE(r.best_degree, prev) << sigma_tc;
+    prev = r.best_degree;
+  }
+  EXPECT_GT(prev, 4u);
+}
+
+TEST(FindOptimal, AlwaysIncludesDegreeFourBaseline) {
+  SweepOptions o;
+  o.sigma = 10.0;
+  o.trials = 3;
+  const auto r = find_optimal_degree(100, o, {8, 16});
+  ASSERT_EQ(r.degrees.size(), 3u);
+  EXPECT_EQ(r.degrees[0], 4u);
+  EXPECT_GT(r.delay_at_4, 0.0);
+}
+
+TEST(FindOptimal, StatsAlignedWithDegrees) {
+  SweepOptions o;
+  o.sigma = 50.0;
+  o.trials = 5;
+  const auto r = find_optimal_degree(64, o);
+  ASSERT_EQ(r.stats.size(), r.degrees.size());
+  double best = 1e300;
+  for (const auto& s : r.stats) best = std::min(best, s.mean_delay);
+  EXPECT_DOUBLE_EQ(best, r.best_delay);
+}
+
+TEST(FindOptimal, McsKindAlsoWorks) {
+  SweepOptions o;
+  o.sigma = 0.0;
+  o.trials = 1;
+  o.kind = TreeKind::kMcs;
+  const auto r = find_optimal_degree(64, o);
+  EXPECT_GE(r.best_degree, 2u);
+  EXPECT_GT(r.best_delay, 0.0);
+  // MCS at degree 4, sigma 0 must beat (or tie) the plain tree: fewer
+  // counters on the critical path.
+  SweepOptions plain = o;
+  plain.kind = TreeKind::kPlain;
+  const auto rp = find_optimal_degree(64, plain);
+  EXPECT_LE(r.delay_at_4, rp.delay_at_4);
+}
+
+TEST(FindOptimal, PairedArrivalsReduceNoise) {
+  // Same seed => identical result (paired comparisons are reproducible).
+  SweepOptions o;
+  o.sigma = 100.0;
+  o.trials = 10;
+  const auto a = find_optimal_degree(128, o);
+  const auto b = find_optimal_degree(128, o);
+  EXPECT_EQ(a.best_degree, b.best_degree);
+  EXPECT_DOUBLE_EQ(a.best_delay, b.best_delay);
+}
+
+}  // namespace
+}  // namespace imbar::simb

@@ -1,0 +1,185 @@
+// Combining-tree topology builders: structural invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simbarrier/topology.hpp"
+
+namespace imbar::simb {
+namespace {
+
+TEST(PlainTopology, CentralCounterIsSingleNode) {
+  const Topology t = Topology::central(16);
+  EXPECT_EQ(t.counters(), 1u);
+  EXPECT_EQ(t.node(t.root()).fan_in, 16);
+  EXPECT_EQ(t.max_depth(), 1);
+  t.validate();
+}
+
+TEST(PlainTopology, FullTreeShape) {
+  const Topology t = Topology::plain(64, 4);
+  // 16 leaves + 4 + 1 = 21 counters, depth 3.
+  EXPECT_EQ(t.counters(), 21u);
+  EXPECT_EQ(t.max_depth(), 3);
+  EXPECT_EQ(t.degree(), 4u);
+  EXPECT_EQ(t.kind(), TreeKind::kPlain);
+  t.validate();
+}
+
+TEST(PlainTopology, RaggedTreeStillValid) {
+  const Topology t = Topology::plain(10, 4);
+  // ceil(10/4) = 3 leaves, then 1 root.
+  EXPECT_EQ(t.counters(), 4u);
+  EXPECT_EQ(t.max_depth(), 2);
+  t.validate();
+}
+
+TEST(PlainTopology, LeafFanInsSumToProcs) {
+  for (std::size_t p : {5u, 17u, 64u, 100u}) {
+    const Topology t = Topology::plain(p, 4);
+    std::size_t attached = 0;
+    for (std::size_t c = 0; c < t.counters(); ++c)
+      if (t.node(static_cast<int>(c)).children.empty())
+        attached += static_cast<std::size_t>(t.node(static_cast<int>(c)).fan_in);
+    EXPECT_EQ(attached, p);
+    t.validate();
+  }
+}
+
+TEST(PlainTopology, Validation) {
+  EXPECT_THROW(Topology::plain(0, 4), std::invalid_argument);
+  EXPECT_THROW(Topology::plain(8, 1), std::invalid_argument);
+}
+
+TEST(McsTopology, EveryCounterHasAttachedProcessor) {
+  const Topology t = Topology::mcs(64, 4);
+  for (std::size_t c = 0; c < t.counters(); ++c)
+    EXPECT_GE(t.attached_count(static_cast<int>(c)), 1);
+  t.validate();
+}
+
+TEST(McsTopology, InternalCountersHaveExactlyOneAttached) {
+  const Topology t = Topology::mcs(200, 4);
+  for (std::size_t c = 0; c < t.counters(); ++c) {
+    const auto& n = t.node(static_cast<int>(c));
+    if (!n.children.empty()) {
+      EXPECT_EQ(t.attached_count(static_cast<int>(c)), 1);
+      EXPECT_LE(n.children.size(), 4u);
+    } else {
+      EXPECT_LE(t.attached_count(static_cast<int>(c)), 5);  // degree + 1
+    }
+  }
+  t.validate();
+}
+
+TEST(McsTopology, TinyGroupsCollapseToOneCounter) {
+  for (std::size_t p = 1; p <= 5; ++p) {
+    const Topology t = Topology::mcs(p, 4);
+    EXPECT_EQ(t.counters(), 1u) << p;
+    EXPECT_EQ(t.node(t.root()).fan_in, static_cast<int>(p));
+    t.validate();
+  }
+  // 6 procs, degree 4: root (1 attached) + 4 leaf groups of the
+  // remaining 5.
+  EXPECT_EQ(Topology::mcs(6, 4).counters(), 5u);
+}
+
+TEST(McsTopology, ShallowerAverageDepthThanPlain) {
+  // Attaching processors to internal counters shortens the average
+  // path — the structural reason for the Section 4 ~5% advantage.
+  const Topology mcs = Topology::mcs(4096, 4);
+  const Topology plain = Topology::plain(4096, 4);
+  auto mean_depth = [](const Topology& t) {
+    double sum = 0.0;
+    for (int c : t.initial_counter()) sum += t.depth_to_root(c);
+    return sum / static_cast<double>(t.procs());
+  };
+  EXPECT_LT(mean_depth(mcs), mean_depth(plain));
+}
+
+TEST(McsTopology, DepthNearLogP) {
+  const Topology t = Topology::mcs(4096, 4);
+  EXPECT_GE(t.max_depth(), 5);
+  EXPECT_LE(t.max_depth(), 7);
+  const Topology t16 = Topology::mcs(4096, 16);
+  EXPECT_GE(t16.max_depth(), 3);
+  EXPECT_LE(t16.max_depth(), 4);
+}
+
+TEST(RingTopology, MergesSubtreesUnderOneRoot) {
+  // KSR1 footnote 5: two rings (32 + 24) merged by an additional level.
+  const Topology t = Topology::mcs_rings({32, 24}, 16);
+  t.validate();
+  EXPECT_EQ(t.procs(), 56u);
+  EXPECT_EQ(t.node(t.root()).children.size(), 2u);
+  // Proc 0 is attached to the root, ring 0.
+  EXPECT_EQ(t.initial_counter()[0], t.root());
+  EXPECT_EQ(t.proc_ring()[0], 0);
+  // Degree 16 with two rings gives initial depth 3 (paper footnote 5).
+  EXPECT_EQ(t.max_depth(), 3);
+}
+
+TEST(RingTopology, RingsAreContiguousAndLabelled) {
+  const Topology t = Topology::mcs_rings({32, 24}, 4);
+  for (std::size_t p = 1; p < 32; ++p) EXPECT_EQ(t.proc_ring()[p], 0);
+  for (std::size_t p = 32; p < 56; ++p) EXPECT_EQ(t.proc_ring()[p], 1);
+  // Counters under each subtree carry their ring id.
+  for (int child : t.node(t.root()).children) {
+    const int ring = t.node(child).ring;
+    EXPECT_TRUE(ring == 0 || ring == 1);
+  }
+  t.validate();
+}
+
+TEST(RingTopology, SingleRingDelegatesToMcs) {
+  const Topology a = Topology::mcs_rings({56}, 4);
+  const Topology b = Topology::mcs(56, 4);
+  EXPECT_EQ(a.counters(), b.counters());
+  EXPECT_EQ(a.max_depth(), b.max_depth());
+}
+
+TEST(RingTopology, Validation) {
+  EXPECT_THROW(Topology::mcs_rings({}, 4), std::invalid_argument);
+  EXPECT_THROW(Topology::mcs_rings({4, 0}, 4), std::invalid_argument);
+  EXPECT_THROW(Topology::mcs_rings({1, 8}, 4), std::invalid_argument);
+}
+
+TEST(Topology, DepthToRootAlongPaths) {
+  const Topology t = Topology::plain(64, 4);
+  EXPECT_EQ(t.depth_to_root(t.root()), 1);
+  for (int c : t.initial_counter()) EXPECT_EQ(t.depth_to_root(c), 3);
+}
+
+// Property sweep: structural invariants hold over a (p, d) grid for
+// both kinds.
+struct TopoCase {
+  std::size_t p;
+  std::size_t d;
+};
+
+class TopologyProperty : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(TopologyProperty, PlainAndMcsValidate) {
+  const auto [p, d] = GetParam();
+  const Topology plain = Topology::plain(p, d);
+  plain.validate();
+  EXPECT_EQ(plain.procs(), p);
+  const Topology mcs = Topology::mcs(p, d);
+  mcs.validate();
+  EXPECT_EQ(mcs.procs(), p);
+  // All processors placed on real counters.
+  std::set<int> used(mcs.initial_counter().begin(), mcs.initial_counter().end());
+  for (int c : used) EXPECT_LT(c, static_cast<int>(mcs.counters()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TopologyProperty,
+    ::testing::Values(TopoCase{2, 2}, TopoCase{3, 2}, TopoCase{7, 2},
+                      TopoCase{8, 2}, TopoCase{9, 2}, TopoCase{16, 4},
+                      TopoCase{17, 4}, TopoCase{56, 4}, TopoCase{56, 16},
+                      TopoCase{64, 8}, TopoCase{100, 3}, TopoCase{256, 16},
+                      TopoCase{1000, 7}, TopoCase{4096, 4}, TopoCase{4096, 64},
+                      TopoCase{4096, 4096}));
+
+}  // namespace
+}  // namespace imbar::simb

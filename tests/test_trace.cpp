@@ -1,0 +1,96 @@
+// Trace save/load round-trip and format validation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace imbar {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Trace, RoundTripPreservesEveryValue) {
+  const std::string path = temp_path("trace_roundtrip.csv");
+  IidGenerator gen(6, make_normal(1000.0, 50.0), 71);
+  const std::size_t written = save_trace_csv(path, gen, 30);
+  EXPECT_EQ(written, 30u);
+
+  RecordedGenerator loaded = load_trace_csv(path);
+  EXPECT_EQ(loaded.procs(), 6u);
+  EXPECT_EQ(loaded.iterations(), 30u);
+
+  IidGenerator again(6, make_normal(1000.0, 50.0), 71);
+  std::vector<double> expect(6), got(6);
+  for (std::size_t i = 0; i < 30; ++i) {
+    again.generate(i, expect);
+    loaded.generate(i, got);
+    for (std::size_t p = 0; p < 6; ++p)
+      EXPECT_NEAR(got[p], expect[p], std::abs(expect[p]) * 1e-9 + 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadedTraceDrivesEpisodes) {
+  const std::string path = temp_path("trace_episode.csv");
+  SystemicGenerator gen(16, 500.0, 40.0, 5.0, 3);
+  save_trace_csv(path, gen, 20);
+  RecordedGenerator loaded = load_trace_csv(path);
+  std::vector<double> row(16);
+  loaded.generate(0, row);
+  EXPECT_EQ(row.size(), 16u);
+  EXPECT_GT(loaded.nominal_mean(), 300.0);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, MissingFileThrows) {
+  EXPECT_THROW(load_trace_csv("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+TEST(Trace, EmptyFileThrows) {
+  const std::string path = temp_path("trace_empty.csv");
+  std::ofstream(path).close();
+  EXPECT_THROW(load_trace_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, HeaderOnlyThrows) {
+  const std::string path = temp_path("trace_header.csv");
+  std::ofstream(path) << "p0,p1\n";
+  EXPECT_THROW(load_trace_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, RaggedRowThrows) {
+  const std::string path = temp_path("trace_ragged.csv");
+  std::ofstream(path) << "p0,p1\n1.0,2.0\n3.0\n";
+  EXPECT_THROW(load_trace_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, NonNumericCellThrows) {
+  const std::string path = temp_path("trace_nan.csv");
+  std::ofstream(path) << "p0,p1\n1.0,banana\n";
+  EXPECT_THROW(load_trace_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ExternalToolFormatIsAccepted) {
+  // Hand-written CSV (no imbar writer involved).
+  const std::string path = temp_path("trace_external.csv");
+  std::ofstream(path) << "a,b,c\n10,20,30\n11,21,31\n";
+  RecordedGenerator gen = load_trace_csv(path);
+  EXPECT_EQ(gen.procs(), 3u);
+  EXPECT_EQ(gen.iterations(), 2u);
+  std::vector<double> row(3);
+  gen.generate(1, row);
+  EXPECT_EQ(row, (std::vector<double>{11, 21, 31}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,222 @@
+// Event-driven barrier simulation: exact delay arithmetic on small
+// hand-checkable cases, plus structural properties on larger trees.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/degree.hpp"
+#include "simbarrier/tree_sim.hpp"
+
+namespace imbar::simb {
+namespace {
+
+SimOptions static_opts(double t_c = 20.0) {
+  SimOptions o;
+  o.t_c = t_c;
+  o.placement = Placement::kStatic;
+  return o;
+}
+
+TEST(TreeSim, CentralCounterSimultaneousArrivalsSerialize) {
+  TreeBarrierSim sim(Topology::central(8), static_opts(10.0));
+  std::vector<double> signals(8, 0.0);
+  const auto r = sim.run_iteration(signals);
+  // 8 serialized updates of 10 each.
+  EXPECT_DOUBLE_EQ(r.release, 80.0);
+  EXPECT_DOUBLE_EQ(r.sync_delay, 80.0);
+  EXPECT_EQ(r.updates, 8u);
+  EXPECT_EQ(r.last_proc_depth, 1);
+}
+
+TEST(TreeSim, CentralCounterSpreadArrivalsHideContention) {
+  TreeBarrierSim sim(Topology::central(4), static_opts(10.0));
+  // Arrivals 0, 20, 40, 60: no queueing, the last update runs alone.
+  const auto r = sim.run_iteration(std::vector<double>{0, 20, 40, 60});
+  EXPECT_DOUBLE_EQ(r.release, 70.0);
+  EXPECT_DOUBLE_EQ(r.sync_delay, 10.0);
+  EXPECT_DOUBLE_EQ(r.last_proc_wait, 0.0);
+}
+
+TEST(TreeSim, FullTreeSimultaneousMatchesEq1) {
+  // The simulator must land exactly on Eq. 1 (L * d * t_c) for full
+  // trees with simultaneous arrivals — the paper's baseline case.
+  for (std::size_t d : {2u, 4u, 8u}) {
+    const std::size_t p = 64;
+    TreeBarrierSim sim(Topology::plain(p, d), static_opts(20.0));
+    const auto r = sim.run_iteration(std::vector<double>(p, 0.0));
+    EXPECT_DOUBLE_EQ(r.sync_delay, eq1_sync_delay(p, d, 20.0)) << "d=" << d;
+  }
+}
+
+TEST(TreeSim, TwoLevelHandComputedSchedule) {
+  // 4 procs, degree 2: two leaves feeding a root. Arrivals 0,0,0,5 and
+  // t_c = 10. Leaf A (procs 0,1): updates at 0-10, 10-20; carrier
+  // reaches root at 20, root busy 20-30. Leaf B (procs 2,3): proc 2 at
+  // 0-10; proc 3 arrives 5, served 10-20; carrier at root waits until
+  // 30, fills root 30-40.
+  TreeBarrierSim sim(Topology::plain(4, 2), static_opts(10.0));
+  const auto r = sim.run_iteration(std::vector<double>{0, 0, 0, 5});
+  EXPECT_DOUBLE_EQ(r.release, 40.0);
+  EXPECT_DOUBLE_EQ(r.last_arrival, 5.0);
+  EXPECT_DOUBLE_EQ(r.sync_delay, 35.0);
+  EXPECT_EQ(r.last_proc, 3);
+  EXPECT_EQ(r.last_proc_depth, 2);
+  // Proc 3 waited 5 at the leaf (arrived 5, served at 10) and 10 at the
+  // root (arrived 20, served at 30).
+  EXPECT_DOUBLE_EQ(r.last_proc_wait, 15.0);
+}
+
+TEST(TreeSim, VeryLateArrivalSeesOnlyUpdatePath) {
+  // One processor arrives long after everyone drained: its delay is
+  // exactly depth * t_c regardless of degree.
+  for (std::size_t d : {2u, 4u, 8u}) {
+    const std::size_t p = 64;
+    TreeBarrierSim sim(Topology::plain(p, d), static_opts(20.0));
+    std::vector<double> signals(p, 0.0);
+    signals[p - 1] = 1e6;
+    const auto r = sim.run_iteration(signals);
+    EXPECT_DOUBLE_EQ(r.sync_delay,
+                     static_cast<double>(tree_levels(p, d)) * 20.0);
+  }
+}
+
+TEST(TreeSim, UpdateCountIsProcsPlusInternalCarries) {
+  // Every counter fills exactly once; total updates = p + counters - 1
+  // (each non-root fill produces one carry).
+  for (auto kind : {TreeKind::kPlain, TreeKind::kMcs}) {
+    const Topology topo = kind == TreeKind::kPlain ? Topology::plain(100, 4)
+                                                   : Topology::mcs(100, 4);
+    const std::size_t counters = topo.counters();
+    TreeBarrierSim sim(topo, static_opts());
+    const auto r = sim.run_iteration(std::vector<double>(100, 0.0));
+    EXPECT_EQ(r.updates, 100u + counters - 1u);
+  }
+}
+
+TEST(TreeSim, RejectsBadInput) {
+  TreeBarrierSim sim(Topology::plain(4, 2), static_opts());
+  EXPECT_THROW(sim.run_iteration(std::vector<double>{0, 0, 0}),
+               std::invalid_argument);
+  // Dynamic placement on a plain tree is meaningless.
+  SimOptions dyn = static_opts();
+  dyn.placement = Placement::kDynamic;
+  EXPECT_THROW(TreeBarrierSim(Topology::plain(4, 2), dyn),
+               std::invalid_argument);
+  SimOptions bad = static_opts();
+  bad.t_c = 0.0;
+  EXPECT_THROW(TreeBarrierSim(Topology::plain(4, 2), bad),
+               std::invalid_argument);
+}
+
+TEST(TreeSim, ArrivalBeforePreviousReleaseThrows) {
+  TreeBarrierSim sim(Topology::central(2), static_opts(10.0));
+  sim.run_iteration(std::vector<double>{0.0, 0.0});  // releases at 20
+  EXPECT_THROW(sim.run_iteration(std::vector<double>{5.0, 25.0}),
+               std::invalid_argument);
+}
+
+TEST(TreeSim, ConsecutiveIterationsAccumulateTime) {
+  TreeBarrierSim sim(Topology::central(2), static_opts(10.0));
+  const auto r1 = sim.run_iteration(std::vector<double>{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(r1.release, 20.0);
+  // Proc 1 occupies the counter 25-35; proc 0 (arriving 30) is served
+  // 35-45 and fills.
+  const auto r2 = sim.run_iteration(std::vector<double>{30.0, 25.0});
+  EXPECT_DOUBLE_EQ(r2.release, 45.0);
+  EXPECT_DOUBLE_EQ(r2.last_arrival, 30.0);
+  EXPECT_DOUBLE_EQ(r2.sync_delay, 15.0);
+  EXPECT_EQ(r2.last_proc, 0);
+}
+
+TEST(TreeSim, ResetRewindsClockAndPlacement) {
+  TreeBarrierSim sim(Topology::central(2), static_opts(10.0));
+  sim.run_iteration(std::vector<double>{0.0, 0.0});
+  sim.reset();
+  const auto r = sim.run_iteration(std::vector<double>{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(r.release, 20.0);
+  EXPECT_EQ(sim.total_updates(), 2u);  // stats also rewound
+}
+
+TEST(TreeSim, McsAttachedProcessorsSeeShorterPaths) {
+  const Topology topo = Topology::mcs(64, 4);
+  TreeBarrierSim sim(topo, static_opts());
+  sim.run_iteration(std::vector<double>(64, 0.0));
+  const auto& updates = sim.last_updates_per_proc();
+  // Proc 0 is attached to the root: exactly one update.
+  EXPECT_EQ(updates[0], 1);
+}
+
+TEST(TreeSim, RandomServiceOrderPreservesTotals) {
+  SimOptions o = static_opts(10.0);
+  o.service_order = sim::ServiceOrder::kRandom;
+  o.rng_seed = 99;
+  TreeBarrierSim sim(Topology::central(16), o);
+  const auto r = sim.run_iteration(std::vector<double>(16, 0.0));
+  EXPECT_DOUBLE_EQ(r.release, 160.0);  // same busy time, any order
+  EXPECT_EQ(r.updates, 16u);
+}
+
+TEST(TreeSim, ContentionDecreasesWithSpread) {
+  // Wider arrival spread -> less queueing on the last processor's path.
+  const std::size_t p = 256;
+  TreeBarrierSim sim(Topology::plain(p, 16), static_opts(20.0));
+  auto spread = [&](double gap) {
+    sim.reset();
+    std::vector<double> signals(p);
+    for (std::size_t i = 0; i < p; ++i) signals[i] = gap * static_cast<double>(i);
+    return sim.run_iteration(signals).sync_delay;
+  };
+  EXPECT_GT(spread(0.0), spread(5.0));
+  EXPECT_GE(spread(5.0), spread(50.0));
+}
+
+TEST(TreeSim, CrossRingFactorScalesRemoteUpdates) {
+  // Two rings of 2, degree 2: ring-1 procs hit their own ring counters
+  // at t_c but the ring-0 root at t_c * factor.
+  const Topology topo = Topology::mcs_rings({2, 2}, 2);
+  SimOptions o = static_opts(10.0);
+  o.cross_ring_factor = 3.0;
+  TreeBarrierSim sim(topo, o);
+  const auto r = sim.run_iteration(std::vector<double>(4, 0.0));
+  // Compare against the uniform-memory run: the penalized run must be
+  // strictly slower because the ring-1 subtree carrier crosses rings.
+  TreeBarrierSim uniform(topo, static_opts(10.0));
+  const auto ru = uniform.run_iteration(std::vector<double>(4, 0.0));
+  EXPECT_GT(r.release, ru.release);
+}
+
+TEST(TreeSim, CrossRingFactorExactArithmetic) {
+  // Ring layout: root (ring 0, attached proc 0) with two subtree
+  // counters. Procs 1 (ring 0) and 2,3 (ring 1). With everyone at 0 and
+  // factor 2: ring-1 leaf drains at 2*t_c... all its updates are local
+  // (counter is in ring 1); only its carry to the root is remote.
+  const Topology topo = Topology::mcs_rings({2, 2}, 2);
+  SimOptions o = static_opts(10.0);
+  o.cross_ring_factor = 2.0;
+  TreeBarrierSim sim(topo, o);
+  const auto r = sim.run_iteration(std::vector<double>(4, 0.0));
+  // Root receives: proc0 local (10), ring-0 subtree carry (local, after
+  // 10), ring-1 carry (remote, 20, arriving after its leaf drains at
+  // 20). Root serialization: 10 (p0, 0-10) + 10 (ring-0 carry, 10-20) +
+  // 20 (ring-1 carry, queued at 20, served 20-40) = release 40.
+  EXPECT_DOUBLE_EQ(r.release, 40.0);
+}
+
+TEST(TreeSim, CrossRingFactorValidation) {
+  SimOptions o = static_opts();
+  o.cross_ring_factor = 0.5;
+  EXPECT_THROW(TreeBarrierSim(Topology::mcs(8, 2), o), std::invalid_argument);
+}
+
+TEST(TreeSim, DeterministicAcrossRuns) {
+  std::vector<double> signals;
+  for (int i = 0; i < 64; ++i) signals.push_back((i * 37) % 101 * 1.5);
+  auto run = [&] {
+    TreeBarrierSim sim(Topology::plain(64, 4), static_opts());
+    return sim.run_iteration(signals).sync_delay;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace imbar::simb

@@ -1,0 +1,141 @@
+// Table rendering, CSV escaping, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace imbar {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.row().add("alpha").num(1.5, 1);
+  t.row().add("beta").num(22LL);
+  const std::string s = t.str(0);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.row().add("x").add("y").add("z");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 0), "3");
+  EXPECT_EQ(Table::fmt(-1.0, 1), "-1.0");
+}
+
+TEST(Table, AddBeforeRowStartsARow) {
+  Table t({"only"});
+  t.add("cell");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"k", "v"});
+  t.row().add("long-name").num(1LL);
+  t.row().add("s").num(100LL);
+  std::istringstream in(t.str(0));
+  std::string l1, l2, l3, l4;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  std::getline(in, l4);
+  EXPECT_EQ(l3.size(), l4.size());
+}
+
+TEST(Banner, ContainsTitle) {
+  const std::string b = banner("Hello");
+  EXPECT_NE(b.find("Hello"), std::string::npos);
+  EXPECT_GE(b.size(), 72u);
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(Csv, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/imbar_csv_test.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.write_row({"1", "2"});
+    w.write_row_numeric({3.5, 4.25});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  const std::string path = ::testing::TempDir() + "/imbar_csv_test2.csv";
+  CsvWriter w(path, {"a"});
+  EXPECT_THROW(w.write_row({"1", "2"}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--procs=64", "--verbose", "pos1"};
+  Cli cli(4, argv);
+  EXPECT_EQ(cli.get_int("procs", 0), 64);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.has("missing"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
+  EXPECT_TRUE(cli.get_bool("b", true));
+}
+
+TEST(Cli, ParsesLists) {
+  const char* argv[] = {"prog", "--degrees=2,4,8", "--sigmas=0.5,1.5"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int_list("degrees", {}), (std::vector<long long>{2, 4, 8}));
+  const auto sig = cli.get_double_list("sigmas", {});
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_DOUBLE_EQ(sig[0], 0.5);
+  EXPECT_DOUBLE_EQ(sig[1], 1.5);
+}
+
+TEST(Cli, ListDefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int_list("xs", {1, 2}), (std::vector<long long>{1, 2}));
+}
+
+TEST(Stopwatch, MeasuresNonNegativeElapsed) {
+  Stopwatch sw;
+  EXPECT_GE(sw.elapsed_us(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.elapsed_ms(), 0.0);
+  EXPECT_GE(sw.elapsed_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,132 @@
+// Arrival-time generators: the three imbalance regimes of Section 1.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rank.hpp"
+#include "stats/summary.hpp"
+#include "workload/arrival.hpp"
+
+namespace imbar {
+namespace {
+
+std::vector<std::vector<double>> collect(ArrivalGenerator& gen, std::size_t iters) {
+  std::vector<std::vector<double>> rows(iters, std::vector<double>(gen.procs()));
+  for (std::size_t i = 0; i < iters; ++i) gen.generate(i, rows[i]);
+  return rows;
+}
+
+TEST(IidGenerator, SizeAndMoments) {
+  IidGenerator gen(64, make_normal(100.0, 5.0), 42);
+  EXPECT_EQ(gen.procs(), 64u);
+  EXPECT_DOUBLE_EQ(gen.nominal_mean(), 100.0);
+  EXPECT_DOUBLE_EQ(gen.nominal_stddev(), 5.0);
+  RunningStats rs;
+  auto rows = collect(gen, 200);
+  for (const auto& row : rows)
+    for (double w : row) rs.add(w);
+  EXPECT_NEAR(rs.mean(), 100.0, 0.2);
+  EXPECT_NEAR(rs.stddev(), 5.0, 0.2);
+}
+
+TEST(IidGenerator, OrderIsNotPersistent) {
+  IidGenerator gen(32, make_normal(0.0, 1.0), 7);
+  auto rows = collect(gen, 200);
+  EXPECT_NEAR(rank_autocorrelation(rows, 1), 0.0, 0.12);
+}
+
+TEST(IidGenerator, Validation) {
+  EXPECT_THROW(IidGenerator(0, make_normal(0, 1), 1), std::invalid_argument);
+  EXPECT_THROW(IidGenerator(4, nullptr, 1), std::invalid_argument);
+  IidGenerator gen(4, make_normal(0, 1), 1);
+  std::vector<double> wrong(3);
+  EXPECT_THROW(gen.generate(0, wrong), std::invalid_argument);
+}
+
+TEST(IidGenerator, DeterministicGivenSeed) {
+  IidGenerator a(16, make_normal(10, 2), 99), b(16, make_normal(10, 2), 99);
+  std::vector<double> ra(16), rb(16);
+  for (int i = 0; i < 10; ++i) {
+    a.generate(static_cast<std::size_t>(i), ra);
+    b.generate(static_cast<std::size_t>(i), rb);
+    EXPECT_EQ(ra, rb);
+  }
+}
+
+TEST(SystemicGenerator, OrderIsHighlyPersistent) {
+  // Bias dominates noise: the same processors are always late.
+  SystemicGenerator gen(32, 100.0, 10.0, 1.0, 5);
+  auto rows = collect(gen, 100);
+  EXPECT_GT(rank_autocorrelation(rows, 1), 0.9);
+  EXPECT_GT(rank_autocorrelation(rows, 20), 0.9);
+}
+
+TEST(SystemicGenerator, NominalStddevCombinesComponents) {
+  SystemicGenerator gen(8, 0.0, 3.0, 4.0, 1);
+  EXPECT_DOUBLE_EQ(gen.nominal_stddev(), 5.0);
+  EXPECT_EQ(gen.biases().size(), 8u);
+}
+
+TEST(SystemicGenerator, PureNoiseDegeneratesToIid) {
+  SystemicGenerator gen(32, 0.0, 0.0, 1.0, 3);
+  auto rows = collect(gen, 120);
+  EXPECT_NEAR(rank_autocorrelation(rows, 1), 0.0, 0.15);
+}
+
+TEST(EvolvingGenerator, PersistenceDecaysWithLag) {
+  // rho = 0.95: strong short-lag correlation that fades.
+  EvolvingGenerator gen(32, 100.0, 10.0, 0.5, 0.95, 11);
+  auto rows = collect(gen, 400);
+  const double r1 = rank_autocorrelation(rows, 1);
+  const double r50 = rank_autocorrelation(rows, 50);
+  EXPECT_GT(r1, 0.8);
+  EXPECT_LT(r50, r1 - 0.2);
+}
+
+TEST(EvolvingGenerator, RhoZeroIsIid) {
+  EvolvingGenerator gen(32, 0.0, 1.0, 0.0, 0.0, 13);
+  auto rows = collect(gen, 150);
+  EXPECT_NEAR(rank_autocorrelation(rows, 1), 0.0, 0.15);
+}
+
+TEST(EvolvingGenerator, RejectsBadRho) {
+  EXPECT_THROW(EvolvingGenerator(4, 0, 1, 0, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(EvolvingGenerator(4, 0, 1, 0, 1.5, 1), std::invalid_argument);
+}
+
+TEST(EvolvingGenerator, StationaryVarianceIsPreserved) {
+  EvolvingGenerator gen(256, 0.0, 4.0, 0.0, 0.9, 21);
+  auto rows = collect(gen, 300);
+  RunningStats early, late;
+  for (double w : rows[0]) early.add(w);
+  for (double w : rows[299]) late.add(w);
+  EXPECT_NEAR(early.stddev(), 4.0, 0.8);
+  EXPECT_NEAR(late.stddev(), 4.0, 0.8);
+}
+
+TEST(RecordedGenerator, ReplaysExactly) {
+  IidGenerator src(8, make_normal(5.0, 1.0), 17);
+  RecordedGenerator rec = record(src, 20);
+  EXPECT_EQ(rec.procs(), 8u);
+  EXPECT_EQ(rec.iterations(), 20u);
+
+  IidGenerator src2(8, make_normal(5.0, 1.0), 17);
+  std::vector<double> expected(8), got(8);
+  for (std::size_t i = 0; i < 20; ++i) {
+    src2.generate(i, expected);
+    rec.generate(i, got);
+    EXPECT_EQ(got, expected) << "iteration " << i;
+  }
+}
+
+TEST(RecordedGenerator, BoundsAndValidation) {
+  RecordedGenerator rec({{1.0, 2.0}, {3.0, 4.0}});
+  std::vector<double> out(2);
+  EXPECT_THROW(rec.generate(2, out), std::out_of_range);
+  EXPECT_THROW(RecordedGenerator({}), std::invalid_argument);
+  EXPECT_THROW(RecordedGenerator({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+  EXPECT_NEAR(rec.nominal_mean(), 2.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace imbar

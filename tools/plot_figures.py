@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Plot the reproduced figures from the bench binaries' CSV output.
+
+The bench binaries print paper-shaped ASCII tables by default; the ones
+with a machine-readable mode take --csv=<path>:
+
+    build/bench/fig03_optimal_degree --csv=fig03.csv
+    build/bench/fig08_dynamic_placement --csv=fig08.csv
+    python3 tools/plot_figures.py fig03.csv fig08.csv -o plots/
+
+Requires matplotlib. Kept dependency-free otherwise so it runs in any
+venv: `pip install matplotlib`.
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    if not rows:
+        raise SystemExit(f"{path}: empty CSV")
+    return rows
+
+
+def plot_fig03(rows, outdir, plt):
+    """Optimal degree vs sigma/t_c, one line per processor count."""
+    by_procs = {}
+    for r in rows:
+        by_procs.setdefault(int(float(r["procs"])), []).append(
+            (float(r["sigma_tc"]), int(float(r["opt_degree"])),
+             float(r["speedup_vs_4"])))
+
+    fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(10, 4))
+    for procs, pts in sorted(by_procs.items()):
+        pts.sort()
+        xs = [max(p[0], 0.1) for p in pts]  # log axis; clamp sigma=0
+        ax1.plot(xs, [p[1] for p in pts], marker="o", label=f"p={procs}")
+        ax2.plot(xs, [p[2] for p in pts], marker="s", label=f"p={procs}")
+    for ax, ylab in ((ax1, "optimal degree"), (ax2, "speedup vs degree 4")):
+        ax.set_xscale("log")
+        ax.set_xlabel("sigma / t_c")
+        ax.set_ylabel(ylab)
+        ax.grid(True, alpha=0.3)
+        ax.legend()
+    ax1.set_yscale("log", base=2)
+    fig.suptitle("Figure 3: optimal combining-tree degree under load imbalance")
+    fig.tight_layout()
+    out = os.path.join(outdir, "fig03.png")
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+
+
+def plot_fig08(rows, outdir, plt):
+    """Dynamic placement: depth and speedup vs slack, per degree."""
+    by_degree = {}
+    for r in rows:
+        by_degree.setdefault(int(float(r["degree"])), []).append(
+            (float(r["slack_ms"]), float(r["static_depth"]),
+             float(r["dyn_depth"]), float(r["speedup"])))
+
+    fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(10, 4))
+    for degree, pts in sorted(by_degree.items()):
+        pts.sort()
+        xs = [p[0] for p in pts]
+        ax1.plot(xs, [p[1] for p in pts], "--", marker="o",
+                 label=f"static d={degree}")
+        ax1.plot(xs, [p[2] for p in pts], marker="o",
+                 label=f"dynamic d={degree}")
+        ax2.plot(xs, [p[3] for p in pts], marker="s", label=f"d={degree}")
+    ax1.set_xlabel("slack (ms)")
+    ax1.set_ylabel("last-processor depth")
+    ax2.set_xlabel("slack (ms)")
+    ax2.set_ylabel("sync speedup (dynamic / static)")
+    for ax in (ax1, ax2):
+        ax.grid(True, alpha=0.3)
+        ax.legend()
+    fig.suptitle("Figure 8: dynamic placement vs fuzzy-barrier slack")
+    fig.tight_layout()
+    out = os.path.join(outdir, "fig08.png")
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+
+
+DISPATCH = {
+    frozenset(["procs", "sigma_tc", "opt_degree", "opt_delay_us",
+               "delay_at_4_us", "speedup_vs_4"]): plot_fig03,
+    frozenset(["degree", "slack_ms", "static_depth", "dyn_depth", "speedup",
+               "comm_overhead"]): plot_fig08,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csvs", nargs="+", help="CSV files from the benches")
+    ap.add_argument("-o", "--outdir", default=".", help="output directory")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        raise SystemExit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.outdir, exist_ok=True)
+    for path in args.csvs:
+        rows = read_csv(path)
+        cols = frozenset(rows[0].keys())
+        fn = DISPATCH.get(cols)
+        if fn is None:
+            print(f"{path}: unrecognized column set {sorted(cols)}",
+                  file=sys.stderr)
+            continue
+        fn(rows, args.outdir, plt)
+
+
+if __name__ == "__main__":
+    main()
