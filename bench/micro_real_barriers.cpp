@@ -34,6 +34,8 @@ void barrier_episode(benchmark::State& state,
     cfg.kind = kind;
     cfg.participants = static_cast<std::size_t>(state.threads());
     cfg.degree = degree;
+    if (cfg.degree > cfg.participants && cfg.participants >= 2)
+      cfg.degree = cfg.participants;  // factory rejects degree > participants
     shared->barrier = imbar::make_barrier(cfg);
     shared->ready.store(true, std::memory_order_release);
   }

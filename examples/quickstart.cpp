@@ -60,11 +60,12 @@ int main(int argc, char** argv) {
   std::printf("imbar quickstart (v%s): %zu threads, %d iterations\n\n",
               version(), threads, iterations);
 
-  // Step 1: the classical default — a degree-4 combining tree.
+  // Step 1: the classical default — a degree-4 combining tree (narrower
+  // if fewer than 4 threads; the factory rejects degree > participants).
   BarrierConfig cfg;
   cfg.kind = BarrierKind::kCombiningTree;
   cfg.participants = threads;
-  cfg.degree = 4;
+  cfg.degree = threads >= 4 ? 4 : (threads < 2 ? 2 : threads);
   auto barrier = make_barrier(cfg);
   std::printf("step 1: running with the classical %s\n",
               describe(cfg).c_str());

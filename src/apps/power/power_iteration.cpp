@@ -67,6 +67,7 @@ PowerResult run_power_iteration(const PowerParams& params) {
   BarrierConfig cfg = params.barrier;
   cfg.participants = t;
   if (cfg.degree < 2) cfg.degree = 2;
+  if (cfg.degree > t) cfg.degree = t >= 2 ? t : 2;
   auto barrier = make_barrier(cfg);
 
   std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));

@@ -85,6 +85,7 @@ SorResult run_sor(const SorParams& params) {
       cfg.kind == BarrierKind::kMcsTree ||
       cfg.kind == BarrierKind::kDynamicPlacement) {
     if (cfg.degree < 2) cfg.degree = 2;
+    if (cfg.degree > t) cfg.degree = t >= 2 ? t : 2;
   }
   std::unique_ptr<Barrier> barrier;
   std::unique_ptr<FuzzyBarrier> fuzzy;

@@ -107,6 +107,12 @@ void AdaptiveBarrier::wait(std::size_t tid) {
   while (epoch_.value.load(std::memory_order_acquire) == my) w.wait();
 }
 
+WaitStatus AdaptiveBarrier::wait_until(std::size_t tid, const WaitContext& ctx) {
+  const std::uint64_t my = local_epoch_[tid].value;
+  return spin_until(
+      [&] { return epoch_.value.load(std::memory_order_acquire) != my; }, ctx);
+}
+
 std::size_t AdaptiveBarrier::current_degree() const noexcept {
   return current_.load(std::memory_order_acquire)->topo.degree();
 }

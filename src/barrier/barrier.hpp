@@ -11,8 +11,11 @@
 // are still inside wait() of barrier k).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+
+#include "util/spin_wait.hpp"
 
 namespace imbar {
 
@@ -34,6 +37,21 @@ class Barrier {
   /// arrived. `tid` in [0, participants()), one distinct tid per thread.
   virtual void arrive_and_wait(std::size_t tid) = 0;
 
+  /// Deadline/cancellation-aware variant: kReady means the episode
+  /// completed as usual. On kTimeout/kCancelled this thread's arrival
+  /// contribution has already been published and the barrier may be
+  /// stopped mid-episode: the instance must be considered broken and
+  /// rebuilt before reuse (robust::RobustBarrier automates that — see
+  /// docs/robustness.md).
+  virtual WaitStatus arrive_and_wait_until(std::size_t tid,
+                                           const WaitContext& ctx) = 0;
+
+  /// Convenience: arrive_and_wait_until with a relative timeout.
+  WaitStatus arrive_and_wait_for(std::size_t tid,
+                                 std::chrono::nanoseconds timeout) {
+    return arrive_and_wait_until(tid, WaitContext::after(timeout));
+  }
+
   [[nodiscard]] virtual std::size_t participants() const noexcept = 0;
 
   /// Cumulative instrumentation (approximate under concurrency: relaxed
@@ -44,13 +62,23 @@ class Barrier {
 class FuzzyBarrier : public Barrier {
  public:
   /// Signal arrival; performs this thread's synchronization duties.
+  /// Never blocks on peers (all imbar fuzzy kinds arrive via counter
+  /// pushes), so deadlines apply to the enforce phase only.
   virtual void arrive(std::size_t tid) = 0;
   /// Enforce: block until the episode arrive()d by this thread releases.
   virtual void wait(std::size_t tid) = 0;
+  /// Deadline/cancellation-aware enforce phase.
+  virtual WaitStatus wait_until(std::size_t tid, const WaitContext& ctx) = 0;
 
   void arrive_and_wait(std::size_t tid) final {
     arrive(tid);
     wait(tid);
+  }
+
+  WaitStatus arrive_and_wait_until(std::size_t tid,
+                                   const WaitContext& ctx) final {
+    arrive(tid);
+    return wait_until(tid, ctx);
   }
 };
 

@@ -46,6 +46,13 @@ void CombiningTreeBarrier::wait(std::size_t tid) {
   while (epoch_.value.load(std::memory_order_acquire) == my) w.wait();
 }
 
+WaitStatus CombiningTreeBarrier::wait_until(std::size_t tid,
+                                            const WaitContext& ctx) {
+  const std::uint64_t my = local_epoch_[tid].value;
+  return spin_until(
+      [&] { return epoch_.value.load(std::memory_order_acquire) != my; }, ctx);
+}
+
 BarrierCounters CombiningTreeBarrier::counters() const {
   BarrierCounters c;
   c.episodes = epoch_.value.load(std::memory_order_relaxed);

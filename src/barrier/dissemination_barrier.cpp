@@ -39,6 +39,28 @@ void DisseminationBarrier::arrive_and_wait(std::size_t tid) {
   }
 }
 
+WaitStatus DisseminationBarrier::arrive_and_wait_until(std::size_t tid,
+                                                       const WaitContext& ctx) {
+  // The rounds interleave signalling and waiting, so a timeout can fire
+  // with this thread's signals already published mid-episode: the
+  // instance is then torn and must be rebuilt (see docs/robustness.md).
+  const std::uint64_t ep =
+      episode_[tid].value.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t dist = 1;
+  for (std::size_t r = 0; r < rounds_; ++r, dist <<= 1) {
+    const std::size_t partner = (tid + dist) % n_;
+    flags_[r * n_ + partner].value.fetch_add(1, std::memory_order_acq_rel);
+    const WaitStatus s = spin_until(
+        [&] {
+          return flags_[r * n_ + tid].value.load(std::memory_order_acquire) >=
+                 ep;
+        },
+        ctx);
+    if (s != WaitStatus::kReady) return s;
+  }
+  return WaitStatus::kReady;
+}
+
 BarrierCounters DisseminationBarrier::counters() const {
   BarrierCounters c;
   std::uint64_t min_ep = ~0ULL;

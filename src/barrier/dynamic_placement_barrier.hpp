@@ -44,6 +44,7 @@ class DynamicPlacementBarrier final : public FuzzyBarrier {
 
   void arrive(std::size_t tid) override;
   void wait(std::size_t tid) override;
+  WaitStatus wait_until(std::size_t tid, const WaitContext& ctx) override;
 
   [[nodiscard]] std::size_t participants() const noexcept override {
     return topo_.procs();

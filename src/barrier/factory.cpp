@@ -1,6 +1,7 @@
 #include "barrier/factory.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "barrier/central_barrier.hpp"
 #include "barrier/combining_tree_barrier.hpp"
@@ -38,9 +39,39 @@ BarrierKind barrier_kind_from_string(const std::string& name) {
   throw std::invalid_argument("unknown barrier kind: " + name);
 }
 
+namespace {
+
+bool uses_degree(BarrierKind kind) noexcept {
+  return kind == BarrierKind::kCombiningTree || kind == BarrierKind::kMcsTree ||
+         kind == BarrierKind::kDynamicPlacement;
+}
+
+void validate(const BarrierConfig& config) {
+  if (config.participants < 1)
+    throw std::invalid_argument(
+        "BarrierConfig: participants must be >= 1 (got 0)");
+  if (!uses_degree(config.kind)) return;
+  if (config.degree < 2)
+    throw std::invalid_argument(
+        std::string("BarrierConfig: ") + to_string(config.kind) +
+        " barrier requires degree >= 2, got " + std::to_string(config.degree));
+  // A tree wider than its participant set is a central counter in
+  // disguise; require an explicit choice instead of silently degrading.
+  // (participants == 1 keeps the degree-2 floor usable.)
+  const std::size_t max_degree =
+      config.participants < 2 ? 2 : config.participants;
+  if (config.degree > max_degree)
+    throw std::invalid_argument(
+        std::string("BarrierConfig: ") + to_string(config.kind) +
+        " barrier degree (" + std::to_string(config.degree) +
+        ") exceeds participants (" + std::to_string(config.participants) +
+        "); use degree <= participants, or kCentral for a single counter");
+}
+
+}  // namespace
+
 std::unique_ptr<FuzzyBarrier> make_fuzzy_barrier(const BarrierConfig& config) {
-  if (config.participants == 0)
-    throw std::invalid_argument("make_barrier: zero participants");
+  validate(config);
   switch (config.kind) {
     case BarrierKind::kCentral:
       return std::make_unique<CentralBarrier>(config.participants);
@@ -66,8 +97,7 @@ std::unique_ptr<FuzzyBarrier> make_fuzzy_barrier(const BarrierConfig& config) {
 }
 
 std::unique_ptr<Barrier> make_barrier(const BarrierConfig& config) {
-  if (config.participants == 0)
-    throw std::invalid_argument("make_barrier: zero participants");
+  validate(config);
   switch (config.kind) {
     case BarrierKind::kDissemination:
       return std::make_unique<DisseminationBarrier>(config.participants);

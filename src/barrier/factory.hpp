@@ -33,7 +33,10 @@ struct BarrierConfig {
   AdaptiveBarrier::Options adaptive{};  // kAdaptive only
 };
 
-/// Construct any barrier kind.
+/// Construct any barrier kind. The configuration is validated:
+/// participants >= 1 always; for the tree kinds (combining, mcs,
+/// dynamic) additionally 2 <= degree <= max(2, participants).
+/// Violations throw std::invalid_argument with a descriptive message.
 [[nodiscard]] std::unique_ptr<Barrier> make_barrier(const BarrierConfig& config);
 
 /// Construct a split-phase (fuzzy-capable) barrier; throws

@@ -60,6 +60,45 @@ void McsLocalSpinBarrier::arrive_and_wait(std::size_t tid) {
   }
 }
 
+WaitStatus McsLocalSpinBarrier::arrive_and_wait_until(std::size_t tid,
+                                                      const WaitContext& ctx) {
+  // Gathering children happens inside the arrival phase, so a timeout
+  // can leave part of the arrival wave recorded: the instance is then
+  // torn and must be rebuilt (see docs/robustness.md). A timed-out
+  // thread also skips its wakeup propagation, which is what lets its
+  // own subtree time out promptly as well instead of hanging.
+  const std::uint64_t ep =
+      episode_[tid].value.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  const std::size_t kids = arrival_children(tid);
+  if (kids > 0) {
+    const WaitStatus s = spin_until(
+        [&] {
+          return arrived_[tid].value.load(std::memory_order_acquire) >=
+                 ep * static_cast<std::uint64_t>(kids);
+        },
+        ctx);
+    if (s != WaitStatus::kReady) return s;
+  }
+  if (tid != 0) {
+    const std::size_t parent = (tid - 1) / fin_;
+    arrived_[parent].value.fetch_add(1, std::memory_order_acq_rel);
+    const WaitStatus s = spin_until(
+        [&] {
+          return wakeup_[tid].value.load(std::memory_order_acquire) >= ep;
+        },
+        ctx);
+    if (s != WaitStatus::kReady) return s;
+  }
+  const std::size_t wfirst = fout_ * tid + 1;
+  for (std::size_t k = 0; k < fout_; ++k) {
+    const std::size_t child = wfirst + k;
+    if (child >= n_) break;
+    wakeup_[child].value.store(ep, std::memory_order_release);
+  }
+  return WaitStatus::kReady;
+}
+
 BarrierCounters McsLocalSpinBarrier::counters() const {
   BarrierCounters c;
   c.episodes = episode_[0].value.load(std::memory_order_relaxed);

@@ -31,6 +31,8 @@ class McsLocalSpinBarrier final : public Barrier {
                                std::size_t wakeup_fanout = 2);
 
   void arrive_and_wait(std::size_t tid) override;
+  WaitStatus arrive_and_wait_until(std::size_t tid,
+                                   const WaitContext& ctx) override;
 
   [[nodiscard]] std::size_t participants() const noexcept override { return n_; }
   [[nodiscard]] std::size_t arrival_fanin() const noexcept { return fin_; }

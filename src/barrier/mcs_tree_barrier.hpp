@@ -24,6 +24,7 @@ class McsTreeBarrier final : public FuzzyBarrier {
 
   void arrive(std::size_t tid) override;
   void wait(std::size_t tid) override;
+  WaitStatus wait_until(std::size_t tid, const WaitContext& ctx) override;
 
   [[nodiscard]] std::size_t participants() const noexcept override {
     return topo_.procs();

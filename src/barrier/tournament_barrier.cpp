@@ -59,6 +59,41 @@ void TournamentBarrier::arrive_and_wait(std::size_t tid) {
   }
 }
 
+WaitStatus TournamentBarrier::arrive_and_wait_until(std::size_t tid,
+                                                    const WaitContext& ctx) {
+  // Winners wait inside the arrival rounds, so a timeout can leave the
+  // bracket half-played: the instance is then torn and must be rebuilt.
+  const std::uint64_t ep =
+      episode_[tid].value.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  std::size_t span = 1;
+  for (std::size_t r = 0; r < rounds_; ++r, span <<= 1) {
+    if (tid % (span << 1) == 0) {
+      if (tid + span < n_) {
+        const WaitStatus s = spin_until(
+            [&] {
+              return loser_signal_[r * n_ + tid].value.load(
+                         std::memory_order_acquire) >= ep;
+            },
+            ctx);
+        if (s != WaitStatus::kReady) return s;
+      }
+    } else {
+      const std::size_t winner = tid - span;
+      loser_signal_[r * n_ + winner].value.fetch_add(
+          1, std::memory_order_acq_rel);
+      break;
+    }
+  }
+
+  if (tid == 0) {
+    epoch_.value.fetch_add(1, std::memory_order_acq_rel);
+    return WaitStatus::kReady;
+  }
+  return spin_until(
+      [&] { return epoch_.value.load(std::memory_order_acquire) >= ep; }, ctx);
+}
+
 BarrierCounters TournamentBarrier::counters() const {
   BarrierCounters c;
   c.episodes = epoch_.value.load(std::memory_order_relaxed);

@@ -25,6 +25,8 @@ class TournamentBarrier final : public Barrier {
   explicit TournamentBarrier(std::size_t participants);
 
   void arrive_and_wait(std::size_t tid) override;
+  WaitStatus arrive_and_wait_until(std::size_t tid,
+                                   const WaitContext& ctx) override;
 
   [[nodiscard]] std::size_t participants() const noexcept override { return n_; }
   [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }

@@ -11,9 +11,18 @@ BarrierConfig recommend_config(std::size_t p, double sigma_us, double tc_us,
   BarrierConfig cfg;
   cfg.participants = p;
   cfg.degree = p >= 2 ? choose_degree_timed(p, sigma_us, tc_us) : 2;
+  if (cfg.degree < 2) cfg.degree = 2;
+  if (p >= 2 && cfg.degree > p) cfg.degree = p;
   cfg.kind = predictable ? BarrierKind::kDynamicPlacement
                          : BarrierKind::kCombiningTree;
   return cfg;
+}
+
+std::unique_ptr<robust::RobustBarrier> recommend_robust_barrier(
+    std::size_t p, double sigma_us, double tc_us, bool predictable,
+    robust::RobustOptions opts) {
+  return std::make_unique<robust::RobustBarrier>(
+      recommend_config(p, sigma_us, tc_us, predictable), opts);
 }
 
 std::string describe(const BarrierConfig& config) {
@@ -28,7 +37,10 @@ std::string describe(const BarrierConfig& config) {
 
 TunedBarrier::TunedBarrier(std::size_t participants, double tc_us,
                            BarrierKind kind)
-    : n_(participants), tc_us_(tc_us), kind_(kind), degree_(4) {
+    : n_(participants),
+      tc_us_(tc_us),
+      kind_(kind),
+      degree_(participants >= 4 ? 4 : (participants < 2 ? 2 : participants)) {
   BarrierConfig cfg;
   cfg.kind = kind_;
   cfg.participants = n_;

@@ -9,6 +9,7 @@
 #include "barrier/factory.hpp"
 #include "core/degree_chooser.hpp"
 #include "core/imbalance_estimator.hpp"
+#include "robust/robust_barrier.hpp"
 
 namespace imbar {
 
@@ -27,6 +28,15 @@ namespace imbar {
 
 /// One-line description of a configuration (for logs).
 [[nodiscard]] std::string describe(const BarrierConfig& config);
+
+/// recommend_config + a fault-tolerant wrapper in one step: the
+/// model-chosen barrier decorated with deadline/broken-barrier
+/// semantics (robust::RobustBarrier). Use when participants may stall
+/// or die — e.g. work stolen by other jobs, or a cohort spanning
+/// processes. `opts.default_timeout` bounds every arrive_and_wait().
+[[nodiscard]] std::unique_ptr<robust::RobustBarrier> recommend_robust_barrier(
+    std::size_t p, double sigma_us, double tc_us, bool predictable = false,
+    robust::RobustOptions opts = {});
 
 /// Self-tuning barrier: an ImbalanceEstimator fed by the caller plus a
 /// periodically re-derived recommendation. Unlike AdaptiveBarrier (which

@@ -25,6 +25,12 @@
 #include "barrier/point_to_point.hpp"
 #include "barrier/tournament_barrier.hpp"
 
+// Fault tolerance: deadlines, broken-barrier semantics, fault injection.
+#include "robust/fault_harness.hpp"
+#include "robust/fault_plan.hpp"
+#include "robust/fault_sim.hpp"
+#include "robust/robust_barrier.hpp"
+
 // Degree selection and imbalance estimation.
 #include "core/degree_chooser.hpp"
 #include "core/facade.hpp"

@@ -1,0 +1,153 @@
+#include "robust/fault_harness.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace imbar::robust {
+
+namespace {
+
+HarnessResult::Cell to_cell(BarrierStatus s) noexcept {
+  switch (s) {
+    case BarrierStatus::kOk: return HarnessResult::Cell::kOk;
+    case BarrierStatus::kTimeout: return HarnessResult::Cell::kTimeout;
+    case BarrierStatus::kBroken: return HarnessResult::Cell::kBroken;
+  }
+  return HarnessResult::Cell::kNotRun;
+}
+
+void sleep_us(double us) {
+  if (us > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(us));
+}
+
+}  // namespace
+
+HarnessResult run_fault_harness(RobustBarrier& barrier, const FaultPlan& plan,
+                                const HarnessOptions& opts) {
+  const std::size_t p = plan.procs();
+  if (barrier.participants() != p)
+    throw std::invalid_argument(
+        "run_fault_harness: barrier/plan participant mismatch");
+
+  HarnessResult res;
+  res.statuses.assign(opts.iterations,
+                      std::vector<HarnessResult::Cell>(
+                          p, HarnessResult::Cell::kNotRun));
+
+  // Survivors of a break cannot coordinate through the broken barrier,
+  // so recovery uses a plain latch. The roster can shrink while threads
+  // wait (the abandoner deactivates itself before publishing the
+  // break), hence the periodic re-check of active_participants()
+  // instead of a fixed threshold.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t waiting = 0;
+  std::size_t done = 0;  // survivors that exited their loop for good
+  std::uint64_t recovery_gen = 0;
+  std::uint64_t resets = 0;
+  bool stopped = false;  // reset_on_break == false: first break ends the run
+
+  auto recover = [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    if (stopped) return false;
+    if (!opts.reset_on_break) {
+      stopped = true;
+      cv.notify_all();
+      return false;
+    }
+    const std::uint64_t gen = recovery_gen;
+    ++waiting;
+    while (recovery_gen == gen && !stopped) {
+      // `done` covers a mixed final episode: a peer that completed its
+      // last iteration kOk exits for good and will never join recovery.
+      if (waiting + done >= barrier.active_participants()) {
+        barrier.reset();
+        ++resets;
+        waiting = 0;
+        ++recovery_gen;
+        cv.notify_all();
+        break;
+      }
+      cv.wait_for(lk, std::chrono::milliseconds(1));
+    }
+    return !stopped;
+  };
+
+  auto body = [&](std::size_t tid) {
+    const auto death = plan.death_iteration(tid);
+    for (std::size_t it = 0; it < opts.iterations; ++it) {
+      if (death && *death == it) {
+        // Abandon at episode start, before any survivor's deadline can
+        // fire: the break reaches them as a prompt cancellation. The
+        // abandon already removes this thread from the active roster,
+        // so it must not also count itself into `done`.
+        barrier.arrive_and_abandon(tid);
+        return false;
+      }
+      {
+        const std::lock_guard<std::mutex> lk(mu);
+        if (stopped) return true;
+      }
+      sleep_us(plan.straggler_delay_us(it, tid));
+
+      const BarrierStatus s =
+          opts.timeout == std::chrono::nanoseconds::max()
+              ? barrier.arrive_and_wait(tid)
+              : barrier.arrive_and_wait_for(tid, opts.timeout);
+      res.statuses[it][tid] = to_cell(s);
+
+      if (s != BarrierStatus::kOk) {
+        if (!recover()) return true;
+        continue;  // the broken episode does not count as synchronized
+      }
+      sleep_us(plan.lost_wakeup_delay_us(it, tid));
+    }
+    return true;
+  };
+
+  auto worker = [&](std::size_t tid) {
+    if (body(tid)) {
+      const std::lock_guard<std::mutex> lk(mu);
+      ++done;
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(p);
+  for (std::size_t tid = 0; tid < p; ++tid) pool.emplace_back(worker, tid);
+  for (auto& th : pool) th.join();
+
+  res.resets = resets;
+  res.survivors = barrier.active_participants();
+  for (const auto& row : res.statuses) {
+    bool any_ok = false, any_bad = false;
+    for (const HarnessResult::Cell c : row) {
+      switch (c) {
+        case HarnessResult::Cell::kOk:
+          ++res.ok_statuses;
+          any_ok = true;
+          break;
+        case HarnessResult::Cell::kTimeout:
+          ++res.timeout_statuses;
+          any_bad = true;
+          break;
+        case HarnessResult::Cell::kBroken:
+          ++res.broken_statuses;
+          any_bad = true;
+          break;
+        case HarnessResult::Cell::kNotRun:
+          break;
+      }
+    }
+    if (any_bad) ++res.broken_episodes;
+    if (any_bad && any_ok) ++res.mixed_episodes;
+  }
+  return res;
+}
+
+}  // namespace imbar::robust

@@ -1,0 +1,57 @@
+// Real-thread fault-injection harness.
+//
+// Drives a RobustBarrier with one OS thread per participant through a
+// FaultPlan: stragglers sleep before arriving, lost wakeups sleep after
+// release, and scheduled deaths abandon the barrier (breaking it) and
+// exit. Survivors of a break rendezvous on a side latch — they cannot
+// use the broken barrier to coordinate — and the last one in calls
+// reset(), after which the shrunken cohort continues.
+//
+// The per-episode status matrix the harness returns is the acceptance
+// evidence for the broken-barrier semantics: per episode at most one
+// kTimeout, abandon-driven breaks uniformly non-kOk, and every post-
+// reset episode of the survivors completing kOk.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "robust/fault_plan.hpp"
+#include "robust/robust_barrier.hpp"
+
+namespace imbar::robust {
+
+struct HarnessOptions {
+  /// Episodes each surviving thread attempts.
+  std::size_t iterations = 100;
+  /// Per-episode deadline. max() disables timeouts (only abandons can
+  /// break the barrier then).
+  std::chrono::nanoseconds timeout = std::chrono::milliseconds(250);
+  /// After a break: rendezvous the survivors and reset(). When false
+  /// the first break ends every survivor's run (statuses past it stay
+  /// kNotRun).
+  bool reset_on_break = true;
+};
+
+struct HarnessResult {
+  /// statuses[iteration][tid]; kNotRun where a thread was already dead
+  /// (or the run had stopped).
+  enum class Cell : std::int8_t { kNotRun = -1, kOk, kTimeout, kBroken };
+  std::vector<std::vector<Cell>> statuses;
+
+  std::uint64_t ok_statuses = 0;
+  std::uint64_t timeout_statuses = 0;
+  std::uint64_t broken_statuses = 0;
+  std::uint64_t broken_episodes = 0;  // episodes with >= 1 non-kOk cell
+  std::uint64_t mixed_episodes = 0;   // both kOk and non-kOk cells
+  std::uint64_t resets = 0;
+  std::size_t survivors = 0;          // active participants at the end
+};
+
+/// Runs plan.procs() threads against `barrier` (whose participants()
+/// must equal plan.procs()). Throws std::invalid_argument on mismatch.
+HarnessResult run_fault_harness(RobustBarrier& barrier, const FaultPlan& plan,
+                                const HarnessOptions& opts);
+
+}  // namespace imbar::robust

@@ -1,0 +1,113 @@
+#include "robust/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/prng.hpp"
+
+namespace imbar::robust {
+
+namespace {
+
+void check_prob(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " must be in [0, 1]");
+}
+
+/// Exponential draw with the given mean. uniform() is in [0, 1), so the
+/// log argument stays in (0, 1].
+double exponential(Xoshiro256& rng, double mean) {
+  return mean * -std::log(1.0 - rng.uniform());
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::make(std::uint64_t seed, std::size_t procs,
+                          std::size_t iterations, const FaultSpec& spec) {
+  if (procs == 0)
+    throw std::invalid_argument("FaultPlan: zero procs");
+  check_prob(spec.straggler_prob, "straggler_prob");
+  check_prob(spec.lost_wakeup_prob, "lost_wakeup_prob");
+  if (spec.deaths >= procs)
+    throw std::invalid_argument(
+        "FaultPlan: deaths must leave at least one survivor");
+
+  FaultPlan plan;
+  plan.p_ = procs;
+  plan.iters_ = iterations;
+  plan.seed_ = seed;
+  plan.straggler_.assign(iterations * procs, 0.0);
+  plan.lost_wakeup_.assign(iterations * procs, 0.0);
+
+  // Independent substreams per fault class keep each schedule invariant
+  // under changes to the other spec fields.
+  Xoshiro256 straggler_rng = Xoshiro256::substream(seed, 0);
+  Xoshiro256 wakeup_rng = Xoshiro256::substream(seed, 1);
+  Xoshiro256 death_rng = Xoshiro256::substream(seed, 2);
+
+  for (std::size_t i = 0; i < iterations; ++i)
+    for (std::size_t p = 0; p < procs; ++p) {
+      if (spec.straggler_prob > 0.0 &&
+          straggler_rng.uniform() < spec.straggler_prob)
+        plan.straggler_[i * procs + p] =
+            exponential(straggler_rng, spec.straggler_mean_us);
+      if (spec.lost_wakeup_prob > 0.0 &&
+          wakeup_rng.uniform() < spec.lost_wakeup_prob)
+        plan.lost_wakeup_[i * procs + p] =
+            exponential(wakeup_rng, spec.lost_wakeup_mean_us);
+    }
+
+  if (spec.deaths > 0) {
+    if (spec.death_after >= iterations)
+      throw std::invalid_argument("FaultPlan: death_after beyond iterations");
+    // Distinct victims via rejection (deaths < procs so this terminates).
+    std::vector<bool> dead(procs, false);
+    for (std::size_t d = 0; d < spec.deaths; ++d) {
+      std::size_t victim;
+      do {
+        victim = static_cast<std::size_t>(death_rng.uniform() *
+                                          static_cast<double>(procs));
+        if (victim >= procs) victim = procs - 1;
+      } while (dead[victim]);
+      dead[victim] = true;
+      const auto span = static_cast<double>(iterations - spec.death_after);
+      auto iter = spec.death_after +
+                  static_cast<std::size_t>(death_rng.uniform() * span);
+      if (iter >= iterations) iter = iterations - 1;
+      plan.deaths_.push_back(Death{victim, iter});
+    }
+    std::sort(plan.deaths_.begin(), plan.deaths_.end(),
+              [](const Death& a, const Death& b) {
+                return a.iteration != b.iteration ? a.iteration < b.iteration
+                                                  : a.proc < b.proc;
+              });
+  }
+  return plan;
+}
+
+std::size_t FaultPlan::index(std::size_t iteration, std::size_t proc) const {
+  if (proc >= p_ || iteration >= iters_)
+    throw std::out_of_range("FaultPlan: (iteration, proc) out of range");
+  return iteration * p_ + proc;
+}
+
+double FaultPlan::straggler_delay_us(std::size_t iteration,
+                                     std::size_t proc) const {
+  return straggler_[index(iteration, proc)];
+}
+
+double FaultPlan::lost_wakeup_delay_us(std::size_t iteration,
+                                       std::size_t proc) const {
+  return lost_wakeup_[index(iteration, proc)];
+}
+
+std::optional<std::size_t> FaultPlan::death_iteration(std::size_t proc) const {
+  for (const Death& d : deaths_)
+    if (d.proc == proc) return d.iteration;
+  return std::nullopt;
+}
+
+}  // namespace imbar::robust

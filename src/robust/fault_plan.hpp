@@ -1,0 +1,83 @@
+// Deterministic fault schedules for barrier robustness testing.
+//
+// A FaultPlan is a precomputed (seed-reproducible) schedule of three
+// fault classes over an (iterations x procs) grid:
+//
+//   * stragglers  — a processor is late entering an episode by an
+//     exponentially distributed delay (models a preempted or
+//     cache-cold thread);
+//   * lost wakeups — a processor is late *leaving* an episode (models
+//     a missed or delayed release notification);
+//   * deaths      — a processor permanently drops out at a chosen
+//     iteration (models a crashed participant; it abandons the
+//     barrier instead of arriving).
+//
+// The same plan drives both the real-thread harness (fault_harness.hpp)
+// and the event-driven simulator (fault_sim.hpp), so a failure observed
+// in one substrate can be replayed in the other.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace imbar::robust {
+
+struct FaultSpec {
+  double straggler_prob = 0.0;     // per (iteration, proc)
+  double straggler_mean_us = 0.0;  // exponential mean when it fires
+  double lost_wakeup_prob = 0.0;
+  double lost_wakeup_mean_us = 0.0;
+  std::size_t deaths = 0;          // distinct procs that die (< procs)
+  std::size_t death_after = 0;     // earliest iteration a death may hit
+};
+
+class FaultPlan {
+ public:
+  struct Death {
+    std::size_t proc = 0;
+    std::size_t iteration = 0;
+  };
+
+  /// Build the full schedule. Deterministic: identical (seed, procs,
+  /// iterations, spec) yield identical plans. Throws
+  /// std::invalid_argument if spec.deaths >= procs (someone must
+  /// survive) or probabilities are outside [0, 1].
+  static FaultPlan make(std::uint64_t seed, std::size_t procs,
+                        std::size_t iterations, const FaultSpec& spec);
+
+  [[nodiscard]] std::size_t procs() const noexcept { return p_; }
+  [[nodiscard]] std::size_t iterations() const noexcept { return iters_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Extra delay before `proc` arrives at `iteration` (0 = no fault).
+  [[nodiscard]] double straggler_delay_us(std::size_t iteration,
+                                          std::size_t proc) const;
+
+  /// Extra delay after `proc` is released from `iteration`.
+  [[nodiscard]] double lost_wakeup_delay_us(std::size_t iteration,
+                                            std::size_t proc) const;
+
+  /// Iteration at which `proc` dies, if it does.
+  [[nodiscard]] std::optional<std::size_t> death_iteration(
+      std::size_t proc) const;
+
+  [[nodiscard]] const std::vector<Death>& deaths() const noexcept {
+    return deaths_;
+  }
+
+ private:
+  FaultPlan() = default;
+
+  [[nodiscard]] std::size_t index(std::size_t iteration,
+                                  std::size_t proc) const;
+
+  std::size_t p_ = 0;
+  std::size_t iters_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<double> straggler_;    // row-major iterations x procs
+  std::vector<double> lost_wakeup_;  // row-major iterations x procs
+  std::vector<Death> deaths_;        // sorted by iteration
+};
+
+}  // namespace imbar::robust

@@ -1,0 +1,92 @@
+#include "robust/fault_sim.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace imbar::robust {
+
+namespace {
+
+simb::Topology build_topology(const FaultSimOptions& opts,
+                              std::size_t procs) {
+  std::size_t degree = opts.degree < 2 ? 2 : opts.degree;
+  if (degree > procs && procs >= 2) degree = procs;
+  return opts.tree == simb::TreeKind::kMcs
+             ? simb::Topology::mcs(procs, degree)
+             : simb::Topology::plain(procs, degree);
+}
+
+}  // namespace
+
+FaultSimResult run_faulty_sim(ArrivalGenerator& gen, const FaultPlan& plan,
+                              const FaultSimOptions& opts) {
+  const std::size_t p = plan.procs();
+  if (gen.procs() != p)
+    throw std::invalid_argument("run_faulty_sim: generator/plan mismatch");
+  if (opts.iterations > plan.iterations())
+    throw std::invalid_argument(
+        "run_faulty_sim: more iterations than the plan covers");
+
+  std::vector<bool> alive(p, true);
+  std::size_t alive_count = p;
+
+  auto sim = std::make_unique<simb::TreeBarrierSim>(
+      build_topology(opts, alive_count), opts.sim);
+
+  FaultSimResult res;
+  res.sync_delays.reserve(opts.iterations);
+
+  std::vector<double> work(p);
+  std::vector<double> signals;
+  double prev_release = 0.0;
+  double sum_delay = 0.0;
+
+  for (std::size_t i = 0; i < opts.iterations; ++i) {
+    gen.generate(i, work);
+
+    // Deaths scheduled for this iteration abort the episode: the dead
+    // processor never arrives, so (as in the real-thread path) no
+    // survivor can complete it. Rebuild the tree over the survivors —
+    // the event-driven mirror of RobustBarrier::reset().
+    bool died = false;
+    for (const FaultPlan::Death& d : plan.deaths())
+      if (d.iteration == i && alive[d.proc]) {
+        alive[d.proc] = false;
+        --alive_count;
+        died = true;
+      }
+    if (died) {
+      ++res.broken_episodes;
+      res.total_comms += sim->total_comms();
+      res.total_swaps += sim->total_swaps();
+      sim = std::make_unique<simb::TreeBarrierSim>(
+          build_topology(opts, alive_count), opts.sim);
+      ++res.rebuilds;
+      prev_release = 0.0;  // the rebuilt sim's clock starts at zero
+      continue;
+    }
+
+    signals.clear();
+    for (std::size_t proc = 0; proc < p; ++proc) {
+      if (!alive[proc]) continue;
+      const double start = prev_release + plan.lost_wakeup_delay_us(i, proc);
+      signals.push_back(start + work[proc] +
+                        plan.straggler_delay_us(i, proc));
+    }
+    const simb::IterationResult r = sim->run_iteration(signals);
+    prev_release = r.release;
+    sum_delay += r.sync_delay;
+    res.sync_delays.push_back(r.sync_delay);
+    ++res.completed_iterations;
+  }
+
+  res.survivors = alive_count;
+  res.total_comms += sim->total_comms();
+  res.total_swaps += sim->total_swaps();
+  if (res.completed_iterations > 0)
+    res.mean_sync_delay =
+        sum_delay / static_cast<double>(res.completed_iterations);
+  return res;
+}
+
+}  // namespace imbar::robust

@@ -1,0 +1,47 @@
+// Event-driven fault injection: the simulator-side counterpart of
+// fault_harness.hpp.
+//
+// Replays a FaultPlan against a TreeBarrierSim: stragglers shift a
+// processor's arrival, lost wakeups shift its next start, and a death
+// aborts the episode and rebuilds the tree over the survivors — the
+// discrete-event mirror of RobustBarrier::reset(). Everything is
+// deterministic for a fixed (generator seed, plan), so Figure-8-style
+// sweeps remain exactly reproducible under injected faults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "robust/fault_plan.hpp"
+#include "simbarrier/tree_sim.hpp"
+#include "workload/arrival.hpp"
+
+namespace imbar::robust {
+
+struct FaultSimOptions {
+  std::size_t degree = 4;
+  simb::TreeKind tree = simb::TreeKind::kMcs;  // dynamic placement needs kMcs
+  simb::SimOptions sim{};
+  std::size_t iterations = 200;  // must be <= plan.iterations()
+};
+
+struct FaultSimResult {
+  std::size_t completed_iterations = 0;  // episodes that released
+  std::uint64_t broken_episodes = 0;     // episodes aborted by a death
+  std::size_t survivors = 0;
+  std::size_t rebuilds = 0;              // tree rebuilds after deaths
+  double mean_sync_delay = 0.0;          // over completed episodes
+  std::vector<double> sync_delays;       // per completed episode, in order
+  std::uint64_t total_comms = 0;         // across all tree incarnations
+  std::uint64_t total_swaps = 0;
+};
+
+/// Run `opts.iterations` episodes. `gen` supplies per-iteration work
+/// times for the *original* cohort (gen.procs() == plan.procs()); dead
+/// processors' entries are generated but unused, which keeps the
+/// surviving processors' draws identical with and without deaths.
+/// Throws std::invalid_argument on size mismatches.
+FaultSimResult run_faulty_sim(ArrivalGenerator& gen, const FaultPlan& plan,
+                              const FaultSimOptions& opts);
+
+}  // namespace imbar::robust

@@ -1,0 +1,203 @@
+#include "robust/robust_barrier.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace imbar::robust {
+
+namespace {
+
+/// RAII in-flight marker so reset() can drain entrants that raced past
+/// the broken-flag check.
+class InFlight {
+ public:
+  explicit InFlight(std::atomic<std::size_t>& c) noexcept : c_(c) {
+    c_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~InFlight() { c_.fetch_sub(1, std::memory_order_acq_rel); }
+  InFlight(const InFlight&) = delete;
+  InFlight& operator=(const InFlight&) = delete;
+
+ private:
+  std::atomic<std::size_t>& c_;
+};
+
+}  // namespace
+
+RobustBarrier::RobustBarrier(BarrierConfig config, RobustOptions opts)
+    : config_(config), opts_(opts), n_(config.participants) {
+  if (n_ == 0)
+    throw std::invalid_argument("RobustBarrier: zero participants");
+  active_ = std::make_unique<std::atomic<bool>[]>(n_);
+  entered_ = std::make_unique<PaddedAtomic<std::uint64_t>[]>(n_);
+  for (std::size_t t = 0; t < n_; ++t) {
+    active_[t].store(true, std::memory_order_relaxed);
+    entered_[t].value.store(0, std::memory_order_relaxed);
+  }
+  active_count_.store(n_, std::memory_order_relaxed);
+  inner_tid_.assign(n_, 0);
+  rebuild_inner();
+}
+
+void RobustBarrier::rebuild_inner() {
+  std::size_t dense = 0;
+  for (std::size_t t = 0; t < n_; ++t)
+    if (active_[t].load(std::memory_order_acquire)) inner_tid_[t] = dense++;
+
+  BarrierConfig cfg = config_;
+  cfg.participants = dense;
+  // Keep the configured degree where it still fits; a shrunken cohort
+  // clamps it so the factory's degree <= max(2, participants) rule holds.
+  if (cfg.degree > dense && dense >= 2) cfg.degree = dense;
+  if (cfg.degree < 2) cfg.degree = 2;
+
+  if (inner_) {
+    const BarrierCounters c = inner_->counters();
+    retired_.episodes += c.episodes;
+    retired_.updates += c.updates;
+    retired_.extra_comms += c.extra_comms;
+    retired_.swaps += c.swaps;
+  }
+  inner_ = make_barrier(cfg);
+}
+
+BarrierStatus RobustBarrier::arrive_and_wait(std::size_t tid) {
+  if (opts_.default_timeout == std::chrono::nanoseconds::max())
+    return arrive_and_wait_until(tid,
+                                 std::chrono::steady_clock::time_point::max());
+  return arrive_and_wait_for(tid, opts_.default_timeout);
+}
+
+BarrierStatus RobustBarrier::arrive_and_wait_for(
+    std::size_t tid, std::chrono::nanoseconds timeout) {
+  return arrive_and_wait_until(tid, std::chrono::steady_clock::now() + timeout);
+}
+
+BarrierStatus RobustBarrier::arrive_and_wait_until(
+    std::size_t tid, std::chrono::steady_clock::time_point deadline) {
+  if (tid >= n_)
+    throw std::invalid_argument("RobustBarrier: tid " + std::to_string(tid) +
+                                " out of range (participants=" +
+                                std::to_string(n_) + ")");
+  if (!active_[tid].load(std::memory_order_acquire))
+    throw std::logic_error("RobustBarrier: abandoned tid " +
+                           std::to_string(tid) + " re-entered the barrier");
+
+  const InFlight guard(in_flight_);
+  if (broken_.load(std::memory_order_acquire)) return BarrierStatus::kBroken;
+
+  entered_[tid].value.fetch_add(1, std::memory_order_acq_rel);
+  const WaitContext ctx{deadline, &broken_};
+  const WaitStatus s = inner_->arrive_and_wait_until(inner_tid_[tid], ctx);
+  switch (s) {
+    case WaitStatus::kReady:
+      return BarrierStatus::kOk;
+    case WaitStatus::kCancelled:
+      return BarrierStatus::kBroken;
+    case WaitStatus::kTimeout:
+      break;
+  }
+
+  // Deadline fired and the episode had not released at the final
+  // predicate re-check: try to become the breaker. Losing the CAS means
+  // a peer broke the barrier concurrently — report that instead.
+  bool expected = false;
+  if (broken_.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel)) {
+    record_stall(tid);
+    return BarrierStatus::kTimeout;
+  }
+  return BarrierStatus::kBroken;
+}
+
+void RobustBarrier::arrive_and_abandon(std::size_t tid) {
+  if (tid >= n_)
+    throw std::invalid_argument("RobustBarrier: tid " + std::to_string(tid) +
+                                " out of range (participants=" +
+                                std::to_string(n_) + ")");
+  // Deactivate before publishing the break: any survivor that observes
+  // broken (acquire) also sees the shrunken roster, so recovery code
+  // counting active_participants() cannot wait for the dead.
+  if (active_[tid].exchange(false, std::memory_order_acq_rel))
+    active_count_.fetch_sub(1, std::memory_order_acq_rel);
+  broken_.store(true, std::memory_order_release);
+}
+
+void RobustBarrier::reset() {
+  if (active_count_.load(std::memory_order_acquire) == 0)
+    throw std::logic_error(
+        "RobustBarrier::reset: no active participants remain");
+  // The broken flag cancels every waiter; drain entrants that raced
+  // past the entry check before the inner barrier is torn down.
+  spin_until([&] { return in_flight_.load(std::memory_order_acquire) == 0; });
+  rebuild_inner();
+  for (std::size_t t = 0; t < n_; ++t)
+    entered_[t].value.store(0, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lk(stall_mu_);
+    has_stall_ = false;
+  }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  broken_.store(false, std::memory_order_release);
+}
+
+bool RobustBarrier::is_active(std::size_t tid) const {
+  if (tid >= n_) return false;
+  return active_[tid].load(std::memory_order_acquire);
+}
+
+std::vector<std::size_t> RobustBarrier::missing() const {
+  std::uint64_t ahead = 0;
+  for (std::size_t t = 0; t < n_; ++t)
+    if (active_[t].load(std::memory_order_acquire)) {
+      const std::uint64_t e = entered_[t].value.load(std::memory_order_acquire);
+      if (e > ahead) ahead = e;
+    }
+  std::vector<std::size_t> out;
+  for (std::size_t t = 0; t < n_; ++t)
+    if (active_[t].load(std::memory_order_acquire) &&
+        entered_[t].value.load(std::memory_order_acquire) < ahead)
+      out.push_back(t);
+  return out;
+}
+
+void RobustBarrier::record_stall(std::size_t breaker) {
+  StallReport r;
+  r.generation = generation_.load(std::memory_order_acquire);
+  r.breaker = breaker;
+  // Plain arrive_and_wait keeps episodes in lockstep, so an active tid
+  // behind the breaker's episode count is exactly one that never
+  // arrived at the stalled episode.
+  const std::uint64_t epi =
+      entered_[breaker].value.load(std::memory_order_acquire);
+  for (std::size_t t = 0; t < n_; ++t)
+    if (active_[t].load(std::memory_order_acquire) &&
+        entered_[t].value.load(std::memory_order_acquire) < epi)
+      r.missing.push_back(t);
+  const std::lock_guard<std::mutex> lk(stall_mu_);
+  last_stall_ = std::move(r);
+  has_stall_ = true;
+}
+
+bool RobustBarrier::has_stall() const {
+  const std::lock_guard<std::mutex> lk(stall_mu_);
+  return has_stall_;
+}
+
+StallReport RobustBarrier::last_stall() const {
+  const std::lock_guard<std::mutex> lk(stall_mu_);
+  return last_stall_;
+}
+
+BarrierCounters RobustBarrier::counters() const {
+  BarrierCounters c = retired_;
+  const BarrierCounters live = inner_->counters();
+  c.episodes += live.episodes;
+  c.updates += live.updates;
+  c.extra_comms += live.extra_comms;
+  c.swaps += live.swaps;
+  return c;
+}
+
+}  // namespace imbar::robust

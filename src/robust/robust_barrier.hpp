@@ -1,0 +1,176 @@
+// Fault-tolerant decorator over any imbar::Barrier.
+//
+// A plain spin barrier deadlocks the whole cohort if one participant
+// stalls or dies. RobustBarrier wraps an inner barrier (any kind the
+// factory builds) with java.util.concurrent.CyclicBarrier-style broken
+// semantics:
+//
+//   * every wait carries a deadline — the first waiter whose deadline
+//     passes *breaks* the barrier (returns kTimeout);
+//   * breaking is contagious — the broken flag doubles as the cancel
+//     flag of every peer's WaitContext, so all other waiters return
+//     kBroken promptly instead of spinning to their own deadlines;
+//   * a participant that knows it cannot continue calls
+//     arrive_and_abandon(), which breaks the barrier without waiting;
+//   * once broken, the barrier stays broken (every entry returns
+//     kBroken without touching the possibly-torn inner barrier) until
+//     reset() rebuilds the inner barrier over the surviving
+//     participants.
+//
+// Status taxonomy per episode: at most one participant observes
+// kTimeout (the breaker; decided by a CAS on the broken flag); peers
+// observe kBroken. For abandon-driven breaks the abandoner never
+// contributes its arrival, so no survivor can complete the episode and
+// statuses are homogeneous (all non-kOk). For timeout-driven breaks the
+// episode may complete concurrently with the break, so kOk can coexist
+// with kTimeout/kBroken in the same episode; threads that got kOk find
+// the barrier broken on their *next* entry.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "util/cacheline.hpp"
+#include "util/spin_wait.hpp"
+
+namespace imbar::robust {
+
+/// Outcome of one robust barrier episode for one participant.
+enum class BarrierStatus {
+  kOk,       // the episode completed; everyone arrived
+  kTimeout,  // this thread's deadline passed first — it broke the barrier
+  kBroken,   // a peer broke the barrier (timeout or abandon)
+};
+
+[[nodiscard]] constexpr const char* to_string(BarrierStatus s) noexcept {
+  switch (s) {
+    case BarrierStatus::kOk: return "ok";
+    case BarrierStatus::kTimeout: return "timeout";
+    case BarrierStatus::kBroken: return "broken";
+  }
+  return "?";
+}
+
+struct RobustOptions {
+  /// Deadline applied by arrive_and_wait() (the no-argument-deadline
+  /// entry point). max() means unbounded: such a wait can still return
+  /// kBroken when a peer breaks the barrier, but never kTimeout.
+  std::chrono::nanoseconds default_timeout = std::chrono::nanoseconds::max();
+};
+
+/// Snapshot taken by the breaker at the moment it broke the barrier:
+/// which participants had not yet entered the stalled episode.
+struct StallReport {
+  std::uint64_t generation = 0;        // reset() count when the stall hit
+  std::size_t breaker = 0;             // tid whose deadline fired
+  std::vector<std::size_t> missing;    // active tids not yet arrived
+};
+
+class RobustBarrier {
+ public:
+  /// Wraps a factory-built barrier of `config`. Throws
+  /// std::invalid_argument for configurations make_barrier rejects.
+  explicit RobustBarrier(BarrierConfig config, RobustOptions opts = {});
+
+  RobustBarrier(const RobustBarrier&) = delete;
+  RobustBarrier& operator=(const RobustBarrier&) = delete;
+
+  /// Arrive and wait with the options' default timeout. `tid` is the
+  /// participant's *original* id in [0, participants()), stable across
+  /// reset() even as peers abandon (the decorator maintains the dense
+  /// remapping onto the rebuilt inner barrier).
+  BarrierStatus arrive_and_wait(std::size_t tid);
+
+  /// Arrive and wait, giving up `timeout` from now.
+  BarrierStatus arrive_and_wait_for(std::size_t tid,
+                                    std::chrono::nanoseconds timeout);
+
+  /// Arrive and wait until the absolute `deadline`.
+  BarrierStatus arrive_and_wait_until(
+      std::size_t tid, std::chrono::steady_clock::time_point deadline);
+
+  /// Withdraw `tid` from the cohort and break the barrier, releasing
+  /// every current waiter with kBroken. The tid is deactivated *before*
+  /// the broken flag is published, so any survivor that observes the
+  /// break already sees the shrunken roster. Idempotent per tid; the
+  /// abandoned tid must not re-enter the barrier. Note: the break can
+  /// also tear the *previous* episode's still-propagating release on
+  /// cooperative-wakeup barriers (MCS local-spin), handing laggards
+  /// kBroken for an episode that completed — quiesce first if exact
+  /// per-episode statuses matter (docs/robustness.md).
+  void arrive_and_abandon(std::size_t tid);
+
+  /// Rebuild the inner barrier over the surviving participants and
+  /// clear the broken flag. Quiescent-only: the caller must guarantee
+  /// no thread is inside an arrive_and_wait* call (the broken flag
+  /// releases all waiters, and reset() additionally drains stragglers
+  /// that raced past the entry check). Throws std::logic_error if no
+  /// active participants remain.
+  void reset();
+
+  /// Original cohort size (tids range over this, always).
+  [[nodiscard]] std::size_t participants() const noexcept { return n_; }
+
+  /// Participants that have not abandoned.
+  [[nodiscard]] std::size_t active_participants() const noexcept {
+    return active_count_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool is_active(std::size_t tid) const;
+
+  /// True between a break and the next reset().
+  [[nodiscard]] bool broken() const noexcept {
+    return broken_.load(std::memory_order_acquire);
+  }
+
+  /// Number of reset() calls so far.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Stall watchdog view: active tids that have entered strictly fewer
+  /// episodes than the furthest-ahead active tid — i.e. who the cohort
+  /// is currently waiting on. Best-effort under concurrency; exact when
+  /// the barrier is stalled or broken.
+  [[nodiscard]] std::vector<std::size_t> missing() const;
+
+  /// Whether a breaker has recorded a stall since the last reset().
+  [[nodiscard]] bool has_stall() const;
+
+  /// The most recent breaker's snapshot (valid iff has_stall()).
+  [[nodiscard]] StallReport last_stall() const;
+
+  /// Inner-barrier instrumentation, accumulated across reset() rebuilds.
+  [[nodiscard]] BarrierCounters counters() const;
+
+ private:
+  void rebuild_inner();
+  void record_stall(std::size_t breaker);
+
+  BarrierConfig config_;  // participants/degree mutated per rebuild
+  RobustOptions opts_;
+  std::size_t n_;
+
+  std::unique_ptr<Barrier> inner_;
+  std::vector<std::size_t> inner_tid_;  // original tid -> dense inner tid
+
+  std::atomic<bool> broken_{false};
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::size_t> active_count_;
+  std::atomic<std::size_t> in_flight_{0};  // threads inside arrive_and_wait*
+  std::unique_ptr<std::atomic<bool>[]> active_;          // per original tid
+  std::unique_ptr<PaddedAtomic<std::uint64_t>[]> entered_;  // episodes entered
+
+  BarrierCounters retired_{};  // counters of inner barriers already replaced
+
+  mutable std::mutex stall_mu_;
+  StallReport last_stall_;
+  bool has_stall_ = false;
+};
+
+}  // namespace imbar::robust

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace imbar::sim {
@@ -12,24 +13,44 @@ void Engine::schedule(Time t, Action action) {
 }
 
 Time Engine::run() {
+  std::uint64_t steps = 0;
   while (!heap_.empty()) {
+    if (max_events_ != 0 && steps >= max_events_)
+      throw std::runtime_error(
+          "sim::Engine::run: dispatched " + std::to_string(steps) +
+          " events in one run without draining the heap (t=" +
+          std::to_string(now_) +
+          "); the model is likely livelocked — rescheduling itself without "
+          "making progress. Raise the cap with set_max_events() if the "
+          "workload is legitimately this large.");
     // priority_queue::top is const; the Event must be moved out before
     // pop so the action survives, hence the const_cast idiom.
     Event ev = std::move(const_cast<Event&>(heap_.top()));
     heap_.pop();
     now_ = ev.t;
     ++dispatched_;
+    ++steps;
     ev.action();
   }
   return now_;
 }
 
 Time Engine::run_until(Time t_stop) {
+  std::uint64_t steps = 0;
   while (!heap_.empty() && heap_.top().t <= t_stop) {
+    if (max_events_ != 0 && steps >= max_events_)
+      throw std::runtime_error(
+          "sim::Engine::run_until: dispatched " + std::to_string(steps) +
+          " events in one run without reaching t_stop=" +
+          std::to_string(t_stop) + " (t=" + std::to_string(now_) +
+          "); the model is likely livelocked — rescheduling itself without "
+          "making progress. Raise the cap with set_max_events() if the "
+          "workload is legitimately this large.");
     Event ev = std::move(const_cast<Event&>(heap_.top()));
     heap_.pop();
     now_ = ev.t;
     ++dispatched_;
+    ++steps;
     ev.action();
   }
   if (now_ < t_stop) now_ = t_stop;

@@ -34,10 +34,22 @@ class Engine {
 
   /// Run until the event heap is empty. Returns the time of the last
   /// event processed (now()).
+  ///
+  /// Livelock guard: a model that keeps rescheduling itself (or one
+  /// whose termination condition can never fire) would otherwise spin
+  /// run() forever. Each run()/run_until() call dispatches at most
+  /// max_events() events before throwing std::runtime_error with a
+  /// description of the overrun.
   Time run();
 
   /// Run until `t_stop`; events scheduled later remain queued.
   Time run_until(Time t_stop);
+
+  /// Per-run event cap (see run()). 0 disables the guard. The default
+  /// is deliberately high: the largest paper sweep dispatches ~10^6
+  /// events per run, three orders of magnitude under the cap.
+  void set_max_events(std::uint64_t cap) noexcept { max_events_ = cap; }
+  [[nodiscard]] std::uint64_t max_events() const noexcept { return max_events_; }
 
   /// True if no events are pending.
   [[nodiscard]] bool idle() const noexcept { return heap_.empty(); }
@@ -61,10 +73,13 @@ class Engine {
     }
   };
 
+  static constexpr std::uint64_t kDefaultMaxEvents = 1'000'000'000;
+
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t max_events_ = kDefaultMaxEvents;
 };
 
 }  // namespace imbar::sim

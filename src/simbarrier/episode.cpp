@@ -8,6 +8,12 @@ namespace imbar::simb {
 
 EpisodeMetrics run_episode(TreeBarrierSim& sim, ArrivalGenerator& gen,
                            const EpisodeOptions& opts) {
+  return run_episode(sim, gen, opts, ArrivalPerturber{});
+}
+
+EpisodeMetrics run_episode(TreeBarrierSim& sim, ArrivalGenerator& gen,
+                           const EpisodeOptions& opts,
+                           const ArrivalPerturber& perturb) {
   if (gen.procs() != sim.topology().procs())
     throw std::invalid_argument("run_episode: generator/topology size mismatch");
   if (opts.warmup >= opts.iterations)
@@ -15,6 +21,7 @@ EpisodeMetrics run_episode(TreeBarrierSim& sim, ArrivalGenerator& gen,
 
   FuzzyTimeline timeline(gen.procs(), opts.slack);
   std::vector<double> work(gen.procs());
+  std::vector<double> perturbed(gen.procs());
 
   EpisodeMetrics m;
   const std::size_t measured = opts.iterations - opts.warmup;
@@ -32,7 +39,14 @@ EpisodeMetrics run_episode(TreeBarrierSim& sim, ArrivalGenerator& gen,
       swaps0 = sim.total_swaps();
     }
     gen.generate(i, work);
-    const auto signals = timeline.signals(work);
+    auto signals = timeline.signals(work);
+    if (perturb) {
+      // Perturb a scratch copy: the timeline keeps the nominal signal
+      // (work completion) while the barrier sees the delayed arrival.
+      perturbed.assign(signals.begin(), signals.end());
+      perturb(i, perturbed);
+      signals = perturbed;
+    }
     const IterationResult r = sim.run_iteration(signals);
     timeline.advance(r.release);
 

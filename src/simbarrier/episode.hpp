@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "simbarrier/tree_sim.hpp"
@@ -36,6 +38,19 @@ struct EpisodeMetrics {
 /// past the warmup. The generator is consumed from iteration 0.
 EpisodeMetrics run_episode(TreeBarrierSim& sim, ArrivalGenerator& gen,
                            const EpisodeOptions& opts);
+
+/// Hook applied to each iteration's absolute arrival signals before the
+/// barrier sees them — the injection point for fault schedules
+/// (stragglers, delayed releases) without coupling this layer to
+/// robust::FaultPlan. Must not decrease a signal below the previous
+/// release (the sim rejects re-entering an unreleased barrier).
+using ArrivalPerturber =
+    std::function<void(std::size_t iteration, std::span<double> signals)>;
+
+/// run_episode with a perturbation hook (nullptr-callable == identity).
+EpisodeMetrics run_episode(TreeBarrierSim& sim, ArrivalGenerator& gen,
+                           const EpisodeOptions& opts,
+                           const ArrivalPerturber& perturb);
 
 /// Static-vs-dynamic comparison on an identical recorded workload.
 struct PlacementComparison {

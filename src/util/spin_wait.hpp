@@ -5,8 +5,18 @@
 // to 8 worker threads). A naive `while (!flag) {}` live-locks the
 // sched-quantum away in that regime, so the policy here is: a short
 // burst of pause instructions, then escalate to std::this_thread::yield.
+//
+// Two waiting modes:
+//   * SpinWait / spin_until — unbounded, zero bookkeeping: the classic
+//     hot path for barriers whose peers are known to be alive.
+//   * DeadlineSpinWait / spin_until(pred, WaitContext) — deadline- and
+//     cancellation-aware: pause -> yield -> short sleeps with
+//     exponential backoff, reporting kTimeout/kCancelled instead of
+//     spinning forever. This is the substrate of imbar::robust.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -55,6 +65,107 @@ template <typename Pred>
 void spin_until(Pred&& pred) {
   SpinWait w;
   while (!pred()) w.wait();
+}
+
+/// Outcome of a bounded wait.
+enum class WaitStatus {
+  kReady,      // the awaited condition became true
+  kTimeout,    // the deadline passed first
+  kCancelled,  // the external cancel flag was raised first
+};
+
+[[nodiscard]] constexpr const char* to_string(WaitStatus s) noexcept {
+  switch (s) {
+    case WaitStatus::kReady: return "ready";
+    case WaitStatus::kTimeout: return "timeout";
+    case WaitStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// Bound on a wait: an absolute deadline and/or an external cancel flag
+/// (raised by a peer to break the whole waiting cohort at once). The
+/// default-constructed context is unbounded — it behaves like the plain
+/// SpinWait and never reports kTimeout/kCancelled.
+struct WaitContext {
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Context expiring `timeout` from now.
+  static WaitContext after(std::chrono::nanoseconds timeout,
+                           const std::atomic<bool>* cancel_flag = nullptr) {
+    return WaitContext{std::chrono::steady_clock::now() + timeout, cancel_flag};
+  }
+
+  [[nodiscard]] bool bounded() const noexcept {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+};
+
+/// Escalating waiter with a deadline: pause bursts, then yields, then
+/// short sleeps whose length doubles per round (capped so the deadline
+/// is not badly overshot). The clock is only consulted once per round
+/// after the relax burst, so the satisfied-quickly path stays cheap.
+class DeadlineSpinWait {
+ public:
+  explicit DeadlineSpinWait(const WaitContext& ctx, int spin_limit = 64,
+                            int yield_limit = 64) noexcept
+      : ctx_(ctx), spin_limit_(spin_limit), yield_limit_(yield_limit) {}
+
+  /// One escalation round. Returns kReady to keep waiting, or the
+  /// terminal condition observed.
+  WaitStatus wait() noexcept {
+    if (ctx_.cancel && ctx_.cancel->load(std::memory_order_acquire))
+      return WaitStatus::kCancelled;
+    if (count_ < spin_limit_) {
+      for (int i = 0; i < (1 << (count_ < 6 ? count_ : 6)); ++i) cpu_relax();
+    } else if (count_ < spin_limit_ + yield_limit_) {
+      std::this_thread::yield();
+    } else {
+      // Short sleeps, 8 us doubling to 512 us: late waiters stop burning
+      // the host, while timeouts stay sub-millisecond-accurate.
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+      if (sleep_us_ < 512) sleep_us_ *= 2;
+    }
+    ++count_;
+    if (ctx_.bounded() && std::chrono::steady_clock::now() >= ctx_.deadline)
+      return WaitStatus::kTimeout;
+    return WaitStatus::kReady;
+  }
+
+  void reset() noexcept {
+    count_ = 0;
+    sleep_us_ = 8;
+  }
+
+ private:
+  WaitContext ctx_;
+  int spin_limit_;
+  int yield_limit_;
+  int count_ = 0;
+  int sleep_us_ = 8;
+};
+
+/// Bounded spin: wait for `pred()` subject to `ctx`. The predicate is
+/// re-checked one final time after a timeout/cancel fires, so a
+/// condition that becomes true concurrently with the bound always wins
+/// (a released waiter is never misreported as timed out).
+template <typename Pred>
+WaitStatus spin_until(Pred&& pred, const WaitContext& ctx) {
+  DeadlineSpinWait w(ctx);
+  while (!pred()) {
+    const WaitStatus s = w.wait();
+    if (s != WaitStatus::kReady) return pred() ? WaitStatus::kReady : s;
+  }
+  return WaitStatus::kReady;
+}
+
+/// Bounded spin with a relative timeout (convenience over spin_until).
+template <typename Pred>
+WaitStatus spin_until_for(Pred&& pred, std::chrono::nanoseconds timeout,
+                          const std::atomic<bool>* cancel = nullptr) {
+  return spin_until(static_cast<Pred&&>(pred), WaitContext::after(timeout, cancel));
 }
 
 }  // namespace imbar

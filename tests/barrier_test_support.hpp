@@ -1,0 +1,63 @@
+// Shared support for the real-thread barrier tests.
+//
+// Every barrier test drives a pool of threads through blocking
+// synchronization; a correctness bug therefore shows up as a *hang*,
+// which under plain ctest surfaces as an opaque timeout with no clue
+// which thread was stuck. run_threads here wraps the pool in a
+// deadlock watchdog: if the body threads fail to finish within the
+// timeout it prints which tids are still inside and exits the process.
+// (_Exit, not an exception: a thread spinning in a barrier wait cannot
+// be interrupted portably, so the process is unrecoverable anyway —
+// better a fast failure with a diagnostic than a silent 1500 s stall.)
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace imbar::test {
+
+inline constexpr std::chrono::seconds kWatchdogTimeout{120};
+
+inline void run_threads(std::size_t n,
+                        const std::function<void(std::size_t)>& body,
+                        std::chrono::seconds timeout = kWatchdogTimeout) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t finished = 0;
+  std::vector<bool> tid_done(n, false);
+
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (std::size_t t = 0; t < n; ++t)
+    pool.emplace_back([&, t] {
+      body(t);
+      const std::lock_guard<std::mutex> lk(mu);
+      tid_done[t] = true;
+      ++finished;
+      cv.notify_all();
+    });
+
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    if (!cv.wait_for(lk, timeout, [&] { return finished == n; })) {
+      std::fprintf(stderr,
+                   "[watchdog] barrier test hung: %zu/%zu threads finished "
+                   "after %lld s; stuck tids:",
+                   finished, n, static_cast<long long>(timeout.count()));
+      for (std::size_t t = 0; t < n; ++t)
+        if (!tid_done[t]) std::fprintf(stderr, " %zu", t);
+      std::fprintf(stderr, "\n");
+      std::fflush(stderr);
+      std::_Exit(124);
+    }
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace imbar::test

@@ -22,6 +22,8 @@
 #include "util/cacheline.hpp"
 #include "util/prng.hpp"
 
+#include "barrier_test_support.hpp"
+
 namespace imbar {
 namespace {
 
@@ -32,12 +34,7 @@ struct BarrierCase {
   std::size_t degree;
 };
 
-void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
-  std::vector<std::thread> pool;
-  pool.reserve(n);
-  for (std::size_t t = 0; t < n; ++t) pool.emplace_back(body, t);
-  for (auto& th : pool) th.join();
-}
+using test::run_threads;
 
 class BarrierCorrectness : public ::testing::TestWithParam<BarrierCase> {};
 
@@ -78,7 +75,7 @@ INSTANTIATE_TEST_SUITE_P(
         BarrierCase{"central_4", BarrierKind::kCentral, 4, 0},
         BarrierCase{"combining_5_d2", BarrierKind::kCombiningTree, 5, 2},
         BarrierCase{"combining_8_d4", BarrierKind::kCombiningTree, 8, 4},
-        BarrierCase{"combining_3_central", BarrierKind::kCombiningTree, 3, 8},
+        BarrierCase{"combining_3_d3", BarrierKind::kCombiningTree, 3, 3},
         BarrierCase{"mcs_6_d2", BarrierKind::kMcsTree, 6, 2},
         BarrierCase{"mcs_8_d4", BarrierKind::kMcsTree, 8, 4},
         BarrierCase{"dynamic_6_d2", BarrierKind::kDynamicPlacement, 6, 2},
@@ -188,6 +185,32 @@ TEST(Barriers, FactoryValidation) {
   }
 }
 
+TEST(Barriers, FactoryValidatesTreeDegrees) {
+  for (auto kind : {BarrierKind::kCombiningTree, BarrierKind::kMcsTree,
+                    BarrierKind::kDynamicPlacement}) {
+    BarrierConfig cfg;
+    cfg.kind = kind;
+    cfg.participants = 4;
+    cfg.degree = 1;  // a tree needs fan-in >= 2
+    EXPECT_THROW(make_barrier(cfg), std::invalid_argument) << to_string(kind);
+    cfg.degree = 5;  // wider than the cohort
+    EXPECT_THROW(make_barrier(cfg), std::invalid_argument) << to_string(kind);
+    cfg.degree = 4;  // degree == participants degenerates to one counter
+    EXPECT_NO_THROW(make_barrier(cfg)) << to_string(kind);
+  }
+  // Non-tree kinds ignore the degree field entirely.
+  BarrierConfig cfg;
+  cfg.kind = BarrierKind::kCentral;
+  cfg.participants = 2;
+  cfg.degree = 99;
+  EXPECT_NO_THROW(make_barrier(cfg));
+  // A single participant accepts the minimum tree degree.
+  cfg.kind = BarrierKind::kCombiningTree;
+  cfg.participants = 1;
+  cfg.degree = 2;
+  EXPECT_NO_THROW(make_barrier(cfg));
+}
+
 TEST(Barriers, KindStringsRoundTrip) {
   for (auto kind : {BarrierKind::kCentral, BarrierKind::kCombiningTree,
                     BarrierKind::kMcsTree, BarrierKind::kDynamicPlacement,
@@ -195,7 +218,7 @@ TEST(Barriers, KindStringsRoundTrip) {
                     BarrierKind::kMcsLocalSpin, BarrierKind::kAdaptive}) {
     EXPECT_EQ(barrier_kind_from_string(to_string(kind)), kind);
   }
-  EXPECT_THROW(barrier_kind_from_string("nope"), std::invalid_argument);
+  EXPECT_THROW((void)barrier_kind_from_string("nope"), std::invalid_argument);
 }
 
 TEST(Barriers, ConstructorValidation) {

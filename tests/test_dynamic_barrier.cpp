@@ -11,14 +11,12 @@
 #include "barrier/mcs_tree_barrier.hpp"
 #include "util/prng.hpp"
 
+#include "barrier_test_support.hpp"
+
 namespace imbar {
 namespace {
 
-void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
-  std::vector<std::thread> pool;
-  for (std::size_t t = 0; t < n; ++t) pool.emplace_back(body, t);
-  for (auto& th : pool) th.join();
-}
+using test::run_threads;
 
 void expect_placement_invariant(const DynamicPlacementBarrier& bar) {
   const auto snap = bar.placement_snapshot();
@@ -34,14 +32,26 @@ TEST(DynamicBarrier, ConsistentlySlowThreadMigratesToRoot) {
   const int slow = 5;
   const int d0 = bar.depth_of(slow);
   ASSERT_GT(d0, 1);
-  run_threads(6, [&](std::size_t tid) {
-    for (int i = 0; i < 200; ++i) {
-      if (tid == static_cast<std::size_t>(slow))
-        std::this_thread::sleep_for(std::chrono::microseconds(400));
-      bar.arrive_and_wait(tid);
-    }
-  });
-  EXPECT_EQ(bar.depth_of(slow), 1);  // attached at the root
+  // Convergence is only *eventual*: on a loaded (or single-core,
+  // oversubscribed) host the scheduler can deschedule a "fast" thread
+  // for longer than the straggler's sleep, stalling or transiently
+  // reversing the migration. Run in rounds, escalating the straggler's
+  // delay each round until it dominates the scheduling noise, and check
+  // between rounds instead of demanding a fixed episode count.
+  bool at_root = false;
+  for (int round = 0; round < 7 && !at_root; ++round) {
+    const auto delay = std::chrono::microseconds(500L << round);  // ..32 ms
+    run_threads(6, [&](std::size_t tid) {
+      for (int i = 0; i < 100; ++i) {
+        if (tid == static_cast<std::size_t>(slow))
+          std::this_thread::sleep_for(delay);
+        bar.arrive_and_wait(tid);
+      }
+    });
+    at_root = bar.depth_of(slow) == 1;  // attached at the root
+  }
+  EXPECT_TRUE(at_root) << "slow thread still at depth " << bar.depth_of(slow)
+                       << " after 700 escalating episodes";
   expect_placement_invariant(bar);
   EXPECT_GT(bar.counters().swaps, 0u);
 }

@@ -12,8 +12,12 @@
 #include "simbarrier/sweep.hpp"
 #include "workload/sor_model.hpp"
 
+#include "barrier_test_support.hpp"
+
 namespace imbar {
 namespace {
+
+using test::run_threads;
 
 TEST(Integration, AnalyticTracksSimulationAtModerateImbalance) {
   // Paper Section 3 closes with "this approximation still captures the
@@ -60,12 +64,9 @@ TEST(Integration, ThreadedMcsCommsMatchSimulatedComms) {
   // (p + counters - 1), so both worlds must report identical totals.
   const std::size_t p = 6, degree = 2, episodes = 50;
   McsTreeBarrier real(p, degree);
-  std::vector<std::thread> pool;
-  for (std::size_t t = 0; t < p; ++t)
-    pool.emplace_back([&real, t] {
-      for (std::size_t i = 0; i < episodes; ++i) real.arrive_and_wait(t);
-    });
-  for (auto& th : pool) th.join();
+  run_threads(p, [&](std::size_t t) {
+    for (std::size_t i = 0; i < episodes; ++i) real.arrive_and_wait(t);
+  });
 
   simb::TreeBarrierSim sim(simb::Topology::mcs(p, degree), simb::SimOptions{});
   std::uint64_t sim_updates = 0;
@@ -101,12 +102,9 @@ TEST(Integration, RecommendedConfigSynchronizesRealThreads) {
   const auto cfg = recommend_config(5, /*sigma_us=*/100.0, /*tc_us=*/1.0,
                                     /*predictable=*/true);
   auto barrier = make_barrier(cfg);
-  std::vector<std::thread> pool;
-  for (std::size_t t = 0; t < 5; ++t)
-    pool.emplace_back([&barrier, t] {
-      for (int i = 0; i < 100; ++i) barrier->arrive_and_wait(t);
-    });
-  for (auto& th : pool) th.join();
+  run_threads(5, [&](std::size_t t) {
+    for (int i = 0; i < 100; ++i) barrier->arrive_and_wait(t);
+  });
   EXPECT_EQ(barrier->counters().episodes, 100u);
 }
 
@@ -122,7 +120,9 @@ TEST(Integration, DynamicPlacementBeatsStaticUnderSlackAcrossDegrees) {
     const auto cmp = simb::compare_placement(topo, simb::SimOptions{}, gen, eo);
     EXPECT_GT(cmp.sync_speedup, 1.2) << "degree " << degree;
     // Deeper (smaller-degree) trees gain more (paper: 4.71 vs 2.45).
-    if (degree == 4) EXPECT_GT(cmp.sync_speedup, 1.5);
+    if (degree == 4) {
+      EXPECT_GT(cmp.sync_speedup, 1.5);
+    }
   }
 }
 

@@ -10,14 +10,12 @@
 #include "barrier/point_to_point.hpp"
 #include "util/cacheline.hpp"
 
+#include "barrier_test_support.hpp"
+
 namespace imbar {
 namespace {
 
-void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
-  std::vector<std::thread> pool;
-  for (std::size_t t = 0; t < n; ++t) pool.emplace_back(body, t);
-  for (auto& th : pool) th.join();
-}
+using test::run_threads;
 
 TEST(PointToPoint, Validation) {
   EXPECT_THROW(PointToPointSync(0), std::invalid_argument);

@@ -1,0 +1,292 @@
+// RobustBarrier: deadlines, broken-barrier contagion, abandon, reset.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/facade.hpp"
+#include "robust/fault_plan.hpp"
+#include "robust/robust_barrier.hpp"
+#include "util/spin_wait.hpp"
+
+#include "barrier_test_support.hpp"
+
+namespace imbar::robust {
+namespace {
+
+using test::run_threads;
+using namespace std::chrono_literals;
+
+BarrierConfig tree_config(std::size_t p, std::size_t degree = 2) {
+  BarrierConfig cfg;
+  cfg.kind = BarrierKind::kCombiningTree;
+  cfg.participants = p;
+  cfg.degree = degree;
+  return cfg;
+}
+
+TEST(WaitStatusStrings, RoundTrip) {
+  EXPECT_STREQ(to_string(WaitStatus::kReady), "ready");
+  EXPECT_STREQ(to_string(WaitStatus::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(WaitStatus::kCancelled), "cancelled");
+  EXPECT_STREQ(to_string(BarrierStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(BarrierStatus::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(BarrierStatus::kBroken), "broken");
+}
+
+TEST(SpinUntil, UnboundedContextNeverTimesOut) {
+  std::atomic<bool> flag{false};
+  std::thread setter([&] {
+    std::this_thread::sleep_for(5ms);
+    flag.store(true, std::memory_order_release);
+  });
+  const WaitStatus s = spin_until(
+      [&] { return flag.load(std::memory_order_acquire); }, WaitContext{});
+  setter.join();
+  EXPECT_EQ(s, WaitStatus::kReady);
+}
+
+TEST(SpinUntil, DeadlineFires) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const WaitStatus s = spin_until_for([] { return false; }, 20ms);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(s, WaitStatus::kTimeout);
+  EXPECT_GE(waited, 20ms);
+  EXPECT_LT(waited, 2s);  // escalation must not badly overshoot
+}
+
+TEST(SpinUntil, CancelFlagWins) {
+  std::atomic<bool> cancel{false};
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(5ms);
+    cancel.store(true, std::memory_order_release);
+  });
+  const WaitStatus s = spin_until_for([] { return false; }, 10s, &cancel);
+  canceller.join();
+  EXPECT_EQ(s, WaitStatus::kCancelled);
+}
+
+TEST(SpinUntil, ReleaseBeatsTimeoutOnFinalRecheck) {
+  // A predicate that flips true exactly when the deadline fires must be
+  // reported kReady, never kTimeout.
+  int calls = 0;
+  const WaitStatus s = spin_until_for([&] { return ++calls > 1; }, 0ns);
+  EXPECT_EQ(s, WaitStatus::kReady);
+}
+
+TEST(InnerBarriers, DeadlineWaitCompletesWhenAllArrive) {
+  // Every kind's arrive_and_wait_until returns kReady in a full cohort.
+  for (auto kind : {BarrierKind::kCentral, BarrierKind::kCombiningTree,
+                    BarrierKind::kMcsTree, BarrierKind::kDynamicPlacement,
+                    BarrierKind::kDissemination, BarrierKind::kTournament,
+                    BarrierKind::kMcsLocalSpin, BarrierKind::kAdaptive}) {
+    BarrierConfig cfg;
+    cfg.kind = kind;
+    cfg.participants = 4;
+    cfg.degree = 2;
+    auto b = make_barrier(cfg);
+    std::atomic<int> not_ready{0};
+    run_threads(4, [&](std::size_t tid) {
+      for (int i = 0; i < 50; ++i)
+        if (b->arrive_and_wait_for(tid, 10s) != WaitStatus::kReady)
+          not_ready.fetch_add(1);
+    });
+    EXPECT_EQ(not_ready.load(), 0) << to_string(kind);
+  }
+}
+
+TEST(RobustBarrier, CompletesLikeAPlainBarrier) {
+  RobustBarrier b(tree_config(4));
+  std::atomic<int> bad{0};
+  run_threads(4, [&](std::size_t tid) {
+    for (int i = 0; i < 100; ++i)
+      if (b.arrive_and_wait_for(tid, 10s) != BarrierStatus::kOk)
+        bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_FALSE(b.broken());
+  EXPECT_GE(b.counters().episodes, 100u);
+}
+
+TEST(RobustBarrier, TimeoutBreaksAndPeersSeeBroken) {
+  // 3 of 4 arrive; the missing one never does. Exactly one waiter may
+  // report kTimeout (the breaker); the others kBroken — all within the
+  // deadline budget rather than hanging.
+  RobustBarrier b(tree_config(4));
+  std::atomic<int> timeouts{0}, brokens{0}, oks{0};
+  run_threads(3, [&](std::size_t tid) {
+    switch (b.arrive_and_wait_for(tid, 50ms)) {
+      case BarrierStatus::kOk: oks.fetch_add(1); break;
+      case BarrierStatus::kTimeout: timeouts.fetch_add(1); break;
+      case BarrierStatus::kBroken: brokens.fetch_add(1); break;
+    }
+  });
+  EXPECT_EQ(oks.load(), 0);
+  EXPECT_EQ(timeouts.load(), 1);
+  EXPECT_EQ(brokens.load(), 2);
+  EXPECT_TRUE(b.broken());
+  // The breaker's stall report names the missing participant.
+  ASSERT_TRUE(b.has_stall());
+  const StallReport r = b.last_stall();
+  ASSERT_EQ(r.missing.size(), 1u);
+  EXPECT_EQ(r.missing[0], 3u);
+}
+
+TEST(RobustBarrier, AbandonKillsEpisodeForAllSurvivors) {
+  // Acceptance: one participant dies -> every remaining participant
+  // returns kBroken (not kOk) within the deadline; after reset() the
+  // survivors complete 10 further episodes.
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kVictim = 2;
+  RobustBarrier b(tree_config(kThreads));
+
+  std::atomic<int> non_ok{0}, ok{0};
+  std::vector<std::chrono::steady_clock::duration> waited(kThreads);
+  run_threads(kThreads, [&](std::size_t tid) {
+    if (tid == kVictim) {
+      std::this_thread::sleep_for(10ms);  // peers are already waiting
+      b.arrive_and_abandon(tid);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const BarrierStatus s = b.arrive_and_wait_for(tid, 10s);
+    waited[tid] = std::chrono::steady_clock::now() - t0;
+    (s == BarrierStatus::kOk ? ok : non_ok).fetch_add(1);
+  });
+  EXPECT_EQ(ok.load(), 0);
+  EXPECT_EQ(non_ok.load(), static_cast<int>(kThreads) - 1);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    if (t != kVictim) {
+      EXPECT_LT(waited[t], 10s) << "survivor " << t
+                                << " ran to its deadline instead of being "
+                                   "released by the contagious break";
+    }
+  }
+  EXPECT_FALSE(b.is_active(kVictim));
+  EXPECT_EQ(b.active_participants(), kThreads - 1);
+
+  // Recovery: rebuild over the survivors, then 10 clean episodes.
+  b.reset();
+  EXPECT_FALSE(b.broken());
+  EXPECT_EQ(b.generation(), 1u);
+  std::atomic<int> post_bad{0};
+  run_threads(kThreads, [&](std::size_t tid) {
+    if (tid == kVictim) return;  // dead tids stay out
+    for (int i = 0; i < 10; ++i)
+      if (b.arrive_and_wait_for(tid, 10s) != BarrierStatus::kOk)
+        post_bad.fetch_add(1);
+  });
+  EXPECT_EQ(post_bad.load(), 0);
+}
+
+TEST(RobustBarrier, BrokenStaysBrokenUntilReset) {
+  RobustBarrier b(tree_config(2));
+  b.arrive_and_abandon(0);
+  EXPECT_TRUE(b.broken());
+  // Entries short-circuit without touching the torn inner barrier.
+  EXPECT_EQ(b.arrive_and_wait_for(1, 10s), BarrierStatus::kBroken);
+  EXPECT_EQ(b.arrive_and_wait_for(1, 10s), BarrierStatus::kBroken);
+  b.reset();
+  // A 1-participant barrier trivially completes.
+  EXPECT_EQ(b.arrive_and_wait_for(1, 10s), BarrierStatus::kOk);
+}
+
+TEST(RobustBarrier, UsageErrorsThrow) {
+  RobustBarrier b(tree_config(2));
+  EXPECT_THROW(b.arrive_and_wait_for(2, 1ms), std::invalid_argument);
+  EXPECT_THROW(b.arrive_and_abandon(9), std::invalid_argument);
+  EXPECT_THROW(RobustBarrier(tree_config(0)), std::invalid_argument);
+  b.arrive_and_abandon(0);
+  EXPECT_THROW(b.arrive_and_wait_for(0, 1ms), std::logic_error);
+  b.arrive_and_abandon(1);
+  EXPECT_THROW(b.reset(), std::logic_error);  // nobody left
+}
+
+TEST(RobustBarrier, DegreeClampsAsCohortShrinks) {
+  // degree-4 tree over 5 participants; after 3 abandon, the rebuilt
+  // inner barrier must clamp its degree to the 2 survivors.
+  RobustBarrier b(tree_config(5, 4));
+  b.arrive_and_abandon(0);
+  b.arrive_and_abandon(2);
+  b.arrive_and_abandon(4);
+  b.reset();
+  std::atomic<int> bad{0};
+  run_threads(5, [&](std::size_t tid) {
+    if (tid % 2 == 0) return;  // dead
+    for (int i = 0; i < 20; ++i)
+      if (b.arrive_and_wait_for(tid, 10s) != BarrierStatus::kOk)
+        bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(RobustBarrier, MissingReportsLaggards) {
+  RobustBarrier b(tree_config(3));
+  EXPECT_TRUE(b.missing().empty());  // nobody has entered yet
+  std::thread waiter(
+      [&] { EXPECT_EQ(b.arrive_and_wait_for(0, 1s), BarrierStatus::kTimeout); });
+  // Give tid 0 time to enter, then the watchdog view shows 1 and 2.
+  spin_until_for([&] { return b.missing().size() == 2; }, 900ms);
+  const auto m = b.missing();
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], 1u);
+  EXPECT_EQ(m[1], 2u);
+  waiter.join();
+}
+
+TEST(RobustBarrier, DefaultTimeoutFromOptions) {
+  RobustOptions opts;
+  opts.default_timeout = 30ms;
+  RobustBarrier b(tree_config(2), opts);
+  // One participant alone: the options deadline bounds the plain call.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(b.arrive_and_wait(0), BarrierStatus::kTimeout);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s);
+}
+
+TEST(Facade, RecommendRobustBarrierBuildsWorkingCohort) {
+  RobustOptions opts;
+  opts.default_timeout = 10s;
+  auto b = recommend_robust_barrier(4, /*sigma_us=*/50.0, /*tc_us=*/1.0,
+                                    /*predictable=*/true, opts);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->participants(), 4u);
+  std::atomic<int> bad{0};
+  run_threads(4, [&](std::size_t tid) {
+    for (int i = 0; i < 50; ++i)
+      if (b->arrive_and_wait(tid) != BarrierStatus::kOk) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(FaultPlan, IsDeterministicAndValidates) {
+  FaultSpec spec;
+  spec.straggler_prob = 0.2;
+  spec.straggler_mean_us = 100.0;
+  spec.lost_wakeup_prob = 0.1;
+  spec.lost_wakeup_mean_us = 50.0;
+  spec.deaths = 2;
+  const FaultPlan a = FaultPlan::make(42, 8, 50, spec);
+  const FaultPlan b = FaultPlan::make(42, 8, 50, spec);
+  for (std::size_t i = 0; i < 50; ++i)
+    for (std::size_t p = 0; p < 8; ++p) {
+      EXPECT_EQ(a.straggler_delay_us(i, p), b.straggler_delay_us(i, p));
+      EXPECT_EQ(a.lost_wakeup_delay_us(i, p), b.lost_wakeup_delay_us(i, p));
+    }
+  ASSERT_EQ(a.deaths().size(), 2u);
+  EXPECT_EQ(a.deaths()[0].proc, b.deaths()[0].proc);
+  EXPECT_NE(a.deaths()[0].proc, a.deaths()[1].proc);
+
+  FaultSpec bad;
+  bad.deaths = 8;
+  EXPECT_THROW(FaultPlan::make(1, 8, 50, bad), std::invalid_argument);
+  bad.deaths = 0;
+  bad.straggler_prob = 1.5;
+  EXPECT_THROW(FaultPlan::make(1, 8, 50, bad), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::make(1, 0, 50, FaultSpec{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace imbar::robust

@@ -1,0 +1,179 @@
+// Randomized robustness stress: every real barrier kind under a
+// RobustBarrier with jittered arrivals and an abandoning participant,
+// 100 episodes per kind. Verifies the broken-barrier status contract:
+//
+//   * before the abandon, every episode completes kOk for everyone;
+//   * the abandon episode is uniformly non-kOk for the survivors (the
+//     abandoner never contributes, so nobody can complete it);
+//   * after reset(), the shrunken cohort completes every remaining
+//     episode kOk.
+//
+// Registered under the `stress` ctest label (ctest -L stress).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "robust/fault_harness.hpp"
+#include "robust/fault_plan.hpp"
+#include "robust/robust_barrier.hpp"
+#include "util/prng.hpp"
+
+#include "barrier_test_support.hpp"
+
+namespace imbar::robust {
+namespace {
+
+using test::run_threads;
+using namespace std::chrono_literals;
+
+struct StressCase {
+  const char* name;
+  BarrierKind kind;
+  std::size_t threads;
+  std::size_t degree;
+};
+
+class RobustStress : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(RobustStress, AbandonMidRunThenRecover) {
+  const auto& param = GetParam();
+  BarrierConfig cfg;
+  cfg.kind = param.kind;
+  cfg.participants = param.threads;
+  cfg.degree = param.degree;
+  RobustBarrier barrier(cfg);
+
+  constexpr std::size_t kEpisodes = 100;
+  const std::size_t victim = param.threads / 2;
+  const std::size_t death_at = 41;  // mid-run, after plenty of clean episodes
+
+  // statuses[episode][tid], -1 = did not run.
+  std::vector<std::vector<int>> statuses(
+      kEpisodes, std::vector<int>(param.threads, -1));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t waiting = 0;
+  bool resumed = false;
+  // Threads done with the pre-death episode. The victim abandons only
+  // once everyone has *returned* from episode death_at-1: an abandon
+  // racing with a still-propagating release can tear that release for
+  // laggards on cooperative-wakeup barriers (MCS local-spin) — see
+  // docs/robustness.md. Quiescing keeps per-episode statuses exact.
+  std::atomic<std::size_t> past_pre_death{0};
+
+  run_threads(param.threads, [&](std::size_t tid) {
+    Xoshiro256 rng = Xoshiro256::substream(2026, tid);
+    for (std::size_t ep = 0; ep < kEpisodes; ++ep) {
+      if (tid == victim && ep == death_at) {
+        while (past_pre_death.load(std::memory_order_acquire) <
+               param.threads) {
+          std::this_thread::yield();
+        }
+        barrier.arrive_and_abandon(tid);
+        return;
+      }
+      // Jittered arrivals: the load-imbalance regime.
+      if (rng.below(4) == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(rng.below(300)));
+      const BarrierStatus s = barrier.arrive_and_wait_for(tid, 30s);
+      statuses[ep][tid] = static_cast<int>(s);
+      if (ep + 1 == death_at)
+        past_pre_death.fetch_add(1, std::memory_order_acq_rel);
+      if (s != BarrierStatus::kOk) {
+        // Survivors rendezvous off-barrier; the last one resets.
+        std::unique_lock<std::mutex> lk(mu);
+        ++waiting;
+        if (waiting == barrier.active_participants()) {
+          barrier.reset();
+          resumed = true;
+          cv.notify_all();
+        } else {
+          cv.wait(lk, [&] { return resumed; });
+        }
+      }
+    }
+  });
+
+  EXPECT_TRUE(resumed);
+  EXPECT_EQ(barrier.active_participants(), param.threads - 1);
+  EXPECT_FALSE(barrier.broken());
+
+  for (std::size_t ep = 0; ep < kEpisodes; ++ep)
+    for (std::size_t tid = 0; tid < param.threads; ++tid) {
+      const int s = statuses[ep][tid];
+      if (tid == victim) {
+        if (ep < death_at)
+          EXPECT_EQ(s, static_cast<int>(BarrierStatus::kOk))
+              << param.name << " victim episode " << ep;
+        else
+          EXPECT_EQ(s, -1) << param.name << " victim ran after death";
+        continue;
+      }
+      if (ep == death_at) {
+        // Abandon-driven break: homogeneous — nobody completes.
+        EXPECT_TRUE(s == static_cast<int>(BarrierStatus::kTimeout) ||
+                    s == static_cast<int>(BarrierStatus::kBroken))
+            << param.name << " tid " << tid << " episode " << ep
+            << " got status " << s;
+      } else {
+        EXPECT_EQ(s, static_cast<int>(BarrierStatus::kOk))
+            << param.name << " tid " << tid << " episode " << ep;
+      }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, RobustStress,
+    ::testing::Values(
+        StressCase{"central", BarrierKind::kCentral, 5, 0},
+        StressCase{"combining", BarrierKind::kCombiningTree, 6, 2},
+        StressCase{"mcs", BarrierKind::kMcsTree, 6, 3},
+        StressCase{"dynamic", BarrierKind::kDynamicPlacement, 5, 2},
+        StressCase{"dissemination", BarrierKind::kDissemination, 5, 0},
+        StressCase{"tournament", BarrierKind::kTournament, 6, 0},
+        StressCase{"mcs_local", BarrierKind::kMcsLocalSpin, 5, 0},
+        StressCase{"adaptive", BarrierKind::kAdaptive, 5, 0}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(RobustStressHarness, FaultPlanDrivenEpisodesStayConsistent) {
+  // The packaged harness run end-to-end: stragglers + one death over
+  // 100 episodes. The harness classifies episodes itself; here the
+  // contract is that counts reconcile and the cohort survives.
+  BarrierConfig cfg;
+  cfg.kind = BarrierKind::kCombiningTree;
+  cfg.participants = 6;
+  cfg.degree = 2;
+  RobustBarrier barrier(cfg);
+
+  FaultSpec spec;
+  spec.straggler_prob = 0.05;
+  spec.straggler_mean_us = 300.0;
+  spec.deaths = 1;
+  spec.death_after = 20;
+  const FaultPlan plan = FaultPlan::make(99, 6, 100, spec);
+
+  HarnessOptions opts;
+  opts.iterations = 100;
+  opts.timeout = 30s;  // only the death can break the barrier
+  const HarnessResult r = run_fault_harness(barrier, plan, opts);
+
+  EXPECT_EQ(r.survivors, 5u);
+  EXPECT_EQ(r.resets, 1u);
+  EXPECT_EQ(r.broken_episodes, 1u);
+  EXPECT_EQ(r.mixed_episodes, 0u);  // abandon-driven: homogeneous
+  EXPECT_EQ(r.timeout_statuses, 0u);
+  EXPECT_EQ(r.broken_statuses, 5u);  // the 5 survivors of the death episode
+  // Every other (episode, live tid) cell completed: the victim's
+  // pre-death episodes plus the survivors' 99 non-death episodes.
+  const std::size_t death_at = plan.deaths()[0].iteration;
+  EXPECT_EQ(r.ok_statuses, static_cast<std::uint64_t>(death_at) + 5u * 99u);
+}
+
+}  // namespace
+}  // namespace imbar::robust

@@ -1,6 +1,8 @@
 // Discrete-event kernel: ordering, FIFO ties, time semantics.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -100,6 +102,56 @@ TEST(Engine, ScheduleInUsesCurrentTime) {
   e.schedule(2.0, [&] { e.schedule_in(3.0, [&] { observed = e.now(); }); });
   e.run();
   EXPECT_DOUBLE_EQ(observed, 5.0);
+}
+
+TEST(Engine, LivelockedModelThrowsInsteadOfSpinning) {
+  // A model that perpetually reschedules itself must hit the max-events
+  // guard as a thrown error, not hang run() forever.
+  Engine e;
+  e.set_max_events(1000);
+  std::function<void()> forever = [&] { e.schedule_in(1.0, forever); };
+  e.schedule(0.0, forever);
+  EXPECT_THROW(e.run(), std::runtime_error);
+  try {
+    Engine e2;
+    e2.set_max_events(50);
+    std::function<void()> again = [&] { e2.schedule_in(1.0, again); };
+    e2.schedule(0.0, again);
+    e2.run();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("livelock"), std::string::npos);
+  }
+}
+
+TEST(Engine, LivelockGuardCoversRunUntil) {
+  Engine e;
+  e.set_max_events(100);
+  std::function<void()> forever = [&] { e.schedule_in(0.001, forever); };
+  e.schedule(0.0, forever);
+  EXPECT_THROW(e.run_until(1e9), std::runtime_error);
+}
+
+TEST(Engine, MaxEventsCapIsPerRunNotLifetime) {
+  // TreeBarrierSim reuses one engine across thousands of iterations;
+  // the cap must apply to each run() call, not the dispatched_ total.
+  Engine e;
+  e.set_max_events(10);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) e.schedule_in(1.0, [] {});
+    EXPECT_NO_THROW(e.run());
+  }
+  EXPECT_EQ(e.events_dispatched(), 50u);
+}
+
+TEST(Engine, ZeroMaxEventsDisablesTheGuard) {
+  Engine e;
+  e.set_max_events(0);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) e.schedule_in(1.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(e.max_events(), 0u);
 }
 
 TEST(Engine, ManyEventsStressOrdering) {
