@@ -69,6 +69,7 @@ void register_benches() {
       {"tournament", BarrierKind::kTournament, 0},
       {"mcs_local", BarrierKind::kMcsLocalSpin, 0},
       {"adaptive", BarrierKind::kAdaptive, 0},
+      {"sense", BarrierKind::kSenseReversing, 0},
   };
   for (const auto& k : kinds) {
     for (int threads : {2, 4}) {

@@ -9,6 +9,7 @@
 #include "barrier/dynamic_placement_barrier.hpp"
 #include "barrier/mcs_local_spin_barrier.hpp"
 #include "barrier/mcs_tree_barrier.hpp"
+#include "barrier/sense_reversing_barrier.hpp"
 #include "barrier/tournament_barrier.hpp"
 
 namespace imbar {
@@ -23,6 +24,7 @@ const char* to_string(BarrierKind kind) noexcept {
     case BarrierKind::kTournament: return "tournament";
     case BarrierKind::kMcsLocalSpin: return "mcs-local";
     case BarrierKind::kAdaptive: return "adaptive";
+    case BarrierKind::kSenseReversing: return "sense";
   }
   return "?";
 }
@@ -36,14 +38,36 @@ BarrierKind barrier_kind_from_string(const std::string& name) {
   if (name == "tournament") return BarrierKind::kTournament;
   if (name == "mcs-local") return BarrierKind::kMcsLocalSpin;
   if (name == "adaptive") return BarrierKind::kAdaptive;
+  if (name == "sense") return BarrierKind::kSenseReversing;
   throw std::invalid_argument("unknown barrier kind: " + name);
+}
+
+bool barrier_kind_uses_degree(BarrierKind kind) noexcept {
+  return kind == BarrierKind::kCombiningTree || kind == BarrierKind::kMcsTree ||
+         kind == BarrierKind::kDynamicPlacement;
+}
+
+bool barrier_kind_splits(BarrierKind kind) noexcept {
+  switch (kind) {
+    case BarrierKind::kCentral:
+    case BarrierKind::kCombiningTree:
+    case BarrierKind::kMcsTree:
+    case BarrierKind::kDynamicPlacement:
+    case BarrierKind::kAdaptive:
+    case BarrierKind::kSenseReversing:
+      return true;
+    case BarrierKind::kDissemination:
+    case BarrierKind::kTournament:
+    case BarrierKind::kMcsLocalSpin:
+      return false;
+  }
+  return false;
 }
 
 namespace {
 
 bool uses_degree(BarrierKind kind) noexcept {
-  return kind == BarrierKind::kCombiningTree || kind == BarrierKind::kMcsTree ||
-         kind == BarrierKind::kDynamicPlacement;
+  return barrier_kind_uses_degree(kind);
 }
 
 void validate(const BarrierConfig& config) {
@@ -86,6 +110,8 @@ std::unique_ptr<FuzzyBarrier> make_fuzzy_barrier(const BarrierConfig& config) {
     case BarrierKind::kAdaptive:
       return std::make_unique<AdaptiveBarrier>(config.participants,
                                                config.adaptive);
+    case BarrierKind::kSenseReversing:
+      return std::make_unique<SenseReversingBarrier>(config.participants);
     case BarrierKind::kDissemination:
     case BarrierKind::kTournament:
     case BarrierKind::kMcsLocalSpin:

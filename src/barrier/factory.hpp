@@ -1,6 +1,7 @@
 // Barrier construction by configuration.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -18,13 +19,35 @@ enum class BarrierKind {
   kTournament,
   kMcsLocalSpin,
   kAdaptive,
+  kSenseReversing,
+};
+
+/// Every kind the factory can build, in enum order. The conformance
+/// suite (src/check/) iterates this so a new kind is automatically
+/// pulled through the whole contract — extend this array when you
+/// extend the enum (docs/testing.md).
+inline constexpr std::array<BarrierKind, 9> kAllBarrierKinds = {
+    BarrierKind::kCentral,        BarrierKind::kCombiningTree,
+    BarrierKind::kMcsTree,        BarrierKind::kDynamicPlacement,
+    BarrierKind::kDissemination,  BarrierKind::kTournament,
+    BarrierKind::kMcsLocalSpin,   BarrierKind::kAdaptive,
+    BarrierKind::kSenseReversing,
 };
 
 [[nodiscard]] const char* to_string(BarrierKind kind) noexcept;
 
 /// Parse a kind name ("central", "combining", "mcs", "dynamic",
-/// "dissemination", "adaptive"); throws std::invalid_argument otherwise.
+/// "dissemination", "adaptive", "sense", ...); throws
+/// std::invalid_argument otherwise.
 [[nodiscard]] BarrierKind barrier_kind_from_string(const std::string& name);
+
+/// True for the tree kinds whose shape is controlled by
+/// BarrierConfig::degree (and validated by make_barrier).
+[[nodiscard]] bool barrier_kind_uses_degree(BarrierKind kind) noexcept;
+
+/// True for kinds with a split arrive()/wait() phase — i.e. those
+/// make_fuzzy_barrier accepts.
+[[nodiscard]] bool barrier_kind_splits(BarrierKind kind) noexcept;
 
 struct BarrierConfig {
   BarrierKind kind = BarrierKind::kCombiningTree;

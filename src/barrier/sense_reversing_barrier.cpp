@@ -1,0 +1,55 @@
+#include "barrier/sense_reversing_barrier.hpp"
+
+#include <stdexcept>
+
+#include "util/spin_wait.hpp"
+
+namespace imbar {
+
+SenseReversingBarrier::SenseReversingBarrier(std::size_t participants)
+    : n_(participants), local_sense_(participants) {
+  if (participants == 0)
+    throw std::invalid_argument("SenseReversingBarrier: zero participants");
+  // Global sense starts at 0; every thread's first episode targets 1.
+  for (auto& s : local_sense_) s.value = 0;
+}
+
+void SenseReversingBarrier::arrive(std::size_t tid) {
+  // Flip the private sense *before* contributing: once our increment
+  // lands, the last arriver may publish the new sense at any moment.
+  const std::uint32_t my = local_sense_[tid].value ^ 1u;
+  local_sense_[tid].value = my;
+
+  const std::uint32_t pos = count_.value.fetch_add(1, std::memory_order_acq_rel);
+  if (pos + 1 == n_) {
+    // Last arriver: reset the count for the next episode, then release
+    // everyone by publishing the flipped sense. The reset is ordered
+    // before the sense store; re-arrivals for the next episode only
+    // happen after a wait() that acquires it.
+    count_.value.store(0, std::memory_order_relaxed);
+    episodes_.value.fetch_add(1, std::memory_order_relaxed);
+    sense_.value.store(my, std::memory_order_release);
+  }
+}
+
+void SenseReversingBarrier::wait(std::size_t tid) {
+  const std::uint32_t my = local_sense_[tid].value;
+  SpinWait w;
+  while (sense_.value.load(std::memory_order_acquire) != my) w.wait();
+}
+
+WaitStatus SenseReversingBarrier::wait_until(std::size_t tid,
+                                             const WaitContext& ctx) {
+  const std::uint32_t my = local_sense_[tid].value;
+  return spin_until(
+      [&] { return sense_.value.load(std::memory_order_acquire) == my; }, ctx);
+}
+
+BarrierCounters SenseReversingBarrier::counters() const {
+  BarrierCounters c;
+  c.episodes = episodes_.value.load(std::memory_order_relaxed);
+  c.updates = c.episodes * n_;
+  return c;
+}
+
+}  // namespace imbar

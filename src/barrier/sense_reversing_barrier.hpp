@@ -1,0 +1,48 @@
+// Classic central sense-reversing barrier (Hensgen/Finkel/Manber form,
+// as catalogued in Mellor-Crummey & Scott '91 §3.1).
+//
+// Differs from CentralBarrier in the release mechanism: instead of a
+// monotonically increasing epoch word, the last arriver flips a single
+// boolean sense flag that every waiter compares against its private,
+// per-episode-flipped local sense. The shared state is therefore
+// bounded (one count, one bit) — the wraparound-free baseline the
+// conformance suite uses to stress generation handling, and the
+// contention profile the combining trees of the paper distribute.
+//
+// Fuzzy-overlap safety with a single bit: a thread still inside wait()
+// of episode k has not arrived at episode k+1, so episode k+1 cannot
+// complete and the global sense cannot flip back before that thread
+// observes the episode-k flip. At most one release is ever in flight
+// relative to any waiter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "barrier/barrier.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar {
+
+class SenseReversingBarrier final : public FuzzyBarrier {
+ public:
+  explicit SenseReversingBarrier(std::size_t participants);
+
+  void arrive(std::size_t tid) override;
+  void wait(std::size_t tid) override;
+  WaitStatus wait_until(std::size_t tid, const WaitContext& ctx) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override {
+    return n_;
+  }
+  [[nodiscard]] BarrierCounters counters() const override;
+
+ private:
+  std::size_t n_;
+  PaddedAtomic<std::uint32_t> count_{};
+  PaddedAtomic<std::uint32_t> sense_{};     // global sense, flips per episode
+  PaddedAtomic<std::uint64_t> episodes_{};  // instrumentation only
+  std::vector<Padded<std::uint32_t>> local_sense_;  // owner-only slots
+};
+
+}  // namespace imbar

@@ -1,0 +1,459 @@
+#include "check/conformance.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "robust/robust_barrier.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar::check {
+
+namespace {
+
+// Mirror of tests/barrier_test_support.hpp: a hang inside a barrier is
+// not recoverable (spinning threads cannot be interrupted portably), so
+// the watchdog reports the stuck tids and exits the process.
+void run_cohort(std::size_t n, const std::function<void(std::size_t)>& body,
+                std::chrono::seconds timeout) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t finished = 0;
+  std::vector<bool> tid_done(n, false);
+
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (std::size_t t = 0; t < n; ++t)
+    pool.emplace_back([&, t] {
+      body(t);
+      const std::lock_guard<std::mutex> lk(mu);
+      tid_done[t] = true;
+      ++finished;
+      cv.notify_all();
+    });
+
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    if (!cv.wait_for(lk, timeout, [&] { return finished == n; })) {
+      std::fprintf(stderr,
+                   "[conformance watchdog] barrier cohort hung: %zu/%zu "
+                   "threads finished after %lld s; stuck tids:",
+                   finished, n, static_cast<long long>(timeout.count()));
+      for (std::size_t t = 0; t < n; ++t)
+        if (!tid_done[t]) std::fprintf(stderr, " %zu", t);
+      std::fprintf(stderr, "\n");
+      std::fflush(stderr);
+      std::_Exit(124);
+    }
+  }
+  for (auto& th : pool) th.join();
+}
+
+/// First-violation collector, safe from any cohort thread.
+class Violations {
+ public:
+  void record(const std::string& what) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (detail_.empty()) detail_ = what;
+  }
+  [[nodiscard]] ConformanceResult result(std::string ok_note = {}) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (detail_.empty()) return ConformanceResult::ok(std::move(ok_note));
+    return ConformanceResult::fail(detail_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::string detail_;
+};
+
+std::string describe(const BarrierConfig& config) {
+  std::ostringstream os;
+  os << to_string(config.kind) << " p=" << config.participants;
+  if (barrier_kind_uses_degree(config.kind)) os << " d=" << config.degree;
+  return os.str();
+}
+
+/// The core safety property. Each thread publishes its generation g
+/// before arriving; after release it reads every peer's ledger slot v
+/// and demands g <= v <= g+1:
+///   v <  g   — the barrier released before that peer finished g;
+///   v >  g+1 — that peer passed *two* barriers this thread has not,
+///              i.e. an episode completed without this thread.
+/// `split` runs the fuzzy protocol (arrive / slack / wait) instead of
+/// arrive_and_wait; the bound is identical because a peer cannot pass
+/// wait(g+1) before this thread arrives at g+1.
+ConformanceResult ledger_run(const BarrierConfig& config,
+                             const ConformanceOptions& opts, bool split) {
+  const std::size_t n = config.participants;
+  const SchedulePerturber perturber(n, opts.perturb);
+  Violations violations;
+
+  std::unique_ptr<Barrier> plain;
+  std::unique_ptr<FuzzyBarrier> fuzzy;
+  Barrier* barrier = nullptr;
+  if (split) {
+    fuzzy = make_fuzzy_barrier(config);
+    barrier = fuzzy.get();
+  } else {
+    plain = make_barrier(config);
+    barrier = plain.get();
+  }
+
+  std::vector<PaddedAtomic<std::int64_t>> ledger(n);
+  const auto epochs = static_cast<std::int64_t>(opts.epochs);
+
+  run_cohort(
+      n,
+      [&](std::size_t tid) {
+        for (std::int64_t g = 1; g <= epochs; ++g) {
+          if (!split)
+            perturber.perturb(static_cast<std::uint64_t>(g), tid);
+          ledger[tid].value.store(g, std::memory_order_release);
+          if (split) {
+            fuzzy->arrive(tid);
+            // Slack work between the phases, perturbed so episodes
+            // overlap: fast threads re-arrive while slow ones wait.
+            perturber.perturb(static_cast<std::uint64_t>(g), tid);
+            fuzzy->wait(tid);
+          } else {
+            barrier->arrive_and_wait(tid);
+          }
+          for (std::size_t o = 0; o < n; ++o) {
+            const std::int64_t v =
+                ledger[o].value.load(std::memory_order_acquire);
+            if (v < g || v > g + 1) {
+              std::ostringstream os;
+              os << describe(config) << " [" << to_string(opts.perturb.pattern)
+                 << " seed=" << opts.perturb.seed << (split ? " fuzzy" : "")
+                 << "]: after epoch " << g << ", tid " << tid
+                 << " observed peer " << o << " at generation " << v
+                 << " (allowed [" << g << ", " << g + 1 << "])";
+              violations.record(os.str());
+            }
+          }
+          // Keep participating even after a violation: returning early
+          // would deadlock the cohort and mask the real failure.
+        }
+      },
+      opts.watchdog);
+  return violations.result();
+}
+
+}  // namespace
+
+std::size_t oversubscribed_participants(std::size_t per_core,
+                                        std::size_t cap) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::size_t p = per_core * static_cast<std::size_t>(hw);
+  if (p < 4) p = 4;
+  if (p > cap) p = cap;
+  return p;
+}
+
+BarrierConfig conformance_config(BarrierKind kind, std::size_t participants,
+                                 std::size_t degree) {
+  BarrierConfig cfg;
+  cfg.kind = kind;
+  cfg.participants = participants;
+  if (degree < 2) degree = 2;
+  const std::size_t max_degree = participants < 2 ? 2 : participants;
+  cfg.degree = degree > max_degree ? max_degree : degree;
+  return cfg;
+}
+
+ConformanceResult check_no_overtake(const BarrierConfig& config,
+                                    const ConformanceOptions& opts) {
+  return ledger_run(config, opts, /*split=*/false);
+}
+
+ConformanceResult check_reuse(const BarrierConfig& config,
+                              const ConformanceOptions& opts) {
+  // Tight reuse: no injected delays, several hundred episodes on the
+  // same instance, then the instrumentation contract: episodes advanced
+  // exactly once per episode.
+  const std::size_t n = config.participants;
+  const std::size_t epochs = opts.epochs * 3;
+  auto barrier = make_barrier(config);
+  run_cohort(
+      n,
+      [&](std::size_t tid) {
+        for (std::size_t g = 0; g < epochs; ++g) barrier->arrive_and_wait(tid);
+      },
+      opts.watchdog);
+  const BarrierCounters c = barrier->counters();
+  if (c.episodes != epochs)
+    return ConformanceResult::fail(
+        describe(config) + ": counters().episodes == " +
+        std::to_string(c.episodes) + " after " + std::to_string(epochs) +
+        " episodes");
+  if (barrier->participants() != n)
+    return ConformanceResult::fail(describe(config) +
+                                   ": participants() changed across reuse");
+  return ConformanceResult::ok();
+}
+
+ConformanceResult check_edge_configs(BarrierKind kind,
+                                     const ConformanceOptions& opts) {
+  // Rejections first: the factory owns configuration validation.
+  BarrierConfig zero = conformance_config(kind, 1);
+  zero.participants = 0;
+  try {
+    (void)make_barrier(zero);
+    return ConformanceResult::fail(std::string(to_string(kind)) +
+                                   ": participants=0 was not rejected");
+  } catch (const std::invalid_argument&) {
+  }
+
+  const std::size_t p = oversubscribed_participants();
+  if (barrier_kind_uses_degree(kind)) {
+    for (const std::size_t bad : {std::size_t{1}, p + 1}) {
+      BarrierConfig cfg = conformance_config(kind, p);
+      cfg.degree = bad;
+      try {
+        (void)make_barrier(cfg);
+        return ConformanceResult::fail(std::string(to_string(kind)) +
+                                       ": degree=" + std::to_string(bad) +
+                                       " with p=" + std::to_string(p) +
+                                       " was not rejected");
+      } catch (const std::invalid_argument&) {
+      }
+    }
+  }
+
+  // Split capability must match the factory's own query.
+  {
+    BarrierConfig cfg = conformance_config(kind, p);
+    bool split_ok = true;
+    try {
+      (void)make_fuzzy_barrier(cfg);
+    } catch (const std::invalid_argument&) {
+      split_ok = false;
+    }
+    if (split_ok != barrier_kind_splits(kind))
+      return ConformanceResult::fail(
+          std::string(to_string(kind)) +
+          ": make_fuzzy_barrier disagrees with barrier_kind_splits()");
+  }
+
+  // p=1 never blocks and stays reusable.
+  {
+    auto solo = make_barrier(conformance_config(kind, 1, 2));
+    for (int i = 0; i < 100; ++i) solo->arrive_and_wait(0);
+  }
+
+  // Degree edges: the narrowest tree and the degenerate one-counter
+  // tree (degree == p). Harmless for kinds that ignore degree.
+  ConformanceOptions sub = opts;
+  sub.epochs = opts.epochs / 2 + 1;
+  for (const std::size_t degree : {std::size_t{2}, p}) {
+    const auto r = ledger_run(conformance_config(kind, p, degree), sub,
+                              /*split=*/false);
+    if (!r.passed) return r;
+  }
+  return ConformanceResult::ok();
+}
+
+ConformanceResult check_fuzzy_phase(const BarrierConfig& config,
+                                    const ConformanceOptions& opts) {
+  if (!barrier_kind_splits(config.kind)) {
+    try {
+      (void)make_fuzzy_barrier(config);
+    } catch (const std::invalid_argument&) {
+      return ConformanceResult::ok(std::string(to_string(config.kind)) +
+                                   " does not split; factory refusal verified");
+    }
+    return ConformanceResult::fail(
+        std::string(to_string(config.kind)) +
+        ": non-splitting kind accepted by make_fuzzy_barrier");
+  }
+  return ledger_run(config, opts, /*split=*/true);
+}
+
+ConformanceResult check_timeout_semantics(const BarrierConfig& config,
+                                          const ConformanceOptions& opts) {
+  const std::size_t n = config.participants;
+  Violations violations;
+
+  // Complete cohort: a generous bound must never fire.
+  {
+    auto barrier = make_barrier(config);
+    run_cohort(
+        n,
+        [&](std::size_t tid) {
+          for (int g = 0; g < 10; ++g) {
+            const WaitStatus s =
+                barrier->arrive_and_wait_for(tid, std::chrono::seconds(30));
+            if (s != WaitStatus::kReady)
+              violations.record(describe(config) +
+                                ": bounded wait in a complete cohort returned " +
+                                to_string(s));
+          }
+        },
+        opts.watchdog);
+  }
+
+  if (n < 2)
+    return violations.result(
+        "single participant cannot stall; timeout/cancel trials vacuous");
+
+  // Withheld peer: every bounded waiter must report kTimeout (each
+  // instance is torn by the mid-episode timeout and discarded).
+  {
+    auto barrier = make_barrier(config);
+    run_cohort(
+        n - 1,
+        [&](std::size_t tid) {
+          const WaitStatus s = barrier->arrive_and_wait_for(
+              tid, std::chrono::milliseconds(50));
+          if (s != WaitStatus::kTimeout)
+            violations.record(describe(config) +
+                              ": wait with a withheld peer returned " +
+                              to_string(s) + " instead of timeout");
+        },
+        opts.watchdog);
+  }
+
+  // Cancel flag raised well before a distant deadline: kCancelled wins.
+  {
+    auto barrier = make_barrier(config);
+    std::atomic<bool> cancel{false};
+    std::thread controller([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      cancel.store(true, std::memory_order_release);
+    });
+    run_cohort(
+        n - 1,
+        [&](std::size_t tid) {
+          const WaitContext ctx{
+              std::chrono::steady_clock::now() + std::chrono::seconds(30),
+              &cancel};
+          const WaitStatus s = barrier->arrive_and_wait_until(tid, ctx);
+          if (s != WaitStatus::kCancelled)
+            violations.record(describe(config) +
+                              ": cancelled wait returned " + to_string(s) +
+                              " instead of cancelled");
+        },
+        opts.watchdog);
+    controller.join();
+  }
+  return violations.result();
+}
+
+ConformanceResult check_robust_break_and_reset(const BarrierConfig& config,
+                                               const ConformanceOptions& opts) {
+  const std::size_t n = config.participants;
+  if (n < 2)
+    return ConformanceResult::ok(
+        "break/reset needs a surviving peer; vacuous at p=1");
+
+  using robust::BarrierStatus;
+  robust::RobustBarrier rb(config);
+  Violations violations;
+  constexpr int kCleanEpochs = 25;
+  constexpr int kEpochsBeforeAbandon = 15;
+  const std::size_t abandoner = n - 1;
+
+  // Phase 1: an intact cohort is indistinguishable from the raw barrier.
+  run_cohort(
+      n,
+      [&](std::size_t tid) {
+        for (int g = 0; g < kCleanEpochs; ++g) {
+          const BarrierStatus s = rb.arrive_and_wait(tid);
+          if (s != BarrierStatus::kOk)
+            violations.record(describe(config) +
+                              ": intact robust cohort returned " +
+                              robust::to_string(s));
+        }
+      },
+      opts.watchdog);
+
+  // Phase 2: the last tid abandons; every survivor must break out with
+  // kBroken after exactly the epochs the abandoner completed.
+  run_cohort(
+      n,
+      [&](std::size_t tid) {
+        if (tid == abandoner) {
+          for (int g = 0; g < kEpochsBeforeAbandon; ++g) {
+            if (rb.arrive_and_wait(tid) != BarrierStatus::kOk)
+              violations.record(describe(config) +
+                                ": abandoner saw a break before abandoning");
+          }
+          rb.arrive_and_abandon(tid);
+          return;
+        }
+        int ok_epochs = 0;
+        BarrierStatus s = BarrierStatus::kOk;
+        // Survivors run unbounded waits until the break reaches them.
+        while ((s = rb.arrive_and_wait(tid)) == BarrierStatus::kOk) ++ok_epochs;
+        if (s != BarrierStatus::kBroken)
+          violations.record(describe(config) + ": survivor got " +
+                            robust::to_string(s) + " instead of broken");
+        // The break may tear the final completed episode's still-
+        // propagating release on cooperative-wakeup barriers (see
+        // arrive_and_abandon docs), so a laggard can lose one kOk.
+        if (ok_epochs != kEpochsBeforeAbandon &&
+            ok_epochs != kEpochsBeforeAbandon - 1)
+          violations.record(describe(config) + ": survivor completed " +
+                            std::to_string(ok_epochs) +
+                            " epochs before the break, expected " +
+                            std::to_string(kEpochsBeforeAbandon) + " (or -1)");
+      },
+      opts.watchdog);
+
+  if (!rb.broken())
+    violations.record(describe(config) + ": barrier not broken after abandon");
+  if (rb.active_participants() != n - 1 || rb.is_active(abandoner))
+    violations.record(describe(config) + ": roster not shrunk by abandon");
+
+  rb.reset();
+  if (rb.broken() || rb.generation() != 1)
+    violations.record(describe(config) + ": reset() did not clear the break");
+  try {
+    (void)rb.arrive_and_wait_for(abandoner, std::chrono::milliseconds(1));
+    violations.record(describe(config) +
+                      ": abandoned tid re-entered without logic_error");
+  } catch (const std::logic_error&) {
+  }
+
+  // Phase 3: the surviving cohort (original tids) runs clean again.
+  run_cohort(
+      n - 1,
+      [&](std::size_t tid) {
+        for (int g = 0; g < kCleanEpochs; ++g) {
+          const BarrierStatus s = rb.arrive_and_wait(tid);
+          if (s != BarrierStatus::kOk)
+            violations.record(describe(config) +
+                              ": post-reset cohort returned " +
+                              robust::to_string(s));
+        }
+      },
+      opts.watchdog);
+  return violations.result();
+}
+
+ConformanceResult check_adversarial_schedules(const BarrierConfig& config,
+                                              const ConformanceOptions& opts) {
+  ConformanceOptions sub = opts;
+  sub.epochs = opts.epochs / 3 + 10;
+  for (const SchedulePattern pattern : kAllSchedulePatterns) {
+    for (std::uint64_t seed_bump = 0; seed_bump < 2; ++seed_bump) {
+      sub.perturb = opts.perturb;
+      sub.perturb.pattern = pattern;
+      sub.perturb.seed = opts.perturb.seed + 0x9E37ULL * seed_bump;
+      const auto r = ledger_run(config, sub, /*split=*/false);
+      if (!r.passed) return r;
+    }
+  }
+  return ConformanceResult::ok();
+}
+
+}  // namespace imbar::check

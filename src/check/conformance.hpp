@@ -1,0 +1,118 @@
+// Factory-driven conformance contract for every BarrierKind.
+//
+// One set of properties, executed identically against all nine kinds —
+// no per-barrier special cases. Capability differences (does the kind
+// split into arrive/wait? does degree shape it?) are discovered through
+// the factory's own queries (barrier_kind_splits /
+// barrier_kind_uses_degree), never by switching on the kind here, so a
+// newly added kind is pulled through the full contract just by joining
+// kAllBarrierKinds.
+//
+// The properties (see docs/testing.md for the formal statements):
+//   * no-overtake  — after passing barrier g, every peer's generation
+//     ledger reads g or g+1: never behind (released too early), never
+//     two ahead (a peer overtook through an unfinished episode);
+//   * reuse        — hundreds of back-to-back episodes on one instance,
+//     episode instrumentation advancing in lockstep;
+//   * edge configs — p=1, degree=2, degree=p, and the factory's
+//     validation rejections;
+//   * fuzzy phase  — the same ledger bound with slack work between
+//     arrive() and wait(), episodes overlapping;
+//   * timeout/cancel — bounded waits report kReady when the cohort is
+//     complete, kTimeout when a peer is withheld, kCancelled when the
+//     cancel flag fires first;
+//   * robust break/reset — under robust::RobustBarrier, an abandon
+//     breaks every survivor out with kBroken and reset() rebuilds a
+//     working cohort over the survivors;
+//   * adversarial schedules — the no-overtake ledger swept across every
+//     SchedulePattern and multiple seeds.
+//
+// Failure reporting: properties return ConformanceResult{false, detail}
+// for contract violations. A *hang* cannot be reported that way — a
+// thread spinning inside a broken barrier is not interruptible — so the
+// cohort runner mirrors tests/barrier_test_support.hpp: a watchdog
+// prints the stuck tids and _Exit(124)s the process.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+#include "barrier/factory.hpp"
+#include "check/schedule_perturber.hpp"
+
+namespace imbar::check {
+
+struct ConformanceOptions {
+  /// Barrier episodes per property run. Scaled down internally for the
+  /// multi-run properties (edge configs, adversarial schedules).
+  std::size_t epochs = 120;
+  /// Schedule applied by the single-schedule properties.
+  PerturbOptions perturb{};
+  /// Deadlock bound per thread cohort (watchdog, then _Exit(124)).
+  std::chrono::seconds watchdog{120};
+};
+
+struct ConformanceResult {
+  bool passed = true;
+  std::string detail;  // first violation, or a note on a vacuous pass
+
+  static ConformanceResult ok(std::string note = {}) {
+    return {true, std::move(note)};
+  }
+  static ConformanceResult fail(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+/// Participant count that forces 2-8 threads per core on this host
+/// (clamped to [4, cap]), the oversubscription regime the spin-wait
+/// escalation exists for.
+[[nodiscard]] std::size_t oversubscribed_participants(std::size_t per_core = 2,
+                                                      std::size_t cap = 8);
+
+/// A valid config for `kind`: the requested degree clamped into the
+/// factory's accepted range [2, max(2, participants)].
+[[nodiscard]] BarrierConfig conformance_config(BarrierKind kind,
+                                               std::size_t participants,
+                                               std::size_t degree = 4);
+
+// ---- The contract properties -------------------------------------------
+
+/// Generation-ledger safety under the configured schedule.
+[[nodiscard]] ConformanceResult check_no_overtake(const BarrierConfig& config,
+                                                  const ConformanceOptions& opts);
+
+/// Many tight back-to-back episodes on one instance; episode counters
+/// advance exactly once per episode.
+[[nodiscard]] ConformanceResult check_reuse(const BarrierConfig& config,
+                                            const ConformanceOptions& opts);
+
+/// p=1, degree=2, degree=p configs run clean; invalid configs
+/// (participants=0, and for degree-shaped kinds degree=1 / degree=p+1)
+/// are rejected by the factory.
+[[nodiscard]] ConformanceResult check_edge_configs(BarrierKind kind,
+                                                   const ConformanceOptions& opts);
+
+/// Split-phase ledger safety with slack between arrive() and wait().
+/// For kinds that cannot split, verifies the factory refuses and passes
+/// vacuously.
+[[nodiscard]] ConformanceResult check_fuzzy_phase(const BarrierConfig& config,
+                                                  const ConformanceOptions& opts);
+
+/// Bounded-wait status taxonomy: kReady on completion, kTimeout on a
+/// withheld peer, kCancelled when the cancel flag fires first.
+[[nodiscard]] ConformanceResult check_timeout_semantics(
+    const BarrierConfig& config, const ConformanceOptions& opts);
+
+/// robust::RobustBarrier over this config: clean epochs, then an
+/// abandon that hands every survivor kBroken, then reset() and clean
+/// epochs over the survivors.
+[[nodiscard]] ConformanceResult check_robust_break_and_reset(
+    const BarrierConfig& config, const ConformanceOptions& opts);
+
+/// The no-overtake ledger swept over every SchedulePattern x 2 seeds.
+[[nodiscard]] ConformanceResult check_adversarial_schedules(
+    const BarrierConfig& config, const ConformanceOptions& opts);
+
+}  // namespace imbar::check

@@ -1,0 +1,64 @@
+#include "check/schedule_perturber.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "util/prng.hpp"
+
+namespace imbar::check {
+
+const char* to_string(SchedulePattern p) noexcept {
+  switch (p) {
+    case SchedulePattern::kNone: return "none";
+    case SchedulePattern::kJitter: return "jitter";
+    case SchedulePattern::kStraggler: return "straggler";
+    case SchedulePattern::kRamp: return "ramp";
+    case SchedulePattern::kInverseRamp: return "inverse-ramp";
+  }
+  return "?";
+}
+
+SchedulePerturber::SchedulePerturber(std::size_t participants,
+                                     PerturbOptions opts)
+    : n_(participants), opt_(opts) {
+  if (participants == 0)
+    throw std::invalid_argument("SchedulePerturber: zero participants");
+}
+
+std::chrono::microseconds SchedulePerturber::delay(std::uint64_t epoch,
+                                                   std::size_t tid) const {
+  const auto max_us = static_cast<std::uint64_t>(opt_.max_delay.count());
+  if (max_us == 0) return std::chrono::microseconds{0};
+  switch (opt_.pattern) {
+    case SchedulePattern::kNone:
+      return std::chrono::microseconds{0};
+    case SchedulePattern::kJitter: {
+      // Re-keyed per epoch so schedules do not repeat across epochs.
+      Xoshiro256 rng =
+          Xoshiro256::substream(opt_.seed ^ (epoch * 0x9E3779B97F4A7C15ULL),
+                                static_cast<std::uint64_t>(tid));
+      return std::chrono::microseconds{rng.below(max_us + 1)};
+    }
+    case SchedulePattern::kStraggler:
+      return (epoch % n_) == tid ? opt_.max_delay
+                                 : std::chrono::microseconds{0};
+    case SchedulePattern::kRamp:
+      return n_ < 2 ? std::chrono::microseconds{0}
+                    : std::chrono::microseconds{
+                          max_us * static_cast<std::uint64_t>(tid) /
+                          static_cast<std::uint64_t>(n_ - 1)};
+    case SchedulePattern::kInverseRamp:
+      return n_ < 2 ? std::chrono::microseconds{0}
+                    : std::chrono::microseconds{
+                          max_us * static_cast<std::uint64_t>(n_ - 1 - tid) /
+                          static_cast<std::uint64_t>(n_ - 1)};
+  }
+  return std::chrono::microseconds{0};
+}
+
+void SchedulePerturber::perturb(std::uint64_t epoch, std::size_t tid) const {
+  const auto d = delay(epoch, tid);
+  if (d.count() > 0) std::this_thread::sleep_for(d);
+}
+
+}  // namespace imbar::check

@@ -1,0 +1,62 @@
+// Seeded adversarial arrival schedules for barrier conformance runs.
+//
+// A barrier that is only exercised by threads arriving "naturally" never
+// sees the orderings that break it: a lone straggler holding an episode
+// open, systematically inverted arrival order, or pure jitter on an
+// oversubscribed host. SchedulePerturber generates per-(epoch, thread)
+// pre-arrival delays deterministically from a seed, so a failing
+// schedule reproduces exactly from the test name + seed.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace imbar::check {
+
+enum class SchedulePattern {
+  kNone,         // no injected delay (tight arrival race)
+  kJitter,       // iid uniform delay per (epoch, thread)
+  kStraggler,    // one rotating straggler per epoch takes the max delay
+  kRamp,         // delay grows with tid (systemic imbalance)
+  kInverseRamp,  // delay shrinks with tid (root-side threads late)
+};
+
+inline constexpr std::array<SchedulePattern, 5> kAllSchedulePatterns = {
+    SchedulePattern::kNone, SchedulePattern::kJitter,
+    SchedulePattern::kStraggler, SchedulePattern::kRamp,
+    SchedulePattern::kInverseRamp,
+};
+
+[[nodiscard]] const char* to_string(SchedulePattern p) noexcept;
+
+struct PerturbOptions {
+  SchedulePattern pattern = SchedulePattern::kJitter;
+  std::uint64_t seed = 0xC0FF0C0DULL;
+  /// Upper bound of any injected delay. Small on purpose: the goal is
+  /// reordering pressure, not wall-clock realism.
+  std::chrono::microseconds max_delay{200};
+};
+
+class SchedulePerturber {
+ public:
+  SchedulePerturber(std::size_t participants, PerturbOptions opts = {});
+
+  /// Deterministic delay for thread `tid` before its arrival at epoch
+  /// `epoch`. Pure function of (options, participants, epoch, tid).
+  [[nodiscard]] std::chrono::microseconds delay(std::uint64_t epoch,
+                                                std::size_t tid) const;
+
+  /// Sleep for delay(epoch, tid) (no-op when it is zero).
+  void perturb(std::uint64_t epoch, std::size_t tid) const;
+
+  [[nodiscard]] std::size_t participants() const noexcept { return n_; }
+  [[nodiscard]] const PerturbOptions& options() const noexcept { return opt_; }
+
+ private:
+  std::size_t n_;
+  PerturbOptions opt_;
+};
+
+}  // namespace imbar::check

@@ -23,7 +23,13 @@
 #include "barrier/mcs_local_spin_barrier.hpp"
 #include "barrier/mcs_tree_barrier.hpp"
 #include "barrier/point_to_point.hpp"
+#include "barrier/sense_reversing_barrier.hpp"
 #include "barrier/tournament_barrier.hpp"
+
+// Conformance contract + adversarial schedules (for validating custom
+// barrier integrations the same way the in-tree kinds are validated).
+#include "check/conformance.hpp"
+#include "check/schedule_perturber.hpp"
 
 // Fault tolerance: deadlines, broken-barrier semantics, fault injection.
 #include "robust/fault_harness.hpp"

@@ -84,7 +84,8 @@ INSTANTIATE_TEST_SUITE_P(
         BarrierCase{"dissemination_8", BarrierKind::kDissemination, 8, 0},
         BarrierCase{"tournament_6", BarrierKind::kTournament, 6, 0},
         BarrierCase{"mcs_local_7", BarrierKind::kMcsLocalSpin, 7, 0},
-        BarrierCase{"adaptive_6", BarrierKind::kAdaptive, 6, 0}),
+        BarrierCase{"adaptive_6", BarrierKind::kAdaptive, 6, 0},
+        BarrierCase{"sense_5", BarrierKind::kSenseReversing, 5, 0}),
     [](const auto& info) { return info.param.name; });
 
 class FuzzyCorrectness : public ::testing::TestWithParam<BarrierCase> {};
@@ -129,14 +130,12 @@ INSTANTIATE_TEST_SUITE_P(
         BarrierCase{"combining", BarrierKind::kCombiningTree, 6, 2},
         BarrierCase{"mcs", BarrierKind::kMcsTree, 6, 2},
         BarrierCase{"dynamic", BarrierKind::kDynamicPlacement, 7, 2},
-        BarrierCase{"adaptive", BarrierKind::kAdaptive, 5, 0}),
+        BarrierCase{"adaptive", BarrierKind::kAdaptive, 5, 0},
+        BarrierCase{"sense", BarrierKind::kSenseReversing, 4, 0}),
     [](const auto& info) { return info.param.name; });
 
 TEST(Barriers, SingleParticipantNeverBlocks) {
-  for (auto kind : {BarrierKind::kCentral, BarrierKind::kCombiningTree,
-                    BarrierKind::kMcsTree, BarrierKind::kDynamicPlacement,
-                    BarrierKind::kDissemination, BarrierKind::kTournament,
-                    BarrierKind::kMcsLocalSpin, BarrierKind::kAdaptive}) {
+  for (auto kind : kAllBarrierKinds) {
     BarrierConfig cfg;
     cfg.kind = kind;
     cfg.participants = 1;
@@ -212,13 +211,31 @@ TEST(Barriers, FactoryValidatesTreeDegrees) {
 }
 
 TEST(Barriers, KindStringsRoundTrip) {
-  for (auto kind : {BarrierKind::kCentral, BarrierKind::kCombiningTree,
-                    BarrierKind::kMcsTree, BarrierKind::kDynamicPlacement,
-                    BarrierKind::kDissemination, BarrierKind::kTournament,
-                    BarrierKind::kMcsLocalSpin, BarrierKind::kAdaptive}) {
+  for (auto kind : kAllBarrierKinds) {
     EXPECT_EQ(barrier_kind_from_string(to_string(kind)), kind);
   }
   EXPECT_THROW((void)barrier_kind_from_string("nope"), std::invalid_argument);
+}
+
+TEST(Barriers, KindCapabilityQueriesMatchFactoryBehaviour) {
+  for (auto kind : kAllBarrierKinds) {
+    BarrierConfig cfg;
+    cfg.kind = kind;
+    cfg.participants = 4;
+    cfg.degree = 2;
+    if (barrier_kind_splits(kind)) {
+      EXPECT_NO_THROW(make_fuzzy_barrier(cfg)) << to_string(kind);
+    } else {
+      EXPECT_THROW(make_fuzzy_barrier(cfg), std::invalid_argument)
+          << to_string(kind);
+    }
+    cfg.degree = cfg.participants + 1;
+    if (barrier_kind_uses_degree(kind)) {
+      EXPECT_THROW(make_barrier(cfg), std::invalid_argument) << to_string(kind);
+    } else {
+      EXPECT_NO_THROW(make_barrier(cfg)) << to_string(kind);
+    }
+  }
 }
 
 TEST(Barriers, ConstructorValidation) {

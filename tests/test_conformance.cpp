@@ -1,0 +1,89 @@
+// The barrier conformance matrix: every BarrierKind through one set of
+// contract properties (src/check/conformance.hpp), instantiated purely
+// from the factory — adding a kind to kAllBarrierKinds is the only step
+// needed to pull it through this whole suite.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "barrier/factory.hpp"
+#include "check/conformance.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::check {
+namespace {
+
+class Conformance : public ::testing::TestWithParam<BarrierKind> {
+ protected:
+  [[nodiscard]] BarrierKind kind() const { return GetParam(); }
+
+  [[nodiscard]] BarrierConfig config() const {
+    return conformance_config(kind(), oversubscribed_participants());
+  }
+
+  [[nodiscard]] static ConformanceOptions options() {
+    ConformanceOptions opts;
+    opts.epochs = 120;
+    return opts;
+  }
+
+  static void expect_pass(const ConformanceResult& r) {
+    EXPECT_TRUE(r.passed) << r.detail;
+  }
+};
+
+TEST_P(Conformance, NoOvertake) {
+  expect_pass(check_no_overtake(config(), options()));
+}
+
+TEST_P(Conformance, Reuse) { expect_pass(check_reuse(config(), options())); }
+
+TEST_P(Conformance, EdgeConfigs) {
+  expect_pass(check_edge_configs(kind(), options()));
+}
+
+TEST_P(Conformance, FuzzyPhase) {
+  expect_pass(check_fuzzy_phase(config(), options()));
+}
+
+TEST_P(Conformance, TimeoutAndCancel) {
+  expect_pass(check_timeout_semantics(config(), options()));
+}
+
+TEST_P(Conformance, RobustBreakAndReset) {
+  expect_pass(check_robust_break_and_reset(config(), options()));
+}
+
+TEST_P(Conformance, AdversarialSchedules) {
+  expect_pass(check_adversarial_schedules(config(), options()));
+}
+
+// Randomized (p, degree) draws, seeded so a failure names its schedule
+// exactly. Degree is clamped by conformance_config for non-tree kinds.
+TEST_P(Conformance, RandomizedConfigSweep) {
+  Xoshiro256 rng = Xoshiro256::substream(
+      0x5EEDC0DEULL, static_cast<std::uint64_t>(kind()));
+  for (int draw = 0; draw < 3; ++draw) {
+    const auto p = static_cast<std::size_t>(2 + rng.below(7));  // p in [2, 8]
+    const auto d = static_cast<std::size_t>(2 + rng.below(p - 1));
+    ConformanceOptions opts = options();
+    opts.epochs = 40;
+    opts.perturb.seed ^= rng.next();
+    const auto r = check_no_overtake(conformance_config(kind(), p, d), opts);
+    EXPECT_TRUE(r.passed) << "draw " << draw << " p=" << p << " d=" << d
+                          << ": " << r.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, Conformance, ::testing::ValuesIn(kAllBarrierKinds),
+    [](const ::testing::TestParamInfo<BarrierKind>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace imbar::check

@@ -1,0 +1,145 @@
+// Unit coverage for util/spin_wait.hpp: the escalation ladder, the
+// WaitContext deadline math, cancel-flag precedence, and the
+// release-beats-timeout final recheck that every bounded barrier wait
+// leans on.
+#include "util/spin_wait.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace imbar {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+TEST(SpinWait, EscalatesWithoutBlocking) {
+  // The unbounded waiter must stay non-blocking through every rung of
+  // the ladder: pause bursts (rounds < spin_limit), then yields.
+  SpinWait w(/*spin_limit=*/4);
+  for (int round = 0; round < 64; ++round) w.wait();
+  w.reset();
+  for (int round = 0; round < 8; ++round) w.wait();
+}
+
+TEST(SpinWait, SpinUntilReturnsOnceSatisfied) {
+  std::atomic<bool> flag{false};
+  std::thread setter([&] {
+    std::this_thread::sleep_for(2ms);
+    flag.store(true, std::memory_order_release);
+  });
+  spin_until([&] { return flag.load(std::memory_order_acquire); });
+  setter.join();
+  EXPECT_TRUE(flag.load());
+}
+
+TEST(WaitContext, DefaultIsUnbounded) {
+  const WaitContext ctx;
+  EXPECT_FALSE(ctx.bounded());
+  EXPECT_EQ(ctx.cancel, nullptr);
+  EXPECT_EQ(ctx.deadline, Clock::time_point::max());
+}
+
+TEST(WaitContext, AfterAddsTimeoutToNow) {
+  const Clock::time_point before = Clock::now();
+  const WaitContext ctx = WaitContext::after(250ms);
+  const Clock::time_point after = Clock::now();
+  EXPECT_TRUE(ctx.bounded());
+  // now() was taken between `before` and `after`, so the deadline is
+  // bracketed by those two instants plus the timeout.
+  EXPECT_GE(ctx.deadline, before + 250ms);
+  EXPECT_LE(ctx.deadline, after + 250ms);
+}
+
+TEST(WaitContext, AfterCarriesCancelFlag) {
+  std::atomic<bool> cancel{false};
+  const WaitContext ctx = WaitContext::after(1ms, &cancel);
+  EXPECT_EQ(ctx.cancel, &cancel);
+}
+
+TEST(DeadlineSpinWait, UnboundedContextNeverExpires) {
+  DeadlineSpinWait w{WaitContext{}, /*spin_limit=*/2, /*yield_limit=*/2};
+  for (int round = 0; round < 32; ++round)
+    EXPECT_EQ(w.wait(), WaitStatus::kReady);
+}
+
+TEST(DeadlineSpinWait, ExpiredDeadlineReportsTimeout) {
+  DeadlineSpinWait w{WaitContext{Clock::now() - 1ms, nullptr}};
+  EXPECT_EQ(w.wait(), WaitStatus::kTimeout);
+}
+
+TEST(DeadlineSpinWait, CancelTakesPrecedenceOverExpiredDeadline) {
+  // Both terminal conditions hold at once; the cancel flag must win so
+  // a cohort-wide break is never misdiagnosed as this thread stalling.
+  std::atomic<bool> cancel{true};
+  DeadlineSpinWait w{WaitContext{Clock::now() - 1ms, &cancel}};
+  EXPECT_EQ(w.wait(), WaitStatus::kCancelled);
+}
+
+TEST(DeadlineSpinWait, ResetRestartsTheLadder) {
+  std::atomic<bool> cancel{false};
+  DeadlineSpinWait w{WaitContext{Clock::time_point::max(), &cancel},
+                     /*spin_limit=*/2, /*yield_limit=*/2};
+  for (int round = 0; round < 8; ++round) EXPECT_EQ(w.wait(), WaitStatus::kReady);
+  w.reset();
+  cancel.store(true, std::memory_order_release);
+  EXPECT_EQ(w.wait(), WaitStatus::kCancelled);
+}
+
+TEST(SpinUntilBounded, SatisfiedPredicateIgnoresExpiredDeadline) {
+  const WaitContext expired{Clock::now() - 1ms, nullptr};
+  EXPECT_EQ(spin_until([] { return true; }, expired), WaitStatus::kReady);
+}
+
+TEST(SpinUntilBounded, UnsatisfiedPredicateTimesOut) {
+  const WaitContext expired{Clock::now() - 1ms, nullptr};
+  EXPECT_EQ(spin_until([] { return false; }, expired), WaitStatus::kTimeout);
+}
+
+TEST(SpinUntilBounded, ReleaseConcurrentWithTimeoutReportsReady) {
+  // The release-beats-timeout recheck, pinned deterministically: the
+  // deadline is already expired, and the condition becomes true between
+  // the failed poll and the final recheck. A waiter whose condition was
+  // satisfied must never be reported as timed out.
+  const WaitContext expired{Clock::now() - 1ms, nullptr};
+  int polls = 0;
+  const auto released_on_second_poll = [&] { return ++polls >= 2; };
+  EXPECT_EQ(spin_until(released_on_second_poll, expired), WaitStatus::kReady);
+  EXPECT_EQ(polls, 2);
+}
+
+TEST(SpinUntilBounded, CancelReportsCancelledNotTimeout) {
+  std::atomic<bool> cancel{true};
+  const WaitContext ctx{Clock::now() - 1ms, &cancel};
+  EXPECT_EQ(spin_until([] { return false; }, ctx), WaitStatus::kCancelled);
+}
+
+TEST(SpinUntilBounded, NearDeadlineIsHonouredWithinSleepQuantum) {
+  // End-to-end: a 20 ms bound on a never-true predicate returns in
+  // bounded time, not far past the deadline (the sleep rungs cap at
+  // 512 us, so overshoot stays small; allow generous slack for CI).
+  const Clock::time_point start = Clock::now();
+  const WaitStatus s = spin_until([] { return false; }, WaitContext::after(20ms));
+  const auto elapsed = Clock::now() - start;
+  EXPECT_EQ(s, WaitStatus::kTimeout);
+  EXPECT_GE(elapsed, 20ms);
+  EXPECT_LT(elapsed, 5s);
+}
+
+TEST(SpinUntilFor, ForwardsCancelFlag) {
+  std::atomic<bool> cancel{true};
+  EXPECT_EQ(spin_until_for([] { return false; }, 10s, &cancel),
+            WaitStatus::kCancelled);
+}
+
+TEST(WaitStatusNames, RoundTripStrings) {
+  EXPECT_STREQ(to_string(WaitStatus::kReady), "ready");
+  EXPECT_STREQ(to_string(WaitStatus::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(WaitStatus::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace imbar

@@ -1,0 +1,75 @@
+// Seeded sweeps must be bit-reproducible: the paper-figure pipelines
+// (bench/fig*) cache and diff CSV output across runs, so a sweep with
+// the same seed has to produce byte-identical bytes — in-process, and
+// against the golden file committed under tests/data/.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "simbarrier/sweep.hpp"
+#include "util/csv.hpp"
+
+namespace imbar {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// The canonical determinism workload: paired degree sweeps over two
+/// machine sizes and two imbalance levels, default seed, written with
+/// CsvWriter's fixed numeric formatting.
+std::string generate_sweep_csv(const std::string& path) {
+  {
+    // Scoped so the stream is flushed and closed before the read-back.
+    CsvWriter csv(path,
+                  {"procs", "sigma", "degree", "mean_delay", "stddev_delay"});
+    for (const std::size_t procs : {std::size_t{8}, std::size_t{32}}) {
+      for (const double sigma : {0.0, 10.0}) {
+        simb::SweepOptions opts;
+        opts.trials = 10;
+        opts.sigma = sigma;
+        const simb::OptimalDegreeResult res =
+            simb::find_optimal_degree(procs, opts);
+        for (std::size_t i = 0; i < res.degrees.size(); ++i)
+          csv.write_row_numeric({static_cast<double>(procs), sigma,
+                                 static_cast<double>(res.degrees[i]),
+                                 res.stats[i].mean_delay,
+                                 res.stats[i].stddev_delay});
+      }
+    }
+  }
+  return slurp(path);
+}
+
+TEST(SweepDeterminism, SameSeedProducesByteIdenticalCsv) {
+  const std::string first = generate_sweep_csv(
+      ::testing::TempDir() + "sweep_determinism_a.csv");
+  const std::string second = generate_sweep_csv(
+      ::testing::TempDir() + "sweep_determinism_b.csv");
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(SweepDeterminism, MatchesCommittedGoldenFile) {
+  const std::string golden =
+      slurp(std::string(IMBAR_TEST_DATA_DIR) + "/sweep_golden.csv");
+  ASSERT_FALSE(golden.empty())
+      << "missing tests/data/sweep_golden.csv — regenerate with "
+         "test_sweep_determinism --gtest_filter='*SameSeed*' and copy "
+         "the emitted file (see docs/testing.md)";
+  const std::string generated = generate_sweep_csv(
+      ::testing::TempDir() + "sweep_determinism_golden_check.csv");
+  EXPECT_EQ(generated, golden)
+      << "seeded sweep output drifted from tests/data/sweep_golden.csv; "
+         "if the change is intentional, refresh the golden file "
+         "(docs/testing.md)";
+}
+
+}  // namespace
+}  // namespace imbar
