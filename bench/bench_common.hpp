@@ -7,8 +7,13 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/micro_harness.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -35,5 +40,78 @@ inline void print_footer(const Stopwatch& sw, const std::string& takeaway) {
 inline std::string opt_num(double v, int precision = 2, bool present = true) {
   return present ? Table::fmt(v, precision) : std::string("-");
 }
+
+/// Resolve --json[=PATH]: the given path, or `def` for the bare flag.
+inline std::string json_path(const Cli& cli, const std::string& def) {
+  const std::string p = cli.get("json", def);
+  return p.empty() ? def : p;
+}
+
+/// Machine-readable telemetry for the --json=PATH flag: collects the
+/// run's parameters and result rows alongside the human table, and
+/// writes one "imbar.bench.v1" document (obs::bench_json). Phases are
+/// recorded with ScopedPhaseTimer against phases().
+class JsonReporter {
+ public:
+  /// `name` identifies the bench binary in the document.
+  explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+
+  JsonReporter& param(const std::string& k, double v) {
+    params_.push_back(obs::BenchCell::num(k, v));
+    return *this;
+  }
+  JsonReporter& param(const std::string& k, const std::string& v) {
+    params_.push_back(obs::BenchCell::str(k, v));
+    return *this;
+  }
+
+  /// Fluent row builder, mirroring Table::row().
+  class Row {
+   public:
+    explicit Row(obs::BenchRow& cells) : cells_(cells) {}
+    Row& num(const std::string& k, double v) {
+      cells_.push_back(obs::BenchCell::num(k, v));
+      return *this;
+    }
+    Row& str(const std::string& k, const std::string& v) {
+      cells_.push_back(obs::BenchCell::str(k, v));
+      return *this;
+    }
+
+   private:
+    obs::BenchRow& cells_;
+  };
+
+  Row row() {
+    rows_.emplace_back();
+    return Row(rows_.back());
+  }
+
+  void add_rows(std::vector<obs::BenchRow> rows) {
+    for (auto& r : rows) rows_.push_back(std::move(r));
+  }
+
+  [[nodiscard]] PhaseLog& phases() noexcept { return phases_; }
+
+  [[nodiscard]] std::string str() const {
+    return obs::bench_json(name_, params_, rows_, &phases_);
+  }
+
+  /// Write the document to `path` (with trailing newline). Throws
+  /// std::runtime_error if the file cannot be written.
+  void write(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("JsonReporter: cannot open " + path);
+    out << str() << '\n';
+    if (!out) throw std::runtime_error("JsonReporter: write failed " + path);
+    std::printf("  json       : wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  obs::BenchRow params_;
+  std::vector<obs::BenchRow> rows_;
+  PhaseLog phases_;
+};
 
 }  // namespace imbar::bench

@@ -34,27 +34,45 @@ int main(int argc, char** argv) {
   opts.sigma = sigma_tc * t_c;
   opts.t_c = t_c;
   opts.trials = trials;
+
+  JsonReporter rep("fig02_delay_vs_degree");
+  rep.param("procs", static_cast<double>(procs))
+      .param("sigma_tc", sigma_tc)
+      .param("t_c_us", t_c)
+      .param("trials", static_cast<double>(trials));
+
   const auto arrivals =
       simb::draw_arrival_sets(procs, opts.sigma, trials, opts.seed);
 
   Table table({"degree", "depth", "sim delay (us)", "update (us)",
                "contention (us)", "analytic (us)"});
-  for (long long deg : degrees) {
-    const auto d = static_cast<std::size_t>(deg);
-    const auto s = simb::simulate_delay(procs, d, opts, arrivals);
-    const bool full = is_full_tree(procs, d);
-    double analytic = 0.0;
-    if (full)
-      analytic = analytic_sync_delay({procs, d, opts.sigma, t_c}).sync_delay;
-    table.row()
-        .num(deg)
-        .num(static_cast<long long>(tree_levels(procs, d)))
-        .num(s.mean_delay)
-        .num(s.mean_update)
-        .num(s.mean_contention)
-        .add(opt_num(analytic, 2, full));
+  {
+    const ScopedPhaseTimer phase(rep.phases(), "sweep");
+    for (long long deg : degrees) {
+      const auto d = static_cast<std::size_t>(deg);
+      const auto s = simb::simulate_delay(procs, d, opts, arrivals);
+      const bool full = is_full_tree(procs, d);
+      double analytic = 0.0;
+      if (full)
+        analytic = analytic_sync_delay({procs, d, opts.sigma, t_c}).sync_delay;
+      table.row()
+          .num(deg)
+          .num(static_cast<long long>(tree_levels(procs, d)))
+          .num(s.mean_delay)
+          .num(s.mean_update)
+          .num(s.mean_contention)
+          .add(opt_num(analytic, 2, full));
+      auto jrow = rep.row()
+                      .num("degree", static_cast<double>(deg))
+                      .num("depth", static_cast<double>(tree_levels(procs, d)))
+                      .num("sim_delay_us", s.mean_delay)
+                      .num("update_us", s.mean_update)
+                      .num("contention_us", s.mean_contention);
+      if (full) jrow.num("analytic_us", analytic);
+    }
   }
   std::printf("%s\n", table.str().c_str());
+  if (cli.has("json")) rep.write(json_path(cli, "BENCH_fig02.json"));
   print_footer(sw,
                "update delay shrinks with degree (depth), contention "
                "explodes past a threshold degree; the analytic model tracks "

@@ -38,9 +38,18 @@ int main(int argc, char** argv) {
       "p=" + std::to_string(procs) + ", sigma=" + Table::fmt(sigma / t_c, 1) +
           " t_c, iid noise, MCS degree-4 barrier in the loop");
 
+  JsonReporter rep("fig05_predictability");
+  rep.param("procs", static_cast<double>(procs))
+      .param("sigma_tc", sigma / t_c)
+      .param("t_c_us", t_c)
+      .param("mean_us", mean)
+      .param("iterations", static_cast<double>(iters));
+
   Table table({"slack (ms)", "rank r lag1", "lag5", "lag10", "lag20",
                "skewness", "spread p95-p5 (us)"});
 
+  {
+  const ScopedPhaseTimer sweep_phase(rep.phases(), "sweep");
   for (double slack_ms : slacks_ms) {
     const double slack = slack_ms * 1000.0;
     IidGenerator gen(procs, make_normal(mean, sigma), 2718);
@@ -79,8 +88,18 @@ int main(int argc, char** argv) {
         .num(rank_autocorrelation(rel_rows, 20), 3)
         .num(skew_stats.mean(), 2)
         .num(mean_of(spreads), 1);
+    rep.row()
+        .num("slack_ms", slack_ms)
+        .num("rank_lag1", rank_autocorrelation(rel_rows, 1))
+        .num("rank_lag5", rank_autocorrelation(rel_rows, 5))
+        .num("rank_lag10", rank_autocorrelation(rel_rows, 10))
+        .num("rank_lag20", rank_autocorrelation(rel_rows, 20))
+        .num("skewness", skew_stats.mean())
+        .num("spread_us", mean_of(spreads));
   }
+  }  // close the sweep phase before the report is serialized
   std::printf("%s\n", table.str().c_str());
+  if (cli.has("json")) rep.write(json_path(cli, "BENCH_fig05.json"));
   print_footer(sw,
                "slack 0: arrival order is fresh noise every iteration "
                "(autocorrelation ~0). With slack, lateness carries over: "

@@ -4,14 +4,29 @@
 // Note: this host is small (possibly a single core), so absolute
 // numbers mostly measure scheduler behaviour at higher thread counts;
 // the cross-kind comparison at low thread counts is the useful signal.
+//
+// Telemetry mode (bypasses google-benchmark entirely):
+//   micro_real_barriers --json=BENCH_micro.json [--trace=trace.json]
+//       [--threads=2] [--episodes=2000] [--trace-kind=central]
+// runs the instrumented harness (obs::run_micro_kind) over every
+// barrier kind and writes an "imbar.bench.v1" document — per-kind
+// episodes/sec, mean/p50/p99 episode latency, and the measured arrival
+// sigma — plus, with --trace, a Perfetto-loadable Chrome trace of one
+// instrumented run.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "barrier/factory.hpp"
+#include "bench_common.hpp"
+#include "obs/instrumented_barrier.hpp"
+#include "obs/trace_export.hpp"
 
 namespace {
 
@@ -86,9 +101,77 @@ void register_benches() {
   }
 }
 
+int run_telemetry_mode(const imbar::Cli& cli) {
+  using namespace imbar;
+
+  obs::MicroOptions mo;
+  mo.threads = static_cast<std::size_t>(cli.get_int("threads", 2));
+  mo.episodes = static_cast<std::size_t>(cli.get_int("episodes", 2000));
+  mo.degree = static_cast<std::size_t>(cli.get_int("degree", 4));
+  mo.t_c_us = cli.get_double("tc-us", 20.0);
+
+  bench::JsonReporter rep("micro_real_barriers");
+  rep.param("threads", static_cast<double>(mo.threads))
+      .param("episodes", static_cast<double>(mo.episodes))
+      .param("degree", static_cast<double>(mo.degree))
+      .param("t_c_us", mo.t_c_us);
+
+  std::vector<obs::MicroResult> results;
+  {
+    const ScopedPhaseTimer phase(rep.phases(), "measure");
+    for (const BarrierKind kind : kAllBarrierKinds) {
+      const ScopedPhaseTimer per_kind(rep.phases(), to_string(kind));
+      results.push_back(obs::run_micro_kind(kind, mo));
+    }
+  }
+  rep.add_rows(obs::micro_rows(results));
+
+  Table table({"kind", "episodes/s", "mean (us)", "p50", "p99", "sigma (us)"});
+  for (const obs::MicroResult& r : results)
+    table.row()
+        .add(r.kind)
+        .num(r.episodes_per_sec, 0)
+        .num(r.mean_us, 2)
+        .num(r.p50_us, 2)
+        .num(r.p99_us, 2)
+        .num(r.sigma_us, 2);
+  std::printf("%s\n", table.str().c_str());
+
+  if (cli.has("trace")) {
+    const ScopedPhaseTimer phase(rep.phases(), "trace");
+    std::string tpath = cli.get("trace", "");
+    if (tpath.empty()) tpath = "trace.json";
+    BarrierConfig cfg;
+    cfg.kind = barrier_kind_from_string(cli.get("trace-kind", "central"));
+    cfg.participants = mo.threads;
+    cfg.degree = mo.degree > mo.threads && mo.threads >= 2 ? mo.threads
+                                                           : mo.degree;
+    auto bar = obs::make_instrumented(cfg);
+    const std::size_t trace_episodes = std::min<std::size_t>(mo.episodes, 64);
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < mo.threads; ++t)
+      workers.emplace_back([&bar, t, trace_episodes] {
+        for (std::size_t e = 0; e < trace_episodes; ++e)
+          bar->arrive_and_wait(t);
+      });
+    for (auto& w : workers) w.join();
+    obs::write_chrome_trace(bar->recorder(), tpath);
+    std::printf("  trace      : wrote %s\n", tpath.c_str());
+  }
+
+  const std::string jpath = bench::json_path(cli, "BENCH_micro.json");
+  rep.write(jpath);
+  // Round-trip self check against the schema the tests enforce.
+  const std::size_t rows = obs::validate_bench_json(obs::json::parse_file(jpath));
+  std::printf("  validated  : %zu rows (%s)\n", rows, obs::kBenchSchema);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const imbar::Cli cli(argc, argv);
+  if (cli.has("json") || cli.has("trace")) return run_telemetry_mode(cli);
   register_benches();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -26,6 +26,8 @@ AdaptiveBarrier::AdaptiveBarrier(std::size_t participants, Options options)
       opt_(options),
       local_epoch_(participants),
       arrival_us_(participants),
+      spread_(options.t_c_us),
+      arrival_scratch_(participants, 0.0),
       stats_(std::make_unique<detail::ThreadCounters[]>(participants)) {
   if (participants == 0)
     throw std::invalid_argument("AdaptiveBarrier: zero participants");
@@ -41,6 +43,7 @@ AdaptiveBarrier::~AdaptiveBarrier() { delete current_.load(); }
 void AdaptiveBarrier::arrive(std::size_t tid) {
   local_epoch_[tid].value = epoch_.value.load(std::memory_order_acquire);
   arrival_us_[tid].value = now_us();
+  stats_[tid].released_episode = false;
 
   Tree* tree = current_.load(std::memory_order_acquire);
   std::uint64_t updates = 0;
@@ -58,6 +61,7 @@ void AdaptiveBarrier::arrive(std::size_t tid) {
       // We are the releaser: exclusive access to adaptation state until
       // the epoch bump below.
       maybe_adapt();
+      stats_[tid].released_episode = true;
       epoch_.value.fetch_add(1, std::memory_order_acq_rel);
     }
   }
@@ -71,13 +75,12 @@ void AdaptiveBarrier::maybe_adapt() {
 
   // Arrival-time spread of the episode just completed. Every slot was
   // written before its owner's first counter update, which this thread's
-  // root fill transitively acquired.
-  double mean = 0.0;
-  for (const auto& a : arrival_us_) mean += a.value;
-  mean /= static_cast<double>(n_);
-  double var = 0.0;
-  for (const auto& a : arrival_us_) var += (a.value - mean) * (a.value - mean);
-  const double sigma = std::sqrt(var / static_cast<double>(n_ - 1));
+  // root fill transitively acquired. The shared estimator also keeps
+  // the running sigma statistics and straggler ranks that the
+  // observability layer exports.
+  for (std::size_t t = 0; t < n_; ++t)
+    arrival_scratch_[t] = arrival_us_[t].value;
+  const double sigma = spread_.observe_episode(arrival_scratch_);
   sigma_estimate_.value.store(sigma, std::memory_order_relaxed);
 
   Tree* tree = current_.load(std::memory_order_relaxed);
@@ -103,12 +106,22 @@ void AdaptiveBarrier::maybe_adapt() {
 
 void AdaptiveBarrier::wait(std::size_t tid) {
   const std::uint64_t my = local_epoch_[tid].value;
+  if (epoch_.value.load(std::memory_order_acquire) != my) {
+    if (!stats_[tid].released_episode)
+      stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   SpinWait w;
   while (epoch_.value.load(std::memory_order_acquire) == my) w.wait();
 }
 
 WaitStatus AdaptiveBarrier::wait_until(std::size_t tid, const WaitContext& ctx) {
   const std::uint64_t my = local_epoch_[tid].value;
+  if (epoch_.value.load(std::memory_order_acquire) != my) {
+    if (!stats_[tid].released_episode)
+      stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
+    return WaitStatus::kReady;
+  }
   return spin_until(
       [&] { return epoch_.value.load(std::memory_order_acquire) != my; }, ctx);
 }
@@ -120,8 +133,10 @@ std::size_t AdaptiveBarrier::current_degree() const noexcept {
 BarrierCounters AdaptiveBarrier::counters() const {
   BarrierCounters c;
   c.episodes = epoch_.value.load(std::memory_order_relaxed);
-  for (std::size_t t = 0; t < n_; ++t)
+  for (std::size_t t = 0; t < n_; ++t) {
     c.updates += stats_[t].updates.load(std::memory_order_relaxed);
+    c.overlapped += stats_[t].overlapped.load(std::memory_order_relaxed);
+  }
   return c;
 }
 

@@ -23,6 +23,7 @@
 
 #include "barrier/barrier.hpp"
 #include "barrier/tree_state.hpp"
+#include "obs/arrival_spread.hpp"
 #include "simbarrier/topology.hpp"
 #include "util/cacheline.hpp"
 
@@ -60,6 +61,13 @@ class AdaptiveBarrier final : public FuzzyBarrier {
     return sigma_estimate_.value.load(std::memory_order_relaxed);
   }
 
+  /// The shared spread estimator the degree reviews consume (running
+  /// sigma stats, straggler ranks). Written only by episode releasers;
+  /// read it quiescently (after a join, or from the releaser itself).
+  [[nodiscard]] const obs::ArrivalSpreadEstimator& spread() const noexcept {
+    return spread_;
+  }
+
   /// Rough calibration of t_c on this host: mean cost of a contended
   /// atomic increment (us). Single-threaded approximation.
   static double measure_tc_us();
@@ -84,7 +92,9 @@ class AdaptiveBarrier final : public FuzzyBarrier {
   std::vector<Padded<double>> arrival_us_;  // per-thread arrival timestamps
   PaddedAtomic<std::uint64_t> rebuilds_{};
   Padded<std::atomic<double>> sigma_estimate_{};
-  std::uint64_t episodes_since_review_ = 0;  // releaser-only state
+  std::uint64_t episodes_since_review_ = 0;         // releaser-only state
+  obs::ArrivalSpreadEstimator spread_;              // releaser-only writes
+  std::vector<double> arrival_scratch_;             // releaser-only scratch
   std::unique_ptr<detail::ThreadCounters[]> stats_;
 };
 

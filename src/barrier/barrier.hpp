@@ -27,6 +27,11 @@ struct BarrierCounters {
   std::uint64_t updates = 0;       // counter updates performed
   std::uint64_t extra_comms = 0;   // victim destination reads (dynamic)
   std::uint64_t swaps = 0;         // victor swaps performed (dynamic)
+  // Enforce phases that never blocked: the episode had already released
+  // when this thread entered wait(), i.e. fuzzy slack fully covered the
+  // synchronization (releaser threads are excluded — their wait() is
+  // trivially satisfied). Always 0 for non-splitting kinds.
+  std::uint64_t overlapped = 0;
 };
 
 class Barrier {

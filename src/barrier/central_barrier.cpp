@@ -7,7 +7,9 @@
 namespace imbar {
 
 CentralBarrier::CentralBarrier(std::size_t participants)
-    : n_(participants), local_epoch_(participants) {
+    : n_(participants),
+      local_epoch_(participants),
+      stats_(std::make_unique<detail::ThreadCounters[]>(participants)) {
   if (participants == 0)
     throw std::invalid_argument("CentralBarrier: zero participants");
 }
@@ -16,6 +18,7 @@ void CentralBarrier::arrive(std::size_t tid) {
   // Snapshot the epoch *before* contributing: once our increment lands,
   // the last arriver may advance the epoch at any moment.
   local_epoch_[tid].value = epoch_.value.load(std::memory_order_acquire);
+  stats_[tid].released_episode = false;
 
   const std::uint32_t pos = count_.value.fetch_add(1, std::memory_order_acq_rel);
   if (pos + 1 == n_) {
@@ -23,18 +26,29 @@ void CentralBarrier::arrive(std::size_t tid) {
     // The reset is ordered before the epoch bump; re-arrivals for the
     // next episode can only happen after a wait() that acquires it.
     count_.value.store(0, std::memory_order_relaxed);
+    stats_[tid].released_episode = true;
     epoch_.value.fetch_add(1, std::memory_order_acq_rel);
   }
 }
 
 void CentralBarrier::wait(std::size_t tid) {
   const std::uint64_t my = local_epoch_[tid].value;
+  if (epoch_.value.load(std::memory_order_acquire) != my) {
+    if (!stats_[tid].released_episode)
+      stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   SpinWait w;
   while (epoch_.value.load(std::memory_order_acquire) == my) w.wait();
 }
 
 WaitStatus CentralBarrier::wait_until(std::size_t tid, const WaitContext& ctx) {
   const std::uint64_t my = local_epoch_[tid].value;
+  if (epoch_.value.load(std::memory_order_acquire) != my) {
+    if (!stats_[tid].released_episode)
+      stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
+    return WaitStatus::kReady;
+  }
   return spin_until(
       [&] { return epoch_.value.load(std::memory_order_acquire) != my; }, ctx);
 }
@@ -43,6 +57,8 @@ BarrierCounters CentralBarrier::counters() const {
   BarrierCounters c;
   c.episodes = epoch_.value.load(std::memory_order_relaxed);
   c.updates = c.episodes * n_;
+  for (std::size_t t = 0; t < n_; ++t)
+    c.overlapped += stats_[t].overlapped.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -9,9 +9,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "barrier/barrier.hpp"
+#include "barrier/tree_state.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar {
@@ -33,6 +35,7 @@ class CentralBarrier final : public FuzzyBarrier {
   PaddedAtomic<std::uint64_t> epoch_{};
   // Epoch each thread is waiting to leave (written only by its owner).
   std::vector<Padded<std::uint64_t>> local_epoch_;
+  std::unique_ptr<detail::ThreadCounters[]> stats_;
 };
 
 }  // namespace imbar

@@ -21,6 +21,7 @@ CombiningTreeBarrier::CombiningTreeBarrier(std::size_t participants,
 
 void CombiningTreeBarrier::arrive(std::size_t tid) {
   local_epoch_[tid].value = epoch_.value.load(std::memory_order_acquire);
+  stats_[tid].released_episode = false;
 
   std::uint64_t updates = 0;
   int c = first_counter_[tid];
@@ -35,13 +36,21 @@ void CombiningTreeBarrier::arrive(std::size_t tid) {
     tree_.count[static_cast<std::size_t>(c)].value.store(
         0, std::memory_order_relaxed);
     c = tree_.parent[static_cast<std::size_t>(c)];
-    if (c == -1) epoch_.value.fetch_add(1, std::memory_order_acq_rel);
+    if (c == -1) {
+      stats_[tid].released_episode = true;
+      epoch_.value.fetch_add(1, std::memory_order_acq_rel);
+    }
   }
   stats_[tid].updates.fetch_add(updates, std::memory_order_relaxed);
 }
 
 void CombiningTreeBarrier::wait(std::size_t tid) {
   const std::uint64_t my = local_epoch_[tid].value;
+  if (epoch_.value.load(std::memory_order_acquire) != my) {
+    if (!stats_[tid].released_episode)
+      stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   SpinWait w;
   while (epoch_.value.load(std::memory_order_acquire) == my) w.wait();
 }
@@ -49,6 +58,11 @@ void CombiningTreeBarrier::wait(std::size_t tid) {
 WaitStatus CombiningTreeBarrier::wait_until(std::size_t tid,
                                             const WaitContext& ctx) {
   const std::uint64_t my = local_epoch_[tid].value;
+  if (epoch_.value.load(std::memory_order_acquire) != my) {
+    if (!stats_[tid].released_episode)
+      stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
+    return WaitStatus::kReady;
+  }
   return spin_until(
       [&] { return epoch_.value.load(std::memory_order_acquire) != my; }, ctx);
 }
@@ -56,8 +70,10 @@ WaitStatus CombiningTreeBarrier::wait_until(std::size_t tid,
 BarrierCounters CombiningTreeBarrier::counters() const {
   BarrierCounters c;
   c.episodes = epoch_.value.load(std::memory_order_relaxed);
-  for (std::size_t t = 0; t < topo_.procs(); ++t)
+  for (std::size_t t = 0; t < topo_.procs(); ++t) {
     c.updates += stats_[t].updates.load(std::memory_order_relaxed);
+    c.overlapped += stats_[t].overlapped.load(std::memory_order_relaxed);
+  }
   return c;
 }
 

@@ -37,6 +37,7 @@ DynamicPlacementBarrier::DynamicPlacementBarrier(std::size_t participants,
 
 void DynamicPlacementBarrier::arrive(std::size_t tid) {
   local_epoch_[tid].value = epoch_.value.load(std::memory_order_acquire);
+  stats_[tid].released_episode = false;
 
   int fc = first_counter_[tid].value;
 
@@ -84,7 +85,10 @@ void DynamicPlacementBarrier::arrive(std::size_t tid) {
     }
 
     c = tree_.parent[static_cast<std::size_t>(c)];
-    if (c == -1) epoch_.value.fetch_add(1, std::memory_order_acq_rel);
+    if (c == -1) {
+      stats_[tid].released_episode = true;
+      epoch_.value.fetch_add(1, std::memory_order_acq_rel);
+    }
   }
   stats_[tid].updates.fetch_add(updates, std::memory_order_relaxed);
   if (swaps) stats_[tid].swaps.fetch_add(swaps, std::memory_order_relaxed);
@@ -92,6 +96,11 @@ void DynamicPlacementBarrier::arrive(std::size_t tid) {
 
 void DynamicPlacementBarrier::wait(std::size_t tid) {
   const std::uint64_t my = local_epoch_[tid].value;
+  if (epoch_.value.load(std::memory_order_acquire) != my) {
+    if (!stats_[tid].released_episode)
+      stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   SpinWait w;
   while (epoch_.value.load(std::memory_order_acquire) == my) w.wait();
 }
@@ -99,6 +108,11 @@ void DynamicPlacementBarrier::wait(std::size_t tid) {
 WaitStatus DynamicPlacementBarrier::wait_until(std::size_t tid,
                                                const WaitContext& ctx) {
   const std::uint64_t my = local_epoch_[tid].value;
+  if (epoch_.value.load(std::memory_order_acquire) != my) {
+    if (!stats_[tid].released_episode)
+      stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
+    return WaitStatus::kReady;
+  }
   return spin_until(
       [&] { return epoch_.value.load(std::memory_order_acquire) != my; }, ctx);
 }
@@ -110,6 +124,7 @@ BarrierCounters DynamicPlacementBarrier::counters() const {
     c.updates += stats_[t].updates.load(std::memory_order_relaxed);
     c.extra_comms += stats_[t].extra_comms.load(std::memory_order_relaxed);
     c.swaps += stats_[t].swaps.load(std::memory_order_relaxed);
+    c.overlapped += stats_[t].overlapped.load(std::memory_order_relaxed);
   }
   return c;
 }

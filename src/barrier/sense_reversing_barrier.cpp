@@ -7,7 +7,9 @@
 namespace imbar {
 
 SenseReversingBarrier::SenseReversingBarrier(std::size_t participants)
-    : n_(participants), local_sense_(participants) {
+    : n_(participants),
+      local_sense_(participants),
+      stats_(std::make_unique<detail::ThreadCounters[]>(participants)) {
   if (participants == 0)
     throw std::invalid_argument("SenseReversingBarrier: zero participants");
   // Global sense starts at 0; every thread's first episode targets 1.
@@ -19,6 +21,7 @@ void SenseReversingBarrier::arrive(std::size_t tid) {
   // lands, the last arriver may publish the new sense at any moment.
   const std::uint32_t my = local_sense_[tid].value ^ 1u;
   local_sense_[tid].value = my;
+  stats_[tid].released_episode = false;
 
   const std::uint32_t pos = count_.value.fetch_add(1, std::memory_order_acq_rel);
   if (pos + 1 == n_) {
@@ -28,12 +31,18 @@ void SenseReversingBarrier::arrive(std::size_t tid) {
     // happen after a wait() that acquires it.
     count_.value.store(0, std::memory_order_relaxed);
     episodes_.value.fetch_add(1, std::memory_order_relaxed);
+    stats_[tid].released_episode = true;
     sense_.value.store(my, std::memory_order_release);
   }
 }
 
 void SenseReversingBarrier::wait(std::size_t tid) {
   const std::uint32_t my = local_sense_[tid].value;
+  if (sense_.value.load(std::memory_order_acquire) == my) {
+    if (!stats_[tid].released_episode)
+      stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   SpinWait w;
   while (sense_.value.load(std::memory_order_acquire) != my) w.wait();
 }
@@ -41,6 +50,11 @@ void SenseReversingBarrier::wait(std::size_t tid) {
 WaitStatus SenseReversingBarrier::wait_until(std::size_t tid,
                                              const WaitContext& ctx) {
   const std::uint32_t my = local_sense_[tid].value;
+  if (sense_.value.load(std::memory_order_acquire) == my) {
+    if (!stats_[tid].released_episode)
+      stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
+    return WaitStatus::kReady;
+  }
   return spin_until(
       [&] { return sense_.value.load(std::memory_order_acquire) == my; }, ctx);
 }
@@ -49,6 +63,8 @@ BarrierCounters SenseReversingBarrier::counters() const {
   BarrierCounters c;
   c.episodes = episodes_.value.load(std::memory_order_relaxed);
   c.updates = c.episodes * n_;
+  for (std::size_t t = 0; t < n_; ++t)
+    c.overlapped += stats_[t].overlapped.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "barrier/barrier.hpp"
+#include "barrier/tree_state.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar {
@@ -43,6 +45,7 @@ class SenseReversingBarrier final : public FuzzyBarrier {
   PaddedAtomic<std::uint32_t> sense_{};     // global sense, flips per episode
   PaddedAtomic<std::uint64_t> episodes_{};  // instrumentation only
   std::vector<Padded<std::uint32_t>> local_sense_;  // owner-only slots
+  std::unique_ptr<detail::ThreadCounters[]> stats_;
 };
 
 }  // namespace imbar

@@ -38,6 +38,10 @@ struct alignas(kCacheLineSize) ThreadCounters {
   std::atomic<std::uint64_t> updates{0};
   std::atomic<std::uint64_t> extra_comms{0};
   std::atomic<std::uint64_t> swaps{0};
+  std::atomic<std::uint64_t> overlapped{0};
+  // Owner-only scratch: did this thread's arrive() fill the root (and
+  // thus release the episode)? Consulted by its own wait().
+  bool released_episode = false;
 };
 
 }  // namespace imbar::detail

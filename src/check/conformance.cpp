@@ -11,12 +11,28 @@
 #include <thread>
 #include <vector>
 
+#include "obs/instrumented_barrier.hpp"
 #include "robust/robust_barrier.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar::check {
 
 namespace {
+
+/// Barrier construction for every property: the plain factory, or the
+/// instrumented decorator when opts.instrument — same accept/refuse
+/// behaviour either way, so the properties need no other change.
+std::unique_ptr<Barrier> build_plain(const BarrierConfig& config,
+                                     const ConformanceOptions& opts) {
+  if (opts.instrument) return obs::make_instrumented(config);
+  return make_barrier(config);
+}
+
+std::unique_ptr<FuzzyBarrier> build_split(const BarrierConfig& config,
+                                          const ConformanceOptions& opts) {
+  if (opts.instrument) return obs::make_instrumented_fuzzy(config);
+  return make_fuzzy_barrier(config);
+}
 
 // Mirror of tests/barrier_test_support.hpp: a hang inside a barrier is
 // not recoverable (spinning threads cannot be interrupted portably), so
@@ -100,10 +116,10 @@ ConformanceResult ledger_run(const BarrierConfig& config,
   std::unique_ptr<FuzzyBarrier> fuzzy;
   Barrier* barrier = nullptr;
   if (split) {
-    fuzzy = make_fuzzy_barrier(config);
+    fuzzy = build_split(config, opts);
     barrier = fuzzy.get();
   } else {
-    plain = make_barrier(config);
+    plain = build_plain(config, opts);
     barrier = plain.get();
   }
 
@@ -182,7 +198,7 @@ ConformanceResult check_reuse(const BarrierConfig& config,
   // exactly once per episode.
   const std::size_t n = config.participants;
   const std::size_t epochs = opts.epochs * 3;
-  auto barrier = make_barrier(config);
+  auto barrier = build_plain(config, opts);
   run_cohort(
       n,
       [&](std::size_t tid) {
@@ -207,7 +223,7 @@ ConformanceResult check_edge_configs(BarrierKind kind,
   BarrierConfig zero = conformance_config(kind, 1);
   zero.participants = 0;
   try {
-    (void)make_barrier(zero);
+    (void)build_plain(zero, opts);
     return ConformanceResult::fail(std::string(to_string(kind)) +
                                    ": participants=0 was not rejected");
   } catch (const std::invalid_argument&) {
@@ -219,7 +235,7 @@ ConformanceResult check_edge_configs(BarrierKind kind,
       BarrierConfig cfg = conformance_config(kind, p);
       cfg.degree = bad;
       try {
-        (void)make_barrier(cfg);
+        (void)build_plain(cfg, opts);
         return ConformanceResult::fail(std::string(to_string(kind)) +
                                        ": degree=" + std::to_string(bad) +
                                        " with p=" + std::to_string(p) +
@@ -234,7 +250,7 @@ ConformanceResult check_edge_configs(BarrierKind kind,
     BarrierConfig cfg = conformance_config(kind, p);
     bool split_ok = true;
     try {
-      (void)make_fuzzy_barrier(cfg);
+      (void)build_split(cfg, opts);
     } catch (const std::invalid_argument&) {
       split_ok = false;
     }
@@ -246,7 +262,7 @@ ConformanceResult check_edge_configs(BarrierKind kind,
 
   // p=1 never blocks and stays reusable.
   {
-    auto solo = make_barrier(conformance_config(kind, 1, 2));
+    auto solo = build_plain(conformance_config(kind, 1, 2), opts);
     for (int i = 0; i < 100; ++i) solo->arrive_and_wait(0);
   }
 
@@ -285,7 +301,7 @@ ConformanceResult check_timeout_semantics(const BarrierConfig& config,
 
   // Complete cohort: a generous bound must never fire.
   {
-    auto barrier = make_barrier(config);
+    auto barrier = build_plain(config, opts);
     run_cohort(
         n,
         [&](std::size_t tid) {
@@ -308,7 +324,7 @@ ConformanceResult check_timeout_semantics(const BarrierConfig& config,
   // Withheld peer: every bounded waiter must report kTimeout (each
   // instance is torn by the mid-episode timeout and discarded).
   {
-    auto barrier = make_barrier(config);
+    auto barrier = build_plain(config, opts);
     run_cohort(
         n - 1,
         [&](std::size_t tid) {
@@ -324,7 +340,7 @@ ConformanceResult check_timeout_semantics(const BarrierConfig& config,
 
   // Cancel flag raised well before a distant deadline: kCancelled wins.
   {
-    auto barrier = make_barrier(config);
+    auto barrier = build_plain(config, opts);
     std::atomic<bool> cancel{false};
     std::thread controller([&] {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -356,7 +372,12 @@ ConformanceResult check_robust_break_and_reset(const BarrierConfig& config,
         "break/reset needs a surviving peer; vacuous at p=1");
 
   using robust::BarrierStatus;
-  robust::RobustBarrier rb(config);
+  robust::RobustOptions ropts;
+  if (opts.instrument)
+    // Fresh recorder per rebuild: the post-reset cohort is smaller, so
+    // a shared recorder sized for the original roster is not required.
+    ropts.inner_factory = obs::instrumenting_inner_factory();
+  robust::RobustBarrier rb(config, ropts);
   Violations violations;
   constexpr int kCleanEpochs = 25;
   constexpr int kEpochsBeforeAbandon = 15;

@@ -51,6 +51,13 @@ struct ConformanceOptions {
   PerturbOptions perturb{};
   /// Deadlock bound per thread cohort (watchdog, then _Exit(124)).
   std::chrono::seconds watchdog{120};
+  /// Build every barrier through the observability factories
+  /// (obs::make_instrumented / make_instrumented_fuzzy; the robust
+  /// property composes via obs::instrumenting_inner_factory), so the
+  /// whole contract also covers the instrumented decorators. No
+  /// per-kind special-casing: the obs factories accept and refuse
+  /// exactly the configurations the plain factories do.
+  bool instrument = false;
 };
 
 struct ConformanceResult {

@@ -26,6 +26,14 @@
 #include "barrier/sense_reversing_barrier.hpp"
 #include "barrier/tournament_barrier.hpp"
 
+// Observability: per-episode tracing, derived signals, exporters.
+#include "obs/arrival_spread.hpp"
+#include "obs/episode_recorder.hpp"
+#include "obs/instrumented_barrier.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/micro_harness.hpp"
+#include "obs/trace_export.hpp"
+
 // Conformance contract + adversarial schedules (for validating custom
 // barrier integrations the same way the in-tree kinds are validated).
 #include "check/conformance.hpp"

@@ -1,0 +1,136 @@
+// Online arrival-spread estimation — the paper's sigma, measured.
+//
+// Section 3's analytic model takes one input besides p and t_c: the
+// standard deviation sigma of the per-processor arrival times at the
+// barrier. This component turns a stream of per-episode arrival
+// timestamp vectors into exactly that signal, online: per-episode
+// spread sigma (in us and in t_c units), running statistics of the
+// spread across episodes, and the Section 5 predictability signals
+// (who is the straggler, and does arrival order persist across
+// episodes — Spearman rank correlation at lag 1).
+//
+// Header-only on purpose: AdaptiveBarrier (imbar_barrier) consumes it
+// for its degree reviews while the rest of the observability stack
+// (imbar_obs) links imbar_barrier, so a compiled home here would form a
+// library cycle.
+//
+// Not thread-safe: one writer (typically the episode's releaser thread,
+// or an offline pass over an EpisodeRecorder snapshot) feeds
+// observe_episode(); readers must be the same thread or synchronize
+// externally.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rank.hpp"
+#include "stats/summary.hpp"
+
+namespace imbar::obs {
+
+class ArrivalSpreadEstimator {
+ public:
+  /// `t_c_us` scales sigma into the paper's t_c units (default: the
+  /// KSR1-measured 20 us counter-update time).
+  explicit ArrivalSpreadEstimator(double t_c_us = 20.0)
+      : t_c_us_(t_c_us > 0.0 ? t_c_us : 1.0) {}
+
+  /// Feed one episode's per-thread arrival timestamps (us, any common
+  /// origin). Returns this episode's spread sigma in us (sample stddev
+  /// across threads; 0 for fewer than 2 threads). The thread count must
+  /// stay constant across episodes for the straggler/rank series to be
+  /// meaningful (a size change resets those series).
+  double observe_episode(std::span<const double> arrival_us) {
+    const std::size_t n = arrival_us.size();
+    if (n != straggler_counts_.size()) {
+      straggler_counts_.assign(n, 0);
+      previous_.clear();
+      rank_corr_.clear();
+    }
+    if (n == 0) return 0.0;
+
+    double mean = 0.0;
+    for (const double a : arrival_us) mean += a;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const double a : arrival_us) var += (a - mean) * (a - mean);
+    const double sigma =
+        n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+
+    last_sigma_us_ = sigma;
+    sigma_stats_.add(sigma);
+
+    const auto last =
+        std::max_element(arrival_us.begin(), arrival_us.end());
+    last_straggler_ = static_cast<std::size_t>(last - arrival_us.begin());
+    ++straggler_counts_[last_straggler_];
+    last_spread_us_ =
+        *last - *std::min_element(arrival_us.begin(), arrival_us.end());
+
+    if (!previous_.empty())
+      rank_corr_.add(spearman(previous_, arrival_us));
+    previous_.assign(arrival_us.begin(), arrival_us.end());
+    return sigma;
+  }
+
+  [[nodiscard]] std::uint64_t episodes() const noexcept {
+    return sigma_stats_.count();
+  }
+  [[nodiscard]] double t_c_us() const noexcept { return t_c_us_; }
+
+  /// Spread of the most recent episode.
+  [[nodiscard]] double last_sigma_us() const noexcept { return last_sigma_us_; }
+  [[nodiscard]] double last_sigma_tc() const noexcept {
+    return last_sigma_us_ / t_c_us_;
+  }
+  /// Max-min arrival gap of the most recent episode (us).
+  [[nodiscard]] double last_spread_us() const noexcept {
+    return last_spread_us_;
+  }
+
+  /// Running statistics of the per-episode sigma.
+  [[nodiscard]] double mean_sigma_us() const noexcept {
+    return sigma_stats_.mean();
+  }
+  [[nodiscard]] double mean_sigma_tc() const noexcept {
+    return sigma_stats_.mean() / t_c_us_;
+  }
+  [[nodiscard]] double stddev_sigma_us() const noexcept {
+    return sigma_stats_.stddev();
+  }
+
+  /// tid that arrived last in the most recent episode.
+  [[nodiscard]] std::size_t last_straggler() const noexcept {
+    return last_straggler_;
+  }
+  /// Times each tid arrived last, over all observed episodes.
+  [[nodiscard]] const std::vector<std::uint64_t>& straggler_counts()
+      const noexcept {
+    return straggler_counts_;
+  }
+
+  /// Mean Spearman rank correlation between consecutive episodes'
+  /// arrival orders (paper Figure 5's persistence signal): ~0 for iid
+  /// noise, ->1 when slow threads stay slow. 0 before two episodes.
+  [[nodiscard]] double rank_correlation_lag1() const noexcept {
+    return rank_corr_.count() ? rank_corr_.mean() : 0.0;
+  }
+
+  void reset() { *this = ArrivalSpreadEstimator(t_c_us_); }
+
+ private:
+  double t_c_us_;
+  double last_sigma_us_ = 0.0;
+  double last_spread_us_ = 0.0;
+  std::size_t last_straggler_ = 0;
+  RunningStats sigma_stats_;
+  RunningStats rank_corr_;
+  std::vector<double> previous_;
+  std::vector<std::uint64_t> straggler_counts_;
+};
+
+}  // namespace imbar::obs

@@ -1,0 +1,62 @@
+#include "obs/episode_recorder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imbar::obs {
+
+EpisodeRecorder::EpisodeRecorder(std::size_t threads, RecorderOptions opts)
+    : capacity_(opts.ring_capacity),
+      origin_(std::chrono::steady_clock::now()),
+      lanes_(threads) {
+  if (threads == 0)
+    throw std::invalid_argument("EpisodeRecorder: zero threads");
+  if (capacity_ == 0)
+    throw std::invalid_argument("EpisodeRecorder: zero ring capacity");
+  for (Lane& lane : lanes_) lane.ring.resize(capacity_);
+}
+
+std::vector<EpisodeRecord> EpisodeRecorder::snapshot(std::size_t tid) const {
+  const Lane& lane = lanes_.at(tid);
+  const std::uint64_t kept =
+      lane.committed < capacity_ ? lane.committed : capacity_;
+  std::vector<EpisodeRecord> out;
+  out.reserve(kept);
+  // Oldest retained record first. Before a wrap that is index 0; after,
+  // it is the slot the next commit would overwrite.
+  const std::uint64_t first = lane.committed - kept;
+  for (std::uint64_t e = first; e < lane.committed; ++e)
+    out.push_back(lane.ring[e % capacity_]);
+  return out;
+}
+
+std::vector<EpisodeRecorder::OwnedRecord> EpisodeRecorder::snapshot_all()
+    const {
+  std::vector<OwnedRecord> out;
+  for (std::size_t t = 0; t < lanes_.size(); ++t)
+    for (const EpisodeRecord& r : snapshot(t)) out.push_back({t, r});
+  return out;
+}
+
+std::vector<double> EpisodeRecorder::last_common_episode_arrivals_us() const {
+  // The newest episode ordinal present in every lane: each lane retains
+  // ordinals [committed - kept, committed); the intersection's maximum
+  // is min over lanes of (committed - 1).
+  std::uint64_t target = UINT64_MAX;
+  for (const Lane& lane : lanes_) {
+    if (lane.committed == 0) return {};
+    target = std::min(target, lane.committed - 1);
+  }
+  std::vector<double> out;
+  out.reserve(lanes_.size());
+  for (const Lane& lane : lanes_) {
+    const std::uint64_t oldest =
+        lane.committed < capacity_ ? 0 : lane.committed - capacity_;
+    if (target < oldest) return {};  // wrapped past the common ordinal
+    const EpisodeRecord& r = lane.ring[target % capacity_];
+    out.push_back(static_cast<double>(r.arrive_ns) / 1000.0);
+  }
+  return out;
+}
+
+}  // namespace imbar::obs

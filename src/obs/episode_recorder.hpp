@@ -1,0 +1,142 @@
+// Hot-path episode recorder: per-thread, lock-free, zero-allocation.
+//
+// The paper's whole argument runs through arrival-time distributions
+// (Section 3's sigma input, Figure 5's per-episode predictability), so
+// the recorder's job is to capture per-episode arrival/release
+// timestamps without perturbing the barrier it observes:
+//
+//   * one ring buffer per thread, preallocated at construction — the
+//     record path never allocates;
+//   * every lane is cache-line aligned and written only by its owner
+//     thread — no shared writes, no atomics, no false sharing on the
+//     fast path;
+//   * a full ring wraps, overwriting the oldest records; the total
+//     recorded count keeps counting so dropped() is exact.
+//
+// Reads (snapshot/recorded/dropped) are quiescent-only: take them after
+// the recording threads have been joined or are otherwise known to be
+// outside record calls (every in-tree consumer reads after a cohort
+// join). This is what keeps the write path free of synchronization.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/cacheline.hpp"
+
+namespace imbar::obs {
+
+/// One completed barrier episode as seen by one thread. Timestamps are
+/// steady-clock nanoseconds since the recorder's construction.
+struct EpisodeRecord {
+  std::uint64_t episode = 0;     // per-thread episode ordinal (from 0)
+  std::uint64_t arrive_ns = 0;   // this thread entered the barrier
+  std::uint64_t release_ns = 0;  // this thread left the barrier
+};
+
+struct RecorderOptions {
+  /// Ring capacity per thread (records). The ring wraps past this.
+  std::size_t ring_capacity = 4096;
+};
+
+class EpisodeRecorder {
+ public:
+  EpisodeRecorder(std::size_t threads, RecorderOptions opts = {});
+
+  EpisodeRecorder(const EpisodeRecorder&) = delete;
+  EpisodeRecorder& operator=(const EpisodeRecorder&) = delete;
+
+  [[nodiscard]] std::size_t threads() const noexcept { return lanes_.size(); }
+  [[nodiscard]] std::size_t ring_capacity() const noexcept {
+    return capacity_;
+  }
+
+  /// Steady-clock nanoseconds since this recorder was constructed.
+  [[nodiscard]] std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+  }
+
+  // -- Hot path (owner thread of `tid` only) -----------------------------
+
+  /// Stamp the arrival of the owner's next episode (split-phase arrive).
+  void begin_episode(std::size_t tid) noexcept {
+    lanes_[tid].pending_arrive = now_ns();
+  }
+
+  /// Commit the episode begun by begin_episode() with release = now.
+  void end_episode(std::size_t tid) noexcept {
+    Lane& lane = lanes_[tid];
+    commit(lane, lane.pending_arrive, now_ns());
+  }
+
+  /// Commit a whole episode with explicit timestamps (used by the
+  /// combined arrive_and_wait path and by simulation feeds).
+  void record(std::size_t tid, std::uint64_t arrive_ns,
+              std::uint64_t release_ns) noexcept {
+    commit(lanes_[tid], arrive_ns, release_ns);
+  }
+
+  /// Count an episode that entered the barrier but never completed
+  /// (timeout/cancel/broken). No record is committed.
+  void abort_episode(std::size_t tid) noexcept { ++lanes_[tid].aborted; }
+
+  // -- Quiescent reads ---------------------------------------------------
+
+  /// Episodes committed by `tid` (monotonic; keeps counting past wraps).
+  [[nodiscard]] std::uint64_t recorded(std::size_t tid) const noexcept {
+    return lanes_[tid].committed;
+  }
+  /// Records overwritten by ring wraparound for `tid`.
+  [[nodiscard]] std::uint64_t dropped(std::size_t tid) const noexcept {
+    const Lane& lane = lanes_[tid];
+    return lane.committed > capacity_ ? lane.committed - capacity_ : 0;
+  }
+  /// Episodes aborted mid-wait by `tid`.
+  [[nodiscard]] std::uint64_t aborted(std::size_t tid) const noexcept {
+    return lanes_[tid].aborted;
+  }
+
+  /// Retained records of `tid`, oldest first.
+  [[nodiscard]] std::vector<EpisodeRecord> snapshot(std::size_t tid) const;
+
+  /// Retained records of all threads in one vector, ordered by tid then
+  /// episode. Each record's owning tid is returned alongside.
+  struct OwnedRecord {
+    std::size_t tid;
+    EpisodeRecord record;
+  };
+  [[nodiscard]] std::vector<OwnedRecord> snapshot_all() const;
+
+  /// Per-tid arrival timestamps (us) of the most recent episode ordinal
+  /// fully present in every lane; empty if any lane has none. Feeds
+  /// ArrivalSpreadEstimator offline.
+  [[nodiscard]] std::vector<double> last_common_episode_arrivals_us() const;
+
+ private:
+  struct alignas(kCacheLineSize) Lane {
+    std::vector<EpisodeRecord> ring;  // preallocated, wraps
+    std::uint64_t committed = 0;      // total episodes committed
+    std::uint64_t aborted = 0;
+    std::uint64_t pending_arrive = 0;
+  };
+
+  void commit(Lane& lane, std::uint64_t arrive_ns,
+              std::uint64_t release_ns) noexcept {
+    EpisodeRecord& slot = lane.ring[lane.committed % capacity_];
+    slot.episode = lane.committed;
+    slot.arrive_ns = arrive_ns;
+    slot.release_ns = release_ns;
+    ++lane.committed;
+  }
+
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point origin_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace imbar::obs

@@ -1,0 +1,129 @@
+#include "obs/instrumented_barrier.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace imbar::obs {
+
+namespace {
+
+std::shared_ptr<EpisodeRecorder> require_recorder(
+    std::shared_ptr<EpisodeRecorder> recorder, std::size_t participants,
+    const char* who) {
+  if (!recorder)
+    throw std::invalid_argument(std::string(who) + ": null recorder");
+  if (recorder->threads() < participants)
+    throw std::invalid_argument(
+        std::string(who) + ": recorder covers " +
+        std::to_string(recorder->threads()) + " lanes, barrier has " +
+        std::to_string(participants) + " participants");
+  return recorder;
+}
+
+InstrumentedSnapshot take_snapshot(const Barrier& inner,
+                                   const EpisodeRecorder& rec) {
+  InstrumentedSnapshot s;
+  s.counters = inner.counters();
+  for (std::size_t t = 0; t < rec.threads(); ++t) {
+    s.recorded += rec.recorded(t);
+    s.dropped += rec.dropped(t);
+    s.aborted += rec.aborted(t);
+  }
+  return s;
+}
+
+}  // namespace
+
+InstrumentedBarrier::InstrumentedBarrier(
+    std::unique_ptr<Barrier> inner, std::shared_ptr<EpisodeRecorder> recorder)
+    : inner_(std::move(inner)),
+      recorder_(require_recorder(std::move(recorder), inner_->participants(),
+                                 "InstrumentedBarrier")) {}
+
+void InstrumentedBarrier::arrive_and_wait(std::size_t tid) {
+  const std::uint64_t t0 = recorder_->now_ns();
+  inner_->arrive_and_wait(tid);
+  recorder_->record(tid, t0, recorder_->now_ns());
+}
+
+WaitStatus InstrumentedBarrier::arrive_and_wait_until(std::size_t tid,
+                                                      const WaitContext& ctx) {
+  const std::uint64_t t0 = recorder_->now_ns();
+  const WaitStatus s = inner_->arrive_and_wait_until(tid, ctx);
+  if (s == WaitStatus::kReady)
+    recorder_->record(tid, t0, recorder_->now_ns());
+  else
+    recorder_->abort_episode(tid);
+  return s;
+}
+
+InstrumentedSnapshot InstrumentedBarrier::snapshot() const {
+  return take_snapshot(*inner_, *recorder_);
+}
+
+InstrumentedFuzzyBarrier::InstrumentedFuzzyBarrier(
+    std::unique_ptr<FuzzyBarrier> inner,
+    std::shared_ptr<EpisodeRecorder> recorder)
+    : inner_(std::move(inner)),
+      recorder_(require_recorder(std::move(recorder), inner_->participants(),
+                                 "InstrumentedFuzzyBarrier")) {}
+
+void InstrumentedFuzzyBarrier::arrive(std::size_t tid) {
+  recorder_->begin_episode(tid);
+  inner_->arrive(tid);
+}
+
+void InstrumentedFuzzyBarrier::wait(std::size_t tid) {
+  inner_->wait(tid);
+  recorder_->end_episode(tid);
+}
+
+WaitStatus InstrumentedFuzzyBarrier::wait_until(std::size_t tid,
+                                                const WaitContext& ctx) {
+  const WaitStatus s = inner_->wait_until(tid, ctx);
+  if (s == WaitStatus::kReady)
+    recorder_->end_episode(tid);
+  else
+    recorder_->abort_episode(tid);
+  return s;
+}
+
+InstrumentedSnapshot InstrumentedFuzzyBarrier::snapshot() const {
+  return take_snapshot(*inner_, *recorder_);
+}
+
+std::unique_ptr<InstrumentedBarrier> make_instrumented(
+    const BarrierConfig& config, InstrumentOptions opts) {
+  auto inner = make_barrier(config);  // factory validates the config
+  auto recorder =
+      std::make_shared<EpisodeRecorder>(inner->participants(), opts.recorder);
+  return std::make_unique<InstrumentedBarrier>(std::move(inner),
+                                               std::move(recorder));
+}
+
+std::unique_ptr<InstrumentedFuzzyBarrier> make_instrumented_fuzzy(
+    const BarrierConfig& config, InstrumentOptions opts) {
+  auto inner = make_fuzzy_barrier(config);  // throws for non-split kinds
+  auto recorder =
+      std::make_shared<EpisodeRecorder>(inner->participants(), opts.recorder);
+  return std::make_unique<InstrumentedFuzzyBarrier>(std::move(inner),
+                                                    std::move(recorder));
+}
+
+std::function<std::unique_ptr<Barrier>(const BarrierConfig&)>
+instrumenting_inner_factory(std::shared_ptr<EpisodeRecorder> recorder,
+                            InstrumentOptions opts) {
+  return [recorder = std::move(recorder),
+          opts](const BarrierConfig& config) -> std::unique_ptr<Barrier> {
+    auto inner = make_barrier(config);
+    auto rec = recorder
+                   ? recorder
+                   : std::make_shared<EpisodeRecorder>(inner->participants(),
+                                                       opts.recorder);
+    return std::make_unique<InstrumentedBarrier>(std::move(inner),
+                                                 std::move(rec));
+  };
+}
+
+}  // namespace imbar::obs

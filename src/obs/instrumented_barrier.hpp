@@ -1,0 +1,140 @@
+// Observing decorator over any imbar barrier.
+//
+// Mirrors robust::RobustBarrier's wrap-anything pattern: the factory
+// builds the inner barrier, the decorator adds behaviour — here,
+// feeding an EpisodeRecorder with per-episode arrival/release
+// timestamps. The decorator implements the Barrier (resp. FuzzyBarrier)
+// interface itself, so it composes with everything that consumes those:
+// the conformance contract runs its full property set over instrumented
+// wrappers of all nine kinds, and robust::RobustBarrier rebuilds
+// instrumented inners through its inner_factory hook
+// (instrumenting_inner_factory below).
+//
+// Timing protocol per episode and thread:
+//   * combined arrive_and_wait: arrival is stamped on entry, release on
+//     return — the span covers the thread's whole barrier residency;
+//   * split phases: arrive() stamps the arrival before the inner
+//     arrive (the timestamp the paper's sigma is computed from),
+//     wait()/wait_until() commits the release on return;
+//   * bounded waits that end in kTimeout/kCancelled commit no record —
+//     the episode never released for this thread — and count into
+//     aborted() instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "obs/episode_recorder.hpp"
+
+namespace imbar::obs {
+
+/// Quiescent per-barrier view: inner counters (including the fuzzy
+/// `overlapped` count) plus the recorder's bookkeeping totals.
+struct InstrumentedSnapshot {
+  BarrierCounters counters;       // pass-through from the inner barrier
+  std::uint64_t recorded = 0;     // episode records committed (all tids)
+  std::uint64_t dropped = 0;      // records lost to ring wraparound
+  std::uint64_t aborted = 0;      // timed-out/cancelled waits
+};
+
+class InstrumentedBarrier : public Barrier {
+ public:
+  /// Wraps `inner`; records into `recorder` (shared so several wrapped
+  /// generations — e.g. across RobustBarrier resets — can feed one
+  /// sink). `recorder` must cover at least inner->participants() lanes.
+  InstrumentedBarrier(std::unique_ptr<Barrier> inner,
+                      std::shared_ptr<EpisodeRecorder> recorder);
+
+  void arrive_and_wait(std::size_t tid) override;
+  WaitStatus arrive_and_wait_until(std::size_t tid,
+                                   const WaitContext& ctx) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override {
+    return inner_->participants();
+  }
+  [[nodiscard]] BarrierCounters counters() const override {
+    return inner_->counters();
+  }
+
+  [[nodiscard]] Barrier& inner() noexcept { return *inner_; }
+  [[nodiscard]] EpisodeRecorder& recorder() noexcept { return *recorder_; }
+  [[nodiscard]] const EpisodeRecorder& recorder() const noexcept {
+    return *recorder_;
+  }
+  [[nodiscard]] std::shared_ptr<EpisodeRecorder> shared_recorder() const {
+    return recorder_;
+  }
+
+  /// Quiescent-only (like all recorder reads).
+  [[nodiscard]] InstrumentedSnapshot snapshot() const;
+
+ private:
+  std::unique_ptr<Barrier> inner_;
+  std::shared_ptr<EpisodeRecorder> recorder_;
+};
+
+/// Split-phase variant: wraps a FuzzyBarrier, preserving the
+/// arrive()/wait() protocol so fuzzy slack keeps overlapping.
+class InstrumentedFuzzyBarrier final : public FuzzyBarrier {
+ public:
+  InstrumentedFuzzyBarrier(std::unique_ptr<FuzzyBarrier> inner,
+                           std::shared_ptr<EpisodeRecorder> recorder);
+
+  void arrive(std::size_t tid) override;
+  void wait(std::size_t tid) override;
+  WaitStatus wait_until(std::size_t tid, const WaitContext& ctx) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override {
+    return inner_->participants();
+  }
+  [[nodiscard]] BarrierCounters counters() const override {
+    return inner_->counters();
+  }
+
+  [[nodiscard]] FuzzyBarrier& inner() noexcept { return *inner_; }
+  [[nodiscard]] EpisodeRecorder& recorder() noexcept { return *recorder_; }
+  [[nodiscard]] const EpisodeRecorder& recorder() const noexcept {
+    return *recorder_;
+  }
+  [[nodiscard]] std::shared_ptr<EpisodeRecorder> shared_recorder() const {
+    return recorder_;
+  }
+
+  [[nodiscard]] InstrumentedSnapshot snapshot() const;
+
+ private:
+  std::unique_ptr<FuzzyBarrier> inner_;
+  std::shared_ptr<EpisodeRecorder> recorder_;
+};
+
+struct InstrumentOptions {
+  RecorderOptions recorder{};
+};
+
+/// Factory hook: any configuration make_barrier accepts, wrapped. All
+/// nine kinds compose — instrumentation needs no capability beyond the
+/// Barrier interface itself (use make_instrumented_fuzzy for the
+/// split-phase capability, gated by barrier_kind_splits like
+/// make_fuzzy_barrier).
+[[nodiscard]] std::unique_ptr<InstrumentedBarrier> make_instrumented(
+    const BarrierConfig& config, InstrumentOptions opts = {});
+
+/// Split-phase factory hook; throws std::invalid_argument exactly when
+/// make_fuzzy_barrier does (non-splitting kinds, invalid configs).
+[[nodiscard]] std::unique_ptr<InstrumentedFuzzyBarrier>
+make_instrumented_fuzzy(const BarrierConfig& config,
+                        InstrumentOptions opts = {});
+
+/// An inner-barrier factory for robust::RobustOptions::inner_factory:
+/// every (re)build of the robust decorator's inner barrier comes out
+/// instrumented. With a null `recorder` each build gets a fresh private
+/// recorder; passing a shared one (sized for the *original* cohort)
+/// accumulates one record stream across resets.
+[[nodiscard]] std::function<std::unique_ptr<Barrier>(const BarrierConfig&)>
+instrumenting_inner_factory(std::shared_ptr<EpisodeRecorder> recorder = nullptr,
+                            InstrumentOptions opts = {});
+
+}  // namespace imbar::obs

@@ -1,0 +1,107 @@
+// Minimal JSON support for the observability exporters.
+//
+// Two halves, both deliberately small and dependency-free:
+//   * JsonWriter — an append-only serializer with RFC 8259 string
+//     escaping and deterministic number formatting, used by every
+//     exporter so all emitted documents share one dialect;
+//   * json::Value / json::parse — a strict recursive-descent reader,
+//     used by the schema-validation tests and by validate() helpers to
+//     check committed artifacts (BENCH_*.json, trace samples) without
+//     adding a third-party dependency the container doesn't have.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace imbar::obs {
+
+/// Streaming JSON serializer. The caller supplies structure (begin/end
+/// calls must nest correctly); the writer handles commas, quoting and
+/// number formatting. Numbers are emitted with up to 12 significant
+/// digits (round-trippable for the microsecond/ratio magnitudes the
+/// exporters produce, and stable across platforms).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value inside an object.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Shorthand: key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // per open scope
+  bool pending_key_ = false;
+};
+
+namespace json {
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// Parsed JSON value. Numbers are doubles (sufficient for every schema
+/// in this repo; 2^53 exceeds any counter the exporters emit).
+class Value {
+ public:
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type == Type::kString;
+  }
+
+  /// Object member or nullptr.
+  [[nodiscard]] const Value* find(const std::string& k) const;
+  /// Convenience: member `k` exists and is a number/string.
+  [[nodiscard]] bool has_number(const std::string& k) const;
+  [[nodiscard]] bool has_string(const std::string& k) const;
+};
+
+/// Strict parse of a complete JSON document. Throws std::runtime_error
+/// with position info on malformed input or trailing garbage.
+[[nodiscard]] Value parse(const std::string& text);
+
+/// Parse the contents of a file; throws std::runtime_error if the file
+/// cannot be read or does not parse.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace json
+
+}  // namespace imbar::obs

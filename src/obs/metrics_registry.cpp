@@ -1,0 +1,79 @@
+#include "obs/metrics_registry.hpp"
+
+#include "obs/json.hpp"
+
+namespace imbar::obs {
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_counter(const std::string& name,
+                                  std::uint64_t value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] = value;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::observe(const std::string& name, double x, double lo,
+                              double hi, std::size_t bins) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(name, HistEntry{Histogram(lo, hi, bins), RunningStats{}})
+             .first;
+  it->second.hist.add(x);
+  it->second.stats.add(x);
+}
+
+std::size_t MetricsRegistry::counter_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size();
+}
+
+std::size_t MetricsRegistry::histogram_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.size();
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kMetricsSchema);
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters_) w.kv(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, entry] : histograms_) {
+    w.key(name).begin_object();
+    w.kv("count", static_cast<std::uint64_t>(entry.stats.count()));
+    w.kv("mean", entry.stats.mean());
+    w.kv("stddev", entry.stats.stddev());
+    w.kv("min", entry.stats.count() ? entry.stats.min() : 0.0);
+    w.kv("max", entry.stats.count() ? entry.stats.max() : 0.0);
+    w.kv("p50", entry.hist.quantile(0.50));
+    w.kv("p90", entry.hist.quantile(0.90));
+    w.kv("p99", entry.hist.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace imbar::obs

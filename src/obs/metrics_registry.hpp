@@ -1,0 +1,67 @@
+// Named counters and histograms with a stable JSON snapshot.
+//
+// The registry is the aggregation point between the hot-path recorders
+// (which own their own per-thread storage) and the exporters: harnesses
+// fold quiescent recorder/barrier state into named metrics here, and
+// snapshot_json() emits them under the versioned "imbar.metrics.v1"
+// schema that tests golden-check and tools consume.
+//
+// Thread safety: registration and updates take a mutex — this is a
+// reporting-path structure, not a hot-path one. Never update a
+// registry from inside a barrier episode; fold counters in after the
+// measured region, like BarrierCounters reads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace imbar::obs {
+
+/// Schema identifier emitted in every metrics snapshot.
+inline constexpr const char* kMetricsSchema = "imbar.metrics.v1";
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to the named counter, creating it at zero first.
+  void add_counter(const std::string& name, std::uint64_t delta = 1);
+  /// Sets the named counter to an absolute value (for fold-ins of
+  /// externally accumulated totals like BarrierCounters fields).
+  void set_counter(const std::string& name, std::uint64_t value);
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+
+  /// Records `x` into the named histogram, creating it with the given
+  /// range on first use (later calls ignore lo/hi/bins).
+  void observe(const std::string& name, double x, double lo = 0.0,
+               double hi = 1000.0, std::size_t bins = 64);
+
+  [[nodiscard]] std::size_t counter_count() const;
+  [[nodiscard]] std::size_t histogram_count() const;
+
+  /// Serializes every metric as an "imbar.metrics.v1" document:
+  ///   { "schema": "imbar.metrics.v1",
+  ///     "counters": { name: value, ... },
+  ///     "histograms": { name: { "count", "mean", "stddev", "min",
+  ///                             "max", "p50", "p90", "p99" }, ... } }
+  /// Keys are sorted (std::map), so output is deterministic.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  void reset();
+
+ private:
+  struct HistEntry {
+    Histogram hist;
+    RunningStats stats;  // exact mean/stddev/min/max alongside the bins
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, HistEntry> histograms_;
+};
+
+}  // namespace imbar::obs

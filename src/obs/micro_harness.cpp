@@ -1,0 +1,203 @@
+#include "obs/micro_harness.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/arrival_spread.hpp"
+#include "obs/instrumented_barrier.hpp"
+#include "stats/summary.hpp"
+
+namespace imbar::obs {
+
+namespace {
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+/// Feed every episode ordinal present in all lanes into the estimator.
+void feed_estimator(const EpisodeRecorder& rec, ArrivalSpreadEstimator& est) {
+  const std::size_t p = rec.threads();
+  std::vector<std::vector<EpisodeRecord>> snaps;
+  snaps.reserve(p);
+  for (std::size_t t = 0; t < p; ++t) snaps.push_back(rec.snapshot(t));
+  std::uint64_t first = 0, last = UINT64_MAX;
+  for (const auto& snap : snaps) {
+    if (snap.empty()) return;
+    first = std::max(first, snap.front().episode);
+    last = std::min(last, snap.back().episode);
+  }
+  std::vector<double> arrivals(p);
+  for (std::uint64_t e = first; e <= last && last != UINT64_MAX; ++e) {
+    for (std::size_t t = 0; t < p; ++t)
+      arrivals[t] = us(snaps[t][e - snaps[t].front().episode].arrive_ns);
+    est.observe_episode(arrivals);
+  }
+}
+
+void write_cell(JsonWriter& w, const BenchCell& c) {
+  switch (c.kind) {
+    case BenchCell::Kind::kNumber: w.kv(c.key, c.number); break;
+    case BenchCell::Kind::kString: w.kv(c.key, c.string); break;
+    case BenchCell::Kind::kBool: w.kv(c.key, c.boolean); break;
+  }
+}
+
+void check_flat_object(const json::Value& v, const std::string& what) {
+  if (!v.is_object())
+    throw std::runtime_error("bench: " + what + " is not an object");
+  for (const auto& [k, member] : v.object) {
+    const bool scalar = member.is_number() || member.is_string() ||
+                        member.type == json::Type::kBool;
+    if (!scalar)
+      throw std::runtime_error("bench: " + what + "." + k +
+                               " is not a scalar cell");
+  }
+}
+
+}  // namespace
+
+MicroResult run_micro_kind(BarrierKind kind, const MicroOptions& opts) {
+  BarrierConfig cfg;
+  cfg.kind = kind;
+  cfg.participants = opts.threads;
+  cfg.degree = std::clamp<std::size_t>(
+      opts.degree, 2, std::max<std::size_t>(2, opts.threads));
+
+  InstrumentOptions iopts;
+  iopts.recorder.ring_capacity = opts.ring_capacity;
+  auto bar = make_instrumented(cfg, iopts);
+
+  Stopwatch sw;
+  std::vector<std::thread> workers;
+  workers.reserve(opts.threads);
+  for (std::size_t t = 0; t < opts.threads; ++t)
+    workers.emplace_back([&bar, t, episodes = opts.episodes] {
+      for (std::size_t e = 0; e < episodes; ++e) bar->arrive_and_wait(t);
+    });
+  for (auto& w : workers) w.join();
+  const double wall_s = sw.elapsed_s();
+
+  MicroResult r;
+  r.kind = to_string(kind);
+  r.threads = opts.threads;
+  r.episodes = opts.episodes;
+  r.wall_s = wall_s;
+  r.episodes_per_sec =
+      wall_s > 0.0 ? static_cast<double>(opts.episodes) / wall_s : 0.0;
+
+  // Per-thread episode latency over every retained record.
+  std::vector<double> spans;
+  const EpisodeRecorder& rec = bar->recorder();
+  for (std::size_t t = 0; t < rec.threads(); ++t)
+    for (const EpisodeRecord& er : rec.snapshot(t))
+      spans.push_back(er.release_ns >= er.arrive_ns
+                          ? us(er.release_ns - er.arrive_ns)
+                          : 0.0);
+  if (!spans.empty()) {
+    std::sort(spans.begin(), spans.end());
+    r.mean_us = std::accumulate(spans.begin(), spans.end(), 0.0) /
+                static_cast<double>(spans.size());
+    r.p50_us = quantile_sorted(spans, 0.50);
+    r.p99_us = quantile_sorted(spans, 0.99);
+  }
+
+  ArrivalSpreadEstimator est(opts.t_c_us);
+  feed_estimator(rec, est);
+  r.sigma_us = est.mean_sigma_us();
+  r.sigma_tc = est.mean_sigma_tc();
+
+  const InstrumentedSnapshot snap = bar->snapshot();
+  r.overlapped = snap.counters.overlapped;
+  r.recorded = snap.recorded;
+  r.dropped = snap.dropped;
+  return r;
+}
+
+std::string bench_json(const std::string& name, const BenchRow& params,
+                       std::span<const BenchRow> rows,
+                       const PhaseLog* phases) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kBenchSchema);
+  w.kv("name", name);
+  w.key("params").begin_object();
+  for (const BenchCell& c : params) write_cell(w, c);
+  w.end_object();
+  if (phases != nullptr) {
+    w.key("phases").begin_array();
+    for (const PhaseLog::Phase& ph : phases->phases()) {
+      w.begin_object();
+      w.kv("name", ph.name);
+      w.kv("elapsed_s", ph.elapsed_s);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.key("rows").begin_array();
+  for (const BenchRow& row : rows) {
+    w.begin_object();
+    for (const BenchCell& c : row) write_cell(w, c);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::vector<BenchRow> micro_rows(std::span<const MicroResult> results) {
+  std::vector<BenchRow> rows;
+  rows.reserve(results.size());
+  for (const MicroResult& r : results) {
+    BenchRow row;
+    row.push_back(BenchCell::str("kind", r.kind));
+    row.push_back(BenchCell::num("threads", static_cast<double>(r.threads)));
+    row.push_back(BenchCell::num("episodes", static_cast<double>(r.episodes)));
+    row.push_back(BenchCell::num("episodes_per_sec", r.episodes_per_sec));
+    row.push_back(BenchCell::num("mean_us", r.mean_us));
+    row.push_back(BenchCell::num("p50_us", r.p50_us));
+    row.push_back(BenchCell::num("p99_us", r.p99_us));
+    row.push_back(BenchCell::num("sigma_us", r.sigma_us));
+    row.push_back(BenchCell::num("sigma_tc", r.sigma_tc));
+    row.push_back(
+        BenchCell::num("overlapped", static_cast<double>(r.overlapped)));
+    row.push_back(BenchCell::num("recorded", static_cast<double>(r.recorded)));
+    row.push_back(BenchCell::num("dropped", static_cast<double>(r.dropped)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::size_t validate_bench_json(const json::Value& doc) {
+  if (!doc.is_object())
+    throw std::runtime_error("bench: document is not an object");
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != kBenchSchema)
+    throw std::runtime_error("bench: schema is not \"" +
+                             std::string(kBenchSchema) + "\"");
+  if (!doc.has_string("name"))
+    throw std::runtime_error("bench: missing name string");
+  const json::Value* params = doc.find("params");
+  if (params == nullptr)
+    throw std::runtime_error("bench: missing params object");
+  check_flat_object(*params, "params");
+  if (const json::Value* phases = doc.find("phases")) {
+    if (!phases->is_array())
+      throw std::runtime_error("bench: phases is not an array");
+    for (const json::Value& ph : phases->array) {
+      if (!ph.is_object() || !ph.has_string("name") ||
+          !ph.has_number("elapsed_s"))
+        throw std::runtime_error(
+            "bench: phase entry needs name + elapsed_s");
+    }
+  }
+  const json::Value* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array())
+    throw std::runtime_error("bench: missing rows array");
+  for (std::size_t i = 0; i < rows->array.size(); ++i)
+    check_flat_object(rows->array[i], "rows[" + std::to_string(i) + "]");
+  return rows->array.size();
+}
+
+}  // namespace imbar::obs

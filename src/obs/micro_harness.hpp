@@ -1,0 +1,115 @@
+// Instrumented micro-benchmark harness + "imbar.bench.v1" telemetry.
+//
+// run_micro_kind() is the measurement core behind
+// `micro_real_barriers --json=...`: it runs a real-thread episode loop
+// over an InstrumentedBarrier and derives the telemetry the plotting
+// tools consume (episodes/sec, episode-latency quantiles, the measured
+// arrival-spread sigma, fuzzy overlap counts). It lives in the library
+// — not the bench binary — so the schema tests can exercise the exact
+// code path in-process.
+//
+// bench_json()/validate_bench_json() define the machine-readable bench
+// schema shared by every --json-capable bench binary:
+//   { "schema": "imbar.bench.v1",
+//     "name":   "<bench binary name>",
+//     "params": { flat key -> number|string|bool },
+//     "phases": [ {"name": ..., "elapsed_s": ...}, ... ],   (optional)
+//     "rows":   [ { flat key -> number|string|bool }, ... ] }
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "obs/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace imbar::obs {
+
+/// Schema identifier emitted in every bench telemetry document.
+inline constexpr const char* kBenchSchema = "imbar.bench.v1";
+
+struct MicroOptions {
+  std::size_t threads = 2;
+  std::size_t episodes = 2000;   // per thread
+  std::size_t degree = 4;        // tree kinds (clamped to participants)
+  std::size_t ring_capacity = 4096;
+  double t_c_us = 20.0;          // sigma scale (paper's counter time)
+};
+
+/// Per-kind result of one instrumented episode loop.
+struct MicroResult {
+  std::string kind;              // factory name, e.g. "central"
+  std::uint64_t threads = 0;
+  std::uint64_t episodes = 0;    // per thread
+  double wall_s = 0.0;
+  double episodes_per_sec = 0.0; // barrier episodes completed per second
+  double mean_us = 0.0;          // per-thread episode latency
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double sigma_us = 0.0;         // mean per-episode arrival spread
+  double sigma_tc = 0.0;         // same, in t_c units
+  std::uint64_t overlapped = 0;  // BarrierCounters::overlapped
+  std::uint64_t recorded = 0;    // recorder commits (all threads)
+  std::uint64_t dropped = 0;     // lost to ring wraparound
+};
+
+/// Run `opts.episodes` instrumented episodes of `kind` on
+/// `opts.threads` real threads and derive the telemetry above. Throws
+/// whatever make_barrier throws for invalid configurations.
+[[nodiscard]] MicroResult run_micro_kind(BarrierKind kind,
+                                         const MicroOptions& opts);
+
+/// A flat key -> scalar cell for params/rows.
+struct BenchCell {
+  enum class Kind { kNumber, kString, kBool } kind = Kind::kNumber;
+  std::string key;
+  double number = 0.0;
+  std::string string;
+  bool boolean = false;
+
+  static BenchCell num(std::string k, double v) {
+    BenchCell c;
+    c.kind = Kind::kNumber;
+    c.key = std::move(k);
+    c.number = v;
+    return c;
+  }
+  static BenchCell str(std::string k, std::string v) {
+    BenchCell c;
+    c.kind = Kind::kString;
+    c.key = std::move(k);
+    c.string = std::move(v);
+    return c;
+  }
+  static BenchCell flag(std::string k, bool v) {
+    BenchCell c;
+    c.kind = Kind::kBool;
+    c.key = std::move(k);
+    c.boolean = v;
+    return c;
+  }
+};
+
+using BenchRow = std::vector<BenchCell>;
+
+/// Serialize an "imbar.bench.v1" document.
+[[nodiscard]] std::string bench_json(const std::string& name,
+                                     const BenchRow& params,
+                                     std::span<const BenchRow> rows,
+                                     const PhaseLog* phases = nullptr);
+
+/// Rows for bench_json() from micro results (one row per kind).
+[[nodiscard]] std::vector<BenchRow> micro_rows(
+    std::span<const MicroResult> results);
+
+/// Structural validation of a parsed "imbar.bench.v1" document: schema
+/// string matches, name is a string, params is a flat object, rows is
+/// an array of flat objects (scalar cells only). Throws
+/// std::runtime_error describing the first violation; returns the row
+/// count.
+std::size_t validate_bench_json(const json::Value& doc);
+
+}  // namespace imbar::obs

@@ -1,0 +1,154 @@
+#include "obs/trace_export.hpp"
+
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace imbar::obs {
+
+namespace {
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void emit_metadata(JsonWriter& w, const std::string& name,
+                   std::size_t tid, const char* key,
+                   const std::string& value) {
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("ph", "M");
+  w.kv("pid", 0);
+  w.kv("tid", static_cast<std::uint64_t>(tid));
+  w.key("args").begin_object().kv(key, value).end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const EpisodeRecorder& recorder,
+                              const std::string& process_name) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  emit_metadata(w, "process_name", 0, "name", process_name);
+  for (std::size_t t = 0; t < recorder.threads(); ++t)
+    emit_metadata(w, "thread_name", t, "name",
+                  "barrier thread " + std::to_string(t));
+  for (std::size_t t = 0; t < recorder.threads(); ++t) {
+    for (const EpisodeRecord& r : recorder.snapshot(t)) {
+      w.begin_object();
+      w.kv("name", "episode " + std::to_string(r.episode));
+      w.kv("cat", "barrier");
+      w.kv("ph", "X");
+      w.kv("pid", 0);
+      w.kv("tid", static_cast<std::uint64_t>(t));
+      w.kv("ts", us(r.arrive_ns));
+      w.kv("dur", r.release_ns >= r.arrive_ns
+                      ? us(r.release_ns - r.arrive_ns)
+                      : 0.0);
+      w.key("args").begin_object().kv("episode", r.episode).end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_chrome_trace(const EpisodeRecorder& recorder,
+                        const std::string& path,
+                        const std::string& process_name) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  out << chrome_trace_json(recorder, process_name) << '\n';
+  if (!out)
+    throw std::runtime_error("write_chrome_trace: write failed for " + path);
+}
+
+std::size_t validate_chrome_trace(const json::Value& doc) {
+  if (!doc.is_object())
+    throw std::runtime_error("trace: document is not an object");
+  const json::Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array())
+    throw std::runtime_error("trace: missing traceEvents array");
+  std::size_t slices = 0;
+  std::map<double, double> last_ts;  // track key (pid*2^32+tid) -> last ts
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const json::Value& ev = events->array[i];
+    const std::string at = " at traceEvents[" + std::to_string(i) + "]";
+    if (!ev.is_object()) throw std::runtime_error("trace: non-object event" + at);
+    if (!ev.has_string("ph")) throw std::runtime_error("trace: missing ph" + at);
+    if (!ev.has_string("name"))
+      throw std::runtime_error("trace: missing name" + at);
+    if (ev.find("ph")->string != "X") continue;
+    for (const char* k : {"ts", "dur", "pid", "tid"})
+      if (!ev.has_number(k))
+        throw std::runtime_error(std::string("trace: X slice missing ") + k + at);
+    const double dur = ev.find("dur")->number;
+    if (dur < 0.0) throw std::runtime_error("trace: negative dur" + at);
+    const double ts = ev.find("ts")->number;
+    const double track =
+        ev.find("pid")->number * 4294967296.0 + ev.find("tid")->number;
+    const auto it = last_ts.find(track);
+    if (it != last_ts.end() && ts < it->second)
+      throw std::runtime_error("trace: slices out of ts order on track" + at);
+    last_ts[track] = ts;
+    ++slices;
+  }
+  return slices;
+}
+
+std::size_t write_episode_csv(const EpisodeRecorder& recorder,
+                              const std::string& path) {
+  CsvWriter csv(path, {"tid", "episode", "arrive_us", "release_us", "span_us"});
+  for (const auto& [tid, r] : recorder.snapshot_all()) {
+    const double span =
+        r.release_ns >= r.arrive_ns ? us(r.release_ns - r.arrive_ns) : 0.0;
+    csv.write_row_numeric({static_cast<double>(tid),
+                           static_cast<double>(r.episode), us(r.arrive_ns),
+                           us(r.release_ns), span});
+  }
+  return csv.rows_written();
+}
+
+void fold_recorder_metrics(const EpisodeRecorder& recorder,
+                           MetricsRegistry& registry,
+                           const std::string& prefix, double hist_hi_us) {
+  std::uint64_t recorded = 0, dropped = 0, aborted = 0;
+  for (std::size_t t = 0; t < recorder.threads(); ++t) {
+    recorded += recorder.recorded(t);
+    dropped += recorder.dropped(t);
+    aborted += recorder.aborted(t);
+    for (const EpisodeRecord& r : recorder.snapshot(t))
+      registry.observe(
+          prefix + ".episode_us",
+          r.release_ns >= r.arrive_ns ? us(r.release_ns - r.arrive_ns) : 0.0,
+          0.0, hist_hi_us);
+  }
+  registry.set_counter(prefix + ".recorded", recorded);
+  registry.set_counter(prefix + ".dropped", dropped);
+  registry.set_counter(prefix + ".aborted", aborted);
+}
+
+void record_sim_iteration(EpisodeRecorder& recorder,
+                          std::span<const double> signals_us,
+                          double release_us) {
+  if (signals_us.size() > recorder.threads())
+    throw std::invalid_argument(
+        "record_sim_iteration: more signals than recorder lanes");
+  for (std::size_t i = 0; i < signals_us.size(); ++i) {
+    if (signals_us[i] > release_us || signals_us[i] < 0.0)
+      throw std::invalid_argument(
+          "record_sim_iteration: arrival outside [0, release]");
+    recorder.record(i,
+                    static_cast<std::uint64_t>(signals_us[i] * 1000.0),
+                    static_cast<std::uint64_t>(release_us * 1000.0));
+  }
+}
+
+}  // namespace imbar::obs

@@ -1,0 +1,103 @@
+// Exporters: EpisodeRecorder -> Chrome trace-event JSON / CSV.
+//
+// The Chrome trace (catapult "trace events") format is what Perfetto
+// and chrome://tracing load directly: a {"traceEvents": [...]} document
+// with one complete slice (ph "X") per committed episode record, one
+// track per recording thread, and metadata events naming the process
+// and threads. Timestamps are microseconds (the format's native unit),
+// relative to the recorder's construction origin.
+//
+// Both exporters read the recorder quiescently — call them only after
+// the recording threads have joined.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/episode_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "sim/engine.hpp"
+
+namespace imbar::obs {
+
+/// Process name stamped into the trace metadata.
+inline constexpr const char* kTraceProcessName = "imbar";
+
+/// Serialize every retained episode record as a Chrome trace-event JSON
+/// document. `process_name` labels the single process track; threads
+/// appear as "barrier thread <tid>".
+[[nodiscard]] std::string chrome_trace_json(
+    const EpisodeRecorder& recorder,
+    const std::string& process_name = kTraceProcessName);
+
+/// chrome_trace_json() written to `path`. Throws std::runtime_error if
+/// the file cannot be written.
+void write_chrome_trace(const EpisodeRecorder& recorder,
+                        const std::string& path,
+                        const std::string& process_name = kTraceProcessName);
+
+/// Structural validation of a parsed Chrome trace document: top-level
+/// object with a "traceEvents" array; every event has string "ph" and
+/// "name"; every "X" slice has numeric ts/dur/pid/tid with dur >= 0 and
+/// slices per track are ordered by ts. Throws std::runtime_error
+/// describing the first violation. Returns the number of "X" slices.
+std::size_t validate_chrome_trace(const json::Value& doc);
+
+/// Write the retained records as CSV with columns
+///   tid,episode,arrive_us,release_us,span_us
+/// Returns the number of data rows written.
+std::size_t write_episode_csv(const EpisodeRecorder& recorder,
+                              const std::string& path);
+
+/// Fold quiescent recorder totals + per-episode spans into `registry`
+/// under a `prefix` (e.g. "central"): counters `<prefix>.recorded`,
+/// `<prefix>.dropped`, `<prefix>.aborted`; histogram
+/// `<prefix>.episode_us` over [0, hist_hi_us).
+void fold_recorder_metrics(const EpisodeRecorder& recorder,
+                           MetricsRegistry& registry,
+                           const std::string& prefix,
+                           double hist_hi_us = 10'000.0);
+
+// -- Simulation feeds ----------------------------------------------------
+//
+// The simulator produces the same shape of data as the real barriers
+// (per-processor arrival signals, a release time), so it exports
+// through the same recorder + serializer instead of a parallel path.
+
+/// Record one simulated barrier iteration: thread i's episode spans
+/// [signals_us[i], release_us]. Times are simulated microseconds
+/// (sim::Time); they land in the recorder as if they were wall-clock
+/// offsets from its origin, so the exporters need no special casing.
+/// Throws std::invalid_argument if the signal count exceeds the
+/// recorder's lanes or any span is negative.
+void record_sim_iteration(EpisodeRecorder& recorder,
+                          std::span<const double> signals_us,
+                          double release_us);
+
+/// sim::TraceSink that folds engine dispatches into a MetricsRegistry:
+/// counter `<prefix>.events` and histogram `<prefix>.dispatch_t_us` of
+/// dispatch timestamps — the same "imbar.metrics.v1" schema the real
+/// recorders export through.
+class MetricsTraceSink final : public sim::TraceSink {
+ public:
+  MetricsTraceSink(MetricsRegistry& registry, std::string prefix = "sim",
+                   double hist_hi_us = 100'000.0)
+      : registry_(registry),
+        events_key_(prefix + ".events"),
+        hist_key_(prefix + ".dispatch_t_us"),
+        hist_hi_us_(hist_hi_us) {}
+
+  void on_dispatch(sim::Time t, std::uint64_t /*seq*/) override {
+    registry_.add_counter(events_key_);
+    registry_.observe(hist_key_, t, 0.0, hist_hi_us_);
+  }
+
+ private:
+  MetricsRegistry& registry_;
+  std::string events_key_;
+  std::string hist_key_;
+  double hist_hi_us_;
+};
+
+}  // namespace imbar::obs

@@ -58,8 +58,9 @@ void RobustBarrier::rebuild_inner() {
     retired_.updates += c.updates;
     retired_.extra_comms += c.extra_comms;
     retired_.swaps += c.swaps;
+    retired_.overlapped += c.overlapped;
   }
-  inner_ = make_barrier(cfg);
+  inner_ = opts_.inner_factory ? opts_.inner_factory(cfg) : make_barrier(cfg);
 }
 
 BarrierStatus RobustBarrier::arrive_and_wait(std::size_t tid) {
@@ -197,6 +198,7 @@ BarrierCounters RobustBarrier::counters() const {
   c.updates += live.updates;
   c.extra_comms += live.extra_comms;
   c.swaps += live.swaps;
+  c.overlapped += live.overlapped;
   return c;
 }
 

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -61,6 +62,15 @@ struct RobustOptions {
   /// entry point). max() means unbounded: such a wait can still return
   /// kBroken when a peer breaks the barrier, but never kTimeout.
   std::chrono::nanoseconds default_timeout = std::chrono::nanoseconds::max();
+
+  /// How the decorator builds (and, on reset(), rebuilds) its inner
+  /// barrier. Defaults to make_barrier; supply a wrapper-producing
+  /// factory to compose other decorators underneath — e.g.
+  /// obs::instrumenting_inner_factory() so every rebuilt inner comes
+  /// out instrumented. The factory must honour the config it is given
+  /// (participants shrink across resets) and throw like make_barrier
+  /// for invalid configs.
+  std::function<std::unique_ptr<Barrier>(const BarrierConfig&)> inner_factory;
 };
 
 /// Snapshot taken by the breaker at the moment it broke the barrier:

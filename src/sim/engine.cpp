@@ -30,6 +30,7 @@ Time Engine::run() {
     now_ = ev.t;
     ++dispatched_;
     ++steps;
+    if (trace_sink_ != nullptr) trace_sink_->on_dispatch(ev.t, ev.seq);
     ev.action();
   }
   return now_;
@@ -51,6 +52,7 @@ Time Engine::run_until(Time t_stop) {
     now_ = ev.t;
     ++dispatched_;
     ++steps;
+    if (trace_sink_ != nullptr) trace_sink_->on_dispatch(ev.t, ev.seq);
     ev.action();
   }
   if (now_ < t_stop) now_ = t_stop;

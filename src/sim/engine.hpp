@@ -18,6 +18,17 @@ namespace imbar::sim {
 /// experiments use microseconds (t_c = 20 us).
 using Time = double;
 
+/// Optional observer of engine dispatches. The kernel stays ignorant of
+/// what events mean; a sink sees only (time, seq) and can correlate
+/// them with model-level knowledge (obs:: provides adapters that feed
+/// the same exporters the real-thread recorders use). Callbacks run
+/// inline on the dispatch path — keep them cheap and non-throwing.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_dispatch(Time t, std::uint64_t seq) = 0;
+};
+
 class Engine {
  public:
   using Action = std::function<void()>;
@@ -57,6 +68,11 @@ class Engine {
   /// Total events dispatched since construction (cost accounting).
   [[nodiscard]] std::uint64_t events_dispatched() const noexcept { return dispatched_; }
 
+  /// Install (or clear, with nullptr) a dispatch observer. Not owned;
+  /// the sink must outlive the engine or be cleared first.
+  void set_trace_sink(TraceSink* sink) noexcept { trace_sink_ = sink; }
+  [[nodiscard]] TraceSink* trace_sink() const noexcept { return trace_sink_; }
+
   /// Drop all pending events and reset the clock to zero.
   void reset();
 
@@ -80,6 +96,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t max_events_ = kDefaultMaxEvents;
+  TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace imbar::sim

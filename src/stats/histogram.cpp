@@ -41,6 +41,27 @@ double Histogram::fraction(std::size_t bin) const {
                   : 0.0;
 }
 
+double Histogram::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0))
+    throw std::invalid_argument("Histogram::quantile: q outside [0,1]");
+  if (total_ == 0) return lo_;
+  // Rank among all samples, counting underflow below the range and
+  // overflow above it.
+  const double rank = q * static_cast<double>(total_ - 1);
+  double cum = static_cast<double>(underflow_);
+  if (rank < cum) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto c = static_cast<double>(counts_[b]);
+    if (c > 0.0 && rank < cum + c) {
+      // Linear interpolation within the bin.
+      const double frac = (rank - cum + 0.5) / c;
+      return bin_lo(b) + width_ * std::min(frac, 1.0);
+    }
+    cum += c;
+  }
+  return hi_;  // rank fell in the overflow bucket
+}
+
 std::string Histogram::ascii(int max_bar) const {
   std::size_t peak = 1;
   for (auto c : counts_) peak = std::max(peak, c);

@@ -28,6 +28,12 @@ class Histogram {
   /// Render as rows of `lo..hi | #### count`.
   [[nodiscard]] std::string ascii(int max_bar = 50) const;
 
+  /// Approximate q-quantile (q in [0,1]) with linear interpolation
+  /// inside the containing bin. Underflow samples pin to `lo`, overflow
+  /// to `hi`; resolution is one bin width. Throws std::invalid_argument
+  /// for q outside [0,1]; returns lo for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   double lo_, hi_, width_;
   std::vector<std::size_t> counts_;

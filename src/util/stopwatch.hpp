@@ -1,7 +1,10 @@
-// Monotonic wall-clock stopwatch (microsecond resolution helpers).
+// Monotonic wall-clock stopwatch (microsecond resolution helpers),
+// plus scoped phase timing for the bench reporters.
 #pragma once
 
 #include <chrono>
+#include <string>
+#include <vector>
 
 namespace imbar {
 
@@ -20,6 +23,57 @@ class Stopwatch {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Accumulates named phase durations. Phases are recorded by
+/// ScopedPhaseTimer; nesting produces '/'-joined names ("run/warmup").
+/// Single-threaded by design — one log per bench binary.
+class PhaseLog {
+ public:
+  struct Phase {
+    std::string name;
+    double elapsed_s;
+  };
+
+  [[nodiscard]] const std::vector<Phase>& phases() const noexcept {
+    return entries_;
+  }
+
+ private:
+  friend class ScopedPhaseTimer;
+
+  std::vector<Phase> entries_;
+  std::vector<std::string> stack_;  // open phase names, outermost first
+};
+
+/// RAII phase timer: pushes its name onto the log's nesting stack on
+/// construction, records "<outer>/<inner>" with the elapsed monotonic
+/// time on destruction. Phases close in LIFO order (enforced by scope).
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(PhaseLog& log, std::string name) : log_(log) {
+    std::string full;
+    for (const std::string& outer : log_.stack_) {
+      full += outer;
+      full += '/';
+    }
+    full += name;
+    log_.stack_.push_back(std::move(name));
+    full_name_ = std::move(full);
+  }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+  ~ScopedPhaseTimer() {
+    log_.stack_.pop_back();
+    log_.entries_.push_back({std::move(full_name_), watch_.elapsed_s()});
+  }
+
+ private:
+  PhaseLog& log_;
+  std::string full_name_;
+  Stopwatch watch_;
 };
 
 }  // namespace imbar

@@ -2,10 +2,16 @@
 // contract properties (src/check/conformance.hpp), instantiated purely
 // from the factory — adding a kind to kAllBarrierKinds is the only step
 // needed to pull it through this whole suite.
+//
+// Each kind runs twice: plain, and wrapped in the observability
+// decorators (ConformanceOptions::instrument), so the instrumented
+// wrappers are held to the exact same contract as the barriers they
+// observe — again with no per-kind special-casing.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
+#include <tuple>
 
 #include "barrier/factory.hpp"
 #include "check/conformance.hpp"
@@ -14,17 +20,20 @@
 namespace imbar::check {
 namespace {
 
-class Conformance : public ::testing::TestWithParam<BarrierKind> {
+class Conformance
+    : public ::testing::TestWithParam<std::tuple<BarrierKind, bool>> {
  protected:
-  [[nodiscard]] BarrierKind kind() const { return GetParam(); }
+  [[nodiscard]] BarrierKind kind() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] bool instrumented() const { return std::get<1>(GetParam()); }
 
   [[nodiscard]] BarrierConfig config() const {
     return conformance_config(kind(), oversubscribed_participants());
   }
 
-  [[nodiscard]] static ConformanceOptions options() {
+  [[nodiscard]] ConformanceOptions options() const {
     ConformanceOptions opts;
     opts.epochs = 120;
+    opts.instrument = instrumented();
     return opts;
   }
 
@@ -77,11 +86,14 @@ TEST_P(Conformance, RandomizedConfigSweep) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllKinds, Conformance, ::testing::ValuesIn(kAllBarrierKinds),
-    [](const ::testing::TestParamInfo<BarrierKind>& info) {
-      std::string name = to_string(info.param);
+    AllKinds, Conformance,
+    ::testing::Combine(::testing::ValuesIn(kAllBarrierKinds),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<BarrierKind, bool>>& info) {
+      std::string name = to_string(std::get<0>(info.param));
       for (char& c : name)
         if (c == '-') c = '_';
+      if (std::get<1>(info.param)) name += "_instrumented";
       return name;
     });
 

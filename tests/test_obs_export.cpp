@@ -1,0 +1,311 @@
+// JSON writer/parser round trips, the exporter schemas (Chrome trace,
+// "imbar.metrics.v1", "imbar.bench.v1"), the sim trace sink, and golden
+// checks of the committed artifacts (BENCH_micro.json, trace sample).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/episode_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/micro_harness.hpp"
+#include "obs/trace_export.hpp"
+#include "sim/engine.hpp"
+#include "stats/histogram.hpp"
+#include "util/stopwatch.hpp"
+
+namespace imbar::obs {
+namespace {
+
+std::string temp_path(const std::string& leaf) {
+  return ::testing::TempDir() + leaf;
+}
+
+TEST(JsonWriter, NestsAndEscapes) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("name", "a\"b\\c\n\t")
+      .kv("n", std::uint64_t{42})
+      .kv("x", 1.5)
+      .kv("flag", true)
+      .key("list")
+      .begin_array()
+      .value(1)
+      .value("two")
+      .null()
+      .end_array()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"a\\\"b\\\\c\\n\\t\",\"n\":42,\"x\":1.5,"
+            "\"flag\":true,\"list\":[1,\"two\",null]}");
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  EXPECT_EQ(JsonWriter::escape(std::string("\x01")), "\\u0001");
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("s", "he\"llo")
+      .kv("neg", -2.25)
+      .key("arr")
+      .begin_array()
+      .value(false)
+      .value(std::int64_t{-7})
+      .end_array()
+      .end_object();
+
+  const json::Value v = json::parse(w.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->string, "he\"llo");
+  EXPECT_DOUBLE_EQ(v.find("neg")->number, -2.25);
+  const json::Value* arr = v.find("arr");
+  ASSERT_TRUE(arr != nullptr && arr->is_array());
+  ASSERT_EQ(arr->array.size(), 2u);
+  EXPECT_EQ(arr->array[0].type, json::Type::kBool);
+  EXPECT_FALSE(arr->array[0].boolean);
+  EXPECT_DOUBLE_EQ(arr->array[1].number, -7.0);
+}
+
+TEST(JsonParse, DecodesUnicodeEscapes) {
+  const json::Value v = json::parse("\"a\\u0041\\n\"");
+  EXPECT_EQ(v.string, "aA\n");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("tru"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("\"abc"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("1 2"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("{\"k\" 1}"), std::runtime_error);
+  EXPECT_THROW((void)json::parse(""), std::runtime_error);
+  EXPECT_THROW((void)json::parse_file("/nonexistent/imbar.json"),
+               std::runtime_error);
+}
+
+TEST(HistogramQuantile, InterpolatesInsideBins) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);  // one-bin resolution
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 10.0);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 10.0);
+  EXPECT_THROW((void)h.quantile(1.5), std::invalid_argument);
+
+  Histogram empty(0.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistry, SnapshotMatchesSchema) {
+  MetricsRegistry reg;
+  reg.add_counter("a.events");
+  reg.add_counter("a.events", 4);
+  reg.set_counter("b.total", 17);
+  for (int i = 0; i < 100; ++i)
+    reg.observe("a.latency_us", static_cast<double>(i), 0.0, 100.0);
+
+  EXPECT_EQ(reg.counter("a.events"), 5u);
+  EXPECT_EQ(reg.counter_count(), 2u);
+  EXPECT_EQ(reg.histogram_count(), 1u);
+
+  const json::Value v = json::parse(reg.snapshot_json());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("schema")->string, kMetricsSchema);
+  EXPECT_DOUBLE_EQ(v.find("counters")->find("a.events")->number, 5.0);
+  EXPECT_DOUBLE_EQ(v.find("counters")->find("b.total")->number, 17.0);
+  const json::Value* hist = v.find("histograms")->find("a.latency_us");
+  ASSERT_TRUE(hist != nullptr);
+  for (const char* k :
+       {"count", "mean", "stddev", "min", "max", "p50", "p90", "p99"})
+    EXPECT_TRUE(hist->has_number(k)) << k;
+  EXPECT_DOUBLE_EQ(hist->find("count")->number, 100.0);
+  EXPECT_NEAR(hist->find("mean")->number, 49.5, 1e-9);
+  EXPECT_NEAR(hist->find("p50")->number, 50.0, 2.0);
+
+  reg.reset();
+  EXPECT_EQ(reg.counter_count(), 0u);
+  EXPECT_EQ(reg.histogram_count(), 0u);
+}
+
+TEST(ChromeTrace, ExportValidatesAndCountsSlices) {
+  EpisodeRecorder rec(2);
+  rec.record(0, 1000, 2000);
+  rec.record(0, 3000, 3500);
+  rec.record(1, 1200, 2000);
+
+  const json::Value v = json::parse(chrome_trace_json(rec));
+  EXPECT_EQ(validate_chrome_trace(v), 3u);
+
+  // Metadata names the process and both thread tracks.
+  const json::Value* events = v.find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  EXPECT_EQ(events->array[0].find("name")->string, "process_name");
+  EXPECT_EQ(events->array[0].find("args")->find("name")->string,
+            kTraceProcessName);
+}
+
+TEST(ChromeTrace, ValidatorRejectsStructuralViolations) {
+  EXPECT_THROW((void)validate_chrome_trace(json::parse("{}")),
+               std::runtime_error);
+  EXPECT_THROW((void)validate_chrome_trace(json::parse("[1]")),
+               std::runtime_error);
+  // An X slice missing its duration.
+  const char* no_dur =
+      R"({"traceEvents":[{"name":"e","ph":"X","pid":0,"tid":0,"ts":1}]})";
+  EXPECT_THROW((void)validate_chrome_trace(json::parse(no_dur)),
+               std::runtime_error);
+  // Negative duration.
+  const char* neg = R"({"traceEvents":[
+      {"name":"e","ph":"X","pid":0,"tid":0,"ts":1,"dur":-2}]})";
+  EXPECT_THROW((void)validate_chrome_trace(json::parse(neg)),
+               std::runtime_error);
+  // Out-of-order slices on one track.
+  const char* unordered = R"({"traceEvents":[
+      {"name":"a","ph":"X","pid":0,"tid":0,"ts":10,"dur":1},
+      {"name":"b","ph":"X","pid":0,"tid":0,"ts":5,"dur":1}]})";
+  EXPECT_THROW((void)validate_chrome_trace(json::parse(unordered)),
+               std::runtime_error);
+}
+
+TEST(ChromeTrace, WritesFileAndCsv) {
+  EpisodeRecorder rec(1);
+  rec.record(0, 1000, 4000);
+  rec.record(0, 5000, 9000);
+
+  const std::string tpath = temp_path("imbar_trace.json");
+  write_chrome_trace(rec, tpath);
+  EXPECT_EQ(validate_chrome_trace(json::parse_file(tpath)), 2u);
+
+  const std::string cpath = temp_path("imbar_episodes.csv");
+  EXPECT_EQ(write_episode_csv(rec, cpath), 2u);
+  std::ifstream in(cpath);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "tid,episode,arrive_us,release_us,span_us");
+
+  std::remove(tpath.c_str());
+  std::remove(cpath.c_str());
+}
+
+TEST(RecorderMetrics, FoldsIntoRegistry) {
+  EpisodeRecorder rec(2, {.ring_capacity = 2});
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    rec.record(0, e * 1000, e * 1000 + 500);
+    rec.record(1, e * 1000, e * 1000 + 700);
+  }
+  rec.abort_episode(1);
+
+  MetricsRegistry reg;
+  fold_recorder_metrics(rec, reg, "central");
+  EXPECT_EQ(reg.counter("central.recorded"), 10u);
+  EXPECT_EQ(reg.counter("central.dropped"), 6u);
+  EXPECT_EQ(reg.counter("central.aborted"), 1u);
+  const json::Value v = json::parse(reg.snapshot_json());
+  EXPECT_TRUE(v.find("histograms")->find("central.episode_us") != nullptr);
+}
+
+TEST(SimFeed, RecordsIterationsAndValidatesInput) {
+  EpisodeRecorder rec(3);
+  const std::vector<double> signals = {10.0, 30.0, 20.0};
+  record_sim_iteration(rec, signals, 40.0);
+  EXPECT_EQ(rec.recorded(0), 1u);
+  EXPECT_EQ(rec.snapshot(1)[0].arrive_ns, 30'000u);   // 30 us
+  EXPECT_EQ(rec.snapshot(1)[0].release_ns, 40'000u);  // release 40 us
+
+  const std::vector<double> too_many = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(record_sim_iteration(rec, too_many, 10.0),
+               std::invalid_argument);
+  const std::vector<double> late = {50.0, 1.0, 2.0};  // after release
+  EXPECT_THROW(record_sim_iteration(rec, late, 40.0), std::invalid_argument);
+}
+
+TEST(SimFeed, EngineTraceSinkFoldsDispatches) {
+  MetricsRegistry reg;
+  MetricsTraceSink sink(reg, "sim");
+  sim::Engine eng;
+  eng.set_trace_sink(&sink);
+  eng.schedule(10.0, [] {});
+  eng.schedule(20.0, [&eng] { eng.schedule_in(5.0, [] {}); });
+  eng.run();
+
+  EXPECT_EQ(reg.counter("sim.events"), 3u);
+  const json::Value v = json::parse(reg.snapshot_json());
+  const json::Value* hist = v.find("histograms")->find("sim.dispatch_t_us");
+  ASSERT_TRUE(hist != nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->number, 3.0);
+  EXPECT_DOUBLE_EQ(hist->find("max")->number, 25.0);
+
+  eng.set_trace_sink(nullptr);
+  eng.schedule(30.0, [] {});
+  eng.run();
+  EXPECT_EQ(reg.counter("sim.events"), 3u);  // sink detached
+}
+
+TEST(BenchSchema, SerializesAndValidates) {
+  PhaseLog log;
+  {
+    ScopedPhaseTimer t(log, "sweep");
+  }
+  BenchRow params = {BenchCell::num("procs", 64.0),
+                     BenchCell::str("mode", "smoke"),
+                     BenchCell::flag("full", true)};
+  std::vector<BenchRow> rows;
+  rows.push_back({BenchCell::num("degree", 2.0), BenchCell::num("us", 1.5)});
+  rows.push_back({BenchCell::num("degree", 4.0), BenchCell::num("us", 1.0)});
+
+  const std::string doc = bench_json("fig_test", params, rows, &log);
+  const json::Value v = json::parse(doc);
+  EXPECT_EQ(validate_bench_json(v), 2u);
+  EXPECT_EQ(v.find("schema")->string, kBenchSchema);
+  EXPECT_EQ(v.find("name")->string, "fig_test");
+  EXPECT_DOUBLE_EQ(v.find("params")->find("procs")->number, 64.0);
+  EXPECT_EQ(v.find("params")->find("mode")->string, "smoke");
+  EXPECT_TRUE(v.find("params")->find("full")->boolean);
+  EXPECT_EQ(v.find("phases")->array.size(), 1u);
+  EXPECT_EQ(v.find("phases")->array[0].find("name")->string, "sweep");
+}
+
+TEST(BenchSchema, ValidatorRejectsViolations) {
+  EXPECT_THROW((void)validate_bench_json(json::parse("{}")),
+               std::runtime_error);
+  const char* wrong_schema =
+      R"({"schema":"other.v9","name":"x","params":{},"rows":[]})";
+  EXPECT_THROW((void)validate_bench_json(json::parse(wrong_schema)),
+               std::runtime_error);
+  // Rows must stay flat: nested objects are not part of the schema.
+  const char* nested = R"({"schema":"imbar.bench.v1","name":"x",
+      "params":{},"rows":[{"cell":{"deep":1}}]})";
+  EXPECT_THROW((void)validate_bench_json(json::parse(nested)),
+               std::runtime_error);
+}
+
+// Golden checks: the committed artifacts must stay loadable and
+// schema-clean, so downstream tooling (plot_figures.py, Perfetto) can
+// rely on them.
+TEST(Golden, CommittedBenchSampleIsValid) {
+  const json::Value v = json::parse_file(IMBAR_REPO_ROOT "/BENCH_micro.json");
+  EXPECT_EQ(validate_bench_json(v), 9u);  // one row per barrier kind
+  EXPECT_EQ(v.find("name")->string, "micro_real_barriers");
+  for (const json::Value& row : v.find("rows")->array) {
+    EXPECT_TRUE(row.has_string("kind"));
+    for (const char* k : {"episodes_per_sec", "mean_us", "p50_us", "p99_us",
+                          "sigma_us", "sigma_tc", "overlapped", "recorded",
+                          "dropped"})
+      EXPECT_TRUE(row.has_number(k)) << k;
+  }
+}
+
+TEST(Golden, CommittedTraceSampleIsValid) {
+  const json::Value v =
+      json::parse_file(IMBAR_TEST_DATA_DIR "/trace_sample.json");
+  EXPECT_GT(validate_chrome_trace(v), 0u);
+}
+
+}  // namespace
+}  // namespace imbar::obs

@@ -1,0 +1,77 @@
+// Instrumentation overhead smoke: for every barrier kind, an
+// instrumented episode loop must complete, account for every episode,
+// and stay within a (deliberately generous) multiple of the plain
+// barrier's wall time — the recorder's hot path is two steady_clock
+// reads and a ring store, so anything near the bound signals a
+// regression like accidental locking or allocation in record().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "obs/instrumented_barrier.hpp"
+#include "util/stopwatch.hpp"
+
+namespace imbar::obs {
+namespace {
+
+constexpr std::size_t kThreads = 2;
+constexpr std::size_t kEpisodes = 400;
+
+double episode_loop(Barrier& bar) {
+  Stopwatch sw;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    workers.emplace_back([&bar, t] {
+      for (std::size_t e = 0; e < kEpisodes; ++e) bar.arrive_and_wait(t);
+    });
+  for (auto& w : workers) w.join();
+  return sw.elapsed_s();
+}
+
+class Overhead : public ::testing::TestWithParam<BarrierKind> {};
+
+TEST_P(Overhead, InstrumentedLoopStaysCheap) {
+  BarrierConfig cfg;
+  cfg.kind = GetParam();
+  cfg.participants = kThreads;
+  cfg.degree = 2;
+
+  // Plain baseline: best of 3 runs to damp scheduler noise (this host
+  // may be a single core, so individual runs jitter hard).
+  double plain_s = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto plain = make_barrier(cfg);
+    plain_s = std::min(plain_s, episode_loop(*plain));
+  }
+
+  double inst_s = 1e9;
+  auto inst = make_instrumented(cfg);
+  for (int rep = 0; rep < 3; ++rep)
+    inst_s = std::min(inst_s, episode_loop(*inst));
+
+  // Exact accounting: every episode of every rep recorded, none lost.
+  const InstrumentedSnapshot snap = inst->snapshot();
+  EXPECT_EQ(snap.recorded, 3 * kThreads * kEpisodes);
+  EXPECT_EQ(snap.aborted, 0u);
+  EXPECT_EQ(snap.counters.episodes, 3 * kEpisodes);
+
+  // Generous: 20x + 50ms absorbs CI noise while still catching a
+  // recorder that starts locking or allocating per episode.
+  EXPECT_LT(inst_s, 20.0 * plain_s + 0.05)
+      << "plain " << plain_s << " s vs instrumented " << inst_s << " s";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, Overhead, ::testing::ValuesIn(kAllBarrierKinds),
+    [](const ::testing::TestParamInfo<BarrierKind>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace imbar::obs

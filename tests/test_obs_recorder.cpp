@@ -1,0 +1,290 @@
+// EpisodeRecorder ring semantics, ArrivalSpreadEstimator numerics
+// (against dist/ ground truth), the fuzzy `overlapped` counter, and the
+// instrumented decorator's bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "dist/samplers.hpp"
+#include "obs/arrival_spread.hpp"
+#include "obs/episode_recorder.hpp"
+#include "obs/instrumented_barrier.hpp"
+#include "obs/micro_harness.hpp"
+#include "stats/summary.hpp"
+#include "util/prng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace imbar::obs {
+namespace {
+
+TEST(EpisodeRecorder, RecordsAndSnapshotsInOrder) {
+  EpisodeRecorder rec(2, {.ring_capacity = 16});
+  rec.record(0, 10, 20);
+  rec.record(0, 30, 45);
+  rec.record(1, 5, 50);
+
+  EXPECT_EQ(rec.threads(), 2u);
+  EXPECT_EQ(rec.recorded(0), 2u);
+  EXPECT_EQ(rec.recorded(1), 1u);
+  EXPECT_EQ(rec.dropped(0), 0u);
+
+  const auto lane0 = rec.snapshot(0);
+  ASSERT_EQ(lane0.size(), 2u);
+  EXPECT_EQ(lane0[0].episode, 0u);
+  EXPECT_EQ(lane0[0].arrive_ns, 10u);
+  EXPECT_EQ(lane0[0].release_ns, 20u);
+  EXPECT_EQ(lane0[1].episode, 1u);
+
+  const auto all = rec.snapshot_all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].tid, 0u);
+  EXPECT_EQ(all[2].tid, 1u);
+  EXPECT_EQ(all[2].record.release_ns, 50u);
+}
+
+TEST(EpisodeRecorder, RingWrapsAndCountsDrops) {
+  constexpr std::size_t kCap = 8;
+  EpisodeRecorder rec(1, {.ring_capacity = kCap});
+  for (std::uint64_t e = 0; e < 20; ++e) rec.record(0, e * 10, e * 10 + 5);
+
+  EXPECT_EQ(rec.recorded(0), 20u);
+  EXPECT_EQ(rec.dropped(0), 20u - kCap);
+
+  // The retained window is the newest kCap episodes, oldest first.
+  const auto snap = rec.snapshot(0);
+  ASSERT_EQ(snap.size(), kCap);
+  for (std::size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(snap[i].episode, 20 - kCap + i);
+    EXPECT_EQ(snap[i].arrive_ns, snap[i].episode * 10);
+  }
+}
+
+TEST(EpisodeRecorder, BeginEndStampsMonotonically) {
+  EpisodeRecorder rec(1);
+  rec.begin_episode(0);
+  rec.end_episode(0);
+  const auto snap = rec.snapshot(0);
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_LE(snap[0].arrive_ns, snap[0].release_ns);
+}
+
+TEST(EpisodeRecorder, AbortCountsWithoutCommitting) {
+  EpisodeRecorder rec(2);
+  rec.abort_episode(0);
+  rec.abort_episode(0);
+  EXPECT_EQ(rec.aborted(0), 2u);
+  EXPECT_EQ(rec.aborted(1), 0u);
+  EXPECT_EQ(rec.recorded(0), 0u);
+  EXPECT_TRUE(rec.snapshot(0).empty());
+}
+
+TEST(EpisodeRecorder, LastCommonEpisodeArrivals) {
+  EpisodeRecorder rec(2, {.ring_capacity = 4});
+  rec.record(0, 1000, 2000);
+  rec.record(0, 3000, 4000);
+  rec.record(1, 1500, 2000);
+
+  // Episode 0 is the newest ordinal present in both lanes.
+  const auto arrivals = rec.last_common_episode_arrivals_us();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 1.0);  // 1000 ns
+  EXPECT_DOUBLE_EQ(arrivals[1], 1.5);
+
+  EpisodeRecorder empty_lane(2);
+  empty_lane.record(0, 10, 20);
+  EXPECT_TRUE(empty_lane.last_common_episode_arrivals_us().empty());
+}
+
+TEST(ArrivalSpread, KnownVectorNumerics) {
+  ArrivalSpreadEstimator est(20.0);
+  const std::vector<double> arrivals = {0.0, 10.0, 20.0};
+  const double sigma = est.observe_episode(arrivals);
+
+  EXPECT_DOUBLE_EQ(sigma, 10.0);  // sample stddev of {0,10,20}
+  EXPECT_DOUBLE_EQ(est.last_sigma_us(), 10.0);
+  EXPECT_DOUBLE_EQ(est.last_sigma_tc(), 0.5);
+  EXPECT_DOUBLE_EQ(est.last_spread_us(), 20.0);
+  EXPECT_EQ(est.last_straggler(), 2u);
+  EXPECT_EQ(est.episodes(), 1u);
+}
+
+TEST(ArrivalSpread, RankCorrelationTracksPersistence) {
+  ArrivalSpreadEstimator est;
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {4.0, 3.0, 2.0, 1.0};
+
+  est.observe_episode(a);
+  EXPECT_DOUBLE_EQ(est.rank_correlation_lag1(), 0.0);  // needs two episodes
+  est.observe_episode(a);
+  EXPECT_DOUBLE_EQ(est.rank_correlation_lag1(), 1.0);  // identical order
+
+  est.reset();
+  est.observe_episode(a);
+  est.observe_episode(b);
+  EXPECT_DOUBLE_EQ(est.rank_correlation_lag1(), -1.0);  // reversed order
+}
+
+TEST(ArrivalSpread, SizeChangeResetsSeries) {
+  ArrivalSpreadEstimator est;
+  est.observe_episode(std::vector<double>{1.0, 5.0, 2.0});
+  ASSERT_EQ(est.straggler_counts().size(), 3u);
+  EXPECT_EQ(est.straggler_counts()[1], 1u);
+
+  est.observe_episode(std::vector<double>{1.0, 2.0, 3.0, 9.0});
+  EXPECT_EQ(est.straggler_counts().size(), 4u);
+  EXPECT_EQ(est.straggler_counts()[3], 1u);
+  EXPECT_DOUBLE_EQ(est.rank_correlation_lag1(), 0.0);  // series restarted
+}
+
+// Ground truth from dist/: per-episode sigma must match stddev_of()
+// exactly, and the running mean over many normal episodes must land
+// near the generating sigma.
+TEST(ArrivalSpread, MatchesSampledNormalGroundTruth) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kEpisodes = 400;
+  constexpr double kSigma = 50.0;
+
+  NormalSampler sampler(1000.0, kSigma);
+  Xoshiro256 rng(0xA11CE5ULL);
+  ArrivalSpreadEstimator est(20.0);
+
+  std::vector<double> arrivals(kThreads);
+  for (std::size_t e = 0; e < kEpisodes; ++e) {
+    for (double& a : arrivals) a = sampler.sample(rng);
+    const double sigma = est.observe_episode(arrivals);
+    EXPECT_NEAR(sigma, stddev_of(arrivals), 1e-9);
+  }
+
+  EXPECT_EQ(est.episodes(), kEpisodes);
+  // Sample sigma of n=8 normal draws is biased slightly low and noisy;
+  // 15% absorbs both over 400 episodes.
+  EXPECT_NEAR(est.mean_sigma_us(), kSigma, 0.15 * kSigma);
+  EXPECT_NEAR(est.mean_sigma_tc(), kSigma / 20.0, 0.15 * kSigma / 20.0);
+  // iid draws: arrival order does not persist across episodes.
+  EXPECT_LT(std::abs(est.rank_correlation_lag1()), 0.1);
+}
+
+// Deterministic single-caller schedule through the split-phase
+// interface: tid 1 arrives last (so it is the releaser), tid 0's wait
+// finds the episode already over without ever blocking -> exactly one
+// overlapped phase.
+TEST(Overlapped, CountsNonBlockingNonReleaserPhases) {
+  for (const BarrierKind kind : kAllBarrierKinds) {
+    if (!barrier_kind_splits(kind)) continue;
+    BarrierConfig cfg;
+    cfg.kind = kind;
+    cfg.participants = 2;
+    cfg.degree = 2;
+    auto fb = make_fuzzy_barrier(cfg);
+
+    fb->arrive(0);
+    fb->arrive(1);  // last arriver: releases the episode
+    fb->wait(1);    // releaser, never overlapped
+    fb->wait(0);    // episode already over, tid 0 never blocked
+    EXPECT_EQ(fb->counters().overlapped, 1u) << to_string(kind);
+
+    // A second, fully serialized episode in the same order.
+    fb->arrive(0);
+    fb->arrive(1);
+    fb->wait(1);
+    fb->wait(0);
+    EXPECT_EQ(fb->counters().overlapped, 2u) << to_string(kind);
+  }
+}
+
+TEST(Instrumented, SnapshotAggregatesRecorderAndCounters) {
+  BarrierConfig cfg;
+  cfg.kind = BarrierKind::kSenseReversing;
+  cfg.participants = 2;
+  auto bar = make_instrumented(cfg, {.recorder = {.ring_capacity = 4}});
+
+  constexpr std::size_t kEpisodes = 10;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 2; ++t)
+    workers.emplace_back([&bar, t] {
+      for (std::size_t e = 0; e < kEpisodes; ++e) bar->arrive_and_wait(t);
+    });
+  for (auto& w : workers) w.join();
+
+  const InstrumentedSnapshot snap = bar->snapshot();
+  EXPECT_EQ(snap.counters.episodes, kEpisodes);
+  EXPECT_EQ(snap.recorded, 2 * kEpisodes);
+  EXPECT_EQ(snap.dropped, 2 * (kEpisodes - 4));  // ring_capacity 4
+  EXPECT_EQ(snap.aborted, 0u);
+
+  // Every retained record is a sane span.
+  for (const auto& owned : bar->recorder().snapshot_all())
+    EXPECT_LE(owned.record.arrive_ns, owned.record.release_ns);
+}
+
+TEST(Instrumented, FuzzySplitPhasesRecord) {
+  BarrierConfig cfg;
+  cfg.kind = BarrierKind::kCentral;
+  cfg.participants = 2;
+  auto fb = make_instrumented_fuzzy(cfg);
+
+  fb->arrive(0);
+  fb->arrive(1);
+  fb->wait(1);
+  fb->wait(0);
+
+  const InstrumentedSnapshot snap = fb->snapshot();
+  EXPECT_EQ(snap.recorded, 2u);
+  EXPECT_EQ(snap.counters.overlapped, 1u);
+}
+
+TEST(Instrumented, FactoryRejectsLikePlainFactory) {
+  BarrierConfig bad;
+  bad.kind = BarrierKind::kCentral;
+  bad.participants = 0;
+  EXPECT_THROW((void)make_instrumented(bad), std::invalid_argument);
+
+  BarrierConfig non_split;
+  non_split.kind = BarrierKind::kDissemination;
+  non_split.participants = 2;
+  EXPECT_THROW((void)make_instrumented_fuzzy(non_split),
+               std::invalid_argument);
+}
+
+TEST(MicroHarness, RunsOneKindAndDerivesTelemetry) {
+  MicroOptions mo;
+  mo.threads = 2;
+  mo.episodes = 64;
+  mo.ring_capacity = 32;  // force drops so the field is exercised
+  const MicroResult r = run_micro_kind(BarrierKind::kCentral, mo);
+
+  EXPECT_EQ(r.kind, to_string(BarrierKind::kCentral));
+  EXPECT_EQ(r.threads, 2u);
+  EXPECT_EQ(r.episodes, 64u);
+  EXPECT_EQ(r.recorded, 2u * 64u);
+  EXPECT_EQ(r.dropped, 2u * (64u - 32u));
+  EXPECT_GT(r.episodes_per_sec, 0.0);
+  EXPECT_GT(r.mean_us, 0.0);
+  EXPECT_LE(r.p50_us, r.p99_us);
+  EXPECT_GE(r.sigma_us, 0.0);
+  EXPECT_DOUBLE_EQ(r.sigma_tc, r.sigma_us / mo.t_c_us);
+}
+
+TEST(PhaseLog, ScopedTimersNestWithSlashNames) {
+  PhaseLog log;
+  {
+    ScopedPhaseTimer outer(log, "outer");
+    { ScopedPhaseTimer inner(log, "inner"); }
+    { ScopedPhaseTimer inner2(log, "inner2"); }
+  }
+  ASSERT_EQ(log.phases().size(), 3u);
+  EXPECT_EQ(log.phases()[0].name, "outer/inner");
+  EXPECT_EQ(log.phases()[1].name, "outer/inner2");
+  EXPECT_EQ(log.phases()[2].name, "outer");
+  for (const auto& p : log.phases()) EXPECT_GE(p.elapsed_s, 0.0);
+  // The outer phase wholly contains both inner phases.
+  EXPECT_GE(log.phases()[2].elapsed_s,
+            log.phases()[0].elapsed_s + log.phases()[1].elapsed_s);
+}
+
+}  // namespace
+}  // namespace imbar::obs

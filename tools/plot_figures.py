@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Plot the reproduced figures from the bench binaries' CSV output.
+"""Plot the reproduced figures from the bench binaries' machine output.
 
 The bench binaries print paper-shaped ASCII tables by default; the ones
-with a machine-readable mode take --csv=<path>:
+with machine-readable modes take --csv=<path> or --json=<path> (the
+"imbar.bench.v1" telemetry documents — see docs/observability.md):
 
     build/bench/fig03_optimal_degree --csv=fig03.csv
     build/bench/fig08_dynamic_placement --csv=fig08.csv
-    python3 tools/plot_figures.py fig03.csv fig08.csv -o plots/
+    build/bench/micro_real_barriers --json=BENCH_micro.json
+    python3 tools/plot_figures.py fig03.csv fig08.csv BENCH_micro.json -o plots/
 
 Requires matplotlib. Kept dependency-free otherwise so it runs in any
 venv: `pip install matplotlib`.
@@ -14,8 +16,11 @@ venv: `pip install matplotlib`.
 
 import argparse
 import csv
+import json
 import os
 import sys
+
+BENCH_SCHEMA = "imbar.bench.v1"
 
 
 def read_csv(path):
@@ -24,6 +29,18 @@ def read_csv(path):
     if not rows:
         raise SystemExit(f"{path}: empty CSV")
     return rows
+
+
+def read_bench_json(path):
+    """Load an "imbar.bench.v1" document -> (name, rows-as-dicts)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise SystemExit(f"{path}: schema is not {BENCH_SCHEMA}")
+    rows = doc.get("rows", [])
+    if not rows:
+        raise SystemExit(f"{path}: no rows")
+    return doc.get("name", ""), rows
 
 
 def plot_fig03(rows, outdir, plt):
@@ -85,6 +102,29 @@ def plot_fig08(rows, outdir, plt):
     print(f"wrote {out}")
 
 
+def plot_micro(rows, outdir, plt):
+    """Per-kind episode throughput and latency from micro_real_barriers."""
+    kinds = [r["kind"] for r in rows]
+    xs = range(len(kinds))
+
+    fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(11, 4))
+    ax1.bar(xs, [float(r["episodes_per_sec"]) for r in rows], color="#4878d0")
+    ax1.set_ylabel("episodes / s")
+    ax2.plot(xs, [float(r["p50_us"]) for r in rows], marker="o", label="p50")
+    ax2.plot(xs, [float(r["p99_us"]) for r in rows], marker="s", label="p99")
+    ax2.set_ylabel("episode latency (us)")
+    ax2.legend()
+    for ax in (ax1, ax2):
+        ax.set_xticks(list(xs))
+        ax.set_xticklabels(kinds, rotation=45, ha="right")
+        ax.grid(True, alpha=0.3)
+    fig.suptitle("Real-thread barrier micro-benchmark, per kind")
+    fig.tight_layout()
+    out = os.path.join(outdir, "micro.png")
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+
+
 DISPATCH = {
     frozenset(["procs", "sigma_tc", "opt_degree", "opt_delay_us",
                "delay_at_4_us", "speedup_vs_4"]): plot_fig03,
@@ -92,10 +132,18 @@ DISPATCH = {
                "comm_overhead"]): plot_fig08,
 }
 
+# "imbar.bench.v1" documents carry the bench name, so JSON routes by
+# name first, then falls back to the column-set dispatch above (bench
+# rows that mirror a CSV layout reuse the same plotter).
+JSON_DISPATCH = {
+    "micro_real_barriers": plot_micro,
+}
+
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("csvs", nargs="+", help="CSV files from the benches")
+    ap.add_argument("inputs", nargs="+",
+                    help="CSV or imbar.bench.v1 JSON files from the benches")
     ap.add_argument("-o", "--outdir", default=".", help="output directory")
     args = ap.parse_args()
 
@@ -107,13 +155,19 @@ def main():
         raise SystemExit("matplotlib is required: pip install matplotlib")
 
     os.makedirs(args.outdir, exist_ok=True)
-    for path in args.csvs:
-        rows = read_csv(path)
-        cols = frozenset(rows[0].keys())
-        fn = DISPATCH.get(cols)
+    for path in args.inputs:
+        if path.endswith(".json"):
+            name, rows = read_bench_json(path)
+            fn = JSON_DISPATCH.get(name)
+        else:
+            name, rows = "", read_csv(path)
+            fn = None
         if fn is None:
-            print(f"{path}: unrecognized column set {sorted(cols)}",
-                  file=sys.stderr)
+            cols = frozenset(rows[0].keys())
+            fn = DISPATCH.get(cols)
+        if fn is None:
+            print(f"{path}: unrecognized bench '{name}' / column set "
+                  f"{sorted(rows[0].keys())}", file=sys.stderr)
             continue
         fn(rows, args.outdir, plt)
 
