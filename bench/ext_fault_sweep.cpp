@@ -5,39 +5,46 @@
 // fault intensity grows. Not in the paper — it probes how the dynamic
 // placement story degrades when the load imbalance is adversarial
 // (faulty) rather than statistical.
+//
+// Each cell's (plan, generator) seeds are derived through
+// exec::ShardedSeeder keyed by the cell's straggler probability, so any
+// row reproduces exactly when re-run in isolation (e.g. with
+// --straggler-probs=0.05 alone) and --threads=N sharding cannot change
+// the output.
 #include <cstdio>
 
 #include <memory>
 
 #include "bench_common.hpp"
-#include "robust/fault_plan.hpp"
-#include "robust/fault_sim.hpp"
+#include "robust/fault_sweep.hpp"
 #include "util/csv.hpp"
-#include "workload/arrival.hpp"
 
 using namespace imbar;
 using namespace imbar::bench;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const auto procs = static_cast<std::size_t>(cli.get_int("procs", 256));
-  const double sigma = cli.get_double("sigma-us", 250.0);
-  const double mean = cli.get_double("mean-us", 10000.0);
-  const auto iters = static_cast<std::size_t>(cli.get_int("iterations", 200));
-  const auto degree = static_cast<std::size_t>(cli.get_int("degree", 4));
-  const auto deaths = static_cast<std::size_t>(cli.get_int("deaths", 3));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  robust::FaultSweepOptions opts;
+  opts.procs = static_cast<std::size_t>(cli.get_int("procs", 256));
+  opts.sigma_us = cli.get_double("sigma-us", 250.0);
+  opts.mean_us = cli.get_double("mean-us", 10000.0);
+  opts.iterations = static_cast<std::size_t>(cli.get_int("iterations", 200));
+  opts.degree = static_cast<std::size_t>(cli.get_int("degree", 4));
+  opts.deaths = static_cast<std::size_t>(cli.get_int("deaths", 3));
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const auto straggler_probs =
       cli.get_double_list("straggler-probs", {0.0, 0.01, 0.05, 0.2});
+  exec::Executor ex;
+  ex.threads = static_cast<std::size_t>(cli.get_int("threads", 1));
 
   Stopwatch sw;
   print_header(
       "Extension: fault-injected dynamic placement",
       "deterministic FaultPlan replayed against the Figure 8 simulator",
-      "p=" + std::to_string(procs) + ", sigma=" + Table::fmt(sigma, 0) +
-          " us, degree=" + std::to_string(degree) + ", " +
-          std::to_string(deaths) + " deaths, " + std::to_string(iters) +
-          " iterations");
+      "p=" + std::to_string(opts.procs) + ", sigma=" +
+          Table::fmt(opts.sigma_us, 0) + " us, degree=" +
+          std::to_string(opts.degree) + ", " + std::to_string(opts.deaths) +
+          " deaths, " + std::to_string(opts.iterations) + " iterations");
 
   std::unique_ptr<CsvWriter> csv;
   if (cli.has("csv"))
@@ -47,51 +54,33 @@ int main(int argc, char** argv) {
                                  "survivors", "mean_sync_delay_us",
                                  "comms_per_episode"});
 
+  const auto cells = robust::run_fault_sweep(opts, straggler_probs, ex);
+
   Table table({"straggler prob", "completed", "broken", "survivors",
                "sync delay (us)", "comms/episode"});
-  for (double prob : straggler_probs) {
-    robust::FaultSpec spec;
-    spec.straggler_prob = prob;
-    spec.straggler_mean_us = 4.0 * sigma;  // stragglers dwarf natural jitter
-    spec.lost_wakeup_prob = prob / 2.0;
-    spec.lost_wakeup_mean_us = sigma;
-    spec.deaths = deaths;
-    spec.death_after = iters / 4;
-    const robust::FaultPlan plan =
-        robust::FaultPlan::make(seed, procs, iters, spec);
-
-    SystemicGenerator gen(procs, mean, sigma, sigma / 5.0, 888);
-    robust::FaultSimOptions opts;
-    opts.degree = degree;
-    opts.tree = simb::TreeKind::kMcs;
-    opts.sim.placement = simb::Placement::kDynamic;
-    opts.iterations = iters;
-    const robust::FaultSimResult r = robust::run_faulty_sim(gen, plan, opts);
-
-    const double comms_per_ep =
-        r.completed_iterations == 0
-            ? 0.0
-            : static_cast<double>(r.total_comms) /
-                  static_cast<double>(r.completed_iterations);
+  for (const auto& cell : cells) {
+    const auto& r = cell.result;
     table.row()
-        .num(prob, 2)
+        .num(cell.straggler_prob, 2)
         .num(static_cast<double>(r.completed_iterations), 0)
         .num(static_cast<double>(r.broken_episodes), 0)
         .num(static_cast<double>(r.survivors), 0)
         .num(r.mean_sync_delay, 1)
-        .num(comms_per_ep, 1);
+        .num(cell.comms_per_episode, 1);
     if (csv)
-      csv->write_row_numeric({prob,
+      csv->write_row_numeric({cell.straggler_prob,
                               static_cast<double>(r.completed_iterations),
                               static_cast<double>(r.broken_episodes),
                               static_cast<double>(r.survivors),
-                              r.mean_sync_delay, comms_per_ep});
+                              r.mean_sync_delay, cell.comms_per_episode});
   }
   std::printf("%s\n", table.str().c_str());
   print_footer(sw,
-               "every row is exactly reproducible for a fixed seed: deaths "
-               "abort their episode and shrink the tree (mirroring "
-               "RobustBarrier::reset()), while stragglers and lost wakeups "
-               "stretch the sync delay without breaking the barrier.");
+               "every row is exactly reproducible for a fixed seed — even "
+               "re-run in isolation, since cell seeds are keyed by the "
+               "straggler probability itself: deaths abort their episode and "
+               "shrink the tree (mirroring RobustBarrier::reset()), while "
+               "stragglers and lost wakeups stretch the sync delay without "
+               "breaking the barrier.");
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const double t_c = cli.get_double("tc", kTc);
   const auto trials = static_cast<std::size_t>(cli.get_int("trials", 40));
   const auto degrees = cli.get_int_list("degrees", {2, 4, 8, 16, 32, 64});
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 1));
 
   Stopwatch sw;
   print_header("Figure 2: sync delay vs tree degree, simulated vs analytic",
@@ -34,15 +35,17 @@ int main(int argc, char** argv) {
   opts.sigma = sigma_tc * t_c;
   opts.t_c = t_c;
   opts.trials = trials;
+  opts.exec.threads = threads;  // trials shard per degree; bit-identical
 
   JsonReporter rep("fig02_delay_vs_degree");
   rep.param("procs", static_cast<double>(procs))
       .param("sigma_tc", sigma_tc)
       .param("t_c_us", t_c)
-      .param("trials", static_cast<double>(trials));
+      .param("trials", static_cast<double>(trials))
+      .param("threads", static_cast<double>(opts.exec.workers()));
 
   const auto arrivals =
-      simb::draw_arrival_sets(procs, opts.sigma, trials, opts.seed);
+      simb::draw_arrival_sets(procs, opts.sigma, trials, opts.seed, opts.exec);
 
   Table table({"degree", "depth", "sim delay (us)", "update (us)",
                "contention (us)", "analytic (us)"});

@@ -6,13 +6,22 @@
 // p = 64 at sigma = 25 t_c prefers a single central counter; speedups
 // range from ~1.3 (degree 8) to ~3-4 at the widest imbalance; abstract:
 // optimum grows to 128+ in a 4K system.
+//
+// --threads=N shards the (degree x trial) grid over an exec::TaskPool
+// (0 = one worker per core, 1 = serial); output is bit-identical for
+// every setting (tests/test_exec_determinism.cpp). --metrics[=PATH]
+// dumps the pool's "exec.v1.*" utilization snapshot.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include <fstream>
 #include <memory>
 
 #include "bench_common.hpp"
+#include "exec/task_pool.hpp"
+#include "obs/exec_metrics.hpp"
+#include "obs/metrics_registry.hpp"
 #include "simbarrier/sweep.hpp"
 #include "util/csv.hpp"
 
@@ -25,15 +34,27 @@ int main(int argc, char** argv) {
   const auto procs_list = cli.get_int_list("procs", {64, 256, 4096});
   const auto sigmas_tc =
       cli.get_double_list("sigmas-tc", {0.0, 1.5625, 6.25, 25.0, 100.0, 400.0});
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 1));
 
   Stopwatch sw;
   print_header("Figure 3: simulated optimal degree (speedup vs degree 4)",
                "Eichenberger & Abraham, ICPP'95, Figure 3",
-               "exhaustive degree sweep, t_c=" + Table::fmt(t_c, 0) + " us");
+               "exhaustive degree sweep, t_c=" + Table::fmt(t_c, 0) +
+                   " us, threads=" + std::to_string(threads) +
+                   (threads == 0 ? " (all cores)" : ""));
+
+  // One pool for the whole grid so the utilization counters aggregate
+  // across every cell; opts.exec borrows it per sweep call.
+  exec::TaskPool pool(threads == 1 ? 1 : threads);
+  obs::MetricsRegistry metrics;
+  obs::attach_exec_observer(pool, metrics);
 
   std::vector<std::string> headers{"procs"};
   for (double s : sigmas_tc) headers.push_back("s=" + Table::fmt(s, 2) + "tc");
   Table table(headers);
+
+  JsonReporter rep("fig03_optimal_degree");
+  rep.param("t_c_us", t_c).param("threads", static_cast<double>(pool.size()));
 
   // Optional machine-readable dump (one row per cell).
   std::unique_ptr<CsvWriter> csv;
@@ -44,24 +65,55 @@ int main(int argc, char** argv) {
                                  "opt_delay_us", "delay_at_4_us",
                                  "speedup_vs_4"});
 
-  for (long long procs : procs_list) {
-    const auto p = static_cast<std::size_t>(procs);
-    table.row().add(std::to_string(procs));
-    for (double sigma_tc : sigmas_tc) {
-      simb::SweepOptions opts;
-      opts.sigma = sigma_tc * t_c;
-      opts.t_c = t_c;
-      opts.trials = p >= 4096 ? 15 : 30;
-      const auto r = simb::find_optimal_degree(p, opts);
-      table.add(std::to_string(r.best_degree) + " (" +
-                Table::fmt(r.speedup_vs_4, 2) + ")");
-      if (csv)
-        csv->write_row_numeric({static_cast<double>(procs), sigma_tc,
-                                static_cast<double>(r.best_degree),
-                                r.best_delay, r.delay_at_4, r.speedup_vs_4});
+  {
+    const ScopedPhaseTimer phase(rep.phases(), "sweep");
+    for (long long procs : procs_list) {
+      const auto p = static_cast<std::size_t>(procs);
+      table.row().add(std::to_string(procs));
+      for (double sigma_tc : sigmas_tc) {
+        simb::SweepOptions opts;
+        opts.sigma = sigma_tc * t_c;
+        opts.t_c = t_c;
+        opts.trials = p >= 4096 ? 15 : 30;
+        if (pool.size() > 1) opts.exec.pool = &pool;
+        const auto r = simb::find_optimal_degree(p, opts);
+        table.add(std::to_string(r.best_degree) + " (" +
+                  Table::fmt(r.speedup_vs_4, 2) + ")");
+        rep.row()
+            .num("procs", static_cast<double>(procs))
+            .num("sigma_tc", sigma_tc)
+            .num("opt_degree", static_cast<double>(r.best_degree))
+            .num("opt_delay_us", r.best_delay)
+            .num("delay_at_4_us", r.delay_at_4)
+            .num("speedup_vs_4", r.speedup_vs_4);
+        if (csv)
+          csv->write_row_numeric({static_cast<double>(procs), sigma_tc,
+                                  static_cast<double>(r.best_degree),
+                                  r.best_delay, r.delay_at_4, r.speedup_vs_4});
+      }
     }
   }
   std::printf("%s\n", table.str().c_str());
+
+  obs::fold_exec_metrics(pool, metrics);
+  const auto pm = pool.metrics();
+  std::printf("  exec       : %zu worker(s), %llu tasks",
+              pool.size(), static_cast<unsigned long long>(pm.executed));
+  for (std::size_t i = 0; i < pm.tasks_per_worker.size() && i < 8; ++i)
+    std::printf("%s w%zu=%llu", i == 0 ? " (" : ", ", i,
+                static_cast<unsigned long long>(pm.tasks_per_worker[i]));
+  std::printf("%s\n", pm.tasks_per_worker.empty() ? "" : ")");
+
+  if (cli.has("json")) rep.write(json_path(cli, "BENCH_fig03.json"));
+  if (cli.has("metrics")) {
+    const std::string path = cli.get("metrics", "METRICS_fig03.json");
+    std::ofstream out(path.empty() ? "METRICS_fig03.json" : path,
+                      std::ios::binary | std::ios::trunc);
+    out << metrics.snapshot_json() << '\n';
+    std::printf("  metrics    : wrote %s\n",
+                (path.empty() ? "METRICS_fig03.json" : path).c_str());
+  }
+
   std::printf(
       "  paper      : sigma=0 column is all 4s (1.00); p=64 at sigma=25 t_c\n"
       "               reaches the central counter (64); speedups grow from\n"

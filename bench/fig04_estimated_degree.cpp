@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const auto procs_list = cli.get_int_list("procs", {64, 256, 4096});
   const auto sigmas_tc =
       cli.get_double_list("sigmas-tc", {0.0, 1.5625, 6.25, 25.0, 100.0, 400.0});
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 1));
 
   Stopwatch sw;
   print_header(
@@ -40,8 +41,10 @@ int main(int argc, char** argv) {
       opts.sigma = sigma_tc * t_c;
       opts.t_c = t_c;
       opts.trials = p >= 4096 ? 15 : 30;
+      opts.exec.threads = threads;
       const auto arrivals =
-          simb::draw_arrival_sets(p, opts.sigma, opts.trials, opts.seed);
+          simb::draw_arrival_sets(p, opts.sigma, opts.trials, opts.seed,
+                                  opts.exec);
 
       const auto sim_opt = simb::find_optimal_degree(p, opts);
       const auto est = estimate_optimal_degree(p, opts.sigma, t_c);

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/parallel_for.hpp"
 #include "obs/instrumented_barrier.hpp"
 #include "robust/robust_barrier.hpp"
 #include "util/cacheline.hpp"
@@ -463,17 +464,30 @@ ConformanceResult check_robust_break_and_reset(const BarrierConfig& config,
 
 ConformanceResult check_adversarial_schedules(const BarrierConfig& config,
                                               const ConformanceOptions& opts) {
-  ConformanceOptions sub = opts;
-  sub.epochs = opts.epochs / 3 + 10;
-  for (const SchedulePattern pattern : kAllSchedulePatterns) {
+  // The (pattern x seed) cells are independent ledger runs, so they
+  // shard over an exec pool (opts.sweep_threads). Every cell's result
+  // lands in an index-addressed slot and the first failure is taken in
+  // cell order, so the verdict is the same for any worker count.
+  std::vector<PerturbOptions> cells;
+  for (const SchedulePattern pattern : kAllSchedulePatterns)
     for (std::uint64_t seed_bump = 0; seed_bump < 2; ++seed_bump) {
-      sub.perturb = opts.perturb;
-      sub.perturb.pattern = pattern;
-      sub.perturb.seed = opts.perturb.seed + 0x9E37ULL * seed_bump;
-      const auto r = ledger_run(config, sub, /*split=*/false);
-      if (!r.passed) return r;
+      PerturbOptions p = opts.perturb;
+      p.pattern = pattern;
+      p.seed = opts.perturb.seed + 0x9E37ULL * seed_bump;
+      cells.push_back(p);
     }
-  }
+
+  std::vector<ConformanceResult> results(cells.size());
+  const exec::Executor executor{opts.sweep_threads, nullptr};
+  executor.run_chunked(0, cells.size(), 1,
+                       [&](std::size_t, std::size_t lo, std::size_t) {
+                         ConformanceOptions sub = opts;
+                         sub.epochs = opts.epochs / 3 + 10;
+                         sub.perturb = cells[lo];
+                         results[lo] = ledger_run(config, sub, /*split=*/false);
+                       });
+  for (const ConformanceResult& r : results)
+    if (!r.passed) return r;
   return ConformanceResult::ok();
 }
 

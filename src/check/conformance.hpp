@@ -58,6 +58,13 @@ struct ConformanceOptions {
   /// per-kind special-casing: the obs factories accept and refuse
   /// exactly the configurations the plain factories do.
   bool instrument = false;
+  /// Workers for check_adversarial_schedules' (pattern x seed) grid
+  /// (exec::parallel_for_chunked). Each cell runs its own real-thread
+  /// cohort, so w sweep workers mean w*participants live threads —
+  /// deliberate oversubscription pressure. 1 = today's serial sweep;
+  /// results are identical either way (cells are independent and the
+  /// first failure is reported in stable cell order).
+  std::size_t sweep_threads = 1;
 };
 
 struct ConformanceResult {

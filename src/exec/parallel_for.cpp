@@ -1,0 +1,69 @@
+#include "exec/parallel_for.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <vector>
+
+namespace imbar::exec {
+
+void parallel_for_chunked(
+    TaskPool* pool, std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (chunk == 0)
+    throw std::invalid_argument("parallel_for_chunked: chunk must be >= 1");
+  if (begin >= end) return;  // empty range: no tasks, no pool touch
+
+  if (pool == nullptr || pool->size() <= 1) {
+    std::size_t task = 0;
+    for (std::size_t lo = begin; lo < end; lo += chunk, ++task) {
+      const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+      body(task, lo, hi);
+    }
+    return;
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve((end - begin + chunk - 1) / chunk);
+  std::size_t task = 0;
+  for (std::size_t lo = begin; lo < end; lo += chunk, ++task) {
+    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+    futures.push_back(pool->submit([&body, task, lo, hi] { body(task, lo, hi); }));
+  }
+
+  // Wait for everything, then rethrow the lowest-index failure so the
+  // surfaced exception does not depend on worker timing.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void Executor::run_chunked(
+    std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body)
+    const {
+  if (pool != nullptr) {
+    parallel_for_chunked(pool, begin, end, chunk, body);
+    return;
+  }
+  const std::size_t n = resolve_threads(threads);
+  if (n <= 1) {
+    parallel_for_chunked(nullptr, begin, end, chunk, body);
+    return;
+  }
+  if (begin >= end) return;  // don't spin up workers for nothing
+  TaskPool ephemeral(n);
+  parallel_for_chunked(&ephemeral, begin, end, chunk, body);
+}
+
+std::size_t Executor::workers() const noexcept {
+  if (pool != nullptr) return pool->size();
+  return resolve_threads(threads);
+}
+
+}  // namespace imbar::exec

@@ -1,0 +1,50 @@
+// Fixed-chunk deterministic parallel loops.
+//
+// The chunk layout is a pure function of (begin, end, chunk) — never of
+// the worker count — so a range decomposes into the *same* tasks with
+// the same stable indices whether it runs inline, on 2 workers, or on
+// 64. Callers keep determinism by writing task outputs into
+// index-addressed slots and merging serially in task-index order; see
+// simbarrier/sweep.cpp for the canonical pattern.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "exec/task_pool.hpp"
+
+namespace imbar::exec {
+
+/// body(task_index, lo, hi) over [begin, end) split into chunks of
+/// `chunk` indices (the last task may be short). Tasks run on `pool`,
+/// or inline in task order when pool is null or single-threaded.
+/// Blocks until every task finished; the first exception by task index
+/// is rethrown (later tasks still run to completion — a sweep is never
+/// left half-written).
+void parallel_for_chunked(
+    TaskPool* pool, std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t task_index, std::size_t lo,
+                             std::size_t hi)>& body);
+
+/// How a sweep call executes its tasks: borrow a caller-owned pool
+/// (utilization then aggregates across the whole bench run), spin up an
+/// ephemeral pool, or run inline. Value-semantic and cheap to copy so
+/// options structs can embed it.
+struct Executor {
+  /// 0 = one worker per hardware thread, 1 = inline serial execution
+  /// (no pool, no worker threads), n = ephemeral pool of n workers.
+  std::size_t threads = 1;
+  /// Non-owning; when set it wins over `threads`. The pool must outlive
+  /// every call made through this Executor.
+  TaskPool* pool = nullptr;
+
+  /// parallel_for_chunked through the configured execution mode.
+  void run_chunked(std::size_t begin, std::size_t end, std::size_t chunk,
+                   const std::function<void(std::size_t, std::size_t,
+                                            std::size_t)>& body) const;
+
+  /// Workers this Executor would run on (1 for the inline path).
+  [[nodiscard]] std::size_t workers() const noexcept;
+};
+
+}  // namespace imbar::exec

@@ -1,0 +1,51 @@
+// Per-task PRNG stream derivation for sharded execution.
+//
+// A sweep sharded over workers cannot thread one generator through its
+// trials — the draw order would depend on the schedule. Instead every
+// task derives its own stream from (master seed, stable task index) via
+// SplitMix64 re-keying, exactly the recipe Xoshiro256::substream uses,
+// so results are a pure function of the index no matter which worker
+// runs the task, how the range is chunked, or whether a cell is re-run
+// in isolation (the ext_fault_sweep regression relies on this).
+#pragma once
+
+#include <cstdint>
+
+#include "util/prng.hpp"
+
+namespace imbar::exec {
+
+class ShardedSeeder {
+ public:
+  explicit constexpr ShardedSeeder(std::uint64_t master) noexcept
+      : master_(master) {}
+
+  [[nodiscard]] constexpr std::uint64_t master() const noexcept {
+    return master_;
+  }
+
+  /// The i-th derived seed. Matches Xoshiro256::substream's keying:
+  /// stream(i) below and substream(master, i) are the same generator.
+  [[nodiscard]] constexpr std::uint64_t derive(std::uint64_t index) const noexcept {
+    SplitMix64 sm(master_ ^ (0xA3EC647659359ACDULL * (index + 1)));
+    return sm.next();
+  }
+
+  /// The i-th independent generator.
+  [[nodiscard]] Xoshiro256 stream(std::uint64_t index) const noexcept {
+    return Xoshiro256(derive(index));
+  }
+
+  /// A nested seeder for multi-axis grids: key the outer axis by value
+  /// (e.g. the tree degree), then derive per-trial streams from the
+  /// result. Keying by value — not by grid position — is what lets a
+  /// single cell reproduce outside the full sweep.
+  [[nodiscard]] constexpr ShardedSeeder shard(std::uint64_t index) const noexcept {
+    return ShardedSeeder(derive(index));
+  }
+
+ private:
+  std::uint64_t master_;
+};
+
+}  // namespace imbar::exec

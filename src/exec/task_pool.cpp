@@ -1,0 +1,101 @@
+#include "exec/task_pool.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace imbar::exec {
+
+std::size_t resolve_threads(std::size_t threads) noexcept {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+TaskPool::TaskPool(std::size_t threads) : stats_(resolve_threads(threads)) {
+  const std::size_t n = stats_.size();
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> TaskPool::submit(std::function<void()> fn) {
+  Task task{std::move(fn), {}};
+  std::future<void> future = task.done.get_future();
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_)
+      throw std::logic_error("TaskPool::submit: pool is shutting down");
+    queue_.push_back(std::move(task));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
+  return future;
+}
+
+void TaskPool::set_task_observer(TaskObserver observer) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  observer_ = std::move(observer);
+}
+
+TaskPoolMetrics TaskPool::metrics() const {
+  TaskPoolMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.tasks_per_worker.reserve(stats_.size());
+  m.busy_ns_per_worker.reserve(stats_.size());
+  for (const auto& s : stats_) {
+    const std::uint64_t t = s.value.tasks.load(std::memory_order_relaxed);
+    m.tasks_per_worker.push_back(t);
+    m.busy_ns_per_worker.push_back(
+        s.value.busy_ns.load(std::memory_order_relaxed));
+    m.executed += t;
+  }
+  return m;
+}
+
+void TaskPool::worker_loop(std::size_t index) {
+  for (;;) {
+    Task task;
+    TaskObserver observer;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-on-shutdown: only exit once the queue is empty, so every
+      // future handed out by submit() becomes ready.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      observer = observer_;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::exception_ptr error;
+    try {
+      task.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    auto& s = stats_[index].value;
+    s.tasks.fetch_add(1, std::memory_order_relaxed);
+    s.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+    if (observer) observer(index, ns);
+    // Settle last: a ready future implies the counters above are final.
+    if (error)
+      task.done.set_exception(error);
+    else
+      task.done.set_value();
+  }
+}
+
+}  // namespace imbar::exec

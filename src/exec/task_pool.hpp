@@ -1,0 +1,104 @@
+// Deterministic, work-stealing-free task pool for sharded sweeps.
+//
+// The figure sweeps (bench/fig02-04, fig09) are embarrassingly parallel
+// across independent trials and grid cells, but their results must stay
+// bit-reproducible: CSV output is diffed across runs and golden-checked
+// in CI. TaskPool therefore makes no scheduling decision that can leak
+// into results — tasks carry a stable index assigned at submission,
+// workers pull from a single FIFO queue (no stealing, no per-worker
+// deques), and callers merge task outputs in task-index order. Which
+// worker runs which task affects wall-clock only, never values.
+//
+// Lifetime: the destructor stops accepting new work, *drains* every
+// already-queued task, and joins the workers, so futures obtained from
+// submit() always become ready (shutdown-with-pending-tasks is part of
+// the contract, see tests/test_exec_pool.cpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/cacheline.hpp"
+
+namespace imbar::exec {
+
+/// Worker count `threads` resolves to: 0 means one per hardware thread
+/// (at least 1), anything else is taken literally.
+[[nodiscard]] std::size_t resolve_threads(std::size_t threads) noexcept;
+
+/// Aggregate counters for utilization reporting (folded into
+/// obs::MetricsRegistry by obs/exec_metrics.hpp under "exec.v1.*").
+struct TaskPoolMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;
+  std::vector<std::uint64_t> tasks_per_worker;
+  std::vector<std::uint64_t> busy_ns_per_worker;
+};
+
+class TaskPool {
+ public:
+  /// Observer invoked after every task completes, with the worker index
+  /// and the task's execution time. Runs on the worker thread — keep it
+  /// cheap (a MetricsRegistry::observe call is fine; tasks are coarse).
+  using TaskObserver = std::function<void(std::size_t worker,
+                                          std::uint64_t elapsed_ns)>;
+
+  /// Spawns resolve_threads(threads) workers immediately.
+  explicit TaskPool(std::size_t threads = 0);
+
+  /// Stops intake, drains queued tasks, joins workers.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueue `fn`. The future becomes ready when the task has run (or
+  /// rethrows the task's exception from get()). Throws std::logic_error
+  /// after shutdown began.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Workers in the pool (fixed at construction).
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Install (or clear, with nullptr-equivalent {}) the task observer.
+  /// Not synchronized against in-flight tasks: set it before submitting.
+  void set_task_observer(TaskObserver observer);
+
+  /// Snapshot of the utilization counters.
+  [[nodiscard]] TaskPoolMetrics metrics() const;
+
+ private:
+  struct WorkerStats {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
+  // Function + explicit promise (not packaged_task): the worker settles
+  // the promise only *after* updating the utilization counters and
+  // running the observer, so once a future is ready the task is fully
+  // accounted — metrics() after wait-all is exact, not approximate.
+  struct Task {
+    std::function<void()> fn;
+    std::promise<void> done;
+  };
+
+  void worker_loop(std::size_t index);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  TaskObserver observer_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::vector<Padded<WorkerStats>> stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace imbar::exec

@@ -26,9 +26,15 @@
 #include "barrier/sense_reversing_barrier.hpp"
 #include "barrier/tournament_barrier.hpp"
 
+// Deterministic sharded execution (drives the sweep `--threads` knob).
+#include "exec/parallel_for.hpp"
+#include "exec/sharded_seeder.hpp"
+#include "exec/task_pool.hpp"
+
 // Observability: per-episode tracing, derived signals, exporters.
 #include "obs/arrival_spread.hpp"
 #include "obs/episode_recorder.hpp"
+#include "obs/exec_metrics.hpp"
 #include "obs/instrumented_barrier.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/micro_harness.hpp"
@@ -43,6 +49,7 @@
 #include "robust/fault_harness.hpp"
 #include "robust/fault_plan.hpp"
 #include "robust/fault_sim.hpp"
+#include "robust/fault_sweep.hpp"
 #include "robust/robust_barrier.hpp"
 
 // Degree selection and imbalance estimation.

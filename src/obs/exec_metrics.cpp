@@ -1,0 +1,29 @@
+#include "obs/exec_metrics.hpp"
+
+#include <string>
+
+namespace imbar::obs {
+
+void attach_exec_observer(exec::TaskPool& pool, MetricsRegistry& registry,
+                          double hist_hi_us) {
+  pool.set_task_observer(
+      [&registry, hist_hi_us](std::size_t, std::uint64_t elapsed_ns) {
+        registry.observe("exec.v1.task_latency_us",
+                         static_cast<double>(elapsed_ns) / 1000.0, 0.0,
+                         hist_hi_us);
+      });
+}
+
+void fold_exec_metrics(const exec::TaskPool& pool, MetricsRegistry& registry) {
+  const exec::TaskPoolMetrics m = pool.metrics();
+  registry.set_counter("exec.v1.workers", pool.size());
+  registry.set_counter("exec.v1.tasks_submitted", m.submitted);
+  registry.set_counter("exec.v1.tasks_executed", m.executed);
+  for (std::size_t i = 0; i < m.tasks_per_worker.size(); ++i) {
+    const std::string worker = "exec.v1.worker." + std::to_string(i);
+    registry.set_counter(worker + ".tasks", m.tasks_per_worker[i]);
+    registry.set_counter(worker + ".busy_us", m.busy_ns_per_worker[i] / 1000);
+  }
+}
+
+}  // namespace imbar::obs

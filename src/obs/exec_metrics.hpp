@@ -1,0 +1,37 @@
+// "imbar.exec.v1" — TaskPool utilization in the metrics registry.
+//
+// The exec layer cannot depend on obs (it sits below the barriers), so
+// the bridge lives here: attach_exec_observer() streams per-task
+// latencies into the registry's histogram while a sweep runs, and
+// fold_exec_metrics() folds the pool's aggregate counters in afterwards.
+// Benches emit the resulting snapshot next to their "imbar.bench.v1"
+// document so telemetry shows how evenly the sweep sharded (see
+// docs/observability.md).
+//
+// Metric names, all under the "exec.v1." prefix:
+//   counters   exec.v1.workers, exec.v1.tasks_submitted,
+//              exec.v1.tasks_executed, exec.v1.worker.<i>.tasks,
+//              exec.v1.worker.<i>.busy_us
+//   histogram  exec.v1.task_latency_us (observer-fed)
+#pragma once
+
+#include "exec/task_pool.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace imbar::obs {
+
+/// Prefix shared by every exec metric.
+inline constexpr const char* kExecMetricsPrefix = "exec.v1";
+
+/// Install a task observer on `pool` that records each task's execution
+/// time into `registry`'s "exec.v1.task_latency_us" histogram. The
+/// registry must outlive the pool (or a set_task_observer({}) reset).
+void attach_exec_observer(exec::TaskPool& pool, MetricsRegistry& registry,
+                          double hist_hi_us = 1.0e6);
+
+/// Fold the pool's aggregate counters (totals and per-worker
+/// utilization) into `registry`. Call after the measured region, never
+/// from inside it.
+void fold_exec_metrics(const exec::TaskPool& pool, MetricsRegistry& registry);
+
+}  // namespace imbar::obs

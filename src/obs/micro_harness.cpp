@@ -1,10 +1,11 @@
 #include "obs/micro_harness.hpp"
 
 #include <algorithm>
+#include <future>
 #include <numeric>
 #include <stdexcept>
-#include <thread>
 
+#include "exec/task_pool.hpp"
 #include "obs/arrival_spread.hpp"
 #include "obs/instrumented_barrier.hpp"
 #include "stats/summary.hpp"
@@ -69,13 +70,18 @@ MicroResult run_micro_kind(BarrierKind kind, const MicroOptions& opts) {
   auto bar = make_instrumented(cfg, iopts);
 
   Stopwatch sw;
-  std::vector<std::thread> workers;
-  workers.reserve(opts.threads);
+  // One pool worker per participant: every episode task blocks in the
+  // barrier until its whole cohort is running, so the pool must be able
+  // to hold all of them concurrently (cohort tasks on a smaller pool
+  // would deadlock).
+  exec::TaskPool pool(opts.threads == 0 ? 1 : opts.threads);
+  std::vector<std::future<void>> lanes;
+  lanes.reserve(opts.threads);
   for (std::size_t t = 0; t < opts.threads; ++t)
-    workers.emplace_back([&bar, t, episodes = opts.episodes] {
+    lanes.push_back(pool.submit([&bar, t, episodes = opts.episodes] {
       for (std::size_t e = 0; e < episodes; ++e) bar->arrive_and_wait(t);
-    });
-  for (auto& w : workers) w.join();
+    }));
+  for (auto& lane : lanes) lane.get();
   const double wall_s = sw.elapsed_s();
 
   MicroResult r;

@@ -1,0 +1,64 @@
+#include "robust/fault_sweep.hpp"
+
+#include <bit>
+
+#include "exec/sharded_seeder.hpp"
+#include "workload/arrival.hpp"
+
+namespace imbar::robust {
+
+FaultCellSeeds fault_cell_seeds(std::uint64_t master,
+                                double straggler_prob) noexcept {
+  // Key the cell by the probability's bit pattern, not its position in
+  // the sweep's probability list: isolation-reproducibility depends on
+  // the seed being a function of the cell's *value*.
+  const exec::ShardedSeeder cell =
+      exec::ShardedSeeder(master).shard(std::bit_cast<std::uint64_t>(straggler_prob));
+  return {cell.derive(0), cell.derive(1)};
+}
+
+FaultSweepCell run_fault_sweep_cell(const FaultSweepOptions& opts,
+                                    double straggler_prob) {
+  const FaultCellSeeds seeds = fault_cell_seeds(opts.seed, straggler_prob);
+
+  FaultSpec spec;
+  spec.straggler_prob = straggler_prob;
+  spec.straggler_mean_us = 4.0 * opts.sigma_us;  // dwarf natural jitter
+  spec.lost_wakeup_prob = straggler_prob / 2.0;
+  spec.lost_wakeup_mean_us = opts.sigma_us;
+  spec.deaths = opts.deaths;
+  spec.death_after = opts.iterations / 4;
+  const FaultPlan plan =
+      FaultPlan::make(seeds.plan, opts.procs, opts.iterations, spec);
+
+  SystemicGenerator gen(opts.procs, opts.mean_us, opts.sigma_us,
+                        opts.sigma_us / 5.0, seeds.generator);
+  FaultSimOptions sim;
+  sim.degree = opts.degree;
+  sim.tree = opts.tree;
+  sim.sim.placement = opts.placement;
+  sim.iterations = opts.iterations;
+
+  FaultSweepCell out;
+  out.straggler_prob = straggler_prob;
+  out.result = run_faulty_sim(gen, plan, sim);
+  out.comms_per_episode =
+      out.result.completed_iterations == 0
+          ? 0.0
+          : static_cast<double>(out.result.total_comms) /
+                static_cast<double>(out.result.completed_iterations);
+  return out;
+}
+
+std::vector<FaultSweepCell> run_fault_sweep(const FaultSweepOptions& opts,
+                                            const std::vector<double>& probs,
+                                            const exec::Executor& exec) {
+  std::vector<FaultSweepCell> cells(probs.size());
+  exec.run_chunked(0, probs.size(), 1,
+                   [&](std::size_t, std::size_t lo, std::size_t) {
+                     cells[lo] = run_fault_sweep_cell(opts, probs[lo]);
+                   });
+  return cells;
+}
+
+}  // namespace imbar::robust

@@ -1,0 +1,59 @@
+// Figure-8-style fault-intensity sweep: one cell per straggler
+// probability, each replaying a deterministic FaultPlan against the
+// dynamic-placement tree simulator.
+//
+// Per-cell seeding is value-keyed through exec::ShardedSeeder: the
+// master seed is sharded by the cell's straggler probability (bit
+// pattern), and the plan / generator seeds are derived from that shard.
+// A cell therefore reproduces the exact full-sweep row when re-run in
+// isolation — regardless of which other probabilities the sweep
+// contains, their order, or how many worker threads shard the cells
+// (tests/test_exec_determinism.cpp locks this in).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/parallel_for.hpp"
+#include "robust/fault_sim.hpp"
+
+namespace imbar::robust {
+
+struct FaultSweepOptions {
+  std::size_t procs = 256;
+  double mean_us = 10000.0;
+  double sigma_us = 250.0;
+  std::size_t iterations = 200;
+  std::size_t degree = 4;
+  std::size_t deaths = 3;
+  std::uint64_t seed = 7;
+  simb::TreeKind tree = simb::TreeKind::kMcs;
+  simb::Placement placement = simb::Placement::kDynamic;
+};
+
+struct FaultSweepCell {
+  double straggler_prob = 0.0;
+  FaultSimResult result{};
+  double comms_per_episode = 0.0;
+};
+
+/// The (plan, generator) seeds for one cell. Exposed so tests can pin
+/// the derivation scheme itself, not just its downstream effects.
+struct FaultCellSeeds {
+  std::uint64_t plan = 0;
+  std::uint64_t generator = 0;
+};
+[[nodiscard]] FaultCellSeeds fault_cell_seeds(std::uint64_t master,
+                                              double straggler_prob) noexcept;
+
+/// Run a single cell. Pure function of (opts, straggler_prob).
+[[nodiscard]] FaultSweepCell run_fault_sweep_cell(const FaultSweepOptions& opts,
+                                                  double straggler_prob);
+
+/// Run every cell, optionally sharded over `exec` workers. Results come
+/// back in `probs` order and are bit-identical for any thread count.
+[[nodiscard]] std::vector<FaultSweepCell> run_fault_sweep(
+    const FaultSweepOptions& opts, const std::vector<double>& probs,
+    const exec::Executor& exec = {});
+
+}  // namespace imbar::robust

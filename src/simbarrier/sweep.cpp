@@ -5,27 +5,116 @@
 #include <stdexcept>
 
 #include "dist/samplers.hpp"
+#include "exec/sharded_seeder.hpp"
 #include "model/degree.hpp"
 #include "stats/summary.hpp"
 
 namespace imbar::simb {
 
+namespace {
+
+/// Salt separating the simulator's service-order streams from the
+/// arrival-drawing streams that share opts.seed.
+constexpr std::uint64_t kSimSeedSalt = 0x5b1ce0f3u;
+
+/// Raw per-trial outcome, kept index-addressed so the statistics can be
+/// accumulated serially in trial order after the parallel phase —
+/// Welford merging is not bit-stable across chunkings, sequential
+/// accumulation over an index-ordered array is.
+struct TrialOutcome {
+  double sync_delay = 0.0;
+  double last_depth = 0.0;
+};
+
+/// Simulate every (degree, trial) cell of the grid as one flat task
+/// space (task = one cell). Each cell builds a fresh sim whose RNG
+/// stream is keyed by (seed, degree value, trial) — independent of grid
+/// position and of the executor's worker count.
+std::vector<std::vector<TrialOutcome>> run_cells(
+    std::size_t procs, const std::vector<std::size_t>& degrees,
+    const SweepOptions& opts,
+    const std::vector<std::vector<double>>& arrivals) {
+  const std::size_t trials = arrivals.size();
+  std::vector<std::vector<TrialOutcome>> out(
+      degrees.size(), std::vector<TrialOutcome>(trials));
+  const exec::ShardedSeeder sim_seeds(opts.seed ^ kSimSeedSalt);
+
+  opts.exec.run_chunked(
+      0, degrees.size() * trials, 1,
+      [&](std::size_t task, std::size_t lo, std::size_t) {
+        (void)task;
+        const std::size_t d_idx = lo / trials;
+        const std::size_t trial = lo % trials;
+        const std::size_t degree = degrees[d_idx];
+
+        Topology topo = opts.kind == TreeKind::kPlain
+                            ? Topology::plain(procs, degree)
+                            : Topology::mcs(procs, degree);
+        SimOptions so;
+        so.t_c = opts.t_c;
+        so.placement = Placement::kStatic;
+        so.service_order = opts.service_order;
+        so.hotspot_coefficient = opts.hotspot_coefficient;
+        so.rng_seed = sim_seeds.shard(degree).derive(trial);
+        TreeBarrierSim sim(std::move(topo), so);
+
+        const IterationResult r = sim.run_iteration(arrivals[trial]);
+        out[d_idx][trial] = {r.sync_delay,
+                             static_cast<double>(r.last_proc_depth)};
+      });
+  return out;
+}
+
+/// Serial, trial-ordered reduction of one degree's outcomes.
+DelayStats reduce_cell(std::size_t procs, std::size_t degree,
+                       const SweepOptions& opts,
+                       const std::vector<TrialOutcome>& outcomes) {
+  RunningStats delay, depth;
+  for (const TrialOutcome& o : outcomes) {
+    delay.add(o.sync_delay);
+    depth.add(o.last_depth);
+  }
+
+  const Topology topo = opts.kind == TreeKind::kPlain
+                            ? Topology::plain(procs, degree)
+                            : Topology::mcs(procs, degree);
+  DelayStats s;
+  s.mean_delay = delay.mean();
+  // Figure 2's decomposition: the update component is the release
+  // path's length (tree depth) times t_c; everything above it is
+  // contention. Using the structural depth keeps the split well defined
+  // under simultaneous arrivals, where "the last processor" is a tie.
+  s.mean_update = static_cast<double>(topo.max_depth()) * opts.t_c;
+  s.mean_contention = s.mean_delay - s.mean_update;
+  s.mean_last_depth = depth.mean();
+  s.stddev_delay = delay.stddev();
+  return s;
+}
+
+}  // namespace
+
 std::vector<std::vector<double>> draw_arrival_sets(std::size_t procs, double sigma,
                                                    std::size_t trials,
-                                                   std::uint64_t seed) {
+                                                   std::uint64_t seed,
+                                                   const exec::Executor& exec) {
   std::vector<std::vector<double>> sets(trials, std::vector<double>(procs, 0.0));
   if (sigma <= 0.0) return sets;  // simultaneous arrivals
 
-  Xoshiro256 rng(seed);
-  NormalSampler normal(0.0, sigma);
-  for (auto& set : sets) {
-    double lo = 0.0;
-    for (std::size_t p = 0; p < procs; ++p) {
-      set[p] = normal.sample(rng);
-      lo = std::min(lo, set[p]);
-    }
-    for (auto& a : set) a -= lo;  // engine time starts at 0
-  }
+  const exec::ShardedSeeder seeder(seed);
+  exec.run_chunked(0, trials, 1,
+                   [&](std::size_t, std::size_t lo, std::size_t hi) {
+                     for (std::size_t t = lo; t < hi; ++t) {
+                       Xoshiro256 rng = seeder.stream(t);
+                       NormalSampler normal(0.0, sigma);
+                       auto& set = sets[t];
+                       double lo_arrival = 0.0;
+                       for (std::size_t p = 0; p < procs; ++p) {
+                         set[p] = normal.sample(rng);
+                         lo_arrival = std::min(lo_arrival, set[p]);
+                       }
+                       for (auto& a : set) a -= lo_arrival;  // time starts at 0
+                     }
+                   });
   return sets;
 }
 
@@ -50,43 +139,15 @@ DelayStats simulate_delay(std::size_t procs, std::size_t degree,
                           const SweepOptions& opts,
                           const std::vector<std::vector<double>>& arrivals) {
   if (arrivals.empty()) throw std::invalid_argument("simulate_delay: no trials");
-
-  Topology topo = opts.kind == TreeKind::kPlain ? Topology::plain(procs, degree)
-                                                : Topology::mcs(procs, degree);
-  SimOptions so;
-  so.t_c = opts.t_c;
-  so.placement = Placement::kStatic;
-  so.service_order = opts.service_order;
-  so.hotspot_coefficient = opts.hotspot_coefficient;
-  so.rng_seed = opts.seed ^ 0x5b1ce0f3u;
-  const int levels = topo.max_depth();
-  TreeBarrierSim sim(std::move(topo), so);
-
-  RunningStats delay, depth;
-  for (const auto& set : arrivals) {
-    sim.reset();
-    const IterationResult r = sim.run_iteration(set);
-    delay.add(r.sync_delay);
-    depth.add(static_cast<double>(r.last_proc_depth));
-  }
-
-  DelayStats s;
-  s.mean_delay = delay.mean();
-  // Figure 2's decomposition: the update component is the release
-  // path's length (tree depth) times t_c; everything above it is
-  // contention. Using the structural depth keeps the split well defined
-  // under simultaneous arrivals, where "the last processor" is a tie.
-  s.mean_update = static_cast<double>(levels) * opts.t_c;
-  s.mean_contention = s.mean_delay - s.mean_update;
-  s.mean_last_depth = depth.mean();
-  s.stddev_delay = delay.stddev();
-  return s;
+  const std::vector<std::size_t> degrees{degree};
+  const auto outcomes = run_cells(procs, degrees, opts, arrivals);
+  return reduce_cell(procs, degree, opts, outcomes[0]);
 }
 
 DelayStats simulate_delay(std::size_t procs, std::size_t degree,
                           const SweepOptions& opts) {
   const auto arrivals =
-      draw_arrival_sets(procs, opts.sigma, opts.trials, opts.seed);
+      draw_arrival_sets(procs, opts.sigma, opts.trials, opts.seed, opts.exec);
   return simulate_delay(procs, degree, opts, arrivals);
 }
 
@@ -100,13 +161,18 @@ OptimalDegreeResult find_optimal_degree(std::size_t procs, const SweepOptions& o
   degrees.erase(std::unique(degrees.begin(), degrees.end()), degrees.end());
 
   const auto arrivals =
-      draw_arrival_sets(procs, opts.sigma, opts.trials, opts.seed);
+      draw_arrival_sets(procs, opts.sigma, opts.trials, opts.seed, opts.exec);
+  if (arrivals.empty())
+    throw std::invalid_argument("find_optimal_degree: no trials");
+
+  const auto outcomes = run_cells(procs, degrees, opts, arrivals);
 
   OptimalDegreeResult res;
   res.degrees = degrees;
   res.stats.reserve(degrees.size());
-  for (std::size_t d : degrees) {
-    const DelayStats s = simulate_delay(procs, d, opts, arrivals);
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    const std::size_t d = degrees[i];
+    const DelayStats s = reduce_cell(procs, d, opts, outcomes[i]);
     res.stats.push_back(s);
     // Ties (exact at sigma = 0, where delay = L*d*t_c can coincide for
     // several degrees) break toward the larger degree: the shallower

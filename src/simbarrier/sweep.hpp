@@ -5,12 +5,20 @@
 // distributed arrivals, simulate one barrier, record the delay; repeat
 // over trials. The same arrival sets are reused across all degrees so
 // degree comparisons are paired (variance-reduced).
+//
+// Execution model: every (degree, trial) cell is an independent task
+// with a stable index and its own PRNG stream (exec::ShardedSeeder), so
+// the sweep shards across an exec::TaskPool while staying *bit*
+// reproducible — SweepOptions::exec picks the worker count and any
+// setting (inline, 2 workers, one per core) produces byte-identical
+// output. tests/test_exec_determinism.cpp enforces this differentially.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "dist/samplers.hpp"
+#include "exec/parallel_for.hpp"
 #include "sim/resource.hpp"
 #include "simbarrier/tree_sim.hpp"
 
@@ -24,6 +32,10 @@ struct SweepOptions {
   sim::ServiceOrder service_order = sim::ServiceOrder::kFifo;
   double hotspot_coefficient = 0.0;  // see SimOptions::hotspot_coefficient
   std::uint64_t seed = 0x1CCB5EEDULL;
+  /// Trial/grid-cell sharding: exec.threads = 1 (default) runs inline,
+  /// 0 uses one worker per hardware thread, or attach a shared pool via
+  /// exec.pool. Results are identical for every setting.
+  exec::Executor exec{};
 };
 
 struct DelayStats {
@@ -36,17 +48,24 @@ struct DelayStats {
 
 /// Draw `trials` independent arrival sets of p processors ~ N(0, sigma),
 /// each shifted so its minimum is 0 (shifting does not change delays).
+/// Trial t draws from substream t of `seed`, so the sets are the same
+/// whatever the executor's worker count.
 [[nodiscard]] std::vector<std::vector<double>> draw_arrival_sets(
-    std::size_t procs, double sigma, std::size_t trials, std::uint64_t seed);
+    std::size_t procs, double sigma, std::size_t trials, std::uint64_t seed,
+    const exec::Executor& exec = {});
 
 /// Same, drawing from an arbitrary distribution shape (the paper
 /// assumes normal arrivals; this feeds the robustness ablation).
+/// Always serial: Sampler is a stateful polymorphic stream that cannot
+/// be split behind the caller's back.
 [[nodiscard]] std::vector<std::vector<double>> draw_arrival_sets_from(
     std::size_t procs, Sampler& sampler, std::size_t trials,
     std::uint64_t seed);
 
 /// Mean single-barrier delay of a degree-`degree` tree over the given
-/// arrival sets.
+/// arrival sets. Trials shard over opts.exec; per-trial sim streams are
+/// keyed by (opts.seed, degree, trial), so the value for a degree is
+/// the same inside or outside a find_optimal_degree grid.
 [[nodiscard]] DelayStats simulate_delay(std::size_t procs, std::size_t degree,
                                         const SweepOptions& opts,
                                         const std::vector<std::vector<double>>& arrivals);
@@ -66,7 +85,10 @@ struct OptimalDegreeResult {
 
 /// Exhaustive simulation over `degrees` (default: sweep_degrees(p)),
 /// paired across degrees via shared arrival sets. Degree 4 is always
-/// included so the speedup-vs-4 baseline exists.
+/// included so the speedup-vs-4 baseline exists. The whole
+/// (degree x trial) grid shards over opts.exec as one flat task space;
+/// stats merge in (degree, trial) order, so output is bit-identical for
+/// any worker count.
 [[nodiscard]] OptimalDegreeResult find_optimal_degree(
     std::size_t procs, const SweepOptions& opts,
     std::vector<std::size_t> degrees = {});

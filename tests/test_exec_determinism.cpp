@@ -1,0 +1,253 @@
+// Differential determinism suite for the sharded sweep engine: every
+// sweep entry point must produce *bit-identical* results for any worker
+// count (threads in {1, 2, 4, hardware_concurrency}), across imbalance
+// levels, both tree kinds, and both service orders — and a grid cell
+// re-run in isolation must reproduce its full-sweep value. The serial
+// (threads = 1) run is the reference; everything else is compared to it
+// with exact floating-point equality.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/conformance.hpp"
+#include "robust/fault_sweep.hpp"
+#include "simbarrier/sweep.hpp"
+#include "util/csv.hpp"
+
+namespace imbar {
+namespace {
+
+/// Worker counts under test. hardware_concurrency dedupes into the list
+/// (on a 1-core CI host it is just another name for 1).
+std::vector<std::size_t> thread_counts() {
+  std::vector<std::size_t> counts{1, 2, 4};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 1 && hw != 2 && hw != 4) counts.push_back(hw);
+  return counts;
+}
+
+constexpr double kTc = 20.0;
+const std::vector<double> kSigmas{0.0, 6.25 * kTc, 100.0 * kTc};
+
+bool exactly_equal(const simb::DelayStats& a, const simb::DelayStats& b) {
+  return a.mean_delay == b.mean_delay && a.mean_update == b.mean_update &&
+         a.mean_contention == b.mean_contention &&
+         a.mean_last_depth == b.mean_last_depth &&
+         a.stddev_delay == b.stddev_delay;
+}
+
+TEST(ExecDeterminism, ArrivalSetsBitIdenticalAcrossThreadCounts) {
+  for (double sigma : kSigmas) {
+    const auto reference = simb::draw_arrival_sets(64, sigma, 24, 99);
+    for (std::size_t threads : thread_counts()) {
+      exec::Executor ex;
+      ex.threads = threads;
+      const auto sharded = simb::draw_arrival_sets(64, sigma, 24, 99, ex);
+      EXPECT_EQ(reference, sharded)
+          << "sigma=" << sigma << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ExecDeterminism, SimulateDelayBitIdenticalAcrossThreadCounts) {
+  for (simb::TreeKind kind : {simb::TreeKind::kPlain, simb::TreeKind::kMcs}) {
+    for (sim::ServiceOrder order :
+         {sim::ServiceOrder::kFifo, sim::ServiceOrder::kRandom}) {
+      for (double sigma : kSigmas) {
+        simb::SweepOptions opts;
+        opts.trials = 12;
+        opts.sigma = sigma;
+        opts.t_c = kTc;
+        opts.kind = kind;
+        opts.service_order = order;
+        const simb::DelayStats reference = simb::simulate_delay(32, 8, opts);
+        for (std::size_t threads : thread_counts()) {
+          opts.exec.threads = threads;
+          const simb::DelayStats sharded = simb::simulate_delay(32, 8, opts);
+          EXPECT_TRUE(exactly_equal(reference, sharded))
+              << "kind=" << static_cast<int>(kind)
+              << " order=" << static_cast<int>(order) << " sigma=" << sigma
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExecDeterminism, FindOptimalDegreeBitIdenticalAcrossThreadCounts) {
+  for (double sigma : kSigmas) {
+    simb::SweepOptions opts;
+    opts.trials = 10;
+    opts.sigma = sigma;
+    opts.t_c = kTc;
+    const auto reference = simb::find_optimal_degree(32, opts);
+    for (std::size_t threads : thread_counts()) {
+      opts.exec.threads = threads;
+      const auto sharded = simb::find_optimal_degree(32, opts);
+      EXPECT_EQ(reference.best_degree, sharded.best_degree);
+      EXPECT_EQ(reference.best_delay, sharded.best_delay);
+      EXPECT_EQ(reference.delay_at_4, sharded.delay_at_4);
+      EXPECT_EQ(reference.speedup_vs_4, sharded.speedup_vs_4);
+      ASSERT_EQ(reference.degrees, sharded.degrees);
+      ASSERT_EQ(reference.stats.size(), sharded.stats.size());
+      for (std::size_t i = 0; i < reference.stats.size(); ++i)
+        EXPECT_TRUE(exactly_equal(reference.stats[i], sharded.stats[i]))
+            << "sigma=" << sigma << " threads=" << threads << " degree "
+            << reference.degrees[i];
+    }
+  }
+}
+
+// A degree's value must not depend on which other degrees share the
+// grid: simulate_delay on its own reproduces the find_optimal_degree
+// cell exactly (sim streams are keyed by (seed, degree, trial), not by
+// grid position).
+TEST(ExecDeterminism, GridCellReproducesInIsolation) {
+  simb::SweepOptions opts;
+  opts.trials = 10;
+  opts.sigma = 125.0;
+  opts.t_c = kTc;
+  const auto grid = simb::find_optimal_degree(32, opts);
+  const auto arrivals =
+      simb::draw_arrival_sets(32, opts.sigma, opts.trials, opts.seed);
+  for (std::size_t i = 0; i < grid.degrees.size(); ++i) {
+    const simb::DelayStats alone =
+        simb::simulate_delay(32, grid.degrees[i], opts, arrivals);
+    EXPECT_TRUE(exactly_equal(grid.stats[i], alone))
+        << "degree " << grid.degrees[i];
+  }
+}
+
+// The committed golden CSV (tests/data/sweep_golden.csv) was generated
+// serially; a threads=2 run must reproduce it byte for byte.
+TEST(ExecDeterminism, GoldenCsvReproducedWithTwoWorkers) {
+  const std::string golden_path =
+      std::string(IMBAR_TEST_DATA_DIR) + "/sweep_golden.csv";
+  std::ifstream in(golden_path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string golden = os.str();
+  ASSERT_FALSE(golden.empty()) << "missing " << golden_path;
+
+  const std::string out_path =
+      ::testing::TempDir() + "exec_determinism_golden.csv";
+  {
+    CsvWriter csv(out_path,
+                  {"procs", "sigma", "degree", "mean_delay", "stddev_delay"});
+    for (const std::size_t procs : {std::size_t{8}, std::size_t{32}}) {
+      for (const double sigma : {0.0, 10.0}) {
+        simb::SweepOptions opts;
+        opts.trials = 10;
+        opts.sigma = sigma;
+        opts.exec.threads = 2;
+        const auto res = simb::find_optimal_degree(procs, opts);
+        for (std::size_t i = 0; i < res.degrees.size(); ++i)
+          csv.write_row_numeric({static_cast<double>(procs), sigma,
+                                 static_cast<double>(res.degrees[i]),
+                                 res.stats[i].mean_delay,
+                                 res.stats[i].stddev_delay});
+      }
+    }
+  }
+  std::ifstream gen_in(out_path, std::ios::binary);
+  std::ostringstream gen_os;
+  gen_os << gen_in.rdbuf();
+  EXPECT_EQ(gen_os.str(), golden)
+      << "threads=2 sweep drifted from the serial golden file";
+}
+
+// ---- fault-sweep cell isolation ----------------------------------------
+
+robust::FaultSweepOptions small_fault_opts() {
+  robust::FaultSweepOptions opts;
+  opts.procs = 64;
+  opts.iterations = 40;
+  opts.deaths = 2;
+  return opts;
+}
+
+bool exactly_equal(const robust::FaultSweepCell& a,
+                   const robust::FaultSweepCell& b) {
+  return a.straggler_prob == b.straggler_prob &&
+         a.result.completed_iterations == b.result.completed_iterations &&
+         a.result.broken_episodes == b.result.broken_episodes &&
+         a.result.survivors == b.result.survivors &&
+         a.result.rebuilds == b.result.rebuilds &&
+         a.result.mean_sync_delay == b.result.mean_sync_delay &&
+         a.result.sync_delays == b.result.sync_delays &&
+         a.result.total_comms == b.result.total_comms &&
+         a.result.total_swaps == b.result.total_swaps &&
+         a.comms_per_episode == b.comms_per_episode;
+}
+
+// The regression the ShardedSeeder rework exists for: before it, cell
+// seeds were fixed constants, so a row's value silently depended on
+// nothing at all (every sweep reused one plan); now seeds are keyed by
+// the cell's probability, and a cell re-run alone — or inside a
+// different probability list — reproduces the full-sweep row exactly.
+TEST(ExecDeterminism, FaultSweepCellReproducesInIsolation) {
+  const auto opts = small_fault_opts();
+  const std::vector<double> probs{0.0, 0.01, 0.05, 0.2};
+  const auto full = robust::run_fault_sweep(opts, probs);
+  ASSERT_EQ(full.size(), probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const auto alone = robust::run_fault_sweep_cell(opts, probs[i]);
+    EXPECT_TRUE(exactly_equal(full[i], alone)) << "prob " << probs[i];
+  }
+  // Also inside a reordered / truncated sweep.
+  const auto subset = robust::run_fault_sweep(opts, {0.2, 0.01});
+  EXPECT_TRUE(exactly_equal(subset[0], full[3]));
+  EXPECT_TRUE(exactly_equal(subset[1], full[1]));
+}
+
+TEST(ExecDeterminism, FaultSweepBitIdenticalAcrossThreadCounts) {
+  const auto opts = small_fault_opts();
+  const std::vector<double> probs{0.0, 0.05, 0.2};
+  const auto reference = robust::run_fault_sweep(opts, probs);
+  for (std::size_t threads : thread_counts()) {
+    exec::Executor ex;
+    ex.threads = threads;
+    const auto sharded = robust::run_fault_sweep(opts, probs, ex);
+    ASSERT_EQ(sharded.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      EXPECT_TRUE(exactly_equal(reference[i], sharded[i]))
+          << "threads=" << threads << " prob " << probs[i];
+  }
+}
+
+TEST(ExecDeterminism, FaultCellSeedsDependOnValueNotList) {
+  const auto seeds = robust::fault_cell_seeds(7, 0.05);
+  EXPECT_EQ(seeds.plan, robust::fault_cell_seeds(7, 0.05).plan);
+  EXPECT_EQ(seeds.generator, robust::fault_cell_seeds(7, 0.05).generator);
+  EXPECT_NE(seeds.plan, robust::fault_cell_seeds(7, 0.2).plan);
+  EXPECT_NE(seeds.plan, seeds.generator);
+  EXPECT_NE(seeds.plan, robust::fault_cell_seeds(8, 0.05).plan);
+}
+
+// ---- conformance adversarial sweep -------------------------------------
+
+// The (pattern x seed) grid sharded over 2 workers must report the same
+// verdict as the serial sweep, for every barrier kind. Small cohorts:
+// each sweep worker runs a full real-thread cohort per cell.
+TEST(ExecDeterminism, AdversarialSweepMatchesSerialVerdictForAllKinds) {
+  for (BarrierKind kind : kAllBarrierKinds) {
+    const auto config = check::conformance_config(kind, 4, 2);
+    check::ConformanceOptions serial;
+    serial.epochs = 12;
+    check::ConformanceOptions sharded = serial;
+    sharded.sweep_threads = 2;
+    const auto a = check::check_adversarial_schedules(config, serial);
+    const auto b = check::check_adversarial_schedules(config, sharded);
+    EXPECT_TRUE(a.passed) << to_string(kind) << ": " << a.detail;
+    EXPECT_EQ(a.passed, b.passed) << to_string(kind);
+    EXPECT_EQ(a.detail, b.detail) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace imbar

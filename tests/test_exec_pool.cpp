@@ -1,0 +1,274 @@
+// Unit contract for the exec subsystem: TaskPool lifetime (including
+// shutdown with tasks still queued), exception propagation through
+// futures and parallel_for_chunked, ShardedSeeder stream independence,
+// and the chunked-loop edge cases the sweeps rely on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/parallel_for.hpp"
+#include "exec/sharded_seeder.hpp"
+#include "exec/task_pool.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::exec {
+namespace {
+
+TEST(ResolveThreads, ZeroMeansHardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(5), 5u);
+}
+
+TEST(TaskPool, RunsEveryTaskAndCountsThem) {
+  constexpr std::size_t kTasks = 200;
+  std::atomic<std::size_t> ran{0};
+  TaskPool pool(3);
+  ASSERT_EQ(pool.size(), 3u);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i)
+    futures.push_back(pool.submit([&] { ++ran; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), kTasks);
+
+  const TaskPoolMetrics m = pool.metrics();
+  EXPECT_EQ(m.submitted, kTasks);
+  EXPECT_EQ(m.executed, kTasks);
+  ASSERT_EQ(m.tasks_per_worker.size(), 3u);
+  std::uint64_t per_worker_sum = 0;
+  for (std::uint64_t t : m.tasks_per_worker) per_worker_sum += t;
+  EXPECT_EQ(per_worker_sum, kTasks);
+}
+
+// Shutdown-with-pending-tasks is part of the contract: the destructor
+// drains the queue, so every future from submit() becomes ready even
+// when the pool dies with most of its work still queued behind a slow
+// first task.
+TEST(TaskPool, DestructorDrainsQueuedTasks) {
+  constexpr std::size_t kQueued = 64;
+  std::atomic<std::size_t> ran{0};
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  std::vector<std::future<void>> futures;
+  {
+    TaskPool pool(1);
+    futures.push_back(pool.submit([&, released] {
+      released.wait();  // hold the single worker so the rest stays queued
+      ++ran;
+    }));
+    for (std::size_t i = 0; i < kQueued; ++i)
+      futures.push_back(pool.submit([&] { ++ran; }));
+    release.set_value();
+    // ~TaskPool here: stop intake, drain, join.
+  }
+  EXPECT_EQ(ran.load(), kQueued + 1);
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.valid());
+    EXPECT_NO_THROW(f.get());
+  }
+}
+
+// submit() after shutdown began throws instead of silently dropping the
+// task. Only a task already running during the drain can observe this
+// state, so that is how the test reaches it.
+TEST(TaskPool, SubmitDuringShutdownThrowsLogicError) {
+  std::atomic<bool> threw{false};
+  std::promise<void> started;
+  auto pool = std::make_unique<TaskPool>(1);
+  // Raw pointer: the TaskPool object outlives the task (the destructor
+  // joins), but the unique_ptr is already nulled while ~TaskPool runs.
+  TaskPool* raw = pool.get();
+  auto f = pool->submit([&, raw] {
+    started.set_value();
+    // Give ~TaskPool (which runs as soon as started resolves) ample time
+    // to flip the stopping flag; its first action is exactly that.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    try {
+      (void)raw->submit([] {});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  started.get_future().wait();
+  pool.reset();
+  EXPECT_NO_THROW(f.get());
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(TaskPool, FuturePropagatesTaskException) {
+  TaskPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(TaskPool, ObserverSeesEveryTaskWithItsWorker) {
+  constexpr std::size_t kTasks = 50;
+  std::atomic<std::size_t> observed{0};
+  std::atomic<bool> worker_in_range{true};
+  TaskPool pool(2);
+  pool.set_task_observer([&](std::size_t worker, std::uint64_t) {
+    ++observed;
+    if (worker >= pool.size()) worker_in_range = false;
+  });
+  std::vector<std::future<void>> futures;
+  for (std::size_t i = 0; i < kTasks; ++i)
+    futures.push_back(pool.submit([] {}));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(observed.load(), kTasks);
+  EXPECT_TRUE(worker_in_range.load());
+}
+
+TEST(TaskPool, BusyTimeAccumulates) {
+  TaskPool pool(1);
+  pool.submit([] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      })
+      .get();
+  const TaskPoolMetrics m = pool.metrics();
+  ASSERT_EQ(m.busy_ns_per_worker.size(), 1u);
+  EXPECT_GT(m.busy_ns_per_worker[0], 0u);
+}
+
+// ---- parallel_for_chunked ----------------------------------------------
+
+TEST(ParallelFor, EmptyRangeNeverInvokesBody) {
+  std::atomic<std::size_t> calls{0};
+  const auto body = [&](std::size_t, std::size_t, std::size_t) { ++calls; };
+  parallel_for_chunked(nullptr, 0, 0, 4, body);
+  parallel_for_chunked(nullptr, 7, 3, 4, body);  // begin past end
+  TaskPool pool(2);
+  parallel_for_chunked(&pool, 5, 5, 1, body);
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ParallelFor, ZeroChunkThrows) {
+  EXPECT_THROW(
+      parallel_for_chunked(nullptr, 0, 10, 0,
+                           [](std::size_t, std::size_t, std::size_t) {}),
+      std::invalid_argument);
+}
+
+TEST(ParallelFor, SingleChunkCoversWholeRange) {
+  std::size_t calls = 0, lo = 99, hi = 0, index = 99;
+  parallel_for_chunked(nullptr, 2, 9, 100,
+                       [&](std::size_t t, std::size_t l, std::size_t h) {
+                         ++calls;
+                         index = t;
+                         lo = l;
+                         hi = h;
+                       });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(index, 0u);
+  EXPECT_EQ(lo, 2u);
+  EXPECT_EQ(hi, 9u);
+}
+
+TEST(ParallelFor, ChunkLayoutIsAPureFunctionOfTheRange) {
+  // The same (begin, end, chunk) must decompose identically inline and
+  // on a pool — that layout stability is what sweep determinism rests on.
+  const auto layout_with = [](TaskPool* pool) {
+    std::vector<std::array<std::size_t, 3>> tasks(5);
+    parallel_for_chunked(pool, 3, 17, 3,
+                         [&](std::size_t t, std::size_t lo, std::size_t hi) {
+                           tasks.at(t) = {t, lo, hi};
+                         });
+    return tasks;
+  };
+  TaskPool pool(4);
+  const auto inline_layout = layout_with(nullptr);
+  const auto pooled_layout = layout_with(&pool);
+  EXPECT_EQ(inline_layout, pooled_layout);
+  EXPECT_EQ(inline_layout.back(), (std::array<std::size_t, 3>{4, 15, 17}));
+}
+
+TEST(ParallelFor, RethrowsLowestTaskIndexExceptionAfterAllTasksRan) {
+  TaskPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  try {
+    parallel_for_chunked(&pool, 0, 8, 1,
+                         [&](std::size_t t, std::size_t, std::size_t) {
+                           ++ran;
+                           if (t == 5) throw std::runtime_error("task5");
+                           if (t == 2) throw std::runtime_error("task2");
+                         });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task2");
+  }
+  EXPECT_EQ(ran.load(), 8u);
+}
+
+TEST(Executor, WorkerCountFollowsConfiguration) {
+  EXPECT_EQ(Executor{}.workers(), 1u);
+  Executor three;
+  three.threads = 3;
+  EXPECT_EQ(three.workers(), 3u);
+  TaskPool pool(2);
+  Executor borrowed;
+  borrowed.threads = 7;  // pool wins over threads
+  borrowed.pool = &pool;
+  EXPECT_EQ(borrowed.workers(), 2u);
+}
+
+TEST(Executor, InlineAndPooledRunsProduceTheSameSums) {
+  const auto sum_with = [](const Executor& ex) {
+    std::vector<std::uint64_t> slot(100);
+    ex.run_chunked(0, slot.size(), 7,
+                   [&](std::size_t, std::size_t lo, std::size_t hi) {
+                     for (std::size_t i = lo; i < hi; ++i) slot[i] = i * i;
+                   });
+    std::uint64_t total = 0;
+    for (std::uint64_t v : slot) total += v;
+    return total;
+  };
+  Executor serial;
+  Executor pooled;
+  pooled.threads = 4;
+  EXPECT_EQ(sum_with(serial), sum_with(pooled));
+}
+
+// ---- ShardedSeeder ------------------------------------------------------
+
+TEST(ShardedSeeder, MatchesXoshiroSubstreamKeying) {
+  const ShardedSeeder seeder(0x1CCB5EEDULL);
+  for (std::uint64_t i : {0ULL, 1ULL, 17ULL, 1'000'000ULL}) {
+    Xoshiro256 direct = Xoshiro256::substream(0x1CCB5EEDULL, i);
+    Xoshiro256 derived = seeder.stream(i);
+    for (int draw = 0; draw < 4; ++draw)
+      EXPECT_EQ(direct.next(), derived.next()) << "stream " << i;
+  }
+}
+
+TEST(ShardedSeeder, NoCollisionsOverAMillionDerivedSeeds) {
+  constexpr std::uint64_t kStreams = 1'000'000;
+  const ShardedSeeder seeder(42);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(kStreams * 2);
+  for (std::uint64_t i = 0; i < kStreams; ++i)
+    ASSERT_TRUE(seen.insert(seeder.derive(i)).second)
+        << "seed collision at index " << i;
+}
+
+TEST(ShardedSeeder, NestedShardsAreKeyedByValueNotPosition) {
+  const ShardedSeeder seeder(7);
+  // The shard for axis value 8 is the same object whether or not other
+  // axis values were ever visited — there is no positional state.
+  EXPECT_EQ(seeder.shard(8).derive(3), ShardedSeeder(7).shard(8).derive(3));
+  EXPECT_NE(seeder.shard(8).derive(3), seeder.shard(9).derive(3));
+  EXPECT_NE(seeder.shard(8).derive(3), seeder.shard(8).derive(4));
+}
+
+}  // namespace
+}  // namespace imbar::exec

@@ -1,0 +1,85 @@
+// Oversubscription soak for the exec subsystem (ctest -L stress).
+//
+// Several submitter threads hammer one TaskPool whose worker count
+// already oversubscribes the host, while sharded sweeps run on top —
+// the regime the sweep engine sees when a bench pins threads=0 on a
+// small CI box. Hangs are caught by the barrier_test_support watchdog
+// rather than a 25-minute ctest timeout.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "barrier_test_support.hpp"
+#include "exec/parallel_for.hpp"
+#include "exec/task_pool.hpp"
+#include "simbarrier/sweep.hpp"
+
+namespace imbar::exec {
+namespace {
+
+TEST(ExecStress, ConcurrentSubmittersOnAnOversubscribedPool) {
+  const std::size_t workers = 3 * resolve_threads(0) + 1;
+  constexpr std::size_t kSubmitters = 8;
+  constexpr std::size_t kTasksEach = 2000;
+
+  TaskPool pool(workers);
+  std::atomic<std::uint64_t> ran{0};
+  test::run_threads(kSubmitters, [&](std::size_t) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasksEach);
+    for (std::size_t i = 0; i < kTasksEach; ++i)
+      futures.push_back(pool.submit([&] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      }));
+    for (auto& f : futures) f.get();
+  });
+  EXPECT_EQ(ran.load(), kSubmitters * kTasksEach);
+  const TaskPoolMetrics m = pool.metrics();
+  EXPECT_EQ(m.executed, kSubmitters * kTasksEach);
+}
+
+TEST(ExecStress, RepeatedPoolChurnUnderLoad) {
+  // Construct/drain/destroy pools in a tight loop while tasks are still
+  // queued — the shutdown-with-pending path, soaked.
+  std::atomic<std::uint64_t> ran{0};
+  test::run_threads(4, [&](std::size_t) {
+    for (int round = 0; round < 60; ++round) {
+      TaskPool pool(3);
+      for (int i = 0; i < 40; ++i)
+        (void)pool.submit(
+            [&] { ran.fetch_add(1, std::memory_order_relaxed); });
+      // Destructor drains: no future collection needed.
+    }
+  });
+  EXPECT_EQ(ran.load(), 4u * 60u * 40u);
+}
+
+TEST(ExecStress, ShardedSweepsStayDeterministicUnderOversubscription) {
+  // Many concurrent sweeps sharing one oversubscribed pool must all
+  // reproduce the serial value — determinism under scheduler pressure,
+  // not just in the quiet unit-test regime.
+  simb::SweepOptions serial;
+  serial.trials = 8;
+  serial.sigma = 125.0;
+  const simb::DelayStats reference = simb::simulate_delay(32, 8, serial);
+
+  TaskPool pool(2 * resolve_threads(0) + 2);
+  std::atomic<int> mismatches{0};
+  test::run_threads(6, [&](std::size_t) {
+    for (int round = 0; round < 10; ++round) {
+      simb::SweepOptions opts = serial;
+      opts.exec.pool = &pool;
+      const simb::DelayStats got = simb::simulate_delay(32, 8, opts);
+      if (got.mean_delay != reference.mean_delay ||
+          got.stddev_delay != reference.stddev_delay)
+        ++mismatches;
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace imbar::exec
