@@ -2,7 +2,7 @@
 // command line — any processor count, imbalance, degree set, placement
 // policy, and slack, with the analytic model overlaid.
 //
-//   $ ./simulation_playground --procs=1024 --sigma-tc=25 \
+//   $ ./simulation_playground --procs=1024 --sigma-tc=25
 //         --degrees=2,4,8,16,32,64 --slack-ms=2 --dynamic
 //
 // --trace-csv=<path> additionally dumps every counter update of one

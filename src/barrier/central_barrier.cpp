@@ -38,8 +38,10 @@ void CentralBarrier::wait(std::size_t tid) {
       stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  SpinWait w;
-  while (epoch_.value.load(std::memory_order_acquire) == my) w.wait();
+  // Seeded per-thread backoff: under oversubscription the cohort's
+  // sleep schedules decorrelate instead of thundering the scheduler.
+  ExponentialBackoff backoff({}, detail::kWaitBackoffSeed, tid);
+  while (epoch_.value.load(std::memory_order_acquire) == my) backoff.pause();
 }
 
 WaitStatus CentralBarrier::wait_until(std::size_t tid, const WaitContext& ctx) {
@@ -56,10 +58,43 @@ WaitStatus CentralBarrier::wait_until(std::size_t tid, const WaitContext& ctx) {
 BarrierCounters CentralBarrier::counters() const {
   BarrierCounters c;
   c.episodes = epoch_.value.load(std::memory_order_relaxed);
-  c.updates = c.episodes * n_;
+  c.updates = c.episodes * n_ + detached_.updates;
+  c.overlapped = detached_.overlapped;
   for (std::size_t t = 0; t < n_; ++t)
     c.overlapped += stats_[t].overlapped.load(std::memory_order_relaxed);
   return c;
+}
+
+void CentralBarrier::detach_quiescent(std::size_t tid) {
+  if (tid >= n_)
+    throw std::invalid_argument("CentralBarrier::detach_quiescent: tid out of range");
+  if (n_ <= 1)
+    throw std::logic_error("CentralBarrier::detach_quiescent: last participant");
+  // Fold the departing slot's contributions so totals stay monotone.
+  detached_.updates += epoch_.value.load(std::memory_order_relaxed);
+  detached_.overlapped += stats_[tid].overlapped.load(std::memory_order_relaxed);
+  // Survivors above the slot shift down one dense id.
+  for (std::size_t t = tid; t + 1 < n_; ++t) {
+    stats_[t].overlapped.store(
+        stats_[t + 1].overlapped.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    stats_[t].released_episode = stats_[t + 1].released_episode;
+  }
+  stats_[n_ - 1].overlapped.store(0, std::memory_order_relaxed);
+  stats_[n_ - 1].released_episode = false;
+  local_epoch_.erase(local_epoch_.begin() + static_cast<std::ptrdiff_t>(tid));
+  --n_;
+  // Discard the aborted phase's partial arrivals: start-of-phase state.
+  count_.value.store(0, std::memory_order_relaxed);
+}
+
+void CentralBarrier::check_structure() const {
+  if (n_ == 0)
+    throw std::logic_error("CentralBarrier: empty cohort");
+  if (local_epoch_.size() != n_)
+    throw std::logic_error("CentralBarrier: local epoch sizing mismatch");
+  if (count_.value.load(std::memory_order_relaxed) > n_)
+    throw std::logic_error("CentralBarrier: count exceeds cohort size");
 }
 
 }  // namespace imbar

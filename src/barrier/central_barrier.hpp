@@ -13,12 +13,13 @@
 #include <vector>
 
 #include "barrier/barrier.hpp"
+#include "barrier/membership_ops.hpp"
 #include "barrier/tree_state.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar {
 
-class CentralBarrier final : public FuzzyBarrier {
+class CentralBarrier final : public FuzzyBarrier, public MembershipOps {
  public:
   explicit CentralBarrier(std::size_t participants);
 
@@ -29,6 +30,10 @@ class CentralBarrier final : public FuzzyBarrier {
   [[nodiscard]] std::size_t participants() const noexcept override { return n_; }
   [[nodiscard]] BarrierCounters counters() const override;
 
+  // MembershipOps: flat barrier — shrink the expected count.
+  void detach_quiescent(std::size_t tid) override;
+  void check_structure() const override;
+
  private:
   std::size_t n_;
   PaddedAtomic<std::uint32_t> count_{};
@@ -36,6 +41,7 @@ class CentralBarrier final : public FuzzyBarrier {
   // Epoch each thread is waiting to leave (written only by its owner).
   std::vector<Padded<std::uint64_t>> local_epoch_;
   std::unique_ptr<detail::ThreadCounters[]> stats_;
+  BarrierCounters detached_{};  // folded contributions of detached slots
 };
 
 }  // namespace imbar

@@ -68,13 +68,46 @@ WaitStatus CombiningTreeBarrier::wait_until(std::size_t tid,
 }
 
 BarrierCounters CombiningTreeBarrier::counters() const {
-  BarrierCounters c;
+  BarrierCounters c = detached_;
   c.episodes = epoch_.value.load(std::memory_order_relaxed);
   for (std::size_t t = 0; t < topo_.procs(); ++t) {
     c.updates += stats_[t].updates.load(std::memory_order_relaxed);
     c.overlapped += stats_[t].overlapped.load(std::memory_order_relaxed);
   }
   return c;
+}
+
+void CombiningTreeBarrier::detach_quiescent(std::size_t tid) {
+  const std::size_t n = topo_.procs();
+  if (tid >= n)
+    throw std::invalid_argument(
+        "CombiningTreeBarrier::detach_quiescent: tid out of range");
+  if (n <= 1)
+    throw std::logic_error(
+        "CombiningTreeBarrier::detach_quiescent: last participant");
+  detail::fold_and_shift_stats(stats_.get(), n, tid, detached_);
+  // Reparenting splice: the topology shrinks structurally; fresh
+  // counters discard the aborted phase's partial arrivals.
+  topo_ = topo_.without_proc(tid);
+  tree_ = detail::TreeCounters(topo_);
+  first_counter_ = topo_.initial_counter();
+  local_epoch_.erase(local_epoch_.begin() + static_cast<std::ptrdiff_t>(tid));
+}
+
+void CombiningTreeBarrier::check_structure() const {
+  topo_.validate();
+  if (first_counter_.size() != topo_.procs() ||
+      local_epoch_.size() != topo_.procs())
+    throw std::logic_error("CombiningTreeBarrier: per-thread sizing mismatch");
+  if (tree_.count.size() != topo_.counters() ||
+      tree_.parent.size() != topo_.counters() ||
+      tree_.fan_in.size() != topo_.counters())
+    throw std::logic_error("CombiningTreeBarrier: counter sizing mismatch");
+  for (std::size_t c = 0; c < topo_.counters(); ++c) {
+    if (tree_.parent[c] != topo_.node(static_cast<int>(c)).parent ||
+        tree_.fan_in[c] != topo_.node(static_cast<int>(c)).fan_in)
+      throw std::logic_error("CombiningTreeBarrier: counters diverge from topology");
+  }
 }
 
 }  // namespace imbar

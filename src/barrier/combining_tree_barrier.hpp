@@ -12,13 +12,14 @@
 #include <vector>
 
 #include "barrier/barrier.hpp"
+#include "barrier/membership_ops.hpp"
 #include "barrier/tree_state.hpp"
 #include "simbarrier/topology.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar {
 
-class CombiningTreeBarrier final : public FuzzyBarrier {
+class CombiningTreeBarrier final : public FuzzyBarrier, public MembershipOps {
  public:
   /// Degree >= 2; degree >= participants degenerates to a central
   /// counter (still correct, one shared counter).
@@ -35,13 +36,19 @@ class CombiningTreeBarrier final : public FuzzyBarrier {
   [[nodiscard]] const simb::Topology& topology() const noexcept { return topo_; }
   [[nodiscard]] BarrierCounters counters() const override;
 
+  // MembershipOps: reparent via Topology::without_proc — drained leaves
+  // are pruned and survivors keep the O(log p) combining structure.
+  void detach_quiescent(std::size_t tid) override;
+  void check_structure() const override;
+
  private:
   simb::Topology topo_;
   detail::TreeCounters tree_;
   PaddedAtomic<std::uint64_t> epoch_{};
   std::vector<Padded<std::uint64_t>> local_epoch_;
-  std::vector<int> first_counter_;  // leaf of each thread (immutable)
+  std::vector<int> first_counter_;  // leaf of each thread
   std::unique_ptr<detail::ThreadCounters[]> stats_;
+  BarrierCounters detached_{};  // folded contributions of detached slots
 };
 
 }  // namespace imbar

@@ -1,5 +1,6 @@
 #include "barrier/dissemination_barrier.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/spin_wait.hpp"
@@ -64,13 +65,41 @@ WaitStatus DisseminationBarrier::arrive_and_wait_until(std::size_t tid,
 BarrierCounters DisseminationBarrier::counters() const {
   BarrierCounters c;
   std::uint64_t min_ep = ~0ULL;
-  for (const auto& e : episode_) {
-    const std::uint64_t v = e.value.load(std::memory_order_relaxed);
-    min_ep = v < min_ep ? v : min_ep;
-  }
-  c.episodes = n_ ? min_ep : 0;
-  c.updates = c.episodes * n_ * rounds_;
+  for (std::size_t t = 0; t < n_; ++t)
+    min_ep = std::min(min_ep, episode_[t].value.load(std::memory_order_relaxed));
+  const std::uint64_t ep = n_ ? min_ep : 0;
+  c.episodes = ep + detached_.episodes;
+  c.updates = ep * n_ * rounds_ + detached_.updates;
   return c;
+}
+
+void DisseminationBarrier::detach_quiescent(std::size_t tid) {
+  if (tid >= n_)
+    throw std::invalid_argument(
+        "DisseminationBarrier::detach_quiescent: tid out of range");
+  if (n_ <= 1)
+    throw std::logic_error(
+        "DisseminationBarrier::detach_quiescent: last participant");
+  std::uint64_t min_ep = ~0ULL;
+  for (std::size_t t = 0; t < n_; ++t)
+    min_ep = std::min(min_ep, episode_[t].value.load(std::memory_order_relaxed));
+  detached_.episodes += min_ep;
+  detached_.updates += min_ep * n_ * rounds_;
+  --n_;
+  // Round re-derivation: partner distance arithmetic renumbers with the
+  // shrunken cohort, so all signal state restarts from zero (only the
+  // rounds_ * n_ prefix of the original storage is used).
+  rounds_ = log2_ceil(n_);
+  for (auto& f : flags_) f.value.store(0, std::memory_order_relaxed);
+  for (auto& e : episode_) e.value.store(0, std::memory_order_relaxed);
+}
+
+void DisseminationBarrier::check_structure() const {
+  if (n_ == 0) throw std::logic_error("DisseminationBarrier: empty cohort");
+  if (rounds_ != log2_ceil(n_))
+    throw std::logic_error("DisseminationBarrier: stale round derivation");
+  if (flags_.size() < rounds_ * n_ || episode_.size() < n_)
+    throw std::logic_error("DisseminationBarrier: flag storage too small");
 }
 
 }  // namespace imbar

@@ -16,11 +16,12 @@
 #include <vector>
 
 #include "barrier/barrier.hpp"
+#include "barrier/membership_ops.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar {
 
-class DisseminationBarrier final : public Barrier {
+class DisseminationBarrier final : public Barrier, public MembershipOps {
  public:
   explicit DisseminationBarrier(std::size_t participants);
 
@@ -32,14 +33,23 @@ class DisseminationBarrier final : public Barrier {
   [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
   [[nodiscard]] BarrierCounters counters() const override;
 
+  // MembershipOps: shrink by round re-derivation — rounds_ becomes
+  // ceil(log2(n-1)) and partner arithmetic renumbers, so all flag state
+  // restarts from a clean slate (prior episodes fold into a remainder).
+  void detach_quiescent(std::size_t tid) override;
+  void check_structure() const override;
+
  private:
   std::size_t n_;
   std::size_t rounds_;
   // flags_[r * n_ + i]: episodes thread i has been signalled in round r.
+  // Sized for the construction-time cohort; after detaches only the
+  // rounds_ * n_ prefix is used.
   std::vector<PaddedAtomic<std::uint64_t>> flags_;
   // Per thread, owner-incremented; atomic so counters() may read it
   // concurrently.
   std::vector<PaddedAtomic<std::uint64_t>> episode_;
+  BarrierCounters detached_{};  // folded pre-detach contributions
 };
 
 }  // namespace imbar

@@ -117,8 +117,61 @@ WaitStatus DynamicPlacementBarrier::wait_until(std::size_t tid,
       [&] { return epoch_.value.load(std::memory_order_acquire) != my; }, ctx);
 }
 
+void DynamicPlacementBarrier::detach_quiescent(std::size_t tid) {
+  const std::size_t n = topo_.procs();
+  if (tid >= n)
+    throw std::invalid_argument(
+        "DynamicPlacementBarrier::detach_quiescent: tid out of range");
+  if (n <= 1)
+    throw std::logic_error(
+        "DynamicPlacementBarrier::detach_quiescent: last participant");
+  detail::fold_and_shift_stats(stats_.get(), n, tid, detached_);
+  topo_ = topo_.without_proc(tid);
+  tree_ = detail::TreeCounters(topo_);
+  local_epoch_.erase(local_epoch_.begin() + static_cast<std::ptrdiff_t>(tid));
+
+  // Rebuild the placement machinery from the spliced structure. Every
+  // survivor restarts on its initial counter; Local/Destination revert
+  // to the constructor state so the first post-fence episode carries no
+  // stale displacement.
+  local_ = std::vector<PaddedAtomic<int>>(topo_.counters());
+  destination_ = std::vector<PaddedAtomic<int>>(topo_.counters());
+  is_multi_.assign(topo_.counters(), false);
+  first_counter_.resize(topo_.procs());
+  for (std::size_t c = 0; c < topo_.counters(); ++c) {
+    is_multi_[c] = topo_.attached_count(static_cast<int>(c)) > 1;
+    local_[c].value.store(kMulti, std::memory_order_relaxed);
+    destination_[c].value.store(-1, std::memory_order_relaxed);
+  }
+  const auto& initial = topo_.initial_counter();
+  for (std::size_t t = 0; t < topo_.procs(); ++t) {
+    first_counter_[t].value = initial[t];
+    if (!is_multi_[static_cast<std::size_t>(initial[t])])
+      local_[static_cast<std::size_t>(initial[t])].value.store(
+          static_cast<int>(t), std::memory_order_relaxed);
+  }
+}
+
+void DynamicPlacementBarrier::check_structure() const {
+  topo_.validate();
+  if (local_epoch_.size() != topo_.procs() ||
+      first_counter_.size() != topo_.procs())
+    throw std::logic_error("DynamicPlacementBarrier: per-thread sizing mismatch");
+  if (tree_.count.size() != topo_.counters() ||
+      local_.size() != topo_.counters() ||
+      destination_.size() != topo_.counters() ||
+      is_multi_.size() != topo_.counters())
+    throw std::logic_error("DynamicPlacementBarrier: counter sizing mismatch");
+  // Every placement (including learned swaps) must name a live counter.
+  for (std::size_t t = 0; t < topo_.procs(); ++t) {
+    const int fc = first_counter_[t].value;
+    if (fc < 0 || static_cast<std::size_t>(fc) >= topo_.counters())
+      throw std::logic_error("DynamicPlacementBarrier: placement off the tree");
+  }
+}
+
 BarrierCounters DynamicPlacementBarrier::counters() const {
-  BarrierCounters c;
+  BarrierCounters c = detached_;
   c.episodes = epoch_.value.load(std::memory_order_relaxed);
   for (std::size_t t = 0; t < topo_.procs(); ++t) {
     c.updates += stats_[t].updates.load(std::memory_order_relaxed);

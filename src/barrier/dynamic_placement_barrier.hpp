@@ -32,13 +32,15 @@
 #include <vector>
 
 #include "barrier/barrier.hpp"
+#include "barrier/membership_ops.hpp"
 #include "barrier/tree_state.hpp"
 #include "simbarrier/topology.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar {
 
-class DynamicPlacementBarrier final : public FuzzyBarrier {
+class DynamicPlacementBarrier final : public FuzzyBarrier,
+                                      public MembershipOps {
  public:
   DynamicPlacementBarrier(std::size_t participants, std::size_t degree);
 
@@ -62,6 +64,13 @@ class DynamicPlacementBarrier final : public FuzzyBarrier {
   /// use only.
   [[nodiscard]] int depth_of(std::size_t tid) const;
 
+  // MembershipOps: reparent the static structure via
+  // Topology::without_proc and re-seat every survivor on its initial
+  // placement (learned swap positions are deliberately dropped — the
+  // imbalance pattern that taught them ended with the evicted member).
+  void detach_quiescent(std::size_t tid) override;
+  void check_structure() const override;
+
  private:
   static constexpr int kMulti = -2;  // Local value for multi-attached leaves
 
@@ -75,6 +84,7 @@ class DynamicPlacementBarrier final : public FuzzyBarrier {
   std::vector<bool> is_multi_;                  // static: leaf with >1 attached
   std::vector<Padded<int>> first_counter_;      // per thread, owner-written
   std::unique_ptr<detail::ThreadCounters[]> stats_;
+  BarrierCounters detached_{};  // folded contributions of detached slots
 };
 
 }  // namespace imbar

@@ -74,6 +74,12 @@ void validate(const BarrierConfig& config) {
   if (config.participants < 1)
     throw std::invalid_argument(
         "BarrierConfig: participants must be >= 1 (got 0)");
+  if (config.max_participants != 0 &&
+      config.participants > config.max_participants)
+    throw std::invalid_argument(
+        "BarrierConfig: participants (" + std::to_string(config.participants) +
+        ") exceeds max_participants (" +
+        std::to_string(config.max_participants) + ")");
   if (!uses_degree(config.kind)) return;
   if (config.degree < 2)
     throw std::invalid_argument(

@@ -54,11 +54,17 @@ struct BarrierConfig {
   std::size_t participants = 0;
   std::size_t degree = 4;               // tree barriers
   AdaptiveBarrier::Options adaptive{};  // kAdaptive only
+  // Membership headroom (robust::MembershipGroup): upper bound on the
+  // cohort size joins may grow to. 0 means "no growth beyond the
+  // initial participants". Validated: participants <= max_participants
+  // when set.
+  std::size_t max_participants = 0;
 };
 
 /// Construct any barrier kind. The configuration is validated:
-/// participants >= 1 always; for the tree kinds (combining, mcs,
-/// dynamic) additionally 2 <= degree <= max(2, participants).
+/// participants >= 1 always; participants <= max_participants when a
+/// membership cap is set; for the tree kinds (combining, mcs, dynamic)
+/// additionally 2 <= degree <= max(2, participants).
 /// Violations throw std::invalid_argument with a descriptive message.
 [[nodiscard]] std::unique_ptr<Barrier> make_barrier(const BarrierConfig& config);
 

@@ -101,10 +101,35 @@ WaitStatus McsLocalSpinBarrier::arrive_and_wait_until(std::size_t tid,
 
 BarrierCounters McsLocalSpinBarrier::counters() const {
   BarrierCounters c;
-  c.episodes = episode_[0].value.load(std::memory_order_relaxed);
+  const std::uint64_t ep = episode_[0].value.load(std::memory_order_relaxed);
+  c.episodes = ep + detached_.episodes;
   // Per episode: n-1 arrival signals + n-1 wakeup writes.
-  c.updates = c.episodes * (n_ ? 2 * (n_ - 1) : 0);
+  c.updates = ep * (n_ ? 2 * (n_ - 1) : 0) + detached_.updates;
   return c;
+}
+
+void McsLocalSpinBarrier::detach_quiescent(std::size_t tid) {
+  if (tid >= n_)
+    throw std::invalid_argument(
+        "McsLocalSpinBarrier::detach_quiescent: tid out of range");
+  if (n_ <= 1)
+    throw std::logic_error(
+        "McsLocalSpinBarrier::detach_quiescent: last participant");
+  const std::uint64_t ep = episode_[0].value.load(std::memory_order_relaxed);
+  detached_.episodes += ep;
+  detached_.updates += ep * 2 * (n_ - 1);
+  --n_;
+  // The arrival/wakeup trees are heap arithmetic over tid: survivors
+  // renumber, so all flags restart from zero over the n_ prefix.
+  for (auto& a : arrived_) a.value.store(0, std::memory_order_relaxed);
+  for (auto& w : wakeup_) w.value.store(0, std::memory_order_relaxed);
+  for (auto& e : episode_) e.value.store(0, std::memory_order_relaxed);
+}
+
+void McsLocalSpinBarrier::check_structure() const {
+  if (n_ == 0) throw std::logic_error("McsLocalSpinBarrier: empty cohort");
+  if (arrived_.size() < n_ || wakeup_.size() < n_ || episode_.size() < n_)
+    throw std::logic_error("McsLocalSpinBarrier: flag storage too small");
 }
 
 }  // namespace imbar

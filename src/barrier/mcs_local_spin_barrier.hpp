@@ -18,11 +18,12 @@
 #include <vector>
 
 #include "barrier/barrier.hpp"
+#include "barrier/membership_ops.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar {
 
-class McsLocalSpinBarrier final : public Barrier {
+class McsLocalSpinBarrier final : public Barrier, public MembershipOps {
  public:
   /// Arrival fan-in and wakeup fan-out are configurable; the MCS paper
   /// uses 4 and 2.
@@ -39,6 +40,12 @@ class McsLocalSpinBarrier final : public Barrier {
   [[nodiscard]] std::size_t wakeup_fanout() const noexcept { return fout_; }
   [[nodiscard]] BarrierCounters counters() const override;
 
+  // MembershipOps: the heap layout is tid arithmetic — shrinking the
+  // cohort renumbers survivors and restarts the flag/episode state from
+  // a clean slate (prior episodes fold into a remainder).
+  void detach_quiescent(std::size_t tid) override;
+  void check_structure() const override;
+
  private:
   [[nodiscard]] std::size_t arrival_children(std::size_t tid) const;
 
@@ -46,10 +53,13 @@ class McsLocalSpinBarrier final : public Barrier {
   std::size_t fin_;
   std::size_t fout_;
   // arrived_[i]: cumulative signals received from i's arrival children.
+  // All three arrays are sized for the construction-time cohort; after
+  // detaches only the n_ prefix is used.
   std::vector<PaddedAtomic<std::uint64_t>> arrived_;
   // wakeup_[i]: last episode i has been released in.
   std::vector<PaddedAtomic<std::uint64_t>> wakeup_;
   std::vector<PaddedAtomic<std::uint64_t>> episode_;  // owner-incremented
+  BarrierCounters detached_{};  // folded pre-detach contributions
 };
 
 }  // namespace imbar

@@ -61,8 +61,36 @@ WaitStatus McsTreeBarrier::wait_until(std::size_t tid, const WaitContext& ctx) {
       [&] { return epoch_.value.load(std::memory_order_acquire) != my; }, ctx);
 }
 
+void McsTreeBarrier::detach_quiescent(std::size_t tid) {
+  const std::size_t n = topo_.procs();
+  if (tid >= n)
+    throw std::invalid_argument(
+        "McsTreeBarrier::detach_quiescent: tid out of range");
+  if (n <= 1)
+    throw std::logic_error("McsTreeBarrier::detach_quiescent: last participant");
+  detail::fold_and_shift_stats(stats_.get(), n, tid, detached_);
+  topo_ = topo_.without_proc(tid);
+  tree_ = detail::TreeCounters(topo_);
+  first_counter_ = topo_.initial_counter();
+  local_epoch_.erase(local_epoch_.begin() + static_cast<std::ptrdiff_t>(tid));
+}
+
+void McsTreeBarrier::check_structure() const {
+  topo_.validate();
+  if (first_counter_.size() != topo_.procs() ||
+      local_epoch_.size() != topo_.procs())
+    throw std::logic_error("McsTreeBarrier: per-thread sizing mismatch");
+  if (tree_.count.size() != topo_.counters())
+    throw std::logic_error("McsTreeBarrier: counter sizing mismatch");
+  for (std::size_t c = 0; c < topo_.counters(); ++c) {
+    if (tree_.parent[c] != topo_.node(static_cast<int>(c)).parent ||
+        tree_.fan_in[c] != topo_.node(static_cast<int>(c)).fan_in)
+      throw std::logic_error("McsTreeBarrier: counters diverge from topology");
+  }
+}
+
 BarrierCounters McsTreeBarrier::counters() const {
-  BarrierCounters c;
+  BarrierCounters c = detached_;
   c.episodes = epoch_.value.load(std::memory_order_relaxed);
   for (std::size_t t = 0; t < topo_.procs(); ++t) {
     c.updates += stats_[t].updates.load(std::memory_order_relaxed);

@@ -12,13 +12,14 @@
 #include <vector>
 
 #include "barrier/barrier.hpp"
+#include "barrier/membership_ops.hpp"
 #include "barrier/tree_state.hpp"
 #include "simbarrier/topology.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar {
 
-class McsTreeBarrier final : public FuzzyBarrier {
+class McsTreeBarrier final : public FuzzyBarrier, public MembershipOps {
  public:
   McsTreeBarrier(std::size_t participants, std::size_t degree);
 
@@ -33,6 +34,11 @@ class McsTreeBarrier final : public FuzzyBarrier {
   [[nodiscard]] const simb::Topology& topology() const noexcept { return topo_; }
   [[nodiscard]] BarrierCounters counters() const override;
 
+  // MembershipOps: true reparenting — an evicted node's children are
+  // re-attached to its parent (Topology::without_proc splice).
+  void detach_quiescent(std::size_t tid) override;
+  void check_structure() const override;
+
  private:
   simb::Topology topo_;
   detail::TreeCounters tree_;
@@ -40,6 +46,7 @@ class McsTreeBarrier final : public FuzzyBarrier {
   std::vector<Padded<std::uint64_t>> local_epoch_;
   std::vector<int> first_counter_;
   std::unique_ptr<detail::ThreadCounters[]> stats_;
+  BarrierCounters detached_{};  // folded contributions of detached slots
 };
 
 }  // namespace imbar

@@ -1,0 +1,63 @@
+// Optional membership capability for barrier implementations.
+//
+// robust::MembershipGroup (docs/robustness.md) shrinks a barrier's
+// cohort online when a participant leaves or is evicted by the stall
+// watchdog. Kinds that implement MembershipOps support an in-place
+// **detach**: the departing thread's slot is spliced out of the
+// structure under the group's epoch fence — for tree kinds this is a
+// true reparenting step (the evicted node's children re-attach to its
+// parent and the expected-arrival counters are rewritten), so the
+// surviving p-k participants keep an O(log p) topology instead of
+// paying a full rebuild. Kinds without the capability (currently the
+// adaptive meta-barrier) are rebuilt through the factory instead; both
+// paths are exercised by the conformance kit.
+//
+// Contract for detach_quiescent():
+//   * Quiescent-only: the caller guarantees no thread is inside
+//     arrive/wait. MembershipGroup drains its in-flight gate first.
+//   * `tid` is the *dense* id to remove; survivors with larger ids
+//     shift down by one (the caller re-derives its own id mapping).
+//   * The aborted phase's partial arrivals are discarded: transient
+//     per-phase state is reset to start-of-phase over the shrunken
+//     cohort. Survivors re-arrive for the interrupted phase.
+//   * Cumulative counters() totals remain monotone: contributions of
+//     the detached slot are folded into an internal remainder so
+//     episode/update counts never move backwards.
+//   * Throws std::logic_error if the barrier has only one participant
+//     (the group never evicts the last survivor; FaultPlan validation
+//     rejects such schedules up front).
+#pragma once
+
+#include <cstddef>
+
+#include "barrier/barrier.hpp"
+
+namespace imbar {
+
+class MembershipOps {
+ public:
+  virtual ~MembershipOps() = default;
+
+  /// Splice dense participant `tid` out of the structure. See the
+  /// contract above. Quiescent-only.
+  virtual void detach_quiescent(std::size_t tid) = 0;
+
+  /// Validate structural invariants (connected topology, counter
+  /// sizing, round derivation) after membership changes. Throws
+  /// std::logic_error on violation. Quiescent-only.
+  virtual void check_structure() const = 0;
+
+  /// Whether detach_quiescent() actually works through this object.
+  /// Decorators (obs::InstrumentedBarrier) forward to their inner
+  /// barrier and report false when it lacks the capability.
+  [[nodiscard]] virtual bool supports_detach() const noexcept { return true; }
+};
+
+/// Capability discovery: the MembershipOps view of `b`, or nullptr if
+/// the kind does not implement membership (callers then fall back to a
+/// factory rebuild).
+[[nodiscard]] inline MembershipOps* membership_ops(Barrier* b) noexcept {
+  return dynamic_cast<MembershipOps*>(b);
+}
+
+}  // namespace imbar

@@ -43,8 +43,10 @@ void SenseReversingBarrier::wait(std::size_t tid) {
       stats_[tid].overlapped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  SpinWait w;
-  while (sense_.value.load(std::memory_order_acquire) != my) w.wait();
+  // Seeded per-thread backoff: under oversubscription the cohort's
+  // sleep schedules decorrelate instead of thundering the scheduler.
+  ExponentialBackoff backoff({}, detail::kWaitBackoffSeed, tid);
+  while (sense_.value.load(std::memory_order_acquire) != my) backoff.pause();
 }
 
 WaitStatus SenseReversingBarrier::wait_until(std::size_t tid,
@@ -62,10 +64,47 @@ WaitStatus SenseReversingBarrier::wait_until(std::size_t tid,
 BarrierCounters SenseReversingBarrier::counters() const {
   BarrierCounters c;
   c.episodes = episodes_.value.load(std::memory_order_relaxed);
-  c.updates = c.episodes * n_;
+  c.updates = c.episodes * n_ + detached_.updates;
+  c.overlapped = detached_.overlapped;
   for (std::size_t t = 0; t < n_; ++t)
     c.overlapped += stats_[t].overlapped.load(std::memory_order_relaxed);
   return c;
+}
+
+void SenseReversingBarrier::detach_quiescent(std::size_t tid) {
+  if (tid >= n_)
+    throw std::invalid_argument(
+        "SenseReversingBarrier::detach_quiescent: tid out of range");
+  if (n_ <= 1)
+    throw std::logic_error(
+        "SenseReversingBarrier::detach_quiescent: last participant");
+  detached_.updates += episodes_.value.load(std::memory_order_relaxed);
+  detached_.overlapped += stats_[tid].overlapped.load(std::memory_order_relaxed);
+  for (std::size_t t = tid; t + 1 < n_; ++t) {
+    stats_[t].overlapped.store(
+        stats_[t + 1].overlapped.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    stats_[t].released_episode = stats_[t + 1].released_episode;
+  }
+  stats_[n_ - 1].overlapped.store(0, std::memory_order_relaxed);
+  stats_[n_ - 1].released_episode = false;
+  local_sense_.erase(local_sense_.begin() + static_cast<std::ptrdiff_t>(tid));
+  --n_;
+  // Discard partial arrivals of the aborted phase and re-seat every
+  // survivor's private sense on the current global sense, so the next
+  // arrival uniformly targets the flipped value.
+  count_.value.store(0, std::memory_order_relaxed);
+  const std::uint32_t global = sense_.value.load(std::memory_order_relaxed);
+  for (auto& s : local_sense_) s.value = global;
+}
+
+void SenseReversingBarrier::check_structure() const {
+  if (n_ == 0)
+    throw std::logic_error("SenseReversingBarrier: empty cohort");
+  if (local_sense_.size() != n_)
+    throw std::logic_error("SenseReversingBarrier: local sense sizing mismatch");
+  if (count_.value.load(std::memory_order_relaxed) > n_)
+    throw std::logic_error("SenseReversingBarrier: count exceeds cohort size");
 }
 
 }  // namespace imbar

@@ -21,12 +21,13 @@
 #include <vector>
 
 #include "barrier/barrier.hpp"
+#include "barrier/membership_ops.hpp"
 #include "barrier/tree_state.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar {
 
-class SenseReversingBarrier final : public FuzzyBarrier {
+class SenseReversingBarrier final : public FuzzyBarrier, public MembershipOps {
  public:
   explicit SenseReversingBarrier(std::size_t participants);
 
@@ -39,6 +40,11 @@ class SenseReversingBarrier final : public FuzzyBarrier {
   }
   [[nodiscard]] BarrierCounters counters() const override;
 
+  // MembershipOps: flat barrier — shrink the expected count and re-seat
+  // every survivor's private sense on the current global sense.
+  void detach_quiescent(std::size_t tid) override;
+  void check_structure() const override;
+
  private:
   std::size_t n_;
   PaddedAtomic<std::uint32_t> count_{};
@@ -46,6 +52,7 @@ class SenseReversingBarrier final : public FuzzyBarrier {
   PaddedAtomic<std::uint64_t> episodes_{};  // instrumentation only
   std::vector<Padded<std::uint32_t>> local_sense_;  // owner-only slots
   std::unique_ptr<detail::ThreadCounters[]> stats_;
+  BarrierCounters detached_{};  // folded contributions of detached slots
 };
 
 }  // namespace imbar

@@ -96,10 +96,39 @@ WaitStatus TournamentBarrier::arrive_and_wait_until(std::size_t tid,
 
 BarrierCounters TournamentBarrier::counters() const {
   BarrierCounters c;
-  c.episodes = epoch_.value.load(std::memory_order_relaxed);
+  const std::uint64_t ep = epoch_.value.load(std::memory_order_relaxed);
+  c.episodes = ep + detached_.episodes;
   // Each episode: one signal per non-champion thread.
-  c.updates = c.episodes * (n_ ? n_ - 1 : 0);
+  c.updates = ep * (n_ ? n_ - 1 : 0) + detached_.updates;
   return c;
+}
+
+void TournamentBarrier::detach_quiescent(std::size_t tid) {
+  if (tid >= n_)
+    throw std::invalid_argument(
+        "TournamentBarrier::detach_quiescent: tid out of range");
+  if (n_ <= 1)
+    throw std::logic_error(
+        "TournamentBarrier::detach_quiescent: last participant");
+  const std::uint64_t ep = epoch_.value.load(std::memory_order_relaxed);
+  detached_.episodes += ep;
+  detached_.updates += ep * (n_ - 1);
+  --n_;
+  rounds_ = log2_ceil(n_);
+  // The bracket pairing is tid arithmetic: survivors above the slot
+  // renumber, so all signal and episode state restarts from zero (only
+  // the rounds_ * n_ prefix of the original storage is used).
+  for (auto& s : loser_signal_) s.value.store(0, std::memory_order_relaxed);
+  for (auto& e : episode_) e.value.store(0, std::memory_order_relaxed);
+  epoch_.value.store(0, std::memory_order_relaxed);
+}
+
+void TournamentBarrier::check_structure() const {
+  if (n_ == 0) throw std::logic_error("TournamentBarrier: empty cohort");
+  if (rounds_ != log2_ceil(n_))
+    throw std::logic_error("TournamentBarrier: stale round derivation");
+  if (loser_signal_.size() < rounds_ * n_ || episode_.size() < n_)
+    throw std::logic_error("TournamentBarrier: signal storage too small");
 }
 
 }  // namespace imbar

@@ -16,11 +16,12 @@
 #include <vector>
 
 #include "barrier/barrier.hpp"
+#include "barrier/membership_ops.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar {
 
-class TournamentBarrier final : public Barrier {
+class TournamentBarrier final : public Barrier, public MembershipOps {
  public:
   explicit TournamentBarrier(std::size_t participants);
 
@@ -32,14 +33,22 @@ class TournamentBarrier final : public Barrier {
   [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
   [[nodiscard]] BarrierCounters counters() const override;
 
+  // MembershipOps: the bracket is pure tid arithmetic, so shrinking the
+  // cohort re-derives the rounds over n-1 and restarts the episode
+  // counters from a clean slate (prior episodes fold into a remainder).
+  void detach_quiescent(std::size_t tid) override;
+  void check_structure() const override;
+
  private:
   std::size_t n_;
   std::size_t rounds_;
   // loser_signal_[r * n + winner]: episodes the round-r loser facing
-  // `winner` has signalled.
+  // `winner` has signalled. Sized for the construction-time cohort;
+  // after detaches only the rounds_ * n_ prefix is used.
   std::vector<PaddedAtomic<std::uint64_t>> loser_signal_;
   PaddedAtomic<std::uint64_t> epoch_{};
   std::vector<PaddedAtomic<std::uint64_t>> episode_;  // owner-incremented
+  BarrierCounters detached_{};  // folded pre-detach contributions
 };
 
 }  // namespace imbar

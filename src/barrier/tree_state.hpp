@@ -9,10 +9,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "barrier/barrier.hpp"
 #include "simbarrier/topology.hpp"
 #include "util/cacheline.hpp"
 
 namespace imbar::detail {
+
+/// Seed for the decorrelated-jitter backoff in barrier wait loops
+/// (util/spin_wait.hpp ExponentialBackoff). A fixed constant keeps the
+/// per-thread sleep schedules reproducible run to run; the thread id is
+/// the substream index, so cohort members never share a schedule.
+inline constexpr std::uint64_t kWaitBackoffSeed = 0x5EEDB0FFC0DE17ULL;
 
 /// One cache line per counter; parent/fan-in are immutable after build.
 struct TreeCounters {
@@ -43,5 +50,35 @@ struct alignas(kCacheLineSize) ThreadCounters {
   // thus release the episode)? Consulted by its own wait().
   bool released_episode = false;
 };
+
+/// Membership-detach bookkeeping (MembershipOps::detach_quiescent):
+/// fold dense slot `tid`'s cumulative contributions into `detached` so
+/// counters() totals stay monotone, then shift survivors above it down
+/// by one dense id. Quiescent-only (relaxed copies of owner slots).
+inline void fold_and_shift_stats(ThreadCounters* stats, std::size_t n,
+                                 std::size_t tid, BarrierCounters& detached) {
+  detached.updates += stats[tid].updates.load(std::memory_order_relaxed);
+  detached.extra_comms += stats[tid].extra_comms.load(std::memory_order_relaxed);
+  detached.swaps += stats[tid].swaps.load(std::memory_order_relaxed);
+  detached.overlapped += stats[tid].overlapped.load(std::memory_order_relaxed);
+  for (std::size_t t = tid; t + 1 < n; ++t) {
+    stats[t].updates.store(stats[t + 1].updates.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    stats[t].extra_comms.store(
+        stats[t + 1].extra_comms.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    stats[t].swaps.store(stats[t + 1].swaps.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    stats[t].overlapped.store(
+        stats[t + 1].overlapped.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    stats[t].released_episode = stats[t + 1].released_episode;
+  }
+  stats[n - 1].updates.store(0, std::memory_order_relaxed);
+  stats[n - 1].extra_comms.store(0, std::memory_order_relaxed);
+  stats[n - 1].swaps.store(0, std::memory_order_relaxed);
+  stats[n - 1].overlapped.store(0, std::memory_order_relaxed);
+  stats[n - 1].released_episode = false;
+}
 
 }  // namespace imbar::detail

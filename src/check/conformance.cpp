@@ -13,6 +13,7 @@
 
 #include "exec/parallel_for.hpp"
 #include "obs/instrumented_barrier.hpp"
+#include "robust/membership.hpp"
 #include "robust/robust_barrier.hpp"
 #include "util/cacheline.hpp"
 
@@ -489,6 +490,235 @@ ConformanceResult check_adversarial_schedules(const BarrierConfig& config,
   for (const ConformanceResult& r : results)
     if (!r.passed) return r;
   return ConformanceResult::ok();
+}
+
+namespace {
+
+robust::MembershipOptions membership_options(const ConformanceOptions& opts,
+                                             std::chrono::nanoseconds timeout) {
+  robust::MembershipOptions mopts;
+  mopts.robust.default_timeout = timeout;
+  if (opts.instrument)
+    mopts.robust.inner_factory = obs::instrumenting_inner_factory();
+  return mopts;
+}
+
+}  // namespace
+
+ConformanceResult check_evict_mid_phase(const BarrierConfig& config,
+                                        const ConformanceOptions& opts) {
+  using robust::MemberState;
+  using robust::MemberStatus;
+  const std::size_t n = config.participants;
+  if (n < 2)
+    return ConformanceResult::ok("eviction needs a survivor; vacuous at p=1");
+
+  const std::size_t k = n / 3 == 0 ? 1 : n / 3;  // evictees: tids [n-k, n)
+  constexpr std::size_t kWarmup = 10;
+  constexpr std::int64_t kPostPhases = 100;
+
+  // Generous watchdog deadline: long enough that a live-but-slow
+  // survivor is never suspected under sanitizer oversubscription, short
+  // enough that the deliberate stragglers are evicted promptly.
+  robust::MembershipGroup group(
+      config, membership_options(opts, std::chrono::milliseconds(500)));
+  Violations violations;
+  std::vector<PaddedAtomic<std::int64_t>> ledger(n);
+
+  run_cohort(
+      n,
+      [&](std::size_t tid) {
+        for (std::size_t g = 0; g < kWarmup; ++g) {
+          if (group.arrive_and_wait(tid) != MemberStatus::kOk)
+            violations.record(describe(config) +
+                              ": warm-up phase not kOk for tid " +
+                              std::to_string(tid));
+        }
+        if (tid >= n - k) return;  // straggler: never arrives again
+        for (std::int64_t g = 1; g <= kPostPhases; ++g) {
+          ledger[tid].value.store(g, std::memory_order_release);
+          const MemberStatus s = group.arrive_and_wait(tid);
+          if (s != MemberStatus::kOk) {
+            violations.record(describe(config) + ": survivor " +
+                              std::to_string(tid) + " got " +
+                              robust::to_string(s) + " at post-eviction phase " +
+                              std::to_string(g));
+            return;  // a non-kOk survivor is out of the roster; stop
+          }
+          for (std::size_t o = 0; o < n - k; ++o) {
+            const std::int64_t v =
+                ledger[o].value.load(std::memory_order_acquire);
+            if (v < g || v > g + 1)
+              violations.record(
+                  describe(config) + ": after post-eviction phase " +
+                  std::to_string(g) + ", tid " + std::to_string(tid) +
+                  " observed survivor " + std::to_string(o) +
+                  " at generation " + std::to_string(v) + " (allowed [" +
+                  std::to_string(g) + ", " + std::to_string(g + 1) + "])");
+          }
+        }
+      },
+      opts.watchdog);
+
+  for (std::size_t tid = n - k; tid < n; ++tid) {
+    const MemberState s = group.state(tid);
+    if (s != MemberState::kQuarantined && s != MemberState::kExpelled)
+      violations.record(describe(config) + ": straggler " +
+                        std::to_string(tid) + " ended in state " +
+                        robust::to_string(s));
+  }
+  if (group.active_members() != n - k)
+    violations.record(describe(config) + ": " +
+                      std::to_string(group.active_members()) +
+                      " active members after evicting " + std::to_string(k));
+  const robust::MembershipStats stats = group.stats();
+  if (stats.evictions != k)
+    violations.record(describe(config) + ": stats().evictions == " +
+                      std::to_string(stats.evictions) + ", expected " +
+                      std::to_string(k));
+  // Shrink-only fences reparent in place exactly when the kind carries
+  // MembershipOps (through the instrumented decorator too); otherwise
+  // every repair is a factory rebuild.
+  {
+    auto probe = make_barrier(config);
+    if (membership_ops(probe.get()) != nullptr) {
+      if (stats.reparent_ops != k)
+        violations.record(describe(config) + ": stats().reparent_ops == " +
+                          std::to_string(stats.reparent_ops) + ", expected " +
+                          std::to_string(k) + " detach splices");
+    } else if (stats.rebuilds == 0) {
+      violations.record(describe(config) +
+                        ": no-MembershipOps kind repaired without a rebuild");
+    }
+  }
+  try {
+    group.check_structure();
+  } catch (const std::logic_error& e) {
+    violations.record(describe(config) +
+                      ": post-eviction structural invariant: " + e.what());
+  }
+  return violations.result();
+}
+
+ConformanceResult check_quarantine_readmit(const BarrierConfig& config,
+                                           const ConformanceOptions& opts) {
+  using robust::MemberState;
+  using robust::MemberStatus;
+  const std::size_t n = config.participants;
+  if (n < 2)
+    return ConformanceResult::ok("readmission needs a cohort; vacuous at p=1");
+
+  constexpr std::size_t kWarmup = 5;
+  constexpr int kPostPhases = 20;
+  const std::size_t victim = n - 1;
+
+  robust::MembershipOptions mopts =
+      membership_options(opts, std::chrono::milliseconds(500));
+  mopts.probe_timeout = std::chrono::seconds(10);  // cohort phases actively
+  robust::MembershipGroup group(config, mopts);
+  Violations violations;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> epoch_at_readmit{0};
+
+  run_cohort(
+      n,
+      [&](std::size_t tid) {
+        for (std::size_t g = 0; g < kWarmup; ++g) {
+          if (group.arrive_and_wait(tid) != MemberStatus::kOk)
+            violations.record(describe(config) +
+                              ": warm-up phase not kOk for tid " +
+                              std::to_string(tid));
+        }
+        if (tid == victim) {
+          // Stall until the survivors' watchdog quarantines us.
+          // kSuspected is a transient mark inside the fence (advisory
+          // pass, pre-drain); only the post-drain confirmation settles
+          // it, so spin through it.
+          spin_until([&] {
+            const MemberState s = group.state(victim);
+            return s != MemberState::kJoined && s != MemberState::kSuspected;
+          });
+          if (group.state(victim) != MemberState::kQuarantined) {
+            violations.record(describe(config) + ": victim reached state " +
+                              robust::to_string(group.state(victim)) +
+                              " instead of quarantined");
+            stop.store(true, std::memory_order_release);
+            return;
+          }
+          const MemberStatus r = group.await_readmission(victim);
+          if (r != MemberStatus::kOk) {
+            violations.record(describe(config) +
+                              ": await_readmission returned " +
+                              robust::to_string(r));
+            stop.store(true, std::memory_order_release);
+            return;
+          }
+          epoch_at_readmit.store(group.epoch(), std::memory_order_release);
+          int completed = 0;
+          while (completed < kPostPhases) {
+            const MemberStatus s = group.arrive_and_wait(victim);
+            if (s == MemberStatus::kOk) {
+              ++completed;
+              continue;
+            }
+            // A slow re-entry under oversubscription can get the victim
+            // re-evicted; probing again is the contract, not a failure.
+            if (s == MemberStatus::kEvicted &&
+                group.await_readmission(victim) == MemberStatus::kOk) {
+              continue;
+            }
+            violations.record(describe(config) +
+                              ": readmitted victim got " + robust::to_string(s) +
+                              " at post-readmission phase " +
+                              std::to_string(completed));
+            break;
+          }
+          stop.store(true, std::memory_order_release);
+          try {
+            group.leave(victim);
+          } catch (const std::logic_error&) {
+            // Re-evicted concurrently (or last member): nothing to leave.
+          }
+          return;
+        }
+        // Survivors phase until the victim finishes, then drain out
+        // through leave() so nobody is ever waiting on a departed peer.
+        while (!stop.load(std::memory_order_acquire)) {
+          const MemberStatus s = group.arrive_and_wait(tid);
+          if (s != MemberStatus::kOk) {
+            violations.record(describe(config) + ": survivor " +
+                              std::to_string(tid) + " got " +
+                              robust::to_string(s));
+            break;
+          }
+        }
+        try {
+          group.leave(tid);
+        } catch (const std::logic_error&) {
+          // Last member standing cannot leave; that is fine.
+        }
+      },
+      opts.watchdog);
+
+  const robust::MembershipStats stats = group.stats();
+  if (stats.evictions < 1)
+    violations.record(describe(config) + ": victim was never evicted");
+  if (stats.readmissions < 1)
+    violations.record(describe(config) + ": victim was never readmitted");
+  // Eviction fence + readmission fence: the readmitted member must
+  // observe the membership epoch at least two generations on.
+  if (stats.readmissions >= 1 &&
+      epoch_at_readmit.load(std::memory_order_acquire) < 2)
+    violations.record(describe(config) + ": readmitted victim observed epoch " +
+                      std::to_string(epoch_at_readmit.load()) +
+                      ", expected >= 2");
+  try {
+    group.check_structure();
+  } catch (const std::logic_error& e) {
+    violations.record(describe(config) +
+                      ": post-readmission structural invariant: " + e.what());
+  }
+  return violations.result();
 }
 
 }  // namespace imbar::check

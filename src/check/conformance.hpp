@@ -129,4 +129,20 @@ struct ConformanceResult {
 [[nodiscard]] ConformanceResult check_adversarial_schedules(
     const BarrierConfig& config, const ConformanceOptions& opts);
 
+/// robust::MembershipGroup over this config: after warm-up, k = max(1,
+/// p/3) members stop arriving mid-phase; the watchdog evicts them at an
+/// epoch fence (tree kinds reparent in place) and the survivors must
+/// complete 100 further phases with the generation ledger never
+/// overtaking, the structural invariants intact, and the evicted
+/// members observably quarantined.
+[[nodiscard]] ConformanceResult check_evict_mid_phase(
+    const BarrierConfig& config, const ConformanceOptions& opts);
+
+/// Quarantine round-trip: one member stalls until evicted, probes via
+/// await_readmission while the survivors keep phasing, and must be
+/// readmitted at a phase boundary — observing an advanced membership
+/// epoch — then complete 20 further phases with the full cohort.
+[[nodiscard]] ConformanceResult check_quarantine_readmit(
+    const BarrierConfig& config, const ConformanceOptions& opts);
+
 }  // namespace imbar::check

@@ -45,11 +45,16 @@
 #include "check/conformance.hpp"
 #include "check/schedule_perturber.hpp"
 
-// Fault tolerance: deadlines, broken-barrier semantics, fault injection.
+// Fault tolerance: deadlines, broken-barrier semantics, fault
+// injection, and self-healing membership (epoch-based join/leave/evict
+// with straggler quarantine).
+#include "barrier/membership_ops.hpp"
 #include "robust/fault_harness.hpp"
 #include "robust/fault_plan.hpp"
 #include "robust/fault_sim.hpp"
 #include "robust/fault_sweep.hpp"
+#include "robust/membership.hpp"
+#include "robust/membership_metrics.hpp"
 #include "robust/robust_barrier.hpp"
 
 // Degree selection and imbalance estimation.

@@ -24,9 +24,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "barrier/factory.hpp"
+#include "barrier/membership_ops.hpp"
 #include "obs/episode_recorder.hpp"
 
 namespace imbar::obs {
@@ -40,7 +42,7 @@ struct InstrumentedSnapshot {
   std::uint64_t aborted = 0;      // timed-out/cancelled waits
 };
 
-class InstrumentedBarrier : public Barrier {
+class InstrumentedBarrier : public Barrier, public MembershipOps {
  public:
   /// Wraps `inner`; records into `recorder` (shared so several wrapped
   /// generations — e.g. across RobustBarrier resets — can feed one
@@ -70,6 +72,25 @@ class InstrumentedBarrier : public Barrier {
 
   /// Quiescent-only (like all recorder reads).
   [[nodiscard]] InstrumentedSnapshot snapshot() const;
+
+  // MembershipOps forwarding: instrumentation is membership-transparent,
+  // so robust::MembershipGroup reparents *through* the decorator (zero
+  // per-kind code). Recorder lanes cover the original cohort and simply
+  // go quiet for detached dense ids.
+  void detach_quiescent(std::size_t tid) override {
+    auto* ops = membership_ops(inner_.get());
+    if (!ops)
+      throw std::logic_error(
+          "InstrumentedBarrier: inner barrier has no membership support");
+    ops->detach_quiescent(tid);
+  }
+  void check_structure() const override {
+    if (auto* ops = membership_ops(inner_.get())) ops->check_structure();
+  }
+  [[nodiscard]] bool supports_detach() const noexcept override {
+    auto* ops = membership_ops(inner_.get());
+    return ops != nullptr && ops->supports_detach();
+  }
 
  private:
   std::unique_ptr<Barrier> inner_;

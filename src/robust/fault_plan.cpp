@@ -35,18 +35,58 @@ FaultPlan FaultPlan::make(std::uint64_t seed, std::size_t procs,
     throw std::invalid_argument(
         "FaultPlan: deaths must leave at least one survivor");
 
+  // Eviction validation: explicit schedules are trusted input and must
+  // be coherent before any random draws depend on them.
+  std::vector<bool> evicted(procs, false);
+  for (const Eviction& e : spec.explicit_evictions) {
+    if (e.proc >= procs)
+      throw std::invalid_argument(
+          "FaultPlan: eviction proc " + std::to_string(e.proc) +
+          " out of range (procs " + std::to_string(procs) + ")");
+    if (e.iteration >= iterations)
+      throw std::invalid_argument(
+          "FaultPlan: eviction iteration " + std::to_string(e.iteration) +
+          " out of range (iterations " + std::to_string(iterations) + ")");
+    if (evicted[e.proc])
+      throw std::invalid_argument("FaultPlan: duplicate eviction target proc " +
+                                  std::to_string(e.proc));
+    evicted[e.proc] = true;
+    if (e.readmit_iteration) {
+      if (*e.readmit_iteration <= e.iteration)
+        throw std::invalid_argument(
+            "FaultPlan: readmission (iteration " +
+            std::to_string(*e.readmit_iteration) +
+            ") must be strictly after the eviction (iteration " +
+            std::to_string(e.iteration) + ")");
+      if (*e.readmit_iteration >= iterations)
+        throw std::invalid_argument(
+            "FaultPlan: readmit_iteration " +
+            std::to_string(*e.readmit_iteration) +
+            " out of range (iterations " + std::to_string(iterations) + ")");
+    }
+  }
+  const std::size_t victims =
+      spec.deaths + spec.evictions + spec.explicit_evictions.size();
+  if (victims >= procs)
+    throw std::invalid_argument(
+        "FaultPlan: deaths + evictions (" + std::to_string(victims) +
+        ") must leave at least one untouched survivor (procs " +
+        std::to_string(procs) + ")");
+
   FaultPlan plan;
   plan.p_ = procs;
   plan.iters_ = iterations;
   plan.seed_ = seed;
   plan.straggler_.assign(iterations * procs, 0.0);
   plan.lost_wakeup_.assign(iterations * procs, 0.0);
+  plan.evictions_ = spec.explicit_evictions;
 
   // Independent substreams per fault class keep each schedule invariant
   // under changes to the other spec fields.
   Xoshiro256 straggler_rng = Xoshiro256::substream(seed, 0);
   Xoshiro256 wakeup_rng = Xoshiro256::substream(seed, 1);
   Xoshiro256 death_rng = Xoshiro256::substream(seed, 2);
+  Xoshiro256 evict_rng = Xoshiro256::substream(seed, 3);
 
   for (std::size_t i = 0; i < iterations; ++i)
     for (std::size_t p = 0; p < procs; ++p) {
@@ -63,7 +103,9 @@ FaultPlan FaultPlan::make(std::uint64_t seed, std::size_t procs,
   if (spec.deaths > 0) {
     if (spec.death_after >= iterations)
       throw std::invalid_argument("FaultPlan: death_after beyond iterations");
-    // Distinct victims via rejection (deaths < procs so this terminates).
+    // Distinct victims via rejection, disjoint from eviction targets
+    // (victims < procs so this terminates; with no evictions scheduled
+    // the draws are identical to pre-eviction plans).
     std::vector<bool> dead(procs, false);
     for (std::size_t d = 0; d < spec.deaths; ++d) {
       std::size_t victim;
@@ -71,7 +113,7 @@ FaultPlan FaultPlan::make(std::uint64_t seed, std::size_t procs,
         victim = static_cast<std::size_t>(death_rng.uniform() *
                                           static_cast<double>(procs));
         if (victim >= procs) victim = procs - 1;
-      } while (dead[victim]);
+      } while (dead[victim] || evicted[victim]);
       dead[victim] = true;
       const auto span = static_cast<double>(iterations - spec.death_after);
       auto iter = spec.death_after +
@@ -85,7 +127,44 @@ FaultPlan FaultPlan::make(std::uint64_t seed, std::size_t procs,
                                                   : a.proc < b.proc;
               });
   }
+
+  if (spec.evictions > 0) {
+    if (spec.evict_after >= iterations)
+      throw std::invalid_argument("FaultPlan: evict_after beyond iterations");
+    std::vector<bool> taken = evicted;  // explicit targets are off-limits
+    for (const Death& d : plan.deaths_) taken[d.proc] = true;
+    for (std::size_t e = 0; e < spec.evictions; ++e) {
+      std::size_t victim;
+      do {
+        victim = static_cast<std::size_t>(evict_rng.uniform() *
+                                          static_cast<double>(procs));
+        if (victim >= procs) victim = procs - 1;
+      } while (taken[victim]);
+      taken[victim] = true;
+      const auto span = static_cast<double>(iterations - spec.evict_after);
+      auto iter = spec.evict_after +
+                  static_cast<std::size_t>(evict_rng.uniform() * span);
+      if (iter >= iterations) iter = iterations - 1;
+      Eviction ev;
+      ev.proc = victim;
+      ev.iteration = iter;
+      if (spec.readmit_delay > 0 && iter + spec.readmit_delay < iterations)
+        ev.readmit_iteration = iter + spec.readmit_delay;
+      plan.evictions_.push_back(ev);
+    }
+  }
+  std::sort(plan.evictions_.begin(), plan.evictions_.end(),
+            [](const Eviction& a, const Eviction& b) {
+              return a.iteration != b.iteration ? a.iteration < b.iteration
+                                                : a.proc < b.proc;
+            });
   return plan;
+}
+
+std::optional<Eviction> FaultPlan::eviction_for(std::size_t proc) const {
+  for (const Eviction& e : evictions_)
+    if (e.proc == proc) return e;
+  return std::nullopt;
 }
 
 std::size_t FaultPlan::index(std::size_t iteration, std::size_t proc) const {

@@ -23,6 +23,16 @@
 
 namespace imbar::robust {
 
+/// One scheduled eviction: `proc` enters quarantine at `iteration`; if
+/// `readmit_iteration` is set the proc rejoins there (tree kinds are
+/// reparented on eviction and rebuilt on readmission, mirroring
+/// robust::MembershipGroup's epoch fences).
+struct Eviction {
+  std::size_t proc = 0;
+  std::size_t iteration = 0;
+  std::optional<std::size_t> readmit_iteration;
+};
+
 struct FaultSpec {
   double straggler_prob = 0.0;     // per (iteration, proc)
   double straggler_mean_us = 0.0;  // exponential mean when it fires
@@ -30,6 +40,13 @@ struct FaultSpec {
   double lost_wakeup_mean_us = 0.0;
   std::size_t deaths = 0;          // distinct procs that die (< procs)
   std::size_t death_after = 0;     // earliest iteration a death may hit
+  // Watchdog evictions (drawn on an independent substream, so adding
+  // them never perturbs the straggler/wakeup/death schedules).
+  std::size_t evictions = 0;       // distinct procs quarantined
+  std::size_t evict_after = 0;     // earliest iteration an eviction may hit
+  std::size_t readmit_delay = 0;   // iterations in quarantine before a
+                                   // drawn evictee readmits (0 = never)
+  std::vector<Eviction> explicit_evictions;  // validated, used verbatim
 };
 
 class FaultPlan {
@@ -41,8 +58,11 @@ class FaultPlan {
 
   /// Build the full schedule. Deterministic: identical (seed, procs,
   /// iterations, spec) yield identical plans. Throws
-  /// std::invalid_argument if spec.deaths >= procs (someone must
-  /// survive) or probabilities are outside [0, 1].
+  /// std::invalid_argument if victims (deaths + evictions) would not
+  /// leave at least one untouched survivor, probabilities are outside
+  /// [0, 1], or explicit_evictions is malformed (duplicate or
+  /// out-of-range proc, out-of-range iteration, readmission not
+  /// strictly after the eviction).
   static FaultPlan make(std::uint64_t seed, std::size_t procs,
                         std::size_t iterations, const FaultSpec& spec);
 
@@ -66,6 +86,15 @@ class FaultPlan {
     return deaths_;
   }
 
+  /// All scheduled evictions (explicit first-class plus drawn), sorted
+  /// by (iteration, proc).
+  [[nodiscard]] const std::vector<Eviction>& evictions() const noexcept {
+    return evictions_;
+  }
+
+  /// The eviction hitting `proc`, if one is scheduled.
+  [[nodiscard]] std::optional<Eviction> eviction_for(std::size_t proc) const;
+
  private:
   FaultPlan() = default;
 
@@ -78,6 +107,7 @@ class FaultPlan {
   std::vector<double> straggler_;    // row-major iterations x procs
   std::vector<double> lost_wakeup_;  // row-major iterations x procs
   std::vector<Death> deaths_;        // sorted by iteration
+  std::vector<Eviction> evictions_;  // sorted by (iteration, proc)
 };
 
 }  // namespace imbar::robust

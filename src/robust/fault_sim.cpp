@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 namespace imbar::robust {
 
@@ -18,6 +19,15 @@ simb::Topology build_topology(const FaultSimOptions& opts,
 
 }  // namespace
 
+std::string format_membership_log(const std::vector<MembershipChange>& log) {
+  std::string out;
+  for (const MembershipChange& c : log) {
+    out += "i=" + std::to_string(c.iteration) + " " + to_string(c.kind) +
+           " proc=" + std::to_string(c.proc) + "\n";
+  }
+  return out;
+}
+
 FaultSimResult run_faulty_sim(ArrivalGenerator& gen, const FaultPlan& plan,
                               const FaultSimOptions& opts) {
   const std::size_t p = plan.procs();
@@ -28,10 +38,27 @@ FaultSimResult run_faulty_sim(ArrivalGenerator& gen, const FaultPlan& plan,
         "run_faulty_sim: more iterations than the plan covers");
 
   std::vector<bool> alive(p, true);
-  std::size_t alive_count = p;
+  std::vector<bool> quarantined(p, false);
+  const auto participating = [&](std::size_t proc) {
+    return alive[proc] && !quarantined[proc];
+  };
+  const auto participant_count = [&] {
+    std::size_t n = 0;
+    for (std::size_t proc = 0; proc < p; ++proc)
+      if (participating(proc)) ++n;
+    return n;
+  };
+  // Dense index of `proc` in the current topology (participants in
+  // original-proc order, compacted).
+  const auto dense_of = [&](std::size_t proc) {
+    std::size_t dense = 0;
+    for (std::size_t q = 0; q < proc; ++q)
+      if (participating(q)) ++dense;
+    return dense;
+  };
 
-  auto sim = std::make_unique<simb::TreeBarrierSim>(
-      build_topology(opts, alive_count), opts.sim);
+  simb::Topology topo = build_topology(opts, p);
+  auto sim = std::make_unique<simb::TreeBarrierSim>(topo, opts.sim);
 
   FaultSimResult res;
   res.sync_delays.reserve(opts.iterations);
@@ -41,34 +68,79 @@ FaultSimResult run_faulty_sim(ArrivalGenerator& gen, const FaultPlan& plan,
   double prev_release = 0.0;
   double sum_delay = 0.0;
 
+  const auto retire_sim = [&] {
+    res.total_comms += sim->total_comms();
+    res.total_swaps += sim->total_swaps();
+  };
+
   for (std::size_t i = 0; i < opts.iterations; ++i) {
     gen.generate(i, work);
 
-    // Deaths scheduled for this iteration abort the episode: the dead
-    // processor never arrives, so (as in the real-thread path) no
-    // survivor can complete it. Rebuild the tree over the survivors —
-    // the event-driven mirror of RobustBarrier::reset().
-    bool died = false;
-    for (const FaultPlan::Death& d : plan.deaths())
+    // 1) Readmissions due this iteration restore the proc and rebuild
+    //    the tree over the grown roster (the sim mirror of a readmit
+    //    fence).
+    bool rebuild_needed = false;
+    for (const Eviction& e : plan.evictions()) {
+      if (e.readmit_iteration && *e.readmit_iteration == i &&
+          alive[e.proc] && quarantined[e.proc]) {
+        quarantined[e.proc] = false;
+        ++res.readmitted;
+        res.membership_log.push_back(
+            {i, MembershipEventKind::kReadmit, e.proc});
+        rebuild_needed = true;
+      }
+    }
+
+    // 2) Deaths abort the episode: the dead processor never arrives, so
+    //    (as in the real-thread path) no survivor can complete it. A
+    //    death of an already-quarantined proc removes it for good but
+    //    aborts nothing — it was not participating.
+    bool abort_episode = false;
+    for (const FaultPlan::Death& d : plan.deaths()) {
       if (d.iteration == i && alive[d.proc]) {
         alive[d.proc] = false;
-        --alive_count;
-        died = true;
+        if (!quarantined[d.proc]) abort_episode = true;
+        quarantined[d.proc] = false;
+        res.membership_log.push_back({i, MembershipEventKind::kExpel, d.proc});
+        rebuild_needed = true;
       }
-    if (died) {
-      ++res.broken_episodes;
-      res.total_comms += sim->total_comms();
-      res.total_swaps += sim->total_swaps();
-      sim = std::make_unique<simb::TreeBarrierSim>(
-          build_topology(opts, alive_count), opts.sim);
+    }
+
+    // 3) Evictions quarantine without aborting: splice the *current*
+    //    topology (children re-attach to the evicted node's parent), so
+    //    the surviving structure is inherited, not rebuilt. When a
+    //    rebuild is due anyway this iteration, the splice would be
+    //    discarded — just fold the eviction into it.
+    for (const Eviction& e : plan.evictions()) {
+      if (e.iteration != i || !participating(e.proc)) continue;
+      if (participant_count() <= 1) continue;  // never evict the last one
+      const std::size_t dense = dense_of(e.proc);
+      quarantined[e.proc] = true;
+      ++res.evicted;
+      res.membership_log.push_back({i, MembershipEventKind::kEvict, e.proc});
+      if (rebuild_needed) continue;
+      retire_sim();
+      topo = topo.without_proc(dense);
+      sim = std::make_unique<simb::TreeBarrierSim>(topo, opts.sim);
+      ++res.reparents;
+      prev_release = 0.0;  // the new sim incarnation's clock starts at zero
+    }
+
+    if (rebuild_needed) {
+      retire_sim();
+      topo = build_topology(opts, participant_count());
+      sim = std::make_unique<simb::TreeBarrierSim>(topo, opts.sim);
       ++res.rebuilds;
-      prev_release = 0.0;  // the rebuilt sim's clock starts at zero
+      prev_release = 0.0;
+    }
+    if (abort_episode) {
+      ++res.broken_episodes;
       continue;
     }
 
     signals.clear();
     for (std::size_t proc = 0; proc < p; ++proc) {
-      if (!alive[proc]) continue;
+      if (!participating(proc)) continue;
       const double start = prev_release + plan.lost_wakeup_delay_us(i, proc);
       signals.push_back(start + work[proc] +
                         plan.straggler_delay_us(i, proc));
@@ -80,9 +152,8 @@ FaultSimResult run_faulty_sim(ArrivalGenerator& gen, const FaultPlan& plan,
     ++res.completed_iterations;
   }
 
-  res.survivors = alive_count;
-  res.total_comms += sim->total_comms();
-  res.total_swaps += sim->total_swaps();
+  res.survivors = participant_count();
+  retire_sim();
   if (res.completed_iterations > 0)
     res.mean_sync_delay =
         sum_delay / static_cast<double>(res.completed_iterations);

@@ -4,19 +4,41 @@
 // Replays a FaultPlan against a TreeBarrierSim: stragglers shift a
 // processor's arrival, lost wakeups shift its next start, and a death
 // aborts the episode and rebuilds the tree over the survivors — the
-// discrete-event mirror of RobustBarrier::reset(). Everything is
-// deterministic for a fixed (generator seed, plan), so Figure-8-style
-// sweeps remain exactly reproducible under injected faults.
+// discrete-event mirror of RobustBarrier::reset(). Scheduled
+// *evictions* instead quarantine a processor without aborting the
+// episode: the current tree is spliced via Topology::without_proc (the
+// evicted node's children re-attach to its parent), mirroring
+// MembershipGroup's reparenting fence; a readmission rebuilds the tree
+// over the restored roster. Everything is deterministic for a fixed
+// (generator seed, plan), so Figure-8-style sweeps — and the membership
+// event log — remain exactly reproducible under injected faults,
+// regardless of how many worker threads shard a surrounding sweep.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "robust/fault_plan.hpp"
+#include "robust/membership.hpp"
 #include "simbarrier/tree_sim.hpp"
 #include "workload/arrival.hpp"
 
 namespace imbar::robust {
+
+/// One membership transition observed by the simulator. Kinds map as
+/// in the real runtime: kEvict = quarantine entry (tree reparented),
+/// kReadmit = quarantine exit (tree rebuilt), kExpel = death.
+struct MembershipChange {
+  std::size_t iteration = 0;
+  MembershipEventKind kind = MembershipEventKind::kEvict;
+  std::size_t proc = 0;
+};
+
+/// Canonical one-line-per-change rendering ("i=<iter> <kind> proc=<p>"),
+/// for byte-exact differential comparisons across worker counts.
+[[nodiscard]] std::string format_membership_log(
+    const std::vector<MembershipChange>& log);
 
 struct FaultSimOptions {
   std::size_t degree = 4;
@@ -28,12 +50,16 @@ struct FaultSimOptions {
 struct FaultSimResult {
   std::size_t completed_iterations = 0;  // episodes that released
   std::uint64_t broken_episodes = 0;     // episodes aborted by a death
-  std::size_t survivors = 0;
-  std::size_t rebuilds = 0;              // tree rebuilds after deaths
+  std::size_t survivors = 0;             // alive and not quarantined
+  std::size_t rebuilds = 0;              // full rebuilds (deaths, readmits)
+  std::size_t evicted = 0;               // quarantine entries
+  std::size_t readmitted = 0;            // quarantine exits
+  std::size_t reparents = 0;             // without_proc splices
   double mean_sync_delay = 0.0;          // over completed episodes
   std::vector<double> sync_delays;       // per completed episode, in order
   std::uint64_t total_comms = 0;         // across all tree incarnations
   std::uint64_t total_swaps = 0;
+  std::vector<MembershipChange> membership_log;  // in application order
 };
 
 /// Run `opts.iterations` episodes. `gen` supplies per-iteration work

@@ -28,6 +28,9 @@ FaultSweepCell run_fault_sweep_cell(const FaultSweepOptions& opts,
   spec.lost_wakeup_mean_us = opts.sigma_us;
   spec.deaths = opts.deaths;
   spec.death_after = opts.iterations / 4;
+  spec.evictions = opts.evictions;
+  spec.evict_after = opts.iterations / 4;
+  spec.readmit_delay = opts.readmit_delay;
   const FaultPlan plan =
       FaultPlan::make(seeds.plan, opts.procs, opts.iterations, spec);
 

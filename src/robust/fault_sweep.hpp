@@ -26,6 +26,8 @@ struct FaultSweepOptions {
   std::size_t iterations = 200;
   std::size_t degree = 4;
   std::size_t deaths = 3;
+  std::size_t evictions = 0;      // quarantined procs per cell (substream 3)
+  std::size_t readmit_delay = 0;  // iterations quarantined before readmit
   std::uint64_t seed = 7;
   simb::TreeKind tree = simb::TreeKind::kMcs;
   simb::Placement placement = simb::Placement::kDynamic;

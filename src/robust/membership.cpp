@@ -1,0 +1,500 @@
+#include "robust/membership.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace imbar::robust {
+
+MembershipGroup::MembershipGroup(BarrierConfig config, MembershipOptions opts)
+    : config_(config),
+      opts_(std::move(opts)),
+      capacity_(config.max_participants ? config.max_participants
+                                        : config.participants),
+      entered_(capacity_ ? capacity_ : 1) {
+  if (!opts_.robust.inner_factory) opts_.robust.inner_factory = make_barrier;
+  base_degree_ = config_.degree;
+  inner_ = opts_.robust.inner_factory(config_);  // validates the config
+  if (!inner_)
+    throw std::logic_error("MembershipGroup: inner_factory returned null");
+
+  state_ = std::make_unique<std::atomic<MemberState>[]>(capacity_);
+  readmit_requested_ = std::make_unique<std::atomic<bool>[]>(capacity_);
+  readmit_grace_ = std::make_unique<std::atomic<bool>[]>(capacity_);
+  for (std::size_t tid = 0; tid < capacity_; ++tid) {
+    state_[tid].store(tid < config_.participants ? MemberState::kJoined
+                                                 : MemberState::kVacant,
+                      std::memory_order_relaxed);
+    readmit_requested_[tid].store(false, std::memory_order_relaxed);
+    readmit_grace_[tid].store(false, std::memory_order_relaxed);
+  }
+  evict_count_.assign(capacity_, 0);
+  inner_tid_.assign(capacity_, 0);
+  recompute_dense_locked();
+}
+
+MemberStatus MembershipGroup::arrive_and_wait(std::size_t tid) {
+  return arrive_impl(tid, opts_.robust.default_timeout, /*absolute=*/false, {});
+}
+
+MemberStatus MembershipGroup::arrive_and_wait_for(
+    std::size_t tid, std::chrono::nanoseconds timeout) {
+  return arrive_impl(tid, timeout, /*absolute=*/false, {});
+}
+
+MemberStatus MembershipGroup::arrive_and_wait_until(
+    std::size_t tid, std::chrono::steady_clock::time_point deadline) {
+  return arrive_impl(tid, std::chrono::nanoseconds::max(), /*absolute=*/true,
+                     deadline);
+}
+
+MemberStatus MembershipGroup::arrive_impl(
+    std::size_t tid, std::chrono::nanoseconds timeout, bool absolute,
+    std::chrono::steady_clock::time_point abs_deadline) {
+  if (tid >= capacity_)
+    throw std::invalid_argument("MembershipGroup: tid " + std::to_string(tid) +
+                                " out of range (capacity " +
+                                std::to_string(capacity_) + ")");
+  for (;;) {
+    switch (state_[tid].load(std::memory_order_acquire)) {
+      case MemberState::kVacant:
+        throw std::logic_error("MembershipGroup: tid " + std::to_string(tid) +
+                               " never joined the cohort");
+      case MemberState::kQuarantined: return MemberStatus::kEvicted;
+      case MemberState::kExpelled: return MemberStatus::kExpelled;
+      case MemberState::kLeft: return MemberStatus::kLeft;
+      case MemberState::kJoined:
+      case MemberState::kSuspected:
+        // A suspect may still arrive: entering before the fence's gate
+        // closes proves liveness and reprieves it.
+        break;
+    }
+    const std::uint64_t p = phase_.load(std::memory_order_acquire);
+    // Publish entry intent *before* the gate: the fence's laggard scan
+    // runs after the drain, so anything past this store is reprieved.
+    entered_[tid].value.store(p + 1, std::memory_order_seq_cst);
+
+    // Entry gate. seq_cst pairing with the fence's raise+drain: if we
+    // read fence_pending_ == false here, the fence owner's drain is
+    // guaranteed to observe our in_flight_ increment and wait for us —
+    // the roster and the inner barrier are stable while we hold the
+    // gate.
+    in_flight_.fetch_add(1, std::memory_order_seq_cst);
+    if (fence_pending_.load(std::memory_order_seq_cst)) {
+      in_flight_.fetch_sub(1, std::memory_order_release);
+      spin_until(
+          [&] { return !fence_pending_.load(std::memory_order_acquire); });
+      continue;
+    }
+    // A fence may have completed between the phase read and the gate
+    // (e.g. it evicted us); re-validate before touching the inner.
+    {
+      const MemberState s = state_[tid].load(std::memory_order_seq_cst);
+      if (s != MemberState::kJoined && s != MemberState::kSuspected) {
+        in_flight_.fetch_sub(1, std::memory_order_release);
+        continue;  // the loop head resolves the verdict
+      }
+    }
+    // Back in the gate with entry intent published: any post-readmission
+    // grace has served its purpose (entered_ now vouches for us).
+    readmit_grace_[tid].store(false, std::memory_order_release);
+
+    WaitContext ctx;
+    ctx.cancel = &fence_pending_;
+    if (absolute) {
+      ctx.deadline = abs_deadline;
+    } else if (timeout != std::chrono::nanoseconds::max()) {
+      ctx.deadline = std::chrono::steady_clock::now() + timeout;
+    }
+    const std::size_t dense = inner_tid_[tid];
+    const WaitStatus ws = inner_->arrive_and_wait_until(dense, ctx);
+    in_flight_.fetch_sub(1, std::memory_order_release);
+
+    if (ws == WaitStatus::kReady) {
+      // Advance the phase ledger exactly once per completed phase; the
+      // CAS winner owns the phase boundary and applies any deferred
+      // readmission requests there.
+      std::uint64_t expected = p;
+      if (phase_.compare_exchange_strong(expected, p + 1,
+                                         std::memory_order_acq_rel) &&
+          readmit_pending_.load(std::memory_order_acquire) > 0) {
+        boundary_fence();
+      }
+      return MemberStatus::kOk;
+    }
+    if (ws == WaitStatus::kCancelled) {
+      // An epoch fence interrupted the phase. Wait out the repair, then
+      // decide: the phase either completed concurrently (ledger moved)
+      // or must be retried over the repaired inner.
+      spin_until(
+          [&] { return !fence_pending_.load(std::memory_order_acquire); });
+      if (phase_.load(std::memory_order_acquire) > p) return MemberStatus::kOk;
+      continue;
+    }
+    // kTimeout: act as the watchdog. The fence evicts confirmed
+    // laggards (or, finding none, still repairs the torn phase so every
+    // survivor retries from a clean slate).
+    const bool evicted_any = evict_fence(tid, p);
+    if (!evicted_any && absolute &&
+        std::chrono::steady_clock::now() >= abs_deadline) {
+      // Deadline passed with nobody to blame (a merely-slow phase). Our
+      // partial arrival was discarded by the fence, so leaving is safe;
+      // the cohort's watchdog treats us as a straggler from here on.
+      return MemberStatus::kTimeout;
+    }
+    continue;
+  }
+}
+
+bool MembershipGroup::evict_fence(std::size_t evictor, std::uint64_t p) {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  if (phase_.load(std::memory_order_acquire) > p)
+    return true;  // the stall resolved while we took the lock
+  // Advisory suspect pass: stale entered_ reads can only under-read, so
+  // this may over-suspect (the post-drain confirmation reprieves those)
+  // but never misses a genuine laggard.
+  for (std::size_t tid = 0; tid < capacity_; ++tid) {
+    if (tid == evictor) continue;
+    if (state_[tid].load(std::memory_order_relaxed) != MemberState::kJoined)
+      continue;
+    if (entered_[tid].value.load(std::memory_order_relaxed) >= p + 1) continue;
+    // A just-readmitted member has not had a chance to enter the
+    // in-progress phase; one fence of grace, consumed here.
+    if (readmit_grace_[tid].exchange(false, std::memory_order_acq_rel))
+      continue;
+    state_[tid].store(MemberState::kSuspected, std::memory_order_release);
+  }
+  const std::uint64_t before = stats_.evictions + stats_.expulsions;
+  run_fence_locked({}, /*grew=*/false);
+  return stats_.evictions + stats_.expulsions > before;
+}
+
+void MembershipGroup::boundary_fence() {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  if (readmit_pending_.load(std::memory_order_acquire) == 0) return;
+  run_fence_locked({}, /*grew=*/false);
+}
+
+void MembershipGroup::run_fence_locked(std::vector<std::size_t> removed,
+                                       bool grew) {
+  // Raise the gate (doubling as every in-flight wait's cancel flag) and
+  // drain: past this loop no thread is inside the inner barrier.
+  fence_pending_.store(true, std::memory_order_seq_cst);
+  spin_until([&] { return in_flight_.load(std::memory_order_seq_cst) == 0; });
+
+  const std::uint64_t p = phase_.load(std::memory_order_relaxed);
+
+  // Confirm suspects now that the gate is drained. A suspect that
+  // entered the stalled phase before the gate closed proved liveness
+  // and is reprieved; the rest are evicted — quarantined, or expelled
+  // once their strike budget is exhausted.
+  for (std::size_t tid = 0; tid < capacity_; ++tid) {
+    if (state_[tid].load(std::memory_order_relaxed) != MemberState::kSuspected)
+      continue;
+    if (entered_[tid].value.load(std::memory_order_relaxed) >= p + 1) {
+      state_[tid].store(MemberState::kJoined, std::memory_order_relaxed);
+      continue;
+    }
+    const bool expel = ++evict_count_[tid] > opts_.max_evictions;
+    state_[tid].store(expel ? MemberState::kExpelled
+                            : MemberState::kQuarantined,
+                      std::memory_order_release);
+    if (expel) {
+      ++stats_.expulsions;
+      push_event_locked(MembershipEventKind::kExpel, tid);
+    } else {
+      ++stats_.evictions;
+      push_event_locked(MembershipEventKind::kEvict, tid);
+    }
+    mark_eviction_trace(tid);
+    removed.push_back(tid);
+  }
+
+  // Apply deferred readmission requests (posted by await_readmission,
+  // consumed at the next fence — this one).
+  if (readmit_pending_.load(std::memory_order_acquire) > 0) {
+    for (std::size_t tid = 0; tid < capacity_; ++tid) {
+      if (!readmit_requested_[tid].exchange(false, std::memory_order_acq_rel))
+        continue;
+      readmit_pending_.fetch_sub(1, std::memory_order_acq_rel);
+      if (state_[tid].load(std::memory_order_relaxed) !=
+          MemberState::kQuarantined)
+        continue;
+      entered_[tid].value.store(p, std::memory_order_relaxed);
+      readmit_grace_[tid].store(true, std::memory_order_release);
+      state_[tid].store(MemberState::kJoined, std::memory_order_release);
+      ++stats_.readmissions;
+      push_event_locked(MembershipEventKind::kReadmit, tid);
+      grew = true;
+    }
+  }
+
+  apply_roster_locked(removed, grew);
+
+  epoch_.fetch_add(1, std::memory_order_release);
+  ++stats_.fences;
+  fence_pending_.store(false, std::memory_order_release);
+}
+
+void MembershipGroup::apply_roster_locked(
+    const std::vector<std::size_t>& removed_tids, bool grew) {
+  // The inner barrier must be restored to start-of-phase state even
+  // when the roster did not change: the drain cancelled in-flight
+  // waiters whose arrivals are already inside it, and survivors retry
+  // the phase from scratch. Both repair paths guarantee that — detach
+  // splices reset transient state per the MembershipOps contract, and a
+  // rebuild is fresh by construction.
+  auto* ops = membership_ops(inner_.get());
+  const bool can_detach =
+      !grew && !removed_tids.empty() && ops && ops->supports_detach();
+  const std::size_t joined = joined_count_locked();
+  if (can_detach) {
+    // Detach in descending dense order so earlier splices do not shift
+    // the ids of later ones.
+    std::vector<std::size_t> dense;
+    dense.reserve(removed_tids.size());
+    for (std::size_t tid : removed_tids) dense.push_back(inner_tid_[tid]);
+    std::sort(dense.begin(), dense.end(), std::greater<>());
+    for (std::size_t d : dense) {
+      ops->detach_quiescent(d);
+      ++stats_.reparent_ops;
+    }
+    config_.participants = joined;
+  } else {
+    config_.participants = joined;
+    rebuild_inner_locked();
+  }
+  recompute_dense_locked();
+}
+
+void MembershipGroup::rebuild_inner_locked() {
+  const BarrierCounters c = inner_->counters();
+  retired_.episodes += c.episodes;
+  retired_.updates += c.updates;
+  retired_.extra_comms += c.extra_comms;
+  retired_.swaps += c.swaps;
+  retired_.overlapped += c.overlapped;
+
+  BarrierConfig cfg = config_;
+  if (barrier_kind_uses_degree(cfg.kind))
+    cfg.degree =
+        std::min(base_degree_, std::max<std::size_t>(2, cfg.participants));
+  inner_ = opts_.robust.inner_factory(cfg);
+  if (!inner_)
+    throw std::logic_error("MembershipGroup: inner_factory returned null");
+  config_ = cfg;
+  ++stats_.rebuilds;
+}
+
+void MembershipGroup::recompute_dense_locked() {
+  std::size_t dense = 0;
+  for (std::size_t tid = 0; tid < capacity_; ++tid) {
+    if (state_[tid].load(std::memory_order_relaxed) == MemberState::kJoined)
+      inner_tid_[tid] = dense++;
+  }
+}
+
+std::size_t MembershipGroup::join() {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  std::size_t slot = capacity_;
+  for (std::size_t tid = 0; tid < capacity_; ++tid) {
+    if (state_[tid].load(std::memory_order_relaxed) == MemberState::kVacant) {
+      slot = tid;
+      break;
+    }
+  }
+  if (slot == capacity_)
+    throw std::invalid_argument(
+        "MembershipGroup::join: cohort is at max_participants (" +
+        std::to_string(capacity_) + ")");
+  // The new member owes an arrival for the in-progress phase; arriving
+  // is its first duty after join() returns (the watchdog treats it as
+  // any other member from here on).
+  entered_[slot].value.store(phase_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+  evict_count_[slot] = 0;
+  state_[slot].store(MemberState::kJoined, std::memory_order_release);
+  ++stats_.joins;
+  push_event_locked(MembershipEventKind::kJoin, slot);
+  run_fence_locked({}, /*grew=*/true);
+  return slot;
+}
+
+void MembershipGroup::leave(std::size_t tid) {
+  if (tid >= capacity_)
+    throw std::invalid_argument("MembershipGroup::leave: tid " +
+                                std::to_string(tid) + " out of range");
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  if (state_[tid].load(std::memory_order_relaxed) != MemberState::kJoined)
+    throw std::logic_error("MembershipGroup::leave: tid " +
+                           std::to_string(tid) + " is not an active member");
+  if (joined_count_locked() <= 1)
+    throw std::logic_error("MembershipGroup::leave: the last member cannot leave");
+  state_[tid].store(MemberState::kLeft, std::memory_order_release);
+  ++stats_.leaves;
+  push_event_locked(MembershipEventKind::kLeave, tid);
+  run_fence_locked({tid}, /*grew=*/false);
+}
+
+MemberStatus MembershipGroup::await_readmission(std::size_t tid) {
+  if (tid >= capacity_)
+    throw std::invalid_argument("MembershipGroup::await_readmission: tid " +
+                                std::to_string(tid) + " out of range");
+  // The readmitting fence publishes kJoined *before* it completes
+  // (roster repair and the epoch advance follow). When kJoined is
+  // observed without fence_mu_, wait for the gate to reopen: the raise
+  // happens-before the state store, so the next observed false
+  // guarantees the completed fence — the caller sees the advanced
+  // epoch and re-arrives without bouncing off the mid-flight fence.
+  const auto settled_ok = [&] {
+    spin_until(
+        [&] { return !fence_pending_.load(std::memory_order_acquire); });
+    return MemberStatus::kOk;
+  };
+  ExponentialBackoff backoff(opts_.probe_backoff, opts_.backoff_seed, tid);
+  for (std::size_t probe = 0; probe < opts_.max_probes; ++probe) {
+    switch (state_[tid].load(std::memory_order_acquire)) {
+      case MemberState::kJoined: return settled_ok();
+      case MemberState::kExpelled: return MemberStatus::kExpelled;
+      case MemberState::kLeft: return MemberStatus::kLeft;
+      case MemberState::kVacant:
+        throw std::logic_error(
+            "MembershipGroup::await_readmission: tid never joined");
+      case MemberState::kQuarantined:
+      case MemberState::kSuspected:  // a fence is mid-flight; wait it out
+        break;
+    }
+    if (probe > 0) std::this_thread::sleep_for(backoff.next_delay());
+    // Post the probe; the cohort's next phase boundary (or any other
+    // fence) applies it.
+    if (!readmit_requested_[tid].exchange(true, std::memory_order_acq_rel))
+      readmit_pending_.fetch_add(1, std::memory_order_acq_rel);
+    const WaitStatus ws = spin_until_for(
+        [&] {
+          if (state_[tid].load(std::memory_order_acquire) ==
+              MemberState::kJoined)
+            return true;
+          // Request consumed while we are still quarantined: the
+          // readmission was lost to a concurrent re-eviction (or the
+          // sweep dropped it). Wake and re-probe instead of riding out
+          // the deadline.
+          return !readmit_requested_[tid].load(std::memory_order_acquire);
+        },
+        opts_.probe_timeout);
+    if (ws == WaitStatus::kReady) {
+      if (state_[tid].load(std::memory_order_acquire) == MemberState::kJoined)
+        return settled_ok();
+      continue;  // lost readmission: the next probe re-posts immediately
+    }
+    // Probe expired: withdraw the request. Under the fence mutex the
+    // request cannot be half-consumed — either a fence already
+    // readmitted us (checked first) or the request is still ours to
+    // take back.
+    {
+      std::lock_guard<std::mutex> lk(fence_mu_);
+      if (state_[tid].load(std::memory_order_relaxed) == MemberState::kJoined)
+        return MemberStatus::kOk;
+      if (readmit_requested_[tid].exchange(false, std::memory_order_acq_rel))
+        readmit_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+  // Probe budget exhausted: the cohort proved no phase boundary within
+  // any probe's deadline. Permanent self-expulsion — no fence needed,
+  // the member is already outside the roster.
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  if (state_[tid].load(std::memory_order_relaxed) == MemberState::kJoined)
+    return MemberStatus::kOk;
+  if (state_[tid].load(std::memory_order_relaxed) == MemberState::kQuarantined) {
+    state_[tid].store(MemberState::kExpelled, std::memory_order_release);
+    ++stats_.expulsions;
+    push_event_locked(MembershipEventKind::kExpel, tid);
+  }
+  return MemberStatus::kExpelled;
+}
+
+MemberState MembershipGroup::state(std::size_t tid) const {
+  if (tid >= capacity_)
+    throw std::invalid_argument("MembershipGroup::state: tid out of range");
+  return state_[tid].load(std::memory_order_acquire);
+}
+
+std::size_t MembershipGroup::active_members() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  return joined_count_locked();
+}
+
+std::size_t MembershipGroup::joined_count_locked() const {
+  std::size_t joined = 0;
+  for (std::size_t tid = 0; tid < capacity_; ++tid) {
+    if (state_[tid].load(std::memory_order_relaxed) == MemberState::kJoined)
+      ++joined;
+  }
+  return joined;
+}
+
+MembershipStats MembershipGroup::stats() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  return stats_;
+}
+
+std::vector<MembershipEvent> MembershipGroup::events() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  return events_;
+}
+
+BarrierCounters MembershipGroup::counters() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  BarrierCounters c = inner_->counters();
+  c.episodes += retired_.episodes;
+  c.updates += retired_.updates;
+  c.extra_comms += retired_.extra_comms;
+  c.swaps += retired_.swaps;
+  c.overlapped += retired_.overlapped;
+  return c;
+}
+
+void MembershipGroup::check_structure() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  if (const auto* ops = membership_ops(inner_.get())) ops->check_structure();
+  const std::size_t joined = joined_count_locked();
+  if (inner_->participants() != joined)
+    throw std::logic_error(
+        "MembershipGroup::check_structure: inner participants (" +
+        std::to_string(inner_->participants()) + ") != joined members (" +
+        std::to_string(joined) + ")");
+  // The dense map must be a bijection from joined tids onto [0, joined).
+  std::vector<bool> seen(joined, false);
+  for (std::size_t tid = 0; tid < capacity_; ++tid) {
+    if (state_[tid].load(std::memory_order_relaxed) != MemberState::kJoined)
+      continue;
+    const std::size_t dense = inner_tid_[tid];
+    if (dense >= joined || seen[dense])
+      throw std::logic_error(
+          "MembershipGroup::check_structure: dense map is not a bijection "
+          "(tid " +
+          std::to_string(tid) + " -> " + std::to_string(dense) + ")");
+    seen[dense] = true;
+  }
+}
+
+void MembershipGroup::push_event_locked(MembershipEventKind kind,
+                                        std::size_t tid) {
+  events_.push_back(MembershipEvent{
+      kind, epoch_.load(std::memory_order_relaxed), tid});
+}
+
+void MembershipGroup::mark_eviction_trace(std::size_t tid) {
+  // Zero-span record = an eviction point on the evicted member's trace
+  // lane (chrome_trace_json renders it as an instant-like sliver). The
+  // lane owner is quiescent here: it never entered the torn phase, and
+  // any later write it performs is ordered after it observes the fence
+  // clear.
+  if (!opts_.recorder || tid >= opts_.recorder->threads()) return;
+  const std::uint64_t t = opts_.recorder->now_ns();
+  opts_.recorder->record(tid, t, t);
+}
+
+}  // namespace imbar::robust

@@ -1,0 +1,318 @@
+// Self-healing barrier membership: epoch-based join/leave/evict with
+// tree reparenting and straggler quarantine.
+//
+// robust::RobustBarrier (PR 1) can only *break* the cohort and
+// stop-the-world reset() when a participant stalls. MembershipGroup is
+// the graceful-degradation counterpart: the cohort shrinks and grows
+// online, and survivors never observe a failed phase — they retry it
+// transparently over the repaired structure.
+//
+// ## Epoch fence
+//
+// All membership changes take effect at an **epoch fence**:
+//   1. the fence owner (serialized by a mutex) raises `fence_pending_`,
+//      which doubles as the cancel flag of every in-flight inner wait;
+//   2. the entry gate drains — new arrivals back out, waiters inside
+//      the inner barrier return kCancelled promptly — until the
+//      in-flight count reaches zero, so no arrival is ever torn;
+//   3. membership transitions are applied and the inner barrier is
+//      repaired: a pure shrink goes through MembershipOps::
+//      detach_quiescent (tree kinds reparent — the evicted node's
+//      children re-attach to its parent — and keep O(log p) structure),
+//      anything else rebuilds through RobustOptions::inner_factory;
+//   4. the epoch counter advances and the gate reopens.
+// The interrupted phase restarts from a clean slate over the new
+// roster; a phase *ledger* (`phase_`, advanced by CAS exactly once per
+// completed phase) lets every cancelled waiter decide whether its phase
+// completed concurrently (return kOk) or must be retried.
+//
+// ## Watchdog eviction and quarantine
+//
+// A member whose wait times out becomes the evictor: members that have
+// not entered the stalled phase are marked *suspected*, and once the
+// fence has drained, suspects that still have not arrived are evicted —
+// quarantined, or permanently expelled after `max_evictions` strikes.
+// A suspect that arrives while the fence drains is reprieved (liveness
+// proven). Quarantined members probe for readmission with seeded
+// exponential backoff (util/spin_wait.hpp ExponentialBackoff): each
+// probe posts a request that the next phase boundary's ledger winner
+// applies; a probe fails if the cohort completes no phase within
+// `probe_timeout`, and `max_probes` failures expel the member. State
+// machine (docs/robustness.md):
+//
+//   joined -> suspected -> quarantined -> readmitted (joined)
+//                 |             |
+//                 v             v
+//            reprieved      expelled      (+ vacant -> joined via join,
+//             (joined)                       joined -> left via leave)
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "barrier/membership_ops.hpp"
+#include "obs/episode_recorder.hpp"
+#include "robust/robust_barrier.hpp"
+#include "util/cacheline.hpp"
+#include "util/spin_wait.hpp"
+
+namespace imbar::robust {
+
+enum class MemberState : std::uint8_t {
+  kVacant,       // slot never joined (headroom below max_participants)
+  kJoined,       // active cohort member
+  kSuspected,    // watchdog fired; fence drain will confirm or reprieve
+  kQuarantined,  // evicted; may probe for readmission
+  kExpelled,     // permanently out (strikes or failed probes)
+  kLeft,         // departed gracefully
+};
+
+[[nodiscard]] constexpr const char* to_string(MemberState s) noexcept {
+  switch (s) {
+    case MemberState::kVacant: return "vacant";
+    case MemberState::kJoined: return "joined";
+    case MemberState::kSuspected: return "suspected";
+    case MemberState::kQuarantined: return "quarantined";
+    case MemberState::kExpelled: return "expelled";
+    case MemberState::kLeft: return "left";
+  }
+  return "?";
+}
+
+/// Outcome of one membership-group phase for one member.
+enum class MemberStatus {
+  kOk,        // the phase completed (possibly after internal retries)
+  kEvicted,   // this member is quarantined — call await_readmission()
+  kExpelled,  // permanently out of the cohort
+  kLeft,      // this member left the cohort
+  kTimeout,   // absolute deadline passed with no evictable laggard
+};
+
+[[nodiscard]] constexpr const char* to_string(MemberStatus s) noexcept {
+  switch (s) {
+    case MemberStatus::kOk: return "ok";
+    case MemberStatus::kEvicted: return "evicted";
+    case MemberStatus::kExpelled: return "expelled";
+    case MemberStatus::kLeft: return "left";
+    case MemberStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+enum class MembershipEventKind : std::uint8_t {
+  kJoin,
+  kLeave,
+  kEvict,
+  kReadmit,
+  kExpel,
+};
+
+[[nodiscard]] constexpr const char* to_string(MembershipEventKind k) noexcept {
+  switch (k) {
+    case MembershipEventKind::kJoin: return "join";
+    case MembershipEventKind::kLeave: return "leave";
+    case MembershipEventKind::kEvict: return "evict";
+    case MembershipEventKind::kReadmit: return "readmit";
+    case MembershipEventKind::kExpel: return "expel";
+  }
+  return "?";
+}
+
+/// One membership transition, stamped with the epoch it took effect in.
+struct MembershipEvent {
+  MembershipEventKind kind;
+  std::uint64_t epoch;
+  std::size_t tid;
+};
+
+struct MembershipStats {
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t evictions = 0;     // quarantine entries
+  std::uint64_t readmissions = 0;  // quarantine exits back to joined
+  std::uint64_t expulsions = 0;    // permanent exits
+  std::uint64_t reparent_ops = 0;  // in-place detach splices
+  std::uint64_t rebuilds = 0;      // factory rebuilds of the inner
+  std::uint64_t fences = 0;        // epoch fences executed
+};
+
+struct MembershipOptions {
+  /// Inner construction and the per-phase watchdog deadline.
+  /// `robust.default_timeout` is the deadline arrive_and_wait() applies
+  /// per attempt; max() disables the watchdog (membership then changes
+  /// only through join/leave/readmission fences).
+  /// `robust.inner_factory` builds (and rebuilds) the inner barrier —
+  /// compose obs::instrumenting_inner_factory() for instrumented
+  /// membership with zero per-kind code.
+  RobustOptions robust;
+
+  /// Quarantine entries a member survives before a further eviction
+  /// permanently expels it.
+  std::size_t max_evictions = 3;
+
+  /// Failed readmission probes before a quarantined member expels
+  /// itself, and the window each probe waits for a phase boundary.
+  std::size_t max_probes = 5;
+  std::chrono::nanoseconds probe_timeout = std::chrono::milliseconds(250);
+
+  /// Inter-probe backoff schedule; seeded per-tid off
+  /// Xoshiro256::substream so probe storms decorrelate reproducibly.
+  ExponentialBackoff::Options probe_backoff{};
+  std::uint64_t backoff_seed = 0x9E3779B97F4A7C15ULL;
+
+  /// Optional eviction marks: each eviction commits a zero-span episode
+  /// record on the evicted member's lane, so chrome_trace_json shows
+  /// the eviction point on the timeline. Must cover the group capacity.
+  std::shared_ptr<obs::EpisodeRecorder> recorder;
+};
+
+/// Epoch-based membership runtime over any factory-built barrier kind.
+///
+/// `config.participants` members (tids [0, participants)) start
+/// joined; `config.max_participants` (when set) reserves vacant slots
+/// join() can activate. Member ids are stable for the lifetime of the
+/// group — the dense remapping onto the shrinking/growing inner barrier
+/// is internal.
+class MembershipGroup {
+ public:
+  explicit MembershipGroup(BarrierConfig config, MembershipOptions opts = {});
+
+  MembershipGroup(const MembershipGroup&) = delete;
+  MembershipGroup& operator=(const MembershipGroup&) = delete;
+
+  /// Synchronize on the next phase. Statuses other than kOk are
+  /// membership verdicts, not per-phase failures: timeouts are handled
+  /// internally by evicting laggards and retrying the phase (each retry
+  /// gets a fresh `robust.default_timeout` budget).
+  MemberStatus arrive_and_wait(std::size_t tid);
+
+  /// As arrive_and_wait, but each attempt's deadline is `timeout` from
+  /// the attempt's start.
+  MemberStatus arrive_and_wait_for(std::size_t tid,
+                                   std::chrono::nanoseconds timeout);
+
+  /// As arrive_and_wait with one absolute deadline across retries;
+  /// returns kTimeout once the deadline passes without an evictable
+  /// laggard (e.g. a merely-slow release).
+  MemberStatus arrive_and_wait_until(
+      std::size_t tid, std::chrono::steady_clock::time_point deadline);
+
+  /// Activate a vacant slot and fence it into the cohort; returns the
+  /// new member's tid (call from the joining thread, before its first
+  /// arrive). Throws std::invalid_argument when the cohort is already
+  /// at max_participants.
+  std::size_t join();
+
+  /// Gracefully fence `tid` out of the cohort. The caller must not be
+  /// inside an arrive on this tid. Throws std::logic_error for
+  /// non-members and for the last member.
+  void leave(std::size_t tid);
+
+  /// Quarantined member's readmission protocol: up to `max_probes`
+  /// probes spaced by seeded exponential backoff, each waiting up to
+  /// `probe_timeout` for the cohort's next phase boundary to apply the
+  /// request. Returns kOk once readmitted (the member then resumes
+  /// arrive_and_wait at the current phase), kExpelled after the probe
+  /// budget is exhausted (readmission requires an *active* cohort).
+  MemberStatus await_readmission(std::size_t tid);
+
+  [[nodiscard]] MemberState state(std::size_t tid) const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Current joined-member count (takes the fence mutex).
+  [[nodiscard]] std::size_t active_members() const;
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t phase() const noexcept {
+    return phase_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] MembershipStats stats() const;
+  [[nodiscard]] std::vector<MembershipEvent> events() const;
+
+  /// Cumulative inner counters across reparents and rebuilds
+  /// (quiescent-only for exact totals, like RobustBarrier::counters).
+  [[nodiscard]] BarrierCounters counters() const;
+
+  /// Structural invariant check (quiescent-only): delegates to the
+  /// inner barrier's MembershipOps::check_structure when available and
+  /// verifies the roster/dense-map bijection. Throws std::logic_error.
+  void check_structure() const;
+
+ private:
+  MemberStatus arrive_impl(std::size_t tid, std::chrono::nanoseconds timeout,
+                           bool absolute,
+                           std::chrono::steady_clock::time_point abs_deadline);
+
+  /// Watchdog path: suspect laggards of phase `p` and fence. Returns
+  /// true if the fence ran (laggards existed or requests were pending).
+  bool evict_fence(std::size_t evictor, std::uint64_t p);
+
+  /// Phase-boundary path: the ledger winner applies pending
+  /// readmission requests.
+  void boundary_fence();
+
+  /// The epoch fence (fence_mu_ held): drain, confirm suspects, apply
+  /// `removed` + pending readmissions, repair the inner, advance epoch.
+  void run_fence_locked(std::vector<std::size_t> removed, bool grew);
+
+  /// Repair the inner over the current roster: detach splices for a
+  /// pure shrink, factory rebuild otherwise (fence_mu_ held, drained).
+  void apply_roster_locked(const std::vector<std::size_t>& removed_tids,
+                           bool grew);
+  void rebuild_inner_locked();
+  void recompute_dense_locked();
+
+  [[nodiscard]] std::size_t joined_count_locked() const;
+  void push_event_locked(MembershipEventKind kind, std::size_t tid);
+  void mark_eviction_trace(std::size_t tid);
+
+  BarrierConfig config_;      // participants tracks the current roster
+  MembershipOptions opts_;
+  std::size_t capacity_;
+  std::size_t base_degree_ = 0;  // original degree; rebuild clamp target
+
+  std::unique_ptr<Barrier> inner_;
+  std::vector<std::size_t> inner_tid_;  // original tid -> dense inner tid
+
+  // Phase ledger and epoch counter (see file comment).
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+
+  // Entry gate: arrivals hold in_flight_ while inside the inner; the
+  // fence raises fence_pending_ and drains the gate. seq_cst pairing
+  // closes the increment-vs-raise race (see arrive_impl).
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<bool> fence_pending_{false};
+
+  std::unique_ptr<std::atomic<MemberState>[]> state_;
+  std::vector<PaddedAtomic<std::uint64_t>> entered_;  // phases entered
+  std::vector<std::size_t> evict_count_;              // strikes (fence_mu_)
+
+  // Readmission requests: flag per tid + pending count for the cheap
+  // boundary check.
+  std::unique_ptr<std::atomic<bool>[]> readmit_requested_;
+  std::atomic<std::uint64_t> readmit_pending_{0};
+
+  // One fence of grace after a readmission. A freshly readmitted member
+  // has not entered the in-progress phase, so the next evict fence
+  // would re-evict it instantly (and its consumed request flag would
+  // leave the probe spinning out its full deadline). The suspect pass
+  // consumes the grace once instead of suspecting; it is cleared the
+  // moment the member re-enters the gate, so a later genuine straggle
+  // gets no free pass — and a member that dies right after readmission
+  // is caught by the second fence.
+  std::unique_ptr<std::atomic<bool>[]> readmit_grace_;
+
+  mutable std::mutex fence_mu_;  // serializes fences + roster/stats/events
+  MembershipStats stats_;
+  std::vector<MembershipEvent> events_;
+  BarrierCounters retired_{};  // counters folded across factory rebuilds
+};
+
+}  // namespace imbar::robust

@@ -1,0 +1,45 @@
+// Membership telemetry -> "imbar.metrics.v1" counters.
+//
+// Mirrors obs::fold_recorder_metrics / fold_exec_metrics: the runtime
+// side (robust::MembershipGroup) keeps its own stats, and this fold
+// publishes them into a MetricsRegistry snapshot under a stable prefix
+// so dashboards and the bench telemetry artifacts pick membership
+// health up with zero per-kind code (docs/observability.md).
+//
+// Lives in robust/ (not obs/) because the dependency points this way:
+// imbar_robust links imbar_obs, never the reverse.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+#include "robust/membership.hpp"
+
+namespace imbar::robust {
+
+/// Publish `group`'s membership counters under `prefix`:
+///   <prefix>.evictions     quarantine entries (watchdog)
+///   <prefix>.readmissions  quarantine exits back to joined
+///   <prefix>.expulsions    permanent exits (strikes or failed probes)
+///   <prefix>.joins / .leaves
+///   <prefix>.reparents     in-place detach splices (tree reparenting)
+///   <prefix>.rebuilds      factory rebuilds of the inner barrier
+///   <prefix>.fences        epoch fences executed
+///   <prefix>.active        current joined-member count
+/// Quiescent-only, like all registry folds.
+inline void fold_membership_metrics(const MembershipGroup& group,
+                                    obs::MetricsRegistry& registry,
+                                    const std::string& prefix = "membership") {
+  const MembershipStats s = group.stats();
+  registry.set_counter(prefix + ".evictions", s.evictions);
+  registry.set_counter(prefix + ".readmissions", s.readmissions);
+  registry.set_counter(prefix + ".expulsions", s.expulsions);
+  registry.set_counter(prefix + ".joins", s.joins);
+  registry.set_counter(prefix + ".leaves", s.leaves);
+  registry.set_counter(prefix + ".reparents", s.reparent_ops);
+  registry.set_counter(prefix + ".rebuilds", s.rebuilds);
+  registry.set_counter(prefix + ".fences", s.fences);
+  registry.set_counter(prefix + ".active", group.active_members());
+}
+
+}  // namespace imbar::robust

@@ -163,6 +163,91 @@ int Topology::attached_count(int c) const {
   return n.fan_in - static_cast<int>(n.children.size());
 }
 
+Topology Topology::without_proc(std::size_t proc) const {
+  if (proc >= procs())
+    throw std::invalid_argument("Topology::without_proc: proc out of range");
+  if (procs() < 2)
+    throw std::logic_error("Topology::without_proc: last processor");
+
+  Topology t = *this;
+  const int start = t.initial_counter_[proc];
+  t.initial_counter_.erase(t.initial_counter_.begin() +
+                           static_cast<std::ptrdiff_t>(proc));
+  t.proc_ring_.erase(t.proc_ring_.begin() + static_cast<std::ptrdiff_t>(proc));
+
+  auto node_of = [&t](int c) -> CounterNode& {
+    return t.nodes_[static_cast<std::size_t>(c)];
+  };
+  auto drop_child = [&](int parent, int child) {
+    auto& kids = node_of(parent).children;
+    kids.erase(std::find(kids.begin(), kids.end(), child));
+    --node_of(parent).fan_in;
+  };
+
+  std::vector<bool> removed(t.nodes_.size(), false);
+  --node_of(start).fan_in;
+
+  if (kind_ == TreeKind::kPlain) {
+    // Prune the leaf if it drained, cascading through internal counters
+    // whose whole child set vanished (their fan_in is the child count).
+    int cur = start;
+    while (cur != -1 && node_of(cur).fan_in == 0) {
+      const int parent = node_of(cur).parent;
+      if (parent == -1) break;  // root with survivors elsewhere: impossible
+      drop_child(parent, cur);
+      removed[static_cast<std::size_t>(cur)] = true;
+      cur = parent;
+    }
+  } else {
+    // kMcs: every counter needs >= 1 attached processor. If `start`
+    // lost its only attachment, splice its children onto its parent —
+    // the reparenting step — or promote a child when it was the root.
+    if (t.attached_count(start) == 0) {
+      const int parent = node_of(start).parent;
+      auto kids = node_of(start).children;  // copy: splice mutates
+      if (parent != -1) {
+        drop_child(parent, start);
+        for (int k : kids) {
+          node_of(k).parent = parent;
+          node_of(parent).children.push_back(k);
+          ++node_of(parent).fan_in;
+        }
+      } else {
+        // Root drained: promote the first child, absorbing its siblings.
+        const int heir = kids.front();
+        node_of(heir).parent = -1;
+        for (std::size_t i = 1; i < kids.size(); ++i) {
+          node_of(kids[i]).parent = heir;
+          node_of(heir).children.push_back(kids[i]);
+          ++node_of(heir).fan_in;
+        }
+        t.root_ = heir;
+      }
+      removed[static_cast<std::size_t>(start)] = true;
+    }
+  }
+
+  // Compact counter ids over the surviving nodes.
+  std::vector<int> remap(t.nodes_.size(), -1);
+  std::vector<CounterNode> packed;
+  packed.reserve(t.nodes_.size());
+  for (std::size_t c = 0; c < t.nodes_.size(); ++c) {
+    if (removed[c]) continue;
+    remap[c] = static_cast<int>(packed.size());
+    packed.push_back(std::move(t.nodes_[c]));
+  }
+  for (auto& n : packed) {
+    if (n.parent != -1) n.parent = remap[static_cast<std::size_t>(n.parent)];
+    for (auto& k : n.children) k = remap[static_cast<std::size_t>(k)];
+  }
+  t.nodes_ = std::move(packed);
+  for (auto& c : t.initial_counter_) c = remap[static_cast<std::size_t>(c)];
+  t.root_ = remap[static_cast<std::size_t>(t.root_)];
+
+  t.validate();
+  return t;
+}
+
 void Topology::validate() const {
   if (root_ < 0 || static_cast<std::size_t>(root_) >= nodes_.size())
     throw std::logic_error("Topology: bad root");

@@ -79,6 +79,20 @@ class Topology {
   /// (every proc placed, fan-ins consistent, tree acyclic, one root).
   void validate() const;
 
+  /// Reparenting splice: the topology with processor `proc` removed.
+  /// The processor's counter loses one unit of fan-in; counters left
+  /// without a reason to exist are repaired structurally rather than by
+  /// rebuilding — a kPlain leaf drained of processors is pruned (the
+  /// prune cascades up through emptied internal counters), and a kMcs
+  /// counter drained of its attachment has its children re-attached to
+  /// its parent (at the root: the first child is promoted and absorbs
+  /// its siblings). Surviving processors keep their relative order and
+  /// are re-indexed densely: survivor p > proc becomes p - 1. Counter
+  /// ids are likewise compacted. The result is validate()d before
+  /// return. Throws std::invalid_argument if `proc` is out of range and
+  /// std::logic_error when removing the last processor.
+  [[nodiscard]] Topology without_proc(std::size_t proc) const;
+
  private:
   Topology() = default;
 

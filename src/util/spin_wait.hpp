@@ -15,9 +15,13 @@
 //     spinning forever. This is the substrate of imbar::robust.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <thread>
+
+#include "util/prng.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -66,6 +70,75 @@ void spin_until(Pred&& pred) {
   SpinWait w;
   while (!pred()) w.wait();
 }
+
+/// Seeded exponential backoff with decorrelated jitter.
+///
+/// Identically-seeded waiters that lose a race together would otherwise
+/// retry in lockstep and collide again; jitter decorrelates them while
+/// the (seed, stream) pair keeps every delay sequence reproducible.
+/// Delays follow the "decorrelated jitter" recurrence
+///     next = min(cap, uniform(base, prev * 3))
+/// so the expected delay grows geometrically but two streams never
+/// share a schedule. `pause()` is a drop-in escalation policy for
+/// unbounded spin loops: pause bursts, then yields, then jittered
+/// sleeps — the same shape as SpinWait/DeadlineSpinWait but with the
+/// sleep lengths drawn from the backoff schedule instead of a fixed
+/// doubling, so heavily oversubscribed cohorts do not thundering-herd
+/// the scheduler. Quarantined members in robust::MembershipGroup use
+/// `next_delay()` directly to space readmission probes.
+class ExponentialBackoff {
+ public:
+  struct Options {
+    std::chrono::nanoseconds base = std::chrono::microseconds(8);
+    std::chrono::nanoseconds cap = std::chrono::microseconds(512);
+    int spin_limit = 64;   // pause-burst rounds before yielding
+    int yield_limit = 64;  // yield rounds before sleeping
+  };
+
+  ExponentialBackoff() noexcept : ExponentialBackoff(Options{}) {}
+
+  /// Seed the jitter stream; `stream` is typically the thread id, so
+  /// per-thread schedules are distinct but reproducible run to run.
+  explicit ExponentialBackoff(const Options& opts, std::uint64_t seed = 0,
+                              std::uint64_t stream = 0) noexcept
+      : opts_(opts), rng_(Xoshiro256::substream(seed, stream)),
+        prev_(opts.base) {}
+
+  /// Draw the next jittered delay in [base, min(cap, 3 * prev)].
+  std::chrono::nanoseconds next_delay() noexcept {
+    const auto lo = static_cast<double>(opts_.base.count());
+    const double hi = std::max(lo, 3.0 * static_cast<double>(prev_.count()));
+    const auto drawn = static_cast<std::int64_t>(lo + rng_.uniform() * (hi - lo));
+    prev_ = std::min(opts_.cap, std::chrono::nanoseconds(drawn));
+    if (prev_ < opts_.base) prev_ = opts_.base;
+    return prev_;
+  }
+
+  /// One escalation round for an unbounded wait loop.
+  void pause() noexcept {
+    if (count_ < opts_.spin_limit) {
+      for (int i = 0; i < (1 << (count_ < 6 ? count_ : 6)); ++i) cpu_relax();
+      ++count_;
+    } else if (count_ < opts_.spin_limit + opts_.yield_limit) {
+      std::this_thread::yield();
+      ++count_;
+    } else {
+      std::this_thread::sleep_for(next_delay());
+    }
+  }
+
+  /// Restart the escalation and the jitter recurrence (not the stream).
+  void reset() noexcept {
+    count_ = 0;
+    prev_ = opts_.base;
+  }
+
+ private:
+  Options opts_;
+  Xoshiro256 rng_;
+  std::chrono::nanoseconds prev_;
+  int count_ = 0;
+};
 
 /// Outcome of a bounded wait.
 enum class WaitStatus {

@@ -68,6 +68,14 @@ TEST_P(Conformance, AdversarialSchedules) {
   expect_pass(check_adversarial_schedules(config(), options()));
 }
 
+TEST_P(Conformance, EvictMidPhase) {
+  expect_pass(check_evict_mid_phase(config(), options()));
+}
+
+TEST_P(Conformance, QuarantineReadmit) {
+  expect_pass(check_quarantine_readmit(config(), options()));
+}
+
 // Randomized (p, degree) draws, seeded so a failure names its schedule
 // exactly. Degree is clamped by conformance_config for non-tree kinds.
 TEST_P(Conformance, RandomizedConfigSweep) {

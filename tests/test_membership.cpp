@@ -1,0 +1,316 @@
+// Unit coverage for robust::MembershipGroup: the epoch-fence membership
+// runtime (join/leave/evict/quarantine/readmit/expel), its validation
+// surface, and the telemetry folds. Multi-kind eviction behaviour under
+// real thread cohorts is covered by the conformance matrix
+// (check_evict_mid_phase / check_quarantine_readmit); this file pins
+// the single-group semantics those properties build on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "obs/episode_recorder.hpp"
+#include "obs/metrics_registry.hpp"
+#include "robust/membership.hpp"
+#include "robust/membership_metrics.hpp"
+
+namespace imbar::robust {
+namespace {
+
+using namespace std::chrono_literals;
+
+BarrierConfig config_of(BarrierKind kind, std::size_t participants,
+                        std::size_t max_participants = 0) {
+  BarrierConfig cfg;
+  cfg.kind = kind;
+  cfg.participants = participants;
+  cfg.max_participants = max_participants;
+  return cfg;
+}
+
+MembershipOptions fast_watchdog(std::chrono::nanoseconds timeout = 100ms) {
+  MembershipOptions opts;
+  opts.robust.default_timeout = timeout;
+  return opts;
+}
+
+/// Run `phases` full cohort phases over the group's joined members.
+void run_phases(MembershipGroup& group, std::size_t members,
+                std::size_t phases) {
+  std::vector<std::thread> pool;
+  pool.reserve(members);
+  for (std::size_t tid = 0; tid < members; ++tid)
+    pool.emplace_back([&, tid] {
+      for (std::size_t g = 0; g < phases; ++g)
+        ASSERT_EQ(group.arrive_and_wait(tid), MemberStatus::kOk);
+    });
+  for (auto& t : pool) t.join();
+}
+
+TEST(Membership, ConstructionReflectsConfig) {
+  const MembershipGroup group(config_of(BarrierKind::kCentral, 4, 8),
+                              MembershipOptions{});
+  EXPECT_EQ(group.capacity(), 8u);
+  EXPECT_EQ(group.active_members(), 4u);
+  EXPECT_EQ(group.epoch(), 0u);
+  EXPECT_EQ(group.phase(), 0u);
+  for (std::size_t tid = 0; tid < 4; ++tid)
+    EXPECT_EQ(group.state(tid), MemberState::kJoined);
+  for (std::size_t tid = 4; tid < 8; ++tid)
+    EXPECT_EQ(group.state(tid), MemberState::kVacant);
+  group.check_structure();
+}
+
+TEST(Membership, PhasesAdvanceTheLedgerExactlyOnce) {
+  MembershipGroup group(config_of(BarrierKind::kSenseReversing, 4), fast_watchdog());
+  run_phases(group, 4, 25);
+  EXPECT_EQ(group.phase(), 25u);
+  EXPECT_EQ(group.epoch(), 0u);  // no membership change, no fence
+  EXPECT_EQ(group.stats().fences, 0u);
+}
+
+TEST(Membership, JoinGrowsTheCohortAtAnEpochFence) {
+  MembershipGroup group(config_of(BarrierKind::kCentral, 2, 4),
+                        fast_watchdog());
+  const std::size_t tid = group.join();
+  EXPECT_EQ(tid, 2u);
+  EXPECT_EQ(group.active_members(), 3u);
+  EXPECT_EQ(group.state(tid), MemberState::kJoined);
+  EXPECT_GE(group.epoch(), 1u);
+  EXPECT_EQ(group.stats().joins, 1u);
+  group.check_structure();
+  run_phases(group, 3, 5);
+}
+
+TEST(Membership, JoinBeyondCapacityThrows) {
+  MembershipGroup group(config_of(BarrierKind::kCentral, 2, 3),
+                        fast_watchdog());
+  EXPECT_EQ(group.join(), 2u);
+  EXPECT_THROW((void)group.join(), std::invalid_argument);
+}
+
+TEST(Membership, LeaveShrinksAndLastMemberCannotLeave) {
+  MembershipGroup group(config_of(BarrierKind::kCentral, 3), fast_watchdog());
+  group.leave(2);
+  EXPECT_EQ(group.state(2), MemberState::kLeft);
+  EXPECT_EQ(group.active_members(), 2u);
+  EXPECT_THROW(group.leave(2), std::logic_error);  // not a member any more
+  group.leave(1);
+  EXPECT_THROW(group.leave(0), std::logic_error);  // last member stays
+  EXPECT_EQ(group.active_members(), 1u);
+  EXPECT_EQ(group.stats().leaves, 2u);
+  group.check_structure();
+}
+
+TEST(Membership, ArrivalValidatesTid) {
+  MembershipGroup group(config_of(BarrierKind::kCentral, 2), fast_watchdog());
+  EXPECT_THROW((void)group.arrive_and_wait(2), std::invalid_argument);
+  EXPECT_THROW((void)group.arrive_and_wait(99), std::invalid_argument);
+}
+
+TEST(Membership, VacantSlotArrivalThrows) {
+  MembershipGroup group(config_of(BarrierKind::kCentral, 2, 4),
+                        fast_watchdog());
+  EXPECT_THROW((void)group.arrive_and_wait(3), std::logic_error);
+}
+
+TEST(Membership, FactoryRejectsParticipantsAboveMaxParticipants) {
+  EXPECT_THROW(MembershipGroup(config_of(BarrierKind::kCentral, 5, 4),
+                               MembershipOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Membership, WatchdogEvictsAStragglerMidPhase) {
+  MembershipGroup group(config_of(BarrierKind::kMcsTree, 4), fast_watchdog());
+  run_phases(group, 4, 3);  // warm-up with the full cohort
+
+  // tid 3 stops arriving; the survivors' bounded waits time out and the
+  // fence quarantines it.
+  std::vector<std::thread> pool;
+  for (std::size_t tid = 0; tid < 3; ++tid)
+    pool.emplace_back([&, tid] {
+      for (std::size_t g = 0; g < 10; ++g)
+        ASSERT_EQ(group.arrive_and_wait(tid), MemberStatus::kOk);
+    });
+  for (auto& t : pool) t.join();
+
+  EXPECT_EQ(group.state(3), MemberState::kQuarantined);
+  EXPECT_EQ(group.active_members(), 3u);
+  EXPECT_EQ(group.stats().evictions, 1u);
+  group.check_structure();
+
+  // The quarantined member's own arrival reports the eviction.
+  EXPECT_EQ(group.arrive_and_wait(3), MemberStatus::kEvicted);
+
+  // The event log carries the eviction with its fence epoch.
+  bool saw_evict = false;
+  for (const MembershipEvent& e : group.events())
+    saw_evict = saw_evict || (e.kind == MembershipEventKind::kEvict &&
+                              e.tid == 3);
+  EXPECT_TRUE(saw_evict);
+}
+
+TEST(Membership, QuarantinedMemberIsReadmittedAtAPhaseBoundary) {
+  MembershipGroup group(config_of(BarrierKind::kCentral, 3),
+                        fast_watchdog(250ms));
+  run_phases(group, 3, 2);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> survivors;
+  for (std::size_t tid = 0; tid < 2; ++tid)
+    survivors.emplace_back([&, tid] {
+      while (!stop.load(std::memory_order_acquire))
+        ASSERT_NE(group.arrive_and_wait(tid), MemberStatus::kExpelled);
+    });
+
+  // Wait out the watchdog, then probe back in.
+  while (group.state(2) == MemberState::kJoined ||
+         group.state(2) == MemberState::kSuspected)
+    std::this_thread::yield();
+  ASSERT_EQ(group.state(2), MemberState::kQuarantined);
+  EXPECT_EQ(group.await_readmission(2), MemberStatus::kOk);
+  EXPECT_EQ(group.state(2), MemberState::kJoined);
+  EXPECT_GE(group.stats().readmissions, 1u);
+
+  for (int g = 0; g < 5; ++g) {
+    const MemberStatus s = group.arrive_and_wait(2);
+    if (s == MemberStatus::kEvicted) {
+      // Oversubscription can re-evict a slow re-entrant; probe again.
+      ASSERT_EQ(group.await_readmission(2), MemberStatus::kOk);
+      continue;
+    }
+    ASSERT_EQ(s, MemberStatus::kOk);
+  }
+  stop.store(true, std::memory_order_release);
+  try {
+    group.leave(2);
+  } catch (const std::logic_error&) {
+    // Re-evicted at the buzzer: nothing left to leave.
+  }
+  for (auto& t : survivors) t.join();
+  group.check_structure();
+}
+
+TEST(Membership, StrikeBudgetExhaustionExpels) {
+  // max_evictions = 0: the very first eviction is a permanent expulsion.
+  MembershipOptions opts = fast_watchdog();
+  opts.max_evictions = 0;
+  MembershipGroup group(config_of(BarrierKind::kCentral, 3), opts);
+
+  std::vector<std::thread> pool;
+  for (std::size_t tid = 0; tid < 2; ++tid)
+    pool.emplace_back([&, tid] {
+      for (std::size_t g = 0; g < 5; ++g)
+        ASSERT_EQ(group.arrive_and_wait(tid), MemberStatus::kOk);
+    });
+  for (auto& t : pool) t.join();
+
+  EXPECT_EQ(group.state(2), MemberState::kExpelled);
+  EXPECT_EQ(group.stats().expulsions, 1u);
+  EXPECT_EQ(group.arrive_and_wait(2), MemberStatus::kExpelled);
+  EXPECT_EQ(group.await_readmission(2), MemberStatus::kExpelled);
+}
+
+TEST(Membership, FailedProbesSelfExpel) {
+  // Nobody is phasing, so no fence ever consumes the probe requests;
+  // after max_probes expired deadlines the member expels itself.
+  MembershipOptions opts = fast_watchdog();
+  opts.max_probes = 2;
+  opts.probe_timeout = 5ms;
+  MembershipGroup group(config_of(BarrierKind::kCentral, 3), opts);
+
+  std::vector<std::thread> pool;
+  for (std::size_t tid = 0; tid < 2; ++tid)
+    pool.emplace_back([&, tid] {
+      for (std::size_t g = 0; g < 3; ++g)
+        ASSERT_EQ(group.arrive_and_wait(tid), MemberStatus::kOk);
+    });
+  for (auto& t : pool) t.join();
+  ASSERT_EQ(group.state(2), MemberState::kQuarantined);
+
+  EXPECT_EQ(group.await_readmission(2), MemberStatus::kExpelled);
+  EXPECT_EQ(group.state(2), MemberState::kExpelled);
+  EXPECT_GE(group.stats().expulsions, 1u);
+}
+
+TEST(Membership, TreeKindsReparentInsteadOfRebuilding) {
+  // McsTree supports detach_quiescent, so a pure-shrink fence splices
+  // the tree in place (reparent_ops) rather than rebuilding.
+  MembershipGroup group(config_of(BarrierKind::kMcsTree, 6), fast_watchdog());
+  run_phases(group, 6, 2);
+  std::vector<std::thread> pool;
+  for (std::size_t tid = 0; tid < 5; ++tid)
+    pool.emplace_back([&, tid] {
+      for (std::size_t g = 0; g < 8; ++g)
+        ASSERT_EQ(group.arrive_and_wait(tid), MemberStatus::kOk);
+    });
+  for (auto& t : pool) t.join();
+
+  EXPECT_EQ(group.state(5), MemberState::kQuarantined);
+  EXPECT_GE(group.stats().reparent_ops, 1u);
+  group.check_structure();
+}
+
+TEST(Membership, CountersSurviveRebuilds) {
+  MembershipGroup group(config_of(BarrierKind::kCentral, 3), fast_watchdog());
+  run_phases(group, 3, 10);
+  group.leave(2);  // forces a roster change
+  run_phases(group, 2, 10);
+  // Episodes across the rebuild are folded, not lost.
+  EXPECT_GE(group.counters().episodes, 20u);
+}
+
+TEST(Membership, MetricsFoldPublishesTheSchema) {
+  MembershipGroup group(config_of(BarrierKind::kCentral, 3), fast_watchdog());
+  run_phases(group, 3, 2);
+  group.leave(2);
+
+  obs::MetricsRegistry registry;
+  fold_membership_metrics(group, registry);
+  EXPECT_EQ(registry.counter("membership.leaves"), 1u);
+  EXPECT_EQ(registry.counter("membership.active"), 2u);
+  EXPECT_GE(registry.counter("membership.fences"), 1u);
+  fold_membership_metrics(group, registry, "g2");
+  EXPECT_EQ(registry.counter("g2.leaves"), 1u);
+}
+
+TEST(Membership, EvictionsLeaveZeroSpanTraceMarks) {
+  MembershipOptions opts = fast_watchdog();
+  opts.recorder = std::make_shared<obs::EpisodeRecorder>(4);
+  MembershipGroup group(config_of(BarrierKind::kCentral, 4), opts);
+  run_phases(group, 4, 2);
+
+  std::vector<std::thread> pool;
+  for (std::size_t tid = 0; tid < 3; ++tid)
+    pool.emplace_back([&, tid] {
+      for (std::size_t g = 0; g < 5; ++g)
+        ASSERT_EQ(group.arrive_and_wait(tid), MemberStatus::kOk);
+    });
+  for (auto& t : pool) t.join();
+  ASSERT_EQ(group.state(3), MemberState::kQuarantined);
+
+  // The eviction mark is a zero-span record in the victim's lane.
+  bool saw_mark = false;
+  for (const obs::EpisodeRecord& r : opts.recorder->snapshot(3))
+    saw_mark = saw_mark || (r.arrive_ns == r.release_ns);
+  EXPECT_TRUE(saw_mark);
+}
+
+TEST(Membership, EventNamesRoundTrip) {
+  EXPECT_STREQ(to_string(MembershipEventKind::kJoin), "join");
+  EXPECT_STREQ(to_string(MembershipEventKind::kLeave), "leave");
+  EXPECT_STREQ(to_string(MembershipEventKind::kEvict), "evict");
+  EXPECT_STREQ(to_string(MembershipEventKind::kReadmit), "readmit");
+  EXPECT_STREQ(to_string(MembershipEventKind::kExpel), "expel");
+  EXPECT_STREQ(to_string(MemberState::kJoined), "joined");
+  EXPECT_STREQ(to_string(MemberState::kQuarantined), "quarantined");
+  EXPECT_STREQ(to_string(MemberStatus::kEvicted), "evicted");
+}
+
+}  // namespace
+}  // namespace imbar::robust

@@ -135,6 +135,61 @@ TEST(SpinUntilFor, ForwardsCancelFlag) {
             WaitStatus::kCancelled);
 }
 
+TEST(ExponentialBackoff, DelaysStayWithinBaseAndCap) {
+  ExponentialBackoff::Options opts;
+  opts.base = std::chrono::microseconds(10);
+  opts.cap = std::chrono::microseconds(200);
+  ExponentialBackoff b(opts, /*seed=*/42, /*stream=*/0);
+  for (int i = 0; i < 256; ++i) {
+    const auto d = b.next_delay();
+    EXPECT_GE(d, opts.base);
+    EXPECT_LE(d, opts.cap);
+  }
+}
+
+TEST(ExponentialBackoff, SeededScheduleIsReproducible) {
+  ExponentialBackoff::Options opts;
+  ExponentialBackoff a(opts, 7, 3);
+  ExponentialBackoff b(opts, 7, 3);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next_delay(), b.next_delay());
+}
+
+TEST(ExponentialBackoff, StreamsAreDecorrelated) {
+  // Two waiters sharing a seed but not a stream must not retry in
+  // lockstep: their delay schedules have to diverge somewhere.
+  ExponentialBackoff::Options opts;
+  ExponentialBackoff a(opts, 7, 0);
+  ExponentialBackoff b(opts, 7, 1);
+  bool diverged = false;
+  for (int i = 0; i < 64; ++i)
+    diverged = diverged || (a.next_delay() != b.next_delay());
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ExponentialBackoff, ResetRestartsTheRecurrence) {
+  ExponentialBackoff::Options opts;
+  opts.base = std::chrono::microseconds(8);
+  ExponentialBackoff b(opts, 11, 0);
+  for (int i = 0; i < 16; ++i) b.next_delay();
+  b.reset();
+  // After reset the recurrence restarts from base: the first draw is in
+  // [base, 3 * base].
+  const auto d = b.next_delay();
+  EXPECT_GE(d, opts.base);
+  EXPECT_LE(d, 3 * opts.base);
+}
+
+TEST(ExponentialBackoff, PauseEscalationNeverBlocksLong) {
+  ExponentialBackoff::Options opts;
+  opts.spin_limit = 4;
+  opts.yield_limit = 4;
+  opts.cap = std::chrono::microseconds(64);
+  ExponentialBackoff b(opts, 1, 0);
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < 64; ++i) b.pause();  // pauses, yields, then sleeps
+  EXPECT_LT(Clock::now() - start, 2s);
+}
+
 TEST(WaitStatusNames, RoundTripStrings) {
   EXPECT_STREQ(to_string(WaitStatus::kReady), "ready");
   EXPECT_STREQ(to_string(WaitStatus::kTimeout), "timeout");

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "simbarrier/topology.hpp"
 
@@ -148,6 +149,70 @@ TEST(Topology, DepthToRootAlongPaths) {
   const Topology t = Topology::plain(64, 4);
   EXPECT_EQ(t.depth_to_root(t.root()), 1);
   for (int c : t.initial_counter()) EXPECT_EQ(t.depth_to_root(c), 3);
+}
+
+TEST(WithoutProc, PlainLeafShrinksByOne) {
+  const Topology t = Topology::plain(16, 4);
+  const Topology s = t.without_proc(5);
+  s.validate();
+  EXPECT_EQ(s.procs(), 15u);
+  // Total leaf fan-in accounts for exactly the survivors.
+  std::size_t attached = 0;
+  for (std::size_t c = 0; c < s.counters(); ++c)
+    attached += static_cast<std::size_t>(s.attached_count(static_cast<int>(c)));
+  EXPECT_EQ(attached, 15u);
+}
+
+TEST(WithoutProc, PlainPruneCascadesThroughEmptiedCounters) {
+  // Degree-2 chain: removing both procs of a leaf prunes the leaf, and
+  // the prune cascades if its parent is emptied too.
+  Topology t = Topology::plain(8, 2);
+  const std::size_t counters_before = t.counters();
+  t = t.without_proc(7);
+  t = t.without_proc(6);  // survivor 7 became 6 after the first splice
+  t.validate();
+  EXPECT_EQ(t.procs(), 6u);
+  EXPECT_LT(t.counters(), counters_before);
+}
+
+TEST(WithoutProc, McsPromotesChildrenOfDrainedCounters) {
+  const Topology t = Topology::mcs(16, 4);
+  Topology s = t.without_proc(0);
+  s.validate();
+  EXPECT_EQ(s.procs(), 15u);
+  // Every MCS counter keeps its attached processor invariant.
+  for (std::size_t c = 0; c < s.counters(); ++c)
+    EXPECT_GE(s.attached_count(static_cast<int>(c)), 1);
+}
+
+TEST(WithoutProc, SurvivesRemovalDownToOneProc) {
+  Topology t = Topology::mcs(8, 2);
+  for (std::size_t removed = 0; removed < 7; ++removed) {
+    t = t.without_proc(0);
+    t.validate();
+    EXPECT_EQ(t.procs(), 7u - removed);
+  }
+  EXPECT_THROW((void)t.without_proc(0), std::logic_error);
+}
+
+TEST(WithoutProc, RejectsOutOfRange) {
+  const Topology t = Topology::plain(8, 4);
+  EXPECT_THROW((void)t.without_proc(8), std::invalid_argument);
+}
+
+TEST(WithoutProc, BothKindsStayValidUnderRandomRemovalOrder) {
+  for (const bool mcs : {false, true}) {
+    Topology t = mcs ? Topology::mcs(40, 4) : Topology::plain(40, 4);
+    // Deterministic pseudo-random-ish removal order, kept independent
+    // of any RNG: strides that hit every residue class.
+    std::size_t next = 13;
+    for (std::size_t left = 40; left > 1; --left) {
+      next = (next * 7 + 3) % left;
+      t = t.without_proc(next);
+      t.validate();
+      EXPECT_EQ(t.procs(), left - 1);
+    }
+  }
 }
 
 // Property sweep: structural invariants hold over a (p, d) grid for
