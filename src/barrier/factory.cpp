@@ -47,6 +47,31 @@ bool barrier_kind_uses_degree(BarrierKind kind) noexcept {
          kind == BarrierKind::kDynamicPlacement;
 }
 
+bool barrier_kind_cooperative_release(BarrierKind kind) noexcept {
+  // Tournament: per-round champions signal their losers on the way out.
+  // MCS local-spin: the root wakes children down the wakeup tree. Both
+  // put release propagation on the critical path of *other* threads'
+  // scheduling, unlike broadcast-through-shared-state kinds.
+  return kind == BarrierKind::kTournament || kind == BarrierKind::kMcsLocalSpin;
+}
+
+bool barrier_kind_release_counted(BarrierKind kind) noexcept {
+  switch (kind) {
+    case BarrierKind::kCentral:
+    case BarrierKind::kCombiningTree:
+    case BarrierKind::kMcsTree:
+    case BarrierKind::kDynamicPlacement:
+    case BarrierKind::kAdaptive:
+    case BarrierKind::kSenseReversing:
+      return true;  // epoch counter advanced by the releasing arrival
+    case BarrierKind::kDissemination:
+    case BarrierKind::kTournament:
+    case BarrierKind::kMcsLocalSpin:
+      return false;  // derived from entry ordinals; quiescent-only
+  }
+  return false;
+}
+
 bool barrier_kind_splits(BarrierKind kind) noexcept {
   switch (kind) {
     case BarrierKind::kCentral:
@@ -80,6 +105,18 @@ void validate(const BarrierConfig& config) {
         "BarrierConfig: participants (" + std::to_string(config.participants) +
         ") exceeds max_participants (" +
         std::to_string(config.max_participants) + ")");
+  if (config.quorum.quorum > config.participants)
+    throw std::invalid_argument(
+        "BarrierConfig: quorum k (" + std::to_string(config.quorum.quorum) +
+        ") exceeds participants (" + std::to_string(config.participants) +
+        "); use k in [1, participants], or 0 for strict all-arrive");
+  if (config.quorum.deadline_budget < std::chrono::nanoseconds::zero())
+    throw std::invalid_argument(
+        "BarrierConfig: quorum deadline_budget must be non-negative, got " +
+        std::to_string(config.quorum.deadline_budget.count()) + "ns");
+  if (config.quorum.hysteresis < 1)
+    throw std::invalid_argument(
+        "BarrierConfig: quorum hysteresis must be >= 1 (got 0)");
   if (!uses_degree(config.kind)) return;
   if (config.degree < 2)
     throw std::invalid_argument(

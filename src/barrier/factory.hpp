@@ -2,6 +2,7 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -49,6 +50,46 @@ inline constexpr std::array<BarrierKind, 9> kAllBarrierKinds = {
 /// make_fuzzy_barrier accepts.
 [[nodiscard]] bool barrier_kind_splits(BarrierKind kind) noexcept;
 
+/// True for kinds whose release propagates *cooperatively* — a
+/// releasing thread performs wake-up duties for peers on its way out
+/// (tournament champions signal losers; the MCS local-spin root wakes
+/// its children), so release latency depends on the releasers being
+/// scheduled and a teardown can catch a previous episode's wakeups
+/// still in flight. Central/sense/tree kinds broadcast through shared
+/// state instead. robust::QuorumBarrier's release fence is uniform
+/// either way, but deadline budgets for cooperative kinds should leave
+/// propagation headroom — robust::ChaosCampaign scales its per-kind
+/// budgets by this query.
+[[nodiscard]] bool barrier_kind_cooperative_release(BarrierKind kind) noexcept;
+
+/// True for kinds whose BarrierCounters::episodes is a *release-side*
+/// count: it advances exactly when an episode releases, so observing
+/// episodes >= e proves episode e completed even while threads are
+/// still inside the barrier. The remaining kinds (dissemination,
+/// tournament, mcs-local) derive episodes from per-thread entry
+/// ordinals — exact only at quiescence, and momentarily ahead of
+/// completion while an episode is in flight. robust::RobustBarrier's
+/// release-beats-timeout check consults this before trusting the count.
+[[nodiscard]] bool barrier_kind_release_counted(BarrierKind kind) noexcept;
+
+/// Graceful-degradation knobs consumed by robust::QuorumBarrier
+/// (docs/robustness.md). Carried on BarrierConfig — like
+/// max_participants — so one config describes the whole decorated
+/// stack; make_barrier validates but ignores them.
+struct QuorumConfig {
+  /// Release quorum k: a phase may release once k members have arrived
+  /// and the deadline budget is spent. 0 disables quorum release
+  /// (strict all-arrive); otherwise validated 1 <= k <= participants.
+  std::size_t quorum = 0;
+  /// Per-phase deadline budget (from each waiter's entry). Validated
+  /// non-negative; 0 means "release as soon as the quorum forms".
+  std::chrono::nanoseconds deadline_budget = std::chrono::nanoseconds::zero();
+  /// Consecutive quorum-released phases before the health state machine
+  /// demotes (healthy -> degraded), and consecutive strict phases
+  /// before it restores. Validated >= 1.
+  std::size_t hysteresis = 1;
+};
+
 struct BarrierConfig {
   BarrierKind kind = BarrierKind::kCombiningTree;
   std::size_t participants = 0;
@@ -59,6 +100,9 @@ struct BarrierConfig {
   // initial participants". Validated: participants <= max_participants
   // when set.
   std::size_t max_participants = 0;
+  // Graceful-degradation knobs (robust::QuorumBarrier); validated by
+  // make_barrier, consumed only by the quorum decorator.
+  QuorumConfig quorum{};
 };
 
 /// Construct any barrier kind. The configuration is validated:

@@ -14,6 +14,7 @@
 #include "exec/parallel_for.hpp"
 #include "obs/instrumented_barrier.hpp"
 #include "robust/membership.hpp"
+#include "robust/quorum_barrier.hpp"
 #include "robust/robust_barrier.hpp"
 #include "util/cacheline.hpp"
 
@@ -717,6 +718,244 @@ ConformanceResult check_quarantine_readmit(const BarrierConfig& config,
   } catch (const std::logic_error& e) {
     violations.record(describe(config) +
                       ": post-readmission structural invariant: " + e.what());
+  }
+  return violations.result();
+}
+
+namespace {
+
+robust::QuorumOptions quorum_options(const ConformanceOptions& opts) {
+  robust::QuorumOptions qopts;
+  if (opts.instrument)
+    qopts.robust.inner_factory = obs::instrumenting_inner_factory();
+  // These properties measure quorum release and reconciliation, not
+  // eviction or budget adaptation: quarantine off, budgets flat (the
+  // degraded/probe scales would otherwise shrink the rejoin window and
+  // make the exact counts schedule-sensitive).
+  qopts.quarantine_after = ~static_cast<std::size_t>(0);
+  qopts.degraded_budget_scale = 1.0;
+  qopts.probe_budget_scale = 1.0;
+  return qopts;
+}
+
+}  // namespace
+
+ConformanceResult check_quorum_release_under_tail(
+    const BarrierConfig& config, const ConformanceOptions& opts) {
+  using robust::MemberAccount;
+  using robust::QuorumStatus;
+  const std::size_t n = config.participants;
+  if (n < 2)
+    return ConformanceResult::ok("a tail needs a cohort; vacuous at p=1");
+
+  constexpr std::size_t kWarmup = 4;
+  constexpr std::size_t kTail = 2;
+  constexpr std::size_t kPost = 6;
+  const std::size_t victim = n - 1;
+
+  BarrierConfig qconfig = config;
+  qconfig.quorum.quorum = n - 1;
+  // Wide enough that a scheduled-out peer is never mistaken for the
+  // tail (the deliberate straggler is *withheld*, not slow), narrow
+  // enough to keep the property fast.
+  qconfig.quorum.deadline_budget = std::chrono::milliseconds(250);
+  qconfig.quorum.hysteresis = 1;  // degrade and recover on first evidence
+
+  robust::QuorumBarrier barrier(qconfig, quorum_options(opts));
+  Violations violations;
+
+  run_cohort(
+      n,
+      [&](std::size_t tid) {
+        for (std::size_t g = 0; g < kWarmup; ++g) {
+          if (barrier.arrive_and_wait(tid) != QuorumStatus::kOk)
+            violations.record(describe(config) +
+                              ": warm-up phase not strict for tid " +
+                              std::to_string(tid));
+        }
+        if (tid == victim) {
+          // Withheld: sit out kTail phases, then reconcile and rejoin.
+          spin_until([&] {
+            return barrier.phase() >= kWarmup + kTail || barrier.stalled();
+          });
+          for (std::size_t miss = 0; miss < kTail; ++miss) {
+            const QuorumStatus s = barrier.arrive_and_wait(victim);
+            if (s != QuorumStatus::kFastForward) {
+              violations.record(describe(config) +
+                                ": straggler reconciliation returned " +
+                                robust::to_string(s) + " instead of " +
+                                "fast-forward at miss " + std::to_string(miss));
+              return;
+            }
+          }
+        } else {
+          for (std::size_t g = 0; g < kTail; ++g) {
+            const QuorumStatus s = barrier.arrive_and_wait(tid);
+            if (s != QuorumStatus::kQuorum)
+              violations.record(describe(config) + ": survivor " +
+                                std::to_string(tid) + " got " +
+                                robust::to_string(s) + " at tail phase " +
+                                std::to_string(g) + " (expected quorum)");
+          }
+        }
+        for (std::size_t g = 0; g < kPost; ++g) {
+          if (barrier.arrive_and_wait(tid) != QuorumStatus::kOk)
+            violations.record(describe(config) +
+                              ": catch-up phase not strict for tid " +
+                              std::to_string(tid) + " at post phase " +
+                              std::to_string(g));
+        }
+      },
+      opts.watchdog);
+
+  const robust::QuorumStats stats = barrier.stats();
+  if (stats.quorum_releases != kTail)
+    violations.record(describe(config) + ": " +
+                      std::to_string(stats.quorum_releases) +
+                      " quorum releases, expected " + std::to_string(kTail));
+  if (stats.strict_releases != kWarmup + kPost)
+    violations.record(describe(config) + ": " +
+                      std::to_string(stats.strict_releases) +
+                      " strict releases, expected " +
+                      std::to_string(kWarmup + kPost));
+  if (stats.min_quorum_arrivals < n - 1)
+    violations.record(describe(config) + ": a quorum release proceeded with " +
+                      std::to_string(stats.min_quorum_arrivals) +
+                      " arrivals, below k = " + std::to_string(n - 1));
+  const MemberAccount acct = barrier.account(victim);
+  if (acct.missed_phases != kTail)
+    violations.record(describe(config) + ": straggler missed " +
+                      std::to_string(acct.missed_phases) +
+                      " phases, expected exactly " + std::to_string(kTail));
+  if (acct.late_arrivals != 1)
+    violations.record(describe(config) + ": straggler logged " +
+                      std::to_string(acct.late_arrivals) +
+                      " fall-behind episodes, expected 1");
+  if (barrier.health() != robust::QuorumHealth::kHealthy)
+    violations.record(describe(config) + ": health ended " +
+                      robust::to_string(barrier.health()) +
+                      " after the cohort caught up");
+  bool degraded = false, recovered = false;
+  for (const robust::QuorumEvent& e : barrier.events()) {
+    if (e.kind == robust::QuorumEventKind::kDegraded) degraded = true;
+    if (e.kind == robust::QuorumEventKind::kRecovered) recovered = true;
+  }
+  if (!degraded)
+    violations.record(describe(config) + ": no kDegraded event under the tail");
+  if (!recovered)
+    violations.record(describe(config) + ": no kRecovered event after catch-up");
+  try {
+    barrier.check_invariants();
+  } catch (const std::logic_error& e) {
+    violations.record(describe(config) + ": quorum invariant: " + e.what());
+  }
+  return violations.result();
+}
+
+ConformanceResult check_late_reconcile_exactness(
+    const BarrierConfig& config, const ConformanceOptions& opts) {
+  using robust::MemberAccount;
+  using robust::QuorumStatus;
+  const std::size_t n = config.participants;
+  if (n < 2)
+    return ConformanceResult::ok("rotation needs a cohort; vacuous at p=1");
+
+  const std::size_t kRounds = 2;  // each tid sits out kRounds phases
+  const std::size_t kPhases = kRounds * n;
+
+  BarrierConfig qconfig = config;
+  qconfig.quorum.quorum = n - 1;
+  // k = p-1 makes the counts deterministic: a phase can only release
+  // one short, and only the sitter is ever withheld — a merely *slow*
+  // peer delays the release but never changes who is missing.
+  qconfig.quorum.deadline_budget = std::chrono::milliseconds(40);
+  qconfig.quorum.hysteresis = 1;
+
+  robust::QuorumBarrier barrier(qconfig, quorum_options(opts));
+  Violations violations;
+
+  run_cohort(
+      n,
+      [&](std::size_t tid) {
+        for (std::size_t g = 0; g < kPhases; ++g) {
+          if (g % n == tid) {
+            // This phase's sitter: stay away until it has released
+            // (one short), then reconcile on the next real arrival.
+            spin_until(
+                [&] { return barrier.phase() > g || barrier.stalled(); });
+            continue;
+          }
+          for (;;) {
+            const QuorumStatus s = barrier.arrive_and_wait(tid);
+            if (s == QuorumStatus::kFastForward) continue;
+            if (s == QuorumStatus::kQuorum) break;
+            violations.record(describe(config) + ": tid " +
+                              std::to_string(tid) + " got " +
+                              robust::to_string(s) + " at phase " +
+                              std::to_string(g) + " (expected quorum)");
+            return;
+          }
+        }
+        // Settle the trailing sit-out (fast-forwards only; never blocks).
+        while (!barrier.stalled()) {
+          const MemberAccount a = barrier.account(tid);
+          if (a.arrivals + a.missed_phases + a.quarantine_skipped >=
+              barrier.phase())
+            break;
+          const QuorumStatus s = barrier.arrive_and_wait(tid);
+          if (s != QuorumStatus::kFastForward) {
+            violations.record(describe(config) + ": trailing reconcile of tid " +
+                              std::to_string(tid) + " returned " +
+                              robust::to_string(s));
+            break;
+          }
+        }
+      },
+      opts.watchdog);
+
+  const robust::QuorumStats stats = barrier.stats();
+  if (stats.strict_releases != 0)
+    violations.record(describe(config) + ": " +
+                      std::to_string(stats.strict_releases) +
+                      " strict releases with a sitter every phase");
+  if (stats.quorum_releases != kPhases)
+    violations.record(describe(config) + ": " +
+                      std::to_string(stats.quorum_releases) +
+                      " quorum releases, expected " + std::to_string(kPhases));
+  if (stats.min_quorum_arrivals != n - 1)
+    violations.record(describe(config) + ": min quorum arrivals " +
+                      std::to_string(stats.min_quorum_arrivals) +
+                      ", expected exactly " + std::to_string(n - 1));
+  std::uint64_t missed_sum = 0;
+  for (std::size_t tid = 0; tid < n; ++tid) {
+    const MemberAccount a = barrier.account(tid);
+    missed_sum += a.missed_phases;
+    if (a.missed_phases != kRounds)
+      violations.record(describe(config) + ": tid " + std::to_string(tid) +
+                        " missed " + std::to_string(a.missed_phases) +
+                        " phases, expected " + std::to_string(kRounds));
+    if (a.arrivals != kPhases - kRounds)
+      violations.record(describe(config) + ": tid " + std::to_string(tid) +
+                        " has " + std::to_string(a.arrivals) +
+                        " arrivals, expected " +
+                        std::to_string(kPhases - kRounds));
+    if (a.late_arrivals != kRounds)
+      violations.record(describe(config) + ": tid " + std::to_string(tid) +
+                        " logged " + std::to_string(a.late_arrivals) +
+                        " fall-behind episodes, expected " +
+                        std::to_string(kRounds));
+  }
+  // The headline exactness identity: every quorum release produced
+  // exactly one straggler slot, and every one was reconciled.
+  if (missed_sum != stats.quorum_releases)
+    violations.record(describe(config) + ": sum of missed phases (" +
+                      std::to_string(missed_sum) +
+                      ") != quorum releases (" +
+                      std::to_string(stats.quorum_releases) + ")");
+  try {
+    barrier.check_invariants();
+  } catch (const std::logic_error& e) {
+    violations.record(describe(config) + ": quorum invariant: " + e.what());
   }
   return violations.result();
 }

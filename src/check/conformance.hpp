@@ -145,4 +145,22 @@ struct ConformanceResult {
 [[nodiscard]] ConformanceResult check_quarantine_readmit(
     const BarrierConfig& config, const ConformanceOptions& opts);
 
+/// robust::QuorumBarrier over this config with k = p-1: after strict
+/// warm-up, one member is withheld for two phases — every survivor must
+/// release with kQuorum (never strict, never below k), health must
+/// degrade; when the straggler rejoins it fast-forwards across exactly
+/// the missed phases, the cohort returns to strict releases, health
+/// recovers, and the generation/accounting invariants hold.
+[[nodiscard]] ConformanceResult check_quorum_release_under_tail(
+    const BarrierConfig& config, const ConformanceOptions& opts);
+
+/// Reconciliation exactness under a cyclically rotating straggler
+/// (phase g's sitter is tid g mod p, k = p-1): every phase quorum-
+/// releases with exactly p-1 arrivals, and at quiescence the per-member
+/// ledgers partition exactly — arrivals, missed_phases and
+/// late_arrivals each equal their closed-form counts and the sum of
+/// missed phases equals the number of quorum releases.
+[[nodiscard]] ConformanceResult check_late_reconcile_exactness(
+    const BarrierConfig& config, const ConformanceOptions& opts);
+
 }  // namespace imbar::check

@@ -57,6 +57,14 @@
 #include "robust/membership_metrics.hpp"
 #include "robust/robust_barrier.hpp"
 
+// Graceful degradation: deadline-budgeted k-of-n quorum release with
+// straggler reconciliation, plus the seeded chaos-campaign engine and
+// its event-driven model counterpart.
+#include "robust/chaos_campaign.hpp"
+#include "robust/quorum_barrier.hpp"
+#include "robust/quorum_metrics.hpp"
+#include "sim/quorum_model.hpp"
+
 // Degree selection and imbalance estimation.
 #include "core/degree_chooser.hpp"
 #include "core/facade.hpp"

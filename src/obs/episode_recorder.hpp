@@ -85,6 +85,16 @@ class EpisodeRecorder {
   /// (timeout/cancel/broken). No record is committed.
   void abort_episode(std::size_t tid) noexcept { ++lanes_[tid].aborted; }
 
+  /// Commit a zero-span record at now (arrive == release): a trace
+  /// *mark* on `tid`'s lane. chrome_trace_json renders it as an
+  /// instant-like sliver. Used for membership evictions and quorum
+  /// degraded-phase marks; same owner-thread/quiescence rules as
+  /// record().
+  void mark(std::size_t tid) noexcept {
+    const std::uint64_t t = now_ns();
+    commit(lanes_[tid], t, t);
+  }
+
   // -- Quiescent reads ---------------------------------------------------
 
   /// Episodes committed by `tid` (monotonic; keeps counting past wraps).

@@ -1,0 +1,364 @@
+#include "robust/chaos_campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/sharded_seeder.hpp"
+#include "sim/quorum_model.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::robust {
+
+namespace {
+
+/// Stateless per-(phase, proc) jitter: keyed by value so any cell
+/// reproduces in isolation, the ShardedSeeder recipe.
+double burst_jitter_us(std::uint64_t seed, std::size_t phase, std::size_t proc,
+                       double amplitude) {
+  if (amplitude <= 0.0) return 0.0;
+  SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ULL * (phase + 1)) ^
+                (0xBF58476D1CE4E5B9ULL * (proc + 1)));
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return u * amplitude;
+}
+
+void sleep_us(double us) {
+  if (us <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
+
+std::string scenario_label(const ChaosScenarioSpec& spec) {
+  return spec.label.empty() ? std::string(to_string(spec.kind)) : spec.label;
+}
+
+}  // namespace
+
+ChaosSchedule ChaosSchedule::make(std::uint64_t seed,
+                                  const ChaosScenarioSpec& spec) {
+  if (spec.procs == 0)
+    throw std::invalid_argument("ChaosSchedule: zero procs");
+  if (spec.phases == 0)
+    throw std::invalid_argument("ChaosSchedule: zero phases");
+  if (spec.faults.deaths != 0 || spec.faults.evictions != 0 ||
+      !spec.faults.explicit_evictions.empty())
+    throw std::invalid_argument(
+        "ChaosSchedule: deaths/evictions are abandonment faults; the quorum "
+        "layer answers lateness with degradation — use stragglers, bursts and "
+        "oscillation (fault_harness covers the abandonment regime)");
+  if (spec.burst.bursts > 0 && spec.burst.span == 0)
+    throw std::invalid_argument("ChaosSchedule: burst span must be >= 1");
+  if (spec.oscillation.stragglers > 0 && spec.oscillation.period == 0)
+    throw std::invalid_argument("ChaosSchedule: oscillation period must be >= 1");
+  if (spec.oscillation.stragglers > spec.procs)
+    throw std::invalid_argument(
+        "ChaosSchedule: oscillation stragglers exceed procs");
+
+  ChaosSchedule s(FaultPlan::make(seed, spec.procs, spec.phases, spec.faults));
+  s.spec_ = spec;
+  s.seed_ = seed;
+  s.burst_phase_.assign(spec.phases, 0);
+  if (spec.burst.bursts > 0) {
+    // Independent substream, like FaultPlan's eviction draws: adding
+    // bursts never perturbs the straggler/wakeup schedules.
+    Xoshiro256 rng = Xoshiro256::substream(seed, 0xB1257);
+    const std::size_t span = std::min(spec.burst.span, spec.phases);
+    const std::size_t starts = spec.phases - span + 1;
+    for (std::size_t b = 0; b < spec.burst.bursts; ++b) {
+      const std::size_t start = static_cast<std::size_t>(rng.next() % starts);
+      for (std::size_t p = start; p < start + span; ++p) s.burst_phase_[p] = 1;
+    }
+  }
+  return s;
+}
+
+bool ChaosSchedule::burst_at(std::size_t phase) const {
+  return phase < burst_phase_.size() && burst_phase_[phase] != 0;
+}
+
+double ChaosSchedule::arrival_delay_us(std::size_t phase,
+                                       std::size_t proc) const {
+  double d = plan_.straggler_delay_us(phase, proc);
+  if (burst_at(phase))
+    d += spec_.burst.delay_us +
+         burst_jitter_us(seed_, phase, proc, spec_.burst.jitter_us);
+  const OscillationSpec& osc = spec_.oscillation;
+  if (osc.stragglers > 0 &&
+      proc == (phase / osc.period) % osc.stragglers)
+    d += osc.delay_us;
+  return d;
+}
+
+double ChaosSchedule::release_delay_us(std::size_t phase,
+                                       std::size_t proc) const {
+  return plan_.lost_wakeup_delay_us(phase, proc);
+}
+
+double ChaosSchedule::work_us(std::uint64_t phase, std::size_t proc) const {
+  const std::size_t p = static_cast<std::size_t>(phase);
+  double w = spec_.base_work_us + arrival_delay_us(p, proc);
+  if (p > 0) w += release_delay_us(p - 1, proc);
+  return w;
+}
+
+std::vector<std::string> ChaosCampaignResult::event_log() const {
+  std::vector<std::string> out;
+  for (const ChaosScenarioResult& s : scenarios)
+    out.insert(out.end(), s.log.begin(), s.log.end());
+  return out;
+}
+
+ChaosCampaign::ChaosCampaign(std::uint64_t seed,
+                             std::vector<ChaosScenarioSpec> specs)
+    : seed_(seed), specs_(std::move(specs)) {
+  if (specs_.empty())
+    throw std::invalid_argument("ChaosCampaign: no scenarios");
+}
+
+namespace {
+
+/// Model leg: the deterministic event log + frontier stats.
+void run_model_leg(std::size_t index, const ChaosScenarioSpec& spec,
+                   const ChaosSchedule& sched, std::uint64_t seed,
+                   ChaosScenarioResult& out) {
+  sim::QuorumModelConfig mc;
+  mc.procs = spec.procs;
+  mc.phases = spec.phases;
+  mc.quorum = spec.quorum;
+  mc.deadline_budget =
+      std::chrono::duration<double, std::micro>(spec.deadline_budget).count();
+  const sim::QuorumModelResult r = sim::run_quorum_model(
+      mc, [&sched](std::uint64_t phase, std::size_t proc) {
+        return sched.work_us(phase, proc);
+      });
+
+  out.model_strict = r.strict_releases;
+  out.model_quorum = r.quorum_releases;
+  out.model_missed = r.missed_phases;
+  out.model_completeness = r.completeness;
+  out.model_p50_latency_us = r.latency_percentile(0.50);
+  out.model_p99_latency_us = r.latency_percentile(0.99);
+
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "s=%zu kind=%s procs=%zu phases=%zu k=%zu budget_us=%.3f "
+                "seed=%016llx",
+                index, out.label.c_str(), spec.procs, spec.phases, spec.quorum,
+                mc.deadline_budget,
+                static_cast<unsigned long long>(seed));
+  out.log.emplace_back(buf);
+  for (const sim::QuorumPhaseRecord& rec : r.records) {
+    std::snprintf(buf, sizeof buf,
+                  "s=%zu phase=%llu release=%s arrived=%zu/%zu lat_us=%.3f",
+                  index, static_cast<unsigned long long>(rec.phase),
+                  rec.strict ? "strict" : "quorum", rec.arrived, spec.procs,
+                  rec.latency());
+    out.log.emplace_back(buf);
+  }
+  std::snprintf(buf, sizeof buf,
+                "s=%zu done strict=%llu quorum=%llu missed=%llu "
+                "completeness=%.4f p50_us=%.3f p99_us=%.3f",
+                index, static_cast<unsigned long long>(r.strict_releases),
+                static_cast<unsigned long long>(r.quorum_releases),
+                static_cast<unsigned long long>(r.missed_phases),
+                r.completeness, out.model_p50_latency_us,
+                out.model_p99_latency_us);
+  out.log.emplace_back(buf);
+
+  if (r.strict_releases + r.quorum_releases != spec.phases) {
+    out.passed = false;
+    out.detail = "model leg lost a generation: strict+quorum != phases";
+  } else if (spec.quorum == 0 && r.quorum_releases != 0) {
+    out.passed = false;
+    out.detail = "model leg degraded with quorum disabled";
+  }
+}
+
+/// Live leg: one OS thread per proc over a factory-built QuorumBarrier,
+/// the schedule injected as sleeps, invariants audited at quiescence.
+void run_live_leg(const ChaosScenarioSpec& spec, const ChaosSchedule& sched,
+                  std::uint64_t seed, ChaosScenarioResult& out) {
+  BarrierConfig cfg;
+  cfg.kind = spec.kind;
+  cfg.participants = spec.procs;
+  cfg.degree = std::min<std::size_t>(4, std::max<std::size_t>(2, spec.procs));
+  cfg.quorum.quorum = spec.quorum;
+  cfg.quorum.deadline_budget = spec.deadline_budget;
+  cfg.quorum.hysteresis = spec.hysteresis;
+
+  QuorumOptions qo;
+  qo.quarantine_after = spec.quarantine_after == 0
+                            ? ~static_cast<std::size_t>(0)
+                            : spec.quarantine_after;
+  qo.backoff_seed = seed;
+  // A campaign must fail loudly, not hang CI: any phase pinned below
+  // quorum for this long is a harness/barrier bug.
+  qo.stall_timeout = std::chrono::seconds(30);
+
+  QuorumBarrier barrier(cfg, qo);
+
+  std::vector<std::string> errs(spec.procs);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(spec.procs);
+  for (std::size_t proc = 0; proc < spec.procs; ++proc) {
+    threads.emplace_back([&, proc] {
+      try {
+        std::uint64_t gen = 0;
+        while (true) {
+          if (barrier.stalled()) {
+            errs[proc] = "barrier stalled";
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          const std::uint64_t p = barrier.phase();
+          if (p >= spec.phases) break;
+          if (gen == p)
+            sleep_us(sched.arrival_delay_us(static_cast<std::size_t>(gen),
+                                            proc));
+          const QuorumStatus s = barrier.arrive_and_wait(proc);
+          switch (s) {
+            case QuorumStatus::kOk:
+            case QuorumStatus::kQuorum:
+              sleep_us(sched.release_delay_us(static_cast<std::size_t>(gen),
+                                              proc));
+              ++gen;
+              break;
+            case QuorumStatus::kFastForward:
+              ++gen;
+              break;
+            case QuorumStatus::kQuarantined: {
+              const QuorumStatus r = barrier.await_restoration(proc);
+              if (r != QuorumStatus::kOk) return;  // parked out for good
+              const MemberAccount a = barrier.account(proc);
+              gen = a.arrivals + a.missed_phases + a.quarantine_skipped;
+              break;
+            }
+            case QuorumStatus::kStalled:
+              errs[proc] = "arrive_and_wait returned kStalled";
+              failed.store(true, std::memory_order_relaxed);
+              return;
+          }
+        }
+        // Reconcile to the final ledger so every active member ends in
+        // sync (fast-forwards only; never blocks).
+        while (!barrier.stalled() && barrier.state(proc) == MemberState::kJoined &&
+               gen < barrier.phase()) {
+          const QuorumStatus s = barrier.arrive_and_wait(proc);
+          if (s != QuorumStatus::kFastForward) break;
+          ++gen;
+        }
+      } catch (const std::exception& e) {
+        errs[proc] = e.what();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  out.live_ran = true;
+  out.live_stats = barrier.stats();
+  out.live_health = barrier.health();
+
+  if (failed.load(std::memory_order_relaxed)) {
+    for (std::size_t proc = 0; proc < spec.procs; ++proc)
+      if (!errs[proc].empty()) {
+        out.passed = false;
+        out.detail =
+            "live leg proc " + std::to_string(proc) + ": " + errs[proc];
+        return;
+      }
+  }
+  try {
+    barrier.check_invariants();
+  } catch (const std::exception& e) {
+    out.passed = false;
+    out.detail = std::string("live leg invariants: ") + e.what();
+    return;
+  }
+  const QuorumStats& st = out.live_stats;
+  if (st.strict_releases + st.quorum_releases != barrier.phase()) {
+    out.passed = false;
+    out.detail = "live leg lost a generation: strict+quorum != phase";
+  } else if (barrier.phase() != spec.phases) {
+    out.passed = false;
+    out.detail = "live leg finished at phase " +
+                 std::to_string(barrier.phase()) + ", expected " +
+                 std::to_string(spec.phases);
+  } else if (spec.quorum == 0 && st.quorum_releases != 0) {
+    out.passed = false;
+    out.detail = "live leg degraded with quorum disabled";
+  }
+}
+
+ChaosScenarioResult run_scenario(std::size_t index,
+                                 const ChaosScenarioSpec& spec,
+                                 std::uint64_t seed) {
+  ChaosScenarioResult out;
+  out.index = index;
+  out.label = scenario_label(spec);
+  const ChaosSchedule sched = ChaosSchedule::make(seed, spec);
+  run_model_leg(index, spec, sched, seed, out);
+  if (spec.run_live && out.passed) run_live_leg(spec, sched, seed, out);
+  return out;
+}
+
+}  // namespace
+
+ChaosCampaignResult ChaosCampaign::run(const exec::Executor& exec) const {
+  ChaosCampaignResult out;
+  out.scenarios.resize(specs_.size());
+  const exec::ShardedSeeder seeder(seed_);
+  exec.run_chunked(
+      0, specs_.size(), 1,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          out.scenarios[i] = run_scenario(i, specs_[i], seeder.derive(i));
+      });
+  // Serial merge in scenario order: first failure wins, every time.
+  for (const ChaosScenarioResult& s : out.scenarios)
+    if (!s.passed) {
+      out.passed = false;
+      out.detail = "scenario " + std::to_string(s.index) + " (" + s.label +
+                   "): " + s.detail;
+      break;
+    }
+  return out;
+}
+
+std::vector<ChaosScenarioSpec> ChaosCampaign::canned_matrix(std::size_t procs,
+                                                            std::size_t phases,
+                                                            bool heavy) {
+  std::vector<ChaosScenarioSpec> specs;
+  specs.reserve(kAllBarrierKinds.size());
+  for (const BarrierKind kind : kAllBarrierKinds) {
+    ChaosScenarioSpec s;
+    s.kind = kind;
+    s.procs = procs;
+    s.phases = phases;
+    s.quorum = procs - std::max<std::size_t>(1, procs / 4);
+    s.hysteresis = 2;
+    s.base_work_us = 20.0;
+    s.deadline_budget = std::chrono::microseconds(heavy ? 200 : 300);
+    // Cooperative-release kinds put wakeup duties on the releasing
+    // threads' critical path; give the tail room before degrading.
+    if (barrier_kind_cooperative_release(kind)) s.deadline_budget *= 2;
+    s.faults.straggler_prob = heavy ? 0.25 : 0.10;
+    s.faults.straggler_mean_us = 400.0;
+    s.faults.lost_wakeup_prob = heavy ? 0.10 : 0.05;
+    s.faults.lost_wakeup_mean_us = 100.0;
+    s.burst.bursts = heavy ? 3 : 1;
+    s.burst.span = 3;
+    s.burst.delay_us = 150.0;
+    s.burst.jitter_us = 50.0;
+    s.oscillation.stragglers = std::min<std::size_t>(2, procs);
+    s.oscillation.period = 5;
+    s.oscillation.delay_us = heavy ? 600.0 : 350.0;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+}  // namespace imbar::robust

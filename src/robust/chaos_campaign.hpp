@@ -1,0 +1,189 @@
+// Deterministic chaos campaigns for the graceful-degradation layer.
+//
+// A campaign is a seeded list of scenarios, each pairing a BarrierKind
+// with a composed disturbance schedule:
+//
+//   * FaultPlan stragglers / lost wakeups — the existing per-cell
+//     exponential lateness primitives (fault_plan.hpp);
+//   * overload bursts — whole-cohort slowdowns over contiguous phase
+//     spans (every proc late at once, the regime where a quorum
+//     barrier must NOT degrade — nobody is ahead to form a quorum);
+//   * oscillating stragglers — the laggard role rotating round-robin
+//     through a subset of procs, the regime where per-member eviction
+//     heuristics thrash but quorum release shines.
+//
+// Every scenario runs two legs:
+//
+//   * a *model* leg on sim::QuorumModel, a pure function of the seed —
+//     it emits the campaign event log, one line per released phase.
+//     Identical (seed, specs) produce byte-identical logs no matter how
+//     the campaign is sharded over exec workers (scenario results are
+//     written into index-addressed slots and concatenated in scenario
+//     order, the sweep.cpp determinism recipe);
+//   * a *live* leg driving a real-thread cohort over a factory-built
+//     robust::QuorumBarrier with the same schedule injected as sleeps,
+//     then auditing the degradation invariants: no lost generation,
+//     monotone ledger, quorum never below k, accounting exactness
+//     (QuorumBarrier::check_invariants), plus campaign-level checks on
+//     the release totals. Live timing is real and therefore not part
+//     of the byte-identical log.
+//
+// No per-kind code anywhere: scenarios name a BarrierKind and the live
+// leg goes through make_barrier via RobustOptions::inner_factory.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "exec/parallel_for.hpp"
+#include "robust/fault_plan.hpp"
+#include "robust/quorum_barrier.hpp"
+
+namespace imbar::robust {
+
+/// Overload burst: `bursts` spans of `span` phases are drawn uniformly
+/// over the phase axis; inside a span every proc is `delay_us` late
+/// (plus per-(phase, proc) uniform jitter in [0, jitter_us)).
+struct BurstSpec {
+  std::size_t bursts = 0;
+  std::size_t span = 1;
+  double delay_us = 0.0;
+  double jitter_us = 0.0;
+};
+
+/// Oscillating straggler: the laggard role rotates round-robin through
+/// procs [0, stragglers), each holding it for `period` phases and
+/// running `delay_us` late while it does.
+struct OscillationSpec {
+  std::size_t stragglers = 0;  // 0 disables
+  std::size_t period = 1;
+  double delay_us = 0.0;
+};
+
+struct ChaosScenarioSpec {
+  BarrierKind kind = BarrierKind::kCentral;
+  std::size_t procs = 4;
+  std::size_t phases = 50;
+  /// Quorum threshold k (0 = strict-only; degradation disabled).
+  std::size_t quorum = 0;
+  /// Per-phase deadline budget. Scale up for cooperative-release kinds
+  /// (barrier_kind_cooperative_release) — canned_matrix does.
+  std::chrono::nanoseconds deadline_budget = std::chrono::milliseconds(2);
+  std::size_t hysteresis = 2;
+  /// Consecutive quorum releases a member may miss before quarantine;
+  /// 0 = never quarantine (the campaign default: degradation scenarios
+  /// measure quorum semantics, not eviction).
+  std::size_t quarantine_after = 0;
+  /// Per-phase work floor, microseconds (every disturbance adds to it).
+  double base_work_us = 20.0;
+  /// Straggler / lost-wakeup randomness. deaths and evictions must be
+  /// zero: the quorum layer answers lateness with degradation, not
+  /// abandonment (ChaosSchedule::make throws otherwise).
+  FaultSpec faults{};
+  BurstSpec burst{};
+  OscillationSpec oscillation{};
+  /// Skip the real-thread leg (model leg always runs). The nightly
+  /// matrix runs both; quick smokes may want model-only.
+  bool run_live = true;
+  /// Log-line label; empty = to_string(kind).
+  std::string label{};
+};
+
+/// The composed, precomputed disturbance schedule for one scenario —
+/// a pure function of (seed, spec), shared verbatim by both legs.
+class ChaosSchedule {
+ public:
+  static ChaosSchedule make(std::uint64_t seed, const ChaosScenarioSpec& spec);
+
+  /// Extra delay before `proc` enters phase `phase`:
+  /// FaultPlan straggler + burst (with jitter) + oscillation.
+  [[nodiscard]] double arrival_delay_us(std::size_t phase,
+                                        std::size_t proc) const;
+
+  /// Extra delay after `proc` leaves phase `phase` (FaultPlan lost
+  /// wakeups).
+  [[nodiscard]] double release_delay_us(std::size_t phase,
+                                        std::size_t proc) const;
+
+  /// Model-leg work time for `phase`: base work + this phase's arrival
+  /// delay + the previous phase's release delay.
+  [[nodiscard]] double work_us(std::uint64_t phase, std::size_t proc) const;
+
+  [[nodiscard]] bool burst_at(std::size_t phase) const;
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  explicit ChaosSchedule(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  ChaosScenarioSpec spec_{};
+  std::uint64_t seed_ = 0;
+  FaultPlan plan_;
+  std::vector<char> burst_phase_;
+};
+
+struct ChaosScenarioResult {
+  std::size_t index = 0;
+  std::string label;
+  bool passed = true;
+  std::string detail;  // first violated invariant
+
+  // Model leg (deterministic).
+  std::uint64_t model_strict = 0;
+  std::uint64_t model_quorum = 0;
+  std::uint64_t model_missed = 0;
+  double model_completeness = 1.0;
+  double model_p50_latency_us = 0.0;
+  double model_p99_latency_us = 0.0;
+  /// One line per released phase plus a scenario summary line —
+  /// byte-identical for identical (campaign seed, specs).
+  std::vector<std::string> log;
+
+  // Live leg (real threads; zeroed when spec.run_live is false).
+  bool live_ran = false;
+  QuorumStats live_stats{};
+  QuorumHealth live_health = QuorumHealth::kHealthy;
+};
+
+struct ChaosCampaignResult {
+  bool passed = true;
+  std::string detail;  // first failing scenario's detail
+  std::vector<ChaosScenarioResult> scenarios;
+
+  /// All scenarios' logs concatenated in scenario order (the artifact
+  /// the byte-identical replay guarantee is stated over).
+  [[nodiscard]] std::vector<std::string> event_log() const;
+};
+
+class ChaosCampaign {
+ public:
+  ChaosCampaign(std::uint64_t seed, std::vector<ChaosScenarioSpec> specs);
+
+  /// Run every scenario, sharded over `exec` (scenario i derives its
+  /// schedule from ShardedSeeder(seed).derive(i), so results are a pure
+  /// function of the index regardless of worker count or chunking).
+  [[nodiscard]] ChaosCampaignResult run(const exec::Executor& exec = {}) const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const std::vector<ChaosScenarioSpec>& specs() const noexcept {
+    return specs_;
+  }
+
+  /// The canned all-nine-kinds matrix: per kind, one mixed scenario
+  /// (random stragglers + one burst + oscillating laggard) with the
+  /// deadline budget doubled for cooperative-release kinds. `heavy`
+  /// raises phases and disturbance intensity (nightly matrix); the
+  /// default is PR-smoke sized.
+  static std::vector<ChaosScenarioSpec> canned_matrix(std::size_t procs = 4,
+                                                      std::size_t phases = 40,
+                                                      bool heavy = false);
+
+ private:
+  std::uint64_t seed_;
+  std::vector<ChaosScenarioSpec> specs_;
+};
+
+}  // namespace imbar::robust

@@ -493,8 +493,7 @@ void MembershipGroup::mark_eviction_trace(std::size_t tid) {
   // any later write it performs is ordered after it observes the fence
   // clear.
   if (!opts_.recorder || tid >= opts_.recorder->threads()) return;
-  const std::uint64_t t = opts_.recorder->now_ns();
-  opts_.recorder->record(tid, t, t);
+  opts_.recorder->mark(tid);
 }
 
 }  // namespace imbar::robust

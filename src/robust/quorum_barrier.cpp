@@ -1,0 +1,687 @@
+#include "robust/quorum_barrier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace imbar::robust {
+
+namespace {
+
+std::chrono::nanoseconds scale_budget(std::chrono::nanoseconds base,
+                                      double scale) {
+  if (base <= std::chrono::nanoseconds::zero()) return base;
+  const double v = static_cast<double>(base.count()) * scale;
+  if (v < 1.0) return std::chrono::nanoseconds(1);
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(v));
+}
+
+}  // namespace
+
+QuorumBarrier::QuorumBarrier(BarrierConfig config, QuorumOptions opts)
+    : config_(config),
+      opts_(std::move(opts)),
+      n_(config.participants),
+      quorum_k_(config.quorum.quorum),
+      base_budget_(config.quorum.deadline_budget),
+      probe_gap_backoff_(opts_.probe_backoff, opts_.backoff_seed,
+                         /*stream=*/config.participants) {
+  if (!opts_.robust.inner_factory) opts_.robust.inner_factory = make_barrier;
+  if (n_ >= (1ULL << kCountBits))
+    throw std::invalid_argument(
+        "QuorumBarrier: participants exceed the packed arrival counter (" +
+        std::to_string(1ULL << kCountBits) + ")");
+  base_degree_ = config_.degree;
+  inner_ = opts_.robust.inner_factory(config_);  // validates the config
+  if (!inner_)
+    throw std::logic_error("QuorumBarrier: inner_factory returned null");
+
+  const std::size_t h = config_.quorum.hysteresis;
+  degrade_after_ = opts_.degrade_after ? opts_.degrade_after : h;
+  restore_after_ = opts_.restore_after ? opts_.restore_after : h;
+  critical_after_ =
+      opts_.critical_after ? opts_.critical_after : 3 * degrade_after_;
+  effective_budget_ns_.store(static_cast<std::uint64_t>(base_budget_.count()),
+                             std::memory_order_relaxed);
+
+  state_ = std::make_unique<std::atomic<MemberState>[]>(n_);
+  restore_requested_ = std::make_unique<std::atomic<bool>[]>(n_);
+  restore_grace_ = std::make_unique<std::atomic<bool>[]>(n_);
+  for (std::size_t t = 0; t < n_; ++t) {
+    state_[t].store(MemberState::kJoined, std::memory_order_relaxed);
+    restore_requested_[t].store(false, std::memory_order_relaxed);
+    restore_grace_[t].store(false, std::memory_order_relaxed);
+  }
+  entered_ = std::vector<PaddedAtomic<std::uint64_t>>(n_);
+  accounts_ = std::vector<Account>(n_);
+  outcome_ring_ = std::vector<PaddedAtomic<std::uint8_t>>(kRing);
+  lag_streak_.assign(n_, 0);
+  inner_tid_.assign(n_, 0);
+  recompute_dense_locked();
+}
+
+// -- Packed arrival counter ------------------------------------------------
+
+void QuorumBarrier::bump_arrived(std::uint64_t p) noexcept {
+  // The phase tag in the high bits rolls the count back to zero at each
+  // new phase, so there is no reset racing next-phase increments. Each
+  // member bumps at most once per phase (guarded by its entered_ slot
+  // advancing), so the count never exceeds n_ < 2^kCountBits.
+  std::uint64_t cur = arrived_packed_.load(std::memory_order_seq_cst);
+  for (;;) {
+    const std::uint64_t tag = cur >> kCountBits;
+    std::uint64_t next;
+    if (tag == p) {
+      next = cur + 1;
+    } else if (tag < p) {
+      next = (p << kCountBits) | 1;
+    } else {
+      return;  // the ledger already moved past us; count is moot
+    }
+    if (arrived_packed_.compare_exchange_weak(cur, next,
+                                              std::memory_order_seq_cst))
+      return;
+  }
+}
+
+std::size_t QuorumBarrier::arrived_at(std::uint64_t p) const noexcept {
+  const std::uint64_t cur = arrived_packed_.load(std::memory_order_seq_cst);
+  if ((cur >> kCountBits) != p) return 0;
+  return static_cast<std::size_t>(cur & ((1ULL << kCountBits) - 1));
+}
+
+std::chrono::nanoseconds QuorumBarrier::budget_for(std::uint64_t p)
+    const noexcept {
+  if (quorum_k_ == 0) return std::chrono::nanoseconds::max();
+  if (probe_phase_.load(std::memory_order_acquire) == p)
+    return scale_budget(base_budget_, opts_.probe_budget_scale);
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(
+      effective_budget_ns_.load(std::memory_order_acquire)));
+}
+
+// -- Arrive path -----------------------------------------------------------
+
+QuorumStatus QuorumBarrier::arrive_and_wait(std::size_t tid) {
+  return arrive_impl(tid);
+}
+
+QuorumStatus QuorumBarrier::arrive_impl(std::size_t tid) {
+  if (tid >= n_)
+    throw std::invalid_argument("QuorumBarrier: tid " + std::to_string(tid) +
+                                " out of range (participants=" +
+                                std::to_string(n_) + ")");
+  if (stalled_.load(std::memory_order_acquire)) return QuorumStatus::kStalled;
+  switch (state_[tid].load(std::memory_order_acquire)) {
+    case MemberState::kJoined: break;
+    case MemberState::kQuarantined: return QuorumStatus::kQuarantined;
+    default:
+      throw std::logic_error("QuorumBarrier: tid " + std::to_string(tid) +
+                             " in unexpected state");
+  }
+
+  const std::uint64_t p = phase_.load(std::memory_order_acquire);
+  const std::uint64_t e = entered_[tid].value.load(std::memory_order_relaxed);
+  if (e < p) {
+    // Behind the ledger: reconcile one missed phase and return — the
+    // caller re-runs its per-phase work without waiting on anyone.
+    entered_[tid].value.store(e + 1, std::memory_order_seq_cst);
+    accounts_[tid].missed.fetch_add(1, std::memory_order_relaxed);
+    if (!accounts_[tid].behind.exchange(true, std::memory_order_relaxed))
+      accounts_[tid].late.fetch_add(1, std::memory_order_relaxed);
+    stats_fast_forward_.fetch_add(1, std::memory_order_relaxed);
+    return QuorumStatus::kFastForward;
+  }
+  if (e == p) {
+    // In sync: publish entry intent (reprieves us from the fence's
+    // straggler scan) and count into phase p's quorum.
+    accounts_[tid].behind.store(false, std::memory_order_relaxed);
+    entered_[tid].value.store(p + 1, std::memory_order_seq_cst);
+    bump_arrived(p);
+  } else if (e != p + 1) {
+    throw std::logic_error("QuorumBarrier: tid " + std::to_string(tid) +
+                           " ledger slot ahead of the phase ledger");
+  }
+  // e == p + 1: participating in phase p (fresh entry or a retry after
+  // a repair fence / stall reset — idempotent, no second quorum bump).
+
+  std::chrono::steady_clock::time_point stall_deadline =
+      std::chrono::steady_clock::time_point::max();
+  if (opts_.stall_timeout != std::chrono::nanoseconds::max())
+    stall_deadline = std::chrono::steady_clock::now() + opts_.stall_timeout;
+
+  for (;;) {
+    if (stalled_.load(std::memory_order_acquire)) return QuorumStatus::kStalled;
+
+    // Entry gate (membership pattern; see membership.cpp for the
+    // seq_cst pairing argument).
+    in_flight_.fetch_add(1, std::memory_order_seq_cst);
+    if (release_pending_.load(std::memory_order_seq_cst)) {
+      in_flight_.fetch_sub(1, std::memory_order_release);
+      spin_until(
+          [&] { return !release_pending_.load(std::memory_order_acquire); });
+      if (phase_.load(std::memory_order_acquire) > p)
+        return settle_released(tid, p);
+      continue;  // repair/restore fence: retry the phase
+    }
+    // A fence can complete wholesale between our entry publish and the
+    // gate (we were never in flight): if it released phase p, joining
+    // the rebuilt inner would lend our arrival to phase p+1's episode
+    // and release it one member short. The reopen store orders after
+    // the ledger store, so reading the gate open guarantees we see the
+    // advanced ledger here.
+    if (phase_.load(std::memory_order_seq_cst) > p) {
+      in_flight_.fetch_sub(1, std::memory_order_release);
+      return settle_released(tid, p);
+    }
+
+    WaitContext ctx;
+    ctx.cancel = &release_pending_;
+    ctx.deadline = std::chrono::steady_clock::time_point::max();
+    const std::chrono::nanoseconds budget = budget_for(p);
+    if (budget != std::chrono::nanoseconds::max())
+      ctx.deadline = std::chrono::steady_clock::now() + budget;
+    if (stall_deadline < ctx.deadline) ctx.deadline = stall_deadline;
+
+    const WaitStatus ws = inner_->arrive_and_wait_until(inner_tid_[tid], ctx);
+
+    if (ws == WaitStatus::kReady) {
+      // Strict release. Publish the outcome, then advance the ledger
+      // *before* leaving the gate: once the gate drains, every strict
+      // CAS has landed, so a fence's post-drain ledger check is
+      // authoritative (no torn strict-vs-quorum accounting).
+      outcome_ring_[p % kRing].value.store(
+          static_cast<std::uint8_t>(QuorumStatus::kOk),
+          std::memory_order_release);
+      std::uint64_t expected = p;
+      const bool won = phase_.compare_exchange_strong(
+          expected, p + 1, std::memory_order_seq_cst);
+      in_flight_.fetch_sub(1, std::memory_order_release);
+      if (won) strict_boundary(tid, p);
+      accounts_[tid].arrivals.fetch_add(1, std::memory_order_relaxed);
+      return QuorumStatus::kOk;
+    }
+
+    in_flight_.fetch_sub(1, std::memory_order_release);
+
+    if (ws == WaitStatus::kCancelled) {
+      // A fence interrupted the phase; wait it out and consult the
+      // ledger: moved means released, unmoved means retry.
+      spin_until(
+          [&] { return !release_pending_.load(std::memory_order_acquire); });
+      if (phase_.load(std::memory_order_acquire) > p)
+        return settle_released(tid, p);
+      continue;
+    }
+
+    // kTimeout: our budget is spent. Run the release fence — a quorum
+    // release if enough peers arrived, else a pure repair (the
+    // timed-out inner is torn by contract) followed by a retry with a
+    // fresh budget.
+    if (stalled_.load(std::memory_order_acquire)) return QuorumStatus::kStalled;
+    const bool stall_hit =
+        std::chrono::steady_clock::now() >= stall_deadline;
+    if (release_fence(tid, p)) return settle_released(tid, p);
+    if (stall_hit) {
+      std::lock_guard<std::mutex> lk(fence_mu_);
+      if (phase_.load(std::memory_order_acquire) > p)
+        return settle_released(tid, p);
+      if (!stalled_.load(std::memory_order_acquire)) {
+        stalled_.store(true, std::memory_order_release);
+        ++stats_.stalls;
+        push_event_locked(QuorumEventKind::kStall, p, tid, arrived_at(p));
+      }
+      return QuorumStatus::kStalled;
+    }
+  }
+}
+
+QuorumStatus QuorumBarrier::settle_released(std::size_t tid, std::uint64_t p) {
+  accounts_[tid].arrivals.fetch_add(1, std::memory_order_relaxed);
+  const auto o = static_cast<QuorumStatus>(
+      outcome_ring_[p % kRing].value.load(std::memory_order_acquire));
+  return o == QuorumStatus::kQuorum ? QuorumStatus::kQuorum
+                                    : QuorumStatus::kOk;
+}
+
+// -- Fences ----------------------------------------------------------------
+
+void QuorumBarrier::await_accounted_locked(std::unique_lock<std::mutex>& lk,
+                                           std::uint64_t p) {
+  // Bookkeeping applies in phase order; the winner of p-1 may still be
+  // on its way to the mutex. Cycle the lock so it can get in.
+  while (accounted_ < p) {
+    lk.unlock();
+    std::this_thread::yield();
+    lk.lock();
+  }
+}
+
+bool QuorumBarrier::release_fence(std::size_t owner, std::uint64_t p) {
+  std::unique_lock<std::mutex> lk(fence_mu_);
+  if (phase_.load(std::memory_order_acquire) > p) return true;
+  await_accounted_locked(lk, p);
+  if (phase_.load(std::memory_order_acquire) > p) return true;
+  return run_fence_locked(p, owner);
+}
+
+bool QuorumBarrier::run_fence_locked(std::uint64_t p, std::size_t owner) {
+  release_pending_.store(true, std::memory_order_seq_cst);
+  spin_until([&] { return in_flight_.load(std::memory_order_seq_cst) == 0; });
+  ++stats_.fences;
+
+  // Post-drain the ledger is authoritative (strict CASes land inside
+  // the gate): a strict completion that raced the raise wins.
+  if (phase_.load(std::memory_order_seq_cst) > p) {
+    release_pending_.store(false, std::memory_order_release);
+    return true;
+  }
+
+  const std::size_t arrived = arrived_at(p);
+  const std::size_t k_eff = effective_quorum_locked();
+  const bool quorum_release = quorum_k_ > 0 && arrived >= k_eff;
+
+  if (quorum_release) {
+    if (arrived < k_eff)
+      throw std::logic_error("QuorumBarrier: release below quorum");
+    ++stats_.quorum_releases;
+    stats_.min_quorum_arrivals = std::min(stats_.min_quorum_arrivals, arrived);
+    min_k_eff_ = std::min(min_k_eff_, k_eff);
+    push_event_locked(QuorumEventKind::kQuorumRelease, p, owner, arrived);
+    if (opts_.recorder && owner < opts_.recorder->threads())
+      opts_.recorder->mark(owner);  // degraded-phase trace mark
+
+    // Straggler scan: members that never entered phase p accrue a lag
+    // streak (and a lateness sample); persistent ones are handed off
+    // to quarantine so the survivors can run strict again. A straggler
+    // publishing its entry concurrently only flips toward "arrived" —
+    // the reprieve direction.
+    for (std::size_t t = 0; t < n_; ++t) {
+      if (state_[t].load(std::memory_order_relaxed) != MemberState::kJoined)
+        continue;
+      const std::uint64_t e =
+          entered_[t].value.load(std::memory_order_seq_cst);
+      if (e >= p + 1) {
+        lag_streak_[t] = 0;
+        continue;
+      }
+      if (lateness_samples_.size() < kMaxLatenessSamples)
+        lateness_samples_.push_back(p + 1 - e);
+      else
+        ++dropped_lateness_;
+      if (restore_grace_[t].exchange(false, std::memory_order_acq_rel))
+        continue;  // freshly restored; one fence of grace
+      if (++lag_streak_[t] >= opts_.quarantine_after &&
+          active_count_locked() > 1) {
+        lag_streak_[t] = 0;
+        state_[t].store(MemberState::kQuarantined, std::memory_order_release);
+        ++stats_.quarantines;
+        push_event_locked(QuorumEventKind::kQuarantine, p, t, arrived);
+        if (opts_.recorder && t < opts_.recorder->threads())
+          opts_.recorder->mark(t);
+      }
+    }
+    health_on_release_locked(/*quorum_release=*/true, p, owner, arrived);
+  }
+
+  apply_restorations_locked(quorum_release ? p + 1 : p);
+
+  // Repair: the timed-out inner is torn by contract; always rebuild
+  // over the (possibly shrunken or re-grown) active roster.
+  config_.participants = active_count_locked();
+  rebuild_inner_locked();
+  recompute_dense_locked();
+
+  if (quorum_release) {
+    outcome_ring_[p % kRing].value.store(
+        static_cast<std::uint8_t>(QuorumStatus::kQuorum),
+        std::memory_order_release);
+    phase_.store(p + 1, std::memory_order_release);
+  }
+  release_pending_.store(false, std::memory_order_release);
+  return quorum_release;
+}
+
+void QuorumBarrier::strict_boundary(std::size_t owner, std::uint64_t p) {
+  std::unique_lock<std::mutex> lk(fence_mu_);
+  await_accounted_locked(lk, p);
+  if (accounted_ != p) return;  // defensively: settled elsewhere
+  ++stats_.strict_releases;
+  health_on_release_locked(/*quorum_release=*/false, p, owner, 0);
+  if (restore_pending_.load(std::memory_order_acquire) > 0) {
+    // Boundary restore fence: quarantined members rejoin at phase p+1.
+    release_pending_.store(true, std::memory_order_seq_cst);
+    spin_until(
+        [&] { return in_flight_.load(std::memory_order_seq_cst) == 0; });
+    ++stats_.fences;
+    apply_restorations_locked(p + 1);
+    config_.participants = active_count_locked();
+    rebuild_inner_locked();
+    recompute_dense_locked();
+    release_pending_.store(false, std::memory_order_release);
+  }
+}
+
+void QuorumBarrier::apply_restorations_locked(std::uint64_t resume) {
+  if (restore_pending_.load(std::memory_order_acquire) == 0) return;
+  for (std::size_t t = 0; t < n_; ++t) {
+    if (!restore_requested_[t].exchange(false, std::memory_order_acq_rel))
+      continue;
+    restore_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    if (state_[t].load(std::memory_order_relaxed) != MemberState::kQuarantined)
+      continue;
+    // Settle the quarantined span: every ledger slot from the member's
+    // frozen position up to `resume` is accounted as skipped, so the
+    // exactness identity survives the outage.
+    const std::uint64_t e = entered_[t].value.load(std::memory_order_relaxed);
+    if (resume > e)
+      accounts_[t].skipped.fetch_add(resume - e, std::memory_order_relaxed);
+    entered_[t].value.store(resume, std::memory_order_seq_cst);
+    accounts_[t].behind.store(false, std::memory_order_relaxed);
+    restore_grace_[t].store(true, std::memory_order_release);
+    state_[t].store(MemberState::kJoined, std::memory_order_release);
+    ++stats_.restorations;
+    push_event_locked(QuorumEventKind::kRestore,
+                      phase_.load(std::memory_order_relaxed), t, 0);
+  }
+}
+
+void QuorumBarrier::health_on_release_locked(bool quorum_release,
+                                             std::uint64_t p,
+                                             std::size_t owner,
+                                             std::size_t arrived) {
+  if (quorum_release) {
+    ++consecutive_quorum_;
+    consecutive_strict_ = 0;
+    QuorumHealth h = health_.load(std::memory_order_relaxed);
+    if (h == QuorumHealth::kHealthy && consecutive_quorum_ >= degrade_after_) {
+      health_.store(QuorumHealth::kDegraded, std::memory_order_release);
+      effective_budget_ns_.store(
+          static_cast<std::uint64_t>(
+              scale_budget(base_budget_, opts_.degraded_budget_scale).count()),
+          std::memory_order_release);
+      push_event_locked(QuorumEventKind::kDegraded, p, owner, arrived);
+    } else if (h == QuorumHealth::kDegraded &&
+               consecutive_quorum_ >= critical_after_) {
+      health_.store(QuorumHealth::kCritical, std::memory_order_release);
+      push_event_locked(QuorumEventKind::kCritical, p, owner, arrived);
+    }
+    h = health_.load(std::memory_order_relaxed);
+    if (h != QuorumHealth::kHealthy) {
+      // Seeded-backoff retry of strict mode: schedule (or, after a
+      // failed probe, reschedule further out) the next strict-probe
+      // phase. The gap is the backoff delay in units of its base, so
+      // identical seeds give identical probe cadences.
+      const std::uint64_t probe =
+          probe_phase_.load(std::memory_order_relaxed);
+      if (probe == ~0ULL || probe <= p) {
+        const auto delay = probe_gap_backoff_.next_delay();
+        const auto unit =
+            std::max<std::int64_t>(1, opts_.probe_backoff.base.count());
+        const std::uint64_t gap =
+            1 + static_cast<std::uint64_t>(delay.count() / unit);
+        probe_phase_.store(p + gap, std::memory_order_release);
+        ++stats_.strict_probes;
+        push_event_locked(QuorumEventKind::kProbe, p + gap, owner, 0);
+      }
+    }
+  } else {
+    ++consecutive_strict_;
+    consecutive_quorum_ = 0;
+    if (health_.load(std::memory_order_relaxed) != QuorumHealth::kHealthy &&
+        consecutive_strict_ >= restore_after_) {
+      health_.store(QuorumHealth::kHealthy, std::memory_order_release);
+      effective_budget_ns_.store(
+          static_cast<std::uint64_t>(base_budget_.count()),
+          std::memory_order_release);
+      probe_phase_.store(~0ULL, std::memory_order_release);
+      probe_gap_backoff_.reset();
+      push_event_locked(QuorumEventKind::kRecovered, p, owner, 0);
+    }
+  }
+  accounted_ = p + 1;
+}
+
+void QuorumBarrier::rebuild_inner_locked() {
+  const BarrierCounters c = inner_->counters();
+  retired_.episodes += c.episodes;
+  retired_.updates += c.updates;
+  retired_.extra_comms += c.extra_comms;
+  retired_.swaps += c.swaps;
+  retired_.overlapped += c.overlapped;
+
+  BarrierConfig cfg = config_;
+  if (barrier_kind_uses_degree(cfg.kind))
+    cfg.degree =
+        std::min(base_degree_, std::max<std::size_t>(2, cfg.participants));
+  inner_ = opts_.robust.inner_factory(cfg);
+  if (!inner_)
+    throw std::logic_error("QuorumBarrier: inner_factory returned null");
+  config_ = cfg;
+  ++stats_.rebuilds;
+}
+
+void QuorumBarrier::recompute_dense_locked() {
+  std::size_t dense = 0;
+  for (std::size_t t = 0; t < n_; ++t) {
+    if (state_[t].load(std::memory_order_relaxed) == MemberState::kJoined)
+      inner_tid_[t] = dense++;
+  }
+}
+
+std::size_t QuorumBarrier::active_count_locked() const {
+  std::size_t joined = 0;
+  for (std::size_t t = 0; t < n_; ++t) {
+    if (state_[t].load(std::memory_order_relaxed) == MemberState::kJoined)
+      ++joined;
+  }
+  return joined;
+}
+
+std::size_t QuorumBarrier::effective_quorum_locked() const {
+  if (quorum_k_ == 0) return 0;
+  const std::size_t active = active_count_locked();
+  return std::max<std::size_t>(1, std::min(quorum_k_, active));
+}
+
+void QuorumBarrier::push_event_locked(QuorumEventKind kind,
+                                      std::uint64_t phase, std::size_t tid,
+                                      std::size_t arrived) {
+  events_.push_back(QuorumEvent{kind, phase, tid, arrived});
+  if (opts_.on_event) opts_.on_event(events_.back());
+}
+
+// -- Restoration -----------------------------------------------------------
+
+QuorumStatus QuorumBarrier::await_restoration(std::size_t tid) {
+  if (tid >= n_)
+    throw std::invalid_argument("QuorumBarrier::await_restoration: tid " +
+                                std::to_string(tid) + " out of range");
+  // The restoring fence publishes kJoined before it completes; wait for
+  // the gate to reopen so the caller re-arrives after the fence (same
+  // reasoning as MembershipGroup::await_readmission).
+  const auto settled_ok = [&] {
+    spin_until(
+        [&] { return !release_pending_.load(std::memory_order_acquire); });
+    return QuorumStatus::kOk;
+  };
+  ExponentialBackoff backoff(opts_.probe_backoff, opts_.backoff_seed, tid);
+  for (std::size_t probe = 0; probe < opts_.max_probes; ++probe) {
+    if (stalled_.load(std::memory_order_acquire)) return QuorumStatus::kStalled;
+    switch (state_[tid].load(std::memory_order_acquire)) {
+      case MemberState::kJoined: return settled_ok();
+      case MemberState::kQuarantined: break;
+      default:
+        throw std::logic_error(
+            "QuorumBarrier::await_restoration: tid in unexpected state");
+    }
+    if (probe > 0) std::this_thread::sleep_for(backoff.next_delay());
+    if (!restore_requested_[tid].exchange(true, std::memory_order_acq_rel))
+      restore_pending_.fetch_add(1, std::memory_order_acq_rel);
+    const WaitStatus ws = spin_until_for(
+        [&] {
+          if (state_[tid].load(std::memory_order_acquire) ==
+              MemberState::kJoined)
+            return true;
+          // Request consumed while still quarantined (lost to a
+          // concurrent re-quarantine): re-probe instead of riding out
+          // the deadline.
+          return !restore_requested_[tid].load(std::memory_order_acquire);
+        },
+        opts_.probe_timeout);
+    if (ws == WaitStatus::kReady) {
+      if (state_[tid].load(std::memory_order_acquire) == MemberState::kJoined)
+        return settled_ok();
+      continue;
+    }
+    // Probe expired: withdraw the request (atomically wrt fences).
+    std::lock_guard<std::mutex> lk(fence_mu_);
+    if (state_[tid].load(std::memory_order_relaxed) == MemberState::kJoined)
+      return QuorumStatus::kOk;
+    if (restore_requested_[tid].exchange(false, std::memory_order_acq_rel))
+      restore_pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  // Probe budget exhausted without an active cohort boundary; the
+  // member stays quarantined and may probe again later.
+  return stalled_.load(std::memory_order_acquire) ? QuorumStatus::kStalled
+                                                  : QuorumStatus::kQuarantined;
+}
+
+// -- Maintenance and accessors ---------------------------------------------
+
+void QuorumBarrier::reset() {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  if (active_count_locked() == 0)
+    throw std::logic_error("QuorumBarrier::reset: no active members remain");
+  config_.participants = active_count_locked();
+  rebuild_inner_locked();
+  recompute_dense_locked();
+  stalled_.store(false, std::memory_order_release);
+}
+
+std::size_t QuorumBarrier::active_participants() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  return active_count_locked();
+}
+
+std::size_t QuorumBarrier::effective_quorum() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  return effective_quorum_locked();
+}
+
+MemberState QuorumBarrier::state(std::size_t tid) const {
+  if (tid >= n_)
+    throw std::invalid_argument("QuorumBarrier::state: tid out of range");
+  return state_[tid].load(std::memory_order_acquire);
+}
+
+QuorumStats QuorumBarrier::stats() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  QuorumStats s = stats_;
+  s.fast_forwards = stats_fast_forward_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<QuorumEvent> QuorumBarrier::events() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  return events_;
+}
+
+MemberAccount QuorumBarrier::account(std::size_t tid) const {
+  if (tid >= n_)
+    throw std::invalid_argument("QuorumBarrier::account: tid out of range");
+  MemberAccount a;
+  a.arrivals = accounts_[tid].arrivals.load(std::memory_order_relaxed);
+  a.missed_phases = accounts_[tid].missed.load(std::memory_order_relaxed);
+  a.late_arrivals = accounts_[tid].late.load(std::memory_order_relaxed);
+  a.quarantine_skipped = accounts_[tid].skipped.load(std::memory_order_relaxed);
+  a.state = state_[tid].load(std::memory_order_acquire);
+  return a;
+}
+
+std::vector<std::uint64_t> QuorumBarrier::lateness_samples() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  return lateness_samples_;
+}
+
+std::uint64_t QuorumBarrier::dropped_lateness_samples() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  return dropped_lateness_;
+}
+
+BarrierCounters QuorumBarrier::counters() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  BarrierCounters c = inner_->counters();
+  c.episodes += retired_.episodes;
+  c.updates += retired_.updates;
+  c.extra_comms += retired_.extra_comms;
+  c.swaps += retired_.swaps;
+  c.overlapped += retired_.overlapped;
+  return c;
+}
+
+void QuorumBarrier::check_invariants() const {
+  std::lock_guard<std::mutex> lk(fence_mu_);
+  const std::uint64_t p = phase_.load(std::memory_order_acquire);
+
+  // No lost generation: every ledger advance was exactly one release.
+  if (stats_.strict_releases + stats_.quorum_releases != p)
+    throw std::logic_error(
+        "QuorumBarrier::check_invariants: phase ledger (" + std::to_string(p) +
+        ") != strict (" + std::to_string(stats_.strict_releases) +
+        ") + quorum (" + std::to_string(stats_.quorum_releases) +
+        ") releases");
+
+  // Quorum never below k: the smallest release never dipped under the
+  // smallest effective quorum any fence computed.
+  if (stats_.quorum_releases > 0 &&
+      stats_.min_quorum_arrivals < min_k_eff_)
+    throw std::logic_error(
+        "QuorumBarrier::check_invariants: a quorum release proceeded with " +
+        std::to_string(stats_.min_quorum_arrivals) +
+        " arrivals, below the smallest effective quorum " +
+        std::to_string(min_k_eff_));
+
+  // Accounting exactness: each member's settled slots partition its
+  // ledger position (requires release quiescence — no mid-phase
+  // waiter, no stall).
+  for (std::size_t t = 0; t < n_; ++t) {
+    const std::uint64_t e = entered_[t].value.load(std::memory_order_acquire);
+    const std::uint64_t sum =
+        accounts_[t].arrivals.load(std::memory_order_relaxed) +
+        accounts_[t].missed.load(std::memory_order_relaxed) +
+        accounts_[t].skipped.load(std::memory_order_relaxed);
+    if (sum != e)
+      throw std::logic_error(
+          "QuorumBarrier::check_invariants: tid " + std::to_string(t) +
+          " accounts (" + std::to_string(sum) + ") != ledger slot (" +
+          std::to_string(e) + ")");
+    if (e > p)
+      throw std::logic_error(
+          "QuorumBarrier::check_invariants: tid " + std::to_string(t) +
+          " ledger slot (" + std::to_string(e) + ") ahead of the ledger (" +
+          std::to_string(p) + ")");
+  }
+
+  // Dense bijection onto [0, active) and a consistent inner.
+  const std::size_t joined = active_count_locked();
+  if (inner_->participants() != joined)
+    throw std::logic_error(
+        "QuorumBarrier::check_invariants: inner participants (" +
+        std::to_string(inner_->participants()) + ") != active members (" +
+        std::to_string(joined) + ")");
+  std::vector<bool> seen(joined, false);
+  for (std::size_t t = 0; t < n_; ++t) {
+    if (state_[t].load(std::memory_order_relaxed) != MemberState::kJoined)
+      continue;
+    const std::size_t dense = inner_tid_[t];
+    if (dense >= joined || seen[dense])
+      throw std::logic_error(
+          "QuorumBarrier::check_invariants: dense map is not a bijection "
+          "(tid " +
+          std::to_string(t) + " -> " + std::to_string(dense) + ")");
+    seen[dense] = true;
+  }
+}
+
+}  // namespace imbar::robust

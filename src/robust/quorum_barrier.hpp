@@ -1,0 +1,418 @@
+// Graceful degradation: deadline-budgeted quorum release with
+// straggler reconciliation.
+//
+// The paper's core result is that a strict all-arrive barrier hands
+// every phase's latency to the worst straggler. robust::RobustBarrier
+// (PR 1) can only *break* on that straggler and MembershipGroup (PR 5)
+// can only *evict* it — both abandon work. QuorumBarrier is the middle
+// road: each phase carries a deadline budget, and releases when either
+//
+//   * every active member arrives (a *strict* release — kOk), or
+//   * the budget is spent and at least k of them arrived (a *quorum*
+//     release — kQuorum; the arrived majority proceeds, stragglers
+//     reconcile later).
+//
+// This is Boulmier et al.'s anticipating-imbalance criterion applied to
+// the barrier itself: waiting out the tail is only worth it while the
+// expected remaining wait is below the cost of degrading.
+//
+// ## Generation ledger and fast-forward reconciliation
+//
+// A phase ledger (`phase_`, CAS-advanced exactly once per release)
+// names the current generation. A member that fell behind — its own
+// entry ordinal trails the ledger — does not wait on anything: each
+// arrive call *fast-forwards* it across one missed phase (returns
+// kFastForward immediately, accruing `missed_phases`, with
+// `late_arrivals` counting distinct fall-behind episodes) until it is
+// back in sync. Accounting is exact and self-maintained: every ledger
+// slot of every member is settled as exactly one of
+// arrivals / missed_phases / quarantine_skipped, so at quiescence
+//     arrivals + missed_phases + quarantine_skipped == phase()
+// holds per member (check_invariants()).
+//
+// ## Release fence
+//
+// Quorum releases reuse the membership epoch-fence pattern verbatim:
+// the releasing waiter (a quorum-eligible waiter whose budget expired)
+// raises `release_pending_` — which doubles as every in-flight inner
+// wait's cancel flag — drains the entry gate, quarantines persistent
+// stragglers, rebuilds the inner barrier via the factory (a timed-out
+// inner is torn by contract), publishes the phase outcome, advances
+// the ledger and reopens. Cancelled waiters wait out the fence and
+// consult the ledger: moved means their phase released (return the
+// recorded outcome), unmoved means retry over the repaired inner.
+//
+// ## Health state machine and strict-mode retry
+//
+//           quorum x degrade_after        quorum x critical_after
+//   healthy ----------------------> degraded ----------------> critical
+//      ^                               |                           |
+//      +------- strict x restore_after +---------------------------+
+//
+// While degraded the barrier stops paying full budget for phases it
+// expects to degrade (budget x degraded_budget_scale) and periodically
+// *probes* strict mode: probe phases get budget x probe_budget_scale,
+// and the gap between probes grows on a seeded ExponentialBackoff
+// schedule while degradation persists — the retry-of-strict analogue
+// of quarantined members' readmission probes. restore_after
+// consecutive strict releases recover health and reset the backoff.
+//
+// A member whose lateness persists for quarantine_after consecutive
+// quorum releases is handed off to quarantine — the same
+// state/probe/grace protocol as MembershipGroup (MemberState
+// vocabulary, seeded-backoff probes, one fence of grace after
+// restoration); opts.on_event lets an external membership layer mirror
+// the transitions. Restoration fast-forwards the member's ledger slot
+// to the current phase, settling the skipped span as
+// quarantine_skipped.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "obs/episode_recorder.hpp"
+#include "robust/membership.hpp"
+#include "robust/robust_barrier.hpp"
+#include "util/cacheline.hpp"
+#include "util/spin_wait.hpp"
+
+namespace imbar::robust {
+
+/// Outcome of one quorum-barrier phase for one member.
+enum class QuorumStatus {
+  kOk,           // strict release: every active member arrived
+  kQuorum,       // quorum release: budget spent, >= k arrived
+  kFastForward,  // this member was behind; one missed phase reconciled
+  kQuarantined,  // this member is quarantined — call await_restoration()
+  kStalled,      // stall_timeout passed below quorum — reset() to recover
+};
+
+[[nodiscard]] constexpr const char* to_string(QuorumStatus s) noexcept {
+  switch (s) {
+    case QuorumStatus::kOk: return "ok";
+    case QuorumStatus::kQuorum: return "quorum";
+    case QuorumStatus::kFastForward: return "fast-forward";
+    case QuorumStatus::kQuarantined: return "quarantined";
+    case QuorumStatus::kStalled: return "stalled";
+  }
+  return "?";
+}
+
+enum class QuorumHealth : std::uint8_t { kHealthy, kDegraded, kCritical };
+
+[[nodiscard]] constexpr const char* to_string(QuorumHealth h) noexcept {
+  switch (h) {
+    case QuorumHealth::kHealthy: return "healthy";
+    case QuorumHealth::kDegraded: return "degraded";
+    case QuorumHealth::kCritical: return "critical";
+  }
+  return "?";
+}
+
+enum class QuorumEventKind : std::uint8_t {
+  kQuorumRelease,  // phase released on quorum; tid = fence owner
+  kDegraded,       // health: healthy -> degraded
+  kCritical,       // health: degraded -> critical
+  kRecovered,      // health: -> healthy (restore_after strict releases)
+  kProbe,          // the next phase runs with the strict-probe budget
+  kQuarantine,     // tid handed off to quarantine
+  kRestore,        // tid restored from quarantine
+  kStall,          // stall_timeout passed below quorum
+};
+
+[[nodiscard]] constexpr const char* to_string(QuorumEventKind k) noexcept {
+  switch (k) {
+    case QuorumEventKind::kQuorumRelease: return "quorum-release";
+    case QuorumEventKind::kDegraded: return "degraded";
+    case QuorumEventKind::kCritical: return "critical";
+    case QuorumEventKind::kRecovered: return "recovered";
+    case QuorumEventKind::kProbe: return "probe";
+    case QuorumEventKind::kQuarantine: return "quarantine";
+    case QuorumEventKind::kRestore: return "restore";
+    case QuorumEventKind::kStall: return "stall";
+  }
+  return "?";
+}
+
+/// One degradation-machine transition, stamped with the phase it took
+/// effect in. `arrived` is the arrival count the decision saw (quorum
+/// releases / stalls; 0 otherwise).
+struct QuorumEvent {
+  QuorumEventKind kind;
+  std::uint64_t phase;
+  std::size_t tid;  // member concerned, or the fence owner
+  std::size_t arrived;
+};
+
+struct QuorumStats {
+  std::uint64_t strict_releases = 0;
+  std::uint64_t quorum_releases = 0;
+  std::uint64_t fast_forwards = 0;   // sum over members of missed_phases
+  std::uint64_t quarantines = 0;
+  std::uint64_t restorations = 0;
+  std::uint64_t fences = 0;          // release/repair/restore fences run
+  std::uint64_t rebuilds = 0;        // factory rebuilds of the inner
+  std::uint64_t strict_probes = 0;   // probe phases scheduled
+  std::uint64_t stalls = 0;
+  /// Smallest arrival count any quorum release proceeded with
+  /// (invariant: never below the effective k; ~0 until the first one).
+  std::size_t min_quorum_arrivals = ~static_cast<std::size_t>(0);
+};
+
+/// Exact per-member reconciliation ledger (see file comment).
+struct MemberAccount {
+  std::uint64_t arrivals = 0;            // phases participated in
+  std::uint64_t missed_phases = 0;       // phases fast-forwarded across
+  std::uint64_t late_arrivals = 0;       // distinct fall-behind episodes
+  std::uint64_t quarantine_skipped = 0;  // phases settled by restoration
+  MemberState state = MemberState::kJoined;
+};
+
+struct QuorumOptions {
+  /// Inner construction: `robust.inner_factory` builds (and, at every
+  /// fence, rebuilds) the inner barrier — compose
+  /// obs::instrumenting_inner_factory() for instrumented quorum with
+  /// zero per-kind code. `robust.default_timeout` is ignored; the
+  /// per-phase deadline comes from BarrierConfig::quorum.
+  RobustOptions robust;
+
+  /// Health hysteresis, in consecutive releases of one kind. 0 defers
+  /// to BarrierConfig::quorum.hysteresis (degrade_after/restore_after)
+  /// or to 3 * degrade_after (critical_after).
+  std::size_t degrade_after = 0;
+  std::size_t critical_after = 0;
+  std::size_t restore_after = 0;
+
+  /// Consecutive quorum releases a member may miss before the fence
+  /// hands it off to quarantine.
+  std::size_t quarantine_after = 3;
+
+  /// Budget scaling while degraded: regular phases give up early
+  /// (degraded_budget_scale), strict-probe phases try hard
+  /// (probe_budget_scale).
+  double degraded_budget_scale = 0.25;
+  double probe_budget_scale = 4.0;
+
+  /// Probe scheduling: restoration probes for quarantined members
+  /// (await_restoration) and strict-probe phase gaps both draw from
+  /// this seeded backoff, so retry cadences decorrelate reproducibly.
+  ExponentialBackoff::Options probe_backoff{};
+  std::uint64_t backoff_seed = 0x9E3779B97F4A7C15ULL;
+  std::size_t max_probes = 5;
+  std::chrono::nanoseconds probe_timeout = std::chrono::milliseconds(250);
+
+  /// Hard bound on one phase: once a waiter has been below quorum for
+  /// this long, the barrier stalls (everyone gets kStalled until
+  /// reset()). max() waits forever, matching strict barrier semantics.
+  std::chrono::nanoseconds stall_timeout = std::chrono::nanoseconds::max();
+
+  /// Optional degraded-phase trace marks: every quorum release commits
+  /// a zero-span record on the fence owner's lane, every quarantine on
+  /// the quarantined member's lane. Must cover `participants`.
+  std::shared_ptr<obs::EpisodeRecorder> recorder;
+
+  /// Observer of every QuorumEvent, called under the fence mutex in
+  /// phase order — e.g. to mirror quarantine handoffs into an external
+  /// MembershipGroup. Keep it cheap and non-throwing.
+  std::function<void(const QuorumEvent&)> on_event;
+};
+
+/// Deadline-budgeted k-of-n release decorator over any factory-built
+/// barrier kind. Member tids are [0, participants) and stable for the
+/// lifetime of the object; the dense remapping onto the (shrinking,
+/// re-growing) inner barrier is internal. config.quorum supplies k,
+/// the per-phase deadline budget and the health hysteresis; k == 0
+/// disables degradation (strict-only, unbounded waits, but the ledger
+/// and accounting still run).
+class QuorumBarrier {
+ public:
+  explicit QuorumBarrier(BarrierConfig config, QuorumOptions opts = {});
+
+  QuorumBarrier(const QuorumBarrier&) = delete;
+  QuorumBarrier& operator=(const QuorumBarrier&) = delete;
+
+  /// Synchronize on (or fast-forward across) the next phase. See
+  /// QuorumStatus; only kStalled is terminal (until reset()).
+  QuorumStatus arrive_and_wait(std::size_t tid);
+
+  /// Quarantined member's path back: seeded-backoff probes posting a
+  /// restoration request that the next fence or phase boundary applies.
+  /// Returns kOk once restored (in sync with the current phase),
+  /// kQuarantined when the probe budget is exhausted without an active
+  /// cohort boundary, kStalled if the barrier stalled meanwhile.
+  QuorumStatus await_restoration(std::size_t tid);
+
+  /// Clear a stall: rebuild the inner over the active members and let
+  /// everyone retry the stalled phase. Quiescent-only (no thread inside
+  /// arrive_and_wait / await_restoration).
+  void reset();
+
+  [[nodiscard]] std::size_t participants() const noexcept { return n_; }
+  /// Members not currently quarantined (takes the fence mutex).
+  [[nodiscard]] std::size_t active_participants() const;
+  /// Effective quorum: min(config k, active members), floored at 1.
+  [[nodiscard]] std::size_t effective_quorum() const;
+
+  [[nodiscard]] std::uint64_t phase() const noexcept {
+    return phase_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] QuorumHealth health() const noexcept {
+    return health_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool stalled() const noexcept {
+    return stalled_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] MemberState state(std::size_t tid) const;
+
+  [[nodiscard]] QuorumStats stats() const;
+  [[nodiscard]] std::vector<QuorumEvent> events() const;
+  [[nodiscard]] MemberAccount account(std::size_t tid) const;
+
+  /// Lateness samples: for every straggler of every quorum release, how
+  /// many phases behind the ledger it was at that release. Capped at
+  /// 64k samples (dropped_lateness_samples() counts the overflow);
+  /// obs-side folding feeds these into the quorum.lateness_phases
+  /// histogram.
+  [[nodiscard]] std::vector<std::uint64_t> lateness_samples() const;
+  [[nodiscard]] std::uint64_t dropped_lateness_samples() const;
+
+  /// Cumulative inner counters across fence rebuilds (quiescent-only
+  /// for exact totals, like RobustBarrier::counters).
+  [[nodiscard]] BarrierCounters counters() const;
+
+  /// Quiescent invariant check (throws std::logic_error):
+  ///   * no lost generation: phase() == strict + quorum releases;
+  ///   * accounting exactness: per member,
+  ///     arrivals + missed_phases + quarantine_skipped == its ledger
+  ///     slot, and active in-sync members' slot == phase();
+  ///   * quorum never below k: min_quorum_arrivals >= the smallest
+  ///     effective quorum any release could have used;
+  ///   * the dense map is a bijection onto [0, active).
+  void check_invariants() const;
+
+ private:
+  QuorumStatus arrive_impl(std::size_t tid);
+  QuorumStatus settle_released(std::size_t tid, std::uint64_t p);
+
+  /// The release/repair fence (takes fence_mu_): drain, account phase
+  /// `p` as a quorum release iff `arrived >= effective quorum` (else a
+  /// pure repair), quarantine persistent stragglers, apply pending
+  /// restorations, rebuild, publish outcome + ledger, reopen. Returns
+  /// true if the ledger moved past `p` (by this fence or concurrently).
+  bool release_fence(std::size_t owner, std::uint64_t p);
+
+  /// Strict-release bookkeeping by the ledger-CAS winner of phase `p`
+  /// (in phase order via accounted_); runs a restore fence when
+  /// restoration requests are pending.
+  void strict_boundary(std::size_t owner, std::uint64_t p);
+
+  /// fence_mu_ held: wait (unlock/relock) until phases < p are
+  /// accounted, so health/probe bookkeeping applies in phase order.
+  void await_accounted_locked(std::unique_lock<std::mutex>& lk,
+                              std::uint64_t p);
+
+  /// fence_mu_ held, accounted_ == p: raise + drain, then decide quorum
+  /// release vs pure repair from the post-drain arrival count. Returns
+  /// true iff the ledger ended past `p`.
+  bool run_fence_locked(std::uint64_t p, std::size_t owner);
+  /// fence_mu_ held, gate drained: restore requested members so they
+  /// resume at phase `resume` (the incomplete phase for repair fences,
+  /// the next one for completed-phase fences).
+  void apply_restorations_locked(std::uint64_t resume);
+  void health_on_release_locked(bool quorum_release, std::uint64_t p,
+                                std::size_t owner, std::size_t arrived);
+  void rebuild_inner_locked();
+  void recompute_dense_locked();
+  [[nodiscard]] std::size_t active_count_locked() const;
+  [[nodiscard]] std::size_t effective_quorum_locked() const;
+  void push_event_locked(QuorumEventKind kind, std::uint64_t phase,
+                         std::size_t tid, std::size_t arrived);
+
+  /// Phase-tagged arrival counter ops (tag in the high bits rolls the
+  /// count to zero at each new phase, so no cross-phase reset race).
+  void bump_arrived(std::uint64_t p) noexcept;
+  [[nodiscard]] std::size_t arrived_at(std::uint64_t p) const noexcept;
+
+  [[nodiscard]] std::chrono::nanoseconds budget_for(std::uint64_t p)
+      const noexcept;
+
+  static constexpr std::size_t kRing = 256;  // phase-outcome ring depth
+  static constexpr std::uint64_t kCountBits = 20;  // packed arrival bits
+  static constexpr std::size_t kMaxLatenessSamples = 1u << 16;
+
+  BarrierConfig config_;  // participants tracks the active roster
+  QuorumOptions opts_;
+  std::size_t n_;                // original cohort size (tids range)
+  std::size_t quorum_k_;         // configured k (0 = disabled)
+  std::chrono::nanoseconds base_budget_;
+  std::size_t base_degree_ = 0;
+  std::size_t degrade_after_, critical_after_, restore_after_;
+
+  std::unique_ptr<Barrier> inner_;
+  std::vector<std::size_t> inner_tid_;  // tid -> dense inner tid
+
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<std::uint64_t> arrived_packed_{0};
+
+  // Entry gate (membership pattern): arrivals hold in_flight_ while
+  // inside the inner; a fence raises release_pending_ and drains.
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<bool> release_pending_{false};
+
+  std::atomic<bool> stalled_{false};
+  std::atomic<std::uint64_t> stats_fast_forward_{0};  // lock-free path
+  std::atomic<QuorumHealth> health_{QuorumHealth::kHealthy};
+  std::atomic<std::uint64_t> effective_budget_ns_;
+  std::atomic<std::uint64_t> probe_phase_{~0ULL};
+
+  std::unique_ptr<std::atomic<MemberState>[]> state_;
+  std::vector<PaddedAtomic<std::uint64_t>> entered_;  // ledger slots
+
+  /// Per-member accounts: the four counters are owner-written on the
+  /// arrive path (relaxed; reads are quiescent or advisory), except
+  /// quarantine_skipped which the restore fence settles while the
+  /// member is parked in await_restoration.
+  struct alignas(kCacheLineSize) Account {
+    std::atomic<std::uint64_t> arrivals{0};
+    std::atomic<std::uint64_t> missed{0};
+    std::atomic<std::uint64_t> late{0};
+    std::atomic<std::uint64_t> skipped{0};
+    std::atomic<bool> behind{false};  // inside a fall-behind episode
+  };
+  std::vector<Account> accounts_;
+
+  /// Phase-outcome ring: written (idempotently) before the ledger
+  /// advances past a phase, read by waiters that learn of the release
+  /// from the ledger. A waiter lagging more than kRing phases behind
+  /// its own release would read a recycled slot; with release statuses
+  /// only in the ring this degrades the status label, never safety.
+  std::vector<PaddedAtomic<std::uint8_t>> outcome_ring_;
+
+  // Restoration requests (await_restoration -> next fence/boundary).
+  std::unique_ptr<std::atomic<bool>[]> restore_requested_;
+  std::atomic<std::uint64_t> restore_pending_{0};
+  std::unique_ptr<std::atomic<bool>[]> restore_grace_;
+
+  mutable std::mutex fence_mu_;  // fences + roster/stats/events/health
+  std::uint64_t accounted_ = 0;  // phases with bookkeeping applied
+  std::vector<std::size_t> lag_streak_;  // consecutive quorum misses
+  std::uint64_t consecutive_quorum_ = 0;
+  std::uint64_t consecutive_strict_ = 0;
+  /// Smallest effective quorum any release used; min_quorum_arrivals
+  /// must never dip below it (check_invariants).
+  std::size_t min_k_eff_ = ~static_cast<std::size_t>(0);
+  ExponentialBackoff probe_gap_backoff_;
+  QuorumStats stats_;
+  std::vector<QuorumEvent> events_;
+  std::vector<std::uint64_t> lateness_samples_;
+  std::uint64_t dropped_lateness_ = 0;
+  BarrierCounters retired_{};
+};
+
+}  // namespace imbar::robust

@@ -1,0 +1,55 @@
+// Quorum-barrier telemetry -> "imbar.metrics.v1" counters + histogram.
+//
+// Mirrors fold_membership_metrics: robust::QuorumBarrier keeps its own
+// degradation stats, and this fold publishes them into a
+// MetricsRegistry snapshot under a stable prefix, plus the per-release
+// straggler lateness samples as the <prefix>.lateness_phases histogram
+// (how many phases behind the ledger each straggler was at each quorum
+// release). Lives in robust/ because imbar_robust links imbar_obs,
+// never the reverse (docs/observability.md).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+#include "robust/quorum_barrier.hpp"
+
+namespace imbar::robust {
+
+/// Publish `barrier`'s degradation counters under `prefix`:
+///   <prefix>.strict_releases / .quorum_releases
+///   <prefix>.fast_forwards     missed phases reconciled
+///   <prefix>.quarantines / .restorations
+///   <prefix>.fences / .rebuilds
+///   <prefix>.strict_probes     strict-mode retry phases scheduled
+///   <prefix>.stalls
+///   <prefix>.min_quorum_arrivals  (0 until the first quorum release)
+///   <prefix>.active            members not quarantined
+///   <prefix>.health            0 healthy / 1 degraded / 2 critical
+///   <prefix>.lateness_phases   histogram of straggler lag per release
+/// Quiescent-only, like all registry folds.
+inline void fold_quorum_metrics(const QuorumBarrier& barrier,
+                                obs::MetricsRegistry& registry,
+                                const std::string& prefix = "quorum") {
+  const QuorumStats s = barrier.stats();
+  registry.set_counter(prefix + ".strict_releases", s.strict_releases);
+  registry.set_counter(prefix + ".quorum_releases", s.quorum_releases);
+  registry.set_counter(prefix + ".fast_forwards", s.fast_forwards);
+  registry.set_counter(prefix + ".quarantines", s.quarantines);
+  registry.set_counter(prefix + ".restorations", s.restorations);
+  registry.set_counter(prefix + ".fences", s.fences);
+  registry.set_counter(prefix + ".rebuilds", s.rebuilds);
+  registry.set_counter(prefix + ".strict_probes", s.strict_probes);
+  registry.set_counter(prefix + ".stalls", s.stalls);
+  registry.set_counter(
+      prefix + ".min_quorum_arrivals",
+      s.quorum_releases > 0 ? s.min_quorum_arrivals : 0);
+  registry.set_counter(prefix + ".active", barrier.active_participants());
+  registry.set_counter(prefix + ".health",
+                       static_cast<std::uint64_t>(barrier.health()));
+  for (const std::uint64_t lag : barrier.lateness_samples())
+    registry.observe(prefix + ".lateness_phases", static_cast<double>(lag),
+                     /*lo=*/0.0, /*hi=*/64.0, /*bins=*/64);
+}
+
+}  // namespace imbar::robust

@@ -88,7 +88,8 @@ BarrierStatus RobustBarrier::arrive_and_wait_until(
   const InFlight guard(in_flight_);
   if (broken_.load(std::memory_order_acquire)) return BarrierStatus::kBroken;
 
-  entered_[tid].value.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t episode =
+      entered_[tid].value.fetch_add(1, std::memory_order_acq_rel) + 1;
   const WaitContext ctx{deadline, &broken_};
   const WaitStatus s = inner_->arrive_and_wait_until(inner_tid_[tid], ctx);
   switch (s) {
@@ -99,6 +100,19 @@ BarrierStatus RobustBarrier::arrive_and_wait_until(
     case WaitStatus::kTimeout:
       break;
   }
+
+  // Release beats timeout: the inner's final predicate re-check closes
+  // most of the race, but a release that lands between that re-check
+  // and here would still misreport a completed episode as a stall. For
+  // release-counted kinds the inner's episode count advancing to this
+  // entry's ordinal proves the episode released — report success and
+  // leave the barrier unbroken. (entered_ and the inner's count both
+  // restart at zero across reset()'s rebuild, so the ordinals align.
+  // Entry-counted kinds fall through to the break: their count can run
+  // ahead of completion mid-episode, so it proves nothing here.)
+  if (barrier_kind_release_counted(config_.kind) &&
+      inner_->counters().episodes >= episode)
+    return BarrierStatus::kOk;
 
   // Deadline fired and the episode had not released at the final
   // predicate re-check: try to become the breaker. Losing the CAS means

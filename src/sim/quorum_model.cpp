@@ -1,0 +1,151 @@
+#include "sim/quorum_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace imbar::sim {
+
+Time QuorumModelResult::latency_percentile(double q) const {
+  if (records.empty()) return 0.0;
+  std::vector<Time> lat;
+  lat.reserve(records.size());
+  for (const QuorumPhaseRecord& r : records) lat.push_back(r.latency());
+  std::sort(lat.begin(), lat.end());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  std::size_t rank = 0;
+  if (clamped > 0.0)
+    rank = static_cast<std::size_t>(
+               std::ceil(clamped * static_cast<double>(lat.size()))) -
+           1;
+  if (rank >= lat.size()) rank = lat.size() - 1;
+  return lat[rank];
+}
+
+QuorumModel::QuorumModel(Engine& engine, QuorumModelConfig config,
+                         QuorumWorkFn work)
+    : engine_(engine), config_(config), work_(std::move(work)) {
+  if (config_.procs == 0)
+    throw std::invalid_argument("QuorumModel: zero procs");
+  if (!work_) throw std::invalid_argument("QuorumModel: null work function");
+  if (config_.deadline_budget < 0.0)
+    throw std::invalid_argument("QuorumModel: negative deadline budget");
+  present_.assign(config_.procs, 0);
+  out_.missed_by_proc.assign(config_.procs, 0);
+}
+
+std::size_t QuorumModel::effective_quorum() const noexcept {
+  if (config_.quorum == 0) return 0;
+  return std::max<std::size_t>(1, std::min(config_.quorum, config_.procs));
+}
+
+void QuorumModel::start() {
+  if (config_.phases == 0) return;
+  phase_start_ = engine_.now();
+  if (effective_quorum() > 0) {
+    const std::uint64_t p = phase_;
+    engine_.schedule(phase_start_ + config_.deadline_budget,
+                     [this, p] { on_deadline(p, engine_.now()); });
+  }
+  for (std::size_t proc = 0; proc < config_.procs; ++proc)
+    start_work(proc, engine_.now());
+}
+
+void QuorumModel::start_work(std::size_t proc, Time t) {
+  const std::uint64_t target = phase_;
+  const Time w = std::max<Time>(0.0, work_(target, proc));
+  engine_.schedule(t + w,
+                   [this, proc, target] { on_arrival(proc, target, engine_.now()); });
+}
+
+void QuorumModel::on_arrival(std::size_t proc, std::uint64_t target, Time t) {
+  if (done()) return;
+  if (target < phase_) {
+    // Late: the target phase released without this process. Reconcile
+    // through the ledger — one missed generation per phase skipped,
+    // including the target itself — and join the current phase.
+    const std::uint64_t skipped = phase_ - target;
+    out_.late_arrivals += 1;
+    out_.missed_phases += skipped;
+    out_.missed_by_proc[proc] += skipped;
+    start_work(proc, t);
+    return;
+  }
+  // FIFO tie-breaking makes a same-time deadline/arrival order
+  // deterministic; target can never exceed phase_ (work for phase p+1
+  // is only issued once phase p released).
+  present_[proc] = 1;
+  ++arrived_;
+  if (arrived_ == config_.procs) {
+    release(t, /*strict=*/true);
+    return;
+  }
+  const std::size_t k = effective_quorum();
+  if (k > 0 && arrived_ >= k && t >= phase_start_ + config_.deadline_budget)
+    release(t, /*strict=*/false);
+}
+
+void QuorumModel::on_deadline(std::uint64_t phase, Time t) {
+  if (phase != phase_ || done()) return;  // phase already released
+  const std::size_t k = effective_quorum();
+  if (k > 0 && arrived_ >= k) release(t, /*strict=*/false);
+  // Below quorum at the deadline: the phase stays open until the k-th
+  // (or last) arrival, which releases on its own event.
+}
+
+void QuorumModel::release(Time t, bool strict) {
+  QuorumPhaseRecord rec;
+  rec.phase = phase_;
+  rec.start = phase_start_;
+  rec.release = t;
+  rec.arrived = arrived_;
+  rec.strict = strict;
+  out_.records.push_back(rec);
+  if (strict)
+    ++out_.strict_releases;
+  else
+    ++out_.quorum_releases;
+  out_.makespan = t;
+
+  ++phase_;
+  phase_start_ = t;
+  arrived_ = 0;
+  std::vector<char> released;
+  released.swap(present_);
+  present_.assign(config_.procs, 0);
+  if (done()) return;  // stragglers' pending arrivals fall into done()
+
+  if (effective_quorum() > 0) {
+    const std::uint64_t p = phase_;
+    engine_.schedule(phase_start_ + config_.deadline_budget,
+                     [this, p] { on_deadline(p, engine_.now()); });
+  }
+  for (std::size_t proc = 0; proc < config_.procs; ++proc)
+    if (released[proc]) start_work(proc, t);
+  // Processes absent at release still owe an arrival event for the old
+  // phase; it lands in the target < phase_ branch and fast-forwards.
+}
+
+QuorumModelResult QuorumModel::result() const {
+  QuorumModelResult out = out_;
+  const double total =
+      static_cast<double>(config_.phases) * static_cast<double>(config_.procs);
+  if (total > 0.0) {
+    std::uint64_t attended = 0;
+    for (const QuorumPhaseRecord& r : out.records) attended += r.arrived;
+    out.completeness = static_cast<double>(attended) / total;
+  }
+  return out;
+}
+
+QuorumModelResult run_quorum_model(const QuorumModelConfig& config,
+                                   const QuorumWorkFn& work) {
+  Engine engine;
+  QuorumModel model(engine, config, work);
+  model.start();
+  engine.run();
+  return model.result();
+}
+
+}  // namespace imbar::sim

@@ -1,0 +1,118 @@
+// Event-driven k-of-n quorum barrier model.
+//
+// Simulated counterpart of robust::QuorumBarrier, for mapping the
+// strict-vs-quorum latency/completeness frontier without running real
+// threads. Each of n processes works for a model-supplied duration and
+// then arrives at the current phase. The phase releases at
+//
+//     min( t_all,  max(phase_start + budget, t_kth) )
+//
+// i.e. strictly when every active process has arrived, or in degraded
+// (quorum) mode once the deadline budget has elapsed AND at least k
+// processes are present — whichever comes first. Processes that arrive
+// after their target phase released fast-forward across the missed
+// generations and join the then-current phase, mirroring the real
+// barrier's generation ledger.
+//
+// Layering: imbar_sim links only imbar_util, so work times come in via
+// a plain callback; the workload:: generators adapt themselves at the
+// call site (bench/ and tests do exactly that).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace imbar::sim {
+
+/// Per-phase work time, in the model's time unit (paper experiments use
+/// microseconds). Negative returns are clamped to zero.
+using QuorumWorkFn = std::function<Time(std::uint64_t phase, std::size_t proc)>;
+
+struct QuorumModelConfig {
+  std::size_t procs = 1;
+  std::uint64_t phases = 1;
+  /// Quorum threshold k. 0 disables degradation: every phase waits for
+  /// all arrivals (strict), whatever the budget. Otherwise k is clamped
+  /// to [1, procs].
+  std::size_t quorum = 0;
+  /// Per-phase deadline budget from phase start. With quorum > 0 a
+  /// budget of 0 releases the instant the k-th process arrives.
+  Time deadline_budget = 0.0;
+};
+
+/// One released phase.
+struct QuorumPhaseRecord {
+  std::uint64_t phase = 0;
+  Time start = 0.0;
+  Time release = 0.0;
+  std::size_t arrived = 0;  // processes present at release
+  bool strict = false;      // all-arrive release (vs quorum)
+  [[nodiscard]] Time latency() const noexcept { return release - start; }
+};
+
+struct QuorumModelResult {
+  std::vector<QuorumPhaseRecord> records;
+  std::uint64_t strict_releases = 0;
+  std::uint64_t quorum_releases = 0;
+  /// Total proc-phases skipped via fast-forward (sum over procs).
+  std::uint64_t missed_phases = 0;
+  /// Arrivals that landed after their target phase had released.
+  std::uint64_t late_arrivals = 0;
+  std::vector<std::uint64_t> missed_by_proc;
+  /// Fraction of proc-phases attended: 1.0 means every process made
+  /// every release (strict throughout); the quorum frontier trades this
+  /// off against phase latency.
+  double completeness = 1.0;
+  Time makespan = 0.0;
+
+  /// Phase-latency order statistic, q in [0, 1] (q=0.5 -> p50). Uses
+  /// the nearest-rank convention; returns 0 when no phase ran.
+  [[nodiscard]] Time latency_percentile(double q) const;
+};
+
+/// Run the model to completion on a private engine. Deterministic for a
+/// deterministic work function.
+QuorumModelResult run_quorum_model(const QuorumModelConfig& config,
+                                   const QuorumWorkFn& work);
+
+/// Same, scheduling onto a caller-owned engine (composes with trace
+/// sinks and foreign events). The caller runs the engine; results are
+/// valid once it is idle.
+class QuorumModel {
+ public:
+  QuorumModel(Engine& engine, QuorumModelConfig config, QuorumWorkFn work);
+
+  /// Schedule the initial arrivals. Call once, then run the engine.
+  void start();
+
+  /// True once all configured phases have released.
+  [[nodiscard]] bool done() const noexcept {
+    return phase_ >= config_.phases;
+  }
+
+  [[nodiscard]] QuorumModelResult result() const;
+
+ private:
+  void on_arrival(std::size_t proc, std::uint64_t target, Time t);
+  void on_deadline(std::uint64_t phase, Time t);
+  void release(Time t, bool strict);
+  void start_work(std::size_t proc, Time t);
+  [[nodiscard]] std::size_t effective_quorum() const noexcept;
+
+  Engine& engine_;
+  QuorumModelConfig config_;
+  QuorumWorkFn work_;
+
+  std::uint64_t phase_ = 0;
+  Time phase_start_ = 0.0;
+  std::size_t arrived_ = 0;
+  std::vector<char> present_;  // arrived at the current phase
+
+  QuorumModelResult out_;
+};
+
+}  // namespace imbar::sim

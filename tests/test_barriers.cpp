@@ -238,6 +238,27 @@ TEST(Barriers, KindCapabilityQueriesMatchFactoryBehaviour) {
   }
 }
 
+TEST(Barriers, ReleaseCountedAndCooperativeReleaseQueries) {
+  // Release-counted: the episode counter advances only at release, so
+  // "count >= my entry ordinal" proves my episode completed — the
+  // robust decorators' release-beats-timeout recheck relies on it.
+  // Entry-counted kinds (dissemination, tournament, mcs-local) bump on
+  // entry and prove nothing mid-episode; those same kinds release
+  // cooperatively (waiters forward peers' releases), which is what
+  // makes their counters entry-driven in the first place.
+  for (auto kind : kAllBarrierKinds) {
+    const bool cooperative = barrier_kind_cooperative_release(kind);
+    const bool entry_counted = kind == BarrierKind::kDissemination ||
+                               kind == BarrierKind::kTournament ||
+                               kind == BarrierKind::kMcsLocalSpin;
+    EXPECT_EQ(barrier_kind_release_counted(kind), !entry_counted)
+        << to_string(kind);
+    EXPECT_EQ(cooperative, kind == BarrierKind::kTournament ||
+                               kind == BarrierKind::kMcsLocalSpin)
+        << to_string(kind);
+  }
+}
+
 TEST(Barriers, ConstructorValidation) {
   EXPECT_THROW(CentralBarrier(0), std::invalid_argument);
   EXPECT_THROW(CombiningTreeBarrier(0, 4), std::invalid_argument);

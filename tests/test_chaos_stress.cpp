@@ -1,0 +1,53 @@
+// Nightly chaos-campaign stress: the heavy canned matrix (all nine
+// kinds, raised disturbance intensity) across several seeds with both
+// legs live, plus the replay contract at heavy scale. Runs under the
+// `stress` ctest label (nightly TSan chaos job); excluded from the
+// default suite.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/parallel_for.hpp"
+#include "robust/chaos_campaign.hpp"
+
+namespace imbar::robust {
+namespace {
+
+TEST(ChaosStress, HeavyMatrixAcrossSeeds) {
+  for (const std::uint64_t seed : {0xA11CEULL, 0xB0BULL, 0xCA7ULL}) {
+    const ChaosCampaign campaign(
+        seed, ChaosCampaign::canned_matrix(4, 150, /*heavy=*/true));
+    exec::Executor exec;
+    exec.threads = 4;
+    const ChaosCampaignResult r = campaign.run(exec);
+    ASSERT_TRUE(r.passed) << "seed " << seed << ": " << r.detail;
+    for (const ChaosScenarioResult& s : r.scenarios) {
+      EXPECT_TRUE(s.live_ran) << s.label;
+      EXPECT_EQ(s.model_strict + s.model_quorum, 150u) << s.label;
+      EXPECT_EQ(s.live_stats.strict_releases + s.live_stats.quorum_releases,
+                150u)
+          << s.label;
+    }
+  }
+}
+
+TEST(ChaosStress, HeavyReplayIsByteIdenticalAcrossWorkerCounts) {
+  std::vector<ChaosScenarioSpec> specs =
+      ChaosCampaign::canned_matrix(6, 200, /*heavy=*/true);
+  for (ChaosScenarioSpec& s : specs) s.run_live = false;
+  const ChaosCampaign campaign(0xFEEDULL, specs);
+
+  const std::vector<std::string> serial =
+      campaign.run(exec::Executor{1}).event_log();
+  exec::Executor wide;
+  wide.threads = 4;
+  const std::vector<std::string> sharded = campaign.run(wide).event_log();
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], sharded[i]) << "line " << i;
+}
+
+}  // namespace
+}  // namespace imbar::robust

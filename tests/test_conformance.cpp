@@ -76,6 +76,14 @@ TEST_P(Conformance, QuarantineReadmit) {
   expect_pass(check_quarantine_readmit(config(), options()));
 }
 
+TEST_P(Conformance, QuorumReleaseUnderTail) {
+  expect_pass(check_quorum_release_under_tail(config(), options()));
+}
+
+TEST_P(Conformance, LateReconcileExactness) {
+  expect_pass(check_late_reconcile_exactness(config(), options()));
+}
+
 // Randomized (p, degree) draws, seeded so a failure names its schedule
 // exactly. Degree is clamped by conformance_config for non-tree kinds.
 TEST_P(Conformance, RandomizedConfigSweep) {

@@ -1,8 +1,11 @@
 // Core facade: imbalance estimation, degree choice, recommendations.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <stdexcept>
 #include <vector>
 
+#include "barrier/factory.hpp"
 #include "core/degree_chooser.hpp"
 #include "core/facade.hpp"
 #include "core/imbalance_estimator.hpp"
@@ -121,6 +124,33 @@ TEST(Describe, MentionsKindAndDegree) {
   EXPECT_NE(s.find("8"), std::string::npos);
   cfg.kind = BarrierKind::kCentral;
   EXPECT_EQ(describe(cfg).find("degree"), std::string::npos);
+}
+
+TEST(BarrierConfigQuorum, ValidationOfQuorumKnobs) {
+  // The graceful-degradation knobs ride on BarrierConfig and are
+  // validated by make_barrier even though only the quorum decorator
+  // consumes them: one config describes the whole decorated stack.
+  BarrierConfig cfg;
+  cfg.kind = BarrierKind::kCentral;
+  cfg.participants = 4;
+
+  cfg.quorum.quorum = 5;  // k > participants
+  EXPECT_THROW(make_barrier(cfg), std::invalid_argument);
+  cfg.quorum.quorum = 3;
+  cfg.quorum.deadline_budget = std::chrono::nanoseconds(-1);
+  EXPECT_THROW(make_barrier(cfg), std::invalid_argument);
+  cfg.quorum.deadline_budget = std::chrono::milliseconds(1);
+  cfg.quorum.hysteresis = 0;
+  EXPECT_THROW(make_barrier(cfg), std::invalid_argument);
+
+  // Valid corners: k == participants, zero budget (release the moment
+  // the quorum forms), and the disabled default.
+  cfg.quorum.hysteresis = 1;
+  cfg.quorum.quorum = 4;
+  cfg.quorum.deadline_budget = std::chrono::nanoseconds::zero();
+  EXPECT_NO_THROW(make_barrier(cfg));
+  cfg.quorum = QuorumConfig{};
+  EXPECT_NO_THROW(make_barrier(cfg));
 }
 
 TEST(Version, IsNonEmpty) { EXPECT_GT(std::string(version()).size(), 0u); }

@@ -1,0 +1,483 @@
+// robust::QuorumBarrier: deadline-budgeted k-of-n release, generation
+// ledger fast-forwarding, quarantine handoff/restoration, the health
+// state machine with seeded strict-mode probes, stall/reset, and the
+// metrics fold. Scenarios are scripted so every count has a closed
+// form; timing only moves *when* a release happens, never *what* the
+// ledgers record (see each test's note on why).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "barrier_test_support.hpp"
+#include "obs/episode_recorder.hpp"
+#include "obs/metrics_registry.hpp"
+#include "robust/quorum_barrier.hpp"
+#include "robust/quorum_metrics.hpp"
+#include "util/spin_wait.hpp"
+
+namespace imbar::robust {
+namespace {
+
+using namespace std::chrono_literals;
+using test::run_threads;
+
+BarrierConfig quorum_config(std::size_t participants, std::size_t k,
+                            std::chrono::nanoseconds budget,
+                            BarrierKind kind = BarrierKind::kCentral) {
+  BarrierConfig cfg;
+  cfg.kind = kind;
+  cfg.participants = participants;
+  cfg.quorum.quorum = k;
+  cfg.quorum.deadline_budget = budget;
+  return cfg;
+}
+
+/// Test-friendly defaults: flat budgets (degraded phases wait just as
+/// long as healthy ones, so scripted sitters can't cause over-misses)
+/// and quarantine off unless the test is about quarantine.
+QuorumOptions flat_options() {
+  QuorumOptions opts;
+  opts.quarantine_after = ~static_cast<std::size_t>(0);
+  opts.degraded_budget_scale = 1.0;
+  opts.probe_budget_scale = 1.0;
+  return opts;
+}
+
+TEST(QuorumBarrier, StrictCohortIsAllOk) {
+  // k == 0 disables degradation entirely: unbounded waits, every phase
+  // strict, and the accounting still runs.
+  constexpr std::size_t kN = 4;
+  constexpr int kPhases = 12;
+  QuorumBarrier qb(quorum_config(kN, 0, 0ns), flat_options());
+
+  run_threads(kN, [&](std::size_t tid) {
+    for (int g = 0; g < kPhases; ++g)
+      ASSERT_EQ(qb.arrive_and_wait(tid), QuorumStatus::kOk);
+  });
+
+  const QuorumStats s = qb.stats();
+  EXPECT_EQ(s.strict_releases, static_cast<std::uint64_t>(kPhases));
+  EXPECT_EQ(s.quorum_releases, 0u);
+  EXPECT_EQ(s.fast_forwards, 0u);
+  EXPECT_EQ(qb.phase(), static_cast<std::uint64_t>(kPhases));
+  EXPECT_EQ(qb.health(), QuorumHealth::kHealthy);
+  for (std::size_t t = 0; t < kN; ++t) {
+    const MemberAccount a = qb.account(t);
+    EXPECT_EQ(a.arrivals, static_cast<std::uint64_t>(kPhases));
+    EXPECT_EQ(a.missed_phases, 0u);
+    EXPECT_EQ(a.late_arrivals, 0u);
+  }
+  EXPECT_TRUE(qb.lateness_samples().empty());
+  EXPECT_NO_THROW(qb.check_invariants());
+}
+
+TEST(QuorumBarrier, SoloQuorumReleaseAndFastForwardAccounting) {
+  // t0 runs kSolo phases alone with k = 1: each releases on quorum at
+  // the budget. t1 then reconciles: exactly kSolo fast-forwards (one
+  // fall-behind episode), then one joint strict phase. Counts are
+  // timing-independent: t1 does not arrive at all until t0 is done, so
+  // no release can accidentally include or exclude it.
+  constexpr std::size_t kN = 2;
+  constexpr int kSolo = 4;
+  QuorumBarrier qb(quorum_config(kN, 1, 5ms), flat_options());
+
+  std::atomic<bool> solo_done{false};
+  run_threads(kN, [&](std::size_t tid) {
+    if (tid == 0) {
+      for (int g = 0; g < kSolo; ++g)
+        ASSERT_EQ(qb.arrive_and_wait(0), QuorumStatus::kQuorum);
+      solo_done.store(true, std::memory_order_release);
+    } else {
+      spin_until([&] { return solo_done.load(std::memory_order_acquire); });
+      for (int g = 0; g < kSolo; ++g)
+        ASSERT_EQ(qb.arrive_and_wait(1), QuorumStatus::kFastForward);
+    }
+    ASSERT_EQ(qb.arrive_and_wait(tid), QuorumStatus::kOk);
+  });
+
+  const QuorumStats s = qb.stats();
+  EXPECT_EQ(s.quorum_releases, static_cast<std::uint64_t>(kSolo));
+  EXPECT_EQ(s.strict_releases, 1u);
+  EXPECT_EQ(s.fast_forwards, static_cast<std::uint64_t>(kSolo));
+  EXPECT_EQ(s.min_quorum_arrivals, 1u);
+  EXPECT_EQ(qb.phase(), static_cast<std::uint64_t>(kSolo) + 1);
+
+  const MemberAccount a0 = qb.account(0);
+  EXPECT_EQ(a0.arrivals, static_cast<std::uint64_t>(kSolo) + 1);
+  EXPECT_EQ(a0.missed_phases, 0u);
+  const MemberAccount a1 = qb.account(1);
+  EXPECT_EQ(a1.arrivals, 1u);
+  EXPECT_EQ(a1.missed_phases, static_cast<std::uint64_t>(kSolo));
+  EXPECT_EQ(a1.late_arrivals, 1u);  // one episode spanning kSolo phases
+
+  // Every quorum release saw t1 lagging; the lateness samples record
+  // how far behind the ledger it was at each release: 1, 2, ..., kSolo.
+  const std::vector<std::uint64_t> lags = qb.lateness_samples();
+  ASSERT_EQ(lags.size(), static_cast<std::size_t>(kSolo));
+  for (int g = 0; g < kSolo; ++g)
+    EXPECT_EQ(lags[static_cast<std::size_t>(g)],
+              static_cast<std::uint64_t>(g) + 1);
+
+  // The quorum-release events carry the fence owner's view: phase and
+  // arrival count (always 1 here).
+  std::size_t quorum_events = 0;
+  for (const QuorumEvent& e : qb.events())
+    if (e.kind == QuorumEventKind::kQuorumRelease) {
+      EXPECT_EQ(e.phase, static_cast<std::uint64_t>(quorum_events));
+      EXPECT_EQ(e.arrived, 1u);
+      ++quorum_events;
+    }
+  EXPECT_EQ(quorum_events, static_cast<std::size_t>(kSolo));
+  EXPECT_NO_THROW(qb.check_invariants());
+}
+
+TEST(QuorumBarrier, MetricsFoldMatchesStats) {
+  // One solo quorum phase + one reconcile pass, then fold into a
+  // registry: every counter mirrors stats() and the lateness histogram
+  // shows up in the snapshot.
+  QuorumBarrier qb(quorum_config(2, 1, 1ms), flat_options());
+  std::atomic<bool> done{false};
+  run_threads(2, [&](std::size_t tid) {
+    if (tid == 0) {
+      ASSERT_EQ(qb.arrive_and_wait(0), QuorumStatus::kQuorum);
+      done.store(true, std::memory_order_release);
+    } else {
+      spin_until([&] { return done.load(std::memory_order_acquire); });
+      ASSERT_EQ(qb.arrive_and_wait(1), QuorumStatus::kFastForward);
+    }
+  });
+
+  obs::MetricsRegistry registry;
+  fold_quorum_metrics(qb, registry, "quorum");
+  const QuorumStats s = qb.stats();
+  EXPECT_EQ(registry.counter("quorum.strict_releases"), s.strict_releases);
+  EXPECT_EQ(registry.counter("quorum.quorum_releases"), s.quorum_releases);
+  EXPECT_EQ(registry.counter("quorum.fast_forwards"), s.fast_forwards);
+  EXPECT_EQ(registry.counter("quorum.fences"), s.fences);
+  EXPECT_EQ(registry.counter("quorum.min_quorum_arrivals"),
+            static_cast<std::uint64_t>(s.min_quorum_arrivals));
+  EXPECT_EQ(registry.counter("quorum.active"), 2u);
+  const std::string json = registry.snapshot_json();
+  EXPECT_NE(json.find("quorum.lateness_phases"), std::string::npos);
+  EXPECT_NE(json.find("imbar.metrics.v1"), std::string::npos);
+}
+
+TEST(QuorumBarrier, RecorderMarksQuorumReleases) {
+  // Each quorum release commits a zero-span mark on the fence owner's
+  // lane — here t0 owns every fence (it is the only waiter).
+  auto recorder = std::make_shared<obs::EpisodeRecorder>(2);
+  QuorumOptions opts = flat_options();
+  opts.recorder = recorder;
+  QuorumBarrier qb(quorum_config(2, 1, 1ms), opts);
+
+  std::atomic<bool> done{false};
+  run_threads(2, [&](std::size_t tid) {
+    if (tid == 0) {
+      for (int g = 0; g < 3; ++g)
+        ASSERT_EQ(qb.arrive_and_wait(0), QuorumStatus::kQuorum);
+      done.store(true, std::memory_order_release);
+    } else {
+      spin_until([&] { return done.load(std::memory_order_acquire); });
+      for (int g = 0; g < 3; ++g)
+        ASSERT_EQ(qb.arrive_and_wait(1), QuorumStatus::kFastForward);
+    }
+  });
+  EXPECT_EQ(recorder->recorded(0), 3u);
+  for (const obs::EpisodeRecord& r : recorder->snapshot(0))
+    EXPECT_EQ(r.arrive_ns, r.release_ns);  // marks are zero-span
+}
+
+TEST(QuorumBarrier, QuarantineAndRestorationRoundTrip) {
+  // t2 sits out until the fences quarantine it (quarantine_after = 2
+  // consecutive quorum misses), probes back in via await_restoration
+  // while the survivors keep phasing strictly (the inner shrank to 2,
+  // so their all-arrive completes and the restoration is applied at a
+  // *strict* boundary — strict_boundary's restore-fence path), then
+  // reconciles. k = 1 keeps every endgame self-releasing: a thread
+  // caught alone in a phase quorum-releases on its own budget instead
+  // of waiting for peers that already exited.
+  constexpr std::size_t kN = 3;
+  QuorumOptions opts = flat_options();
+  opts.quarantine_after = 2;
+  QuorumBarrier qb(quorum_config(kN, 1, 3ms), opts);
+
+  std::atomic<bool> restored{false};
+  std::atomic<bool> stop{false};
+  run_threads(kN, [&](std::size_t tid) {
+    if (tid == 2) {
+      // Sit out until quarantined (two quorum releases), then probe.
+      spin_until([&] { return qb.state(2) == MemberState::kQuarantined; });
+      EXPECT_EQ(qb.arrive_and_wait(2), QuorumStatus::kQuarantined);
+      ASSERT_EQ(qb.await_restoration(2), QuorumStatus::kOk);
+      restored.store(true, std::memory_order_release);
+      stop.store(true, std::memory_order_release);
+      // Restored in sync; reconcile anything released since.
+      while (qb.arrive_and_wait(2) == QuorumStatus::kFastForward) {}
+    } else {
+      while (!stop.load(std::memory_order_acquire)) {
+        const QuorumStatus s = qb.arrive_and_wait(tid);
+        ASSERT_TRUE(s == QuorumStatus::kOk || s == QuorumStatus::kQuorum)
+            << to_string(s);
+      }
+    }
+  });
+
+  EXPECT_TRUE(restored.load());
+  const QuorumStats s = qb.stats();
+  EXPECT_EQ(s.quarantines, 1u);
+  EXPECT_EQ(s.restorations, 1u);
+  EXPECT_GE(s.quorum_releases, 2u);  // the two that quarantined t2
+  EXPECT_EQ(qb.state(2), MemberState::kJoined);
+  EXPECT_EQ(qb.active_participants(), kN);
+
+  const MemberAccount a2 = qb.account(2);
+  EXPECT_GE(a2.quarantine_skipped, 1u);  // the span settled by restore
+  bool saw_quarantine = false, saw_restore = false;
+  for (const QuorumEvent& e : qb.events()) {
+    if (e.kind == QuorumEventKind::kQuarantine && e.tid == 2)
+      saw_quarantine = true;
+    if (e.kind == QuorumEventKind::kRestore && e.tid == 2) saw_restore = true;
+  }
+  EXPECT_TRUE(saw_quarantine);
+  EXPECT_TRUE(saw_restore);
+  EXPECT_NO_THROW(qb.check_invariants());
+}
+
+TEST(QuorumBarrier, RestorationRacesQuorumReleases) {
+  // The restore request must land cleanly while release fences are
+  // actively running: after t2 is quarantined, t1 keeps sitting out
+  // every third phase so t0's budget keeps expiring into quorum fences
+  // (k_eff = min(1, active) = 1) the whole time t2 is probing.
+  // quarantine_after = 3 and t1's sparse sitting keep t1's lag streak
+  // below the threshold, so only t2 (which sits continuously) is ever
+  // quarantined.
+  constexpr std::size_t kN = 3;
+  QuorumOptions opts = flat_options();
+  opts.quarantine_after = 3;
+  QuorumBarrier qb(quorum_config(kN, 1, 3ms), opts);
+
+  std::atomic<bool> stop{false};
+  run_threads(kN, [&](std::size_t tid) {
+    if (tid == 2) {
+      spin_until([&] { return qb.state(2) == MemberState::kQuarantined; });
+      ASSERT_EQ(qb.await_restoration(2), QuorumStatus::kOk);
+      stop.store(true, std::memory_order_release);
+      // Restored in sync; drain any phases released since.
+      while (true) {
+        const QuorumStatus s = qb.arrive_and_wait(2);
+        if (s != QuorumStatus::kFastForward) break;
+      }
+    } else if (tid == 1) {
+      std::uint64_t g = qb.phase();
+      while (!stop.load(std::memory_order_acquire)) {
+        if (g % 3 == 0) {
+          // Sit this phase out (bounded: bail if stop fires meanwhile).
+          spin_until([&] {
+            return qb.phase() > g || stop.load(std::memory_order_acquire);
+          });
+        } else {
+          const QuorumStatus s = qb.arrive_and_wait(1);
+          ASSERT_NE(s, QuorumStatus::kStalled);
+          ASSERT_NE(s, QuorumStatus::kQuarantined);
+        }
+        g = qb.phase();
+      }
+      // Reconcile whatever was missed while sitting out.
+      while (qb.account(1).arrivals + qb.account(1).missed_phases +
+                 qb.account(1).quarantine_skipped <
+             qb.phase()) {
+        const QuorumStatus s = qb.arrive_and_wait(1);
+        if (s != QuorumStatus::kFastForward) break;
+      }
+    } else {
+      while (!stop.load(std::memory_order_acquire)) {
+        const QuorumStatus s = qb.arrive_and_wait(0);
+        ASSERT_NE(s, QuorumStatus::kStalled);
+      }
+    }
+  });
+
+  // t0 may owe one final arrival (it could have entered a phase right
+  // as stop fired and others left); that phase quorum-released on t0's
+  // own timeout, so by now everything is quiescent.
+  const QuorumStats s = qb.stats();
+  EXPECT_EQ(s.quarantines, 1u);
+  EXPECT_EQ(s.restorations, 1u);
+  EXPECT_GE(s.quorum_releases, 2u);
+  EXPECT_EQ(qb.state(2), MemberState::kJoined);
+  EXPECT_NO_THROW(qb.check_invariants());
+}
+
+TEST(QuorumBarrier, StallBelowQuorumThenReset) {
+  // k = 2 with one member absent can never reach quorum, so t0 cycles
+  // repair fences until stall_timeout, then everyone sees kStalled
+  // until reset() rebuilds and the retried phase releases strictly.
+  QuorumOptions opts = flat_options();
+  opts.stall_timeout = 50ms;
+  QuorumBarrier qb(quorum_config(2, 2, 2ms), opts);
+
+  ASSERT_EQ(qb.arrive_and_wait(0), QuorumStatus::kStalled);
+  EXPECT_TRUE(qb.stalled());
+  EXPECT_EQ(qb.arrive_and_wait(1), QuorumStatus::kStalled);
+  EXPECT_EQ(qb.phase(), 0u);  // the stalled phase never released
+
+  const QuorumStats mid = qb.stats();
+  EXPECT_GE(mid.stalls, 1u);
+  EXPECT_EQ(mid.quorum_releases, 0u);
+  bool saw_stall = false;
+  for (const QuorumEvent& e : qb.events())
+    if (e.kind == QuorumEventKind::kStall) saw_stall = true;
+  EXPECT_TRUE(saw_stall);
+
+  qb.reset();
+  EXPECT_FALSE(qb.stalled());
+  run_threads(2, [&](std::size_t tid) {
+    ASSERT_EQ(qb.arrive_and_wait(tid), QuorumStatus::kOk);
+  });
+  EXPECT_EQ(qb.phase(), 1u);
+  EXPECT_EQ(qb.stats().strict_releases, 1u);
+  EXPECT_NO_THROW(qb.check_invariants());
+}
+
+// ---- Health state machine + seeded strict-probe determinism ----------
+
+/// Scripted degradation scenario: with k = 1 and flat budgets, t1 sits
+/// out exactly `degraded_phases`, t0 quorum-releases each of them, then
+/// t1 reconciles and the pair runs strict phases until health recovers.
+/// Everything that happens is a function of the phase count — t0 alone
+/// drives every release in sequence — so the event trace (kind, phase)
+/// must be identical across runs with the same backoff seed.
+std::vector<QuorumEvent> run_degradation_script(std::uint64_t seed,
+                                                int degraded_phases,
+                                                int strict_phases) {
+  BarrierConfig cfg = quorum_config(2, 1, 3ms);
+  cfg.quorum.hysteresis = 2;  // degrade/restore after 2, critical at 6
+  QuorumOptions opts = flat_options();
+  opts.backoff_seed = seed;
+  QuorumBarrier qb(cfg, opts);
+
+  std::atomic<bool> solo_done{false};
+  run_threads(2, [&](std::size_t tid) {
+    if (tid == 0) {
+      for (int g = 0; g < degraded_phases; ++g)
+        EXPECT_EQ(qb.arrive_and_wait(0), QuorumStatus::kQuorum);
+      solo_done.store(true, std::memory_order_release);
+    } else {
+      spin_until([&] { return solo_done.load(std::memory_order_acquire); });
+      for (int g = 0; g < degraded_phases; ++g)
+        EXPECT_EQ(qb.arrive_and_wait(1), QuorumStatus::kFastForward);
+    }
+    for (int g = 0; g < strict_phases; ++g)
+      EXPECT_EQ(qb.arrive_and_wait(tid), QuorumStatus::kOk);
+  });
+  qb.check_invariants();
+  return qb.events();
+}
+
+TEST(QuorumBarrier, HealthHysteresisTransitions) {
+  // hysteresis 2 -> degraded after 2 quorum releases, critical after 6,
+  // recovered after 2 strict releases. The event trace must show the
+  // transitions at exactly those phases, in order.
+  const std::vector<QuorumEvent> events = run_degradation_script(42, 7, 3);
+
+  std::vector<QuorumEventKind> health_transitions;
+  for (const QuorumEvent& e : events)
+    if (e.kind == QuorumEventKind::kDegraded ||
+        e.kind == QuorumEventKind::kCritical ||
+        e.kind == QuorumEventKind::kRecovered)
+      health_transitions.push_back(e.kind);
+  ASSERT_EQ(health_transitions.size(), 3u);
+  EXPECT_EQ(health_transitions[0], QuorumEventKind::kDegraded);
+  EXPECT_EQ(health_transitions[1], QuorumEventKind::kCritical);
+  EXPECT_EQ(health_transitions[2], QuorumEventKind::kRecovered);
+
+  for (const QuorumEvent& e : events) {
+    if (e.kind == QuorumEventKind::kDegraded) EXPECT_EQ(e.phase, 1u);
+    if (e.kind == QuorumEventKind::kCritical) EXPECT_EQ(e.phase, 5u);
+    if (e.kind == QuorumEventKind::kRecovered) EXPECT_EQ(e.phase, 8u);
+  }
+
+  // Probes were scheduled while degraded (strict-mode retry).
+  bool saw_probe = false;
+  for (const QuorumEvent& e : events)
+    if (e.kind == QuorumEventKind::kProbe) saw_probe = true;
+  EXPECT_TRUE(saw_probe);
+}
+
+TEST(QuorumBarrier, SeededProbeScheduleIsReproducible) {
+  // The strict-probe gaps draw from the seeded ExponentialBackoff
+  // (stream = participants): identical seeds must yield byte-identical
+  // degradation traces — kinds, phases, tids and arrival counts — run
+  // to run. This is the retry-of-strict determinism contract the chaos
+  // campaigns build on.
+  const std::vector<QuorumEvent> a = run_degradation_script(0xD5EEDULL, 9, 3);
+  const std::vector<QuorumEvent> b = run_degradation_script(0xD5EEDULL, 9, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    EXPECT_EQ(a[i].phase, b[i].phase) << "event " << i;
+    EXPECT_EQ(a[i].arrived, b[i].arrived) << "event " << i;
+    // tid is the fence/boundary owner; every event here happens at a
+    // quorum fence owned by the sole waiter t0 — except kRecovered,
+    // whose strict-boundary owner is whichever thread won the ledger
+    // CAS, so it is excluded from the determinism contract.
+    if (a[i].kind != QuorumEventKind::kRecovered)
+      EXPECT_EQ(a[i].tid, b[i].tid) << "event " << i;
+  }
+}
+
+TEST(QuorumBarrier, ComposesOverTreeKinds) {
+  // The decorator has zero per-kind code: the same tail scenario runs
+  // over a tree barrier (dissemination, not release-counted) purely
+  // through the factory.
+  QuorumBarrier qb(
+      quorum_config(4, 3, 10ms, BarrierKind::kDissemination), flat_options());
+  std::atomic<bool> solo_done{false};
+  run_threads(4, [&](std::size_t tid) {
+    if (tid == 3) {
+      spin_until([&] { return solo_done.load(std::memory_order_acquire); });
+      for (int g = 0; g < 2; ++g)
+        ASSERT_EQ(qb.arrive_and_wait(3), QuorumStatus::kFastForward);
+    } else {
+      for (int g = 0; g < 2; ++g)
+        ASSERT_EQ(qb.arrive_and_wait(tid), QuorumStatus::kQuorum);
+      if (tid == 0) solo_done.store(true, std::memory_order_release);
+    }
+    ASSERT_EQ(qb.arrive_and_wait(tid), QuorumStatus::kOk);
+  });
+  const QuorumStats s = qb.stats();
+  EXPECT_EQ(s.quorum_releases, 2u);
+  EXPECT_EQ(s.strict_releases, 1u);
+  EXPECT_EQ(s.min_quorum_arrivals, 3u);
+  EXPECT_NO_THROW(qb.check_invariants());
+}
+
+TEST(QuorumBarrier, ValidationAndAccessors) {
+  // Invalid configs are refused at construction (through the factory's
+  // validation), bad tids at the call sites.
+  BarrierConfig bad_k = quorum_config(4, 5, 1ms);  // k > participants
+  EXPECT_THROW(QuorumBarrier{bad_k}, std::invalid_argument);
+  BarrierConfig bad_budget = quorum_config(4, 2, -1ms);
+  EXPECT_THROW(QuorumBarrier{bad_budget}, std::invalid_argument);
+
+  QuorumBarrier qb(quorum_config(4, 3, 1ms), flat_options());
+  EXPECT_EQ(qb.participants(), 4u);
+  EXPECT_EQ(qb.active_participants(), 4u);
+  EXPECT_EQ(qb.effective_quorum(), 3u);
+  EXPECT_EQ(qb.phase(), 0u);
+  EXPECT_FALSE(qb.stalled());
+  EXPECT_EQ(qb.state(0), MemberState::kJoined);
+  EXPECT_THROW(qb.arrive_and_wait(4), std::invalid_argument);
+  EXPECT_THROW((void)qb.account(4), std::invalid_argument);
+  EXPECT_THROW((void)qb.state(4), std::invalid_argument);
+  EXPECT_NO_THROW(qb.check_invariants());  // quiescent at phase 0
+}
+
+}  // namespace
+}  // namespace imbar::robust

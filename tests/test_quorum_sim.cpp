@@ -1,0 +1,242 @@
+// sim::QuorumModel: the event-driven k-of-n quorum barrier. The model
+// is a pure function of its work callback, so every test here pins
+// exact closed-form expectations — releases, latencies, ledgers — and
+// the acceptance differential maps the strict-vs-quorum frontier the
+// real barrier trades on: quorum p99 pinned to the deadline budget
+// while strict p99 tracks the straggler tail.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "sim/quorum_model.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::sim {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(QuorumModel, StrictReleasesAtLastArrival) {
+  QuorumModelConfig cfg;
+  cfg.procs = 4;
+  cfg.phases = 3;
+  cfg.quorum = 0;  // strict-only
+  const QuorumModelResult r = run_quorum_model(
+      cfg, [](std::uint64_t, std::size_t proc) {
+        return 10.0 * static_cast<double>(proc + 1);
+      });
+
+  EXPECT_EQ(r.strict_releases, 3u);
+  EXPECT_EQ(r.quorum_releases, 0u);
+  EXPECT_EQ(r.missed_phases, 0u);
+  EXPECT_EQ(r.late_arrivals, 0u);
+  EXPECT_NEAR(r.completeness, 1.0, kTol);
+  ASSERT_EQ(r.records.size(), 3u);
+  for (const QuorumPhaseRecord& rec : r.records) {
+    EXPECT_TRUE(rec.strict);
+    EXPECT_EQ(rec.arrived, 4u);
+    EXPECT_NEAR(rec.latency(), 40.0, kTol);  // slowest proc
+  }
+  EXPECT_NEAR(r.makespan, 120.0, kTol);
+}
+
+TEST(QuorumModel, ZeroBudgetReleasesAtKthArrival) {
+  QuorumModelConfig cfg;
+  cfg.procs = 4;
+  cfg.phases = 1;
+  cfg.quorum = 2;
+  cfg.deadline_budget = 0.0;  // release the instant the quorum forms
+  const QuorumModelResult r = run_quorum_model(
+      cfg, [](std::uint64_t, std::size_t proc) {
+        return 10.0 * static_cast<double>(proc + 1);
+      });
+
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_FALSE(r.records[0].strict);
+  EXPECT_EQ(r.records[0].arrived, 2u);
+  EXPECT_NEAR(r.records[0].latency(), 20.0, kTol);  // 2nd arrival
+  EXPECT_EQ(r.quorum_releases, 1u);
+  EXPECT_NEAR(r.completeness, 0.5, kTol);  // 2 of 4 attended
+}
+
+TEST(QuorumModel, DeadlineHoldsQuorumReleaseUntilBudget) {
+  // The quorum forms at t=10 but the budget is 100: the release must
+  // wait for the deadline, not fire at the k-th arrival.
+  QuorumModelConfig cfg;
+  cfg.procs = 2;
+  cfg.phases = 1;
+  cfg.quorum = 1;
+  cfg.deadline_budget = 100.0;
+  const QuorumModelResult r = run_quorum_model(
+      cfg, [](std::uint64_t, std::size_t proc) {
+        return proc == 0 ? 10.0 : 200.0;
+      });
+
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_FALSE(r.records[0].strict);
+  EXPECT_EQ(r.records[0].arrived, 1u);
+  EXPECT_NEAR(r.records[0].release, 100.0, kTol);  // exactly the budget
+}
+
+TEST(QuorumModel, EarlyFullHouseBeatsTheDeadline) {
+  // All procs in before the budget: strict release immediately, the
+  // pending deadline event must be a no-op.
+  QuorumModelConfig cfg;
+  cfg.procs = 3;
+  cfg.phases = 2;
+  cfg.quorum = 2;
+  cfg.deadline_budget = 1000.0;
+  const QuorumModelResult r = run_quorum_model(
+      cfg, [](std::uint64_t, std::size_t) { return 5.0; });
+
+  EXPECT_EQ(r.strict_releases, 2u);
+  EXPECT_EQ(r.quorum_releases, 0u);
+  EXPECT_NEAR(r.makespan, 10.0, kTol);
+  EXPECT_NEAR(r.completeness, 1.0, kTol);
+}
+
+TEST(QuorumModel, LateArrivalsFastForwardAndReconcile) {
+  // proc 1 is ~2.4 budgets slow: it keeps landing behind the ledger,
+  // fast-forwards across the missed phases and rejoins — the model
+  // must keep the ledger identities intact throughout.
+  QuorumModelConfig cfg;
+  cfg.procs = 2;
+  cfg.phases = 10;
+  cfg.quorum = 1;
+  cfg.deadline_budget = 5.0;
+  const QuorumModelResult r = run_quorum_model(
+      cfg, [](std::uint64_t, std::size_t proc) {
+        return proc == 0 ? 1.0 : 12.0;
+      });
+
+  EXPECT_EQ(r.strict_releases + r.quorum_releases, 10u);
+  ASSERT_EQ(r.records.size(), 10u);
+  EXPECT_GE(r.late_arrivals, 1u);
+  std::uint64_t by_proc = 0;
+  for (const std::uint64_t m : r.missed_by_proc) by_proc += m;
+  EXPECT_EQ(r.missed_phases, by_proc);
+  EXPECT_EQ(r.missed_by_proc[0], 0u);
+  EXPECT_GE(r.missed_by_proc[1], 1u);
+  // proc 0 attends everything; proc 1 is behind for the whole run.
+  EXPECT_GE(r.completeness, 0.5);
+  EXPECT_LT(r.completeness, 1.0);
+}
+
+TEST(QuorumModel, AcceptanceFrontierPersistentStraggler) {
+  // The PR's acceptance differential, in closed form: one persistent
+  // straggler (proc 0: 1000 us, peers: 15 us). Strict mode hands every
+  // phase to the straggler — p99 == 1000 — while quorum mode (k = n-1,
+  // budget 60) releases every phase at exactly the budget: p99 == 60,
+  // paying completeness (proc 0 stops attending) instead of latency.
+  constexpr std::size_t kProcs = 8;
+  constexpr std::uint64_t kPhases = 200;
+  const auto work = [](std::uint64_t, std::size_t proc) {
+    return proc == 0 ? 1000.0 : 15.0;
+  };
+
+  QuorumModelConfig strict_cfg;
+  strict_cfg.procs = kProcs;
+  strict_cfg.phases = kPhases;
+  strict_cfg.quorum = 0;
+  const QuorumModelResult strict = run_quorum_model(strict_cfg, work);
+
+  QuorumModelConfig quorum_cfg = strict_cfg;
+  quorum_cfg.quorum = kProcs - 1;
+  quorum_cfg.deadline_budget = 60.0;
+  const QuorumModelResult quorum = run_quorum_model(quorum_cfg, work);
+
+  // Strict: every phase waits out the tail.
+  EXPECT_EQ(strict.strict_releases, kPhases);
+  EXPECT_NEAR(strict.latency_percentile(0.99), 1000.0, kTol);
+  EXPECT_NEAR(strict.latency_percentile(0.50), 1000.0, kTol);
+  EXPECT_NEAR(strict.completeness, 1.0, kTol);
+
+  // Quorum: every phase releases at the deadline, no phase ever pays
+  // the tail, and the books record exactly who fell behind.
+  EXPECT_EQ(quorum.quorum_releases, kPhases);
+  EXPECT_EQ(quorum.strict_releases, 0u);
+  EXPECT_NEAR(quorum.latency_percentile(0.99), 60.0, kTol);
+  EXPECT_NEAR(quorum.latency_percentile(0.50), 60.0, kTol);
+  EXPECT_NEAR(quorum.makespan, 60.0 * static_cast<double>(kPhases), kTol);
+  EXPECT_GT(quorum.completeness, 0.8);
+  EXPECT_LT(quorum.completeness, 0.95);  // proc 0's share is gone
+  EXPECT_GE(quorum.missed_by_proc[0], 150u);
+  for (std::size_t proc = 1; proc < kProcs; ++proc)
+    EXPECT_EQ(quorum.missed_by_proc[proc], 0u);
+}
+
+TEST(QuorumModel, SeededHeavyTailDifferentialIsDeterministic) {
+  // Heavy-tailed work drawn from a pure (phase, proc)-keyed hash: the
+  // quorum run must cut the tail out of p99 relative to strict, and —
+  // being a pure function — replay identically.
+  constexpr std::size_t kProcs = 8;
+  constexpr std::uint64_t kPhases = 300;
+  const auto work = [](std::uint64_t phase, std::size_t proc) {
+    SplitMix64 h(0xC0FFEEULL ^ (phase * 0x9E3779B97F4A7C15ULL) ^
+                 (static_cast<std::uint64_t>(proc) << 32));
+    const std::uint64_t draw = h.next();
+    const double base = 20.0 + static_cast<double>(draw % 11);
+    return (draw % 100) < 1 ? base + 200.0 : base;  // 1% stragglers
+  };
+
+  QuorumModelConfig strict_cfg;
+  strict_cfg.procs = kProcs;
+  strict_cfg.phases = kPhases;
+  const QuorumModelResult strict = run_quorum_model(strict_cfg, work);
+
+  QuorumModelConfig quorum_cfg = strict_cfg;
+  quorum_cfg.quorum = kProcs - 2;  // tolerate two concurrent stragglers
+  quorum_cfg.deadline_budget = 50.0;
+  const QuorumModelResult quorum = run_quorum_model(quorum_cfg, work);
+
+  EXPECT_GE(strict.latency_percentile(0.99), 200.0);  // the tail shows
+  EXPECT_NEAR(strict.completeness, 1.0, kTol);
+  EXPECT_LT(quorum.latency_percentile(0.99),
+            strict.latency_percentile(0.99) / 2.0);
+  // Median phase never pays more than the budget (tail-free phases
+  // release strictly, even earlier).
+  EXPECT_LE(quorum.latency_percentile(0.50), 50.0 + kTol);
+  EXPECT_GT(quorum.completeness, 0.8);
+
+  const QuorumModelResult replay = run_quorum_model(quorum_cfg, work);
+  EXPECT_EQ(replay.quorum_releases, quorum.quorum_releases);
+  EXPECT_EQ(replay.missed_phases, quorum.missed_phases);
+  EXPECT_NEAR(replay.makespan, quorum.makespan, kTol);
+}
+
+TEST(QuorumModel, ComposesOnACallerOwnedEngine) {
+  Engine engine;
+  bool foreign_ran = false;
+  engine.schedule(1.0, [&] { foreign_ran = true; });
+
+  QuorumModelConfig cfg;
+  cfg.procs = 2;
+  cfg.phases = 4;
+  QuorumModel model(engine, cfg,
+                    [](std::uint64_t, std::size_t) { return 3.0; });
+  model.start();
+  engine.run();
+
+  EXPECT_TRUE(foreign_ran);
+  EXPECT_TRUE(model.done());
+  const QuorumModelResult r = model.result();
+  EXPECT_EQ(r.records.size(), 4u);
+  EXPECT_EQ(r.strict_releases, 4u);
+}
+
+TEST(QuorumModel, Validation) {
+  Engine engine;
+  QuorumModelConfig cfg;
+  cfg.procs = 0;
+  const QuorumWorkFn work = [](std::uint64_t, std::size_t) { return 1.0; };
+  EXPECT_THROW(QuorumModel(engine, cfg, work), std::invalid_argument);
+  cfg.procs = 2;
+  EXPECT_THROW(QuorumModel(engine, cfg, nullptr), std::invalid_argument);
+  cfg.deadline_budget = -1.0;
+  EXPECT_THROW(QuorumModel(engine, cfg, work), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace imbar::sim

@@ -10,6 +10,9 @@
 #include <chrono>
 #include <thread>
 
+#include "barrier/factory.hpp"
+#include "robust/robust_barrier.hpp"
+
 namespace imbar {
 namespace {
 
@@ -194,6 +197,39 @@ TEST(WaitStatusNames, RoundTripStrings) {
   EXPECT_STREQ(to_string(WaitStatus::kReady), "ready");
   EXPECT_STREQ(to_string(WaitStatus::kTimeout), "timeout");
   EXPECT_STREQ(to_string(WaitStatus::kCancelled), "cancelled");
+}
+
+// The same taxonomy guarantee one layer up: a robust-barrier waiter
+// whose deadline expires in the same phase the barrier completes must
+// report kOk, never break the barrier. Pinned deterministically like
+// SpinUntilBounded.ReleaseConcurrentWithTimeoutReportsReady: the peer
+// is already parked inside the episode, so the bounded waiter's own
+// arrival completes it at the exact instant its (long-expired)
+// deadline is checked — completion must win. Central is
+// release-counted (barrier_kind_release_counted), the class the
+// post-timeout episode-ordinal recheck covers.
+TEST(RobustBarrierTaxonomy, ReleaseInSamePhaseAsExpiredDeadlineIsOk) {
+  BarrierConfig cfg;
+  cfg.kind = BarrierKind::kCentral;
+  cfg.participants = 2;
+  ASSERT_TRUE(barrier_kind_release_counted(cfg.kind));
+  robust::RobustBarrier rb(cfg);
+
+  for (int episode = 0; episode < 4; ++episode) {
+    std::atomic<bool> peer_in{false};
+    std::thread peer([&] {
+      peer_in.store(true, std::memory_order_release);
+      EXPECT_EQ(rb.arrive_and_wait(0), robust::BarrierStatus::kOk);
+    });
+    spin_until([&] { return peer_in.load(std::memory_order_acquire); });
+    // Give the peer time to park inside the episode, so our arrival is
+    // the releasing one and lands with the deadline long expired.
+    std::this_thread::sleep_for(50ms);
+    EXPECT_EQ(rb.arrive_and_wait_until(1, Clock::now() - 1s),
+              robust::BarrierStatus::kOk);
+    peer.join();
+    EXPECT_FALSE(rb.broken());
+  }
 }
 
 }  // namespace
