@@ -1,0 +1,108 @@
+// Perf-regression gate runner: compares a fresh micro-barrier run (or
+// a pre-measured imbar.bench.v1 document) against the committed
+// envelope bands and exits nonzero on a breach.
+//
+//   bench_gate --envelope=BENCH_micro.json
+//       [--fresh=OTHER.json]            compare a saved doc instead of
+//                                       measuring live
+//       [--episodes=500] [--degree=4]   live-measurement parameters
+//                                       (thread counts come from the
+//                                       envelope's (kind, threads) set)
+//       [--tolerance=3] [--p99-tolerance=5] [--min-samples=200]
+//       [--trend=BENCH_trend.jsonl]     append an imbar.trend.v1 line
+//       [--advisory]                    report, but always exit 0
+//
+// The comparison semantics (band ratios, min-sample floors, the
+// missing-pair rule) live in src/check/perf_gate.{hpp,cpp} so the
+// test suite pins them on canned JSON with no timing dependence; this
+// binary only supplies the measurements. The `gate_micro_perf` ctest
+// entry (label perf-gate) runs it against the repo's committed
+// envelope; CI's release leg does the same with doubled tolerances and
+// uploads the trend file (docs/testing.md).
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "bench_common.hpp"
+#include "check/perf_gate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace imbar;
+  const Cli cli(argc, argv);
+
+  const std::string envelope_path = cli.get("envelope", "BENCH_micro.json");
+  check::PerfGateOptions opts;
+  opts.mean_tolerance = cli.get_double("tolerance", opts.mean_tolerance);
+  opts.p99_tolerance = cli.get_double("p99-tolerance", opts.p99_tolerance);
+  opts.min_samples =
+      static_cast<std::uint64_t>(cli.get_int("min-samples", 200));
+
+  std::vector<check::PerfEnvelope> envelopes;
+  try {
+    envelopes = check::load_envelopes(obs::json::parse_file(envelope_path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_gate: cannot load envelope %s: %s\n",
+                 envelope_path.c_str(), e.what());
+    return 2;
+  }
+
+  std::vector<check::PerfEnvelope> fresh;
+  if (cli.has("fresh")) {
+    const std::string fresh_path = cli.get("fresh", "");
+    try {
+      fresh = check::load_envelopes(obs::json::parse_file(fresh_path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_gate: cannot load fresh doc %s: %s\n",
+                   fresh_path.c_str(), e.what());
+      return 2;
+    }
+    std::printf("  fresh      : %s (%zu rows)\n", fresh_path.c_str(),
+                fresh.size());
+  } else {
+    // Live measurement: one kind sweep per thread count the envelope
+    // covers, through the exact harness that generated the envelope.
+    obs::MicroOptions mo;
+    mo.episodes = static_cast<std::size_t>(cli.get_int("episodes", 500));
+    mo.degree = static_cast<std::size_t>(cli.get_int("degree", 4));
+    std::set<std::uint64_t> thread_counts;
+    for (const check::PerfEnvelope& e : envelopes)
+      thread_counts.insert(e.threads);
+    std::vector<obs::MicroResult> results;
+    for (const std::uint64_t threads : thread_counts) {
+      mo.threads = static_cast<std::size_t>(threads);
+      for (const BarrierKind kind : kAllBarrierKinds)
+        results.push_back(obs::run_micro_kind(kind, mo));
+    }
+    fresh = check::envelopes_from_results(results);
+    std::printf("  measured   : %zu (kind, threads) pairs, %zu episodes each\n",
+                fresh.size(), mo.episodes);
+  }
+
+  const check::PerfGateReport report =
+      check::gate_compare(envelopes, fresh, opts);
+  std::printf("%s", report.summary().c_str());
+
+  if (cli.has("trend")) {
+    const std::string trend_path = cli.get("trend", "BENCH_trend.jsonl");
+    const auto unix_ts = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    try {
+      check::append_trend(trend_path, report, unix_ts);
+      std::printf("  trend      : appended to %s\n", trend_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_gate: trend append failed: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (!report.passed() && cli.get_bool("advisory", false)) {
+    std::printf("  advisory   : breaches reported, exit forced to 0\n");
+    return 0;
+  }
+  return report.passed() ? 0 : 1;
+}

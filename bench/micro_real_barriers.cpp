@@ -7,12 +7,14 @@
 //
 // Telemetry mode (bypasses google-benchmark entirely):
 //   micro_real_barriers --json=BENCH_micro.json [--trace=trace.json]
-//       [--threads=2] [--episodes=2000] [--trace-kind=central]
+//       [--threads=2,4] [--episodes=2000] [--trace-kind=central]
 // runs the instrumented harness (obs::run_micro_kind) over every
-// barrier kind and writes an "imbar.bench.v1" document — per-kind
-// episodes/sec, mean/p50/p99 episode latency, and the measured arrival
-// sigma — plus, with --trace, a Perfetto-loadable Chrome trace of one
-// instrumented run.
+// barrier kind × cohort size and writes an "imbar.bench.v1" document —
+// per-(kind, threads) episodes/sec, mean/p50/p99 episode latency, and
+// the measured arrival sigma — plus, with --trace, a Perfetto-loadable
+// Chrome trace of one instrumented run. The committed BENCH_micro.json
+// is this document; bench_gate compares fresh runs against it
+// (docs/testing.md).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -85,6 +87,7 @@ void register_benches() {
       {"mcs_local", BarrierKind::kMcsLocalSpin, 0},
       {"adaptive", BarrierKind::kAdaptive, 0},
       {"sense", BarrierKind::kSenseReversing, 0},
+      {"flat", BarrierKind::kFlat, 0},
   };
   for (const auto& k : kinds) {
     for (int threads : {2, 4}) {
@@ -104,38 +107,58 @@ void register_benches() {
 int run_telemetry_mode(const imbar::Cli& cli) {
   using namespace imbar;
 
+  // --threads accepts a comma list (--threads=2,4): one full kind sweep
+  // per cohort size, rows keyed by (kind, threads) — the shape the perf
+  // gate's envelopes (src/check/perf_gate.hpp) are loaded from.
+  const std::vector<long long> thread_list = cli.get_int_list("threads", {2});
   obs::MicroOptions mo;
-  mo.threads = static_cast<std::size_t>(cli.get_int("threads", 2));
   mo.episodes = static_cast<std::size_t>(cli.get_int("episodes", 2000));
   mo.degree = static_cast<std::size_t>(cli.get_int("degree", 4));
   mo.t_c_us = cli.get_double("tc-us", 20.0);
 
   bench::JsonReporter rep("micro_real_barriers");
-  rep.param("threads", static_cast<double>(mo.threads))
-      .param("episodes", static_cast<double>(mo.episodes))
+  if (thread_list.size() == 1) {
+    rep.param("threads", static_cast<double>(thread_list.front()));
+  } else {
+    std::string joined;
+    for (const long long t : thread_list)
+      joined += (joined.empty() ? "" : ",") + std::to_string(t);
+    rep.param("threads", joined);
+  }
+  rep.param("episodes", static_cast<double>(mo.episodes))
       .param("degree", static_cast<double>(mo.degree))
       .param("t_c_us", mo.t_c_us);
 
   std::vector<obs::MicroResult> results;
   {
     const ScopedPhaseTimer phase(rep.phases(), "measure");
-    for (const BarrierKind kind : kAllBarrierKinds) {
-      const ScopedPhaseTimer per_kind(rep.phases(), to_string(kind));
-      results.push_back(obs::run_micro_kind(kind, mo));
+    for (const long long threads : thread_list) {
+      // Scope phase names by cohort size ("measure/t2/central"): the
+      // bench schema rejects duplicate phase names.
+      const ScopedPhaseTimer per_count(rep.phases(),
+                                       "t" + std::to_string(threads));
+      mo.threads = static_cast<std::size_t>(threads);
+      for (const BarrierKind kind : kAllBarrierKinds) {
+        const ScopedPhaseTimer per_kind(rep.phases(), to_string(kind));
+        results.push_back(obs::run_micro_kind(kind, mo));
+      }
     }
   }
   rep.add_rows(obs::micro_rows(results));
 
-  Table table({"kind", "episodes/s", "mean (us)", "p50", "p99", "sigma (us)"});
+  Table table({"kind", "threads", "episodes/s", "mean (us)", "p50", "p99",
+               "sigma (us)"});
   for (const obs::MicroResult& r : results)
     table.row()
         .add(r.kind)
+        .num(static_cast<double>(r.threads), 0)
         .num(r.episodes_per_sec, 0)
         .num(r.mean_us, 2)
         .num(r.p50_us, 2)
         .num(r.p99_us, 2)
         .num(r.sigma_us, 2);
   std::printf("%s\n", table.str().c_str());
+  mo.threads = static_cast<std::size_t>(thread_list.front());
 
   if (cli.has("trace")) {
     const ScopedPhaseTimer phase(rep.phases(), "trace");

@@ -7,6 +7,7 @@
 #include "barrier/combining_tree_barrier.hpp"
 #include "barrier/dissemination_barrier.hpp"
 #include "barrier/dynamic_placement_barrier.hpp"
+#include "barrier/flat_barrier.hpp"
 #include "barrier/mcs_local_spin_barrier.hpp"
 #include "barrier/mcs_tree_barrier.hpp"
 #include "barrier/sense_reversing_barrier.hpp"
@@ -25,6 +26,7 @@ const char* to_string(BarrierKind kind) noexcept {
     case BarrierKind::kMcsLocalSpin: return "mcs-local";
     case BarrierKind::kAdaptive: return "adaptive";
     case BarrierKind::kSenseReversing: return "sense";
+    case BarrierKind::kFlat: return "flat";
   }
   return "?";
 }
@@ -39,6 +41,7 @@ BarrierKind barrier_kind_from_string(const std::string& name) {
   if (name == "mcs-local") return BarrierKind::kMcsLocalSpin;
   if (name == "adaptive") return BarrierKind::kAdaptive;
   if (name == "sense") return BarrierKind::kSenseReversing;
+  if (name == "flat") return BarrierKind::kFlat;
   throw std::invalid_argument("unknown barrier kind: " + name);
 }
 
@@ -68,6 +71,11 @@ bool barrier_kind_release_counted(BarrierKind kind) noexcept {
     case BarrierKind::kTournament:
     case BarrierKind::kMcsLocalSpin:
       return false;  // derived from entry ordinals; quiescent-only
+    case BarrierKind::kFlat:
+      // Derived from per-thread *exit* ordinals (min over threads): the
+      // aggregate is conservative while an episode is in flight, so it
+      // gets the same quiescent-only treatment as the entry-counted kinds.
+      return false;
   }
   return false;
 }
@@ -84,6 +92,7 @@ bool barrier_kind_splits(BarrierKind kind) noexcept {
     case BarrierKind::kDissemination:
     case BarrierKind::kTournament:
     case BarrierKind::kMcsLocalSpin:
+    case BarrierKind::kFlat:
       return false;
   }
   return false;
@@ -158,6 +167,7 @@ std::unique_ptr<FuzzyBarrier> make_fuzzy_barrier(const BarrierConfig& config) {
     case BarrierKind::kDissemination:
     case BarrierKind::kTournament:
     case BarrierKind::kMcsLocalSpin:
+    case BarrierKind::kFlat:
       throw std::invalid_argument(
           std::string(to_string(config.kind)) +
           " barrier has no split arrive/wait phase");
@@ -174,6 +184,18 @@ std::unique_ptr<Barrier> make_barrier(const BarrierConfig& config) {
       return std::make_unique<TournamentBarrier>(config.participants);
     case BarrierKind::kMcsLocalSpin:
       return std::make_unique<McsLocalSpinBarrier>(config.participants);
+    case BarrierKind::kFlat:
+      // Compile-time-p fast path for the common power-of-two cohorts;
+      // every other size takes the runtime-generic episode loop.
+      switch (config.participants) {
+        case 2: return std::make_unique<FlatBarrierT<2>>();
+        case 4: return std::make_unique<FlatBarrierT<4>>();
+        case 8: return std::make_unique<FlatBarrierT<8>>();
+        case 16: return std::make_unique<FlatBarrierT<16>>();
+        case 32: return std::make_unique<FlatBarrierT<32>>();
+        case 64: return std::make_unique<FlatBarrierT<64>>();
+        default: return std::make_unique<FlatBarrier>(config.participants);
+      }
     default:
       return make_fuzzy_barrier(config);
   }

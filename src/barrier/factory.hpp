@@ -21,18 +21,19 @@ enum class BarrierKind {
   kMcsLocalSpin,
   kAdaptive,
   kSenseReversing,
+  kFlat,
 };
 
 /// Every kind the factory can build, in enum order. The conformance
 /// suite (src/check/) iterates this so a new kind is automatically
 /// pulled through the whole contract — extend this array when you
 /// extend the enum (docs/testing.md).
-inline constexpr std::array<BarrierKind, 9> kAllBarrierKinds = {
+inline constexpr std::array<BarrierKind, 10> kAllBarrierKinds = {
     BarrierKind::kCentral,        BarrierKind::kCombiningTree,
     BarrierKind::kMcsTree,        BarrierKind::kDynamicPlacement,
     BarrierKind::kDissemination,  BarrierKind::kTournament,
     BarrierKind::kMcsLocalSpin,   BarrierKind::kAdaptive,
-    BarrierKind::kSenseReversing,
+    BarrierKind::kSenseReversing, BarrierKind::kFlat,
 };
 
 [[nodiscard]] const char* to_string(BarrierKind kind) noexcept;

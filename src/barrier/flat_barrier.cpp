@@ -1,0 +1,194 @@
+#include "barrier/flat_barrier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/spin_wait.hpp"
+
+// GCC's libtsan does not model atomic_thread_fence (-Wtsan): the fence
+// form would make TSan miss the happens-before edge and report false
+// races on client data published across the barrier. Under TSan the
+// orders move onto the slot operations themselves — identical codegen
+// on x86-64/aarch64, stronger abstract-machine annotation.
+#if defined(__SANITIZE_THREAD__)
+#define IMBAR_FLAT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IMBAR_FLAT_TSAN 1
+#endif
+#endif
+#ifndef IMBAR_FLAT_TSAN
+#define IMBAR_FLAT_TSAN 0
+#endif
+
+namespace imbar {
+
+namespace {
+
+std::size_t log2_ceil(std::size_t n) {
+  std::size_t r = 0, v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++r;
+  }
+  return r;
+}
+
+inline void round_publish_fence() noexcept {
+#if !IMBAR_FLAT_TSAN
+  std::atomic_thread_fence(std::memory_order_release);
+#endif
+}
+
+inline void round_observe_fence() noexcept {
+#if !IMBAR_FLAT_TSAN
+  std::atomic_thread_fence(std::memory_order_acquire);
+#endif
+}
+
+inline void signal(std::atomic<std::uint8_t>& slot) noexcept {
+#if IMBAR_FLAT_TSAN
+  slot.store(1, std::memory_order_release);
+#else
+  slot.store(1, std::memory_order_relaxed);
+#endif
+}
+
+inline bool signalled(const std::atomic<std::uint8_t>& slot) noexcept {
+#if IMBAR_FLAT_TSAN
+  return slot.load(std::memory_order_acquire) != 0;
+#else
+  return slot.load(std::memory_order_relaxed) != 0;
+#endif
+}
+
+}  // namespace
+
+template <std::size_t P>
+WaitStatus FlatBarrier::episode(FlatBarrier& b, std::size_t tid,
+                                const WaitContext* ctx) {
+  const std::size_t n = P != 0 ? P : b.n_;
+  const std::size_t rounds = P != 0 ? log2_ceil(P) : b.rounds_;
+  const std::uint64_t ep = b.episode_[tid].value.load(std::memory_order_relaxed);
+  const std::size_t ph = static_cast<std::size_t>(ep & 1);
+  std::size_t dist = 1;
+  for (std::size_t r = 0; r < rounds; ++r, dist <<= 1) {
+    const std::size_t partner =
+        P != 0 ? ((tid + dist) & (P - 1)) : ((tid + dist) % n);
+    round_publish_fence();
+    signal(b.hot_[partner].slot[ph][r]);
+    auto& own = b.hot_[tid].slot[ph][r];
+    if (ctx != nullptr) {
+      const WaitStatus s = spin_until([&] { return signalled(own); }, *ctx);
+      if (s != WaitStatus::kReady) return s;  // torn: rebuild before reuse
+    } else {
+      // Short pause budget before yielding: a flat hop is one plain
+      // store away from being satisfied, so on a dedicated core the
+      // first few pause bursts cover it, and on an oversubscribed host
+      // (this repo's 1-core CI) the fast escalation hands the quantum
+      // to the signalling peer instead of burning it.
+      SpinWait w(8);
+      while (!signalled(own)) w.wait();
+    }
+    round_observe_fence();
+  }
+  // Episode complete: retire this parity's slots (they are next written
+  // by peers in episode ep+2, whose hop chain orders the rewrite after
+  // this clear) and publish completion for counters().
+  for (std::size_t r = 0; r < rounds; ++r)
+    b.hot_[tid].slot[ph][r].store(0, std::memory_order_relaxed);
+  b.episode_[tid].value.store(ep + 1, std::memory_order_relaxed);
+  return WaitStatus::kReady;
+}
+
+FlatBarrier::EpisodeFn FlatBarrier::select_episode_fn(
+    std::size_t n, bool force_generic) noexcept {
+  if (!force_generic) {
+    switch (n) {
+      case 2: return &FlatBarrier::episode<2>;
+      case 4: return &FlatBarrier::episode<4>;
+      case 8: return &FlatBarrier::episode<8>;
+      case 16: return &FlatBarrier::episode<16>;
+      case 32: return &FlatBarrier::episode<32>;
+      case 64: return &FlatBarrier::episode<64>;
+      default: break;
+    }
+  }
+  return &FlatBarrier::episode<0>;
+}
+
+FlatBarrier::FlatBarrier(std::size_t participants, bool force_generic)
+    : n_(participants),
+      rounds_(log2_ceil(participants)),
+      force_generic_(force_generic),
+      fn_(select_episode_fn(participants, force_generic)),
+      hot_(participants),
+      episode_(participants) {
+  if (participants == 0)
+    throw std::invalid_argument("FlatBarrier: zero participants");
+  if (rounds_ > flat_detail::kMaxRounds)
+    throw std::invalid_argument("FlatBarrier: participants exceed 2^32");
+  for (auto& h : hot_)
+    for (auto& bank : h.slot)
+      for (auto& s : bank) s.store(0, std::memory_order_relaxed);
+}
+
+void FlatBarrier::arrive_and_wait(std::size_t tid) {
+  fn_(*this, tid, nullptr);
+}
+
+WaitStatus FlatBarrier::arrive_and_wait_until(std::size_t tid,
+                                              const WaitContext& ctx) {
+  return fn_(*this, tid, &ctx);
+}
+
+bool FlatBarrier::compiled_fast_path() const noexcept {
+  return fn_ != &FlatBarrier::episode<0>;
+}
+
+BarrierCounters FlatBarrier::counters() const {
+  BarrierCounters c;
+  std::uint64_t min_ep = ~0ULL;
+  for (std::size_t t = 0; t < n_; ++t)
+    min_ep = std::min(min_ep, episode_[t].value.load(std::memory_order_relaxed));
+  const std::uint64_t ep = n_ ? min_ep : 0;
+  c.episodes = ep + detached_.episodes;
+  c.updates = ep * n_ * rounds_ + detached_.updates;
+  return c;
+}
+
+void FlatBarrier::detach_quiescent(std::size_t tid) {
+  if (tid >= n_)
+    throw std::invalid_argument(
+        "FlatBarrier::detach_quiescent: tid out of range");
+  if (n_ <= 1)
+    throw std::logic_error("FlatBarrier::detach_quiescent: last participant");
+  std::uint64_t min_ep = ~0ULL;
+  for (std::size_t t = 0; t < n_; ++t)
+    min_ep = std::min(min_ep, episode_[t].value.load(std::memory_order_relaxed));
+  detached_.episodes += min_ep;
+  detached_.updates += min_ep * n_ * rounds_;
+  --n_;
+  // Round re-derivation, as in DisseminationBarrier: partner distances
+  // renumber with the shrunken cohort, so all slot state restarts from
+  // zero (only the n_ prefix of the original storage is used) and the
+  // episode loop is re-selected for the new size.
+  rounds_ = log2_ceil(n_);
+  fn_ = select_episode_fn(n_, force_generic_);
+  for (auto& h : hot_)
+    for (auto& bank : h.slot)
+      for (auto& s : bank) s.store(0, std::memory_order_relaxed);
+  for (auto& e : episode_) e.value.store(0, std::memory_order_relaxed);
+}
+
+void FlatBarrier::check_structure() const {
+  if (n_ == 0) throw std::logic_error("FlatBarrier: empty cohort");
+  if (rounds_ != log2_ceil(n_))
+    throw std::logic_error("FlatBarrier: stale round derivation");
+  if (hot_.size() < n_ || episode_.size() < n_)
+    throw std::logic_error("FlatBarrier: slot storage too small");
+  if (fn_ != select_episode_fn(n_, force_generic_))
+    throw std::logic_error("FlatBarrier: stale episode-loop selection");
+}
+
+}  // namespace imbar

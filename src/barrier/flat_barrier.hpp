@@ -1,0 +1,132 @@
+// Flat fence-based dissemination barrier — the no-RMW fast path.
+//
+// Same hop schedule as DisseminationBarrier (ceil(log2 p) rounds; in
+// round r thread i signals thread (i + 2^r) mod p and waits for its own
+// signal), but the signalling fabric is the devastator idiom instead of
+// per-hop fetch_add:
+//
+//   * One cache-line-aligned hot line per thread (`flat_detail::HotSlots`)
+//     holding a two-phase slot array: slot[episode & 1][round]. A signal
+//     is a plain byte store of 1 into the *partner's* line; the waiter
+//     spins on a plain byte load of its *own* line. No read-modify-write
+//     atomics anywhere on the hot path.
+//   * One atomic_thread_fence(release)/(acquire) pair per round brackets
+//     the store/load. The release fence before the signal store and the
+//     acquire fence after the observed load form a fence-to-fence
+//     synchronizes-with edge per hop, and happens-before is transitive
+//     across hops — which is exactly the chain a dissemination release
+//     needs (see docs/barriers.md for the full argument, including why
+//     one pair per *episode* would not be sound).
+//   * Two-phase (episode-parity) slots let a fast thread start episode
+//     e+1 while slow peers are still draining episode e: the parities
+//     use disjoint bytes, and a slot of parity ph is only re-signalled
+//     in episode e+2, by which time the hop chain of episode e+1 proves
+//     its owner cleared it at the end of episode e.
+//   * The round loop is specialized at compile time for common
+//     power-of-two cohorts (FlatBarrierT<P> / the factory's kFlat
+//     dispatch): p and the round count become constants, the `% p`
+//     partner arithmetic becomes an and-mask, and the loop unrolls.
+//     Every other p takes the runtime-generic path — same protocol,
+//     same state, one function-pointer indirection per episode.
+//
+// Under ThreadSanitizer the fences are replaced by per-operation
+// release stores / acquire loads: GCC's libtsan does not model
+// atomic_thread_fence (-Wtsan), so the fence form would report false
+// races in *client* code that publishes data across the barrier. The
+// per-op form compiles to the same plain mov on x86-64/aarch64; only
+// the abstract-machine annotation is strengthened.
+//
+// Like the RMW dissemination kind, a deadline/cancel exit mid-episode
+// leaves this thread's signals already published: the instance is torn
+// and must be rebuilt before reuse (docs/robustness.md taxonomy).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "barrier/barrier.hpp"
+#include "barrier/membership_ops.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar {
+
+namespace flat_detail {
+
+/// Upper bound on hop rounds: 32 rounds covers p up to 2^32.
+inline constexpr std::size_t kMaxRounds = 32;
+
+/// One thread's hot line: two episode-parity banks of per-round signal
+/// bytes, exactly one cache line so peers' signal stores to different
+/// threads never collide on a line.
+struct alignas(kCacheLineSize) HotSlots {
+  std::atomic<std::uint8_t> slot[2][kMaxRounds];
+};
+static_assert(sizeof(HotSlots) == kCacheLineSize);
+
+}  // namespace flat_detail
+
+class FlatBarrier : public Barrier, public MembershipOps {
+ public:
+  /// `force_generic` pins the runtime-p episode loop even when a
+  /// compile-time specialization exists for `participants` — the
+  /// differential tests compare the two paths on identical cohorts.
+  explicit FlatBarrier(std::size_t participants, bool force_generic = false);
+
+  void arrive_and_wait(std::size_t tid) override;
+  WaitStatus arrive_and_wait_until(std::size_t tid,
+                                   const WaitContext& ctx) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override { return n_; }
+  [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+  /// True when episodes run through a compile-time-p specialization
+  /// (the cohort size is one of the factory's compiled powers of two).
+  [[nodiscard]] bool compiled_fast_path() const noexcept;
+  [[nodiscard]] BarrierCounters counters() const override;
+
+  // MembershipOps: shrink by round re-derivation, exactly like
+  // DisseminationBarrier — partner arithmetic renumbers with the
+  // smaller cohort, all slot/episode state restarts from zero, and the
+  // episode function is re-selected (a detach off a compiled power of
+  // two lands on the generic path).
+  void detach_quiescent(std::size_t tid) override;
+  void check_structure() const override;
+
+ private:
+  /// Runs one full episode for `tid`; ctx == nullptr is the unbounded
+  /// hot path. P > 0 instantiations bake in the cohort size.
+  using EpisodeFn = WaitStatus (*)(FlatBarrier&, std::size_t,
+                                   const WaitContext*);
+
+  template <std::size_t P>
+  static WaitStatus episode(FlatBarrier& b, std::size_t tid,
+                            const WaitContext* ctx);
+  static EpisodeFn select_episode_fn(std::size_t n,
+                                     bool force_generic) noexcept;
+
+  std::size_t n_;
+  std::size_t rounds_;
+  bool force_generic_;
+  EpisodeFn fn_;
+  // Sized for the construction-time cohort; after detaches only the n_
+  // prefix is used.
+  std::vector<flat_detail::HotSlots> hot_;
+  // Per thread, owner-incremented at episode *completion*; atomic so
+  // counters() may read concurrently. Low bit doubles as slot parity.
+  std::vector<PaddedAtomic<std::uint64_t>> episode_;
+  BarrierCounters detached_{};  // folded pre-detach contributions
+};
+
+/// Compile-time-p flat barrier: the cohort size is a template constant,
+/// so the factory's kFlat dispatch (and any embedder that knows p at
+/// build time) gets the fully unrolled episode loop by construction.
+template <std::size_t P>
+class FlatBarrierT final : public FlatBarrier {
+  static_assert(P >= 2 && (P & (P - 1)) == 0,
+                "FlatBarrierT<P>: P must be a power of two >= 2");
+
+ public:
+  FlatBarrierT() : FlatBarrier(P) {}
+};
+
+}  // namespace imbar

@@ -1,6 +1,6 @@
 // Factory-driven conformance contract for every BarrierKind.
 //
-// One set of properties, executed identically against all nine kinds —
+// One set of properties, executed identically against all ten kinds —
 // no per-barrier special cases. Capability differences (does the kind
 // split into arrive/wait? does degree shape it?) are discovered through
 // the factory's own queries (barrier_kind_splits /

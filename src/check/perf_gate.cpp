@@ -1,0 +1,216 @@
+#include "check/perf_gate.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "util/table.hpp"
+
+namespace imbar::check {
+
+const char* to_string(PerfVerdict v) noexcept {
+  switch (v) {
+    case PerfVerdict::kInBand: return "in-band";
+    case PerfVerdict::kAdvisory: return "advisory";
+    case PerfVerdict::kBreach: return "breach";
+    case PerfVerdict::kMissing: return "missing";
+  }
+  return "?";
+}
+
+bool PerfGateReport::passed() const noexcept {
+  return std::none_of(findings.begin(), findings.end(), [](const auto& f) {
+    return f.verdict == PerfVerdict::kBreach ||
+           f.verdict == PerfVerdict::kMissing;
+  });
+}
+
+std::size_t PerfGateReport::breaches() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const auto& f) {
+        return f.verdict == PerfVerdict::kBreach;
+      }));
+}
+
+std::string PerfGateReport::summary() const {
+  Table table({"kind", "threads", "mean (us)", "band", "x", "p99 (us)", "band",
+               "x", "verdict"});
+  for (const PerfFinding& f : findings) {
+    table.row()
+        .add(f.kind)
+        .num(static_cast<double>(f.threads), 0)
+        .num(f.fresh_mean_us, 2)
+        .num(f.envelope_mean_us, 2)
+        .num(f.mean_ratio, 2)
+        .num(f.fresh_p99_us, 2)
+        .num(f.envelope_p99_us, 2)
+        .num(f.p99_ratio, 2)
+        .add(f.note.empty() ? to_string(f.verdict)
+                            : std::string(to_string(f.verdict)) + ": " +
+                                  f.note);
+  }
+  std::string out = table.str();
+  out += passed() ? "\n  perf gate  : PASS\n" : "\n  perf gate  : FAIL\n";
+  return out;
+}
+
+namespace {
+
+double row_number(const obs::json::Value& row, const std::string& key,
+                  std::size_t index) {
+  if (!row.has_number(key))
+    throw std::runtime_error("perf-gate: rows[" + std::to_string(index) +
+                             "] missing number \"" + key + "\"");
+  return row.find(key)->number;
+}
+
+}  // namespace
+
+std::vector<PerfEnvelope> load_envelopes(const obs::json::Value& doc) {
+  (void)obs::validate_bench_json(doc);  // throws on schema violations
+  const obs::json::Value& rows = *doc.find("rows");
+  std::vector<PerfEnvelope> out;
+  std::map<std::pair<std::string, std::uint64_t>, bool> seen;
+  for (std::size_t i = 0; i < rows.array.size(); ++i) {
+    const obs::json::Value& row = rows.array[i];
+    if (!row.has_string("kind"))
+      throw std::runtime_error("perf-gate: rows[" + std::to_string(i) +
+                               "] missing string \"kind\"");
+    PerfEnvelope e;
+    e.kind = row.find("kind")->string;
+    e.threads = static_cast<std::uint64_t>(row_number(row, "threads", i));
+    e.episodes = static_cast<std::uint64_t>(row_number(row, "episodes", i));
+    e.mean_us = row_number(row, "mean_us", i);
+    e.p99_us = row_number(row, "p99_us", i);
+    if (row.has_number("episodes_per_sec"))
+      e.episodes_per_sec = row.find("episodes_per_sec")->number;
+    if (!seen.emplace(std::make_pair(e.kind, e.threads), true).second)
+      throw std::runtime_error("perf-gate: duplicate (kind, threads) pair " +
+                               e.kind + "/" + std::to_string(e.threads));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<PerfEnvelope> envelopes_from_results(
+    const std::vector<obs::MicroResult>& results) {
+  std::vector<PerfEnvelope> out;
+  out.reserve(results.size());
+  for (const obs::MicroResult& r : results) {
+    PerfEnvelope e;
+    e.kind = r.kind;
+    e.threads = r.threads;
+    e.episodes = r.episodes;
+    e.mean_us = r.mean_us;
+    e.p99_us = r.p99_us;
+    e.episodes_per_sec = r.episodes_per_sec;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+PerfGateReport gate_compare(const std::vector<PerfEnvelope>& envelopes,
+                            const std::vector<PerfEnvelope>& fresh,
+                            const PerfGateOptions& opts) {
+  std::map<std::pair<std::string, std::uint64_t>, const PerfEnvelope*> samples;
+  for (const PerfEnvelope& f : fresh)
+    samples.emplace(std::make_pair(f.kind, f.threads), &f);
+
+  PerfGateReport report;
+  for (const PerfEnvelope& env : envelopes) {
+    PerfFinding fnd;
+    fnd.kind = env.kind;
+    fnd.threads = env.threads;
+    fnd.envelope_mean_us = env.mean_us;
+    fnd.envelope_p99_us = env.p99_us;
+
+    const auto it = samples.find(std::make_pair(env.kind, env.threads));
+    if (it == samples.end()) {
+      fnd.verdict = PerfVerdict::kMissing;
+      fnd.note = "pair absent from fresh run";
+      report.findings.push_back(std::move(fnd));
+      continue;
+    }
+    const PerfEnvelope& got = *it->second;
+    samples.erase(it);
+    fnd.fresh_mean_us = got.mean_us;
+    fnd.fresh_p99_us = got.p99_us;
+    fnd.fresh_episodes_per_sec = got.episodes_per_sec;
+    fnd.mean_ratio = env.mean_us > 0.0 ? got.mean_us / env.mean_us : 0.0;
+    fnd.p99_ratio = env.p99_us > 0.0 ? got.p99_us / env.p99_us : 0.0;
+
+    if (env.mean_us <= 0.0 || env.p99_us <= 0.0) {
+      fnd.verdict = PerfVerdict::kAdvisory;
+      fnd.note = "degenerate envelope band";
+    } else if (env.episodes < opts.min_samples) {
+      fnd.verdict = PerfVerdict::kAdvisory;
+      fnd.note = "envelope under-sampled (" + std::to_string(env.episodes) +
+                 " < " + std::to_string(opts.min_samples) + " episodes)";
+    } else if (fnd.mean_ratio > opts.mean_tolerance) {
+      fnd.verdict = PerfVerdict::kBreach;
+      fnd.note = "mean over " + Table::fmt(opts.mean_tolerance, 2) + "x band";
+    } else if (fnd.p99_ratio > opts.p99_tolerance) {
+      fnd.verdict = PerfVerdict::kBreach;
+      fnd.note = "p99 over " + Table::fmt(opts.p99_tolerance, 2) + "x band";
+    } else {
+      fnd.verdict = PerfVerdict::kInBand;
+    }
+    report.findings.push_back(std::move(fnd));
+  }
+
+  // Fresh pairs with no envelope: reported (a new kind shows up in the
+  // trend from its first run) but advisory until an envelope lands.
+  for (const PerfEnvelope& f : fresh) {
+    if (samples.find(std::make_pair(f.kind, f.threads)) == samples.end())
+      continue;
+    PerfFinding fnd;
+    fnd.kind = f.kind;
+    fnd.threads = f.threads;
+    fnd.fresh_mean_us = f.mean_us;
+    fnd.fresh_p99_us = f.p99_us;
+    fnd.fresh_episodes_per_sec = f.episodes_per_sec;
+    fnd.verdict = PerfVerdict::kAdvisory;
+    fnd.note = "no committed envelope";
+    report.findings.push_back(std::move(fnd));
+  }
+  return report;
+}
+
+std::string trend_line(const PerfGateReport& report, std::uint64_t unix_ts) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kTrendSchema);
+  w.kv("unix_ts", unix_ts);
+  w.kv("passed", report.passed());
+  w.kv("breaches", static_cast<std::uint64_t>(report.breaches()));
+  w.key("entries").begin_array();
+  for (const PerfFinding& f : report.findings) {
+    w.begin_object();
+    w.kv("kind", f.kind);
+    w.kv("threads", f.threads);
+    w.kv("verdict", to_string(f.verdict));
+    w.kv("mean_us", f.fresh_mean_us);
+    w.kv("envelope_mean_us", f.envelope_mean_us);
+    w.kv("mean_ratio", f.mean_ratio);
+    w.kv("p99_us", f.fresh_p99_us);
+    w.kv("envelope_p99_us", f.envelope_p99_us);
+    w.kv("p99_ratio", f.p99_ratio);
+    w.kv("episodes_per_sec", f.fresh_episodes_per_sec);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void append_trend(const std::string& path, const PerfGateReport& report,
+                  std::uint64_t unix_ts) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw std::runtime_error("perf-gate: cannot open " + path);
+  out << trend_line(report, unix_ts) << '\n';
+  if (!out) throw std::runtime_error("perf-gate: write failed " + path);
+}
+
+}  // namespace imbar::check

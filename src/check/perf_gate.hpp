@@ -1,0 +1,122 @@
+// Performance-regression gate over "imbar.bench.v1" micro telemetry.
+//
+// Speed is a tested property: the repository commits an envelope
+// document (BENCH_micro.json — per-(kind, threads) mean/p99 episode
+// latency bands from a known-good run), and the gate compares a fresh
+// measurement against it. A fresh sample breaches when it exceeds the
+// envelope by more than the configured tolerance factor; breaches fail
+// the `perf-gate` ctest label and the CI step, so a PR that slows a
+// barrier down must either fix the regression or update the envelope
+// deliberately (CONTRIBUTING.md).
+//
+// The comparison itself is pure data -> data (no clocks, no threads):
+// tests drive it with canned JSON, and the bench_gate binary feeds it
+// live obs::run_micro_kind() measurements. Every gated run can also be
+// appended to a trajectory file ("imbar.trend.v1" JSON lines), so the
+// bench history accumulates across CI runs instead of each run
+// overwriting the last.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/micro_harness.hpp"
+
+namespace imbar::check {
+
+/// Schema identifier for trajectory files (one JSON object per line).
+inline constexpr const char* kTrendSchema = "imbar.trend.v1";
+
+/// One (kind, threads) latency band. The same struct carries both
+/// sides of the comparison: committed envelopes and fresh samples.
+struct PerfEnvelope {
+  std::string kind;                // factory name, e.g. "flat"
+  std::uint64_t threads = 0;
+  std::uint64_t episodes = 0;      // per-thread sample count backing the band
+  double mean_us = 0.0;
+  double p99_us = 0.0;
+  double episodes_per_sec = 0.0;   // informational (trend), not gated
+};
+
+struct PerfGateOptions {
+  /// Breach when fresh mean_us > envelope mean_us * mean_tolerance.
+  /// Exactly at the bound passes. Latency bands, not confidence
+  /// intervals: generous by design, so only real regressions fire.
+  double mean_tolerance = 3.0;
+  /// Same for p99_us (tails are noisier, so the default is wider).
+  double p99_tolerance = 5.0;
+  /// Bands backed by fewer envelope episodes than this are advisory:
+  /// compared and reported, but never a breach.
+  std::uint64_t min_samples = 200;
+};
+
+enum class PerfVerdict {
+  kInBand,    // within tolerance
+  kAdvisory,  // compared but not enforceable (under-sampled envelope,
+              // degenerate band, or a fresh pair with no envelope)
+  kBreach,    // out of tolerance — fails the gate
+  kMissing,   // envelope pair absent from the fresh run — fails the
+              // gate (a kind silently dropping out of the bench is a
+              // coverage regression, not a pass)
+};
+
+[[nodiscard]] const char* to_string(PerfVerdict v) noexcept;
+
+/// One compared (kind, threads) pair.
+struct PerfFinding {
+  std::string kind;
+  std::uint64_t threads = 0;
+  PerfVerdict verdict = PerfVerdict::kInBand;
+  double envelope_mean_us = 0.0;
+  double fresh_mean_us = 0.0;
+  double mean_ratio = 0.0;         // fresh / envelope (0 when undefined)
+  double envelope_p99_us = 0.0;
+  double fresh_p99_us = 0.0;
+  double p99_ratio = 0.0;
+  double fresh_episodes_per_sec = 0.0;
+  std::string note;                // why advisory / which bound broke
+};
+
+struct PerfGateReport {
+  std::vector<PerfFinding> findings;
+
+  [[nodiscard]] bool passed() const noexcept;       // no breach, no missing
+  [[nodiscard]] std::size_t breaches() const noexcept;
+  /// Human-readable per-pair table plus the pass/fail line.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Extract (kind, threads) envelopes from a parsed "imbar.bench.v1"
+/// document (validated via obs::validate_bench_json first). Every row
+/// must carry kind/threads/episodes/mean_us/p99_us; duplicate
+/// (kind, threads) pairs are rejected. Throws std::runtime_error.
+[[nodiscard]] std::vector<PerfEnvelope> load_envelopes(
+    const obs::json::Value& doc);
+
+/// Envelope rows from in-process measurements (the bench_gate binary's
+/// live path; also how tests fabricate fresh samples).
+[[nodiscard]] std::vector<PerfEnvelope> envelopes_from_results(
+    const std::vector<obs::MicroResult>& results);
+
+/// Compare a fresh run against the committed envelopes. Every envelope
+/// pair yields a finding (kMissing if the fresh run lacks it); fresh
+/// pairs without an envelope are reported as advisory.
+[[nodiscard]] PerfGateReport gate_compare(
+    const std::vector<PerfEnvelope>& envelopes,
+    const std::vector<PerfEnvelope>& fresh,
+    const PerfGateOptions& opts = {});
+
+/// One "imbar.trend.v1" trajectory line for this run (no trailing
+/// newline). `unix_ts` is seconds since the epoch, supplied by the
+/// caller so the serialization stays deterministic under test.
+[[nodiscard]] std::string trend_line(const PerfGateReport& report,
+                                     std::uint64_t unix_ts);
+
+/// Append trend_line(report) + '\n' to `path` (created if absent).
+/// Throws std::runtime_error on I/O failure.
+void append_trend(const std::string& path, const PerfGateReport& report,
+                  std::uint64_t unix_ts);
+
+}  // namespace imbar::check

@@ -6,7 +6,7 @@
 // timestamps. The decorator implements the Barrier (resp. FuzzyBarrier)
 // interface itself, so it composes with everything that consumes those:
 // the conformance contract runs its full property set over instrumented
-// wrappers of all nine kinds, and robust::RobustBarrier rebuilds
+// wrappers of all ten kinds, and robust::RobustBarrier rebuilds
 // instrumented inners through its inner_factory hook
 // (instrumenting_inner_factory below).
 //
@@ -136,7 +136,7 @@ struct InstrumentOptions {
 };
 
 /// Factory hook: any configuration make_barrier accepts, wrapped. All
-/// nine kinds compose — instrumentation needs no capability beyond the
+/// ten kinds compose — instrumentation needs no capability beyond the
 /// Barrier interface itself (use make_instrumented_fuzzy for the
 /// split-phase capability, gated by barrier_kind_splits like
 /// make_fuzzy_barrier).

@@ -1,8 +1,10 @@
 #include "obs/micro_harness.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
 #include <numeric>
+#include <set>
 #include <stdexcept>
 
 #include "exec/task_pool.hpp"
@@ -53,6 +55,9 @@ void check_flat_object(const json::Value& v, const std::string& what) {
     if (!scalar)
       throw std::runtime_error("bench: " + what + "." + k +
                                " is not a scalar cell");
+    if (member.is_number() && !std::isfinite(member.number))
+      throw std::runtime_error("bench: " + what + "." + k +
+                               " is not a finite number");
   }
 }
 
@@ -191,11 +196,21 @@ std::size_t validate_bench_json(const json::Value& doc) {
   if (const json::Value* phases = doc.find("phases")) {
     if (!phases->is_array())
       throw std::runtime_error("bench: phases is not an array");
+    std::set<std::string> phase_names;
     for (const json::Value& ph : phases->array) {
       if (!ph.is_object() || !ph.has_string("name") ||
           !ph.has_number("elapsed_s"))
         throw std::runtime_error(
             "bench: phase entry needs name + elapsed_s");
+      const std::string& name = ph.find("name")->string;
+      const double elapsed_s = ph.find("elapsed_s")->number;
+      if (!std::isfinite(elapsed_s) || elapsed_s < 0.0)
+        throw std::runtime_error("bench: phase \"" + name +
+                                 "\" elapsed_s must be finite and "
+                                 "non-negative");
+      if (!phase_names.insert(name).second)
+        throw std::runtime_error("bench: duplicate phase name \"" + name +
+                                 "\"");
     }
   }
   const json::Value* rows = doc.find("rows");

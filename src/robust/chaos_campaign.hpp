@@ -172,7 +172,7 @@ class ChaosCampaign {
     return specs_;
   }
 
-  /// The canned all-nine-kinds matrix: per kind, one mixed scenario
+  /// The canned all-ten-kinds matrix: per kind, one mixed scenario
   /// (random stragglers + one burst + oscillating laggard) with the
   /// deadline budget doubled for cooperative-release kinds. `heavy`
   /// raises phases and disturbance intensity (nightly matrix); the

@@ -18,6 +18,8 @@
 #include "barrier/dissemination_barrier.hpp"
 #include "barrier/dynamic_placement_barrier.hpp"
 #include "barrier/factory.hpp"
+#include "barrier/flat_barrier.hpp"
+#include "barrier/membership_ops.hpp"
 #include "barrier/mcs_tree_barrier.hpp"
 #include "util/cacheline.hpp"
 #include "util/prng.hpp"
@@ -85,7 +87,11 @@ INSTANTIATE_TEST_SUITE_P(
         BarrierCase{"tournament_6", BarrierKind::kTournament, 6, 0},
         BarrierCase{"mcs_local_7", BarrierKind::kMcsLocalSpin, 7, 0},
         BarrierCase{"adaptive_6", BarrierKind::kAdaptive, 6, 0},
-        BarrierCase{"sense_5", BarrierKind::kSenseReversing, 5, 0}),
+        BarrierCase{"sense_5", BarrierKind::kSenseReversing, 5, 0},
+        // flat_5 exercises the runtime-generic episode loop, flat_8 the
+        // compile-time FlatBarrierT<8> fast path the factory dispatches.
+        BarrierCase{"flat_5", BarrierKind::kFlat, 5, 0},
+        BarrierCase{"flat_8", BarrierKind::kFlat, 8, 0}),
     [](const auto& info) { return info.param.name; });
 
 class FuzzyCorrectness : public ::testing::TestWithParam<BarrierCase> {};
@@ -245,13 +251,16 @@ TEST(Barriers, ReleaseCountedAndCooperativeReleaseQueries) {
   // Entry-counted kinds (dissemination, tournament, mcs-local) bump on
   // entry and prove nothing mid-episode; those same kinds release
   // cooperatively (waiters forward peers' releases), which is what
-  // makes their counters entry-driven in the first place.
+  // makes their counters entry-driven in the first place. Flat derives
+  // episodes from per-thread exit ordinals — conservative mid-episode,
+  // so it gets the same quiescent-only (non-release-counted) treatment.
   for (auto kind : kAllBarrierKinds) {
     const bool cooperative = barrier_kind_cooperative_release(kind);
-    const bool entry_counted = kind == BarrierKind::kDissemination ||
-                               kind == BarrierKind::kTournament ||
-                               kind == BarrierKind::kMcsLocalSpin;
-    EXPECT_EQ(barrier_kind_release_counted(kind), !entry_counted)
+    const bool ordinal_counted = kind == BarrierKind::kDissemination ||
+                                 kind == BarrierKind::kTournament ||
+                                 kind == BarrierKind::kMcsLocalSpin ||
+                                 kind == BarrierKind::kFlat;
+    EXPECT_EQ(barrier_kind_release_counted(kind), !ordinal_counted)
         << to_string(kind);
     EXPECT_EQ(cooperative, kind == BarrierKind::kTournament ||
                                kind == BarrierKind::kMcsLocalSpin)
@@ -266,6 +275,7 @@ TEST(Barriers, ConstructorValidation) {
   EXPECT_THROW(McsTreeBarrier(8, 0), std::invalid_argument);
   EXPECT_THROW(DynamicPlacementBarrier(8, 1), std::invalid_argument);
   EXPECT_THROW(DisseminationBarrier(0), std::invalid_argument);
+  EXPECT_THROW(FlatBarrier(0), std::invalid_argument);
 }
 
 TEST(Barriers, TreeBarriersExposeTopology) {
@@ -281,6 +291,125 @@ TEST(Barriers, DisseminationRoundsAreLogP) {
   EXPECT_EQ(DisseminationBarrier(5).rounds(), 3u);
   EXPECT_EQ(DisseminationBarrier(2).rounds(), 1u);
   EXPECT_EQ(DisseminationBarrier(1).rounds(), 0u);
+}
+
+TEST(FlatBarrier, RoundsAreLogPAndFastPathIsCompiledPowersOfTwo) {
+  EXPECT_EQ(FlatBarrier(8).rounds(), 3u);
+  EXPECT_EQ(FlatBarrier(5).rounds(), 3u);
+  EXPECT_EQ(FlatBarrier(2).rounds(), 1u);
+  EXPECT_EQ(FlatBarrier(1).rounds(), 0u);
+  for (std::size_t p : {2u, 4u, 8u, 16u, 32u, 64u})
+    EXPECT_TRUE(FlatBarrier(p).compiled_fast_path()) << p;
+  EXPECT_FALSE(FlatBarrier(5).compiled_fast_path());
+  EXPECT_FALSE(FlatBarrier(128).compiled_fast_path());  // pow2, not compiled
+  EXPECT_FALSE(FlatBarrier(8, /*force_generic=*/true).compiled_fast_path());
+  EXPECT_TRUE(FlatBarrierT<8>().compiled_fast_path());
+}
+
+TEST(FlatBarrier, ReuseCountsEpisodesAndUpdatesExactly) {
+  FlatBarrierT<4> b;
+  run_threads(4, [&](std::size_t tid) {
+    for (int i = 0; i < 300; ++i) b.arrive_and_wait(tid);
+  });
+  const auto c = b.counters();
+  EXPECT_EQ(c.episodes, 300u);
+  // log2(4) = 2 rounds, one signal store per thread per round.
+  EXPECT_EQ(c.updates, 300u * 4u * 2u);
+  EXPECT_EQ(b.participants(), 4u);
+}
+
+TEST(FlatBarrier, CompileTimeAndRuntimePathsAgree) {
+  // The same phase-counter workload through FlatBarrierT<8> and a
+  // force-generic FlatBarrier(8): identical protocol state machines,
+  // so both must complete every episode with identical counters.
+  FlatBarrierT<8> compiled;
+  FlatBarrier generic(8, /*force_generic=*/true);
+  ASSERT_TRUE(compiled.compiled_fast_path());
+  ASSERT_FALSE(generic.compiled_fast_path());
+  ASSERT_EQ(compiled.rounds(), generic.rounds());
+
+  std::vector<PaddedAtomic<int>> phase(8);
+  std::atomic<bool> violation{false};
+  run_threads(8, [&](std::size_t tid) {
+    Xoshiro256 rng = Xoshiro256::substream(4242, tid);
+    for (int p = 1; p <= 250; ++p) {
+      if (rng.below(16) == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(rng.below(100)));
+      phase[tid].value.store(p, std::memory_order_release);
+      compiled.arrive_and_wait(tid);
+      generic.arrive_and_wait(tid);
+      for (std::size_t o = 0; o < 8; ++o)
+        if (phase[o].value.load(std::memory_order_acquire) < p)
+          violation.store(true, std::memory_order_relaxed);
+      compiled.arrive_and_wait(tid);  // protect the check phase
+      generic.arrive_and_wait(tid);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(compiled.counters().episodes, generic.counters().episodes);
+  EXPECT_EQ(compiled.counters().updates, generic.counters().updates);
+}
+
+TEST(FlatBarrier, DeadlineAndCancelTaxonomy) {
+  using namespace std::chrono_literals;
+  // Complete cohort: generous deadline returns kReady.
+  {
+    FlatBarrierT<2> b;
+    WaitStatus s0{}, s1{};
+    run_threads(2, [&](std::size_t tid) {
+      const WaitStatus s = b.arrive_and_wait_for(tid, 5s);
+      (tid == 0 ? s0 : s1) = s;
+    });
+    EXPECT_EQ(s0, WaitStatus::kReady);
+    EXPECT_EQ(s1, WaitStatus::kReady);
+  }
+  // Withheld peer: the deadline fires. The instance is torn afterwards
+  // (this thread's round signals are already published) and must be
+  // rebuilt — the dissemination-family taxonomy (docs/robustness.md).
+  {
+    FlatBarrierT<2> b;
+    EXPECT_EQ(b.arrive_and_wait_for(0, 5ms), WaitStatus::kTimeout);
+    EXPECT_EQ(b.counters().episodes, 0u);
+  }
+  // A raised cancel flag beats a distant deadline.
+  {
+    FlatBarrierT<2> b;
+    std::atomic<bool> cancel{true};
+    const WaitContext ctx = WaitContext::after(10s, &cancel);
+    EXPECT_EQ(b.arrive_and_wait_until(0, ctx), WaitStatus::kCancelled);
+  }
+}
+
+TEST(FlatBarrier, DetachReselectsLoopAndKeepsCountersMonotone) {
+  FlatBarrierT<8> b;
+  run_threads(8, [&](std::size_t tid) {
+    for (int i = 0; i < 100; ++i) b.arrive_and_wait(tid);
+  });
+  const auto before = b.counters();
+  EXPECT_EQ(before.episodes, 100u);
+
+  MembershipOps* ops = membership_ops(&b);
+  ASSERT_NE(ops, nullptr);
+  EXPECT_TRUE(ops->supports_detach());
+  ops->detach_quiescent(3);
+  EXPECT_NO_THROW(ops->check_structure());
+  EXPECT_EQ(b.participants(), 7u);
+  EXPECT_EQ(b.rounds(), 3u);  // ceil(log2 7)
+  // 7 is not a compiled size: the detach re-selected the generic loop.
+  EXPECT_FALSE(b.compiled_fast_path());
+
+  run_threads(7, [&](std::size_t tid) {
+    for (int i = 0; i < 50; ++i) b.arrive_and_wait(tid);
+  });
+  const auto after = b.counters();
+  EXPECT_EQ(after.episodes, 150u);  // folded remainder + fresh episodes
+  EXPECT_GT(after.updates, before.updates);
+
+  // Detaching the last survivor is refused.
+  FlatBarrierT<2> two;
+  MembershipOps* two_ops = membership_ops(&two);
+  two_ops->detach_quiescent(1);
+  EXPECT_THROW(two_ops->detach_quiescent(0), std::logic_error);
 }
 
 TEST(Barriers, ManyEpisodesStress) {

@@ -60,7 +60,7 @@ TEST(ChaosCampaign, SameSeedReplaysDifferentSeedDiverges) {
   EXPECT_NE(a.event_log(), c.event_log());
 }
 
-TEST(ChaosCampaign, NineKindSmokeRunsBothLegs) {
+TEST(ChaosCampaign, TenKindSmokeRunsBothLegs) {
   // The PR-CI smoke: every BarrierKind through one mixed scenario with
   // the real-thread leg on, auditing the degradation invariants.
   const ChaosCampaign campaign(0x5D0CE11ULL,

@@ -1,4 +1,4 @@
-// Nightly chaos-campaign stress: the heavy canned matrix (all nine
+// Nightly chaos-campaign stress: the heavy canned matrix (all ten
 // kinds, raised disturbance intensity) across several seeds with both
 // legs live, plus the replay contract at heavy scale. Runs under the
 // `stress` ctest label (nightly TSan chaos job); excluded from the

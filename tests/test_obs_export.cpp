@@ -3,8 +3,11 @@
 // checks of the committed artifacts (BENCH_micro.json, trace sample).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -285,19 +288,80 @@ TEST(BenchSchema, ValidatorRejectsViolations) {
                std::runtime_error);
 }
 
+TEST(BenchSchema, ValidatorRejectsNonFiniteAndBrokenPhases) {
+  // The writer can't emit NaN/Inf (JSON has no literal for them), but a
+  // hand-edited or corrupted artifact can smuggle them in via parse() of
+  // huge exponents — the validator must refuse rather than let gates and
+  // plots silently compare against garbage.
+  const char* nan_cell = R"({"schema":"imbar.bench.v1","name":"x",
+      "params":{},"rows":[{"mean_us":1e999}]})";
+  EXPECT_THROW((void)validate_bench_json(json::parse(nan_cell)),
+               std::runtime_error);
+  const char* nan_param = R"({"schema":"imbar.bench.v1","name":"x",
+      "params":{"procs":-1e999},"rows":[]})";
+  EXPECT_THROW((void)validate_bench_json(json::parse(nan_param)),
+               std::runtime_error);
+  const char* neg_phase = R"({"schema":"imbar.bench.v1","name":"x",
+      "params":{},"rows":[],
+      "phases":[{"name":"measure","elapsed_s":-0.5}]})";
+  EXPECT_THROW((void)validate_bench_json(json::parse(neg_phase)),
+               std::runtime_error);
+  const char* inf_phase = R"({"schema":"imbar.bench.v1","name":"x",
+      "params":{},"rows":[],
+      "phases":[{"name":"measure","elapsed_s":1e999}]})";
+  EXPECT_THROW((void)validate_bench_json(json::parse(inf_phase)),
+               std::runtime_error);
+  // Duplicate phase names would make per-phase attribution ambiguous;
+  // multi-thread-count runs scope them (e.g. "measure/t2/central").
+  const char* dup_phase = R"({"schema":"imbar.bench.v1","name":"x",
+      "params":{},"rows":[],
+      "phases":[{"name":"measure","elapsed_s":0.1},
+                {"name":"measure","elapsed_s":0.2}]})";
+  EXPECT_THROW((void)validate_bench_json(json::parse(dup_phase)),
+               std::runtime_error);
+  // Zero elapsed stays legal: sub-resolution phases really happen.
+  const char* ok = R"({"schema":"imbar.bench.v1","name":"x",
+      "params":{},"rows":[{"us":1.0}],
+      "phases":[{"name":"a","elapsed_s":0.0},{"name":"b","elapsed_s":0.1}]})";
+  EXPECT_EQ(validate_bench_json(json::parse(ok)), 1u);
+}
+
 // Golden checks: the committed artifacts must stay loadable and
 // schema-clean, so downstream tooling (plot_figures.py, Perfetto) can
 // rely on them.
 TEST(Golden, CommittedBenchSampleIsValid) {
   const json::Value v = json::parse_file(IMBAR_REPO_ROOT "/BENCH_micro.json");
-  EXPECT_EQ(validate_bench_json(v), 9u);  // one row per barrier kind
+  // One row per (kind, threads) pair: ten kinds at threads in {2, 4}.
+  EXPECT_EQ(validate_bench_json(v), 20u);
   EXPECT_EQ(v.find("name")->string, "micro_real_barriers");
+  std::map<double, std::set<std::string>> kinds_at;
   for (const json::Value& row : v.find("rows")->array) {
-    EXPECT_TRUE(row.has_string("kind"));
+    ASSERT_TRUE(row.has_string("kind"));
+    ASSERT_TRUE(row.has_number("threads"));
     for (const char* k : {"episodes_per_sec", "mean_us", "p50_us", "p99_us",
                           "sigma_us", "sigma_tc", "overlapped", "recorded",
                           "dropped"})
       EXPECT_TRUE(row.has_number(k)) << k;
+    kinds_at[row.find("threads")->number].insert(row.find("kind")->string);
+  }
+  ASSERT_EQ(kinds_at.size(), 2u);
+  for (const auto& [threads, kinds] : kinds_at)
+    EXPECT_EQ(kinds.size(), 10u) << "threads=" << threads;
+
+  // The committed envelope must record flat as the fastest kind at each
+  // thread count — the headline claim the perf gate then defends.
+  for (const auto& [threads, kinds] : kinds_at) {
+    double flat_mean = 0.0, best_other = 1e300;
+    for (const json::Value& row : v.find("rows")->array) {
+      if (row.find("threads")->number != threads) continue;
+      const double mean = row.find("mean_us")->number;
+      if (row.find("kind")->string == "flat")
+        flat_mean = mean;
+      else
+        best_other = std::min(best_other, mean);
+    }
+    EXPECT_GT(flat_mean, 0.0) << "threads=" << threads;
+    EXPECT_LE(flat_mean, best_other) << "threads=" << threads;
   }
 }
 

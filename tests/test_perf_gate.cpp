@@ -1,0 +1,264 @@
+// Perf-regression gate (src/check/perf_gate.hpp): envelope parsing,
+// band comparison semantics, and the trend serialization — all on
+// canned data, no timing dependence. The gate's live measurements come
+// from bench_gate / ctest -L perf-gate; these tests pin the decision
+// logic those runs rely on (an inflated sample MUST fail, an in-band
+// sample MUST pass).
+#include "check/perf_gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace imbar::check {
+namespace {
+
+/// Canned imbar.bench.v1 document with micro-shaped rows.
+std::string bench_doc(
+    const std::vector<std::tuple<std::string, int, int, double, double>>&
+        rows) {
+  std::ostringstream os;
+  os << R"({"schema":"imbar.bench.v1","name":"micro_real_barriers",)"
+     << R"("params":{"episodes":500},"rows":[)";
+  bool first = true;
+  for (const auto& [kind, threads, episodes, mean, p99] : rows) {
+    if (!first) os << ',';
+    first = false;
+    os << R"({"kind":")" << kind << R"(","threads":)" << threads
+       << R"(,"episodes":)" << episodes << R"(,"mean_us":)" << mean
+       << R"(,"p99_us":)" << p99 << R"(,"episodes_per_sec":1000})";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::vector<PerfEnvelope> load(const std::string& doc) {
+  return load_envelopes(obs::json::parse(doc));
+}
+
+PerfEnvelope make(const std::string& kind, std::uint64_t threads,
+                  std::uint64_t episodes, double mean, double p99) {
+  PerfEnvelope e;
+  e.kind = kind;
+  e.threads = threads;
+  e.episodes = episodes;
+  e.mean_us = mean;
+  e.p99_us = p99;
+  e.episodes_per_sec = 1000.0;
+  return e;
+}
+
+TEST(PerfGateEnvelope, RoundTripFromBenchDocument) {
+  const auto envs = load(bench_doc({{"flat", 2, 500, 3.5, 11.0},
+                                    {"flat", 4, 500, 7.25, 22.5},
+                                    {"central", 2, 500, 60.0, 180.0}}));
+  ASSERT_EQ(envs.size(), 3u);
+  EXPECT_EQ(envs[0].kind, "flat");
+  EXPECT_EQ(envs[0].threads, 2u);
+  EXPECT_EQ(envs[0].episodes, 500u);
+  EXPECT_DOUBLE_EQ(envs[0].mean_us, 3.5);
+  EXPECT_DOUBLE_EQ(envs[0].p99_us, 11.0);
+  EXPECT_DOUBLE_EQ(envs[0].episodes_per_sec, 1000.0);
+  EXPECT_EQ(envs[1].threads, 4u);
+  EXPECT_EQ(envs[2].kind, "central");
+}
+
+TEST(PerfGateEnvelope, RoundTripFromMicroResults) {
+  obs::MicroResult r;
+  r.kind = "sense";
+  r.threads = 2;
+  r.episodes = 300;
+  r.mean_us = 12.5;
+  r.p99_us = 40.0;
+  r.episodes_per_sec = 8000.0;
+  const auto envs = envelopes_from_results({r});
+  ASSERT_EQ(envs.size(), 1u);
+  EXPECT_EQ(envs[0].kind, "sense");
+  EXPECT_EQ(envs[0].threads, 2u);
+  EXPECT_DOUBLE_EQ(envs[0].mean_us, 12.5);
+  EXPECT_DOUBLE_EQ(envs[0].p99_us, 40.0);
+}
+
+TEST(PerfGateEnvelope, RejectsMissingFieldsAndDuplicates) {
+  // Missing mean_us.
+  EXPECT_THROW(
+      (void)load(R"({"schema":"imbar.bench.v1","name":"x","params":{},)"
+                 R"("rows":[{"kind":"flat","threads":2,"episodes":10,)"
+                 R"("p99_us":1}]})"),
+      std::runtime_error);
+  // Missing kind.
+  EXPECT_THROW(
+      (void)load(R"({"schema":"imbar.bench.v1","name":"x","params":{},)"
+                 R"("rows":[{"threads":2,"episodes":10,"mean_us":1,)"
+                 R"("p99_us":1}]})"),
+      std::runtime_error);
+  // Duplicate (kind, threads) pair.
+  EXPECT_THROW((void)load(bench_doc({{"flat", 2, 500, 3.5, 11.0},
+                                     {"flat", 2, 500, 3.6, 11.5}})),
+               std::runtime_error);
+  // Same kind at different thread counts is fine.
+  EXPECT_NO_THROW((void)load(bench_doc({{"flat", 2, 500, 3.5, 11.0},
+                                        {"flat", 4, 500, 7.0, 20.0}})));
+}
+
+TEST(PerfGate, InflatedSampleBreaches) {
+  const auto envs = load(bench_doc({{"flat", 2, 500, 10.0, 30.0}}));
+  // 4x the envelope mean against the default 3x tolerance: must fail.
+  const auto report =
+      gate_compare(envs, {make("flat", 2, 500, 40.0, 30.0)}, {});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].verdict, PerfVerdict::kBreach);
+  EXPECT_DOUBLE_EQ(report.findings[0].mean_ratio, 4.0);
+  EXPECT_FALSE(report.passed());
+  EXPECT_EQ(report.breaches(), 1u);
+  EXPECT_NE(report.summary().find("FAIL"), std::string::npos);
+}
+
+TEST(PerfGate, InBandSamplePasses) {
+  const auto envs = load(bench_doc({{"flat", 2, 500, 10.0, 30.0},
+                                    {"central", 2, 500, 60.0, 180.0}}));
+  const auto report = gate_compare(envs,
+                                   {make("flat", 2, 500, 12.0, 35.0),
+                                    make("central", 2, 500, 55.0, 200.0)},
+                                   {});
+  ASSERT_EQ(report.findings.size(), 2u);
+  for (const auto& f : report.findings)
+    EXPECT_EQ(f.verdict, PerfVerdict::kInBand) << f.kind;
+  EXPECT_TRUE(report.passed());
+  EXPECT_EQ(report.breaches(), 0u);
+  EXPECT_NE(report.summary().find("PASS"), std::string::npos);
+}
+
+TEST(PerfGate, ExactlyAtToleranceBoundPasses) {
+  const auto envs = load(bench_doc({{"flat", 2, 500, 10.0, 30.0}}));
+  PerfGateOptions opts;
+  opts.mean_tolerance = 3.0;
+  opts.p99_tolerance = 5.0;
+  // mean ratio exactly 3.0, p99 ratio exactly 5.0: bound is inclusive.
+  const auto report =
+      gate_compare(envs, {make("flat", 2, 500, 30.0, 150.0)}, opts);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].verdict, PerfVerdict::kInBand);
+  // One ulp past the bound breaches.
+  const auto over =
+      gate_compare(envs, {make("flat", 2, 500, 30.0001, 150.0)}, opts);
+  EXPECT_EQ(over.findings[0].verdict, PerfVerdict::kBreach);
+}
+
+TEST(PerfGate, P99TailBreachesIndependently) {
+  const auto envs = load(bench_doc({{"flat", 2, 500, 10.0, 30.0}}));
+  // Mean well in band, p99 at 6x against the default 5x tolerance.
+  const auto report =
+      gate_compare(envs, {make("flat", 2, 500, 11.0, 180.0)}, {});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].verdict, PerfVerdict::kBreach);
+  EXPECT_NE(report.findings[0].note.find("p99"), std::string::npos);
+}
+
+TEST(PerfGate, UnderSampledEnvelopeIsAdvisory) {
+  // Envelope backed by only 50 episodes against min_samples=200: the
+  // same 4x inflation that breaches above must downgrade to advisory.
+  const auto envs = load(bench_doc({{"flat", 2, 50, 10.0, 30.0}}));
+  const auto report =
+      gate_compare(envs, {make("flat", 2, 500, 40.0, 30.0)}, {});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].verdict, PerfVerdict::kAdvisory);
+  EXPECT_TRUE(report.passed());
+  // At exactly min_samples the band is enforceable again.
+  PerfGateOptions opts;
+  opts.min_samples = 50;
+  const auto enforced =
+      gate_compare(envs, {make("flat", 2, 500, 40.0, 30.0)}, opts);
+  EXPECT_EQ(enforced.findings[0].verdict, PerfVerdict::kBreach);
+}
+
+TEST(PerfGate, DegenerateEnvelopeBandIsAdvisory) {
+  const auto report = gate_compare({make("flat", 2, 500, 0.0, 30.0)},
+                                   {make("flat", 2, 500, 40.0, 30.0)}, {});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].verdict, PerfVerdict::kAdvisory);
+  EXPECT_TRUE(report.passed());
+}
+
+TEST(PerfGate, MissingPairFailsTheGate) {
+  const auto envs = load(bench_doc({{"flat", 2, 500, 10.0, 30.0},
+                                    {"flat", 4, 500, 20.0, 60.0}}));
+  // Fresh run dropped the threads=4 sweep: coverage regression.
+  const auto report =
+      gate_compare(envs, {make("flat", 2, 500, 10.0, 30.0)}, {});
+  ASSERT_EQ(report.findings.size(), 2u);
+  EXPECT_EQ(report.findings[0].verdict, PerfVerdict::kInBand);
+  EXPECT_EQ(report.findings[1].verdict, PerfVerdict::kMissing);
+  EXPECT_FALSE(report.passed());
+  EXPECT_EQ(report.breaches(), 0u);  // missing != breach, both fail
+}
+
+TEST(PerfGate, FreshPairWithoutEnvelopeIsAdvisory) {
+  const auto envs = load(bench_doc({{"flat", 2, 500, 10.0, 30.0}}));
+  // A brand-new kind shows up before its envelope lands: reported, not
+  // failed, so adding a kind does not require regenerating envelopes
+  // in the same commit.
+  const auto report = gate_compare(envs,
+                                   {make("flat", 2, 500, 10.0, 30.0),
+                                    make("hierarchical", 2, 500, 5.0, 15.0)},
+                                   {});
+  ASSERT_EQ(report.findings.size(), 2u);
+  EXPECT_EQ(report.findings[1].verdict, PerfVerdict::kAdvisory);
+  EXPECT_EQ(report.findings[1].kind, "hierarchical");
+  EXPECT_TRUE(report.passed());
+}
+
+TEST(PerfGateTrend, LineSerializesAndParses) {
+  const auto envs = load(bench_doc({{"flat", 2, 500, 10.0, 30.0}}));
+  const auto report =
+      gate_compare(envs, {make("flat", 2, 500, 40.0, 30.0)}, {});
+  const std::string line = trend_line(report, 1754600000u);
+  const obs::json::Value v = obs::json::parse(line);
+  EXPECT_EQ(v.find("schema")->string, kTrendSchema);
+  EXPECT_DOUBLE_EQ(v.find("unix_ts")->number, 1754600000.0);
+  EXPECT_FALSE(v.find("passed")->boolean);
+  EXPECT_DOUBLE_EQ(v.find("breaches")->number, 1.0);
+  ASSERT_EQ(v.find("entries")->array.size(), 1u);
+  const obs::json::Value& e = v.find("entries")->array[0];
+  EXPECT_EQ(e.find("kind")->string, "flat");
+  EXPECT_EQ(e.find("verdict")->string, "breach");
+  EXPECT_DOUBLE_EQ(e.find("mean_ratio")->number, 4.0);
+}
+
+TEST(PerfGateTrend, AppendAccumulatesLines) {
+  const std::string path =
+      testing::TempDir() + "perf_gate_trend_test.jsonl";
+  std::remove(path.c_str());
+  const auto envs = load(bench_doc({{"flat", 2, 500, 10.0, 30.0}}));
+  const auto ok = gate_compare(envs, {make("flat", 2, 500, 10.0, 30.0)}, {});
+  append_trend(path, ok, 100u);
+  append_trend(path, ok, 200u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<double> stamps;
+  while (std::getline(in, line)) {
+    const obs::json::Value v = obs::json::parse(line);
+    EXPECT_EQ(v.find("schema")->string, kTrendSchema);
+    stamps.push_back(v.find("unix_ts")->number);
+  }
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_DOUBLE_EQ(stamps[0], 100.0);
+  EXPECT_DOUBLE_EQ(stamps[1], 200.0);
+  std::remove(path.c_str());
+}
+
+TEST(PerfGateVerdict, Names) {
+  EXPECT_STREQ(to_string(PerfVerdict::kInBand), "in-band");
+  EXPECT_STREQ(to_string(PerfVerdict::kAdvisory), "advisory");
+  EXPECT_STREQ(to_string(PerfVerdict::kBreach), "breach");
+  EXPECT_STREQ(to_string(PerfVerdict::kMissing), "missing");
+}
+
+}  // namespace
+}  // namespace imbar::check
