@@ -1,0 +1,287 @@
+// ext_service_soak — the barrier-virtualization scale demonstration:
+// ~1.5M logical participants across 10K logical groups, multiplexed
+// onto a few hundred physical slots and a hardware-bounded TaskPool.
+//
+// The group population is split into classes (small/medium/large
+// participant counts, the soak's group-class telemetry dimension). A
+// --quorum-frac slice of each class runs k-of-n (k = n/2, zero budget):
+// each round only the first k members arrive, the phase releases by
+// quorum, and a final reconcile pass sends the stragglers' arrivals to
+// settle the owed-phase ledger. The bench self-checks the accounting
+// identity and the zero-rejection/zero-cancellation expectations, and
+// self-validates its own --json document (imbar.service.v1) the same
+// way the schema tests do — a wedged or double-releasing service fails
+// the soak, not just slows it.
+//
+// Defaults sustain >= 1,000,000 logical participants; CI runs a tiny
+// smoke (bench/CMakeLists.txt) and the nightly chaos job a scaled-down
+// TSan soak (.github/workflows/ci.yml).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/exec_metrics.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "service/barrier_service.hpp"
+#include "service/service_metrics.hpp"
+#include "util/table.hpp"
+
+using namespace imbar;
+using namespace imbar::bench;
+
+namespace {
+
+struct ClassPlan {
+  std::string name;
+  double frac = 0.0;
+  std::uint32_t participants = 0;
+  std::uint64_t groups = 0;  // resolved from frac
+};
+
+struct GroupPlan {
+  service::GroupId id = 0;
+  std::uint32_t participants = 0;
+  std::uint32_t quorum = 0;  // 0 = strict
+  std::size_t cls = 0;       // index into the class plan
+};
+
+int fail(const char* what) {
+  std::fprintf(stderr, "ext_service_soak: FAILED: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto groups = static_cast<std::uint64_t>(cli.get_int("groups", 10000));
+  const auto rounds = static_cast<std::uint64_t>(cli.get_int("rounds", 2));
+  const auto shards = static_cast<std::size_t>(cli.get_int("shards", 64));
+  const auto slots = static_cast<std::size_t>(cli.get_int("slots", 256));
+  const auto workers = static_cast<std::size_t>(cli.get_int("workers", 0));
+  const double quorum_frac = cli.get_double("quorum-frac", 0.10);
+
+  // The class mix: mostly small cohorts, a long tail of big ones. The
+  // large class carries most of the logical participants (the default
+  // population is 10K groups / ~1.54M logical participants).
+  std::vector<ClassPlan> classes{
+      {"small", 0.80, static_cast<std::uint32_t>(cli.get_int("small-n", 16)),
+       0},
+      {"medium", 0.15,
+       static_cast<std::uint32_t>(cli.get_int("medium-n", 256)), 0},
+      {"large", 0.05,
+       static_cast<std::uint32_t>(cli.get_int("large-n", 2048)), 0},
+  };
+  std::uint64_t assigned = 0;
+  for (std::size_t c = 0; c + 1 < classes.size(); ++c) {
+    classes[c].groups =
+        static_cast<std::uint64_t>(static_cast<double>(groups) *
+                                   classes[c].frac);
+    assigned += classes[c].groups;
+  }
+  classes.back().groups = groups > assigned ? groups - assigned : 0;
+
+  std::vector<GroupPlan> plan;
+  plan.reserve(groups);
+  std::uint64_t logical = 0;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const std::uint64_t quorum_groups = static_cast<std::uint64_t>(
+        static_cast<double>(classes[c].groups) * quorum_frac);
+    for (std::uint64_t i = 0; i < classes[c].groups; ++i) {
+      GroupPlan g;
+      g.id = static_cast<service::GroupId>(plan.size());
+      g.participants = classes[c].participants;
+      g.quorum = i < quorum_groups ? classes[c].participants / 2 : 0;
+      if (g.quorum == 0 && i < quorum_groups) g.quorum = 1;  // n == 1 class
+      g.cls = c;
+      logical += g.participants;
+      plan.push_back(g);
+    }
+  }
+
+  Stopwatch sw;
+  print_header("ext_service_soak — barrier virtualization at scale",
+               "extension: 1M logical participants on a bounded runtime "
+               "(docs/service.md)",
+               "groups=" + std::to_string(groups) +
+                   " logical=" + std::to_string(logical) +
+                   " rounds=" + std::to_string(rounds) +
+                   " shards=" + std::to_string(shards) +
+                   " slots=" + std::to_string(slots) +
+                   " workers=" + std::to_string(workers) +
+                   " quorum_frac=" + Table::fmt(quorum_frac, 2));
+
+  service::BarrierService::Options opts;
+  opts.shards = shards;
+  opts.slots = slots;
+  opts.workers = workers;
+  service::BarrierService svc(opts);
+
+  JsonReporter rep("ext_service_soak");
+  rep.param("groups", static_cast<double>(groups))
+      .param("logical_participants", static_cast<double>(logical))
+      .param("rounds", static_cast<double>(rounds))
+      .param("shards", static_cast<double>(shards))
+      .param("slots", static_cast<double>(opts.slots))
+      .param("workers", static_cast<double>(svc.pool().size()))
+      .param("quorum_frac", quorum_frac);
+
+  {
+    ScopedPhaseTimer t(rep.phases(), "create");
+    for (const GroupPlan& g : plan) {
+      service::GroupOptions go;
+      go.participants = g.participants;
+      go.group_class = classes[g.cls].name;
+      go.quorum.quorum = g.quorum;  // deadline_budget 0: release at quorum
+      svc.create_group(g.id, std::move(go));
+    }
+    svc.drain();
+  }
+
+  {
+    ScopedPhaseTimer t(rep.phases(), "rounds");
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      for (const GroupPlan& g : plan) {
+        if (g.quorum == 0) {
+          svc.arrive_all(g.id);
+        } else {
+          for (std::uint32_t m = 0; m < g.quorum; ++m) svc.arrive(g.id, m);
+        }
+      }
+      svc.drain();
+    }
+  }
+
+  {
+    // Stragglers of the quorum groups settle their owed phases.
+    ScopedPhaseTimer t(rep.phases(), "reconcile");
+    for (const GroupPlan& g : plan) {
+      if (g.quorum == 0) continue;
+      for (std::uint32_t m = g.quorum; m < g.participants; ++m)
+        for (std::uint64_t r = 0; r < rounds; ++r) svc.arrive(g.id, m);
+    }
+    svc.drain();
+  }
+
+  {
+    ScopedPhaseTimer t(rep.phases(), "destroy");
+    for (const GroupPlan& g : plan) svc.destroy_group(g.id);
+    svc.drain();
+  }
+
+  const service::ServiceCounters c = svc.counters();
+
+  // Expected totals, from the plan.
+  std::uint64_t want_strict_rel = 0, want_quorum_rel = 0, want_late = 0;
+  for (const GroupPlan& g : plan) {
+    if (g.quorum == 0) {
+      want_strict_rel += rounds;
+    } else if (g.quorum == g.participants) {
+      want_strict_rel += rounds;  // n==1 quorum groups release strictly
+    } else {
+      want_quorum_rel += rounds;
+      want_late +=
+          rounds * static_cast<std::uint64_t>(g.participants - g.quorum);
+    }
+  }
+
+  Table totals({"metric", "value", "expected"});
+  totals.row().add("releases_strict").num(static_cast<long long>(
+      c.releases_strict)).num(static_cast<long long>(want_strict_rel));
+  totals.row().add("releases_quorum").num(static_cast<long long>(
+      c.releases_quorum)).num(static_cast<long long>(want_quorum_rel));
+  totals.row().add("completions_late").num(static_cast<long long>(
+      c.completions_late)).num(static_cast<long long>(want_late));
+  totals.row().add("owed_outstanding").num(static_cast<long long>(
+      c.owed_outstanding)).num(0LL);
+  totals.row().add("rejected").num(static_cast<long long>(c.rejected))
+      .num(0LL);
+  totals.row().add("cancelled").num(static_cast<long long>(c.cancelled))
+      .num(0LL);
+  totals.row().add("slot_grants").num(static_cast<long long>(c.slot_grants))
+      .add("-");
+  totals.row().add("slot_evictions").num(static_cast<long long>(
+      c.slot_evictions)).add("-");
+  totals.row().add("ready_enqueues").num(static_cast<long long>(
+      c.ready_enqueues)).add("-");
+  std::printf("%s\n", totals.str().c_str());
+
+  Table per_class({"class", "groups", "parts", "completions", "mean_us",
+                   "p50_us", "p90_us", "p99_us"});
+  for (const auto& cs : svc.class_stats()) {
+    per_class.row()
+        .add(cs.name)
+        .num(static_cast<long long>(cs.groups))
+        .num(static_cast<long long>(cs.participants))
+        .num(static_cast<long long>(cs.stats.count()))
+        .num(cs.stats.mean())
+        .num(cs.latency_us.quantile(0.50))
+        .num(cs.latency_us.quantile(0.90))
+        .num(cs.latency_us.quantile(0.99));
+  }
+  std::printf("%s\n", per_class.str().c_str());
+
+  // Self-checks: the soak is a test, not just a timer.
+  if (c.releases_strict != want_strict_rel)
+    return fail("strict release count mismatch");
+  if (c.releases_quorum != want_quorum_rel)
+    return fail("quorum release count mismatch");
+  if (c.completions_late != want_late)
+    return fail("late completion count mismatch");
+  if (c.owed_outstanding != 0) return fail("owed ledger not settled");
+  if (c.rejected != 0) return fail("unexpected rejections");
+  if (c.cancelled != 0) return fail("unexpected cancellations");
+  if (c.groups_created != groups || c.groups_destroyed != groups)
+    return fail("group lifecycle mismatch");
+  // Accounting identity: every released phase accounts for exactly n
+  // completions (present + late + still-owed) = rounds * logical here.
+  if (c.completions_strict + c.completions_quorum + c.completions_late +
+          c.owed_outstanding !=
+      rounds * logical)
+    return fail("completion accounting identity violated");
+
+  if (cli.has("json")) {
+    const std::string doc =
+        service::service_soak_json("ext_service_soak", obs::BenchRow{
+            obs::BenchCell::num("groups", static_cast<double>(groups)),
+            obs::BenchCell::num("rounds", static_cast<double>(rounds)),
+            obs::BenchCell::num("quorum_frac", quorum_frac)},
+            svc, &rep.phases());
+    // Self-validate before writing, like the schema tests do.
+    try {
+      obs::validate_bench_json(obs::json::parse(doc));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ext_service_soak: invalid telemetry: %s\n",
+                   e.what());
+      return 1;
+    }
+    const std::string path = json_path(cli, "BENCH_service_soak.json");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << doc << '\n';
+    if (!out) return fail("cannot write --json output");
+    std::printf("  json       : wrote %s\n", path.c_str());
+  }
+
+  if (cli.has("metrics")) {
+    obs::MetricsRegistry metrics;
+    service::fold_service_metrics(svc, metrics);
+    obs::fold_exec_metrics(svc.pool(), metrics);
+    const std::string path = cli.get("metrics", "METRICS_service_soak.json");
+    const std::string resolved =
+        path.empty() ? "METRICS_service_soak.json" : path;
+    std::ofstream out(resolved, std::ios::binary | std::ios::trunc);
+    out << metrics.snapshot_json() << '\n';
+    if (!out) return fail("cannot write --metrics output");
+    std::printf("  metrics    : wrote %s\n", resolved.c_str());
+  }
+
+  print_footer(
+      sw, std::to_string(logical) + " logical participants on " +
+              std::to_string(svc.pool().size()) + " worker(s) / " +
+              std::to_string(opts.slots) + " slots; ledger settled exactly");
+  return 0;
+}

@@ -42,6 +42,11 @@ std::future<void> TaskPool::submit(std::function<void()> fn) {
   return future;
 }
 
+std::size_t TaskPool::pending() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
 void TaskPool::set_task_observer(TaskObserver observer) {
   const std::lock_guard<std::mutex> lk(mu_);
   observer_ = std::move(observer);
@@ -50,6 +55,7 @@ void TaskPool::set_task_observer(TaskObserver observer) {
 TaskPoolMetrics TaskPool::metrics() const {
   TaskPoolMetrics m;
   m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.pending = pending();
   m.tasks_per_worker.reserve(stats_.size());
   m.busy_ns_per_worker.reserve(stats_.size());
   for (const auto& s : stats_) {

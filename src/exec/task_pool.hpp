@@ -38,6 +38,7 @@ namespace imbar::exec {
 struct TaskPoolMetrics {
   std::uint64_t submitted = 0;
   std::uint64_t executed = 0;
+  std::uint64_t pending = 0;  // queued, not yet picked up (see pending())
   std::vector<std::uint64_t> tasks_per_worker;
   std::vector<std::uint64_t> busy_ns_per_worker;
 };
@@ -67,6 +68,13 @@ class TaskPool {
   /// Workers in the pool (fixed at construction).
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Queue depth: tasks submitted but not yet picked up by a worker.
+  /// A point-in-time reading — by the time the caller acts on it, the
+  /// depth may have changed — so use it for backpressure heuristics
+  /// (the service::SlotScheduler drain batching does), never for
+  /// correctness decisions.
+  [[nodiscard]] std::size_t pending() const;
+
   /// Install (or clear, with nullptr-equivalent {}) the task observer.
   /// Not synchronized against in-flight tasks: set it before submitting.
   void set_task_observer(TaskObserver observer);
@@ -91,7 +99,7 @@ class TaskPool {
 
   void worker_loop(std::size_t index);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Task> queue_;
   bool stopping_ = false;

@@ -65,6 +65,14 @@
 #include "robust/quorum_metrics.hpp"
 #include "sim/quorum_model.hpp"
 
+// Barrier virtualization: unbounded logical groups with asynchronous
+// arrivals, multiplexed onto a bounded slot pool + TaskPool runtime.
+#include "service/barrier_service.hpp"
+#include "service/completion_log.hpp"
+#include "service/service_metrics.hpp"
+#include "service/slot_scheduler.hpp"
+#include "service/types.hpp"
+
 // Degree selection and imbalance estimation.
 #include "core/degree_chooser.hpp"
 #include "core/facade.hpp"

@@ -19,6 +19,7 @@ void fold_exec_metrics(const exec::TaskPool& pool, MetricsRegistry& registry) {
   registry.set_counter("exec.v1.workers", pool.size());
   registry.set_counter("exec.v1.tasks_submitted", m.submitted);
   registry.set_counter("exec.v1.tasks_executed", m.executed);
+  registry.set_counter("exec.v1.tasks_pending", m.pending);
   for (std::size_t i = 0; i < m.tasks_per_worker.size(); ++i) {
     const std::string worker = "exec.v1.worker." + std::to_string(i);
     registry.set_counter(worker + ".tasks", m.tasks_per_worker[i]);

@@ -10,8 +10,8 @@
 //
 // Metric names, all under the "exec.v1." prefix:
 //   counters   exec.v1.workers, exec.v1.tasks_submitted,
-//              exec.v1.tasks_executed, exec.v1.worker.<i>.tasks,
-//              exec.v1.worker.<i>.busy_us
+//              exec.v1.tasks_executed, exec.v1.tasks_pending,
+//              exec.v1.worker.<i>.tasks, exec.v1.worker.<i>.busy_us
 //   histogram  exec.v1.task_latency_us (observer-fed)
 #pragma once
 

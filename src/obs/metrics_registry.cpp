@@ -1,8 +1,26 @@
 #include "obs/metrics_registry.hpp"
 
+#include <stdexcept>
+
 #include "obs/json.hpp"
 
 namespace imbar::obs {
+
+namespace {
+
+// "family{label}" — the labeled-member key convention. Both halves are
+// validated so the key can be split back unambiguously.
+std::string labeled_key(const std::string& family, const std::string& label) {
+  if (family.empty() || label.empty() ||
+      family.find_first_of("{}") != std::string::npos ||
+      label.find_first_of("{}") != std::string::npos)
+    throw std::invalid_argument(
+        "MetricsRegistry: family/label must be non-empty and brace-free, got "
+        "family=\"" + family + "\" label=\"" + label + "\"");
+  return family + "{" + label + "}";
+}
+
+}  // namespace
 
 void MetricsRegistry::add_counter(const std::string& name,
                                   std::uint64_t delta) {
@@ -32,6 +50,48 @@ void MetricsRegistry::observe(const std::string& name, double x, double lo,
              .first;
   it->second.hist.add(x);
   it->second.stats.add(x);
+}
+
+void MetricsRegistry::observe_labeled(const std::string& family,
+                                      const std::string& label, double x,
+                                      double lo, double hi,
+                                      std::size_t bins) {
+  observe(labeled_key(family, label), x, lo, hi, bins);
+}
+
+void MetricsRegistry::merge_labeled(const std::string& family,
+                                    const std::string& label,
+                                    const Histogram& hist,
+                                    const RunningStats& stats) {
+  const std::string key = labeled_key(family, label);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(key, HistEntry{Histogram(hist.lo(), hist.hi(),
+                                               hist.bins()),
+                                     RunningStats{}})
+             .first;
+  }
+  it->second.hist.merge(hist);
+  it->second.stats.merge(stats);
+}
+
+std::vector<std::string> MetricsRegistry::labels(
+    const std::string& family) const {
+  const std::string prefix = family + "{";
+  std::vector<std::string> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  // std::map iteration is key-ordered, so the result is already sorted.
+  for (auto it = histograms_.lower_bound(prefix); it != histograms_.end();
+       ++it) {
+    const std::string& key = it->first;
+    if (key.compare(0, prefix.size(), prefix) != 0) break;
+    if (key.back() == '}')
+      out.push_back(key.substr(prefix.size(),
+                               key.size() - prefix.size() - 1));
+  }
+  return out;
 }
 
 std::size_t MetricsRegistry::counter_count() const {

@@ -40,6 +40,30 @@ class MetricsRegistry {
   void observe(const std::string& name, double x, double lo = 0.0,
                double hi = 1000.0, std::size_t bins = 64);
 
+  /// Labeled histogram families: one family name, one histogram per
+  /// label value, without a registry (or name-mangling convention) per
+  /// label at every call site. The member key is
+  /// `family{label}` — e.g. observe_labeled("service.latency_us",
+  /// "class=small", x) lands in "service.latency_us{class=small}" — so
+  /// labeled members live in the ordinary "histograms" snapshot object
+  /// and the imbar.metrics.v1 schema is unchanged. Family and label
+  /// must not contain '{' or '}' (throws std::invalid_argument), which
+  /// keeps the key parseable back into (family, label).
+  void observe_labeled(const std::string& family, const std::string& label,
+                       double x, double lo = 0.0, double hi = 1000.0,
+                       std::size_t bins = 64);
+
+  /// Fold an externally aggregated histogram (plus its exact running
+  /// moments) into a labeled family member — the ingestion path for
+  /// per-shard accumulators that are merged at quiesce instead of
+  /// streamed sample-by-sample (service::fold_service_metrics).
+  /// Geometry must match any existing member (Histogram::merge rules).
+  void merge_labeled(const std::string& family, const std::string& label,
+                     const Histogram& hist, const RunningStats& stats);
+
+  /// Sorted label values present for `family` (empty if none).
+  [[nodiscard]] std::vector<std::string> labels(const std::string& family) const;
+
   [[nodiscard]] std::size_t counter_count() const;
   [[nodiscard]] std::size_t histogram_count() const;
 

@@ -179,14 +179,63 @@ std::vector<BenchRow> micro_rows(std::span<const MicroResult> results) {
   return rows;
 }
 
+namespace {
+
+// A finite, non-negative number member — the service-section contract
+// for every count and percentile (a negative group count or NaN
+// latency means the producer is broken, not the workload).
+double service_number(const json::Value& obj, const std::string& ctx,
+                      const std::string& key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number())
+    throw std::runtime_error("bench: " + ctx + "." + key +
+                             " missing or not a number");
+  if (!std::isfinite(v->number) || v->number < 0.0)
+    throw std::runtime_error("bench: " + ctx + "." + key +
+                             " must be finite and non-negative");
+  return v->number;
+}
+
+void validate_service_section(const json::Value& doc) {
+  const json::Value* svc = doc.find("service");
+  if (svc == nullptr || !svc->is_object())
+    throw std::runtime_error("bench: service document missing service object");
+  for (const char* k : {"groups", "logical_participants", "shards", "slots",
+                        "workers", "arrivals", "releases_strict",
+                        "releases_quorum"})
+    (void)service_number(*svc, "service", k);
+  const json::Value* classes = svc->find("classes");
+  if (classes == nullptr || !classes->is_array())
+    throw std::runtime_error("bench: service.classes missing or not an array");
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < classes->array.size(); ++i) {
+    const json::Value& c = classes->array[i];
+    const std::string ctx = "service.classes[" + std::to_string(i) + "]";
+    if (!c.is_object() || !c.has_string("class"))
+      throw std::runtime_error("bench: " + ctx + " needs a class string");
+    if (!seen.insert(c.find("class")->string).second)
+      throw std::runtime_error("bench: duplicate service class \"" +
+                               c.find("class")->string + "\"");
+    for (const char* k : {"groups", "participants", "count", "mean_us",
+                          "p50_us", "p90_us", "p99_us"})
+      (void)service_number(c, ctx, k);
+  }
+}
+
+}  // namespace
+
 std::size_t validate_bench_json(const json::Value& doc) {
   if (!doc.is_object())
     throw std::runtime_error("bench: document is not an object");
   const json::Value* schema = doc.find("schema");
+  const bool is_service = schema != nullptr && schema->is_string() &&
+                          schema->string == kServiceSchema;
   if (schema == nullptr || !schema->is_string() ||
-      schema->string != kBenchSchema)
+      (schema->string != kBenchSchema && !is_service))
     throw std::runtime_error("bench: schema is not \"" +
-                             std::string(kBenchSchema) + "\"");
+                             std::string(kBenchSchema) + "\" or \"" +
+                             std::string(kServiceSchema) + "\"");
+  if (is_service) validate_service_section(doc);
   if (!doc.has_string("name"))
     throw std::runtime_error("bench: missing name string");
   const json::Value* params = doc.find("params");

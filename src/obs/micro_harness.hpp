@@ -31,6 +31,13 @@ namespace imbar::obs {
 /// Schema identifier emitted in every bench telemetry document.
 inline constexpr const char* kBenchSchema = "imbar.bench.v1";
 
+/// Schema identifier of the barrier-virtualization soak telemetry
+/// (bench/ext_service_soak): the bench.v1 shape plus a "service"
+/// section with totals and per-group-class latency percentiles
+/// (src/service/service_metrics.hpp writes it, validate_bench_json
+/// validates it; see docs/service.md).
+inline constexpr const char* kServiceSchema = "imbar.service.v1";
+
 struct MicroOptions {
   std::size_t threads = 2;
   std::size_t episodes = 2000;   // per thread
@@ -105,9 +112,14 @@ using BenchRow = std::vector<BenchCell>;
 [[nodiscard]] std::vector<BenchRow> micro_rows(
     std::span<const MicroResult> results);
 
-/// Structural validation of a parsed "imbar.bench.v1" document: schema
-/// string matches, name is a string, params is a flat object, rows is
-/// an array of flat objects (scalar cells only). Throws
+/// Structural validation of a parsed "imbar.bench.v1" (or
+/// "imbar.service.v1") document: schema string matches, name is a
+/// string, params is a flat object, rows is an array of flat objects
+/// (scalar cells only). Service documents must additionally carry a
+/// "service" object whose scalar members are finite and non-negative
+/// (group/participant counts cannot go negative) and whose "classes"
+/// array holds one entry per group class with a "class" string and
+/// finite, non-negative count/p50_us/p90_us/p99_us. Throws
 /// std::runtime_error describing the first violation; returns the row
 /// count.
 std::size_t validate_bench_json(const json::Value& doc);

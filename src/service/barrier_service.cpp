@@ -1,0 +1,716 @@
+#include "service/barrier_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+namespace imbar::service {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr double kNsPerUs = 1000.0;
+
+}  // namespace
+
+const char* to_string(CompletionKind kind) noexcept {
+  switch (kind) {
+    case CompletionKind::kPending:
+      return "pending";
+    case CompletionKind::kReleased:
+      return "released";
+    case CompletionKind::kQuorum:
+      return "quorum";
+    case CompletionKind::kLate:
+      return "late";
+    case CompletionKind::kCancelled:
+      return "cancelled";
+    case CompletionKind::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+BarrierService::BarrierService(Options opts)
+    : opts_(opts),
+      log_(opts.shards == 0 ? 1 : opts.shards, opts.record_log) {
+  if (opts_.shards == 0)
+    throw std::invalid_argument("BarrierService: shards must be >= 1");
+  if (opts_.batch == 0)
+    throw std::invalid_argument("BarrierService: batch must be >= 1");
+  slots_per_shard_ = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, opts_.slots / opts_.shards));
+  opts_.slots = static_cast<std::size_t>(slots_per_shard_) * opts_.shards;
+
+  shards_.reserve(opts_.shards);
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->first_slot = static_cast<std::uint32_t>(s) * slots_per_shard_;
+    sh->slots_sched =
+        std::make_unique<SlotScheduler>(sh->first_slot, slots_per_shard_);
+    sh->slots.resize(slots_per_shard_);
+    shards_.push_back(std::move(sh));
+  }
+  pool_ = std::make_unique<exec::TaskPool>(opts_.workers);
+  pool_raw_ = pool_.get();
+}
+
+BarrierService::~BarrierService() {
+  stopping_.store(true, std::memory_order_release);
+  drain();
+  pool_.reset();
+}
+
+void BarrierService::create_group(GroupId id, GroupOptions opts) {
+  Op op;
+  op.type = OpType::kCreate;
+  op.group = id;
+  op.create_opts = std::make_unique<GroupOptions>(std::move(opts));
+  enqueue(std::move(op));
+}
+
+void BarrierService::destroy_group(GroupId id) {
+  Op op;
+  op.type = OpType::kDestroy;
+  op.group = id;
+  enqueue(std::move(op));
+}
+
+void BarrierService::arrive(GroupId id, std::uint32_t member) {
+  Op op;
+  op.type = OpType::kArrive;
+  op.group = id;
+  op.member = member;
+  op.t_ns = now_ns();
+  enqueue(std::move(op));
+}
+
+ArrivalHandle BarrierService::arrive_with_handle(GroupId id,
+                                                 std::uint32_t member) {
+  auto state = std::make_shared<ArrivalState>();
+  Op op;
+  op.type = OpType::kArrive;
+  op.group = id;
+  op.member = member;
+  op.t_ns = now_ns();
+  op.handle = state;
+  enqueue(std::move(op));
+  return ArrivalHandle(std::move(state));
+}
+
+void BarrierService::arrive_all(GroupId id) {
+  Op op;
+  op.type = OpType::kArriveAll;
+  op.group = id;
+  op.t_ns = now_ns();
+  enqueue(std::move(op));
+}
+
+void BarrierService::poll() {
+  const std::uint64_t t = now_ns();
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    Op op;
+    op.type = OpType::kPoll;
+    // Route the op to shard s: shard_of(s) == s for s < shards.
+    op.group = static_cast<GroupId>(s);
+    op.t_ns = t;
+    enqueue(std::move(op));
+  }
+}
+
+void BarrierService::drain() {
+  std::unique_lock<std::mutex> lk(drain_mu_);
+  drain_cv_.wait(lk, [this] { return pending_ops_ == 0; });
+}
+
+void BarrierService::enqueue(Op op) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    // Destruction has begun; new work would race the final drain.
+    throw std::logic_error("BarrierService: op submitted after shutdown");
+  }
+  const std::size_t s = shard_of(op.group);
+  {
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    ++pending_ops_;
+  }
+  bool need_task = false;
+  Shard& sh = *shards_[s];
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.inbox.push_back(std::move(op));
+    if (!sh.scheduled) {
+      sh.scheduled = true;
+      need_task = true;
+    }
+  }
+  if (need_task) pool_raw_->submit([this, s] { drain_shard(s); });
+}
+
+void BarrierService::finish_ops(std::size_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lk(drain_mu_);
+  pending_ops_ -= n;
+  if (pending_ops_ == 0) drain_cv_.notify_all();
+}
+
+void BarrierService::drain_shard(std::size_t s) {
+  Shard& sh = *shards_[s];
+  for (;;) {
+    std::vector<Op> slice;
+    bool yield = false;
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      if (sh.inbox.empty()) {
+        sh.scheduled = false;
+        return;
+      }
+      // Backpressure heuristic only: slice size changes which ops a
+      // worker stint covers, never the order this shard applies them.
+      const bool contended = pool_raw_->pending() >= opts_.backpressure_depth;
+      if (!contended || sh.inbox.size() <= opts_.batch) {
+        slice.swap(sh.inbox);
+        yield = contended;
+      } else {
+        const auto cut =
+            sh.inbox.begin() + static_cast<std::ptrdiff_t>(opts_.batch);
+        slice.assign(std::make_move_iterator(sh.inbox.begin()),
+                     std::make_move_iterator(cut));
+        sh.inbox.erase(sh.inbox.begin(), cut);
+        yield = true;
+      }
+    }
+    for (Op& op : slice) process(sh, s, op);
+    finish_ops(slice.size());
+    if (yield) {
+      // Requeue behind whatever else is waiting so ready shards
+      // interleave instead of one shard monopolizing a worker.
+      pool_raw_->submit([this, s] { drain_shard(s); });
+      return;
+    }
+  }
+}
+
+void BarrierService::process(Shard& sh, std::size_t s, Op& op) {
+  switch (op.type) {
+    case OpType::kCreate:
+      process_create(sh, s, op.group, std::move(*op.create_opts));
+      break;
+    case OpType::kDestroy:
+      process_destroy(sh, s, op.group);
+      break;
+    case OpType::kArrive:
+      process_arrival(sh, s, op.group,
+                      Waiter{op.member, op.t_ns, std::move(op.handle)});
+      break;
+    case OpType::kArriveAll: {
+      const auto it = sh.groups.find(op.group);
+      if (it == sh.groups.end()) {
+        reject(s, op.group, "unknown-group", nullptr);
+        break;
+      }
+      const std::uint32_t n = it->second.opts.participants;
+      for (std::uint32_t m = 0; m < n; ++m)
+        process_arrival(sh, s, op.group, Waiter{m, op.t_ns, nullptr});
+      break;
+    }
+    case OpType::kPoll:
+      process_poll(sh, s, op.t_ns);
+      break;
+  }
+}
+
+std::uint32_t BarrierService::class_id_for(Shard& sh,
+                                           const std::string& name) {
+  std::uint32_t id = 0;
+  {
+    std::lock_guard<std::mutex> lk(class_mu_);
+    const auto it = class_ids_.find(name);
+    if (it != class_ids_.end()) {
+      id = it->second;
+    } else {
+      id = static_cast<std::uint32_t>(class_names_.size());
+      class_names_.push_back(name);
+      class_ids_.emplace(name, id);
+    }
+  }
+  while (sh.classes.size() <= id) sh.classes.emplace_back(ClassAcc(opts_));
+  return id;
+}
+
+void BarrierService::process_create(Shard& sh, std::size_t s, GroupId g,
+                                    GroupOptions opts) {
+  if (opts.participants == 0) {
+    reject(s, g, "zero-participants", nullptr);
+    return;
+  }
+  if (opts.quorum.quorum > opts.participants) {
+    reject(s, g, "quorum-exceeds-participants", nullptr);
+    return;
+  }
+  if (opts.quorum.deadline_budget < std::chrono::nanoseconds::zero()) {
+    reject(s, g, "negative-deadline-budget", nullptr);
+    return;
+  }
+  const auto [it, inserted] = sh.groups.try_emplace(g);
+  if (!inserted) {
+    reject(s, g, "duplicate-group", nullptr);
+    return;
+  }
+  GroupState& gs = it->second;
+  gs.opts = std::move(opts);
+  gs.class_id = class_id_for(sh, gs.opts.group_class);
+  gs.epoch = ++sh.epoch_counter;
+  gs.residency = Residency::kParked;
+
+  ClassAcc& acc = sh.classes[gs.class_id];
+  ++acc.groups;
+  acc.participants += gs.opts.participants;
+
+  counters_.groups_created.fetch_add(1, std::memory_order_relaxed);
+  if (log_.enabled()) {
+    log_.append(s, "s" + std::to_string(s) + " C g" + std::to_string(g) +
+                       " e" + std::to_string(gs.epoch) + " n" +
+                       std::to_string(gs.opts.participants) + " q" +
+                       std::to_string(gs.opts.quorum.quorum) +
+                       " class=" + gs.opts.group_class);
+  }
+}
+
+void BarrierService::process_destroy(Shard& sh, std::size_t s, GroupId g) {
+  const auto it = sh.groups.find(g);
+  if (it == sh.groups.end()) {
+    reject(s, g, "unknown-group", nullptr);
+    return;
+  }
+  GroupState& gs = it->second;
+  const std::uint64_t now = now_ns();
+  std::uint64_t cancelled = 0;
+
+  const bool held_slot = gs.residency == Residency::kActive;
+  if (held_slot) {
+    Slot& sl = sh.slots[gs.slot - sh.first_slot];
+    for (const Waiter& w : sl.waiters) {
+      deliver(sh, gs, g, gs.phase, w, CompletionKind::kCancelled, now);
+      ++cancelled;
+    }
+    for (const Waiter& w : sl.waiters) sl.arrived[w.member] = 0;
+    sl.waiters.clear();
+    sl.arrivals = 0;
+    if (gs.idle_listed) sh.slots_sched->unmark_idle(g);
+    sh.slots_sched->release(gs.slot);
+  }
+  for (const Waiter& w : gs.backlog) {
+    deliver(sh, gs, g, gs.phase, w, CompletionKind::kCancelled, now);
+    ++cancelled;
+  }
+
+  counters_.groups_destroyed.fetch_add(1, std::memory_order_relaxed);
+  if (log_.enabled()) {
+    log_.append(s, "s" + std::to_string(s) + " D g" + std::to_string(g) +
+                       " e" + std::to_string(gs.epoch) + " c" +
+                       std::to_string(cancelled));
+  }
+  sh.groups.erase(it);
+  // Stale ready-queue entries for g are filtered on pop.
+  if (held_slot) grant_ready(sh, s);
+}
+
+void BarrierService::process_arrival(Shard& sh, std::size_t s, GroupId g,
+                                     Waiter w) {
+  const auto it = sh.groups.find(g);
+  if (it == sh.groups.end()) {
+    reject(s, g, "unknown-group", w.handle);
+    return;
+  }
+  GroupState& gs = it->second;
+  if (w.member >= gs.opts.participants) {
+    reject(s, g, "member-out-of-range", w.handle);
+    return;
+  }
+  counters_.arrivals.fetch_add(1, std::memory_order_relaxed);
+
+  // Quorum debt first: one owed phase settles per arrival, exactly the
+  // robust::QuorumBarrier fast-forward reconciliation.
+  if (!gs.owed.empty() && gs.owed[w.member] > 0) {
+    --gs.owed[w.member];
+    --gs.owed_total;
+    deliver(sh, gs, g, gs.phase, w, CompletionKind::kLate, now_ns());
+    if (log_.enabled()) {
+      log_.append(s, "s" + std::to_string(s) + " L g" + std::to_string(g) +
+                         " m" + std::to_string(w.member) + " o" +
+                         std::to_string(gs.owed_total));
+    }
+    return;
+  }
+
+  switch (gs.residency) {
+    case Residency::kActive:
+      if (gs.idle_listed) {
+        sh.slots_sched->unmark_idle(g);
+        gs.idle_listed = false;
+      }
+      apply_waiter(sh, s, g, gs, std::move(w));
+      pump(sh, s, g, gs);
+      settle(sh, s, g, gs);
+      break;
+    case Residency::kReady:
+      gs.backlog.push_back(std::move(w));
+      break;
+    case Residency::kParked:
+      if (try_attach(sh, s, g, gs)) {
+        apply_waiter(sh, s, g, gs, std::move(w));
+        pump(sh, s, g, gs);
+        settle(sh, s, g, gs);
+      } else {
+        sh.slots_sched->enqueue_ready(g);
+        gs.residency = Residency::kReady;
+        gs.backlog.push_back(std::move(w));
+        counters_.ready_enqueues.fetch_add(1, std::memory_order_relaxed);
+        if (log_.enabled()) {
+          log_.append(s, "s" + std::to_string(s) + " W g" +
+                             std::to_string(g));
+        }
+      }
+      break;
+  }
+}
+
+void BarrierService::process_poll(Shard& sh, std::size_t s,
+                                  std::uint64_t t) {
+  counters_.polls.fetch_add(1, std::memory_order_relaxed);
+  while (!sh.deadlines.empty() && sh.deadlines.top().deadline_ns <= t) {
+    const DeadlineEntry e = sh.deadlines.top();
+    sh.deadlines.pop();
+    const auto it = sh.groups.find(e.group);
+    if (it == sh.groups.end()) continue;
+    GroupState& gs = it->second;
+    // Lazy invalidation: the entry is stale unless the group is still
+    // the same incarnation, on the same phase, with the deadline armed.
+    if (gs.epoch != e.epoch || gs.phase != e.phase || !gs.deadline_armed)
+      continue;
+    gs.budget_spent = true;
+    gs.deadline_armed = false;
+    if (gs.residency == Residency::kActive) {
+      pump(sh, s, e.group, gs);
+      settle(sh, s, e.group, gs);
+    }
+  }
+}
+
+bool BarrierService::try_attach(Shard& sh, std::size_t s, GroupId g,
+                                GroupState& gs) {
+  auto slot = sh.slots_sched->acquire_free();
+  if (!slot && sh.slots_sched->has_idle()) {
+    const GroupId victim = sh.slots_sched->pop_idle();
+    const auto vit = sh.groups.find(victim);
+    // Idle entries are kept in lockstep with group state, so the
+    // victim is always live, Active, and quiescent.
+    GroupState& vs = vit->second;
+    vs.idle_listed = false;  // pop_idle already removed it from the list
+    detach(sh, s, victim, vs, /*evicted=*/true);
+    slot = sh.slots_sched->acquire_free();
+  }
+  if (!slot) return false;
+
+  gs.slot = *slot;
+  gs.residency = Residency::kActive;
+  Slot& sl = sh.slots[gs.slot - sh.first_slot];
+  sl.arrived.assign(gs.opts.participants, 0);
+  sl.waiters.clear();
+  sl.arrivals = 0;
+  counters_.slot_grants.fetch_add(1, std::memory_order_relaxed);
+  if (log_.enabled()) {
+    log_.append(s, "s" + std::to_string(s) + " G g" + std::to_string(g) +
+                       " t" + std::to_string(gs.slot));
+  }
+  return true;
+}
+
+void BarrierService::detach(Shard& sh, std::size_t s, GroupId g,
+                            GroupState& gs, bool evicted) {
+  const std::uint32_t slot = gs.slot;
+  gs.slot = kNoSlot;
+  gs.residency = Residency::kParked;
+  sh.slots_sched->release(slot);
+  if (evicted)
+    counters_.slot_evictions.fetch_add(1, std::memory_order_relaxed);
+  else
+    counters_.slot_parks.fetch_add(1, std::memory_order_relaxed);
+  if (log_.enabled()) {
+    log_.append(s, "s" + std::to_string(s) + (evicted ? " E g" : " P g") +
+                       std::to_string(g) + " t" + std::to_string(slot));
+  }
+}
+
+void BarrierService::apply_waiter(Shard& sh, std::size_t s, GroupId g,
+                                  GroupState& gs, Waiter w) {
+  Slot& sl = sh.slots[gs.slot - sh.first_slot];
+  if (sl.arrived[w.member]) {
+    // Second arrival of this member before the phase released: it
+    // belongs to the next phase. Buffer it; pump's refill re-applies.
+    gs.backlog.push_back(std::move(w));
+    return;
+  }
+  sl.arrived[w.member] = 1;
+  if (sl.arrivals == 0) {
+    // First arrival of the phase: start the deadline budget.
+    gs.budget_spent = false;
+    gs.deadline_armed = false;
+    const QuorumConfig& q = gs.opts.quorum;
+    if (q.quorum > 0 && q.deadline_budget.count() > 0) {
+      gs.deadline_ns =
+          w.submit_ns + static_cast<std::uint64_t>(q.deadline_budget.count());
+      gs.deadline_armed = true;
+      sh.deadlines.push(DeadlineEntry{gs.deadline_ns, g, gs.epoch, gs.phase});
+    }
+  }
+  if (gs.deadline_armed && w.submit_ns >= gs.deadline_ns)
+    gs.budget_spent = true;
+  ++sl.arrivals;
+  if (log_.enabled()) {
+    log_.append(s, "s" + std::to_string(s) + " A g" + std::to_string(g) +
+                       " p" + std::to_string(gs.phase) + " m" +
+                       std::to_string(w.member));
+  }
+  sl.waiters.push_back(std::move(w));
+}
+
+void BarrierService::pump(Shard& sh, std::size_t s, GroupId g,
+                          GroupState& gs) {
+  for (;;) {
+    const Slot& sl = sh.slots[gs.slot - sh.first_slot];
+    const std::uint32_t n = gs.opts.participants;
+    const QuorumConfig& q = gs.opts.quorum;
+    bool strict = false;
+    if (sl.arrivals == n) {
+      strict = true;
+    } else if (q.quorum > 0 && sl.arrivals >= q.quorum &&
+               (q.deadline_budget.count() == 0 || gs.budget_spent)) {
+      strict = false;
+    } else {
+      break;
+    }
+    do_release(sh, s, g, gs, strict);
+    if (gs.backlog.empty()) continue;
+    std::vector<Waiter> buffered;
+    buffered.swap(gs.backlog);
+    for (Waiter& w : buffered) apply_waiter(sh, s, g, gs, std::move(w));
+  }
+}
+
+void BarrierService::do_release(Shard& sh, std::size_t s, GroupId g,
+                                GroupState& gs, bool strict) {
+  Slot& sl = sh.slots[gs.slot - sh.first_slot];
+  const std::uint32_t n = gs.opts.participants;
+  const std::uint64_t now = now_ns();
+  const CompletionKind kind =
+      strict ? CompletionKind::kReleased : CompletionKind::kQuorum;
+
+  if (log_.enabled()) {
+    log_.append(s, "s" + std::to_string(s) + " R g" + std::to_string(g) +
+                       " p" + std::to_string(gs.phase) +
+                       (strict ? " strict a" : " quorum a") +
+                       std::to_string(sl.arrivals));
+  }
+  if (strict)
+    counters_.releases_strict.fetch_add(1, std::memory_order_relaxed);
+  else
+    counters_.releases_quorum.fetch_add(1, std::memory_order_relaxed);
+
+  for (const Waiter& w : sl.waiters) deliver(sh, gs, g, gs.phase, w, kind, now);
+
+  if (!strict) {
+    // Owe the absent members one reconciliation each (exact-accounting
+    // ledger; ServiceCounters identity).
+    if (gs.owed.empty()) gs.owed.assign(n, 0);
+    std::uint64_t owed_now = 0;
+    for (std::uint32_t m = 0; m < n; ++m) {
+      if (!sl.arrived[m]) {
+        ++gs.owed[m];
+        ++owed_now;
+      }
+    }
+    gs.owed_total += owed_now;
+    counters_.owed_outstanding.fetch_add(owed_now, std::memory_order_relaxed);
+  }
+
+  // Reset the ledger for the next phase (O(arrivals), not O(n)).
+  for (const Waiter& w : sl.waiters) sl.arrived[w.member] = 0;
+  sl.waiters.clear();
+  sl.arrivals = 0;
+  ++gs.phase;
+  gs.deadline_armed = false;
+  gs.budget_spent = false;
+}
+
+void BarrierService::settle(Shard& sh, std::size_t s, GroupId g,
+                            GroupState& gs) {
+  if (gs.residency != Residency::kActive) return;
+  const Slot& sl = sh.slots[gs.slot - sh.first_slot];
+  if (sl.arrivals != 0 || !gs.backlog.empty()) return;
+  if (sh.slots_sched->has_ready()) {
+    // Someone is starving for a slot and this group is between phases:
+    // hand the slot over rather than sitting idle-but-resident.
+    detach(sh, s, g, gs, /*evicted=*/false);
+    grant_ready(sh, s);
+  } else if (!gs.idle_listed) {
+    sh.slots_sched->mark_idle(g);
+    gs.idle_listed = true;
+  }
+}
+
+void BarrierService::grant_ready(Shard& sh, std::size_t s) {
+  // Iterative (not recursive via settle): a handoff chain across a
+  // long ready queue must not grow the stack.
+  while (sh.slots_sched->free_count() > 0 && sh.slots_sched->has_ready()) {
+    const auto next = sh.slots_sched->pop_ready();
+    if (!next) break;
+    const auto it = sh.groups.find(*next);
+    if (it == sh.groups.end() || it->second.residency != Residency::kReady)
+      continue;  // stale entry (group destroyed or already granted)
+    GroupState& gs = it->second;
+    try_attach(sh, s, *next, gs);  // free slot exists: always succeeds
+    std::vector<Waiter> buffered;
+    buffered.swap(gs.backlog);
+    for (Waiter& w : buffered) apply_waiter(sh, s, *next, gs, std::move(w));
+    pump(sh, s, *next, gs);
+    const Slot& sl = sh.slots[gs.slot - sh.first_slot];
+    if (sl.arrivals == 0 && gs.backlog.empty()) {
+      if (sh.slots_sched->has_ready()) {
+        detach(sh, s, *next, gs, /*evicted=*/false);  // chain continues
+      } else {
+        sh.slots_sched->mark_idle(*next);
+        gs.idle_listed = true;
+      }
+    }
+  }
+}
+
+void BarrierService::deliver(Shard& sh, const GroupState& gs, GroupId g,
+                             std::uint64_t phase, const Waiter& w,
+                             CompletionKind kind, std::uint64_t now) {
+  const std::uint64_t lat = now >= w.submit_ns ? now - w.submit_ns : 0;
+  if (w.handle) {
+    w.handle->phase = phase;
+    w.handle->latency_ns = lat;
+    w.handle->kind.store(static_cast<std::uint8_t>(kind),
+                         std::memory_order_release);
+  }
+  if (gs.opts.on_complete) {
+    Completion c;
+    c.group = g;
+    c.epoch = gs.epoch;
+    c.phase = phase;
+    c.member = w.member;
+    c.kind = kind;
+    c.latency_ns = lat;
+    gs.opts.on_complete(c);
+  }
+  switch (kind) {
+    case CompletionKind::kReleased:
+      counters_.completions_strict.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CompletionKind::kQuorum:
+      counters_.completions_quorum.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CompletionKind::kLate:
+      counters_.completions_late.fetch_add(1, std::memory_order_relaxed);
+      // One owed phase settled: counted against the debt ledger.
+      counters_.owed_outstanding.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    case CompletionKind::kCancelled:
+      counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+  if (kind == CompletionKind::kReleased || kind == CompletionKind::kQuorum ||
+      kind == CompletionKind::kLate) {
+    ClassAcc& acc = sh.classes[gs.class_id];
+    const double us = static_cast<double>(lat) / kNsPerUs;
+    acc.latency_us.add(us);
+    acc.stats.add(us);
+  }
+}
+
+void BarrierService::reject(std::size_t s, GroupId g, const char* reason,
+                            const std::shared_ptr<ArrivalState>& handle) {
+  counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+  if (handle) {
+    handle->kind.store(static_cast<std::uint8_t>(CompletionKind::kRejected),
+                       std::memory_order_release);
+  }
+  if (log_.enabled()) {
+    log_.append(s, "s" + std::to_string(s) + " X g" + std::to_string(g) +
+                       " " + reason);
+  }
+}
+
+ServiceCounters BarrierService::counters() const {
+  ServiceCounters c;
+  const auto ld = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  c.groups_created = ld(counters_.groups_created);
+  c.groups_destroyed = ld(counters_.groups_destroyed);
+  c.arrivals = ld(counters_.arrivals);
+  c.completions_strict = ld(counters_.completions_strict);
+  c.completions_quorum = ld(counters_.completions_quorum);
+  c.completions_late = ld(counters_.completions_late);
+  c.cancelled = ld(counters_.cancelled);
+  c.rejected = ld(counters_.rejected);
+  c.releases_strict = ld(counters_.releases_strict);
+  c.releases_quorum = ld(counters_.releases_quorum);
+  c.slot_grants = ld(counters_.slot_grants);
+  c.slot_evictions = ld(counters_.slot_evictions);
+  c.slot_parks = ld(counters_.slot_parks);
+  c.ready_enqueues = ld(counters_.ready_enqueues);
+  c.polls = ld(counters_.polls);
+  c.owed_outstanding = ld(counters_.owed_outstanding);
+  return c;
+}
+
+std::vector<BarrierService::ClassStats> BarrierService::class_stats() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lk(class_mu_);
+    names = class_names_;
+  }
+  std::vector<ClassStats> out;
+  out.reserve(names.size());
+  for (std::size_t id = 0; id < names.size(); ++id) {
+    ClassStats cs{names[id],
+                  0,
+                  0,
+                  Histogram(0.0, opts_.latency_hist_hi_us,
+                            opts_.latency_hist_bins),
+                  RunningStats{}};
+    for (const auto& shp : shards_) {
+      if (id >= shp->classes.size()) continue;
+      const ClassAcc& acc = shp->classes[id];
+      cs.groups += acc.groups;
+      cs.participants += acc.participants;
+      cs.latency_us.merge(acc.latency_us);
+      cs.stats.merge(acc.stats);
+    }
+    out.push_back(std::move(cs));
+  }
+  // Registration order is racy across shards; name order is not.
+  std::sort(out.begin(), out.end(),
+            [](const ClassStats& a, const ClassStats& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string BarrierService::completion_log() const { return log_.merged(); }
+
+}  // namespace imbar::service

@@ -1,0 +1,358 @@
+// Barrier virtualization service: multiplex logical barrier groups
+// onto a bounded physical runtime.
+//
+// ## Shape
+//
+//   clients ──arrive(g, m)──▶ shard inbox ──▶ exec::TaskPool workers
+//                                │                    │
+//                         (FIFO, mutexed)      drain loop (actor):
+//                                             apply arrivals to the
+//                                             group's physical slot,
+//                                             release phases, fire
+//                                             completions
+//
+// A *logical group* is (participants n, class, quorum options); a
+// *logical participant* is an arrival op — data, not a thread. Groups
+// are sharded by `id % shards`; each shard is an actor: at most one
+// worker drains a shard at a time, so all per-group state is touched
+// single-threaded and the per-shard event order equals the submission
+// order. The physical resources are Options::slots arrival ledgers
+// and the TaskPool's workers — both bounded and independent of how
+// many logical groups or participants exist.
+//
+// ## Slot multiplexing
+//
+// A group needs a physical slot only while a phase is in flight. The
+// per-shard SlotScheduler grants slots free-list-first, evicts idle
+// holders LRU when the free list is empty, and queues groups FIFO when
+// neither works; a released slot is handed to the queue head. Parked
+// groups keep only their compact descriptor (a few dozen bytes), which
+// is what lets ~10K groups / ~1M logical participants ride on a few
+// hundred slots (bench/ext_service_soak).
+//
+// ## Create/destroy under load: the epoch fence, degenerated
+//
+// robust::MembershipGroup applies roster surgery at an epoch fence:
+// raise the fence, cancel and drain in-flight waits, mutate, advance
+// the epoch. The service reuses exactly that discipline, but because
+// waiters are data owned by the shard actor, the drain step is
+// implicit — destroy_group() is an op in the same FIFO as arrivals, so
+// by construction it observes no torn arrival. What remains of the
+// machinery is what still matters: pending completions are cancelled
+// deterministically (slot waiters in application order, then queued
+// backlog), and the per-shard epoch counter stamps each incarnation so
+// a stale ArrivalHandle can always be told from a current one —
+// MembershipGroup's phase ledger, one level up.
+//
+// ## Quorum and deadlines
+//
+// GroupOptions::quorum passes the robust:: QuorumConfig vocabulary
+// through: a phase releases strictly when all n arrive, or by quorum
+// once >= k have arrived and the deadline budget (measured from the
+// phase's first arrival) is spent — budget 0 releases the moment the
+// quorum forms. Members that arrive after a quorum release are
+// reconciled QuorumBarrier-style: one owed phase settled per arrival
+// (kLate), with exact accounting (ServiceCounters identity).
+//
+// ## Determinism contract
+//
+// With a single submitting thread and no deadline budgets in play, the
+// merged CompletionLog is byte-identical across any worker count
+// (tests/test_service_determinism.cpp), because every scheduling
+// freedom either lives outside the log (which worker drains a shard,
+// drain batch boundaries) or is removed (per-shard slot partitions,
+// smallest-ID grants, FIFO ready queues). See docs/service.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/task_pool.hpp"
+#include "service/completion_log.hpp"
+#include "service/slot_scheduler.hpp"
+#include "service/types.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace imbar::service {
+
+class BarrierService {
+ public:
+  struct Options {
+    /// Shards (actors). More shards = more drain parallelism and less
+    /// inbox contention; determinism never depends on the count, but
+    /// the log's shard assignment does (id % shards).
+    std::size_t shards = 8;
+    /// Physical slots total, partitioned evenly across shards (at
+    /// least one per shard; the effective total is what options()
+    /// reports after normalization).
+    std::size_t slots = 64;
+    /// TaskPool workers; 0 = one per hardware thread.
+    std::size_t workers = 0;
+    /// Max ops a drain processes before offering the worker back to
+    /// the pool when other tasks are queued (see backpressure_depth).
+    std::size_t batch = 256;
+    /// Backpressure knob: when TaskPool::pending() >= this, a drain
+    /// takes bounded `batch` slices and requeues itself so ready
+    /// shards interleave; below it, the drain runs greedily. Affects
+    /// scheduling only — never per-shard op order.
+    std::size_t backpressure_depth = 1;
+    /// Record the per-shard CompletionLog (determinism tests; off for
+    /// production/soak workloads).
+    bool record_log = false;
+    /// Per-class latency histogram geometry (microseconds).
+    double latency_hist_hi_us = 1.0e6;
+    std::size_t latency_hist_bins = 128;
+  };
+
+  /// Merged per-class latency accumulators (class_stats()).
+  struct ClassStats {
+    std::string name;
+    std::uint64_t groups = 0;        // groups created with this class
+    std::uint64_t participants = 0;  // sum of their participant counts
+    Histogram latency_us;
+    RunningStats stats;
+  };
+
+  BarrierService() : BarrierService(Options()) {}
+  explicit BarrierService(Options opts);
+  /// Quiesces (drain()) and joins the worker pool. No other member
+  /// function may race destruction.
+  ~BarrierService();
+
+  BarrierService(const BarrierService&) = delete;
+  BarrierService& operator=(const BarrierService&) = delete;
+
+  /// Register a logical group (asynchronous, like every op). Invalid
+  /// options (participants == 0, quorum > participants, negative
+  /// budget) or a duplicate live ID are rejected at processing time:
+  /// counted in ServiceCounters::rejected and logged as `X`.
+  void create_group(GroupId id, GroupOptions opts);
+
+  /// Remove a group at the shard's op boundary: pending completions
+  /// cancel deterministically, the slot (if held) is handed to the
+  /// next ready group, the epoch retires. Unknown IDs are rejected.
+  void destroy_group(GroupId id);
+
+  /// Fire-and-forget logical arrival: no allocation, completion
+  /// reported through the group's CompletionFn.
+  void arrive(GroupId id, std::uint32_t member);
+
+  /// Arrival with a poll-style completion token.
+  [[nodiscard]] ArrivalHandle arrive_with_handle(GroupId id,
+                                                 std::uint32_t member);
+
+  /// All n members of `id` arrive at once — one op, n logical
+  /// arrivals, expanded in member order by the shard. The bulk path
+  /// for drivers that tick whole groups (bench/ext_service_soak
+  /// --submit=group).
+  void arrive_all(GroupId id);
+
+  /// Deadline sweep: every shard checks its armed quorum deadlines
+  /// against the current clock. Only needed when deadline budgets are
+  /// in use and arrivals alone might not advance the clock past them.
+  void poll();
+
+  /// Block until every op submitted so far has been processed. The
+  /// returned quiescence is what makes counters()/class_stats()/
+  /// completion_log() exact.
+  void drain();
+
+  [[nodiscard]] ServiceCounters counters() const;
+
+  /// Merged per-class latency accumulators. Call at quiescence (after
+  /// drain()); per-shard accumulators are merged by class name.
+  [[nodiscard]] std::vector<ClassStats> class_stats() const;
+
+  /// Merged deterministic event log (requires Options::record_log and
+  /// quiescence).
+  [[nodiscard]] std::string completion_log() const;
+
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+  [[nodiscard]] std::size_t shard_of(GroupId id) const noexcept {
+    return static_cast<std::size_t>(id % opts_.shards);
+  }
+  /// The bounded worker pool (for exec.v1 telemetry folds).
+  [[nodiscard]] const exec::TaskPool& pool() const noexcept { return *pool_; }
+
+ private:
+  enum class OpType : std::uint8_t {
+    kCreate,
+    kDestroy,
+    kArrive,
+    kArriveAll,
+    kPoll,
+  };
+
+  struct Op {
+    OpType type = OpType::kArrive;
+    GroupId group = 0;
+    std::uint32_t member = 0;
+    std::uint64_t t_ns = 0;  // submit time (arrivals) or sweep time (poll)
+    std::shared_ptr<ArrivalState> handle;        // arrive_with_handle only
+    std::unique_ptr<GroupOptions> create_opts;   // kCreate only
+  };
+
+  /// One buffered logical arrival (slot waiter or backlog entry).
+  struct Waiter {
+    std::uint32_t member = 0;
+    std::uint64_t submit_ns = 0;
+    std::shared_ptr<ArrivalState> handle;
+  };
+
+  /// The physical resource: a reusable arrival ledger.
+  struct Slot {
+    std::vector<std::uint8_t> arrived;  // sized to the owner's n on attach
+    std::vector<Waiter> waiters;        // applied arrivals, application order
+    std::uint32_t arrivals = 0;
+  };
+
+  enum class Residency : std::uint8_t { kParked, kReady, kActive };
+
+  struct GroupState {
+    GroupOptions opts;
+    std::uint64_t epoch = 0;
+    std::uint64_t phase = 0;
+    std::uint32_t class_id = 0;
+    Residency residency = Residency::kParked;
+    bool idle_listed = false;
+    std::uint32_t slot = kNoSlot;
+    // Quorum deadline state for the in-flight phase.
+    bool deadline_armed = false;
+    bool budget_spent = false;
+    std::uint64_t deadline_ns = 0;
+    // Arrivals waiting for a slot grant or for a future phase.
+    std::vector<Waiter> backlog;
+    // Per-member quorum debt (missed quorum-released phases), lazily
+    // allocated on the first quorum release — the reconciliation
+    // ledger, robust::QuorumBarrier's exact-accounting counterpart.
+    std::vector<std::uint32_t> owed;
+    std::uint64_t owed_total = 0;
+  };
+
+  struct DeadlineEntry {
+    std::uint64_t deadline_ns = 0;
+    GroupId group = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t phase = 0;
+    bool operator>(const DeadlineEntry& o) const noexcept {
+      return deadline_ns > o.deadline_ns;
+    }
+  };
+
+  struct ClassAcc {
+    std::uint64_t groups = 0;
+    std::uint64_t participants = 0;
+    Histogram latency_us;
+    RunningStats stats;
+    explicit ClassAcc(const Options& o)
+        : latency_us(0.0, o.latency_hist_hi_us, o.latency_hist_bins) {}
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::vector<Op> inbox;
+    bool scheduled = false;
+    // Everything below is actor state: touched only by the worker
+    // currently draining this shard.
+    std::uint32_t first_slot = 0;  // base of this shard's slot ID range
+    std::uint64_t epoch_counter = 0;
+    std::unordered_map<GroupId, GroupState> groups;
+    std::unique_ptr<SlotScheduler> slots_sched;
+    std::vector<Slot> slots;  // local index = id - first_slot
+    std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                        std::greater<DeadlineEntry>>
+        deadlines;
+    std::vector<ClassAcc> classes;  // indexed by class_id
+  };
+
+  void enqueue(Op op);
+  void drain_shard(std::size_t s);
+  void process(Shard& sh, std::size_t s, Op& op);
+  void process_create(Shard& sh, std::size_t s, GroupId g, GroupOptions opts);
+  void process_destroy(Shard& sh, std::size_t s, GroupId g);
+  void process_arrival(Shard& sh, std::size_t s, GroupId g, Waiter w);
+  void process_poll(Shard& sh, std::size_t s, std::uint64_t now_ns);
+
+  /// Mark one arrival in the slot ledger (no release decisions here).
+  void apply_waiter(Shard& sh, std::size_t s, GroupId g, GroupState& gs,
+                    Waiter w);
+  /// Release phases while the release condition holds, re-applying
+  /// backlog after each advance.
+  void pump(Shard& sh, std::size_t s, GroupId g, GroupState& gs);
+  void do_release(Shard& sh, std::size_t s, GroupId g, GroupState& gs,
+                  bool strict);
+  /// Post-pump residency bookkeeping: park/hand off an idle slot, or
+  /// join the idle list.
+  void settle(Shard& sh, std::size_t s, GroupId g, GroupState& gs);
+  /// Grant freed slots to ready groups until either runs out.
+  void grant_ready(Shard& sh, std::size_t s);
+  bool try_attach(Shard& sh, std::size_t s, GroupId g, GroupState& gs);
+  void detach(Shard& sh, std::size_t s, GroupId g, GroupState& gs,
+              bool evicted);
+
+  void deliver(Shard& sh, const GroupState& gs, GroupId g,
+               std::uint64_t phase, const Waiter& w, CompletionKind kind,
+               std::uint64_t now_ns);
+  void reject(std::size_t s, GroupId g, const char* reason,
+              const std::shared_ptr<ArrivalState>& handle);
+
+  std::uint32_t class_id_for(Shard& sh, const std::string& name);
+
+  void finish_ops(std::size_t n);
+
+  Options opts_;
+  std::uint32_t slots_per_shard_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  CompletionLog log_;
+  std::unique_ptr<exec::TaskPool> pool_;
+  // Worker-side alias for pool_, written exactly once in the
+  // constructor: drain tasks may still be running when the destructor
+  // resets the unique_ptr (the TaskPool destructor joins them before
+  // freeing the object), so they must not read the owning slot.
+  exec::TaskPool* pool_raw_ = nullptr;
+  std::atomic<bool> stopping_{false};
+
+  // Quiescence accounting (mutex-protected so drain() establishes a
+  // happens-before edge with every shard's writes — TSan-clean reads
+  // of counters/logs/stats at quiesce).
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::size_t pending_ops_ = 0;
+
+  // Class name registry (create-path only; shard-local ClassAccs are
+  // indexed by the IDs handed out here).
+  mutable std::mutex class_mu_;
+  std::vector<std::string> class_names_;
+  std::unordered_map<std::string, std::uint32_t> class_ids_;
+
+  // Relaxed totals; exact at quiescence.
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> groups_created{0};
+    std::atomic<std::uint64_t> groups_destroyed{0};
+    std::atomic<std::uint64_t> arrivals{0};
+    std::atomic<std::uint64_t> completions_strict{0};
+    std::atomic<std::uint64_t> completions_quorum{0};
+    std::atomic<std::uint64_t> completions_late{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> releases_strict{0};
+    std::atomic<std::uint64_t> releases_quorum{0};
+    std::atomic<std::uint64_t> slot_grants{0};
+    std::atomic<std::uint64_t> slot_evictions{0};
+    std::atomic<std::uint64_t> slot_parks{0};
+    std::atomic<std::uint64_t> ready_enqueues{0};
+    std::atomic<std::uint64_t> polls{0};
+    std::atomic<std::uint64_t> owed_outstanding{0};
+  };
+  AtomicCounters counters_;
+};
+
+}  // namespace imbar::service

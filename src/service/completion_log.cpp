@@ -1,0 +1,175 @@
+#include "service/completion_log.hpp"
+
+#include <cstddef>
+#include <map>
+#include <sstream>
+
+namespace imbar::service {
+
+std::string CompletionLog::merged() const {
+  std::string out;
+  std::size_t bytes = 0;
+  for (const auto& shard : lines_)
+    for (const std::string& l : shard) bytes += l.size() + 1;
+  out.reserve(bytes);
+  for (const auto& shard : lines_)
+    for (const std::string& l : shard) {
+      out += l;
+      out += '\n';
+    }
+  return out;
+}
+
+std::size_t CompletionLog::line_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& shard : lines_) n += shard.size();
+  return n;
+}
+
+namespace {
+
+// Split a line into whitespace-separated tokens.
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream in(line);
+  std::string t;
+  while (in >> t) toks.push_back(std::move(t));
+  return toks;
+}
+
+// Numeric payload of a "<letter><digits>" token; false if malformed or
+// the prefix does not match.
+bool num_after(const std::string& tok, char prefix, std::uint64_t& out) {
+  if (tok.size() < 2 || tok[0] != prefix) return false;
+  out = 0;
+  for (std::size_t i = 1; i < tok.size(); ++i) {
+    if (tok[i] < '0' || tok[i] > '9') return false;
+    out = out * 10 + static_cast<std::uint64_t>(tok[i] - '0');
+  }
+  return true;
+}
+
+struct GroupReplay {
+  bool live = false;
+  std::uint64_t epoch = 0;
+  std::uint64_t participants = 0;
+  std::uint64_t quorum = 0;
+  std::uint64_t next_phase = 0;       // next phase expected to release
+  std::uint64_t current_arrivals = 0; // applied arrivals of next_phase
+  bool holds_slot = false;
+};
+
+}  // namespace
+
+LogAudit audit_completion_log(const std::string& merged) {
+  LogAudit audit;
+  std::map<std::uint64_t, GroupReplay> groups;
+
+  auto violate = [&audit](std::size_t lineno, const std::string& what) {
+    audit.violations.push_back("line " + std::to_string(lineno + 1) + ": " +
+                               what);
+  };
+
+  std::istringstream in(merged);
+  std::string line;
+  for (std::size_t lineno = 0; std::getline(in, line); ++lineno) {
+    if (line.empty()) continue;
+    const std::vector<std::string> toks = tokens_of(line);
+    std::uint64_t shard = 0;
+    if (toks.size() < 2 || !num_after(toks[0], 's', shard)) {
+      violate(lineno, "unparseable line: " + line);
+      continue;
+    }
+    const std::string& ev = toks[1];
+    std::uint64_t g = 0;
+    const bool has_group =
+        toks.size() >= 3 && num_after(toks[2], 'g', g);
+    if (!has_group) {
+      violate(lineno, "event without group: " + line);
+      continue;
+    }
+    GroupReplay& gr = groups[g];
+
+    if (ev == "C") {
+      std::uint64_t e = 0, n = 0, q = 0;
+      if (toks.size() < 6 || !num_after(toks[3], 'e', e) ||
+          !num_after(toks[4], 'n', n) || !num_after(toks[5], 'q', q)) {
+        violate(lineno, "malformed create: " + line);
+        continue;
+      }
+      if (gr.live) violate(lineno, "create of live group g" + toks[2]);
+      gr = GroupReplay{};
+      gr.live = true;
+      gr.epoch = e;
+      gr.participants = n;
+      gr.quorum = q;
+      ++audit.creates;
+    } else if (ev == "D") {
+      if (!gr.live) violate(lineno, "destroy of unknown group: " + line);
+      gr.live = false;
+      gr.holds_slot = false;
+      ++audit.destroys;
+    } else if (ev == "X") {
+      // Rejections carry no state transitions.
+    } else if (!gr.live) {
+      violate(lineno, "event for non-live group: " + line);
+    } else if (ev == "A") {
+      std::uint64_t p = 0, m = 0;
+      if (toks.size() < 5 || !num_after(toks[3], 'p', p) ||
+          !num_after(toks[4], 'm', m)) {
+        violate(lineno, "malformed arrival: " + line);
+        continue;
+      }
+      if (p != gr.next_phase)
+        violate(lineno, "arrival applied to phase " + std::to_string(p) +
+                            ", expected " + std::to_string(gr.next_phase));
+      if (m >= gr.participants)
+        violate(lineno, "arrival member out of range: " + line);
+      if (++gr.current_arrivals > gr.participants)
+        violate(lineno, "more arrivals than participants: " + line);
+      ++audit.arrivals;
+    } else if (ev == "R") {
+      std::uint64_t p = 0, a = 0;
+      if (toks.size() < 6 || !num_after(toks[3], 'p', p) ||
+          !num_after(toks[5], 'a', a)) {
+        violate(lineno, "malformed release: " + line);
+        continue;
+      }
+      const std::string& mode = toks[4];
+      if (p != gr.next_phase)
+        violate(lineno, "release of phase " + std::to_string(p) +
+                            ", expected " + std::to_string(gr.next_phase));
+      if (a != gr.current_arrivals)
+        violate(lineno, "release arrival count mismatch: " + line);
+      if (mode == "strict") {
+        if (a != gr.participants)
+          violate(lineno, "strict release before all arrivals: " + line);
+        ++audit.releases_strict;
+      } else if (mode == "quorum") {
+        if (gr.quorum == 0 || a < gr.quorum || a >= gr.participants)
+          violate(lineno, "quorum release outside [q, n): " + line);
+        ++audit.releases_quorum;
+      } else {
+        violate(lineno, "unknown release mode: " + line);
+      }
+      ++gr.next_phase;
+      gr.current_arrivals = 0;
+    } else if (ev == "L") {
+      ++audit.lates;
+    } else if (ev == "G") {
+      if (gr.holds_slot) violate(lineno, "double slot grant: " + line);
+      gr.holds_slot = true;
+    } else if (ev == "E" || ev == "P") {
+      if (!gr.holds_slot)
+        violate(lineno, "slot release without grant: " + line);
+      gr.holds_slot = false;
+    } else if (ev == "W") {
+      if (gr.holds_slot) violate(lineno, "queued while holding slot: " + line);
+    } else {
+      violate(lineno, "unknown event: " + line);
+    }
+  }
+  return audit;
+}
+
+}  // namespace imbar::service

@@ -1,0 +1,84 @@
+// Deterministic per-shard event logs for the virtualization service.
+//
+// The service's determinism contract (docs/service.md) is exec-style:
+// for a scripted single-driver workload, the merged log is
+// byte-identical for any worker count, because each line is appended by
+// the one worker draining that shard (per-shard order = inbox FIFO =
+// submission order) and merged() concatenates shards in index order —
+// exactly how the sweep pipeline merges task outputs in task-index
+// order. Timestamps and latencies never appear in log lines; they are
+// metrics, not events.
+//
+// Line grammar (one event per line, shard-prefixed):
+//   s<shard> C g<id> e<epoch> n<parts> q<quorum> class=<name>   create
+//   s<shard> X g<id> <reason>                                   rejected op
+//   s<shard> G g<id> t<slot>                                    slot grant
+//   s<shard> E g<id> t<slot>                                    idle eviction
+//   s<shard> P g<id> t<slot>                                    voluntary park
+//   s<shard> W g<id>                                            queued for slot
+//   s<shard> A g<id> p<phase> m<member>                         arrival applied
+//   s<shard> R g<id> p<phase> <strict|quorum> a<arrivals>       phase release
+//   s<shard> L g<id> m<member> o<owed-left>                     late reconcile
+//   s<shard> D g<id> e<epoch> c<cancelled>                      destroy
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imbar::service {
+
+/// Per-shard append-only event log. append() must only be called by
+/// the worker currently draining `shard` (the actor discipline the
+/// BarrierService enforces); merged() requires quiescence.
+class CompletionLog {
+ public:
+  CompletionLog(std::size_t shards, bool enabled)
+      : enabled_(enabled), lines_(shards) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void append(std::size_t shard, std::string line) {
+    if (enabled_) lines_.at(shard).push_back(std::move(line));
+  }
+
+  /// All lines, shards concatenated in index order, '\n'-terminated.
+  [[nodiscard]] std::string merged() const;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return lines_.size();
+  }
+  [[nodiscard]] std::size_t line_count() const noexcept;
+
+ private:
+  bool enabled_;
+  std::vector<std::vector<std::string>> lines_;
+};
+
+/// Result of auditing a merged log against the service's safety
+/// contract. Violations are human-readable descriptions; an empty
+/// vector means the log is consistent.
+struct LogAudit {
+  std::uint64_t creates = 0;
+  std::uint64_t destroys = 0;
+  std::uint64_t releases_strict = 0;
+  std::uint64_t releases_quorum = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t lates = 0;
+  std::vector<std::string> violations;
+};
+
+/// Replay a merged() log and check the conformance-style properties
+/// the tests assert (tests/test_service.cpp):
+///   * releases refer to a created, not-yet-destroyed group;
+///   * a strict release of (group, phase) is preceded by exactly n
+///     applied arrivals for that phase, a quorum release by at least q
+///     and fewer than n;
+///   * per group incarnation, phases release in order 0, 1, 2, ...
+///     with no phase released twice;
+///   * no phase accumulates more than n applied arrivals;
+///   * grants and parks/evictions alternate per group (a group never
+///     holds two slots, never releases a slot it does not hold).
+[[nodiscard]] LogAudit audit_completion_log(const std::string& merged);
+
+}  // namespace imbar::service

@@ -1,0 +1,135 @@
+#include "service/service_metrics.hpp"
+
+#include "obs/json.hpp"
+
+namespace imbar::service {
+
+namespace {
+
+void write_cell(obs::JsonWriter& w, const obs::BenchCell& c) {
+  using Kind = obs::BenchCell::Kind;
+  switch (c.kind) {
+    case Kind::kNumber:
+      w.kv(c.key, c.number);
+      break;
+    case Kind::kString:
+      w.kv(c.key, c.string);
+      break;
+    case Kind::kBool:
+      w.kv(c.key, c.boolean);
+      break;
+  }
+}
+
+}  // namespace
+
+void fold_service_metrics(const BarrierService& service,
+                          obs::MetricsRegistry& registry) {
+  const ServiceCounters c = service.counters();
+  const std::string p = std::string(kServiceMetricsPrefix) + ".";
+  registry.set_counter(p + "groups_created", c.groups_created);
+  registry.set_counter(p + "groups_destroyed", c.groups_destroyed);
+  registry.set_counter(p + "arrivals", c.arrivals);
+  registry.set_counter(p + "completions_strict", c.completions_strict);
+  registry.set_counter(p + "completions_quorum", c.completions_quorum);
+  registry.set_counter(p + "completions_late", c.completions_late);
+  registry.set_counter(p + "cancelled", c.cancelled);
+  registry.set_counter(p + "rejected", c.rejected);
+  registry.set_counter(p + "releases_strict", c.releases_strict);
+  registry.set_counter(p + "releases_quorum", c.releases_quorum);
+  registry.set_counter(p + "slot_grants", c.slot_grants);
+  registry.set_counter(p + "slot_evictions", c.slot_evictions);
+  registry.set_counter(p + "slot_parks", c.slot_parks);
+  registry.set_counter(p + "ready_enqueues", c.ready_enqueues);
+  registry.set_counter(p + "polls", c.polls);
+  registry.set_counter(p + "owed_outstanding", c.owed_outstanding);
+  registry.set_counter(p + "shards", service.options().shards);
+  registry.set_counter(p + "slots", service.options().slots);
+
+  for (const BarrierService::ClassStats& cs : service.class_stats()) {
+    registry.merge_labeled(p + "latency_us", "class=" + cs.name,
+                           cs.latency_us, cs.stats);
+  }
+}
+
+std::string service_soak_json(const std::string& name,
+                              const obs::BenchRow& params,
+                              const BarrierService& service,
+                              const PhaseLog* phases) {
+  const ServiceCounters c = service.counters();
+  const std::vector<BarrierService::ClassStats> classes =
+      service.class_stats();
+
+  std::uint64_t logical = 0;
+  for (const auto& cs : classes) logical += cs.participants;
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", obs::kServiceSchema);
+  w.kv("name", name);
+  w.key("params").begin_object();
+  for (const obs::BenchCell& cell : params) write_cell(w, cell);
+  w.end_object();
+  if (phases != nullptr) {
+    w.key("phases").begin_array();
+    for (const PhaseLog::Phase& ph : phases->phases()) {
+      w.begin_object();
+      w.kv("name", ph.name);
+      w.kv("elapsed_s", ph.elapsed_s);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  w.key("service").begin_object();
+  w.kv("groups", c.groups_created);
+  w.kv("logical_participants", logical);
+  w.kv("shards", static_cast<std::uint64_t>(service.options().shards));
+  w.kv("slots", static_cast<std::uint64_t>(service.options().slots));
+  w.kv("workers", static_cast<std::uint64_t>(service.pool().size()));
+  w.kv("arrivals", c.arrivals);
+  w.kv("releases_strict", c.releases_strict);
+  w.kv("releases_quorum", c.releases_quorum);
+  w.kv("completions_late", c.completions_late);
+  w.kv("cancelled", c.cancelled);
+  w.kv("rejected", c.rejected);
+  w.kv("slot_grants", c.slot_grants);
+  w.kv("slot_evictions", c.slot_evictions);
+  w.kv("ready_enqueues", c.ready_enqueues);
+  w.key("classes").begin_array();
+  for (const auto& cs : classes) {
+    w.begin_object();
+    w.kv("class", cs.name);
+    w.kv("groups", cs.groups);
+    w.kv("participants", cs.participants);
+    w.kv("count", static_cast<std::uint64_t>(cs.stats.count()));
+    w.kv("mean_us", cs.stats.mean());
+    w.kv("p50_us", cs.latency_us.quantile(0.50));
+    w.kv("p90_us", cs.latency_us.quantile(0.90));
+    w.kv("p99_us", cs.latency_us.quantile(0.99));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  // Rows mirror the class entries so generic bench.v1 consumers (the
+  // plotting tools read "rows") see the per-class percentiles too.
+  w.key("rows").begin_array();
+  for (const auto& cs : classes) {
+    w.begin_object();
+    w.kv("class", cs.name);
+    w.kv("groups", cs.groups);
+    w.kv("participants", cs.participants);
+    w.kv("count", static_cast<std::uint64_t>(cs.stats.count()));
+    w.kv("mean_us", cs.stats.mean());
+    w.kv("p50_us", cs.latency_us.quantile(0.50));
+    w.kv("p90_us", cs.latency_us.quantile(0.90));
+    w.kv("p99_us", cs.latency_us.quantile(0.99));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace imbar::service

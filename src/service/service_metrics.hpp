@@ -1,0 +1,45 @@
+// "service.v1" metrics fold and the "imbar.service.v1" soak document.
+//
+// Two exporters for the virtualization layer, mirroring how the exec
+// layer surfaces telemetry (obs/exec_metrics.hpp):
+//
+//   * fold_service_metrics() — ServiceCounters into the registry as
+//     "service.v1.*" counters, plus one labeled latency-histogram
+//     family "service.v1.latency_us{class=<name>}" per group class
+//     (obs::MetricsRegistry::merge_labeled; the export schema is
+//     unchanged, labels ride in the member key).
+//
+//   * service_soak_json() — the machine-readable soak document
+//     (schema "imbar.service.v1"): the bench.v1 shape plus a "service"
+//     object with run totals and a "classes" array carrying per-class
+//     group/participant counts and completion-latency percentiles.
+//     obs::validate_bench_json() validates it; bench/ext_service_soak
+//     emits it under --json.
+//
+// Both must be called at quiescence (after BarrierService::drain()) —
+// counters and class accumulators are exact only there.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/micro_harness.hpp"
+#include "service/barrier_service.hpp"
+#include "util/stopwatch.hpp"
+
+namespace imbar::service {
+
+/// Prefix shared by every service metric.
+inline constexpr const char* kServiceMetricsPrefix = "service.v1";
+
+/// Fold counters and per-class latency families into `registry`.
+void fold_service_metrics(const BarrierService& service,
+                          obs::MetricsRegistry& registry);
+
+/// Serialize the "imbar.service.v1" soak telemetry document.
+[[nodiscard]] std::string service_soak_json(const std::string& name,
+                                            const obs::BenchRow& params,
+                                            const BarrierService& service,
+                                            const PhaseLog* phases = nullptr);
+
+}  // namespace imbar::service

@@ -1,0 +1,58 @@
+#include "service/slot_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imbar::service {
+
+SlotScheduler::SlotScheduler(std::uint32_t first_slot, std::uint32_t count)
+    : first_(first_slot), count_(count) {
+  if (count == 0)
+    throw std::invalid_argument("SlotScheduler: need at least one slot");
+  free_.reserve(count);
+  // Descending, so pop_back() grants the smallest ID first.
+  for (std::uint32_t i = 0; i < count; ++i)
+    free_.push_back(first_ + count - 1 - i);
+}
+
+std::optional<std::uint32_t> SlotScheduler::acquire_free() {
+  if (free_.empty()) return std::nullopt;
+  const std::uint32_t slot = free_.back();
+  free_.pop_back();
+  return slot;
+}
+
+void SlotScheduler::release(std::uint32_t slot) {
+  if (slot < first_ || slot >= first_ + count_)
+    throw std::invalid_argument("SlotScheduler::release: foreign slot ID");
+  // Keep the list descending so grants stay smallest-first: assignment
+  // must be a pure function of the event sequence, not of release
+  // order interleaving.
+  const auto pos = std::lower_bound(free_.begin(), free_.end(), slot,
+                                    std::greater<std::uint32_t>());
+  free_.insert(pos, slot);
+}
+
+GroupId SlotScheduler::pop_idle() {
+  if (idle_.empty())
+    throw std::logic_error("SlotScheduler::pop_idle: no idle holder");
+  const GroupId g = idle_.front();
+  idle_.pop_front();
+  return g;
+}
+
+void SlotScheduler::mark_idle(GroupId g) { idle_.push_back(g); }
+
+void SlotScheduler::unmark_idle(GroupId g) {
+  const auto it = std::find(idle_.begin(), idle_.end(), g);
+  if (it != idle_.end()) idle_.erase(it);
+}
+
+std::optional<GroupId> SlotScheduler::pop_ready() {
+  if (ready_.empty()) return std::nullopt;
+  const GroupId g = ready_.front();
+  ready_.pop_front();
+  return g;
+}
+
+}  // namespace imbar::service

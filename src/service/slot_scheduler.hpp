@@ -1,0 +1,82 @@
+// Physical-slot assignment for one shard of the virtualization layer.
+//
+// The logical->physical assignment problem is the one OpenVINO's
+// Runtime_Barrier_Simulation_Assigner solves for NPU barriers: an
+// unbounded stream of logical barriers must be mapped onto a small
+// fixed set of physical barrier IDs, recycling an ID as soon as its
+// logical owner goes quiet. Here a *slot* is the bounded hot resource
+// — the arrival ledger a group needs while it has a phase in flight —
+// and the scheduler hands slot IDs to groups:
+//
+//   * free list: unowned slot IDs, granted smallest-ID-first so
+//     assignment is a pure function of the event sequence;
+//   * idle list: slot-holding groups with no arrivals in flight, in
+//     LRU order — the eviction candidates when the free list is empty
+//     (evicted groups go back to the shard's parked table);
+//   * ready queue: FIFO of groups that had arrivals but no grantable
+//     slot; the next freed slot goes to the head, which is what makes
+//     slot scheduling starvation-free (tests/test_service.cpp).
+//
+// Slots are partitioned across shards (shard s owns a contiguous ID
+// range), so every decision here depends only on the owning shard's
+// event order — the determinism contract survives any worker count.
+// The scheduler is a plain data structure: no locks, no clock; the
+// owning shard's drain loop is its only caller.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "service/types.hpp"
+
+namespace imbar::service {
+
+inline constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+class SlotScheduler {
+ public:
+  /// Owns slot IDs [first_slot, first_slot + count); count >= 1.
+  SlotScheduler(std::uint32_t first_slot, std::uint32_t count);
+
+  /// Smallest free slot ID, or nullopt if all are owned.
+  [[nodiscard]] std::optional<std::uint32_t> acquire_free();
+
+  /// Return a slot ID to the free list.
+  void release(std::uint32_t slot);
+
+  /// True if an idle holder exists to evict.
+  [[nodiscard]] bool has_idle() const noexcept { return !idle_.empty(); }
+  /// Longest-idle slot-holding group (the eviction victim). The caller
+  /// detaches it and calls release() on its slot.
+  [[nodiscard]] GroupId pop_idle();
+  /// Group became idle while holding a slot (joins the LRU tail).
+  void mark_idle(GroupId g);
+  /// Group got an arrival (or was detached) while on the idle list.
+  void unmark_idle(GroupId g);
+
+  /// FIFO of groups waiting for a slot. Entries are not removed on
+  /// group destroy — the caller filters stale entries on pop (the
+  /// parked table is authoritative).
+  void enqueue_ready(GroupId g) { ready_.push_back(g); }
+  [[nodiscard]] std::optional<GroupId> pop_ready();
+  [[nodiscard]] bool has_ready() const noexcept { return !ready_.empty(); }
+  [[nodiscard]] std::size_t ready_depth() const noexcept {
+    return ready_.size();
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return count_; }
+  [[nodiscard]] std::uint32_t free_count() const noexcept {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+
+ private:
+  std::uint32_t first_ = 0;
+  std::uint32_t count_ = 0;
+  std::vector<std::uint32_t> free_;  // descending, so back() is smallest
+  std::deque<GroupId> idle_;         // front = least recently idled
+  std::deque<GroupId> ready_;
+};
+
+}  // namespace imbar::service

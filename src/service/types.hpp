@@ -1,0 +1,138 @@
+// Barrier virtualization vocabulary: logical groups, asynchronous
+// arrivals, and completion tokens.
+//
+// Every barrier kind in src/barrier/ owns one real thread per
+// participant, which caps a deployment at hardware thread count. The
+// service layer inverts that: a *logical* participant is a unit of
+// data — an arrival op carrying (group, member) — and "waiting" means
+// holding a completion token until the group's phase releases. No
+// thread blocks per participant, so one bounded exec::TaskPool can
+// serve millions of logical participants (docs/service.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "barrier/factory.hpp"  // QuorumConfig: the robust:: option vocabulary
+
+namespace imbar::service {
+
+/// Caller-chosen logical group identifier. The owning shard is
+/// `id % Options::shards`, so callers control placement the same way
+/// they control key→shard affinity in any sharded store.
+using GroupId = std::uint64_t;
+
+/// How a logical arrival completed. Mirrors the robust:: taxonomy:
+/// kReleased/kQuorum correspond to RobustBarrier's strict release and
+/// QuorumBarrier's k-of-n release, kLate to its fast-forward straggler
+/// reconciliation, kCancelled to a membership fence interrupting a
+/// wait.
+enum class CompletionKind : std::uint8_t {
+  kPending = 0,  // not completed yet (ArrivalHandle-only state)
+  kReleased,     // phase released strictly: all n members arrived
+  kQuorum,       // phase released by the quorum rule; this arrival was present
+  kLate,         // arrival for an already quorum-released phase (reconciled)
+  kCancelled,    // group destroyed while this arrival was pending
+  kRejected,     // unknown group, member out of range, or invalid options
+};
+
+[[nodiscard]] const char* to_string(CompletionKind kind) noexcept;
+
+/// Delivered once per logical arrival, on the shard's worker thread.
+struct Completion {
+  GroupId group = 0;
+  std::uint64_t epoch = 0;   // group incarnation (create/destroy churn)
+  std::uint64_t phase = 0;   // phase index the arrival settled
+  std::uint32_t member = 0;  // logical participant index in [0, n)
+  CompletionKind kind = CompletionKind::kPending;
+  std::uint64_t latency_ns = 0;  // submit -> completion
+};
+
+/// Per-group completion callback. Runs on the shard worker inside the
+/// drain loop — keep it cheap (counter bumps, latency folds); never
+/// call back into the service from it.
+using CompletionFn = std::function<void(const Completion&)>;
+
+/// Options fixed at group creation. `quorum` reuses the QuorumConfig
+/// vocabulary consumed by robust::QuorumBarrier (barrier/factory.hpp):
+/// quorum = k enables k-of-n release, deadline_budget is the per-phase
+/// budget measured from the phase's first arrival (0 = release as soon
+/// as the quorum forms); hysteresis is accepted for config
+/// compatibility but the service keeps no health state machine.
+struct GroupOptions {
+  std::uint32_t participants = 0;       // logical waiters per phase, >= 1
+  std::string group_class = "default";  // telemetry key (per-class percentiles)
+  QuorumConfig quorum{};
+  CompletionFn on_complete;
+};
+
+/// Shared completion state behind ArrivalHandle. phase/latency are
+/// written before the kind store (release), read after the kind load
+/// (acquire), so a reader that observes done() sees settled values.
+struct ArrivalState {
+  std::uint64_t phase = 0;
+  std::uint64_t latency_ns = 0;
+  std::atomic<std::uint8_t> kind{
+      static_cast<std::uint8_t>(CompletionKind::kPending)};
+};
+
+/// Poll-style completion token for one logical arrival. Optional — the
+/// fire-and-forget arrive() path allocates nothing per arrival and
+/// reports through the group's CompletionFn instead.
+class ArrivalHandle {
+ public:
+  ArrivalHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept {
+    return valid() && kind() != CompletionKind::kPending;
+  }
+  [[nodiscard]] CompletionKind kind() const noexcept {
+    return state_ == nullptr
+               ? CompletionKind::kPending
+               : static_cast<CompletionKind>(
+                     state_->kind.load(std::memory_order_acquire));
+  }
+  /// Phase the arrival settled; meaningful once done().
+  [[nodiscard]] std::uint64_t phase() const noexcept {
+    return state_ == nullptr ? 0 : state_->phase;
+  }
+  [[nodiscard]] std::uint64_t latency_ns() const noexcept {
+    return state_ == nullptr ? 0 : state_->latency_ns;
+  }
+
+ private:
+  friend class BarrierService;
+  explicit ArrivalHandle(std::shared_ptr<ArrivalState> s)
+      : state_(std::move(s)) {}
+
+  std::shared_ptr<ArrivalState> state_;
+};
+
+/// Aggregate counters, exact once drain() has returned. The quorum
+/// ledger identity (tests/test_service.cpp) holds at quiesce:
+///   completions_strict + completions_quorum + completions_late
+///     + owed_outstanding == sum over released phases of participants.
+struct ServiceCounters {
+  std::uint64_t groups_created = 0;
+  std::uint64_t groups_destroyed = 0;
+  std::uint64_t arrivals = 0;            // accepted arrival ops
+  std::uint64_t completions_strict = 0;  // kReleased deliveries
+  std::uint64_t completions_quorum = 0;  // kQuorum deliveries
+  std::uint64_t completions_late = 0;    // kLate deliveries
+  std::uint64_t cancelled = 0;           // kCancelled deliveries
+  std::uint64_t rejected = 0;            // kRejected deliveries + bad ops
+  std::uint64_t releases_strict = 0;     // phases released with all n present
+  std::uint64_t releases_quorum = 0;     // phases released by the quorum rule
+  std::uint64_t slot_grants = 0;         // group attached to a physical slot
+  std::uint64_t slot_evictions = 0;      // idle holder evicted for a waiter
+  std::uint64_t slot_parks = 0;          // voluntary detach (handoff/idle exit)
+  std::uint64_t ready_enqueues = 0;      // arrivals that had to queue for a slot
+  std::uint64_t polls = 0;               // deadline sweeps processed (per shard)
+  std::uint64_t owed_outstanding = 0;    // quorum debts not yet reconciled
+};
+
+}  // namespace imbar::service

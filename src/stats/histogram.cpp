@@ -28,6 +28,16 @@ void Histogram::add(double x) noexcept {
   ++counts_[bin];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size())
+    throw std::invalid_argument("Histogram::merge: geometry mismatch");
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
 double Histogram::bin_lo(std::size_t bin) const {
   if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
   return lo_ + width_ * static_cast<double>(bin);

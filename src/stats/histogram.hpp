@@ -15,6 +15,14 @@ class Histogram {
 
   void add(double x) noexcept;
 
+  /// Fold `other`'s counts into this histogram. Both must share the
+  /// same geometry (lo, hi, bins) — the per-shard service accumulators
+  /// are constructed from one Options value so this always holds there;
+  /// a mismatch throws std::invalid_argument.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   [[nodiscard]] std::size_t total() const noexcept { return total_; }

@@ -141,6 +141,31 @@ TEST(TaskPool, BusyTimeAccumulates) {
   EXPECT_GT(m.busy_ns_per_worker[0], 0u);
 }
 
+TEST(TaskPool, PendingCountsQueuedNotRunning) {
+  // The backpressure signal the service layer's drain batching reads:
+  // tasks waiting in the queue, excluding the one a worker holds.
+  TaskPool pool(1);
+  std::promise<void> gate;
+  std::promise<void> started;
+  auto blocker = pool.submit([&, gate_future = gate.get_future().share()] {
+    started.set_value();
+    gate_future.wait();
+  });
+  started.get_future().wait();  // blocker is *running*, queue is empty
+  EXPECT_EQ(pool.pending(), 0u);
+
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 3; ++i) queued.push_back(pool.submit([] {}));
+  EXPECT_EQ(pool.pending(), 3u);
+  EXPECT_EQ(pool.metrics().pending, 3u);
+
+  gate.set_value();
+  blocker.get();
+  for (auto& f : queued) f.get();
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_EQ(pool.metrics().pending, 0u);
+}
+
 // ---- parallel_for_chunked ----------------------------------------------
 
 TEST(ParallelFor, EmptyRangeNeverInvokesBody) {

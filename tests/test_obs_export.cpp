@@ -326,6 +326,138 @@ TEST(BenchSchema, ValidatorRejectsNonFiniteAndBrokenPhases) {
   EXPECT_EQ(validate_bench_json(json::parse(ok)), 1u);
 }
 
+TEST(MetricsRegistry, LabeledHistogramFamiliesShareTheSchema) {
+  MetricsRegistry reg;
+  for (int i = 0; i < 10; ++i) {
+    reg.observe_labeled("svc.latency_us", "class=small",
+                        static_cast<double>(i), 0.0, 100.0);
+    reg.observe_labeled("svc.latency_us", "class=large",
+                        static_cast<double>(i) * 2.0, 0.0, 100.0);
+  }
+  // Labels are sorted; unrelated families don't leak in.
+  reg.observe("svc.latency_used", 1.0);  // prefix-collision guard
+  EXPECT_EQ(reg.labels("svc.latency_us"),
+            (std::vector<std::string>{"class=large", "class=small"}));
+  EXPECT_TRUE(reg.labels("svc.other").empty());
+
+  // Members live in the plain "histograms" object — imbar.metrics.v1
+  // is unchanged, the label rides in the member key.
+  const json::Value v = json::parse(reg.snapshot_json());
+  const json::Value* member =
+      v.find("histograms")->find("svc.latency_us{class=small}");
+  ASSERT_NE(member, nullptr);
+  EXPECT_DOUBLE_EQ(member->find("count")->number, 10.0);
+
+  // merge_labeled folds externally aggregated accumulators.
+  Histogram h(0.0, 100.0, 64);
+  RunningStats rs;
+  for (int i = 0; i < 5; ++i) {
+    h.add(50.0);
+    rs.add(50.0);
+  }
+  reg.merge_labeled("svc.latency_us", "class=small", h, rs);
+  const json::Value v2 = json::parse(reg.snapshot_json());
+  EXPECT_DOUBLE_EQ(v2.find("histograms")
+                       ->find("svc.latency_us{class=small}")
+                       ->find("count")
+                       ->number,
+                   15.0);
+
+  // Braces in family or label would make the key unparseable.
+  EXPECT_THROW(reg.observe_labeled("bad{", "l", 1.0), std::invalid_argument);
+  EXPECT_THROW(reg.observe_labeled("f", "l}", 1.0), std::invalid_argument);
+  EXPECT_THROW(reg.observe_labeled("", "l", 1.0), std::invalid_argument);
+  EXPECT_THROW(reg.merge_labeled("f", "{", h, rs), std::invalid_argument);
+}
+
+namespace {
+
+// A minimal well-formed imbar.service.v1 document; tests mutate single
+// fields to pin each validator rule.
+std::string service_doc(const std::string& service_patch,
+                        const std::string& class_patch) {
+  std::string doc = R"({"schema":"imbar.service.v1","name":"soak",
+      "params":{"groups":2},
+      "service":{"groups":2,"logical_participants":6,"shards":1,
+                 "slots":4,"workers":2,"arrivals":12,
+                 "releases_strict":2,"releases_quorum":1,SPATCH
+                 "classes":[{"class":"small","groups":1,"participants":2,
+                             "count":4,"mean_us":1.5,"p50_us":1.0,
+                             "p90_us":2.0,"p99_us":3.0}CPATCH]},
+      "rows":[{"class":"small","p50_us":1.0}]})";
+  doc.replace(doc.find("SPATCH"), 6, service_patch);
+  doc.replace(doc.find("CPATCH"), 6, class_patch);
+  return doc;
+}
+
+}  // namespace
+
+TEST(ServiceSchema, ValidatorAcceptsServiceDocument) {
+  const json::Value v = json::parse(service_doc("", ""));
+  EXPECT_EQ(v.find("schema")->string, kServiceSchema);
+  EXPECT_EQ(validate_bench_json(v), 1u);
+}
+
+TEST(ServiceSchema, ValidatorRejectsServiceViolations) {
+  // A service.v1 schema string without the service section is broken.
+  const char* missing = R"({"schema":"imbar.service.v1","name":"x",
+      "params":{},"rows":[]})";
+  EXPECT_THROW((void)validate_bench_json(json::parse(missing)),
+               std::runtime_error);
+  // A required total (workers) gone missing.
+  std::string noworkers = service_doc("", "");
+  noworkers.replace(noworkers.find("\"workers\":2,"), 12, "");
+  EXPECT_THROW((void)validate_bench_json(json::parse(noworkers)),
+               std::runtime_error);
+  // classes must be an array.
+  const char* bad_classes = R"({"schema":"imbar.service.v1","name":"x",
+      "params":{},
+      "service":{"groups":1,"logical_participants":1,"shards":1,"slots":1,
+                 "workers":1,"arrivals":1,"releases_strict":1,
+                 "releases_quorum":0,"classes":7},
+      "rows":[]})";
+  EXPECT_THROW((void)validate_bench_json(json::parse(bad_classes)),
+               std::runtime_error);
+}
+
+TEST(ServiceSchema, ValidatorRejectsNegativeAndNonFiniteNumbers) {
+  // Negative group count in the totals.
+  std::string neg = service_doc("", "");
+  neg.replace(neg.find("\"groups\":2,\"logical_participants\""), 10,
+              "\"groups\":-2");
+  EXPECT_THROW((void)validate_bench_json(json::parse(neg)),
+               std::runtime_error);
+  // Non-finite percentile inside a class entry.
+  std::string inf = service_doc("", "");
+  inf.replace(inf.find("\"p99_us\":3.0"), 12, "\"p99_us\":1e999");
+  EXPECT_THROW((void)validate_bench_json(json::parse(inf)),
+               std::runtime_error);
+  // Negative per-class completion count.
+  std::string negc = service_doc("", "");
+  negc.replace(negc.find("\"count\":4"), 9, "\"count\":-4");
+  EXPECT_THROW((void)validate_bench_json(json::parse(negc)),
+               std::runtime_error);
+}
+
+TEST(ServiceSchema, ValidatorRejectsBrokenClassEntries) {
+  // Duplicate class names make per-class attribution ambiguous.
+  const std::string dup = service_doc(
+      "", R"(,{"class":"small","groups":1,"participants":4,"count":8,
+              "mean_us":2.0,"p50_us":1.0,"p90_us":2.0,"p99_us":3.0})");
+  EXPECT_THROW((void)validate_bench_json(json::parse(dup)),
+               std::runtime_error);
+  // A class entry without its "class" string.
+  std::string unnamed = service_doc("", "");
+  unnamed.replace(unnamed.find("\"class\":\"small\","), 16, "");
+  EXPECT_THROW((void)validate_bench_json(json::parse(unnamed)),
+               std::runtime_error);
+  // Missing percentile member.
+  std::string nop50 = service_doc("", "");
+  nop50.replace(nop50.find("\"p50_us\":1.0,"), 13, "");
+  EXPECT_THROW((void)validate_bench_json(json::parse(nop50)),
+               std::runtime_error);
+}
+
 // Golden checks: the committed artifacts must stay loadable and
 // schema-clean, so downstream tooling (plot_figures.py, Perfetto) can
 // rely on them.

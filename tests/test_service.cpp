@@ -1,0 +1,470 @@
+// Conformance-style properties of the barrier virtualization service:
+// no release before all (or quorum-k) arrivals, quorum-debt accounting,
+// deterministic cancellation, slot starvation-freedom, and the
+// completion-log audit. Runs under `ctest -L service`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/barrier_service.hpp"
+#include "service/completion_log.hpp"
+#include "service/service_metrics.hpp"
+#include "service/slot_scheduler.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/micro_harness.hpp"
+
+namespace imbar::service {
+namespace {
+
+BarrierService::Options small_opts(std::size_t shards = 2,
+                                   std::size_t slots = 8,
+                                   std::size_t workers = 2,
+                                   bool record_log = false) {
+  BarrierService::Options o;
+  o.shards = shards;
+  o.slots = slots;
+  o.workers = workers;
+  o.record_log = record_log;
+  return o;
+}
+
+TEST(ServiceTypes, CompletionKindNames) {
+  EXPECT_STREQ(to_string(CompletionKind::kPending), "pending");
+  EXPECT_STREQ(to_string(CompletionKind::kReleased), "released");
+  EXPECT_STREQ(to_string(CompletionKind::kQuorum), "quorum");
+  EXPECT_STREQ(to_string(CompletionKind::kLate), "late");
+  EXPECT_STREQ(to_string(CompletionKind::kCancelled), "cancelled");
+  EXPECT_STREQ(to_string(CompletionKind::kRejected), "rejected");
+}
+
+TEST(ServiceTypes, DefaultHandleIsInvalid) {
+  ArrivalHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h.done());
+  EXPECT_EQ(h.kind(), CompletionKind::kPending);
+}
+
+TEST(SlotSchedulerTest, GrantsSmallestFirstAndFifoReady) {
+  SlotScheduler s(10, 3);
+  EXPECT_EQ(s.capacity(), 3u);
+  EXPECT_EQ(s.acquire_free().value(), 10u);
+  EXPECT_EQ(s.acquire_free().value(), 11u);
+  EXPECT_EQ(s.acquire_free().value(), 12u);
+  EXPECT_FALSE(s.acquire_free().has_value());
+  // Release out of order; grants stay smallest-first.
+  s.release(12);
+  s.release(10);
+  EXPECT_EQ(s.acquire_free().value(), 10u);
+  EXPECT_EQ(s.acquire_free().value(), 12u);
+  EXPECT_THROW(s.release(9), std::invalid_argument);
+
+  s.enqueue_ready(7);
+  s.enqueue_ready(8);
+  s.enqueue_ready(7);
+  EXPECT_EQ(s.ready_depth(), 3u);
+  EXPECT_EQ(s.pop_ready().value(), 7u);
+  EXPECT_EQ(s.pop_ready().value(), 8u);
+  EXPECT_EQ(s.pop_ready().value(), 7u);
+  EXPECT_FALSE(s.pop_ready().has_value());
+
+  s.mark_idle(1);
+  s.mark_idle(2);
+  s.unmark_idle(1);
+  EXPECT_TRUE(s.has_idle());
+  EXPECT_EQ(s.pop_idle(), 2u);
+  EXPECT_FALSE(s.has_idle());
+}
+
+TEST(ServiceOptions, SlotCountNormalizesToShardMultiple) {
+  BarrierService svc(small_opts(/*shards=*/4, /*slots=*/10, /*workers=*/1));
+  EXPECT_EQ(svc.options().slots, 8u);  // 2 per shard
+  BarrierService svc2(small_opts(/*shards=*/4, /*slots=*/2, /*workers=*/1));
+  EXPECT_EQ(svc2.options().slots, 4u);  // at least 1 per shard
+  EXPECT_THROW(BarrierService(small_opts(/*shards=*/0)),
+               std::invalid_argument);
+}
+
+TEST(ServiceRelease, NoReleaseBeforeAllArrive) {
+  BarrierService svc(small_opts());
+  GroupOptions go;
+  go.participants = 4;
+  svc.create_group(1, go);
+  std::vector<ArrivalHandle> hs;
+  for (std::uint32_t m = 0; m < 3; ++m)
+    hs.push_back(svc.arrive_with_handle(1, m));
+  svc.drain();
+  for (const auto& h : hs) {
+    EXPECT_TRUE(h.valid());
+    EXPECT_FALSE(h.done()) << "released before all arrivals";
+  }
+  EXPECT_EQ(svc.counters().releases_strict, 0u);
+
+  hs.push_back(svc.arrive_with_handle(1, 3));
+  svc.drain();
+  for (const auto& h : hs) {
+    ASSERT_TRUE(h.done());
+    EXPECT_EQ(h.kind(), CompletionKind::kReleased);
+    EXPECT_EQ(h.phase(), 0u);
+  }
+  const ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.releases_strict, 1u);
+  EXPECT_EQ(c.completions_strict, 4u);
+}
+
+TEST(ServiceRelease, PhasesAdvanceAndDuplicatesCarryOver) {
+  BarrierService svc(small_opts());
+  GroupOptions go;
+  go.participants = 2;
+  std::atomic<std::uint64_t> phases_seen{0};
+  go.on_complete = [&](const Completion& c) {
+    phases_seen.fetch_add(c.phase, std::memory_order_relaxed);
+  };
+  svc.create_group(9, go);
+  // Member 0 arrives twice before member 1 arrives at all: the second
+  // arrival buffers for phase 1.
+  svc.arrive(9, 0);
+  svc.arrive(9, 0);
+  svc.arrive(9, 1);
+  svc.arrive(9, 1);
+  svc.drain();
+  const ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.releases_strict, 2u);
+  EXPECT_EQ(c.completions_strict, 4u);
+  // Phase 0 twice (0+0) + phase 1 twice (1+1) = 2.
+  EXPECT_EQ(phases_seen.load(), 2u);
+}
+
+TEST(ServiceQuorum, NoReleaseBeforeQuorumK) {
+  BarrierService svc(small_opts());
+  GroupOptions go;
+  go.participants = 4;
+  go.quorum.quorum = 3;  // budget 0: release the moment k arrive
+  svc.create_group(2, go);
+  auto h0 = svc.arrive_with_handle(2, 0);
+  auto h1 = svc.arrive_with_handle(2, 1);
+  svc.drain();
+  EXPECT_FALSE(h0.done());
+  EXPECT_FALSE(h1.done());
+  EXPECT_EQ(svc.counters().releases_quorum, 0u);
+
+  auto h2 = svc.arrive_with_handle(2, 2);
+  svc.drain();
+  EXPECT_EQ(h0.kind(), CompletionKind::kQuorum);
+  EXPECT_EQ(h1.kind(), CompletionKind::kQuorum);
+  EXPECT_EQ(h2.kind(), CompletionKind::kQuorum);
+  ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.releases_quorum, 1u);
+  EXPECT_EQ(c.completions_quorum, 3u);
+  EXPECT_EQ(c.owed_outstanding, 1u);
+
+  // The straggler reconciles as kLate and settles the ledger.
+  auto h3 = svc.arrive_with_handle(2, 3);
+  svc.drain();
+  EXPECT_EQ(h3.kind(), CompletionKind::kLate);
+  c = svc.counters();
+  EXPECT_EQ(c.completions_late, 1u);
+  EXPECT_EQ(c.owed_outstanding, 0u);
+  // Identity: strict + quorum + late + owed == released phases * n.
+  EXPECT_EQ(c.completions_strict + c.completions_quorum +
+                c.completions_late + c.owed_outstanding,
+            4u);
+}
+
+TEST(ServiceQuorum, DeadlineBudgetHoldsReleaseUntilPoll) {
+  BarrierService svc(small_opts());
+  GroupOptions go;
+  go.participants = 3;
+  go.quorum.quorum = 2;
+  go.quorum.deadline_budget = std::chrono::milliseconds(50);
+  svc.create_group(3, go);
+  auto h0 = svc.arrive_with_handle(3, 0);
+  auto h1 = svc.arrive_with_handle(3, 1);
+  svc.drain();
+  // Quorum formed, but the budget (measured from first arrival) is not
+  // spent: the phase must still be pending.
+  EXPECT_FALSE(h0.done());
+  EXPECT_FALSE(h1.done());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  svc.poll();
+  svc.drain();
+  EXPECT_EQ(h0.kind(), CompletionKind::kQuorum);
+  EXPECT_EQ(h1.kind(), CompletionKind::kQuorum);
+  EXPECT_EQ(svc.counters().releases_quorum, 1u);
+
+  auto h2 = svc.arrive_with_handle(3, 2);
+  svc.drain();
+  EXPECT_EQ(h2.kind(), CompletionKind::kLate);
+  EXPECT_EQ(svc.counters().owed_outstanding, 0u);
+}
+
+TEST(ServiceRejects, InvalidOpsAreRejectedNotDropped) {
+  BarrierService svc(small_opts());
+  auto h = svc.arrive_with_handle(42, 0);  // no such group
+  svc.drain();
+  EXPECT_EQ(h.kind(), CompletionKind::kRejected);
+
+  GroupOptions go;
+  go.participants = 2;
+  svc.create_group(5, go);
+  auto h2 = svc.arrive_with_handle(5, 7);  // member out of range
+  svc.drain();
+  EXPECT_EQ(h2.kind(), CompletionKind::kRejected);
+
+  svc.create_group(5, go);  // duplicate live id
+  GroupOptions bad;
+  bad.participants = 0;  // invalid
+  svc.create_group(6, bad);
+  GroupOptions badq;
+  badq.participants = 2;
+  badq.quorum.quorum = 3;  // quorum > n
+  svc.create_group(7, badq);
+  svc.destroy_group(99);  // unknown
+  svc.drain();
+  EXPECT_EQ(svc.counters().rejected, 6u);
+  EXPECT_EQ(svc.counters().groups_created, 1u);
+}
+
+TEST(ServiceDestroy, CancelsPendingArrivalsDeterministically) {
+  BarrierService svc(small_opts());
+  GroupOptions go;
+  go.participants = 3;
+  svc.create_group(8, go);
+  auto h0 = svc.arrive_with_handle(8, 0);
+  auto h1 = svc.arrive_with_handle(8, 1);
+  svc.destroy_group(8);
+  svc.drain();
+  EXPECT_EQ(h0.kind(), CompletionKind::kCancelled);
+  EXPECT_EQ(h1.kind(), CompletionKind::kCancelled);
+  const ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.cancelled, 2u);
+  EXPECT_EQ(c.groups_destroyed, 1u);
+  // The id is reusable after destroy (new epoch).
+  svc.create_group(8, go);
+  auto h2 = svc.arrive_with_handle(8, 0);
+  svc.arrive(8, 1);
+  svc.arrive(8, 2);
+  svc.drain();
+  EXPECT_EQ(h2.kind(), CompletionKind::kReleased);
+}
+
+TEST(ServiceSlots, StarvedGroupsAreServedFifo) {
+  // One shard, one slot, three groups: the slot must rotate in request
+  // order — no group starves.
+  auto o = small_opts(/*shards=*/1, /*slots=*/1, /*workers=*/2,
+                      /*record_log=*/true);
+  BarrierService svc(o);
+  GroupOptions go;
+  go.participants = 2;
+  for (GroupId g = 0; g < 3; ++g) svc.create_group(g, go);
+  svc.arrive(0, 0);  // g0 takes the slot
+  svc.arrive(1, 0);  // g1 queues
+  svc.arrive(2, 0);  // g2 queues behind g1
+  svc.drain();
+  ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.ready_enqueues, 2u);
+  EXPECT_EQ(c.releases_strict, 0u);
+
+  svc.arrive(0, 1);  // g0 releases; slot must hand to g1, then g2
+  svc.arrive(1, 1);
+  svc.arrive(2, 1);
+  svc.drain();
+  c = svc.counters();
+  EXPECT_EQ(c.releases_strict, 3u);
+  EXPECT_GE(c.slot_parks, 2u);
+
+  const std::string log = svc.completion_log();
+  const LogAudit audit = audit_completion_log(log);
+  EXPECT_TRUE(audit.violations.empty())
+      << "first violation: "
+      << (audit.violations.empty() ? "" : audit.violations.front());
+  // FIFO: g1 queued and granted before g2.
+  EXPECT_LT(log.find("W g1"), log.find("W g2"));
+  const auto g1_grant = log.find("G g1");
+  const auto g2_grant = log.find("G g2");
+  ASSERT_NE(g1_grant, std::string::npos);
+  ASSERT_NE(g2_grant, std::string::npos);
+  EXPECT_LT(g1_grant, g2_grant);
+}
+
+TEST(ServiceSlots, IdleHoldersAreEvictedForNewArrivals) {
+  auto o = small_opts(/*shards=*/1, /*slots=*/1, /*workers=*/1,
+                      /*record_log=*/true);
+  BarrierService svc(o);
+  GroupOptions go;
+  go.participants = 1;
+  svc.create_group(0, go);
+  svc.arrive(0, 0);  // g0 releases instantly, then idles holding the slot
+  svc.drain();
+  EXPECT_EQ(svc.counters().slot_evictions, 0u);
+
+  svc.create_group(1, go);
+  svc.arrive(1, 0);  // must evict idle g0, not starve
+  svc.drain();
+  const ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.releases_strict, 2u);
+  EXPECT_EQ(c.slot_evictions, 1u);
+  EXPECT_NE(svc.completion_log().find("E g0"), std::string::npos);
+}
+
+TEST(ServiceBulk, ArriveAllReleasesOnePhase) {
+  BarrierService svc(small_opts());
+  GroupOptions go;
+  go.participants = 5;
+  std::atomic<std::uint64_t> completions{0};
+  go.on_complete = [&](const Completion& c) {
+    if (c.kind == CompletionKind::kReleased)
+      completions.fetch_add(1, std::memory_order_relaxed);
+  };
+  svc.create_group(4, go);
+  svc.arrive_all(4);
+  svc.arrive_all(4);
+  svc.drain();
+  EXPECT_EQ(svc.counters().releases_strict, 2u);
+  EXPECT_EQ(completions.load(), 10u);
+}
+
+TEST(ServiceAudit, MixedWorkloadLogIsConsistent) {
+  auto o = small_opts(/*shards=*/4, /*slots=*/4, /*workers=*/2,
+                      /*record_log=*/true);
+  BarrierService svc(o);
+  for (GroupId g = 0; g < 24; ++g) {
+    GroupOptions go;
+    go.participants = 1 + static_cast<std::uint32_t>(g % 4);
+    go.group_class = (g % 2) ? "odd" : "even";
+    if (g % 5 == 0 && go.participants > 1) go.quorum.quorum = 1;
+    svc.create_group(g, go);
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (GroupId g = 0; g < 24; ++g) {
+      if (g % 5 == 0) {
+        svc.arrive(g, 0);  // quorum groups: only member 0 shows up
+      } else {
+        svc.arrive_all(g);
+      }
+    }
+    if (round == 1) {
+      svc.destroy_group(7);
+      GroupOptions go;
+      go.participants = 2;
+      svc.create_group(7, go);
+    }
+  }
+  svc.drain();
+  const LogAudit audit = audit_completion_log(svc.completion_log());
+  EXPECT_TRUE(audit.violations.empty())
+      << "first violation: "
+      << (audit.violations.empty() ? "" : audit.violations.front());
+  const ServiceCounters c = svc.counters();
+  EXPECT_EQ(audit.creates, c.groups_created);
+  EXPECT_EQ(audit.destroys, c.groups_destroyed);
+  EXPECT_EQ(audit.releases_strict, c.releases_strict);
+  EXPECT_EQ(audit.releases_quorum, c.releases_quorum);
+  EXPECT_EQ(audit.lates, c.completions_late);
+}
+
+TEST(ServiceStats, PerClassAccountingMatches) {
+  BarrierService svc(small_opts(/*shards=*/2, /*slots=*/8, /*workers=*/2));
+  GroupOptions a;
+  a.participants = 3;
+  a.group_class = "alpha";
+  GroupOptions b;
+  b.participants = 2;
+  b.group_class = "beta";
+  svc.create_group(0, a);
+  svc.create_group(1, a);
+  svc.create_group(2, b);
+  svc.arrive_all(0);
+  svc.arrive_all(1);
+  svc.arrive_all(2);
+  svc.drain();
+  const auto stats = svc.class_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  // Sorted by name.
+  EXPECT_EQ(stats[0].name, "alpha");
+  EXPECT_EQ(stats[0].groups, 2u);
+  EXPECT_EQ(stats[0].participants, 6u);
+  EXPECT_EQ(stats[0].stats.count(), 6u);
+  EXPECT_EQ(stats[0].latency_us.total() + stats[0].latency_us.underflow() +
+                stats[0].latency_us.overflow(),
+            6u);
+  EXPECT_EQ(stats[1].name, "beta");
+  EXPECT_EQ(stats[1].groups, 1u);
+  EXPECT_EQ(stats[1].stats.count(), 2u);
+}
+
+TEST(ServiceMetrics, FoldPublishesCountersAndLabeledFamilies) {
+  BarrierService svc(small_opts());
+  GroupOptions go;
+  go.participants = 2;
+  go.group_class = "fold";
+  svc.create_group(0, go);
+  svc.arrive_all(0);
+  svc.drain();
+
+  obs::MetricsRegistry reg;
+  fold_service_metrics(svc, reg);
+  const std::string snap = reg.snapshot_json();
+  const auto doc = obs::json::parse(snap);
+  const auto* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->has_number("service.v1.arrivals"));
+  EXPECT_EQ(counters->find("service.v1.arrivals")->number, 2.0);
+  EXPECT_EQ(counters->find("service.v1.releases_strict")->number, 1.0);
+  const auto* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  EXPECT_NE(hists->find("service.v1.latency_us{class=fold}"), nullptr);
+  EXPECT_EQ(reg.labels("service.v1.latency_us"),
+            std::vector<std::string>{"class=fold"});
+}
+
+TEST(ServiceJson, SoakDocumentValidates) {
+  BarrierService svc(small_opts());
+  GroupOptions go;
+  go.participants = 4;
+  go.group_class = "doc";
+  go.quorum.quorum = 2;
+  svc.create_group(0, go);
+  svc.arrive(0, 0);
+  svc.arrive(0, 1);  // quorum release, 2 owed
+  svc.drain();
+
+  const std::string doc = service_soak_json(
+      "test_soak", obs::BenchRow{obs::BenchCell::num("groups", 1)}, svc);
+  const auto parsed = obs::json::parse(doc);
+  EXPECT_NO_THROW(obs::validate_bench_json(parsed));
+  const auto* service = parsed.find("service");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->find("groups")->number, 1.0);
+  EXPECT_EQ(service->find("logical_participants")->number, 4.0);
+  EXPECT_EQ(service->find("releases_quorum")->number, 1.0);
+  const auto* classes = service->find("classes");
+  ASSERT_NE(classes, nullptr);
+  ASSERT_EQ(classes->array.size(), 1u);
+  EXPECT_EQ(classes->array[0].find("class")->string, "doc");
+  EXPECT_EQ(classes->array[0].find("count")->number, 2.0);
+}
+
+TEST(ServiceLifecycle, DestructorDrainsOutstandingOps) {
+  std::atomic<std::uint64_t> completions{0};
+  {
+    BarrierService svc(small_opts(/*shards=*/2, /*slots=*/4, /*workers=*/2));
+    GroupOptions go;
+    go.participants = 2;
+    go.on_complete = [&](const Completion&) {
+      completions.fetch_add(1, std::memory_order_relaxed);
+    };
+    for (GroupId g = 0; g < 16; ++g) svc.create_group(g, go);
+    for (GroupId g = 0; g < 16; ++g) svc.arrive_all(g);
+    // No drain: the destructor must flush everything.
+  }
+  EXPECT_EQ(completions.load(), 32u);
+}
+
+}  // namespace
+}  // namespace imbar::service
