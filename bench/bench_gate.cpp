@@ -19,8 +19,11 @@
 // entry (label perf-gate) runs it against the repo's committed
 // envelope; CI's release leg does the same with doubled tolerances and
 // uploads the trend file (docs/testing.md).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <future>
+#include <numeric>
 #include <set>
 #include <string>
 #include <vector>
@@ -28,6 +31,62 @@
 #include "barrier/factory.hpp"
 #include "bench_common.hpp"
 #include "check/perf_gate.hpp"
+#include "control/controlled_barrier.hpp"
+#include "exec/task_pool.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+/// Controller-overhead coverage: the same episode loop as
+/// obs::run_micro_kind, but over a ControlledBarrier with live reviews
+/// (kind name "controlled"). The committed envelope has no such pair,
+/// so gate_compare reports it as advisory — never a breach — while the
+/// trend file accumulates its trajectory run over run. Latency samples
+/// come from thread 0's per-episode wall clock (no recorder ring).
+imbar::check::PerfEnvelope measure_controlled(std::size_t threads,
+                                              std::size_t episodes) {
+  using namespace imbar;
+  BarrierConfig cfg;
+  cfg.kind = BarrierKind::kCombiningTree;
+  cfg.participants = threads;
+  cfg.degree = std::clamp<std::size_t>(4, 2, std::max<std::size_t>(2, threads));
+  control::ControlledBarrier bar(cfg, control::ControlledBarrier::Options{});
+
+  std::vector<double> lat0;
+  lat0.reserve(episodes);
+  Stopwatch sw;
+  exec::TaskPool pool(threads == 0 ? 1 : threads);
+  std::vector<std::future<void>> lanes;
+  for (std::size_t t = 0; t < threads; ++t)
+    lanes.push_back(pool.submit([&, t] {
+      for (std::size_t e = 0; e < episodes; ++e) {
+        const auto t0 = std::chrono::steady_clock::now();
+        bar.arrive_and_wait(t);
+        if (t == 0)
+          lat0.push_back(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+      }
+    }));
+  for (auto& lane : lanes) lane.get();
+  const double wall_s = sw.elapsed_s();
+
+  check::PerfEnvelope e;
+  e.kind = "controlled";
+  e.threads = threads;
+  e.episodes = episodes;
+  e.episodes_per_sec =
+      wall_s > 0.0 ? static_cast<double>(episodes) / wall_s : 0.0;
+  if (!lat0.empty()) {
+    std::sort(lat0.begin(), lat0.end());
+    e.mean_us = std::accumulate(lat0.begin(), lat0.end(), 0.0) /
+                static_cast<double>(lat0.size());
+    e.p99_us = quantile_sorted(lat0, 0.99);
+  }
+  return e;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace imbar;
@@ -77,7 +136,11 @@ int main(int argc, char** argv) {
         results.push_back(obs::run_micro_kind(kind, mo));
     }
     fresh = check::envelopes_from_results(results);
-    std::printf("  measured   : %zu (kind, threads) pairs, %zu episodes each\n",
+    for (const std::uint64_t threads : thread_counts)
+      fresh.push_back(
+          measure_controlled(static_cast<std::size_t>(threads), mo.episodes));
+    std::printf("  measured   : %zu (kind, threads) pairs, %zu episodes each "
+                "(incl. advisory \"controlled\")\n",
                 fresh.size(), mo.episodes);
   }
 

@@ -5,7 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "model/analytic.hpp"
+#include "control/review_core.hpp"
 #include "util/spin_wait.hpp"
 
 namespace imbar {
@@ -86,19 +86,14 @@ void AdaptiveBarrier::maybe_adapt() {
   Tree* tree = current_.load(std::memory_order_relaxed);
   const std::size_t cur = tree->topo.degree();
 
-  std::vector<std::size_t> candidates;
-  for (std::size_t d = 2; d < opt_.max_degree; d *= 2) candidates.push_back(d);
-  candidates.push_back(opt_.max_degree);
-  const auto est =
-      estimate_optimal_degree_general(n_, sigma, opt_.t_c_us, candidates);
-  if (est.degree == cur) return;
+  // The shared review core (control/review_core.hpp) — the historical
+  // candidate grid and switch rule, now one implementation with the
+  // closed-loop BarrierController.
+  const auto review = control::review_degree(n_, cur, sigma, opt_.t_c_us,
+                                             opt_.hysteresis, opt_.max_degree);
+  if (!review.rebuild) return;
 
-  const auto cur_pred =
-      analytic_sync_delay_general({n_, cur, sigma, opt_.t_c_us});
-  if (cur_pred.sync_delay < est.predicted_delay * opt_.hysteresis)
-    return;  // not enough predicted benefit to pay for a rebuild
-
-  auto fresh = std::make_unique<Tree>(n_, est.degree);
+  auto fresh = std::make_unique<Tree>(n_, review.degree);
   retired_.emplace_back(tree);  // reclaimed at destruction
   current_.store(fresh.release(), std::memory_order_release);
   rebuilds_.value.fetch_add(1, std::memory_order_relaxed);

@@ -23,6 +23,7 @@
 
 #include "barrier/barrier.hpp"
 #include "barrier/tree_state.hpp"
+#include "control/signal.hpp"
 #include "obs/arrival_spread.hpp"
 #include "simbarrier/topology.hpp"
 #include "util/cacheline.hpp"
@@ -52,20 +53,30 @@ class AdaptiveBarrier final : public FuzzyBarrier {
 
   /// Degree of the tree currently in use.
   [[nodiscard]] std::size_t current_degree() const noexcept;
-  /// Number of tree rebuilds performed so far.
+  /// Number of tree rebuilds performed so far. Safe from any thread.
   [[nodiscard]] std::uint64_t rebuilds() const noexcept {
     return rebuilds_.value.load(std::memory_order_relaxed);
   }
-  /// Most recent arrival-spread estimate (us), 0 before the first review.
+  /// Most recent arrival-spread estimate (us), 0 before the first
+  /// review. Atomic, so safe from any thread (unlike spread()/signal()).
   [[nodiscard]] double estimated_sigma_us() const noexcept {
     return sigma_estimate_.value.load(std::memory_order_relaxed);
   }
 
   /// The shared spread estimator the degree reviews consume (running
-  /// sigma stats, straggler ranks). Written only by episode releasers;
-  /// read it quiescently (after a join, or from the releaser itself).
+  /// sigma stats, straggler ranks). RELEASER-ONLY WRITES, so read it
+  /// quiescently: after every participant joined, or from the thread
+  /// that released the episode. Reading it while other threads are
+  /// arriving is a data race (see docs/barriers.md).
   [[nodiscard]] const obs::ArrivalSpreadEstimator& spread() const noexcept {
     return spread_;
+  }
+
+  /// Value-semantic snapshot of the review signals, in the same
+  /// vocabulary control::ControlledBarrier::signal() speaks. Same
+  /// quiescent-read contract as spread().
+  [[nodiscard]] control::SignalSnapshot signal() const noexcept {
+    return control::snapshot_from(spread_);
   }
 
   /// Rough calibration of t_c on this host: mean cost of a contended

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "control/controlled_barrier.hpp"
 #include "exec/parallel_for.hpp"
 #include "obs/instrumented_barrier.hpp"
 #include "robust/membership.hpp"
@@ -958,6 +959,106 @@ ConformanceResult check_late_reconcile_exactness(
     violations.record(describe(config) + ": quorum invariant: " + e.what());
   }
   return violations.result();
+}
+
+ConformanceResult check_controller_swap(const BarrierConfig& config,
+                                        const ConformanceOptions& opts) {
+  const std::size_t n = config.participants;
+  Violations violations;
+
+  control::ControlledBarrier::Options copts;
+  copts.reviews_enabled = false;  // every swap comes from the storm
+  if (opts.instrument) copts.factory = obs::instrumenting_inner_factory();
+  control::ControlledBarrier barrier(config, std::move(copts));
+
+  std::vector<PaddedAtomic<std::int64_t>> ledger(n);
+  const auto epochs = static_cast<std::int64_t>(opts.epochs);
+
+  // The storm: force_swap across every kind with alternating extreme
+  // degrees, from a foreign thread, concurrent with traffic. The storm
+  // is progress-gated, not fixed-cadence: each swap waits for a phase
+  // to complete before fencing again. A fence tears the in-flight
+  // episode, so a storm that fences faster than n threads can
+  // rendezvous (easy on a one-core host, where a rendezvous costs
+  // several scheduler quanta) livelocks the cohort — the fence protocol
+  // guarantees safety under continuous fencing, not progress. After
+  // traffic drains the storm tops up to one full lap so every kind's
+  // build path ran at least once even on a fast machine.
+  std::atomic<bool> done{false};
+  std::uint64_t storms = 0;
+  std::thread storm([&] {
+    std::size_t i = 0;
+    const auto swap_next = [&] {
+      const BarrierKind kind = kAllBarrierKinds[i % kAllBarrierKinds.size()];
+      const std::size_t degree = (i % 2) != 0 ? 2 : (n < 2 ? 2 : n);
+      barrier.force_swap(kind, degree);
+      ++i;
+      ++storms;
+    };
+    while (!done.load(std::memory_order_acquire)) {
+      const std::uint64_t p0 = barrier.phases();
+      swap_next();
+      while (!done.load(std::memory_order_acquire) && barrier.phases() <= p0)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    while (i < kAllBarrierKinds.size()) swap_next();
+  });
+
+  run_cohort(
+      n,
+      [&](std::size_t tid) {
+        for (std::int64_t g = 1; g <= epochs; ++g) {
+          ledger[tid].value.store(g, std::memory_order_release);
+          barrier.arrive_and_wait(tid);
+          for (std::size_t o = 0; o < n; ++o) {
+            const std::int64_t v =
+                ledger[o].value.load(std::memory_order_acquire);
+            if (v < g || v > g + 1) {
+              std::ostringstream os;
+              os << describe(config) << " [swap storm]: after epoch " << g
+                 << ", tid " << tid << " observed peer " << o
+                 << " at generation " << v << " (allowed [" << g << ", "
+                 << g + 1 << "])";
+              violations.record(os.str());
+            }
+          }
+          // Keep participating even after a violation (see ledger_run).
+        }
+      },
+      opts.watchdog);
+  done.store(true, std::memory_order_release);
+  storm.join();
+
+  // Exact ledger accounting across every fence: phases and the episode
+  // counter both equal the traffic's epoch count — no generation lost
+  // to a torn episode, none double-counted on a replay — and every
+  // storm swap was applied.
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::int64_t v = ledger[t].value.load(std::memory_order_acquire);
+    if (v != epochs)
+      violations.record(describe(config) + ": tid " + std::to_string(t) +
+                        " finished at generation " + std::to_string(v) +
+                        ", expected " + std::to_string(epochs));
+  }
+  const BarrierCounters c = barrier.counters();
+  if (c.episodes != static_cast<std::uint64_t>(epochs))
+    violations.record(describe(config) + ": counters().episodes == " +
+                      std::to_string(c.episodes) + " after " +
+                      std::to_string(epochs) + " epochs under a swap storm");
+  if (barrier.phases() != static_cast<std::uint64_t>(epochs))
+    violations.record(describe(config) + ": phase ledger == " +
+                      std::to_string(barrier.phases()) + " after " +
+                      std::to_string(epochs) + " epochs");
+  if (barrier.swaps() != storms)
+    violations.record(describe(config) + ": " + std::to_string(storms) +
+                      " forced swaps but " + std::to_string(barrier.swaps()) +
+                      " applied");
+  if (storms < kAllBarrierKinds.size())
+    violations.record(describe(config) + ": storm only ran " +
+                      std::to_string(storms) + " swaps (wanted >= " +
+                      std::to_string(kAllBarrierKinds.size()) + ")");
+  return violations.result(
+      "survived " + std::to_string(storms) + " swaps under traffic");
 }
 
 }  // namespace imbar::check

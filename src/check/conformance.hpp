@@ -154,6 +154,17 @@ struct ConformanceResult {
 [[nodiscard]] ConformanceResult check_quorum_release_under_tail(
     const BarrierConfig& config, const ConformanceOptions& opts);
 
+/// control::ControlledBarrier over this config (reviews disabled): a
+/// full generation-ledger traffic run while a foreign thread storms
+/// force_swap across *every* BarrierKind and alternating degrees. The
+/// no-overtake bound must hold through every swap fence, the phase
+/// ledger must count exactly opts.epochs episodes (no generation lost
+/// or duplicated across a swap), and every storm swap must be applied
+/// and counted. With opts.instrument the storm rebuilds each generation
+/// through obs::instrumenting_inner_factory.
+[[nodiscard]] ConformanceResult check_controller_swap(
+    const BarrierConfig& config, const ConformanceOptions& opts);
+
 /// Reconciliation exactness under a cyclically rotating straggler
 /// (phase g's sitter is tid g mod p, k = p-1): every phase quorum-
 /// releases with exactly p-1 arrivals, and at quiescence the per-member

@@ -1,0 +1,280 @@
+#include "check/controller_convergence.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <span>
+#include <sstream>
+#include <thread>
+
+#include "control/control_metrics.hpp"
+#include "control/controlled_barrier.hpp"
+#include "obs/instrumented_barrier.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
+
+namespace imbar::check {
+
+namespace {
+
+/// Mean per-phase predicted delay of `choice` over the tail of the
+/// sigma trajectory — the quantity sweep_optimal_choice minimizes in
+/// sum, so (choice cost) vs (oracle cost) measures exactly the gap the
+/// controller's hysteresis/cost gates reason about.
+double mean_tail_delay_us(std::size_t procs,
+                          const control::ControllerOptions& opts,
+                          const control::ControlChoice& choice,
+                          std::span<const double> sigma_by_phase,
+                          double persistence) {
+  const std::size_t tail = sigma_by_phase.size() / 2;
+  const auto window = sigma_by_phase.subspan(sigma_by_phase.size() - tail);
+  if (window.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double sigma : window)
+    sum += control::predict_delay_us(
+        choice.kind, choice.degree,
+        {procs, sigma, opts.t_c_us, persistence});
+  return sum / static_cast<double>(window.size());
+}
+
+control::TwinOptions twin_options_for(const ConvergenceOptions& opts,
+                                      const control::RegimeSpec& spec) {
+  control::TwinOptions t;
+  t.procs = opts.procs;
+  t.phases = opts.phases;
+  t.regime = spec;
+  t.controller = opts.controller;
+  t.initial = opts.initial;
+  t.phase_work_us = opts.phase_work_us;
+  return t;
+}
+
+std::uint64_t oscillation_flips(const control::RegimeSpec& spec,
+                                std::uint64_t total_phases) {
+  std::uint64_t period =
+      spec.switch_phases ? spec.switch_phases
+                         : std::max<std::uint64_t>(2, total_phases / 8);
+  if (period < 2) period = 2;
+  const std::uint64_t half = period / 2;
+  const std::uint64_t segments = half ? total_phases / half : 0;
+  return segments ? segments - 1 : 0;
+}
+
+}  // namespace
+
+std::uint64_t regime_stationary_from(const control::RegimeSpec& spec,
+                                     std::uint64_t total_phases) {
+  const std::uint64_t half = total_phases == 0 ? 1 : total_phases / 2;
+  switch (spec.kind) {
+    case control::RegimeKind::kConstant:
+    case control::RegimeKind::kHeavyTail:
+      return 0;
+    case control::RegimeKind::kStep:
+    case control::RegimeKind::kRamp:
+      return spec.switch_phases ? spec.switch_phases : half;
+    case control::RegimeKind::kOscillating:
+      return UINT64_MAX;
+  }
+  return 0;
+}
+
+ConvergenceReport check_controller_convergence(
+    const ConvergenceOptions& opts) {
+  ConvergenceReport report;
+  for (const control::RegimeKind kind : control::kAllRegimeKinds) {
+    RegimeVerdict v;
+    v.spec = control::canned_regime(kind, opts.seed);
+    v.twin = control::run_twin(twin_options_for(opts, v.spec));
+    report.total_swaps += v.twin.swaps;
+
+    std::ostringstream why;
+    const std::uint64_t stationary =
+        regime_stationary_from(v.spec, opts.phases);
+    const std::size_t review_every =
+        std::max<std::size_t>(1, opts.controller.review_every);
+
+    if (stationary == UINT64_MAX) {
+      // Oscillating: the optimum legitimately moves; bound churn only.
+      const std::uint64_t budget =
+          oscillation_flips(v.spec, opts.phases) + opts.oscillation_slack;
+      if (v.twin.swaps > budget)
+        why << "oscillation budget exceeded: " << v.twin.swaps
+            << " swaps > " << budget;
+    } else {
+      // Indifference band: mean tail delay must sit within the
+      // controller's own swap tolerance of the oracle's.
+      const double oracle_us = mean_tail_delay_us(
+          opts.procs, opts.controller, v.twin.oracle,
+          v.twin.sigma_by_phase, v.twin.final_persistence);
+      const double final_us = mean_tail_delay_us(
+          opts.procs, opts.controller, v.twin.final_choice,
+          v.twin.sigma_by_phase, v.twin.final_persistence);
+      const double amortized_cost =
+          opts.controller.cost.prior_us /
+          std::max(1.0, opts.controller.amortize_phases);
+      const double tolerance = std::max(
+          oracle_us * opts.controller.hysteresis, oracle_us + amortized_cost);
+      if (final_us > tolerance + 1e-9)
+        why << "settled outside the indifference band: final "
+            << control::to_string(v.twin.final_choice) << " ("
+            << final_us << " us/phase) vs oracle "
+            << control::to_string(v.twin.oracle) << " (" << oracle_us
+            << " us/phase, tolerance " << tolerance << ")";
+      else if (v.twin.swaps > opts.max_swaps)
+        why << "swap budget exceeded: " << v.twin.swaps << " swaps > "
+            << opts.max_swaps;
+      else if (v.twin.swaps > 0) {
+        const std::uint64_t stationary_review = stationary / review_every;
+        if (v.twin.settle_review >
+            stationary_review + opts.settle_budget_reviews)
+          why << "settled late: last swap at review "
+              << v.twin.settle_review << ", budget review "
+              << (stationary_review + opts.settle_budget_reviews)
+              << " (stationary from phase " << stationary << ")";
+      }
+    }
+
+    v.detail = why.str();
+    v.passed = v.detail.empty();
+    if (!v.passed && report.passed) {
+      report.passed = false;
+      report.detail =
+          std::string(control::to_string(kind)) + ": " + v.detail;
+    }
+    report.verdicts.push_back(std::move(v));
+  }
+
+  if (report.passed && report.total_swaps == 0) {
+    report.passed = false;
+    report.detail =
+        "vacuous pass: zero swaps across the whole regime suite (the "
+        "initial choice cannot be optimal for every regime)";
+  }
+  return report;
+}
+
+std::string check_twin_worker_identity(const ConvergenceOptions& opts) {
+  std::vector<control::TwinOptions> suite;
+  suite.reserve(control::kAllRegimeKinds.size());
+  for (const control::RegimeKind kind : control::kAllRegimeKinds)
+    suite.push_back(
+        twin_options_for(opts, control::canned_regime(kind, opts.seed)));
+
+  if (opts.worker_counts.empty()) return "no worker counts to compare";
+  const auto reference =
+      control::run_twin_suite(suite, opts.worker_counts.front());
+
+  // The reference leg also proves every document validates against the
+  // imbar.control.v1 schema (decision count == reviews etc.).
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    try {
+      const std::size_t decisions = obs::validate_control_log(
+          obs::json::parse(reference[i].log_json));
+      if (decisions != reference[i].reviews)
+        return std::string(control::to_string(suite[i].regime.kind)) +
+               ": validator counted " + std::to_string(decisions) +
+               " decisions, controller reports " +
+               std::to_string(reference[i].reviews);
+    } catch (const std::exception& e) {
+      return std::string(control::to_string(suite[i].regime.kind)) +
+             ": control log failed validation: " + e.what();
+    }
+  }
+
+  for (std::size_t w = 1; w < opts.worker_counts.size(); ++w) {
+    const auto got =
+        control::run_twin_suite(suite, opts.worker_counts[w]);
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const char* regime = control::to_string(suite[i].regime.kind);
+      if (got[i].log_json != reference[i].log_json)
+        return std::string(regime) + ": imbar.control.v1 document differs "
+               "between workers=" +
+               std::to_string(opts.worker_counts.front()) + " and workers=" +
+               std::to_string(opts.worker_counts[w]);
+      if (got[i].log != reference[i].log)
+        return std::string(regime) + ": decision lines differ between "
+               "workers=" +
+               std::to_string(opts.worker_counts.front()) + " and workers=" +
+               std::to_string(opts.worker_counts[w]);
+    }
+  }
+  return {};
+}
+
+LiveConvergenceResult run_live_controller(
+    const LiveConvergenceOptions& opts) {
+  LiveConvergenceResult result;
+  const std::size_t n = std::max<std::size_t>(1, opts.threads);
+
+  control::ControlledBarrier::Options copts;
+  copts.controller = opts.controller;
+  if (opts.instrument)
+    copts.factory = obs::instrumenting_inner_factory();
+  BarrierConfig initial;
+  initial.kind = opts.initial.kind;
+  initial.participants = n;
+  initial.degree = std::clamp<std::size_t>(opts.initial.degree, 2,
+                                           std::max<std::size_t>(2, n));
+  control::ControlledBarrier barrier(initial, std::move(copts));
+
+  std::vector<std::atomic<std::uint64_t>> ledger(n);
+  for (auto& slot : ledger) slot.store(0, std::memory_order_relaxed);
+
+  auto body = [&](std::size_t tid) {
+    std::vector<double> offsets(n);
+    for (std::uint64_t phase = 0; phase < opts.phases; ++phase) {
+      control::regime_arrivals(opts.regime, phase, opts.phases, offsets);
+      const double lo = *std::min_element(offsets.begin(), offsets.end());
+      const auto stagger = std::chrono::duration<double, std::micro>(
+          offsets[tid] - lo);
+      if (stagger.count() > 0.0) std::this_thread::sleep_for(stagger);
+      barrier.arrive_and_wait(tid);
+      ledger[tid].fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t tid = 0; tid < n; ++tid) threads.emplace_back(body, tid);
+  for (auto& t : threads) t.join();
+
+  std::ostringstream why;
+  result.phases = barrier.phases();
+  result.episodes = barrier.counters().episodes;
+  result.final_choice = barrier.current();
+  result.reviews = barrier.controller().reviews();
+  result.swaps_decided = barrier.controller().swaps_decided();
+  result.swaps_applied = barrier.swaps();
+  result.log_json = control::decision_log_json(barrier.controller(), "live");
+
+  for (std::size_t tid = 0; tid < n; ++tid) {
+    const std::uint64_t got = ledger[tid].load(std::memory_order_relaxed);
+    if (got != opts.phases)
+      why << "tid " << tid << " ledger " << got << " != " << opts.phases
+          << "; ";
+  }
+  if (result.phases != opts.phases)
+    why << "phase ledger " << result.phases << " != " << opts.phases << "; ";
+  if (result.episodes != opts.phases)
+    why << "episode counter " << result.episodes << " != " << opts.phases
+        << " (generation lost across a swap); ";
+  if (result.swaps_applied != result.swaps_decided)
+    why << "applied swaps " << result.swaps_applied << " != decided "
+        << result.swaps_decided << "; ";
+  const std::uint64_t expect_reviews =
+      opts.phases /
+      std::max<std::size_t>(1, opts.controller.review_every);
+  if (result.reviews + 1 < expect_reviews)
+    why << "reviews " << result.reviews << " < expected ~" << expect_reviews
+        << "; ";
+  try {
+    obs::validate_control_log(obs::json::parse(result.log_json));
+  } catch (const std::exception& e) {
+    why << "decision log failed validation: " << e.what() << "; ";
+  }
+
+  result.detail = why.str();
+  result.passed = result.detail.empty();
+  return result;
+}
+
+}  // namespace imbar::check

@@ -1,0 +1,138 @@
+// Differential convergence harness for the closed-loop controller.
+//
+// Three legs, in decreasing strictness:
+//
+//  1. Twin convergence (check_controller_convergence): every canned
+//     sigma regime (control/regimes.hpp) runs through the deterministic
+//     sim twin; the controller must (a) finish inside its own
+//     indifference band of the sweep oracle — the best *static*
+//     (kind, degree) in hindsight over the regime's stationary tail,
+//     under the same analytic model. The band is exactly the
+//     controller's declared tolerance: mean tail delay within
+//     max(hysteresis factor, amortized swap cost) of the oracle's —
+//     anything worse means a swap the controller was *obliged* to take
+//     and did not, so whenever the model separates configurations
+//     beyond the band, only the oracle itself passes. It must also
+//     (b) place its last swap within a bounded number of reviews after
+//     the regime turns stationary, and (c) never exceed the swap
+//     (oscillation) budget: hysteresis plus the cost veto must damp
+//     hunting, including on the oscillating regime where the optimum
+//     genuinely moves.
+//
+//  2. Worker byte-identity (check_twin_worker_identity): the same twin
+//     suite executed on 1, 2 and 4 exec workers must produce
+//     byte-identical decision logs and imbar.control.v1 documents —
+//     controller decisions are a pure function of the observation
+//     sequence, never of scheduling.
+//
+//  3. Live convergence (run_live_controller): a real ControlledBarrier
+//     with real threads staggered by the same regime generator. Wall
+//     clocks are noisy, so this leg asserts the *liveness and ledger*
+//     half of the contract — every phase completes, episodes ==
+//     phases exactly (no generation lost across swaps), every decided
+//     swap was applied, the decision log validates — and leaves the
+//     settling-point assertions to the deterministic twin. The
+//     differential design means the twin and the live path share every
+//     line of controller code; only the clock differs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "control/sim_twin.hpp"
+
+namespace imbar::check {
+
+struct ConvergenceOptions {
+  std::size_t procs = 8;
+  std::uint64_t phases = 2048;
+  control::ControllerOptions controller{};
+  /// Deliberately arbitrary starting point; regimes whose oracle equals
+  /// it simply converge with zero swaps.
+  control::ControlChoice initial{BarrierKind::kCombiningTree, 2};
+  std::uint64_t seed = 42;
+  double phase_work_us = 100.0;
+  /// Reviews after the regime turns stationary within which the last
+  /// swap must land.
+  std::uint64_t settle_budget_reviews = 8;
+  /// Swap ceiling for stationary-tail regimes.
+  std::uint64_t max_swaps = 6;
+  /// Oscillating regime: allowed swaps = half-period transitions +
+  /// this slack (tracking a moving optimum is correct behavior; the
+  /// budget bounds *extra* churn).
+  std::uint64_t oscillation_slack = 2;
+  /// exec worker counts the byte-identity leg compares.
+  std::vector<std::size_t> worker_counts = {1, 2, 4};
+};
+
+struct RegimeVerdict {
+  control::RegimeSpec spec;
+  control::TwinResult twin;
+  bool passed = true;
+  std::string detail;
+};
+
+struct ConvergenceReport {
+  bool passed = true;
+  std::string detail;  // first failing regime's story
+  std::vector<RegimeVerdict> verdicts;
+  std::uint64_t total_swaps = 0;  // non-vacuity: > 0 across the suite
+};
+
+/// Leg 1: run every canned regime through the twin and judge each
+/// against the oracle / settle budget / swap budget. Also fails if the
+/// whole suite produced zero swaps (a vacuous pass — the initial choice
+/// can coincide with some oracles, but not all of them).
+[[nodiscard]] ConvergenceReport check_controller_convergence(
+    const ConvergenceOptions& opts);
+
+/// Leg 2: the full regime suite on each worker count; every regime's
+/// decision lines and imbar.control.v1 document must byte-compare
+/// against the workers=1 reference. Returns an empty string on pass,
+/// else the first divergence.
+[[nodiscard]] std::string check_twin_worker_identity(
+    const ConvergenceOptions& opts);
+
+/// The phase at which a regime's target sigma stops moving (0 for
+/// stationary regimes, the switch/ramp end otherwise). UINT64_MAX for
+/// oscillating: it never settles and is exempt from the settle check.
+[[nodiscard]] std::uint64_t regime_stationary_from(
+    const control::RegimeSpec& spec, std::uint64_t total_phases);
+
+// ---- Live leg ----------------------------------------------------------
+
+struct LiveConvergenceOptions {
+  std::size_t threads = 4;
+  std::uint64_t phases = 200;
+  /// Regime driving per-thread stagger sleeps. Spreads should sit well
+  /// above scheduler noise (hundreds of us) for the signal to mean
+  /// anything — the default is a step regime rescaled to ms territory.
+  control::RegimeSpec regime{control::RegimeKind::kStep, 100.0, 1500.0,
+                             0, 0.0, 42};
+  control::ControllerOptions controller{};
+  control::ControlChoice initial{BarrierKind::kCombiningTree, 2};
+  /// Build inner generations through obs::instrumenting_inner_factory.
+  bool instrument = false;
+};
+
+struct LiveConvergenceResult {
+  bool passed = true;
+  std::string detail;
+  control::ControlChoice final_choice{};
+  std::uint64_t phases = 0;
+  std::uint64_t episodes = 0;  // from counters(); must equal phases
+  std::uint64_t reviews = 0;
+  std::uint64_t swaps_decided = 0;
+  std::uint64_t swaps_applied = 0;
+  std::string log_json;  // imbar.control.v1, already validated
+};
+
+/// Leg 3: drive a real ControlledBarrier with `threads` OS threads,
+/// each sleeping out its regime-drawn offset before arriving, for
+/// `phases` episodes. Asserts the ledger/liveness contract (see file
+/// header); convergence-point assertions stay with the twin.
+[[nodiscard]] LiveConvergenceResult run_live_controller(
+    const LiveConvergenceOptions& opts);
+
+}  // namespace imbar::check

@@ -1,0 +1,103 @@
+// Controller telemetry: the "imbar.control.v1" decision-log document
+// and the control.v1.* counter fold.
+//
+// Mirrors the service layer's conventions: the producing subsystem
+// serializes its own versioned document (here, from a quiescent
+// BarrierController), the obs layer owns the schema *validator*
+// (obs::validate_control_log in trace_export.hpp — pure JSON-shape
+// checking, no control dependency), and counters fold into the shared
+// MetricsRegistry under a versioned prefix so one metrics snapshot
+// carries every subsystem.
+//
+// All reads here are quiescent-only, like every registry fold: call
+// after traffic joined (or from the phase-boundary thread itself).
+#pragma once
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "control/controller.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace imbar::control {
+
+/// Schema identifier of the decision-log document.
+inline constexpr const char* kControlSchema = "imbar.control.v1";
+
+/// Serialize the controller's full decision history:
+///   { "schema": "imbar.control.v1", "name": ..., "participants": N,
+///     "reviews": R, "swaps": S, "holds": H, "cooldowns": C,
+///     "gain_vetoes": G,
+///     "decisions": [ { "review", "phase", "sigma_us", "persistence",
+///                      "from", "to", "pred_from_us", "pred_to_us",
+///                      "cost_us", "action" }, ... ] }
+/// Deterministic for a deterministic decision sequence (JsonWriter's
+/// stable number formatting), so sim-twin documents byte-compare.
+[[nodiscard]] inline std::string decision_log_json(
+    const BarrierController& controller, const std::string& name) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kControlSchema);
+  w.kv("name", name);
+  w.kv("participants",
+       static_cast<std::uint64_t>(controller.participants()));
+  w.kv("reviews", controller.reviews());
+  w.kv("swaps", controller.swaps_decided());
+  w.kv("holds", controller.holds());
+  w.kv("cooldowns", controller.cooldowns());
+  w.kv("gain_vetoes", controller.gain_vetoes());
+  w.key("decisions").begin_array();
+  for (const Decision& d : controller.decisions()) {
+    w.begin_object();
+    w.kv("review", d.review);
+    w.kv("phase", d.phase);
+    w.kv("sigma_us", d.sigma_forecast_us);
+    w.kv("persistence", d.persistence);
+    w.kv("from", to_string(d.from));
+    w.kv("to", to_string(d.to));
+    w.kv("pred_from_us", d.predicted_from_us);
+    w.kv("pred_to_us", d.predicted_to_us);
+    w.kv("cost_us", d.swap_cost_us);
+    w.kv("action", to_string(d.action));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+/// decision_log_json() written to `path`. Throws std::runtime_error if
+/// the file cannot be written.
+inline void write_decision_log(const BarrierController& controller,
+                               const std::string& name,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("write_decision_log: cannot open " + path);
+  out << decision_log_json(controller, name) << '\n';
+  if (!out)
+    throw std::runtime_error("write_decision_log: write failed: " + path);
+}
+
+/// Fold quiescent controller totals into `registry` under the
+/// "control.v1." prefix: counters reviews/swaps/holds/cooldowns/
+/// gain_vetoes/episodes plus a histogram of the per-review sigma
+/// forecasts.
+inline void fold_control_metrics(const BarrierController& controller,
+                                 obs::MetricsRegistry& registry,
+                                 double sigma_hist_hi_us = 10'000.0) {
+  registry.add_counter("control.v1.reviews", controller.reviews());
+  registry.add_counter("control.v1.swaps", controller.swaps_decided());
+  registry.add_counter("control.v1.holds", controller.holds());
+  registry.add_counter("control.v1.cooldowns", controller.cooldowns());
+  registry.add_counter("control.v1.gain_vetoes", controller.gain_vetoes());
+  registry.add_counter("control.v1.episodes",
+                       controller.estimator().episodes());
+  for (const Decision& d : controller.decisions())
+    registry.observe("control.v1.sigma_forecast_us", d.sigma_forecast_us,
+                     0.0, sigma_hist_hi_us);
+}
+
+}  // namespace imbar::control

@@ -1,0 +1,220 @@
+#include "control/controlled_barrier.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "util/spin_wait.hpp"
+
+namespace imbar::control {
+
+namespace {
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Canonical (kind, degree) the controller reasons about: non-degree
+/// kinds report the central-counter shape (degree == participants),
+/// matching BarrierController::candidates().
+ControlChoice normalized_choice(BarrierKind kind, std::size_t degree,
+                                std::size_t participants) {
+  if (!barrier_kind_uses_degree(kind))
+    return {kind, participants < 2 ? 2 : participants};
+  const std::size_t hi = participants < 2 ? 2 : participants;
+  return {kind, std::clamp<std::size_t>(degree, 2, hi)};
+}
+
+}  // namespace
+
+ControlledBarrier::ControlledBarrier(const BarrierConfig& initial)
+    : ControlledBarrier(initial, Options{}) {}
+
+ControlledBarrier::ControlledBarrier(const BarrierConfig& initial,
+                                     Options opts)
+    : n_(initial.participants),
+      opts_(std::move(opts)),
+      config_(initial),
+      controller_(initial.participants == 0 ? 1 : initial.participants,
+                  normalized_choice(initial.kind, initial.degree,
+                                    initial.participants),
+                  opts_.controller) {
+  if (n_ == 0)
+    throw std::invalid_argument("ControlledBarrier: zero participants");
+  if (!opts_.factory)
+    opts_.factory = [](const BarrierConfig& c) { return make_barrier(c); };
+  inner_ = opts_.factory(config_);  // factory validates the config
+  arrival_banks_[0].resize(n_);
+  arrival_banks_[1].resize(n_);
+  arrival_scratch_.resize(n_, 0.0);
+  const ControlChoice c =
+      normalized_choice(config_.kind, config_.degree, n_);
+  cur_kind_.value.store(static_cast<std::uint32_t>(c.kind),
+                        std::memory_order_release);
+  cur_degree_.value.store(c.degree, std::memory_order_release);
+}
+
+ControlledBarrier::~ControlledBarrier() = default;
+
+void ControlledBarrier::arrive_and_wait(std::size_t tid) {
+  // Unbounded context: the fence path always retries, so the only
+  // possible status is kReady.
+  (void)arrive_and_wait_until(tid, WaitContext{});
+}
+
+WaitStatus ControlledBarrier::arrive_and_wait_until(std::size_t tid,
+                                                    const WaitContext& ctx) {
+  for (;;) {
+    // Entry gate (Dekker pairing with the fence, as in
+    // robust::MembershipGroup): either we see the fence and back out, or
+    // the fence owner sees our increment and drains us.
+    in_flight_.value.fetch_add(1, std::memory_order_seq_cst);
+    if (fence_pending_.value.load(std::memory_order_seq_cst)) {
+      in_flight_.value.fetch_sub(1, std::memory_order_release);
+      const WaitStatus s = back_out_of_fence(ctx);
+      if (s != WaitStatus::kReady) return s;
+      continue;
+    }
+
+    const std::uint64_t p = phase_.value.load(std::memory_order_acquire);
+    arrival_banks_[p & 1][tid].value = now_us();
+
+    WaitContext inner_ctx;
+    inner_ctx.deadline = ctx.deadline;
+    inner_ctx.cancel = &fence_pending_.value;  // see header caveat
+    const WaitStatus s = inner_->arrive_and_wait_until(tid, inner_ctx);
+
+    if (s == WaitStatus::kReady) {
+      // Phase ledger: every returner attempts, exactly one wins. The
+      // CAS happens BEFORE the in_flight_ decrement: a fence drain
+      // therefore cannot complete while any ready returner's tally is
+      // still pending, so a release that beat the fence is always in
+      // phase_ by the time the old generation is discarded — the ledger
+      // needs no forensic reconciliation against inner counters (which
+      // are allowed to be approximate for torn generations, e.g.
+      // McsLocalSpinBarrier counts root *entries*). The boundary
+      // callback runs after the decrement, though: it takes fence_mu_
+      // and may itself raise a fence, which must not see this thread
+      // as in flight. The attempt also still happens before this
+      // thread can re-enter, so entrants always read phase_ == their
+      // own completed-phase count.
+      std::uint64_t expect = p;
+      const bool winner = phase_.value.compare_exchange_strong(
+          expect, p + 1, std::memory_order_acq_rel);
+      in_flight_.value.fetch_sub(1, std::memory_order_release);
+      if (winner) on_phase_boundary(p);
+      return WaitStatus::kReady;
+    }
+    in_flight_.value.fetch_sub(1, std::memory_order_release);
+    if (s == WaitStatus::kTimeout) return WaitStatus::kTimeout;
+
+    // kCancelled: a fence tore the episode. Wait it out, then decide —
+    // the release may still have beaten the fence.
+    const WaitStatus f = back_out_of_fence(ctx);
+    if (phase_.value.load(std::memory_order_acquire) > p)
+      return WaitStatus::kReady;  // completed concurrently with the fence
+    if (f != WaitStatus::kReady) return f;
+    if (ctx.cancel && ctx.cancel->load(std::memory_order_acquire))
+      return WaitStatus::kCancelled;
+    // Retry the same phase on the fresh inner: the replacement starts
+    // empty, so the torn episode replays wholesale.
+  }
+}
+
+WaitStatus ControlledBarrier::back_out_of_fence(const WaitContext& ctx) {
+  return spin_until(
+      [&] {
+        return !fence_pending_.value.load(std::memory_order_acquire);
+      },
+      ctx);
+}
+
+void ControlledBarrier::on_phase_boundary(std::uint64_t phase) {
+  // Serialized across phases by the ledger (the next phase cannot
+  // complete without this thread); the lock orders us against
+  // force_swap from foreign threads. Safe to block: we are no longer
+  // in_flight_, so a concurrent fence drains without us.
+  const std::lock_guard<std::mutex> lk(fence_mu_);
+  const auto& bank = arrival_banks_[phase & 1];
+  for (std::size_t t = 0; t < n_; ++t)
+    arrival_scratch_[t] = bank[t].value;
+  controller_.observe_episode(arrival_scratch_);
+  if (!opts_.reviews_enabled || !controller_.review_due()) return;
+  const Decision d = controller_.review(phase + 1);
+  if (d.action == Decision::Action::kSwap)
+    swap_locked(d.to.kind, d.to.degree);
+}
+
+BarrierConfig ControlledBarrier::config_for(BarrierKind kind,
+                                            std::size_t degree) const {
+  BarrierConfig cfg = config_;  // carry adaptive/quorum knobs through
+  cfg.kind = kind;
+  const std::size_t hi = n_ < 2 ? 2 : n_;
+  cfg.degree = std::clamp<std::size_t>(degree, 2, hi);
+  return cfg;
+}
+
+void ControlledBarrier::swap_locked(BarrierKind kind, std::size_t degree) {
+  // Build the replacement before raising the fence: a throwing factory
+  // must never leave traffic stopped, and the drain window stays short.
+  const BarrierConfig cfg = config_for(kind, degree);
+  std::unique_ptr<Barrier> fresh = opts_.factory(cfg);
+
+  const double t0 = now_us();
+  fence_pending_.value.store(true, std::memory_order_seq_cst);
+  spin_until([&] {
+    return in_flight_.value.load(std::memory_order_acquire) == 0;
+  });
+
+  // The drain is also what keeps the ledger exact across the swap: a
+  // release that beat this fence has at least one kReady returner (the
+  // releaser itself never waits after committing), and every kReady
+  // returner CASes the ledger before decrementing in_flight_ — so by
+  // this point every committed release is tallied and cancelled
+  // waiters of that release will observe the advanced phase and return
+  // kReady. Torn episodes tallied nothing and replay wholesale on the
+  // fresh inner. The old generation's own counters are NOT consulted
+  // for this: they may be approximate for torn generations per the
+  // Barrier contract (episodes stay exact through the phase ledger).
+  const BarrierCounters old = inner_->counters();
+  retired_.updates += old.updates;
+  retired_.extra_comms += old.extra_comms;
+  retired_.swaps += old.swaps;
+  retired_.overlapped += old.overlapped;
+
+  inner_ = std::move(fresh);
+  config_ = cfg;
+  const ControlChoice c = normalized_choice(kind, cfg.degree, n_);
+  cur_kind_.value.store(static_cast<std::uint32_t>(c.kind),
+                        std::memory_order_release);
+  cur_degree_.value.store(c.degree, std::memory_order_release);
+  swaps_.value.fetch_add(1, std::memory_order_release);
+  fence_pending_.value.store(false, std::memory_order_seq_cst);
+  controller_.on_swap_applied(now_us() - t0);
+}
+
+void ControlledBarrier::force_swap(BarrierKind kind, std::size_t degree) {
+  const std::lock_guard<std::mutex> lk(fence_mu_);
+  swap_locked(kind, degree);
+  controller_.override_current(normalized_choice(kind, degree, n_));
+}
+
+BarrierCounters ControlledBarrier::counters() const {
+  const std::lock_guard<std::mutex> lk(fence_mu_);
+  BarrierCounters c = inner_->counters();
+  c.episodes = phase_.value.load(std::memory_order_acquire);
+  c.updates += retired_.updates;
+  c.extra_comms += retired_.extra_comms;
+  c.swaps += retired_.swaps;
+  c.overlapped += retired_.overlapped;
+  return c;
+}
+
+std::unique_ptr<ControlledBarrier> make_controlled(
+    const BarrierConfig& initial, ControlledBarrier::Options opts) {
+  return std::make_unique<ControlledBarrier>(initial, std::move(opts));
+}
+
+}  // namespace imbar::control

@@ -1,0 +1,190 @@
+// ControlledBarrier — closed-loop reconfiguration as a decorator.
+//
+// Wraps any factory-built barrier and hot-swaps its **kind, degree and
+// placement** while traffic keeps flowing, on decisions from an
+// embedded BarrierController. This is AdaptiveBarrier's promotion: that
+// class retunes the degree of one combining tree from inside its own
+// releaser; this decorator retunes *which barrier exists at all*, with
+// zero per-kind code — composition happens through the same factory
+// hook family as robust::RobustOptions::inner_factory and
+// obs::instrumenting_inner_factory (pass either as Options::factory and
+// every generation of the inner comes out robust/instrumented).
+//
+// ## The phase ledger
+//
+// `phase_` counts completed episodes. Every thread returning kReady
+// from the inner barrier attempts one CAS(p, p+1); exactly one wins per
+// phase. Because a thread attempts its CAS before it can re-enter, and
+// phase p+1 cannot complete without every thread (including the phase-p
+// winner), a thread always reads phase_ == its own completed-phase
+// count at entry — which makes the double-banked arrival-timestamp
+// array exact: bank p&1 is written by entrants of phase p and read only
+// by the phase-p winner, and the next write to that bank (phase p+2)
+// is ordered after the winner's read through the inner barrier's own
+// release/acquire chain. The winner feeds the bank to the controller
+// and runs due reviews — the same releaser-only discipline
+// AdaptiveBarrier::maybe_adapt uses, serialized across phases by the
+// ledger instead of by a tree root.
+//
+// ## The swap fence (PR 5's epoch-fence protocol, re-used)
+//
+// Arrivals pass an entry gate: in_flight_.fetch_add(seq_cst), then a
+// seq_cst check of fence_pending_ — the Dekker pairing from
+// robust::MembershipGroup, so either the entrant sees the fence and
+// backs out, or the fence owner sees the entrant and waits. A swap
+// (controller-decided or force_swap) builds the replacement barrier
+// *first*, then raises fence_pending_ — which doubles as the cancel
+// flag of every in-flight inner wait — drains in_flight_ to zero,
+// folds the old inner's counters into the retired ledger, installs the
+// replacement, and reopens. The drain also closes the
+// released-but-untallied window: every committed release has at least
+// one kReady returner (the releaser itself commits and returns without
+// waiting), and kReady returners CAS the ledger *before* decrementing
+// in_flight_, so a release that beat the fence is in phase_ by the
+// time the drain completes. Cancelled waiters then spin out the fence
+// and either observe their phase completed (return kReady) or retry
+// the same phase on the fresh inner; arrivals the torn inner had
+// absorbed are replayed wholesale because the replacement starts
+// empty. No generation is ever lost or double-counted: phase_ only
+// advances on a real release, and every release advances it exactly
+// once, by its winner's CAS. Inner episode counters are never
+// consulted — they may over-count torn generations (some kinds bump
+// them at arrival, not at release).
+//
+// Caveat (same as MembershipGroup): the inner wait's cancel slot is
+// occupied by fence_pending_, so a *caller-supplied* WaitContext cancel
+// flag raised while a thread is blocked inside the inner is only
+// noticed at the next fence or phase boundary. Deadlines propagate
+// as-is; kTimeout marks the instance broken per the Barrier contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "barrier/barrier.hpp"
+#include "barrier/factory.hpp"
+#include "control/controller.hpp"
+#include "util/cacheline.hpp"
+
+namespace imbar::control {
+
+class ControlledBarrier final : public Barrier {
+ public:
+  /// Builds each generation of the inner barrier. Must accept every
+  /// config make_barrier accepts (obs::instrumenting_inner_factory
+  /// qualifies). Called outside the fence, so a throwing factory aborts
+  /// the swap without ever stopping traffic.
+  using Factory = std::function<std::unique_ptr<Barrier>(const BarrierConfig&)>;
+
+  struct Options {
+    ControllerOptions controller{};
+    /// Inner-barrier builder; null = make_barrier.
+    Factory factory{};
+    /// When false the controller only observes — reconfiguration
+    /// happens solely through force_swap() (the conformance harness and
+    /// the overhead bench run this mode).
+    bool reviews_enabled = true;
+  };
+
+  // Two overloads instead of a defaulted Options argument: Options'
+  // default member initializers are not usable as a default argument
+  // inside the still-incomplete enclosing class.
+  explicit ControlledBarrier(const BarrierConfig& initial);
+  ControlledBarrier(const BarrierConfig& initial, Options opts);
+  ~ControlledBarrier() override;
+
+  void arrive_and_wait(std::size_t tid) override;
+  WaitStatus arrive_and_wait_until(std::size_t tid,
+                                   const WaitContext& ctx) override;
+
+  [[nodiscard]] std::size_t participants() const noexcept override {
+    return n_;
+  }
+  /// episodes == completed phases (exact, release-counted); the other
+  /// counters fold every retired generation plus the live inner.
+  [[nodiscard]] BarrierCounters counters() const override;
+
+  /// Reconfigure now, from any thread: waits for the fence, swaps, and
+  /// re-aims the controller at the new configuration. Degree is clamped
+  /// into the factory's accepted range for degree-shaped kinds.
+  ///
+  /// Liveness is the caller's job: every fence tears the in-flight
+  /// episode, so calling this faster than the cohort's rendezvous
+  /// latency (several scheduler quanta on an oversubscribed host)
+  /// livelocks traffic — pace repeated calls on phases() progress, as
+  /// the conformance swap-storm does. Controller-driven swaps are
+  /// immune: they run at a phase boundary, so at most one fence ever
+  /// lands per completed phase.
+  void force_swap(BarrierKind kind, std::size_t degree);
+
+  /// The configuration currently installed (lock-free, any thread).
+  [[nodiscard]] ControlChoice current() const noexcept {
+    return {static_cast<BarrierKind>(
+                cur_kind_.value.load(std::memory_order_acquire)),
+            cur_degree_.value.load(std::memory_order_acquire)};
+  }
+  [[nodiscard]] std::uint64_t swaps() const noexcept {
+    return swaps_.value.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t phases() const noexcept {
+    return phase_.value.load(std::memory_order_acquire);
+  }
+
+  /// The embedded controller. Quiescent-only (join traffic first, or
+  /// read from inside a phase-boundary callback): reviews mutate it.
+  [[nodiscard]] const BarrierController& controller() const noexcept {
+    return controller_;
+  }
+  [[nodiscard]] BarrierController& controller() noexcept {
+    return controller_;
+  }
+
+  /// Releaser/quiescent snapshot of the observed signals — the same
+  /// accessor shape AdaptiveBarrier::signal() exposes.
+  [[nodiscard]] SignalSnapshot signal() const noexcept {
+    return controller_.signal();
+  }
+
+ private:
+  WaitStatus back_out_of_fence(const WaitContext& ctx);
+  void on_phase_boundary(std::uint64_t phase);
+  void swap_locked(BarrierKind kind, std::size_t degree);
+  [[nodiscard]] BarrierConfig config_for(BarrierKind kind,
+                                         std::size_t degree) const;
+
+  std::size_t n_;
+  Options opts_;
+  BarrierConfig config_;  // current inner config (fence_mu_-guarded)
+
+  std::unique_ptr<Barrier> inner_;       // swapped only inside the fence
+  PaddedAtomic<std::uint64_t> phase_{};  // completed-episode ledger
+  PaddedAtomic<std::uint64_t> in_flight_{};
+  PaddedAtomic<bool> fence_pending_{};
+  PaddedAtomic<std::uint32_t> cur_kind_{};
+  PaddedAtomic<std::size_t> cur_degree_{};
+  PaddedAtomic<std::uint64_t> swaps_{};
+
+  // Double-banked arrival timestamps: bank p&1 for phase p (see header
+  // comment for the race-freedom argument).
+  std::vector<Padded<double>> arrival_banks_[2];
+  std::vector<double> arrival_scratch_;  // winner-only
+
+  // Serializes swaps (winner reviews vs force_swap) and guards
+  // controller_ + config_ + retired_.
+  mutable std::mutex fence_mu_;
+  BarrierController controller_;
+  BarrierCounters retired_;  // folded counters of replaced generations
+};
+
+/// Convenience mirror of make_barrier: heap-build a controlled barrier.
+/// For observability-instrumented inner generations pass
+/// obs::instrumenting_inner_factory as opts.factory — every swap then
+/// re-wraps the fresh inner with zero per-kind code.
+[[nodiscard]] std::unique_ptr<ControlledBarrier> make_controlled(
+    const BarrierConfig& initial, ControlledBarrier::Options opts = {});
+
+}  // namespace imbar::control

@@ -1,0 +1,178 @@
+#include "control/controller.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace imbar::control {
+
+std::string to_string(const ControlChoice& choice) {
+  std::string s = imbar::to_string(choice.kind);
+  if (barrier_kind_uses_degree(choice.kind)) {
+    s += '/';
+    s += std::to_string(choice.degree);
+  }
+  return s;
+}
+
+const char* to_string(Decision::Action action) noexcept {
+  switch (action) {
+    case Decision::Action::kHold: return "hold";
+    case Decision::Action::kSwap: return "swap";
+    case Decision::Action::kCooldown: return "cooldown";
+    case Decision::Action::kGainTooSmall: return "gain-too-small";
+  }
+  return "?";
+}
+
+std::string decision_line(const Decision& d) {
+  // Fixed-width %.3f keeps the rendering a pure function of the decision
+  // values: the byte-identity contract of the convergence harness.
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "review=%llu phase=%llu sigma=%.3f persist=%.3f from=%s "
+                "to=%s pred_from=%.3f pred_to=%.3f cost=%.3f action=%s",
+                static_cast<unsigned long long>(d.review),
+                static_cast<unsigned long long>(d.phase),
+                d.sigma_forecast_us, d.persistence,
+                to_string(d.from).c_str(), to_string(d.to).c_str(),
+                d.predicted_from_us, d.predicted_to_us, d.swap_cost_us,
+                to_string(d.action));
+  return buf;
+}
+
+BarrierController::BarrierController(std::size_t participants,
+                                     ControlChoice initial,
+                                     ControllerOptions opts,
+                                     std::unique_ptr<Predictor> predictor)
+    : n_(participants),
+      opts_(std::move(opts)),
+      current_(initial),
+      predictor_(predictor ? std::move(predictor)
+                           : std::make_unique<EwmaTrendPredictor>(
+                                 opts_.predictor)),
+      cost_(opts_.cost),
+      estimator_(opts_.t_c_us),
+      scratch_(participants, 0.0) {
+  if (participants == 0)
+    throw std::invalid_argument("BarrierController: zero participants");
+  if (opts_.review_every == 0) opts_.review_every = 1;
+  if (opts_.hysteresis < 1.0) opts_.hysteresis = 1.0;
+  if (opts_.amortize_phases < 1.0) opts_.amortize_phases = 1.0;
+  if (opts_.t_c_us <= 0.0) opts_.t_c_us = 0.15;
+  if (opts_.kinds.empty()) opts_.kinds = {BarrierKind::kCombiningTree};
+}
+
+double BarrierController::observe_episode(
+    std::span<const double> arrival_us) {
+  const double sigma = estimator_.observe_episode(arrival_us);
+  predictor_->observe(snapshot_from(estimator_));
+  ++episodes_since_review_;
+  return sigma;
+}
+
+void BarrierController::observe_signal(const SignalSnapshot& signal) {
+  predictor_->observe(signal);
+  ++episodes_since_review_;
+}
+
+std::vector<ControlChoice> BarrierController::candidates() const {
+  std::vector<ControlChoice> grid;
+  const auto degrees = degree_candidates(n_, opts_.max_degree);
+  for (const BarrierKind kind : opts_.kinds) {
+    if (barrier_kind_uses_degree(kind)) {
+      for (const std::size_t d : degrees) grid.push_back({kind, d});
+    } else {
+      grid.push_back({kind, n_ < 2 ? 2 : n_});
+    }
+  }
+  return grid;
+}
+
+Decision BarrierController::review(std::uint64_t phase) {
+  episodes_since_review_ = 0;
+
+  const Forecast f = predictor_->forecast();
+  const ReviewInputs inputs{n_, f.sigma_us, opts_.t_c_us, f.persistence};
+
+  Decision d;
+  d.review = reviews_++;
+  d.phase = phase;
+  d.sigma_forecast_us = f.sigma_us;
+  d.persistence = f.persistence;
+  d.from = current_;
+  d.to = current_;
+  d.swap_cost_us = cost_.swap_cost_us();
+  d.predicted_from_us = predict_delay_us(current_.kind, current_.degree,
+                                         inputs);
+
+  // Best candidate under the forecast. Ties break toward the first
+  // candidate in grid order (kinds order, then ascending degree), which
+  // is deterministic by construction.
+  ControlChoice best = current_;
+  double best_delay = d.predicted_from_us;
+  for (const ControlChoice& c : candidates()) {
+    if (c == current_) continue;
+    const double delay = predict_delay_us(c.kind, c.degree, inputs);
+    if (delay < best_delay) {
+      best = c;
+      best_delay = delay;
+    }
+  }
+  d.to = best;
+  d.predicted_to_us = best_delay;
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    d.action = Decision::Action::kCooldown;
+    ++cooldowns_;
+  } else if (best == current_ ||
+             d.predicted_from_us < best_delay * opts_.hysteresis) {
+    d.action = Decision::Action::kHold;
+    ++holds_;
+  } else if ((d.predicted_from_us - best_delay) * opts_.amortize_phases <
+             d.swap_cost_us) {
+    d.action = Decision::Action::kGainTooSmall;
+    ++gain_vetoes_;
+  } else {
+    d.action = Decision::Action::kSwap;
+    current_ = best;
+    cooldown_left_ = opts_.cooldown_reviews;
+    ++swaps_decided_;
+  }
+
+  decisions_.push_back(d);
+  return d;
+}
+
+std::vector<std::string> BarrierController::log_lines() const {
+  std::vector<std::string> lines;
+  lines.reserve(decisions_.size());
+  for (const Decision& d : decisions_) lines.push_back(decision_line(d));
+  return lines;
+}
+
+ControlChoice sweep_optimal_choice(std::size_t participants,
+                                   const ControllerOptions& opts,
+                                   std::span<const double> sigma_us_by_phase,
+                                   double persistence) {
+  BarrierController probe(participants, ControlChoice{}, opts);
+  ControlChoice best{};
+  double best_total = std::numeric_limits<double>::infinity();
+  for (const ControlChoice& c : probe.candidates()) {
+    double total = 0.0;
+    for (const double sigma : sigma_us_by_phase) {
+      total += predict_delay_us(
+          c.kind, c.degree,
+          ReviewInputs{participants, sigma, opts.t_c_us, persistence});
+    }
+    if (total < best_total) {
+      best_total = total;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace imbar::control

@@ -1,0 +1,226 @@
+// BarrierController — the closed loop's brain.
+//
+// Watches a barrier's imbalance signals (fed per episode, either from a
+// live ControlledBarrier's arrival banks or from the sim twin's modeled
+// arrivals), forecasts the near-future spread through a pluggable
+// Predictor, and at each review decides whether the running (kind,
+// degree) should be reconfigured. The decision combines:
+//
+//  * the paper's generalized Algorithm 1 (review_core::predict_delay_us)
+//    evaluated at the forecast sigma/persistence for every candidate
+//    (kind, degree);
+//  * hysteresis — the incumbent survives unless a challenger's
+//    predicted delay beats it by the configured factor, so the settled
+//    optimum can never oscillate (the optimum beats every challenger by
+//    construction);
+//  * the Boulmier criterion — even a hysteresis-clearing challenger is
+//    vetoed while (gain per phase) * (amortization window) is below the
+//    measured reconfiguration cost;
+//  * a cooldown — a fixed number of reviews after any swap during which
+//    the controller only observes, letting the predictor re-converge on
+//    the new configuration's signal.
+//
+// The controller is deliberately clock-free and allocation-stable:
+// review() is a pure function of the observation sequence and the
+// options, so a sim-twin run replays byte-identical decision logs on
+// any worker count. It is also single-threaded by contract — the live
+// decorator calls it only from phase-boundary winners, which are
+// serialized by the phase ledger.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "control/cost_model.hpp"
+#include "control/predictor.hpp"
+#include "control/review_core.hpp"
+#include "control/signal.hpp"
+#include "obs/arrival_spread.hpp"
+
+namespace imbar::control {
+
+/// A barrier configuration point in the controller's search space.
+struct ControlChoice {
+  BarrierKind kind = BarrierKind::kCombiningTree;
+  std::size_t degree = 4;
+
+  friend bool operator==(const ControlChoice& a,
+                         const ControlChoice& b) noexcept {
+    return a.kind == b.kind && a.degree == b.degree;
+  }
+  friend bool operator!=(const ControlChoice& a,
+                         const ControlChoice& b) noexcept {
+    return !(a == b);
+  }
+};
+
+/// "kind/degree" (degree omitted for kinds it does not shape).
+[[nodiscard]] std::string to_string(const ControlChoice& choice);
+
+struct ControllerOptions {
+  /// Phases between reviews (also the per-episode observation cadence —
+  /// every episode is observed, every review_every-th triggers review()).
+  std::size_t review_every = 32;
+  /// Challenger must beat the incumbent's predicted delay by this
+  /// factor (mirrors AdaptiveBarrier::Options::hysteresis).
+  double hysteresis = 1.15;
+  /// Reviews to sit out after a swap.
+  std::size_t cooldown_reviews = 2;
+  /// Phases over which a swap's per-phase gain must amortize its cost.
+  double amortize_phases = 256.0;
+  /// Counter-update cost fed to the analytic model.
+  double t_c_us = 0.15;
+  /// Degree-candidate cap (0 = participants; see degree_candidates()).
+  std::size_t max_degree = 0;
+  /// Candidate kinds. The defaults span the paper's design space:
+  /// central counter (degree ~ p), combining tree (tuned degree),
+  /// dynamic placement (persistence-dependent).
+  std::vector<BarrierKind> kinds = {BarrierKind::kCentral,
+                                    BarrierKind::kCombiningTree,
+                                    BarrierKind::kDynamicPlacement};
+  ReconfigCostModel::Options cost{};
+  EwmaTrendPredictor::Options predictor{};
+};
+
+/// One review's full reasoning, recorded for the decision log.
+struct Decision {
+  enum class Action : std::uint8_t {
+    kHold,          // incumbent already (near-)optimal
+    kSwap,          // reconfigure to `to`
+    kCooldown,      // within the post-swap cooldown window
+    kGainTooSmall,  // hysteresis cleared but cost not amortized
+  };
+
+  std::uint64_t review = 0;  // 0-based review ordinal
+  std::uint64_t phase = 0;   // phase the review ran at
+  double sigma_forecast_us = 0.0;
+  double persistence = 0.0;
+  ControlChoice from;
+  ControlChoice to;              // best candidate (== from on kHold)
+  double predicted_from_us = 0.0;
+  double predicted_to_us = 0.0;
+  double swap_cost_us = 0.0;
+  Action action = Action::kHold;
+};
+
+[[nodiscard]] const char* to_string(Decision::Action action) noexcept;
+
+/// Deterministic one-line rendering (fixed precision, no timestamps) —
+/// the unit of the byte-identity contract in the convergence harness.
+[[nodiscard]] std::string decision_line(const Decision& decision);
+
+class BarrierController {
+ public:
+  /// `participants` sizes the candidate space; `initial` is the
+  /// configuration the controlled barrier starts on. A null `predictor`
+  /// gets the default EwmaTrendPredictor(opts.predictor).
+  BarrierController(std::size_t participants, ControlChoice initial,
+                    ControllerOptions opts = {},
+                    std::unique_ptr<Predictor> predictor = nullptr);
+
+  /// Feed one episode's per-thread arrival timestamps (us, any common
+  /// origin). Returns this episode's sigma. Single-writer, like the
+  /// underlying estimator.
+  double observe_episode(std::span<const double> arrival_us);
+
+  /// Feed a pre-computed signal snapshot (the sim twin's path — it
+  /// models sigma directly instead of materializing arrival vectors).
+  void observe_signal(const SignalSnapshot& signal);
+
+  /// True when the phase ending now should run a review.
+  [[nodiscard]] bool review_due() const noexcept {
+    return episodes_since_review_ >= opts_.review_every;
+  }
+
+  /// Run one review at `phase`. Appends to the decision log and, on
+  /// kSwap, updates current() — the caller performs the actual swap.
+  Decision review(std::uint64_t phase);
+
+  /// Report the measured cost of an applied swap (live path only; the
+  /// sim twin charges the model's estimate instead).
+  void on_swap_applied(double measured_cost_us) {
+    cost_.observe_swap_us(measured_cost_us);
+  }
+
+  /// Re-aim the controller after an externally forced reconfiguration
+  /// (ControlledBarrier::force_swap): subsequent reviews treat `choice`
+  /// as the incumbent, with a fresh post-swap cooldown so the predictor
+  /// re-settles before the next decision.
+  void override_current(const ControlChoice& choice) noexcept {
+    current_ = choice;
+    cooldown_left_ = opts_.cooldown_reviews;
+  }
+
+  [[nodiscard]] const ControlChoice& current() const noexcept {
+    return current_;
+  }
+  [[nodiscard]] std::uint64_t reviews() const noexcept { return reviews_; }
+  [[nodiscard]] std::uint64_t swaps_decided() const noexcept {
+    return swaps_decided_;
+  }
+  [[nodiscard]] std::uint64_t holds() const noexcept { return holds_; }
+  [[nodiscard]] std::uint64_t cooldowns() const noexcept { return cooldowns_; }
+  [[nodiscard]] std::uint64_t gain_vetoes() const noexcept {
+    return gain_vetoes_;
+  }
+  [[nodiscard]] const std::vector<Decision>& decisions() const noexcept {
+    return decisions_;
+  }
+  [[nodiscard]] const ControllerOptions& options() const noexcept {
+    return opts_;
+  }
+  [[nodiscard]] std::size_t participants() const noexcept { return n_; }
+  [[nodiscard]] const Predictor& predictor() const noexcept {
+    return *predictor_;
+  }
+  [[nodiscard]] const ReconfigCostModel& cost_model() const noexcept {
+    return cost_;
+  }
+  [[nodiscard]] ReconfigCostModel& cost_model() noexcept { return cost_; }
+  [[nodiscard]] const obs::ArrivalSpreadEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+  /// Snapshot of the estimator's current signals (same thread contract
+  /// as the estimator).
+  [[nodiscard]] SignalSnapshot signal() const noexcept {
+    return snapshot_from(estimator_);
+  }
+
+  /// The decision log as deterministic lines, one per review.
+  [[nodiscard]] std::vector<std::string> log_lines() const;
+
+  /// The full candidate grid this controller searches.
+  [[nodiscard]] std::vector<ControlChoice> candidates() const;
+
+ private:
+  std::size_t n_;
+  ControllerOptions opts_;
+  ControlChoice current_;
+  std::unique_ptr<Predictor> predictor_;
+  ReconfigCostModel cost_;
+  obs::ArrivalSpreadEstimator estimator_;
+  std::vector<double> scratch_;
+  std::uint64_t episodes_since_review_ = 0;
+  std::uint64_t reviews_ = 0;
+  std::uint64_t swaps_decided_ = 0;
+  std::uint64_t holds_ = 0;
+  std::uint64_t cooldowns_ = 0;
+  std::uint64_t gain_vetoes_ = 0;
+  std::size_t cooldown_left_ = 0;
+  std::vector<Decision> decisions_;
+};
+
+/// The static-optimal oracle the convergence harness diffs against:
+/// argmin over the controller's candidate grid of the *summed*
+/// predicted delay across the given per-phase (sigma, persistence)
+/// trajectory — i.e. the best fixed configuration in hindsight, under
+/// the same model the controller plans with.
+[[nodiscard]] ControlChoice sweep_optimal_choice(
+    std::size_t participants, const ControllerOptions& opts,
+    std::span<const double> sigma_us_by_phase, double persistence);
+
+}  // namespace imbar::control

@@ -1,0 +1,57 @@
+// Measured reconfiguration-cost model.
+//
+// The Boulmier switch rule needs both sides of the inequality:
+// predicted gain per phase (from review_core) and the cost of actually
+// performing a reconfiguration. The cost is a property of the host —
+// fence drain time plus barrier construction — so the model starts from
+// a prior and folds in every measured swap with an EWMA. Deterministic:
+// the sim twin charges the *model's* current estimate (never a clock),
+// and the live ControlledBarrier feeds real fence timings back in.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace imbar::control {
+
+class ReconfigCostModel {
+ public:
+  struct Options {
+    double prior_us = 50.0;  // cost assumed before any measurement
+    double alpha = 0.5;      // EWMA weight of each new measurement
+  };
+
+  ReconfigCostModel() : ReconfigCostModel(Options{}) {}
+  explicit ReconfigCostModel(Options opts) : opts_(opts) {
+    opts_.alpha = std::clamp(opts_.alpha, 0.01, 1.0);
+    if (opts_.prior_us < 0.0) opts_.prior_us = 0.0;
+    estimate_us_ = opts_.prior_us;
+  }
+
+  /// Fold one measured swap cost (fence raise -> reopen, us).
+  void observe_swap_us(double measured_us) {
+    if (measured_us < 0.0) measured_us = 0.0;
+    estimate_us_ =
+        opts_.alpha * measured_us + (1.0 - opts_.alpha) * estimate_us_;
+    ++observations_;
+  }
+
+  /// Current cost estimate a prospective swap is charged (us).
+  [[nodiscard]] double swap_cost_us() const noexcept { return estimate_us_; }
+
+  [[nodiscard]] std::uint64_t observations() const noexcept {
+    return observations_;
+  }
+
+  void reset() noexcept {
+    estimate_us_ = opts_.prior_us;
+    observations_ = 0;
+  }
+
+ private:
+  Options opts_;
+  double estimate_us_ = 0.0;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace imbar::control

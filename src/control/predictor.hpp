@@ -1,0 +1,120 @@
+// Imbalance forecasting for the closed-loop controller.
+//
+// The controller does not react to the last episode's sigma — a single
+// noisy draw would thrash the hysteresis band — it reacts to a
+// *forecast* of the near-future spread. The Predictor interface keeps
+// that forecast pluggable (the convergence harness swaps in canned
+// predictors to isolate controller dynamics); EwmaTrendPredictor is the
+// default: an exponentially-weighted level plus a persistence-weighted
+// trend term, the "anticipating load imbalance" shape from the Boulmier
+// criteria papers — extrapolate only to the degree the imbalance has
+// shown itself to persist.
+//
+// Predictors are deterministic state machines: observe() then
+// forecast() is a pure function of the observation sequence, never of
+// wall time, so sim-twin decision logs replay byte-identically.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "control/signal.hpp"
+
+namespace imbar::control {
+
+/// What the controller plans against.
+struct Forecast {
+  double sigma_us = 0.0;     // predicted near-future arrival spread
+  double persistence = 0.0;  // smoothed rank persistence in [0, 1]
+};
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Feed one episode-window snapshot (called once per observed
+  /// episode, in order, from the phase-boundary thread).
+  virtual void observe(const SignalSnapshot& signal) = 0;
+
+  /// Current forecast; pure given the observation history.
+  [[nodiscard]] virtual Forecast forecast() const = 0;
+
+  /// Forget all history (used when the cohort or regime resets).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// EWMA level + persistence-weighted trend:
+///   level  <- a*sigma + (1-a)*level
+///   trend  <- a*(sigma - sigma_prev) + (1-a)*trend
+///   rho    <- a*persistence + (1-a)*rho        (clamped to [0, 1])
+///   forecast sigma = max(0, level + gain * rho * trend * horizon)
+/// The trend only extrapolates when arrivals have shown persistent
+/// structure — iid noise keeps rho near 0 and the forecast collapses to
+/// the plain EWMA level.
+class EwmaTrendPredictor final : public Predictor {
+ public:
+  struct Options {
+    double alpha = 0.35;    // smoothing factor for level/trend/rho
+    double gain = 1.0;      // trend weight
+    double horizon = 4.0;   // episodes of trend extrapolation
+  };
+
+  EwmaTrendPredictor() : EwmaTrendPredictor(Options{}) {}
+  explicit EwmaTrendPredictor(Options opts) : opts_(opts) {
+    opts_.alpha = std::clamp(opts_.alpha, 0.01, 1.0);
+  }
+
+  void observe(const SignalSnapshot& signal) override {
+    const double a = opts_.alpha;
+    const double sigma = signal.sigma_us < 0.0 ? 0.0 : signal.sigma_us;
+    const double rho = std::clamp(signal.persistence, 0.0, 1.0);
+    if (!seen_) {
+      level_ = sigma;
+      trend_ = 0.0;
+      rho_ = rho;
+      seen_ = true;
+    } else {
+      trend_ = a * (sigma - prev_sigma_) + (1.0 - a) * trend_;
+      level_ = a * sigma + (1.0 - a) * level_;
+      rho_ = a * rho + (1.0 - a) * rho_;
+    }
+    prev_sigma_ = sigma;
+  }
+
+  [[nodiscard]] Forecast forecast() const override {
+    Forecast f;
+    f.sigma_us = std::max(
+        0.0, level_ + opts_.gain * rho_ * trend_ * opts_.horizon);
+    f.persistence = rho_;
+    return f;
+  }
+
+  void reset() override {
+    seen_ = false;
+    level_ = trend_ = rho_ = prev_sigma_ = 0.0;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "ewma-trend";
+  }
+
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+ private:
+  Options opts_;
+  bool seen_ = false;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  double rho_ = 0.0;
+  double prev_sigma_ = 0.0;
+};
+
+/// Factory for the default predictor (keeps ControllerOptions copyable
+/// without owning a polymorphic member).
+[[nodiscard]] inline std::unique_ptr<Predictor> make_default_predictor() {
+  return std::make_unique<EwmaTrendPredictor>();
+}
+
+}  // namespace imbar::control

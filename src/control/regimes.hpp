@@ -1,0 +1,182 @@
+// Canned sigma regimes for the convergence harness.
+//
+// A regime is a deterministic generator of per-phase, per-thread
+// arrival offsets whose spread follows a canonical trajectory:
+//
+//   constant     — sigma fixed at sigma_hi throughout;
+//   step         — sigma_lo, jumping to sigma_hi at the switch phase;
+//   ramp         — linear sigma_lo -> sigma_hi over the first half,
+//                  then a plateau at sigma_hi;
+//   oscillating  — square wave between sigma_lo and sigma_hi with the
+//                  given period;
+//   heavy-tail   — stationary sigma_hi scale, but offsets drawn from a
+//                  standardized exponential (mean 0, variance 1, heavy
+//                  right tail) instead of a normal.
+//
+// Persistence: offsets blend a fixed per-thread bias with fresh noise,
+//   a[tid] = sigma * (rho * bias[tid] + sqrt(1 - rho^2) * z),
+// so the arrival *order* repeats across episodes to the degree rho
+// says while per-episode variance stays ~sigma^2 — exactly the lag-1
+// rank-persistence signal ArrivalSpreadEstimator measures and the
+// dynamic-placement model consumes.
+//
+// Determinism: every draw comes from Xoshiro256::substream keyed by
+// (seed, phase, tid) alone — a pure function of indices, never of call
+// order — so regime trajectories replay byte-identically on any worker
+// count (the sweep.cpp recipe).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "dist/normal.hpp"
+#include "util/prng.hpp"
+
+namespace imbar::control {
+
+enum class RegimeKind {
+  kConstant,
+  kStep,
+  kRamp,
+  kOscillating,
+  kHeavyTail,
+};
+
+inline constexpr std::array<RegimeKind, 5> kAllRegimeKinds = {
+    RegimeKind::kConstant, RegimeKind::kStep, RegimeKind::kRamp,
+    RegimeKind::kOscillating, RegimeKind::kHeavyTail,
+};
+
+[[nodiscard]] inline const char* to_string(RegimeKind kind) noexcept {
+  switch (kind) {
+    case RegimeKind::kConstant: return "constant";
+    case RegimeKind::kStep: return "step";
+    case RegimeKind::kRamp: return "ramp";
+    case RegimeKind::kOscillating: return "oscillating";
+    case RegimeKind::kHeavyTail: return "heavy-tail";
+  }
+  return "?";
+}
+
+struct RegimeSpec {
+  RegimeKind kind = RegimeKind::kConstant;
+  double sigma_lo_us = 0.5;   // baseline spread
+  double sigma_hi_us = 60.0;  // elevated spread / stationary scale
+  /// Step point, ramp end, or oscillation period (phases). 0 resolves
+  /// to total_phases/2 (step/ramp) or total_phases/8 (oscillating).
+  std::uint64_t switch_phases = 0;
+  double persistence = 0.0;  // rho in [0, 1]
+  std::uint64_t seed = 42;
+};
+
+/// The canonical parameterization the convergence suite runs: spreads
+/// chosen so the model's optimum moves across the candidate grid
+/// (sigma_lo favors a wide/shallow tree, sigma_hi a binary tree), and
+/// the heavy-tail/oscillating variants stress the predictor's
+/// smoothing.
+[[nodiscard]] inline RegimeSpec canned_regime(RegimeKind kind,
+                                              std::uint64_t seed = 42) {
+  RegimeSpec spec;
+  spec.kind = kind;
+  spec.seed = seed;
+  switch (kind) {
+    case RegimeKind::kConstant:
+      spec.sigma_lo_us = spec.sigma_hi_us = 60.0;
+      break;
+    case RegimeKind::kStep:
+      spec.sigma_lo_us = 0.5;
+      spec.sigma_hi_us = 60.0;
+      break;
+    case RegimeKind::kRamp:
+      spec.sigma_lo_us = 0.5;
+      spec.sigma_hi_us = 60.0;
+      break;
+    case RegimeKind::kOscillating:
+      spec.sigma_lo_us = 10.0;
+      spec.sigma_hi_us = 40.0;
+      break;
+    case RegimeKind::kHeavyTail:
+      spec.sigma_lo_us = spec.sigma_hi_us = 30.0;
+      break;
+  }
+  return spec;
+}
+
+/// Target spread for `phase` of `total_phases` (pure).
+[[nodiscard]] inline double regime_target_sigma(
+    const RegimeSpec& spec, std::uint64_t phase,
+    std::uint64_t total_phases) {
+  const std::uint64_t half = total_phases == 0 ? 1 : total_phases / 2;
+  switch (spec.kind) {
+    case RegimeKind::kConstant:
+    case RegimeKind::kHeavyTail:
+      return spec.sigma_hi_us;
+    case RegimeKind::kStep: {
+      const std::uint64_t at =
+          spec.switch_phases ? spec.switch_phases : half;
+      return phase < at ? spec.sigma_lo_us : spec.sigma_hi_us;
+    }
+    case RegimeKind::kRamp: {
+      const std::uint64_t end =
+          spec.switch_phases ? spec.switch_phases : half;
+      if (end == 0 || phase >= end) return spec.sigma_hi_us;
+      const double f =
+          static_cast<double>(phase) / static_cast<double>(end);
+      return spec.sigma_lo_us + f * (spec.sigma_hi_us - spec.sigma_lo_us);
+    }
+    case RegimeKind::kOscillating: {
+      std::uint64_t period = spec.switch_phases
+                                 ? spec.switch_phases
+                                 : std::max<std::uint64_t>(
+                                       2, total_phases / 8);
+      if (period < 2) period = 2;
+      return (phase / (period / 2)) % 2 == 0 ? spec.sigma_lo_us
+                                             : spec.sigma_hi_us;
+    }
+  }
+  return spec.sigma_hi_us;
+}
+
+namespace detail {
+/// Standard-normal draw, pure in (seed, stream).
+[[nodiscard]] inline double normal_draw(std::uint64_t seed,
+                                        std::uint64_t stream) noexcept {
+  double u = Xoshiro256::substream(seed, stream).uniform();
+  u = std::clamp(u, 1e-12, 1.0 - 1e-12);
+  return normal_inv_cdf(u);
+}
+/// Standardized exponential (mean 0, variance 1): -ln(u) - 1.
+[[nodiscard]] inline double heavy_draw(std::uint64_t seed,
+                                       std::uint64_t stream) noexcept {
+  double u = Xoshiro256::substream(seed, stream).uniform();
+  u = std::clamp(u, 1e-12, 1.0 - 1e-12);
+  return -std::log(u) - 1.0;
+}
+}  // namespace detail
+
+/// Fill out[tid] with phase `phase`'s arrival offsets (us, deviations
+/// around 0). Pure in (spec, phase, total_phases, out.size()).
+inline void regime_arrivals(const RegimeSpec& spec, std::uint64_t phase,
+                            std::uint64_t total_phases,
+                            std::span<double> out) {
+  const double sigma = regime_target_sigma(spec, phase, total_phases);
+  const double rho = std::clamp(spec.persistence, 0.0, 1.0);
+  const double fresh = std::sqrt(1.0 - rho * rho);
+  const std::uint64_t n = out.size();
+  for (std::uint64_t tid = 0; tid < n; ++tid) {
+    // Distinct substream planes: biases on (seed ^ golden, tid), noise
+    // on (seed, 1 + phase*n + tid) — disjoint for any phase count.
+    const double bias =
+        detail::normal_draw(spec.seed ^ 0x9e3779b97f4a7c15ULL, tid);
+    const double z =
+        spec.kind == RegimeKind::kHeavyTail
+            ? detail::heavy_draw(spec.seed, 1 + phase * n + tid)
+            : detail::normal_draw(spec.seed, 1 + phase * n + tid);
+    out[tid] = sigma * (rho * bias + fresh * z);
+  }
+}
+
+}  // namespace imbar::control

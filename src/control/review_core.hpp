@@ -1,0 +1,140 @@
+// The shared review core: "given measured imbalance, what barrier
+// should we be running?" — one implementation consulted by both
+// AdaptiveBarrier's releaser-side degree reviews and the full
+// closed-loop BarrierController.
+//
+// Three layers, all pure functions of their inputs (no clocks, no
+// globals) so the sim twin, the live controller, and the offline
+// convergence oracle compute byte-identical answers:
+//
+//  * degree_candidates()  — the candidate set AdaptiveBarrier has always
+//    used: powers of two below the cap, plus the cap itself (cap ==
+//    participants makes the last candidate the central-counter shape).
+//  * predict_delay_us()   — per-(kind, degree) synchronization-delay
+//    prediction. Degree-shaped kinds run the paper's generalized
+//    Algorithm 1 directly; non-degree kinds are modeled as the
+//    degree-p central counter (the convention the analytic sweeps
+//    already use); dynamic placement blends the analytic delay with the
+//    persistence-weighted best case (straggler placed at the root costs
+//    only the L*t_c propagation — paper Section 5 / Figure 8), plus a
+//    t_c overhead term for the victim-destination reads, so it wins
+//    exactly when imbalance persists.
+//  * review_degree()      — AdaptiveBarrier's historical switch rule,
+//    verbatim: estimate the optimal degree, switch only when the
+//    current tree's predicted delay exceeds the estimate by the
+//    hysteresis factor.
+//
+// Header-only: imbar_barrier consumes review_degree() while
+// imbar_control links imbar_barrier (see signal.hpp for the layering
+// note).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "model/analytic.hpp"
+
+namespace imbar::control {
+
+/// Inputs every prediction consumes. `sigma_us` is the (forecast or
+/// measured) arrival spread; `persistence` the lag-1 rank correlation
+/// in [0, 1] (negative correlations clamp to 0 — anti-persistent
+/// arrivals are as good as random for placement purposes).
+struct ReviewInputs {
+  std::size_t participants = 0;
+  double sigma_us = 0.0;
+  double t_c_us = 0.15;
+  double persistence = 0.0;
+};
+
+/// Candidate degrees: 2, 4, 8, ... below `max_degree`, then
+/// `max_degree` itself. `max_degree` is clamped into [2, participants];
+/// 0 means participants (so the central-counter shape is always a
+/// candidate).
+[[nodiscard]] inline std::vector<std::size_t> degree_candidates(
+    std::size_t participants, std::size_t max_degree = 0) {
+  if (participants < 2) participants = 2;
+  if (max_degree == 0 || max_degree > participants) max_degree = participants;
+  if (max_degree < 2) max_degree = 2;
+  std::vector<std::size_t> candidates;
+  for (std::size_t d = 2; d < max_degree; d *= 2) candidates.push_back(d);
+  candidates.push_back(max_degree);
+  return candidates;
+}
+
+/// Tree depth ceil(log_d p) — the propagation-level count the dynamic
+/// model charges t_c per level for.
+[[nodiscard]] inline std::size_t tree_levels(std::size_t p,
+                                             std::size_t degree) noexcept {
+  if (p < 2) return 0;
+  if (degree < 2) degree = 2;
+  std::size_t levels = 0;
+  std::size_t reach = 1;
+  while (reach < p) {
+    reach *= degree;
+    ++levels;
+  }
+  return levels;
+}
+
+/// Predicted synchronization delay (us) of `kind` at `degree` under the
+/// observed inputs. Pure; safe from any thread.
+[[nodiscard]] inline double predict_delay_us(BarrierKind kind,
+                                             std::size_t degree,
+                                             const ReviewInputs& in) {
+  const std::size_t p = in.participants < 2 ? 2 : in.participants;
+  const double sigma = in.sigma_us < 0.0 ? 0.0 : in.sigma_us;
+  const std::size_t d =
+      barrier_kind_uses_degree(kind) ? (degree < 2 ? 2 : degree) : p;
+  const double analytic =
+      analytic_sync_delay_general({p, d > p ? p : d, sigma, in.t_c_us})
+          .sync_delay;
+  if (kind != BarrierKind::kDynamicPlacement) return analytic;
+
+  // Dynamic placement: a persistent straggler gets relocated next to
+  // the root, so its arrival releases the tree after only the level
+  // propagation; non-persistent arrivals degrade to the plain tree.
+  // The extra victim-destination read per arrival costs ~t_c.
+  double rho = in.persistence;
+  if (rho < 0.0) rho = 0.0;
+  if (rho > 1.0) rho = 1.0;
+  const double placed =
+      static_cast<double>(tree_levels(p, d)) * in.t_c_us;
+  return rho * placed + (1.0 - rho) * analytic + in.t_c_us;
+}
+
+/// Outcome of a degree-only review (AdaptiveBarrier's rule).
+struct DegreeReview {
+  bool rebuild = false;       // switch to `degree`?
+  std::size_t degree = 0;     // the model's optimal candidate
+  double current_delay = 0.0; // predicted delay of the current degree
+  double best_delay = 0.0;    // predicted delay of the optimal candidate
+};
+
+/// AdaptiveBarrier's historical switch rule, shared verbatim: estimate
+/// the optimal candidate degree for (p, sigma, t_c); recommend a
+/// rebuild only when the current degree's predicted delay is at least
+/// `hysteresis` times the optimum's.
+[[nodiscard]] inline DegreeReview review_degree(std::size_t participants,
+                                                std::size_t current_degree,
+                                                double sigma_us, double t_c_us,
+                                                double hysteresis,
+                                                std::size_t max_degree = 0) {
+  DegreeReview r;
+  const auto est = estimate_optimal_degree_general(
+      participants, sigma_us, t_c_us,
+      degree_candidates(participants, max_degree));
+  r.degree = est.degree;
+  r.best_delay = est.predicted_delay;
+  r.current_delay =
+      analytic_sync_delay_general(
+          {participants, current_degree, sigma_us, t_c_us})
+          .sync_delay;
+  if (est.degree == current_degree) return r;
+  r.rebuild = r.current_delay >= r.best_delay * hysteresis;
+  return r;
+}
+
+}  // namespace imbar::control

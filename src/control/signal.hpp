@@ -1,0 +1,56 @@
+// The controller's view of a live barrier: one value-semantic snapshot
+// of the imbalance signals the paper's model consumes.
+//
+// obs::ArrivalSpreadEstimator accumulates the signals (sigma, straggler
+// ranks, lag-1 rank persistence) but is an accumulator — single-writer,
+// releaser-only, unsafe to hand across threads. SignalSnapshot is the
+// plain-data projection of it: safe to copy out at a phase boundary,
+// feed to a Predictor, log, or ship into the sim twin. AdaptiveBarrier
+// and control::ControlledBarrier both expose their review inputs
+// through this one type, so tests and telemetry read the same fields
+// either way.
+//
+// Header-only on purpose: imbar_barrier (AdaptiveBarrier::signal())
+// consumes it while imbar_control links imbar_barrier, so a compiled
+// home in the control library would form a cycle — the same reasoning
+// as obs/arrival_spread.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/arrival_spread.hpp"
+
+namespace imbar::control {
+
+/// Imbalance signals of the most recent episode window. All time fields
+/// are microseconds.
+struct SignalSnapshot {
+  double sigma_us = 0.0;       // spread of the last observed episode
+  double sigma_tc = 0.0;       // the same, in t_c units
+  double spread_us = 0.0;      // max-min arrival gap of the last episode
+  double mean_sigma_us = 0.0;  // running mean across episodes
+  double persistence = 0.0;    // lag-1 Spearman rank correlation [-1, 1]
+  std::size_t straggler = 0;   // tid that arrived last
+  std::uint64_t episodes = 0;  // episodes observed so far
+  double t_c_us = 0.0;         // counter-update cost the estimator assumed
+};
+
+/// Project an estimator's current state. Same thread-safety contract as
+/// the estimator itself: call from the writer (the episode releaser) or
+/// at quiescence.
+[[nodiscard]] inline SignalSnapshot snapshot_from(
+    const obs::ArrivalSpreadEstimator& est) noexcept {
+  SignalSnapshot s;
+  s.sigma_us = est.last_sigma_us();
+  s.sigma_tc = est.last_sigma_tc();
+  s.spread_us = est.last_spread_us();
+  s.mean_sigma_us = est.mean_sigma_us();
+  s.persistence = est.rank_correlation_lag1();
+  s.straggler = est.last_straggler();
+  s.episodes = est.episodes();
+  s.t_c_us = est.t_c_us();
+  return s;
+}
+
+}  // namespace imbar::control

@@ -1,0 +1,110 @@
+#include "control/sim_twin.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "control/control_metrics.hpp"
+#include "exec/parallel_for.hpp"
+#include "sim/controller_model.hpp"
+
+namespace imbar::control {
+
+namespace {
+
+double sample_sigma(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  return std::sqrt(var / static_cast<double>(n - 1));
+}
+
+}  // namespace
+
+ControlChoice twin_oracle(std::size_t procs, const ControllerOptions& opts,
+                          std::span<const double> sigma_by_phase,
+                          double persistence) {
+  const std::size_t tail = sigma_by_phase.size() / 2;
+  return sweep_optimal_choice(
+      procs, opts, sigma_by_phase.subspan(sigma_by_phase.size() - tail),
+      persistence);
+}
+
+TwinResult run_twin(const TwinOptions& options) {
+  if (options.procs == 0)
+    throw std::invalid_argument("run_twin: zero procs");
+
+  BarrierController controller(options.procs, options.initial,
+                               options.controller);
+  TwinResult result;
+  result.sigma_by_phase.reserve(options.phases);
+
+  sim::Engine engine;
+  sim::ControllerModel model(
+      engine,
+      {options.procs, options.phases, options.phase_work_us},
+      [&](std::uint64_t phase, std::span<double> out) {
+        regime_arrivals(options.regime, phase, options.phases, out);
+      },
+      [&](std::uint64_t /*phase*/, std::span<const double> arrivals) {
+        // Modeled ground truth: what the installed configuration costs
+        // for these arrivals, under the paper's model at the realized
+        // signals (measured spread, estimator's running persistence).
+        const ControlChoice& cur = controller.current();
+        const ReviewInputs inputs{
+            options.procs, sample_sigma(arrivals),
+            controller.options().t_c_us,
+            controller.estimator().rank_correlation_lag1()};
+        return predict_delay_us(cur.kind, cur.degree, inputs);
+      },
+      [&](std::uint64_t phase, std::span<const double> arrivals,
+          double /*delay*/) {
+        const double sigma = controller.observe_episode(arrivals);
+        result.sigma_by_phase.push_back(sigma);
+        if (!controller.review_due()) return 0.0;
+        const Decision d = controller.review(phase + 1);
+        // The twin charges the cost model's current estimate — it has
+        // no real fence to measure.
+        return d.action == Decision::Action::kSwap ? d.swap_cost_us : 0.0;
+      });
+  model.start();
+  engine.run();
+
+  result.final_choice = controller.current();
+  result.reviews = controller.reviews();
+  result.swaps = controller.swaps_decided();
+  result.total_sync_delay_us = model.total_sync_delay_us();
+  result.total_swap_cost_us = model.total_swap_cost_us();
+  result.makespan_us = model.makespan();
+  result.final_persistence =
+      controller.estimator().rank_correlation_lag1();
+  for (const Decision& d : controller.decisions())
+    if (d.action == Decision::Action::kSwap) result.settle_review = d.review + 1;
+  result.oracle = twin_oracle(options.procs, options.controller,
+                              result.sigma_by_phase,
+                              result.final_persistence);
+  result.log = controller.log_lines();
+  result.log_json = decision_log_json(
+      controller, std::string("twin/") + to_string(options.regime.kind));
+  return result;
+}
+
+std::vector<TwinResult> run_twin_suite(std::span<const TwinOptions> options,
+                                       std::size_t workers) {
+  std::vector<TwinResult> results(options.size());
+  exec::Executor ex{workers, nullptr};
+  // Chunk of 1: each twin is one task with a stable index; results land
+  // in index-addressed slots, so the merged vector is identical for any
+  // worker count (sweep.cpp recipe).
+  ex.run_chunked(0, options.size(), 1,
+                 [&](std::size_t /*task*/, std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i)
+                     results[i] = run_twin(options[i]);
+                 });
+  return results;
+}
+
+}  // namespace imbar::control

@@ -1,0 +1,72 @@
+// The controller's deterministic twin: BarrierController driven by
+// sim::ControllerModel over canned sigma regimes.
+//
+// The twin exists so controller *dynamics* — predictor tracking,
+// hysteresis, cost gating, convergence — are testable exactly, with no
+// scheduler noise: every run is a pure function of (TwinOptions), so
+// decision logs byte-compare across hosts and across exec worker
+// counts (run_twin_suite shards independent runs with the sweep.cpp
+// index-slot recipe). The live ControlledBarrier runs the *same*
+// controller code against real threads; the differential harness
+// (check/controller_convergence.hpp) diffs both against the offline
+// sweep oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/regimes.hpp"
+
+namespace imbar::control {
+
+struct TwinOptions {
+  std::size_t procs = 8;
+  std::uint64_t phases = 2048;
+  RegimeSpec regime{};
+  ControllerOptions controller{};
+  /// Configuration installed at phase 0.
+  ControlChoice initial{BarrierKind::kCombiningTree, 4};
+  /// Balanced work per phase (us) — only shifts the modeled makespan.
+  double phase_work_us = 100.0;
+};
+
+struct TwinResult {
+  ControlChoice final_choice{};
+  ControlChoice oracle{};          // best static config over the tail
+  std::uint64_t reviews = 0;
+  std::uint64_t swaps = 0;
+  /// First review index after which the choice never changed again
+  /// (== review ordinal of the last swap + 1; 0 if it never swapped).
+  std::uint64_t settle_review = 0;
+  double total_sync_delay_us = 0.0;
+  double total_swap_cost_us = 0.0;
+  double makespan_us = 0.0;
+  double final_persistence = 0.0;  // realized lag-1 rank persistence
+  std::vector<double> sigma_by_phase;     // realized per-phase sigma
+  std::vector<std::string> log;           // deterministic decision lines
+  std::string log_json;                   // imbar.control.v1 document
+};
+
+/// Run one twin. Pure in `options`.
+[[nodiscard]] TwinResult run_twin(const TwinOptions& options);
+
+/// Run many twins, sharded over an exec worker pool (0 = hardware, 1 =
+/// inline). Results are returned in input order and are byte-identical
+/// for any worker count — each twin is independent and deterministic,
+/// and the merge is a serial index-order copy.
+[[nodiscard]] std::vector<TwinResult> run_twin_suite(
+    std::span<const TwinOptions> options, std::size_t workers = 1);
+
+/// The oracle the convergence harness diffs against: the sweep-optimal
+/// static choice over the trailing half of the realized sigma
+/// trajectory (the plateau for step/ramp regimes, a representative
+/// mixture window otherwise), at the realized persistence.
+[[nodiscard]] ControlChoice twin_oracle(std::size_t procs,
+                                        const ControllerOptions& opts,
+                                        std::span<const double> sigma_by_phase,
+                                        double persistence);
+
+}  // namespace imbar::control

@@ -25,6 +25,14 @@ std::unique_ptr<robust::RobustBarrier> recommend_robust_barrier(
       recommend_config(p, sigma_us, tc_us, predictable), opts);
 }
 
+std::unique_ptr<control::ControlledBarrier> recommend_controller(
+    std::size_t p, double sigma_us, double tc_us, bool predictable,
+    control::ControlledBarrier::Options opts) {
+  opts.controller.t_c_us = tc_us;
+  return control::make_controlled(
+      recommend_config(p, sigma_us, tc_us, predictable), std::move(opts));
+}
+
 std::string describe(const BarrierConfig& config) {
   std::ostringstream out;
   out << to_string(config.kind) << " barrier, " << config.participants

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "barrier/factory.hpp"
+#include "control/controlled_barrier.hpp"
 #include "core/degree_chooser.hpp"
 #include "core/imbalance_estimator.hpp"
 #include "robust/robust_barrier.hpp"
@@ -37,6 +38,19 @@ namespace imbar {
 [[nodiscard]] std::unique_ptr<robust::RobustBarrier> recommend_robust_barrier(
     std::size_t p, double sigma_us, double tc_us, bool predictable = false,
     robust::RobustOptions opts = {});
+
+/// recommend_config + the closed loop in one step: the model-chosen
+/// configuration installed behind control::ControlledBarrier, which
+/// keeps re-deriving (kind, degree, placement) online from its own
+/// measured arrival spreads (docs/control.md). `sigma_us` only seeds
+/// the starting configuration — from there the embedded controller's
+/// estimator takes over — while `tc_us` also calibrates the
+/// controller's analytic model (opts.controller.t_c_us is overwritten;
+/// set the remaining ControllerOptions through `opts` as usual).
+[[nodiscard]] std::unique_ptr<control::ControlledBarrier>
+recommend_controller(std::size_t p, double sigma_us, double tc_us,
+                     bool predictable = false,
+                     control::ControlledBarrier::Options opts = {});
 
 /// Self-tuning barrier: an ImbalanceEstimator fed by the caller plus a
 /// periodically re-derived recommendation. Unlike AdaptiveBarrier (which

@@ -103,6 +103,51 @@ std::size_t validate_chrome_trace(const json::Value& doc) {
   return slices;
 }
 
+std::size_t validate_control_log(const json::Value& doc) {
+  if (!doc.is_object())
+    throw std::runtime_error("control: document is not an object");
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "imbar.control.v1")
+    throw std::runtime_error("control: missing/wrong schema tag");
+  if (!doc.has_string("name"))
+    throw std::runtime_error("control: missing name");
+  for (const char* k :
+       {"participants", "reviews", "swaps", "holds", "cooldowns",
+        "gain_vetoes"})
+    if (!doc.has_number(k))
+      throw std::runtime_error(std::string("control: missing ") + k);
+  const json::Value* decisions = doc.find("decisions");
+  if (decisions == nullptr || !decisions->is_array())
+    throw std::runtime_error("control: missing decisions array");
+  if (decisions->array.size() !=
+      static_cast<std::size_t>(doc.find("reviews")->number))
+    throw std::runtime_error("control: reviews != decisions length");
+  double last_review = -1.0;
+  std::size_t swaps = 0;
+  for (std::size_t i = 0; i < decisions->array.size(); ++i) {
+    const json::Value& d = decisions->array[i];
+    const std::string at = " at decisions[" + std::to_string(i) + "]";
+    if (!d.is_object())
+      throw std::runtime_error("control: non-object decision" + at);
+    for (const char* k : {"review", "phase", "sigma_us", "persistence",
+                          "pred_from_us", "pred_to_us", "cost_us"})
+      if (!d.has_number(k))
+        throw std::runtime_error(std::string("control: missing ") + k + at);
+    for (const char* k : {"from", "to", "action"})
+      if (!d.has_string(k))
+        throw std::runtime_error(std::string("control: missing ") + k + at);
+    const double review = d.find("review")->number;
+    if (review <= last_review)
+      throw std::runtime_error("control: review ordinals not increasing" + at);
+    last_review = review;
+    if (d.find("action")->string == "swap") ++swaps;
+  }
+  if (swaps != static_cast<std::size_t>(doc.find("swaps")->number))
+    throw std::runtime_error("control: swaps total inconsistent with actions");
+  return decisions->array.size();
+}
+
 std::size_t write_episode_csv(const EpisodeRecorder& recorder,
                               const std::string& path) {
   CsvWriter csv(path, {"tid", "episode", "arrive_us", "release_us", "span_us"});

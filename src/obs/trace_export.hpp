@@ -50,6 +50,17 @@ std::size_t validate_chrome_trace(const json::Value& doc);
 std::size_t write_episode_csv(const EpisodeRecorder& recorder,
                               const std::string& path);
 
+/// Structural validation of a parsed "imbar.control.v1" decision-log
+/// document (produced by control::decision_log_json): schema tag,
+/// numeric participants/reviews/swaps totals, and a "decisions" array
+/// whose entries each carry numeric review/phase/sigma_us/persistence/
+/// pred_from_us/pred_to_us/cost_us and string from/to/action, with
+/// review ordinals strictly increasing and the swap count consistent
+/// with the entries' actions. Pure JSON-shape checking — the obs layer
+/// owns the schema, not the controller. Throws std::runtime_error on
+/// the first violation; returns the number of decision entries.
+std::size_t validate_control_log(const json::Value& doc);
+
 /// Fold quiescent recorder totals + per-episode spans into `registry`
 /// under a `prefix` (e.g. "central"): counters `<prefix>.recorded`,
 /// `<prefix>.dropped`, `<prefix>.aborted`; histogram

@@ -1,0 +1,60 @@
+#include "sim/controller_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imbar::sim {
+
+ControllerModel::ControllerModel(Engine& engine, Options options,
+                                 ArrivalsFn arrivals, DelayFn delay,
+                                 BoundaryFn boundary)
+    : engine_(engine),
+      opt_(options),
+      arrivals_fn_(std::move(arrivals)),
+      delay_fn_(std::move(delay)),
+      boundary_fn_(std::move(boundary)),
+      arrivals_(options.procs, 0.0) {
+  if (opt_.procs == 0)
+    throw std::invalid_argument("ControllerModel: zero procs");
+  if (!arrivals_fn_ || !delay_fn_ || !boundary_fn_)
+    throw std::invalid_argument("ControllerModel: null callback");
+  if (opt_.phase_work_us < 0.0) opt_.phase_work_us = 0.0;
+}
+
+void ControllerModel::start() {
+  if (opt_.phases == 0) return;
+  engine_.schedule_in(0.0, [this] { run_phase(0); });
+}
+
+void ControllerModel::run_phase(std::uint64_t phase) {
+  arrivals_fn_(phase, std::span<double>(arrivals_));
+
+  // The arrival window: last arrival minus first. Offsets may be
+  // negative (they are deviations around a mean), so the modeled clock
+  // always advances by the non-negative spread.
+  const auto [lo, hi] =
+      std::minmax_element(arrivals_.begin(), arrivals_.end());
+  const double spread = *hi - *lo;
+
+  const double delay =
+      delay_fn_(phase, std::span<const double>(arrivals_));
+  if (delay < 0.0)
+    throw std::logic_error("ControllerModel: negative sync delay");
+  const double cost =
+      boundary_fn_(phase, std::span<const double>(arrivals_), delay);
+  if (cost < 0.0)
+    throw std::logic_error("ControllerModel: negative reconfig cost");
+
+  total_spread_us_ += spread;
+  total_sync_delay_us_ += delay;
+  total_swap_cost_us_ += cost;
+  ++phases_run_;
+
+  const Time release =
+      engine_.now() + opt_.phase_work_us + spread + delay + cost;
+  makespan_ = release;
+  if (phase + 1 < opt_.phases)
+    engine_.schedule(release, [this, phase] { run_phase(phase + 1); });
+}
+
+}  // namespace imbar::sim

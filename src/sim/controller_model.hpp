@@ -1,0 +1,89 @@
+// Event-driven twin of a controller-driven barrier loop.
+//
+// The model runs phases as engine events: each phase draws per-proc
+// arrival offsets (callback), charges the current configuration's
+// synchronization delay (callback), lets the policy layer observe the
+// phase and possibly reconfigure (callback, returning the cost charged
+// for a reconfiguration), and schedules the next phase at the resulting
+// release time. Like sim::QuorumModel, this layer knows nothing about
+// barriers or controllers — policy and signal generation arrive as
+// plain callbacks, so imbar_sim keeps its imbar_util-only dependency
+// cone and the control layer (control/sim_twin.hpp) provides the
+// binding glue.
+//
+// Everything is deterministic given deterministic callbacks: one event
+// per phase, scheduled strictly forward, under the engine's livelock
+// guard.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace imbar::sim {
+
+class ControllerModel {
+ public:
+  struct Options {
+    std::size_t procs = 8;
+    std::uint64_t phases = 0;      // events to run (0 = model never starts)
+    double phase_work_us = 100.0;  // balanced work before arrivals spread
+  };
+
+  /// Fill out[tid] with phase `phase`'s per-proc arrival offsets (us;
+  /// any common origin — the model charges max-min as the arrival
+  /// spread window).
+  using ArrivalsFn =
+      std::function<void(std::uint64_t phase, std::span<double> out)>;
+  /// Synchronization delay (us) the currently-installed configuration
+  /// costs for these arrivals.
+  using DelayFn = std::function<double(std::uint64_t phase,
+                                       std::span<const double> arrivals)>;
+  /// Phase-boundary hook: observe, maybe reconfigure; returns the
+  /// reconfiguration cost (us) to charge this boundary (0 = none).
+  using BoundaryFn = std::function<double(std::uint64_t phase,
+                                          std::span<const double> arrivals,
+                                          double sync_delay_us)>;
+
+  ControllerModel(Engine& engine, Options options, ArrivalsFn arrivals,
+                  DelayFn delay, BoundaryFn boundary);
+
+  /// Schedule phase 0 at the engine's current time. Call engine.run()
+  /// (or run_until) to execute.
+  void start();
+
+  [[nodiscard]] std::uint64_t phases_run() const noexcept {
+    return phases_run_;
+  }
+  [[nodiscard]] double total_sync_delay_us() const noexcept {
+    return total_sync_delay_us_;
+  }
+  [[nodiscard]] double total_swap_cost_us() const noexcept {
+    return total_swap_cost_us_;
+  }
+  [[nodiscard]] double total_spread_us() const noexcept {
+    return total_spread_us_;
+  }
+  /// Release time of the last completed phase (the modeled makespan).
+  [[nodiscard]] Time makespan() const noexcept { return makespan_; }
+
+ private:
+  void run_phase(std::uint64_t phase);
+
+  Engine& engine_;
+  Options opt_;
+  ArrivalsFn arrivals_fn_;
+  DelayFn delay_fn_;
+  BoundaryFn boundary_fn_;
+  std::vector<double> arrivals_;
+  std::uint64_t phases_run_ = 0;
+  double total_sync_delay_us_ = 0.0;
+  double total_swap_cost_us_ = 0.0;
+  double total_spread_us_ = 0.0;
+  Time makespan_ = 0.0;
+};
+
+}  // namespace imbar::sim

@@ -114,6 +114,35 @@ TEST(AdaptiveBarrier, MeasureTcIsPositiveAndSane) {
   EXPECT_LT(tc, 100.0);  // an atomic RMW is well under 100us anywhere
 }
 
+TEST(AdaptiveBarrier, QuiescentSignalReadsAreRaceFree) {
+  // Regression for the releaser-only read contract (docs/barriers.md):
+  // spread()/signal() may only be read while no thread is arriving.
+  // This test exercises the *legal* pattern — join the cohort, then
+  // read — so the nightly TSan leg proves quiescent reads race with
+  // nothing. (estimated_sigma_us() is the atomic any-thread mirror and
+  // is also read here for agreement.)
+  AdaptiveBarrier::Options opt;
+  opt.window = 4;
+  AdaptiveBarrier bar(4, opt);
+  run_threads(4, [&](std::size_t tid) {
+    for (int i = 0; i < 60; ++i) {
+      if (tid == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      bar.arrive_and_wait(tid);
+    }
+  });
+  // The estimator resets per adaptation window, so its episode count
+  // reflects the current window's samples, not the barrier's lifetime —
+  // the snapshot must agree with the estimator it mirrors.
+  const auto& spread = bar.spread();
+  EXPECT_GT(spread.episodes(), 0u);
+  const control::SignalSnapshot sig = bar.signal();
+  EXPECT_EQ(sig.episodes, spread.episodes());
+  EXPECT_DOUBLE_EQ(sig.sigma_us, spread.last_sigma_us());
+  // The atomic mirror tracks the estimator's window mean.
+  EXPECT_GT(bar.estimated_sigma_us(), 0.0);
+}
+
 TEST(AdaptiveBarrier, TinyGroupsNeverAdapt) {
   AdaptiveBarrier::Options opt;
   opt.window = 1;

@@ -84,6 +84,14 @@ TEST_P(Conformance, LateReconcileExactness) {
   expect_pass(check_late_reconcile_exactness(config(), options()));
 }
 
+// Closed-loop decorator: generation ledger + exact episode accounting
+// while a foreign thread storms force_swap across every kind. The
+// parameter kind is the *starting* configuration; the storm itself
+// cycles through kAllBarrierKinds regardless.
+TEST_P(Conformance, ControllerSwapUnderTraffic) {
+  expect_pass(check_controller_swap(config(), options()));
+}
+
 // Randomized (p, degree) draws, seeded so a failure names its schedule
 // exactly. Degree is clamped by conformance_config for non-tree kinds.
 TEST_P(Conformance, RandomizedConfigSweep) {

@@ -1,0 +1,169 @@
+// ControlChurn — the swap-storm soak the nightly TSan leg repeats
+// until-fail: a live ControlledBarrier under FaultPlan-scheduled
+// stragglers while reconfigurations hammer it from both directions
+// (controller reviews on an aggressive cadence, plus foreign threads
+// storming force_swap across every kind). The properties are the
+// ledger ones — every generation accounted, episodes exact, every
+// decided swap applied — which is precisely what a racy fence would
+// corrupt first. Heavier than the tier-1 conformance swap property
+// (tests/test_conformance.cpp): real stragglers, concurrent foreign
+// swappers, and review-driven swaps all at once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "barrier/factory.hpp"
+#include "barrier_test_support.hpp"
+#include "control/control_metrics.hpp"
+#include "control/controlled_barrier.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
+#include "robust/fault_plan.hpp"
+
+namespace imbar::control {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+constexpr std::uint64_t kEpochs = 300;
+
+robust::FaultPlan straggler_plan(std::uint64_t seed) {
+  robust::FaultSpec spec;
+  spec.straggler_prob = 0.15;
+  spec.straggler_mean_us = 250.0;
+  return robust::FaultPlan::make(seed, kThreads, kEpochs, spec);
+}
+
+void sleep_us(double us) {
+  if (us > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(us));
+}
+
+BarrierConfig start_config() {
+  BarrierConfig cfg;
+  cfg.kind = BarrierKind::kCombiningTree;
+  cfg.participants = kThreads;
+  cfg.degree = 2;
+  return cfg;
+}
+
+/// Traffic + straggler schedule + per-tid generation ledger; returns
+/// the ledgers for exactness checks.
+std::vector<std::uint64_t> run_traffic(ControlledBarrier& barrier,
+                                       const robust::FaultPlan& plan,
+                                       std::atomic<bool>& done) {
+  std::vector<std::uint64_t> ledger(kThreads, 0);
+  test::run_threads(
+      kThreads,
+      [&](std::size_t tid) {
+        for (std::uint64_t g = 0; g < kEpochs; ++g) {
+          sleep_us(plan.straggler_delay_us(static_cast<std::size_t>(g), tid));
+          barrier.arrive_and_wait(tid);
+          ++ledger[tid];
+        }
+      },
+      std::chrono::seconds(300));
+  done.store(true, std::memory_order_release);
+  return ledger;
+}
+
+void expect_exact_ledger(const ControlledBarrier& barrier,
+                         const std::vector<std::uint64_t>& ledger) {
+  for (std::size_t t = 0; t < kThreads; ++t)
+    EXPECT_EQ(ledger[t], kEpochs) << "tid " << t;
+  EXPECT_EQ(barrier.phases(), kEpochs);
+  EXPECT_EQ(barrier.counters().episodes, kEpochs);
+}
+
+// Review-driven churn only: aggressive cadence, no cost gate, zero
+// cooldown — the controller swaps as often as its model ever wants to.
+TEST(ControlChurn, ReviewDrivenSwapsUnderStragglers) {
+  ControlledBarrier::Options opts;
+  opts.controller.review_every = 4;
+  opts.controller.cooldown_reviews = 0;
+  opts.controller.cost.prior_us = 0.0;
+  opts.controller.amortize_phases = 1.0;
+  opts.controller.hysteresis = 1.0;
+  ControlledBarrier barrier(start_config(), std::move(opts));
+
+  std::atomic<bool> done{false};
+  const auto ledger = run_traffic(barrier, straggler_plan(0xC0FFEE), done);
+
+  expect_exact_ledger(barrier, ledger);
+  EXPECT_EQ(barrier.controller().reviews(), kEpochs / 4);
+  EXPECT_EQ(barrier.swaps(), barrier.controller().swaps_decided());
+  // Quiescent decision log still validates after the churn.
+  EXPECT_EQ(obs::validate_control_log(
+                obs::json::parse(decision_log_json(barrier.controller(),
+                                                   "churn/reviews"))),
+            barrier.controller().reviews());
+}
+
+// Foreign force_swap storm (two concurrent swappers, cycling through
+// every kind) on top of review-driven swaps and stragglers. Each storm
+// is progress-gated — it waits for a phase to complete before fencing
+// again — because a fence tears the in-flight episode: a fixed-cadence
+// storm that out-paces the cohort's rendezvous latency (several
+// scheduler quanta on a one-core host) livelocks traffic. Two gated
+// storms still put up to two fences inside every single phase.
+TEST(ControlChurn, ForceSwapStormPlusReviews) {
+  ControlledBarrier::Options opts;
+  opts.controller.review_every = 8;
+  ControlledBarrier barrier(start_config(), std::move(opts));
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> forced{0};
+  std::vector<std::thread> storms;
+  for (int s = 0; s < 2; ++s)
+    storms.emplace_back([&, s] {
+      std::size_t i = static_cast<std::size_t>(s);  // desynchronized laps
+      while (!done.load(std::memory_order_acquire)) {
+        const std::uint64_t p0 = barrier.phases();
+        const BarrierKind kind =
+            kAllBarrierKinds[i % kAllBarrierKinds.size()];
+        barrier.force_swap(kind, (i % 2) ? 2 : kThreads);
+        forced.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+        while (!done.load(std::memory_order_acquire) &&
+               barrier.phases() <= p0)
+          sleep_us(50.0);
+      }
+    });
+
+  const auto ledger = run_traffic(barrier, straggler_plan(0xBADF00D), done);
+  for (auto& t : storms) t.join();
+
+  expect_exact_ledger(barrier, ledger);
+  // Every applied swap is either a forced one or a review decision.
+  EXPECT_EQ(barrier.swaps(),
+            forced.load() + barrier.controller().swaps_decided());
+  EXPECT_GE(forced.load(), kAllBarrierKinds.size())
+      << "storm too slow to cycle every kind — lengthen the run";
+}
+
+// Quiescent-read regression (mirrors the AdaptiveBarrier one): after
+// the cohort joins, controller()/signal()/counters() reads must be
+// race-free against the retired traffic — TSan is the real assertion.
+TEST(ControlChurn, QuiescentReadsAfterChurnAreRaceFree) {
+  ControlledBarrier::Options opts;
+  opts.controller.review_every = 4;
+  ControlledBarrier barrier(start_config(), std::move(opts));
+
+  std::atomic<bool> done{false};
+  const auto ledger = run_traffic(barrier, straggler_plan(0x5EED), done);
+
+  expect_exact_ledger(barrier, ledger);
+  const SignalSnapshot sig = barrier.signal();
+  EXPECT_EQ(sig.episodes, kEpochs);
+  EXPECT_GE(sig.sigma_us, 0.0);
+  EXPECT_EQ(barrier.controller().estimator().episodes(), kEpochs);
+  // The lock-free mirror agrees with the controller's incumbent.
+  EXPECT_EQ(barrier.current(), barrier.controller().current());
+}
+
+}  // namespace
+}  // namespace imbar::control

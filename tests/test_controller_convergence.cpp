@@ -1,0 +1,126 @@
+// The convergence differential (ISSUE 9's headline property): the
+// closed-loop controller, run through the deterministic sim twin over
+// every canned sigma regime, must settle inside its indifference band
+// of the offline sweep oracle within a bounded number of reviews,
+// never blow the oscillation budget, and produce byte-identical
+// decision logs on any exec worker count. The live leg re-runs the
+// same controller code with real threads and asserts the ledger /
+// liveness half of the contract (see src/check/controller_convergence.hpp
+// for the full criterion and why the band — not exact oracle match —
+// is the honest assertion).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "check/controller_convergence.hpp"
+#include "control/regimes.hpp"
+
+namespace imbar::check {
+namespace {
+
+ConvergenceOptions suite_options() {
+  ConvergenceOptions opts;
+  // Tighter cadence than the default so 2048 phases hold 64 reviews:
+  // enough post-transition reviews for every regime's settle budget.
+  opts.controller.review_every = 32;
+  return opts;
+}
+
+// Leg 1: per-regime convergence against the sweep oracle. One EXPECT
+// per regime so a failure names exactly which trajectory broke.
+TEST(ControllerConvergence, TwinSettlesOnOracleForEveryRegime) {
+  const ConvergenceReport report =
+      check_controller_convergence(suite_options());
+  ASSERT_EQ(report.verdicts.size(), control::kAllRegimeKinds.size());
+  for (const RegimeVerdict& v : report.verdicts)
+    EXPECT_TRUE(v.passed) << control::to_string(v.spec.kind) << ": "
+                          << v.detail;
+  EXPECT_TRUE(report.passed) << report.detail;
+  // Non-vacuity: the initial config cannot coincide with every oracle.
+  EXPECT_GT(report.total_swaps, 0u);
+}
+
+// The harness itself must fail when given an impossible budget —
+// guards against the band check degenerating into "always pass".
+TEST(ControllerConvergence, HarnessRejectsZeroSwapBudgetSuites) {
+  ConvergenceOptions opts = suite_options();
+  // A short suite suffices: one over-budget regime fails the report.
+  opts.phases = 512;
+  opts.max_swaps = 0;
+  opts.oscillation_slack = 0;
+  const ConvergenceReport report = check_controller_convergence(opts);
+  EXPECT_FALSE(report.passed);
+  EXPECT_FALSE(report.detail.empty());
+}
+
+// Leg 2: byte-identical decision logs and imbar.control.v1 documents
+// across exec workers 1/2/4.
+TEST(ControllerConvergence, TwinDecisionLogsAreWorkerCountInvariant) {
+  ConvergenceOptions opts = suite_options();
+  // Identity needs decision lines to compare, not full convergence:
+  // 512 phases give 16 reviews per regime, plenty of bytes to diverge.
+  opts.phases = 512;
+  const std::string divergence = check_twin_worker_identity(opts);
+  EXPECT_EQ(divergence, "");
+}
+
+// Twin determinism across *processes* is implied by determinism across
+// repeated in-process runs of the same options (no globals, no clocks).
+TEST(ControllerConvergence, TwinRunsAreBitwiseRepeatable) {
+  control::TwinOptions t;
+  t.procs = 8;
+  t.phases = 1024;
+  t.controller.review_every = 32;
+  t.regime = control::canned_regime(control::RegimeKind::kOscillating);
+  const control::TwinResult a = control::run_twin(t);
+  const control::TwinResult b = control::run_twin(t);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.log_json, b.log_json);
+  EXPECT_EQ(a.final_choice, b.final_choice);
+  EXPECT_EQ(a.makespan_us, b.makespan_us);
+}
+
+TEST(ControllerConvergence, StationaryPhaseResolution) {
+  const std::uint64_t total = 2048;
+  using control::RegimeKind;
+  EXPECT_EQ(regime_stationary_from(
+                control::canned_regime(RegimeKind::kConstant), total),
+            0u);
+  EXPECT_EQ(regime_stationary_from(
+                control::canned_regime(RegimeKind::kHeavyTail), total),
+            0u);
+  EXPECT_EQ(regime_stationary_from(control::canned_regime(RegimeKind::kStep),
+                                   total),
+            total / 2);
+  control::RegimeSpec ramp = control::canned_regime(RegimeKind::kRamp);
+  ramp.switch_phases = 300;
+  EXPECT_EQ(regime_stationary_from(ramp, total), 300u);
+  EXPECT_EQ(regime_stationary_from(
+                control::canned_regime(RegimeKind::kOscillating), total),
+            UINT64_MAX);
+}
+
+// Leg 3: real threads, plain inner generations.
+TEST(ControllerConvergence, LiveControllerKeepsTheLedgerExact) {
+  LiveConvergenceOptions opts;
+  const LiveConvergenceResult r = run_live_controller(opts);
+  EXPECT_TRUE(r.passed) << r.detail;
+  EXPECT_EQ(r.phases, opts.phases);
+  EXPECT_EQ(r.episodes, opts.phases);
+  EXPECT_EQ(r.swaps_applied, r.swaps_decided);
+  EXPECT_FALSE(r.log_json.empty());
+}
+
+// Leg 3, instrumented: every inner generation built through the
+// observability wrapper — the swap fence must compose with it too.
+TEST(ControllerConvergence, LiveControllerComposesWithInstrumentation) {
+  LiveConvergenceOptions opts;
+  opts.phases = 120;
+  opts.instrument = true;
+  const LiveConvergenceResult r = run_live_controller(opts);
+  EXPECT_TRUE(r.passed) << r.detail;
+  EXPECT_EQ(r.episodes, opts.phases);
+}
+
+}  // namespace
+}  // namespace imbar::check

@@ -10,6 +10,8 @@
 #include "core/facade.hpp"
 #include "core/imbalance_estimator.hpp"
 
+#include "barrier_test_support.hpp"
+
 namespace imbar {
 namespace {
 
@@ -178,6 +180,32 @@ TEST(TunedBarrier, EstimatorIsExposed) {
   TunedBarrier tuned(8, 20.0);
   tuned.report_iteration(std::vector<double>(8, 5.0));
   EXPECT_EQ(tuned.estimator().iterations(), 1u);
+}
+
+TEST(RecommendController, SeedsFromTheStaticRecommendation) {
+  const auto cfg = recommend_config(16, 200.0, 20.0, true);
+  const auto bar = recommend_controller(16, 200.0, 20.0, true);
+  EXPECT_EQ(bar->participants(), 16u);
+  EXPECT_EQ(bar->current().kind, cfg.kind);
+  EXPECT_EQ(bar->current().degree, cfg.degree);
+  EXPECT_EQ(bar->swaps(), 0u);
+}
+
+TEST(RecommendController, TcCalibratesTheController) {
+  control::ControlledBarrier::Options opts;
+  opts.controller.review_every = 5;  // preserved through the facade
+  const auto bar = recommend_controller(8, 0.0, 35.5, false, std::move(opts));
+  EXPECT_DOUBLE_EQ(bar->controller().options().t_c_us, 35.5);
+  EXPECT_EQ(bar->controller().options().review_every, 5u);
+}
+
+TEST(RecommendController, RunsTraffic) {
+  const auto bar = recommend_controller(4, 0.0, 20.0);
+  test::run_threads(4, [&](std::size_t tid) {
+    for (int i = 0; i < 50; ++i) bar->arrive_and_wait(tid);
+  });
+  EXPECT_EQ(bar->counters().episodes, 50u);
+  EXPECT_EQ(bar->phases(), 50u);
 }
 
 }  // namespace
