@@ -1,0 +1,352 @@
+// ext_recovery_soak — recovery cost vs journal length and snapshot
+// cadence for the crash-consistent barrier service (docs/service.md,
+// "Durability & recovery").
+//
+// One scripted workload (strict groups plus a quorum slice whose
+// stragglers stay owed) runs once without durability — the reference
+// leg — and then once per --snapshot-intervals value over a journaled
+// service that is killed mid-phase and recovered. Each crash leg
+// self-checks the headline differential: its merged completion log
+// (pre-crash capture + recovered incarnation) must be byte-identical
+// to the reference log, counters must match exactly, the owed ledger
+// must settle to zero, and the merged log must pass
+// audit_completion_log. The rows chart what the snapshot-interval
+// knob buys: replayed vs snapshot-skipped ops and recover() wall time
+// as the interval shrinks.
+//
+// Emits the "imbar.recovery.v1" telemetry document (self-validated
+// before writing, like every bench here) and, with --metrics, the
+// "service.recovery.v1" counter/histogram snapshot folded from the
+// last recovered incarnation.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/exec_metrics.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "service/barrier_service.hpp"
+#include "service/completion_log.hpp"
+#include "service/service_metrics.hpp"
+#include "util/table.hpp"
+
+using namespace imbar;
+using namespace imbar::bench;
+
+namespace {
+
+/// k for the quorum slice; 2 keeps at least one straggler owed for
+/// any participants >= 3.
+constexpr std::uint32_t kQuorumK = 2;
+
+struct SoakSpec {
+  std::uint64_t groups = 2000;
+  std::uint32_t participants = 8;
+  std::uint64_t rounds = 3;
+  std::uint64_t quorum_every = 4;  // every Nth group runs k-of-n
+  std::size_t shards = 8;
+  std::size_t slots = 64;
+  std::size_t workers = 0;
+};
+
+struct LegResult {
+  std::string merged_log;
+  service::ServiceCounters counters{};
+  service::RecoveryReport report;   // durable legs only
+  std::uint64_t journal_bytes = 0;  // flushed journal size at the crash
+  // Kept quiesced so the caller can fold service.recovery.v1 metrics
+  // from the last recovered incarnation.
+  std::unique_ptr<service::BarrierService> svc;
+};
+
+bool quorum_group(const SoakSpec& s, service::GroupId g) {
+  return s.quorum_every != 0 && g % s.quorum_every == 0;
+}
+
+/// The shared script, split at the crash point. Phase A journals a
+/// partial arrival wave (every group one member short of releasing),
+/// so the crash finds in-flight waiters everywhere and non-empty owed
+/// ledgers on the quorum slice; phase B releases, reconciles the
+/// stragglers, and destroys everything.
+void script_before_crash(const SoakSpec& s, service::BarrierService& svc) {
+  const std::uint32_t n = s.participants;
+  for (service::GroupId g = 0; g < s.groups; ++g) {
+    service::GroupOptions o;
+    o.participants = n;
+    o.group_class = quorum_group(s, g) ? "quorum" : "strict";
+    if (quorum_group(s, g)) {
+      // Zero budget: release the instant the quorum forms; deadlines
+      // never arm, so the cross-leg determinism contract holds.
+      o.quorum.quorum = kQuorumK;
+      o.quorum.deadline_budget = std::chrono::nanoseconds(0);
+    }
+    svc.create_group(g, std::move(o));
+  }
+  for (std::uint64_t r = 0; r < s.rounds; ++r)
+    for (service::GroupId g = 0; g < s.groups; ++g) {
+      if (quorum_group(s, g)) {
+        for (std::uint32_t m = 0; m < kQuorumK; ++m) svc.arrive(g, m);
+      } else {
+        svc.arrive_all(g);
+      }
+    }
+  for (service::GroupId g = 0; g < s.groups; ++g)
+    if (quorum_group(s, g)) {
+      svc.arrive(g, 0);  // one short of the quorum
+    } else {
+      for (std::uint32_t m = 0; m + 1 < n; ++m) svc.arrive(g, m);
+    }
+}
+
+void script_after_crash(const SoakSpec& s, service::BarrierService& svc) {
+  const std::uint32_t n = s.participants;
+  // Release the phase the crash interrupted.
+  for (service::GroupId g = 0; g < s.groups; ++g)
+    svc.arrive(g, quorum_group(s, g) ? kQuorumK - 1 : n - 1);
+  // Reconcile: each straggler owes one phase per release so far.
+  for (service::GroupId g = 0; g < s.groups; ++g)
+    if (quorum_group(s, g))
+      for (std::uint32_t m = kQuorumK; m < n; ++m)
+        for (std::uint64_t r = 0; r < s.rounds + 1; ++r) svc.arrive(g, m);
+  for (service::GroupId g = 0; g < s.groups; ++g) svc.destroy_group(g);
+}
+
+service::BarrierService::Options make_options(
+    const SoakSpec& s, std::uint64_t snapshot_interval,
+    std::shared_ptr<service::StorageBackend> journal,
+    std::shared_ptr<service::SnapshotStore> snaps) {
+  service::BarrierService::Options o;
+  o.shards = s.shards;
+  o.slots = s.slots;
+  o.workers = s.workers;
+  o.record_log = true;
+  if (journal) {
+    o.durability.journal = std::move(journal);
+    o.durability.snapshots = std::move(snaps);
+    o.durability.snapshot_interval = snapshot_interval;
+  }
+  return o;
+}
+
+/// One crash leg: run to the crash point, kill, recover over the same
+/// backends, finish the script. `snapshot_interval` is the variable
+/// under test.
+LegResult run_crash_leg(const SoakSpec& s, std::uint64_t snapshot_interval) {
+  LegResult out;
+  auto journal = std::make_shared<service::FaultyMemBackend>();
+  auto snaps = std::make_shared<service::MemSnapshotStore>();
+
+  std::vector<std::vector<std::string>> lines(s.shards);
+  auto capture = [&](const service::BarrierService& svc) {
+    for (std::size_t sh = 0; sh < s.shards; ++sh) {
+      std::vector<std::string> seg = svc.shard_log_lines(sh);
+      for (std::string& l : seg) lines[sh].push_back(std::move(l));
+    }
+  };
+
+  {
+    service::BarrierService svc(
+        make_options(s, snapshot_interval, journal, snaps));
+    script_before_crash(s, svc);
+    svc.drain();  // clean crash at an op boundary: journal flushed
+    capture(svc);
+  }  // killed
+  journal->crash();  // unflushed buffer (empty after drain) is lost
+  out.journal_bytes = journal->durable_size();
+
+  out.svc = std::make_unique<service::BarrierService>(
+      make_options(s, snapshot_interval, journal, snaps));
+  out.report = out.svc->recover();
+  script_after_crash(s, *out.svc);
+  out.svc->drain();
+  capture(*out.svc);
+  out.counters = out.svc->counters();
+
+  // Merge exactly as CompletionLog::merged() does: shards concatenated
+  // in index order, each incarnation's segments in append order.
+  for (const auto& shard : lines)
+    for (const std::string& line : shard) {
+      out.merged_log += line;
+      out.merged_log += '\n';
+    }
+  return out;
+}
+
+LegResult run_reference_leg(const SoakSpec& s) {
+  LegResult out;
+  out.svc = std::make_unique<service::BarrierService>(
+      make_options(s, 0, nullptr, nullptr));
+  script_before_crash(s, *out.svc);
+  script_after_crash(s, *out.svc);
+  out.svc->drain();
+  out.counters = out.svc->counters();
+  out.merged_log = out.svc->completion_log();
+  return out;
+}
+
+int fail(const std::string& what) {
+  std::fprintf(stderr, "ext_recovery_soak: FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+/// Self-check one crash leg against the reference; returns "" on pass.
+std::string check_leg(const LegResult& ref, const LegResult& leg) {
+  if (leg.merged_log != ref.merged_log)
+    return "merged log diverged from the never-crashed reference";
+  const service::ServiceCounters &a = ref.counters, &b = leg.counters;
+  if (a.arrivals != b.arrivals || a.releases_strict != b.releases_strict ||
+      a.releases_quorum != b.releases_quorum ||
+      a.completions_strict != b.completions_strict ||
+      a.completions_quorum != b.completions_quorum ||
+      a.completions_late != b.completions_late ||
+      a.groups_created != b.groups_created ||
+      a.groups_destroyed != b.groups_destroyed ||
+      a.cancelled != b.cancelled)
+    return "recovered counters diverged from the reference";
+  if (b.owed_outstanding != 0) return "owed ledger not settled";
+  if (b.rejected != 0) return "unexpected rejections";
+  if (leg.report.truncated_records != 0)
+    return "clean crash should not truncate the journal";
+  if (leg.report.snapshot_fallbacks != 0)
+    return "healthy snapshot store reported fallbacks";
+  const service::LogAudit audit =
+      service::audit_completion_log(leg.merged_log);
+  if (!audit.violations.empty()) return "audit: " + audit.violations.front();
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  SoakSpec spec;
+  spec.groups = static_cast<std::uint64_t>(cli.get_int("groups", 2000));
+  spec.participants =
+      static_cast<std::uint32_t>(cli.get_int("participants", 8));
+  spec.rounds = static_cast<std::uint64_t>(cli.get_int("rounds", 3));
+  spec.quorum_every =
+      static_cast<std::uint64_t>(cli.get_int("quorum-every", 4));
+  spec.shards = static_cast<std::size_t>(cli.get_int("shards", 8));
+  spec.slots = static_cast<std::size_t>(cli.get_int("slots", 64));
+  spec.workers = static_cast<std::size_t>(cli.get_int("workers", 0));
+  const std::vector<long long> intervals =
+      cli.get_int_list("snapshot-intervals", {0, 64, 512, 4096});
+  if (spec.groups == 0 || spec.rounds == 0 || spec.participants < 3 ||
+      spec.shards == 0 || intervals.empty())
+    return fail("degenerate spec (need groups/rounds >= 1, participants >= "
+                "3, shards >= 1, a non-empty interval list)");
+
+  Stopwatch sw;
+  print_header(
+      "ext_recovery_soak — snapshot cadence vs replay cost",
+      "extension: crash-consistent barrier service (docs/service.md)",
+      "groups=" + std::to_string(spec.groups) +
+          " participants=" + std::to_string(spec.participants) +
+          " rounds=" + std::to_string(spec.rounds) +
+          " shards=" + std::to_string(spec.shards) +
+          " intervals=" + std::to_string(intervals.size()));
+
+  JsonReporter rep("ext_recovery_soak");
+
+  LegResult ref;
+  {
+    ScopedPhaseTimer t(rep.phases(), "reference");
+    ref = run_reference_leg(spec);
+  }
+  {
+    const service::LogAudit audit =
+        service::audit_completion_log(ref.merged_log);
+    if (!audit.violations.empty())
+      return fail("reference audit: " + audit.violations.front());
+    if (ref.counters.owed_outstanding != 0)
+      return fail("reference leg left owed debt unreconciled");
+  }
+
+  Table table({"interval", "journal_B", "replayed", "skipped", "snaps",
+               "recover_us", "identical"});
+  std::vector<obs::BenchRow> rows;
+  LegResult last;  // holds the final recovered service for --metrics
+  for (long long iv : intervals) {
+    const auto interval = static_cast<std::uint64_t>(iv < 0 ? 0 : iv);
+    LegResult leg;
+    {
+      ScopedPhaseTimer t(rep.phases(),
+                         "interval=" + std::to_string(interval));
+      leg = run_crash_leg(spec, interval);
+    }
+    if (const std::string err = check_leg(ref, leg); !err.empty())
+      return fail("interval=" + std::to_string(interval) + ": " + err);
+    table.row()
+        .num(static_cast<long long>(interval))
+        .num(static_cast<long long>(leg.journal_bytes))
+        .num(static_cast<long long>(leg.report.replayed_ops))
+        .num(static_cast<long long>(leg.report.skipped_ops))
+        .num(static_cast<long long>(leg.report.snapshots_loaded))
+        .num(static_cast<long long>(leg.report.recover_us))
+        .add("yes");
+    rows.push_back(obs::BenchRow{
+        obs::BenchCell::num("snapshot_interval",
+                            static_cast<double>(interval)),
+        obs::BenchCell::num("journal_bytes",
+                            static_cast<double>(leg.journal_bytes)),
+        obs::BenchCell::num("replayed_ops",
+                            static_cast<double>(leg.report.replayed_ops)),
+        obs::BenchCell::num("skipped_ops",
+                            static_cast<double>(leg.report.skipped_ops)),
+        obs::BenchCell::num("snapshots_loaded",
+                            static_cast<double>(leg.report.snapshots_loaded)),
+        obs::BenchCell::num("recover_us",
+                            static_cast<double>(leg.report.recover_us)),
+        obs::BenchCell::num("log_identical", 1.0)});
+    last = std::move(leg);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  if (cli.has("json")) {
+    const std::string doc = service::recovery_soak_json(
+        "ext_recovery_soak",
+        obs::BenchRow{
+            obs::BenchCell::num("groups", static_cast<double>(spec.groups)),
+            obs::BenchCell::num("participants",
+                                static_cast<double>(spec.participants)),
+            obs::BenchCell::num("rounds", static_cast<double>(spec.rounds)),
+            obs::BenchCell::num("shards", static_cast<double>(spec.shards)),
+            obs::BenchCell::num("workers",
+                                static_cast<double>(last.svc->pool().size()))},
+        last.report, rows, &rep.phases());
+    try {
+      obs::validate_bench_json(obs::json::parse(doc));
+    } catch (const std::exception& e) {
+      return fail(std::string("invalid telemetry: ") + e.what());
+    }
+    const std::string path = json_path(cli, "BENCH_recovery_soak.json");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << doc << '\n';
+    if (!out) return fail("cannot write --json output");
+    std::printf("  json       : wrote %s\n", path.c_str());
+  }
+
+  if (cli.has("metrics")) {
+    obs::MetricsRegistry metrics;
+    service::fold_service_metrics(*last.svc, metrics);
+    obs::fold_exec_metrics(last.svc->pool(), metrics);
+    const std::string path =
+        cli.get("metrics", "METRICS_recovery_soak.json");
+    const std::string resolved =
+        path.empty() ? "METRICS_recovery_soak.json" : path;
+    std::ofstream out(resolved, std::ios::binary | std::ios::trunc);
+    out << metrics.snapshot_json() << '\n';
+    if (!out) return fail("cannot write --metrics output");
+    std::printf("  metrics    : wrote %s\n", resolved.c_str());
+  }
+
+  print_footer(sw, std::to_string(intervals.size()) +
+                       " snapshot cadences, every crash leg byte-identical "
+                       "to the reference; ledger settled exactly");
+  return 0;
+}

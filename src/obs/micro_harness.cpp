@@ -222,6 +222,18 @@ void validate_service_section(const json::Value& doc) {
   }
 }
 
+void validate_recovery_section(const json::Value& doc) {
+  const json::Value* rec = doc.find("recovery");
+  if (rec == nullptr || !rec->is_object())
+    throw std::runtime_error(
+        "bench: recovery document missing recovery object");
+  for (const char* k :
+       {"journal_generation", "replayed_ops", "skipped_ops",
+        "truncated_records", "truncated_bytes", "snapshots_loaded",
+        "snapshot_fallbacks", "cancelled_on_recovery", "recover_us"})
+    (void)service_number(*rec, "recovery", k);
+}
+
 }  // namespace
 
 std::size_t validate_bench_json(const json::Value& doc) {
@@ -230,12 +242,16 @@ std::size_t validate_bench_json(const json::Value& doc) {
   const json::Value* schema = doc.find("schema");
   const bool is_service = schema != nullptr && schema->is_string() &&
                           schema->string == kServiceSchema;
+  const bool is_recovery = schema != nullptr && schema->is_string() &&
+                           schema->string == kRecoverySchema;
   if (schema == nullptr || !schema->is_string() ||
-      (schema->string != kBenchSchema && !is_service))
+      (schema->string != kBenchSchema && !is_service && !is_recovery))
     throw std::runtime_error("bench: schema is not \"" +
-                             std::string(kBenchSchema) + "\" or \"" +
-                             std::string(kServiceSchema) + "\"");
+                             std::string(kBenchSchema) + "\", \"" +
+                             std::string(kServiceSchema) + "\", or \"" +
+                             std::string(kRecoverySchema) + "\"");
   if (is_service) validate_service_section(doc);
+  if (is_recovery) validate_recovery_section(doc);
   if (!doc.has_string("name"))
     throw std::runtime_error("bench: missing name string");
   const json::Value* params = doc.find("params");

@@ -38,6 +38,13 @@ inline constexpr const char* kBenchSchema = "imbar.bench.v1";
 /// validates it; see docs/service.md).
 inline constexpr const char* kServiceSchema = "imbar.service.v1";
 
+/// Schema identifier of the crash-recovery soak telemetry
+/// (bench/ext_recovery_soak): the bench.v1 shape plus a "recovery"
+/// object with journal/snapshot/replay totals from the recovered
+/// service's RecoveryReport (src/service/service_metrics.hpp writes
+/// it; see docs/service.md "Durability & recovery").
+inline constexpr const char* kRecoverySchema = "imbar.recovery.v1";
+
 struct MicroOptions {
   std::size_t threads = 2;
   std::size_t episodes = 2000;   // per thread
@@ -112,16 +119,18 @@ using BenchRow = std::vector<BenchCell>;
 [[nodiscard]] std::vector<BenchRow> micro_rows(
     std::span<const MicroResult> results);
 
-/// Structural validation of a parsed "imbar.bench.v1" (or
-/// "imbar.service.v1") document: schema string matches, name is a
-/// string, params is a flat object, rows is an array of flat objects
-/// (scalar cells only). Service documents must additionally carry a
-/// "service" object whose scalar members are finite and non-negative
-/// (group/participant counts cannot go negative) and whose "classes"
-/// array holds one entry per group class with a "class" string and
-/// finite, non-negative count/p50_us/p90_us/p99_us. Throws
-/// std::runtime_error describing the first violation; returns the row
-/// count.
+/// Structural validation of a parsed "imbar.bench.v1",
+/// "imbar.service.v1", or "imbar.recovery.v1" document: schema string
+/// matches, name is a string, params is a flat object, rows is an
+/// array of flat objects (scalar cells only). Service documents must
+/// additionally carry a "service" object whose scalar members are
+/// finite and non-negative (group/participant counts cannot go
+/// negative) and whose "classes" array holds one entry per group
+/// class with a "class" string and finite, non-negative
+/// count/p50_us/p90_us/p99_us. Recovery documents must carry a
+/// "recovery" object with finite, non-negative replay/snapshot/
+/// truncation totals. Throws std::runtime_error describing the first
+/// violation; returns the row count.
 std::size_t validate_bench_json(const json::Value& doc);
 
 }  // namespace imbar::obs

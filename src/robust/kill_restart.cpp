@@ -1,0 +1,360 @@
+#include "robust/kill_restart.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "util/prng.hpp"
+
+namespace imbar::robust {
+
+namespace {
+
+/// k for quorum groups. Fixed at 2: small enough that the half-step
+/// split (k-1 arrivals, then the releasing k-th) leaves an in-flight
+/// waiter at every boundary, and < participants so owed ledgers form.
+constexpr std::uint64_t kQuorumK = 2;
+
+/// Exactly-once delivery ledger, shared across a leg's incarnations.
+/// Shard workers call record() concurrently, hence the mutex; the
+/// totals are read only after the final drain.
+///
+/// kLate is special-cased: a late reconcile reports the group's
+/// *current* phase, not the settled owed phase, so one straggler
+/// settling several debts legally repeats its key. Those are checked
+/// by comparing the whole (key -> count) multiset against the
+/// reference leg's instead — a lost or re-emitted kLate shows up as a
+/// count mismatch there.
+struct DeliveryLedger {
+  std::mutex mu;
+  std::unordered_map<std::string, std::uint32_t> seen;
+  std::uint64_t total = 0;
+  std::uint64_t duplicates = 0;  // non-kLate keys delivered twice
+  std::uint64_t rejected = 0;
+
+  void record(const service::Completion& c) {
+    std::string key;
+    key.reserve(32);
+    key += std::to_string(c.group);
+    key += '/';
+    key += std::to_string(c.epoch);
+    key += '/';
+    key += std::to_string(c.phase);
+    key += '/';
+    key += std::to_string(c.member);
+    key += '/';
+    key += std::to_string(static_cast<unsigned>(c.kind));
+    std::lock_guard<std::mutex> lk(mu);
+    ++total;
+    if (c.kind == service::CompletionKind::kRejected) ++rejected;
+    if (++seen[key] > 1 && c.kind != service::CompletionKind::kLate)
+      ++duplicates;
+  }
+};
+
+/// First divergence between two delivery multisets, or "".
+std::string ledger_mismatch(
+    const std::unordered_map<std::string, std::uint32_t>& ref,
+    const std::unordered_map<std::string, std::uint32_t>& got) {
+  for (const auto& [key, n] : ref) {
+    const auto it = got.find(key);
+    const std::uint32_t have = it == got.end() ? 0 : it->second;
+    if (have != n)
+      return "delivery " + key + " seen " + std::to_string(have) +
+             "x, reference " + std::to_string(n) + "x";
+  }
+  for (const auto& [key, n] : got)
+    if (ref.find(key) == ref.end())
+      return "delivery " + key + " seen " + std::to_string(n) +
+             "x, reference never delivered it";
+  return {};
+}
+
+std::string line_at(const std::string& s, std::size_t pos) {
+  if (pos >= s.size()) return "<end of log>";
+  std::size_t b = pos == 0 ? std::string::npos : s.rfind('\n', pos - 1);
+  b = b == std::string::npos ? 0 : b + 1;
+  std::size_t e = s.find('\n', pos);
+  if (e == std::string::npos) e = s.size();
+  return s.substr(b, e - b);
+}
+
+std::string first_diff(const std::string& ref, const std::string& got) {
+  const std::size_t n = std::min(ref.size(), got.size());
+  std::size_t i = 0, line = 1;
+  while (i < n && ref[i] == got[i]) {
+    if (ref[i] == '\n') ++line;
+    ++i;
+  }
+  if (i == n && ref.size() == got.size()) return "logs identical";
+  return "log diverges at line " + std::to_string(line) + ": reference \"" +
+         line_at(ref, i) + "\" vs \"" + line_at(got, i) + "\"";
+}
+
+/// Name of the first diverging ServiceCounters field, or "".
+std::string counters_mismatch(const service::ServiceCounters& a,
+                              const service::ServiceCounters& b) {
+  const std::pair<const char*, std::pair<std::uint64_t, std::uint64_t>>
+      fields[] = {
+          {"groups_created", {a.groups_created, b.groups_created}},
+          {"groups_destroyed", {a.groups_destroyed, b.groups_destroyed}},
+          {"arrivals", {a.arrivals, b.arrivals}},
+          {"completions_strict", {a.completions_strict, b.completions_strict}},
+          {"completions_quorum", {a.completions_quorum, b.completions_quorum}},
+          {"completions_late", {a.completions_late, b.completions_late}},
+          {"cancelled", {a.cancelled, b.cancelled}},
+          {"rejected", {a.rejected, b.rejected}},
+          {"releases_strict", {a.releases_strict, b.releases_strict}},
+          {"releases_quorum", {a.releases_quorum, b.releases_quorum}},
+          {"slot_grants", {a.slot_grants, b.slot_grants}},
+          {"slot_evictions", {a.slot_evictions, b.slot_evictions}},
+          {"slot_parks", {a.slot_parks, b.slot_parks}},
+          {"ready_enqueues", {a.ready_enqueues, b.ready_enqueues}},
+          {"polls", {a.polls, b.polls}},
+          {"owed_outstanding", {a.owed_outstanding, b.owed_outstanding}},
+      };
+  for (const auto& [name, vals] : fields)
+    if (vals.first != vals.second)
+      return std::string(name) + " (" + std::to_string(vals.first) + " vs " +
+             std::to_string(vals.second) + ")";
+  return {};
+}
+
+}  // namespace
+
+KillRestartCampaign::KillRestartCampaign(std::uint64_t seed,
+                                         KillRestartSpec spec)
+    : seed_(seed), spec_(std::move(spec)) {
+  if (spec_.groups == 0)
+    throw std::invalid_argument("kill_restart: groups must be >= 1");
+  if (spec_.rounds == 0)
+    throw std::invalid_argument("kill_restart: rounds must be >= 1");
+  if (spec_.participants < 2)
+    throw std::invalid_argument("kill_restart: participants must be >= 2");
+  if (spec_.quorum_every != 0 && spec_.participants < 3)
+    throw std::invalid_argument(
+        "kill_restart: quorum groups need >= 3 participants");
+  if (spec_.shards == 0)
+    throw std::invalid_argument("kill_restart: shards must be >= 1");
+  if (spec_.worker_counts.empty())
+    throw std::invalid_argument("kill_restart: worker_counts is empty");
+}
+
+std::size_t KillRestartCampaign::num_steps() const noexcept {
+  return 1 + 2 * spec_.rounds + 1 + 1;
+}
+
+std::vector<std::size_t> KillRestartCampaign::crash_points(
+    std::size_t run_index) const {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 1; i < num_steps(); ++i) candidates.push_back(i);
+  Xoshiro256 rng = Xoshiro256::substream(seed_, run_index);
+  const std::size_t want = std::min(spec_.crashes, candidates.size());
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+  }
+  candidates.resize(want);
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+bool KillRestartCampaign::quorum_group(service::GroupId g) const noexcept {
+  return spec_.quorum_every != 0 && g % spec_.quorum_every == 0;
+}
+
+void KillRestartCampaign::apply_step(service::BarrierService& svc,
+                                     std::size_t step,
+                                     const service::CompletionFn& sink) const {
+  const std::uint32_t n = spec_.participants;
+  if (step == 0) {
+    for (service::GroupId g = 0; g < spec_.groups; ++g) {
+      service::GroupOptions o;
+      o.participants = n;
+      o.group_class = quorum_group(g) ? "quorum" : "strict";
+      if (quorum_group(g)) {
+        // Zero budget: release the instant the quorum forms. Deadlines
+        // never arm, so the cross-worker determinism contract holds.
+        o.quorum.quorum = kQuorumK;
+        o.quorum.deadline_budget = std::chrono::nanoseconds(0);
+      }
+      o.on_complete = sink;
+      svc.create_group(g, o);
+    }
+    return;
+  }
+  if (step < 1 + 2 * spec_.rounds) {
+    // Round half-steps. Half A arrives everyone but the releaser, so a
+    // kill at the A|B boundary finds every group mid-phase; half B
+    // releases (strict: all n present; quorum: the quorum forms and
+    // stragglers go owed).
+    const bool half_b = ((step - 1) % 2) == 1;
+    for (service::GroupId g = 0; g < spec_.groups; ++g) {
+      const std::uint32_t releaser =
+          quorum_group(g) ? static_cast<std::uint32_t>(kQuorumK - 1) : n - 1;
+      if (half_b) {
+        svc.arrive(g, releaser);
+      } else {
+        for (std::uint32_t m = 0; m < releaser; ++m) svc.arrive(g, m);
+      }
+    }
+    return;
+  }
+  if (step == 1 + 2 * spec_.rounds) {
+    // Reconcile: each straggler owes exactly one phase per round, and
+    // each arrival settles exactly one owed phase (kLate).
+    for (service::GroupId g = 0; g < spec_.groups; ++g) {
+      if (!quorum_group(g)) continue;
+      for (std::uint32_t m = kQuorumK; m < n; ++m)
+        for (std::size_t r = 0; r < spec_.rounds; ++r) svc.arrive(g, m);
+    }
+    return;
+  }
+  for (service::GroupId g = 0; g < spec_.groups; ++g) svc.destroy_group(g);
+}
+
+KillRestartRunResult KillRestartCampaign::run_leg(
+    std::size_t workers, const std::vector<std::size_t>& crash_before,
+    bool durable, std::string& log_out,
+    std::unordered_map<std::string, std::uint32_t>& ledger_out) const {
+  KillRestartRunResult rr;
+  rr.workers = workers;
+  rr.crash_steps = crash_before;
+
+  auto journal = std::make_shared<service::FaultyMemBackend>();
+  auto snaps = std::make_shared<service::MemSnapshotStore>();
+  DeliveryLedger ledger;
+  service::CompletionFn sink = [&ledger](const service::Completion& c) {
+    ledger.record(c);
+  };
+
+  auto make_service = [&] {
+    service::BarrierService::Options o;
+    o.shards = spec_.shards;
+    o.slots = spec_.slots;
+    o.workers = workers;
+    o.record_log = true;
+    if (durable) {
+      o.durability.journal = journal;
+      o.durability.snapshots = snaps;
+      o.durability.snapshot_interval = spec_.snapshot_interval;
+      o.durability.flush_every = spec_.flush_every;
+    }
+    return std::make_unique<service::BarrierService>(o);
+  };
+
+  std::vector<std::vector<std::string>> lines(spec_.shards);
+  auto capture = [&](const service::BarrierService& svc) {
+    for (std::size_t s = 0; s < spec_.shards; ++s) {
+      std::vector<std::string> seg = svc.shard_log_lines(s);
+      lines[s].insert(lines[s].end(), std::make_move_iterator(seg.begin()),
+                      std::make_move_iterator(seg.end()));
+    }
+  };
+
+  auto svc = make_service();
+  std::size_t next_crash = 0;
+  for (std::size_t step = 0; step < num_steps(); ++step) {
+    if (durable && next_crash < crash_before.size() &&
+        crash_before[next_crash] == step) {
+      ++next_crash;
+      // Clean crash at an op boundary: quiesce (flushes the journal),
+      // capture this incarnation's log, kill, lose the unflushed
+      // storage buffer, recover over the same backends.
+      svc->drain();
+      capture(*svc);
+      svc.reset();
+      journal->crash();
+      svc = make_service();
+      service::RecoverOptions ro;
+      ro.on_complete = sink;
+      const service::RecoveryReport& rep = svc->recover(ro);
+      ++rr.recoveries;
+      rr.replayed_ops += rep.replayed_ops;
+      rr.skipped_ops += rep.skipped_ops;
+      rr.snapshots_loaded += rep.snapshots_loaded;
+      rr.snapshot_fallbacks += rep.snapshot_fallbacks;
+      rr.recover_us += rep.recover_us;
+      rr.journal_generation = rep.journal_generation;
+    }
+    apply_step(*svc, step, sink);
+  }
+  svc->drain();
+  capture(*svc);
+  rr.counters = svc->counters();
+  svc.reset();
+
+  // Merge exactly as CompletionLog::merged() does: shards concatenated
+  // in index order, each leg's segments already in append order.
+  std::string merged;
+  for (const auto& shard : lines)
+    for (const std::string& line : shard) {
+      merged += line;
+      merged += '\n';
+    }
+  rr.log_bytes = merged.size();
+  rr.deliveries = ledger.total;
+  rr.duplicates = ledger.duplicates;
+  log_out = std::move(merged);
+  ledger_out = std::move(ledger.seen);
+  return rr;
+}
+
+KillRestartResult KillRestartCampaign::run() const {
+  KillRestartResult out;
+  auto fail = [&out](std::string d) {
+    if (out.passed) {
+      out.passed = false;
+      out.detail = std::move(d);
+    }
+  };
+
+  std::string ref_log;
+  std::unordered_map<std::string, std::uint32_t> ref_ledger;
+  const KillRestartRunResult ref = run_leg(1, {}, false, ref_log, ref_ledger);
+  out.reference_counters = ref.counters;
+  out.reference_deliveries = ref.deliveries;
+  out.log_bytes = ref.log_bytes;
+  if (ref.duplicates != 0) fail("reference leg delivered duplicates");
+  if (ref.counters.rejected != 0) fail("reference leg rejected ops");
+  if (ref.counters.owed_outstanding != 0)
+    fail("reference leg left owed debt unreconciled");
+  {
+    const service::LogAudit a = service::audit_completion_log(ref_log);
+    if (!a.violations.empty()) fail("reference log: " + a.violations.front());
+  }
+
+  for (std::size_t i = 0; i < spec_.worker_counts.size(); ++i) {
+    const std::size_t w = spec_.worker_counts[i];
+    const std::string tag = "workers=" + std::to_string(w) + ": ";
+    std::string log;
+    std::unordered_map<std::string, std::uint32_t> ledger;
+    KillRestartRunResult rr = run_leg(w, crash_points(i), true, log, ledger);
+    rr.log_identical = log == ref_log;
+    if (!rr.log_identical) fail(tag + first_diff(ref_log, log));
+    if (rr.duplicates != 0)
+      fail(tag + std::to_string(rr.duplicates) + " duplicate deliveries");
+    if (rr.deliveries != ref.deliveries)
+      fail(tag + "delivered " + std::to_string(rr.deliveries) +
+           ", reference delivered " + std::to_string(ref.deliveries));
+    if (std::string m = ledger_mismatch(ref_ledger, ledger); !m.empty())
+      fail(tag + m);
+    if (std::string f = counters_mismatch(ref.counters, rr.counters);
+        !f.empty())
+      fail(tag + "counter " + f + " diverged from reference");
+    const service::LogAudit a = service::audit_completion_log(log);
+    if (!a.violations.empty()) fail(tag + a.violations.front());
+    if (a.recovery_cancels != 0)
+      fail(tag + "kReapply recovery emitted recovery cancels");
+    if (spec_.keep_logs) rr.log = std::move(log);
+    out.runs.push_back(std::move(rr));
+  }
+  return out;
+}
+
+}  // namespace imbar::robust

@@ -1,0 +1,157 @@
+// Deterministic kill–restart chaos for the barrier virtualization
+// service — the crash-consistency counterpart of ChaosCampaign
+// (robust/chaos_campaign.hpp, which disturbs *timing*; this campaign
+// disturbs *process lifetime*).
+//
+// A campaign runs one scripted single-driver workload twice:
+//
+//   * a *reference leg*: one service, no durability, no crashes — its
+//     merged CompletionLog and quiesced counters are the ground truth;
+//   * one *crash leg per worker count*: the same script over a
+//     journaled service (service/durability.hpp) that is killed and
+//     recovered at seeded step boundaries. At each kill the harness
+//     drains, captures every shard's log lines, destroys the service
+//     (the clean-crash model: op boundaries, journal flushed), drops
+//     the storage backend's unflushed buffer, recovers a fresh
+//     service over the same backends, and continues the script.
+//
+// The headline differential: the crash leg's merged log (pre-crash
+// captures + final incarnation, shards concatenated in index order —
+// exactly CompletionLog::merged()'s order) must be byte-identical to
+// the reference log at every configured worker count, with zero
+// duplicate and zero lost completions. Deliveries are tracked by a
+// (group, epoch, phase, member, kind)-keyed ledger that spans
+// incarnations — recovery re-binds it via RecoverOptions::on_complete
+// — so a re-emitted acknowledged completion shows up as a duplicate
+// even if the log happened to hide it. kLate reconciliations report
+// the group's *current* phase, so a straggler settling several debts
+// legitimately repeats its key; those are checked by comparing each
+// leg's full (key -> count) multiset against the reference leg's,
+// which still catches any lost or re-emitted kLate.
+//
+// The script is built to make crashes interesting:
+//
+//   * every round is split into two half-steps — all-but-one member
+//     arrives in the first, the releasing member in the second — so a
+//     kill between halves finds every group mid-phase with journaled
+//     in-flight arrivals that recovery must re-settle;
+//   * every `quorum_every`-th group is a quorum group (k of n, zero
+//     deadline budget, so deadlines never arm and the determinism
+//     contract holds): its stragglers never arrive during rounds, so
+//     a kill finds non-empty owed-straggler ledgers that the snapshot
+//     and replay paths must reproduce exactly;
+//   * a reconcile step settles every owed phase (kLate) before the
+//     destroy step, so quiesced counters must satisfy the quorum
+//     ledger identity with owed_outstanding == 0 — lost debt cannot
+//     hide.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/barrier_service.hpp"
+
+namespace imbar::robust {
+
+struct KillRestartSpec {
+  /// Logical groups; ids 0..groups-1, sharded id % shards.
+  std::size_t groups = 64;
+  /// Members per group (>= 2; >= 3 when quorum groups are enabled so
+  /// k = 2 leaves at least one straggler).
+  std::uint32_t participants = 4;
+  /// Arrival rounds (phases released per strict group).
+  std::size_t rounds = 3;
+  /// Every Nth group is a quorum group (k = 2, zero budget); 0 = none.
+  std::size_t quorum_every = 4;
+  std::size_t shards = 4;
+  std::size_t slots = 16;
+  /// Kill points per crash leg, drawn without replacement from the
+  /// script's step boundaries (seeded per leg).
+  std::size_t crashes = 2;
+  /// DurabilityOptions pass-through for the crash legs.
+  std::uint64_t snapshot_interval = 0;
+  std::uint64_t flush_every = 1;
+  /// Worker counts to run the crash leg at (the differential must
+  /// hold at every one of them).
+  std::vector<std::size_t> worker_counts = {1, 2, 4};
+  /// Retain each crash leg's merged log in its result (large; tests
+  /// that only need the verdict leave this off).
+  bool keep_logs = false;
+};
+
+/// One crash leg's outcome (one worker count).
+struct KillRestartRunResult {
+  std::size_t workers = 0;
+  std::vector<std::size_t> crash_steps;  // killed before these steps
+  std::size_t recoveries = 0;
+  // Accumulated over this leg's recover() calls.
+  std::uint64_t replayed_ops = 0;
+  std::uint64_t skipped_ops = 0;
+  std::uint64_t snapshots_loaded = 0;
+  std::uint64_t snapshot_fallbacks = 0;
+  std::uint64_t recover_us = 0;
+  std::uint64_t journal_generation = 0;  // final incarnation's
+  std::uint64_t deliveries = 0;
+  std::uint64_t duplicates = 0;
+  bool log_identical = false;
+  std::uint64_t log_bytes = 0;
+  service::ServiceCounters counters{};
+  std::string log;  // only when KillRestartSpec::keep_logs
+};
+
+struct KillRestartResult {
+  bool passed = true;
+  std::string detail;  // first violated invariant
+  std::uint64_t reference_deliveries = 0;
+  std::uint64_t log_bytes = 0;  // reference merged log size
+  service::ServiceCounters reference_counters{};
+  std::vector<KillRestartRunResult> runs;  // one per worker count
+};
+
+class KillRestartCampaign {
+ public:
+  /// Throws std::invalid_argument on a degenerate spec (zero groups or
+  /// rounds, < 2 participants, quorum groups with < 3 participants,
+  /// empty worker list).
+  KillRestartCampaign(std::uint64_t seed, KillRestartSpec spec);
+
+  /// Run the reference leg and every crash leg, check the byte-
+  /// identity differential plus the exactly-once and accounting
+  /// invariants, and audit every merged log
+  /// (service::audit_completion_log).
+  [[nodiscard]] KillRestartResult run() const;
+
+  /// Script length in steps: create + 2 half-steps per round +
+  /// reconcile + destroy.
+  [[nodiscard]] std::size_t num_steps() const noexcept;
+
+  /// Leg `run_index`'s kill points: `crashes` distinct step indices in
+  /// [1, num_steps), ascending — "kill after step i-1 completes,
+  /// before step i". A pure function of (seed, spec, run_index).
+  [[nodiscard]] std::vector<std::size_t> crash_points(
+      std::size_t run_index) const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const KillRestartSpec& spec() const noexcept { return spec_; }
+
+ private:
+  [[nodiscard]] bool quorum_group(service::GroupId g) const noexcept;
+  void apply_step(service::BarrierService& svc, std::size_t step,
+                  const service::CompletionFn& sink) const;
+  /// One full script execution; crash_before must be ascending. The
+  /// merged log is returned via `log_out` (the result only keeps its
+  /// size unless the caller stores it) and the delivery multiset —
+  /// (group/epoch/phase/member/kind) key -> times delivered — via
+  /// `ledger_out`, for cross-leg exactly-once comparison.
+  KillRestartRunResult run_leg(
+      std::size_t workers, const std::vector<std::size_t>& crash_before,
+      bool durable, std::string& log_out,
+      std::unordered_map<std::string, std::uint32_t>& ledger_out) const;
+
+  std::uint64_t seed_;
+  KillRestartSpec spec_;
+};
+
+}  // namespace imbar::robust

@@ -59,6 +59,22 @@ BarrierService::BarrierService(Options opts)
     sh->slots.resize(slots_per_shard_);
     shards_.push_back(std::move(sh));
   }
+
+  if (opts_.durability.journal) {
+    // Open (scan + truncate invalid tail + stamp this incarnation's
+    // generation) before any op can be journaled. Recovered records
+    // stay in the journal until recover() replays or discards them.
+    journal_ = std::make_unique<Journal>(opts_.durability.journal,
+                                         opts_.durability.flush_every);
+    const JournalOpenReport rep = journal_->open(opts_.shards);
+    next_seq_ = rep.last_seq;
+    snapshot_store_ = opts_.durability.snapshots;
+    snapshot_interval_ = opts_.durability.snapshot_interval;
+    recovery_.journal_generation = rep.generation;
+    recovery_.truncated_records = rep.truncated_records;
+    recovery_.truncated_bytes = rep.truncated_bytes;
+  }
+
   pool_ = std::make_unique<exec::TaskPool>(opts_.workers);
   pool_raw_ = pool_.get();
 }
@@ -127,9 +143,81 @@ void BarrierService::poll() {
 }
 
 void BarrierService::drain() {
-  std::unique_lock<std::mutex> lk(drain_mu_);
-  drain_cv_.wait(lk, [this] { return pending_ops_ == 0; });
+  {
+    std::unique_lock<std::mutex> lk(drain_mu_);
+    drain_cv_.wait(lk, [this] { return pending_ops_ == 0; });
+  }
+  flush_journal();
 }
+
+std::optional<BarrierService::DrainDiagnostic> BarrierService::drain_for(
+    std::chrono::nanoseconds budget) {
+  {
+    std::unique_lock<std::mutex> lk(drain_mu_);
+    if (drain_cv_.wait_for(lk, budget,
+                           [this] { return pending_ops_ == 0; })) {
+      lk.unlock();
+      flush_journal();
+      return std::nullopt;
+    }
+  }
+  // Timed out: name the backlog. Sampled shard by shard, so the
+  // numbers are a consistent-enough teardown diagnostic, not an
+  // atomic cut (the service is by definition still moving).
+  DrainDiagnostic diag;
+  diag.shard_inbox_depths.reserve(shards_.size());
+  for (const auto& shp : shards_) {
+    std::lock_guard<std::mutex> lk(shp->mu);
+    diag.shard_inbox_depths.push_back(shp->inbox.size());
+  }
+  {
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    diag.pending_ops = pending_ops_;
+  }
+  return diag;
+}
+
+void BarrierService::flush_journal() {
+  if (!journal_) return;
+  std::lock_guard<std::mutex> lk(journal_mu_);
+  journal_->flush();
+}
+
+namespace {
+
+JournalRecord journal_record_for(std::uint8_t op_type, GroupId group,
+                                 std::uint32_t member, std::uint64_t t_ns,
+                                 const GroupOptions* create_opts) {
+  JournalRecord rec;
+  rec.group = group;
+  rec.member = member;
+  rec.t_ns = t_ns;
+  switch (op_type) {
+    case 0:
+      rec.type = JournalRecord::Type::kCreate;
+      rec.participants = create_opts->participants;
+      rec.quorum = create_opts->quorum.quorum;
+      rec.budget_ns = create_opts->quorum.deadline_budget.count();
+      rec.hysteresis = create_opts->quorum.hysteresis;
+      rec.group_class = create_opts->group_class;
+      break;
+    case 1:
+      rec.type = JournalRecord::Type::kDestroy;
+      break;
+    case 2:
+      rec.type = JournalRecord::Type::kArrive;
+      break;
+    case 3:
+      rec.type = JournalRecord::Type::kArriveAll;
+      break;
+    default:
+      rec.type = JournalRecord::Type::kPoll;
+      break;
+  }
+  return rec;
+}
+
+}  // namespace
 
 void BarrierService::enqueue(Op op) {
   if (stopping_.load(std::memory_order_acquire)) {
@@ -143,7 +231,26 @@ void BarrierService::enqueue(Op op) {
   }
   bool need_task = false;
   Shard& sh = *shards_[s];
-  {
+  if (journal_) {
+    // Journal-then-enqueue under one mutex: the op is durable (per the
+    // flush policy) before any shard can observe it, so "acknowledged"
+    // means "journaled"; and per-shard journal order equals inbox
+    // order, the invariant replay depends on.
+    std::lock_guard<std::mutex> jl(journal_mu_);
+    ops_submitted_ = true;
+    op.seq = ++next_seq_;
+    JournalRecord rec = journal_record_for(
+        static_cast<std::uint8_t>(op.type), op.group, op.member, op.t_ns,
+        op.create_opts.get());
+    rec.seq = op.seq;
+    journal_->append(rec);
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.inbox.push_back(std::move(op));
+    if (!sh.scheduled) {
+      sh.scheduled = true;
+      need_task = true;
+    }
+  } else {
     std::lock_guard<std::mutex> lk(sh.mu);
     sh.inbox.push_back(std::move(op));
     if (!sh.scheduled) {
@@ -187,7 +294,13 @@ void BarrierService::drain_shard(std::size_t s) {
         yield = true;
       }
     }
-    for (Op& op : slice) process(sh, s, op);
+    for (Op& op : slice) {
+      process(sh, s, op);
+      if (journal_) {
+        sh.last_seq = op.seq;
+        maybe_snapshot(sh, s);
+      }
+    }
     finish_ops(slice.size());
     if (yield) {
       // Requeue behind whatever else is waiting so ready shards
@@ -274,8 +387,8 @@ void BarrierService::process_create(Shard& sh, std::size_t s, GroupId g,
   ++acc.groups;
   acc.participants += gs.opts.participants;
 
-  counters_.groups_created.fetch_add(1, std::memory_order_relaxed);
-  if (log_.enabled()) {
+  sh.counters.groups_created.fetch_add(1, std::memory_order_relaxed);
+  if (log_.enabled() && !quiet_replay_) {
     log_.append(s, "s" + std::to_string(s) + " C g" + std::to_string(g) +
                        " e" + std::to_string(gs.epoch) + " n" +
                        std::to_string(gs.opts.participants) + " q" +
@@ -312,8 +425,8 @@ void BarrierService::process_destroy(Shard& sh, std::size_t s, GroupId g) {
     ++cancelled;
   }
 
-  counters_.groups_destroyed.fetch_add(1, std::memory_order_relaxed);
-  if (log_.enabled()) {
+  sh.counters.groups_destroyed.fetch_add(1, std::memory_order_relaxed);
+  if (log_.enabled() && !quiet_replay_) {
     log_.append(s, "s" + std::to_string(s) + " D g" + std::to_string(g) +
                        " e" + std::to_string(gs.epoch) + " c" +
                        std::to_string(cancelled));
@@ -335,7 +448,7 @@ void BarrierService::process_arrival(Shard& sh, std::size_t s, GroupId g,
     reject(s, g, "member-out-of-range", w.handle);
     return;
   }
-  counters_.arrivals.fetch_add(1, std::memory_order_relaxed);
+  sh.counters.arrivals.fetch_add(1, std::memory_order_relaxed);
 
   // Quorum debt first: one owed phase settles per arrival, exactly the
   // robust::QuorumBarrier fast-forward reconciliation.
@@ -343,7 +456,7 @@ void BarrierService::process_arrival(Shard& sh, std::size_t s, GroupId g,
     --gs.owed[w.member];
     --gs.owed_total;
     deliver(sh, gs, g, gs.phase, w, CompletionKind::kLate, now_ns());
-    if (log_.enabled()) {
+    if (log_.enabled() && !quiet_replay_) {
       log_.append(s, "s" + std::to_string(s) + " L g" + std::to_string(g) +
                          " m" + std::to_string(w.member) + " o" +
                          std::to_string(gs.owed_total));
@@ -373,8 +486,8 @@ void BarrierService::process_arrival(Shard& sh, std::size_t s, GroupId g,
         sh.slots_sched->enqueue_ready(g);
         gs.residency = Residency::kReady;
         gs.backlog.push_back(std::move(w));
-        counters_.ready_enqueues.fetch_add(1, std::memory_order_relaxed);
-        if (log_.enabled()) {
+        sh.counters.ready_enqueues.fetch_add(1, std::memory_order_relaxed);
+        if (log_.enabled() && !quiet_replay_) {
           log_.append(s, "s" + std::to_string(s) + " W g" +
                              std::to_string(g));
         }
@@ -385,7 +498,7 @@ void BarrierService::process_arrival(Shard& sh, std::size_t s, GroupId g,
 
 void BarrierService::process_poll(Shard& sh, std::size_t s,
                                   std::uint64_t t) {
-  counters_.polls.fetch_add(1, std::memory_order_relaxed);
+  sh.counters.polls.fetch_add(1, std::memory_order_relaxed);
   while (!sh.deadlines.empty() && sh.deadlines.top().deadline_ns <= t) {
     const DeadlineEntry e = sh.deadlines.top();
     sh.deadlines.pop();
@@ -426,10 +539,9 @@ bool BarrierService::try_attach(Shard& sh, std::size_t s, GroupId g,
   sl.arrived.assign(gs.opts.participants, 0);
   sl.waiters.clear();
   sl.arrivals = 0;
-  counters_.slot_grants.fetch_add(1, std::memory_order_relaxed);
-  if (log_.enabled()) {
-    log_.append(s, "s" + std::to_string(s) + " G g" + std::to_string(g) +
-                       " t" + std::to_string(gs.slot));
+  sh.counters.slot_grants.fetch_add(1, std::memory_order_relaxed);
+  if (log_.enabled() && !quiet_replay_) {
+    log_.append(s, "s" + std::to_string(s) + " G g" + std::to_string(g));
   }
   return true;
 }
@@ -441,12 +553,12 @@ void BarrierService::detach(Shard& sh, std::size_t s, GroupId g,
   gs.residency = Residency::kParked;
   sh.slots_sched->release(slot);
   if (evicted)
-    counters_.slot_evictions.fetch_add(1, std::memory_order_relaxed);
+    sh.counters.slot_evictions.fetch_add(1, std::memory_order_relaxed);
   else
-    counters_.slot_parks.fetch_add(1, std::memory_order_relaxed);
-  if (log_.enabled()) {
+    sh.counters.slot_parks.fetch_add(1, std::memory_order_relaxed);
+  if (log_.enabled() && !quiet_replay_) {
     log_.append(s, "s" + std::to_string(s) + (evicted ? " E g" : " P g") +
-                       std::to_string(g) + " t" + std::to_string(slot));
+                       std::to_string(g));
   }
 }
 
@@ -475,7 +587,7 @@ void BarrierService::apply_waiter(Shard& sh, std::size_t s, GroupId g,
   if (gs.deadline_armed && w.submit_ns >= gs.deadline_ns)
     gs.budget_spent = true;
   ++sl.arrivals;
-  if (log_.enabled()) {
+  if (log_.enabled() && !quiet_replay_) {
     log_.append(s, "s" + std::to_string(s) + " A g" + std::to_string(g) +
                        " p" + std::to_string(gs.phase) + " m" +
                        std::to_string(w.member));
@@ -514,16 +626,16 @@ void BarrierService::do_release(Shard& sh, std::size_t s, GroupId g,
   const CompletionKind kind =
       strict ? CompletionKind::kReleased : CompletionKind::kQuorum;
 
-  if (log_.enabled()) {
+  if (log_.enabled() && !quiet_replay_) {
     log_.append(s, "s" + std::to_string(s) + " R g" + std::to_string(g) +
                        " p" + std::to_string(gs.phase) +
                        (strict ? " strict a" : " quorum a") +
                        std::to_string(sl.arrivals));
   }
   if (strict)
-    counters_.releases_strict.fetch_add(1, std::memory_order_relaxed);
+    sh.counters.releases_strict.fetch_add(1, std::memory_order_relaxed);
   else
-    counters_.releases_quorum.fetch_add(1, std::memory_order_relaxed);
+    sh.counters.releases_quorum.fetch_add(1, std::memory_order_relaxed);
 
   for (const Waiter& w : sl.waiters) deliver(sh, gs, g, gs.phase, w, kind, now);
 
@@ -539,7 +651,8 @@ void BarrierService::do_release(Shard& sh, std::size_t s, GroupId g,
       }
     }
     gs.owed_total += owed_now;
-    counters_.owed_outstanding.fetch_add(owed_now, std::memory_order_relaxed);
+    sh.counters.owed_outstanding.fetch_add(owed_now,
+                                           std::memory_order_relaxed);
   }
 
   // Reset the ledger for the next phase (O(arrivals), not O(n)).
@@ -598,13 +711,17 @@ void BarrierService::deliver(Shard& sh, const GroupState& gs, GroupId g,
                              std::uint64_t phase, const Waiter& w,
                              CompletionKind kind, std::uint64_t now) {
   const std::uint64_t lat = now >= w.submit_ns ? now - w.submit_ns : 0;
+  // During quiet replay the handle is always null (journal records
+  // carry none) and the callback/latency emissions are suppressed:
+  // they already fired in the previous incarnation. Counters still
+  // count — they are state, rebuilt exactly.
   if (w.handle) {
     w.handle->phase = phase;
     w.handle->latency_ns = lat;
     w.handle->kind.store(static_cast<std::uint8_t>(kind),
                          std::memory_order_release);
   }
-  if (gs.opts.on_complete) {
+  if (gs.opts.on_complete && !quiet_replay_) {
     Completion c;
     c.group = g;
     c.epoch = gs.epoch;
@@ -616,24 +733,25 @@ void BarrierService::deliver(Shard& sh, const GroupState& gs, GroupId g,
   }
   switch (kind) {
     case CompletionKind::kReleased:
-      counters_.completions_strict.fetch_add(1, std::memory_order_relaxed);
+      sh.counters.completions_strict.fetch_add(1, std::memory_order_relaxed);
       break;
     case CompletionKind::kQuorum:
-      counters_.completions_quorum.fetch_add(1, std::memory_order_relaxed);
+      sh.counters.completions_quorum.fetch_add(1, std::memory_order_relaxed);
       break;
     case CompletionKind::kLate:
-      counters_.completions_late.fetch_add(1, std::memory_order_relaxed);
+      sh.counters.completions_late.fetch_add(1, std::memory_order_relaxed);
       // One owed phase settled: counted against the debt ledger.
-      counters_.owed_outstanding.fetch_sub(1, std::memory_order_relaxed);
+      sh.counters.owed_outstanding.fetch_sub(1, std::memory_order_relaxed);
       break;
     case CompletionKind::kCancelled:
-      counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      sh.counters.cancelled.fetch_add(1, std::memory_order_relaxed);
       break;
     default:
       break;
   }
-  if (kind == CompletionKind::kReleased || kind == CompletionKind::kQuorum ||
-      kind == CompletionKind::kLate) {
+  if (!quiet_replay_ &&
+      (kind == CompletionKind::kReleased || kind == CompletionKind::kQuorum ||
+       kind == CompletionKind::kLate)) {
     ClassAcc& acc = sh.classes[gs.class_id];
     const double us = static_cast<double>(lat) / kNsPerUs;
     acc.latency_us.add(us);
@@ -643,12 +761,12 @@ void BarrierService::deliver(Shard& sh, const GroupState& gs, GroupId g,
 
 void BarrierService::reject(std::size_t s, GroupId g, const char* reason,
                             const std::shared_ptr<ArrivalState>& handle) {
-  counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+  shards_[s]->counters.rejected.fetch_add(1, std::memory_order_relaxed);
   if (handle) {
     handle->kind.store(static_cast<std::uint8_t>(CompletionKind::kRejected),
                        std::memory_order_release);
   }
-  if (log_.enabled()) {
+  if (log_.enabled() && !quiet_replay_) {
     log_.append(s, "s" + std::to_string(s) + " X g" + std::to_string(g) +
                        " " + reason);
   }
@@ -659,22 +777,25 @@ ServiceCounters BarrierService::counters() const {
   const auto ld = [](const std::atomic<std::uint64_t>& a) {
     return a.load(std::memory_order_relaxed);
   };
-  c.groups_created = ld(counters_.groups_created);
-  c.groups_destroyed = ld(counters_.groups_destroyed);
-  c.arrivals = ld(counters_.arrivals);
-  c.completions_strict = ld(counters_.completions_strict);
-  c.completions_quorum = ld(counters_.completions_quorum);
-  c.completions_late = ld(counters_.completions_late);
-  c.cancelled = ld(counters_.cancelled);
-  c.rejected = ld(counters_.rejected);
-  c.releases_strict = ld(counters_.releases_strict);
-  c.releases_quorum = ld(counters_.releases_quorum);
-  c.slot_grants = ld(counters_.slot_grants);
-  c.slot_evictions = ld(counters_.slot_evictions);
-  c.slot_parks = ld(counters_.slot_parks);
-  c.ready_enqueues = ld(counters_.ready_enqueues);
-  c.polls = ld(counters_.polls);
-  c.owed_outstanding = ld(counters_.owed_outstanding);
+  for (const auto& shp : shards_) {
+    const ShardCounters& sc = shp->counters;
+    c.groups_created += ld(sc.groups_created);
+    c.groups_destroyed += ld(sc.groups_destroyed);
+    c.arrivals += ld(sc.arrivals);
+    c.completions_strict += ld(sc.completions_strict);
+    c.completions_quorum += ld(sc.completions_quorum);
+    c.completions_late += ld(sc.completions_late);
+    c.cancelled += ld(sc.cancelled);
+    c.rejected += ld(sc.rejected);
+    c.releases_strict += ld(sc.releases_strict);
+    c.releases_quorum += ld(sc.releases_quorum);
+    c.slot_grants += ld(sc.slot_grants);
+    c.slot_evictions += ld(sc.slot_evictions);
+    c.slot_parks += ld(sc.slot_parks);
+    c.ready_enqueues += ld(sc.ready_enqueues);
+    c.polls += ld(sc.polls);
+    c.owed_outstanding += ld(sc.owed_outstanding);
+  }
   return c;
 }
 
@@ -712,5 +833,334 @@ std::vector<BarrierService::ClassStats> BarrierService::class_stats() const {
 }
 
 std::string BarrierService::completion_log() const { return log_.merged(); }
+
+// ---------------------------------------------------------------------------
+// Durability: snapshots + recovery.
+
+void BarrierService::maybe_snapshot(Shard& sh, std::size_t s) {
+  if (!snapshot_store_ || snapshot_interval_ == 0) return;
+  if (++sh.ops_since_snapshot < snapshot_interval_) return;
+  sh.ops_since_snapshot = 0;
+  snapshot_store_->save(s, encode_shard_snapshot(build_snapshot(sh, s)));
+}
+
+ShardSnapshot BarrierService::build_snapshot(Shard& sh, std::size_t s) {
+  ShardSnapshot snap;
+  snap.shard = s;
+  snap.last_seq = sh.last_seq;
+  snap.epoch_counter = sh.epoch_counter;
+
+  const auto ld = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  ServiceCounters& c = snap.counters;
+  const ShardCounters& sc = sh.counters;
+  c.groups_created = ld(sc.groups_created);
+  c.groups_destroyed = ld(sc.groups_destroyed);
+  c.arrivals = ld(sc.arrivals);
+  c.completions_strict = ld(sc.completions_strict);
+  c.completions_quorum = ld(sc.completions_quorum);
+  c.completions_late = ld(sc.completions_late);
+  c.cancelled = ld(sc.cancelled);
+  c.rejected = ld(sc.rejected);
+  c.releases_strict = ld(sc.releases_strict);
+  c.releases_quorum = ld(sc.releases_quorum);
+  c.slot_grants = ld(sc.slot_grants);
+  c.slot_evictions = ld(sc.slot_evictions);
+  c.slot_parks = ld(sc.slot_parks);
+  c.ready_enqueues = ld(sc.ready_enqueues);
+  c.polls = ld(sc.polls);
+  c.owed_outstanding = ld(sc.owed_outstanding);
+
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lk(class_mu_);
+    names = class_names_;
+  }
+  snap.classes.reserve(sh.classes.size());
+  for (std::size_t id = 0; id < sh.classes.size(); ++id) {
+    const ClassAcc& acc = sh.classes[id];
+    snap.classes.push_back(
+        ClassSnapshot{names[id], acc.groups, acc.participants});
+  }
+
+  std::vector<GroupId> ids;
+  ids.reserve(sh.groups.size());
+  for (const auto& [id, gs] : sh.groups) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  snap.groups.reserve(ids.size());
+  for (const GroupId id : ids) {
+    const GroupState& gs = sh.groups.at(id);
+    GroupSnapshot g;
+    g.id = id;
+    g.epoch = gs.epoch;
+    g.phase = gs.phase;
+    g.participants = gs.opts.participants;
+    g.group_class = gs.opts.group_class;
+    g.quorum = gs.opts.quorum.quorum;
+    g.budget_ns = gs.opts.quorum.deadline_budget.count();
+    g.hysteresis = gs.opts.quorum.hysteresis;
+    g.residency = static_cast<std::uint8_t>(gs.residency);
+    g.idle_listed = gs.idle_listed;
+    g.deadline_armed = gs.deadline_armed;
+    g.budget_spent = gs.budget_spent;
+    g.deadline_ns = gs.deadline_ns;
+    g.owed = gs.owed;
+    g.owed_total = gs.owed_total;
+    if (gs.residency == Residency::kActive) {
+      const Slot& sl = sh.slots[gs.slot - sh.first_slot];
+      g.applied.reserve(sl.waiters.size());
+      for (const Waiter& w : sl.waiters)
+        g.applied.push_back(WaiterSnapshot{w.member, w.submit_ns});
+    }
+    g.backlog.reserve(gs.backlog.size());
+    for (const Waiter& w : gs.backlog)
+      g.backlog.push_back(WaiterSnapshot{w.member, w.submit_ns});
+    snap.groups.push_back(std::move(g));
+  }
+
+  snap.ready = sh.slots_sched->ready_contents();
+  snap.idle = sh.slots_sched->idle_contents();
+  return snap;
+}
+
+void BarrierService::restore_snapshot(Shard& sh, std::size_t s,
+                                      const ShardSnapshot& snap) {
+  sh.epoch_counter = snap.epoch_counter;
+  sh.last_seq = snap.last_seq;
+
+  const ServiceCounters& c = snap.counters;
+  ShardCounters& sc = sh.counters;
+  sc.groups_created.store(c.groups_created, std::memory_order_relaxed);
+  sc.groups_destroyed.store(c.groups_destroyed, std::memory_order_relaxed);
+  sc.arrivals.store(c.arrivals, std::memory_order_relaxed);
+  sc.completions_strict.store(c.completions_strict,
+                              std::memory_order_relaxed);
+  sc.completions_quorum.store(c.completions_quorum,
+                              std::memory_order_relaxed);
+  sc.completions_late.store(c.completions_late, std::memory_order_relaxed);
+  sc.cancelled.store(c.cancelled, std::memory_order_relaxed);
+  sc.rejected.store(c.rejected, std::memory_order_relaxed);
+  sc.releases_strict.store(c.releases_strict, std::memory_order_relaxed);
+  sc.releases_quorum.store(c.releases_quorum, std::memory_order_relaxed);
+  sc.slot_grants.store(c.slot_grants, std::memory_order_relaxed);
+  sc.slot_evictions.store(c.slot_evictions, std::memory_order_relaxed);
+  sc.slot_parks.store(c.slot_parks, std::memory_order_relaxed);
+  sc.ready_enqueues.store(c.ready_enqueues, std::memory_order_relaxed);
+  sc.polls.store(c.polls, std::memory_order_relaxed);
+  sc.owed_outstanding.store(c.owed_outstanding, std::memory_order_relaxed);
+
+  for (const ClassSnapshot& cls : snap.classes) {
+    const std::uint32_t id = class_id_for(sh, cls.name);
+    sh.classes[id].groups = cls.groups;
+    sh.classes[id].participants = cls.participants;
+  }
+
+  // Groups arrive sorted by id; re-deriving slot assignments in that
+  // order (smallest-id-first over an all-free scheduler) is the
+  // documented deterministic re-derivation — the pre-crash physical
+  // ids are not reproducible and not needed.
+  for (const GroupSnapshot& g : snap.groups) {
+    GroupState gs;
+    gs.opts.participants = g.participants;
+    gs.opts.group_class = g.group_class;
+    gs.opts.quorum.quorum = static_cast<std::size_t>(g.quorum);
+    gs.opts.quorum.deadline_budget = std::chrono::nanoseconds(g.budget_ns);
+    gs.opts.quorum.hysteresis = static_cast<std::size_t>(g.hysteresis);
+    gs.epoch = g.epoch;
+    gs.phase = g.phase;
+    gs.class_id = class_id_for(sh, g.group_class);
+    gs.residency = static_cast<Residency>(g.residency);
+    gs.idle_listed = g.idle_listed;
+    gs.deadline_armed = g.deadline_armed;
+    gs.budget_spent = g.budget_spent;
+    gs.deadline_ns = g.deadline_ns;
+    gs.owed = g.owed;
+    gs.owed_total = g.owed_total;
+    gs.backlog.reserve(g.backlog.size());
+    for (const WaiterSnapshot& w : g.backlog)
+      gs.backlog.push_back(Waiter{w.member, w.submit_ns, nullptr});
+    if (gs.residency == Residency::kActive) {
+      const auto slot = sh.slots_sched->acquire_free();
+      if (!slot)
+        throw std::runtime_error(
+            "BarrierService: snapshot has more active groups than slots "
+            "(recovery needs at least the original slot capacity)");
+      gs.slot = *slot;
+      Slot& sl = sh.slots[gs.slot - sh.first_slot];
+      sl.arrived.assign(gs.opts.participants, 0);
+      sl.waiters.clear();
+      sl.arrivals = 0;
+      for (const WaiterSnapshot& w : g.applied) {
+        sl.arrived[w.member] = 1;
+        ++sl.arrivals;
+        sl.waiters.push_back(Waiter{w.member, w.submit_ns, nullptr});
+      }
+    }
+    if (gs.deadline_armed)
+      sh.deadlines.push(
+          DeadlineEntry{gs.deadline_ns, g.id, gs.epoch, gs.phase});
+    sh.groups.emplace(g.id, std::move(gs));
+  }
+
+  for (const GroupId g : snap.idle) sh.slots_sched->mark_idle(g);
+  for (const GroupId g : snap.ready) sh.slots_sched->enqueue_ready(g);
+}
+
+void BarrierService::replay_op(const JournalRecord& rec, Shard& sh,
+                               std::size_t s) {
+  Op op;
+  op.group = rec.group;
+  op.member = rec.member;
+  op.t_ns = rec.t_ns;
+  op.seq = rec.seq;
+  switch (rec.type) {
+    case JournalRecord::Type::kCreate: {
+      op.type = OpType::kCreate;
+      auto go = std::make_unique<GroupOptions>();
+      go->participants = rec.participants;
+      go->group_class = rec.group_class;
+      go->quorum.quorum = static_cast<std::size_t>(rec.quorum);
+      go->quorum.deadline_budget = std::chrono::nanoseconds(rec.budget_ns);
+      go->quorum.hysteresis = static_cast<std::size_t>(rec.hysteresis);
+      op.create_opts = std::move(go);
+      break;
+    }
+    case JournalRecord::Type::kDestroy:
+      op.type = OpType::kDestroy;
+      break;
+    case JournalRecord::Type::kArrive:
+      op.type = OpType::kArrive;
+      break;
+    case JournalRecord::Type::kArriveAll:
+      op.type = OpType::kArriveAll;
+      break;
+    case JournalRecord::Type::kPoll:
+      op.type = OpType::kPoll;
+      break;
+    case JournalRecord::Type::kGeneration:
+      return;  // open() never surfaces these as op records
+  }
+  process(sh, s, op);
+  sh.last_seq = rec.seq;
+}
+
+const RecoveryReport& BarrierService::recover(const RecoverOptions& ro) {
+  if (!journal_)
+    throw std::logic_error(
+        "BarrierService: recover() requires a journal backend");
+  if (recovery_.performed)
+    throw std::logic_error("BarrierService: recover() called twice");
+  {
+    std::lock_guard<std::mutex> lk(journal_mu_);
+    if (ops_submitted_)
+      throw std::logic_error(
+          "BarrierService: recover() must precede all ops");
+  }
+  const std::uint64_t t_start = now_ns();
+  recovery_.performed = true;
+  recovery_.shard_recover_us.assign(opts_.shards, 0);
+  recovery_.shard_replayed.assign(opts_.shards, 0);
+
+  // Single-threaded quiet replay on the calling thread: no worker
+  // task exists yet (no op has been enqueued), so nothing races the
+  // shard state or this flag.
+  quiet_replay_ = true;
+  const std::vector<JournalRecord>& recs = journal_->records();
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    const std::uint64_t t0 = now_ns();
+    Shard& sh = *shards_[s];
+    std::uint64_t base_seq = 0;
+    if (snapshot_store_) {
+      const std::string blob = snapshot_store_->load(s);
+      if (!blob.empty()) {
+        ShardSnapshot snap;
+        if (decode_shard_snapshot(blob, snap) && snap.shard == s) {
+          restore_snapshot(sh, s, snap);
+          base_seq = snap.last_seq;
+          ++recovery_.snapshots_loaded;
+        } else {
+          // Corrupt snapshot: detected, never loaded — fall back to
+          // replaying this shard's full journal history.
+          ++recovery_.snapshot_fallbacks;
+        }
+      }
+    }
+    for (const JournalRecord& rec : recs) {
+      if (shard_of(rec.group) != s) continue;
+      if (rec.seq <= base_seq) {
+        ++recovery_.skipped_ops;
+        continue;
+      }
+      replay_op(rec, sh, s);
+      ++recovery_.replayed_ops;
+      ++recovery_.shard_replayed[s];
+    }
+    // A long replay means the snapshot cadence lapsed; count the
+    // replayed ops toward the next snapshot so one fires soon.
+    sh.ops_since_snapshot = recovery_.shard_replayed[s];
+    recovery_.shard_recover_us[s] = (now_ns() - t0) / 1000;
+  }
+  quiet_replay_ = false;
+  journal_->drop_records();
+
+  // Callbacks are process state and did not survive the crash: bind
+  // the recovery sink to every restored group (Completion carries the
+  // group id, so one fan-in sink replaces the per-group closures).
+  for (auto& shp : shards_)
+    for (auto& [id, gs] : shp->groups) gs.opts.on_complete = ro.on_complete;
+
+  if (ro.resettle == ResettlePolicy::kCancel) resettle_cancel(ro);
+
+  recovery_.recover_us = (now_ns() - t_start) / 1000;
+  return recovery_;
+}
+
+void BarrierService::resettle_cancel(const RecoverOptions&) {
+  const std::uint64_t now = now_ns();
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    Shard& sh = *shards_[s];
+    std::vector<GroupId> ids;
+    ids.reserve(sh.groups.size());
+    for (const auto& [id, gs] : sh.groups) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const GroupId g : ids) {
+      GroupState& gs = sh.groups.at(g);
+      std::uint64_t cancelled = 0;
+      if (gs.residency == Residency::kActive) {
+        Slot& sl = sh.slots[gs.slot - sh.first_slot];
+        for (const Waiter& w : sl.waiters) {
+          deliver(sh, gs, g, gs.phase, w, CompletionKind::kCancelled, now);
+          ++cancelled;
+        }
+        for (const Waiter& w : sl.waiters) sl.arrived[w.member] = 0;
+        sl.waiters.clear();
+        sl.arrivals = 0;
+      }
+      for (const Waiter& w : gs.backlog) {
+        deliver(sh, gs, g, gs.phase, w, CompletionKind::kCancelled, now);
+        ++cancelled;
+      }
+      gs.backlog.clear();
+      if (cancelled == 0) continue;
+      recovery_.cancelled_on_recovery += cancelled;
+      gs.deadline_armed = false;
+      gs.budget_spent = false;
+      if (log_.enabled()) {
+        log_.append(s, "s" + std::to_string(s) + " K g" + std::to_string(g) +
+                           " c" + std::to_string(cancelled));
+      }
+      if (gs.residency == Residency::kReady) {
+        // Nothing left to wait with: back to parked; the stale ready
+        // entry is filtered on pop, exactly like a destroyed group's.
+        gs.residency = Residency::kParked;
+      } else if (gs.residency == Residency::kActive) {
+        // The group is quiescent now (it had in-flight arrivals, so it
+        // was not on the idle list); settle parks or idles it.
+        settle(sh, s, g, gs);
+      }
+    }
+  }
+}
 
 }  // namespace imbar::service

@@ -65,10 +65,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <string>
 #include <unordered_map>
@@ -76,6 +78,7 @@
 
 #include "exec/task_pool.hpp"
 #include "service/completion_log.hpp"
+#include "service/durability.hpp"
 #include "service/slot_scheduler.hpp"
 #include "service/types.hpp"
 #include "stats/histogram.hpp"
@@ -110,6 +113,9 @@ class BarrierService {
     /// Per-class latency histogram geometry (microseconds).
     double latency_hist_hi_us = 1.0e6;
     std::size_t latency_hist_bins = 128;
+    /// Crash-consistency layer (service/durability.hpp). Default off;
+    /// a non-null journal backend enables op journaling + recover().
+    DurabilityOptions durability;
   };
 
   /// Merged per-class latency accumulators (class_stats()).
@@ -162,8 +168,41 @@ class BarrierService {
 
   /// Block until every op submitted so far has been processed. The
   /// returned quiescence is what makes counters()/class_stats()/
-  /// completion_log() exact.
+  /// completion_log() exact. Flushes the journal at quiesce (group
+  /// commit), so a crash after drain() loses nothing.
   void drain();
+
+  /// What a timed-out drain_for() saw: the aggregate backlog plus
+  /// where it is queued, so a stuck teardown names the slow shard
+  /// instead of reporting a bare timeout.
+  struct DrainDiagnostic {
+    std::size_t pending_ops = 0;  // ops submitted but not yet processed
+    std::vector<std::size_t> shard_inbox_depths;  // queued per shard
+  };
+
+  /// drain() with a deadline budget: quiesce within `budget` and
+  /// return nullopt (journal flushed, same guarantees as drain()), or
+  /// give up and return the per-shard pending diagnostics. Never
+  /// cancels work — a timeout means "still busy", not "aborted".
+  [[nodiscard]] std::optional<DrainDiagnostic> drain_for(
+      std::chrono::nanoseconds budget);
+
+  /// Rebuild state from Options::durability storage: load each
+  /// shard's snapshot (falling back to full replay when missing or
+  /// corrupt), quietly replay journal records past it, then apply the
+  /// resettle policy to restored in-flight arrivals. Must be called
+  /// before any op is submitted, at most once; requires a journal
+  /// backend. Replay emits nothing (no log lines, callbacks, handle
+  /// writes, or latency samples) — those effects belong to the
+  /// previous incarnation — but counters and state are rebuilt
+  /// exactly. Returns the report also available via last_recovery().
+  const RecoveryReport& recover(const RecoverOptions& ro = {});
+
+  /// The report of the recover() call this incarnation (performed ==
+  /// false if recover() was never called).
+  [[nodiscard]] const RecoveryReport& last_recovery() const noexcept {
+    return recovery_;
+  }
 
   [[nodiscard]] ServiceCounters counters() const;
 
@@ -174,6 +213,14 @@ class BarrierService {
   /// Merged deterministic event log (requires Options::record_log and
   /// quiescence).
   [[nodiscard]] std::string completion_log() const;
+
+  /// One shard's log lines, in event order (requires quiescence).
+  /// Crash harnesses capture these per shard before a simulated crash
+  /// and merge them with the recovered incarnation's lines.
+  [[nodiscard]] std::vector<std::string> shard_log_lines(
+      std::size_t s) const {
+    return log_.lines(s);
+  }
 
   [[nodiscard]] const Options& options() const noexcept { return opts_; }
   [[nodiscard]] std::size_t shard_of(GroupId id) const noexcept {
@@ -196,6 +243,7 @@ class BarrierService {
     GroupId group = 0;
     std::uint32_t member = 0;
     std::uint64_t t_ns = 0;  // submit time (arrivals) or sweep time (poll)
+    std::uint64_t seq = 0;   // journal sequence (0 when durability is off)
     std::shared_ptr<ArrivalState> handle;        // arrive_with_handle only
     std::unique_ptr<GroupOptions> create_opts;   // kCreate only
   };
@@ -256,6 +304,30 @@ class BarrierService {
         : latency_us(0.0, o.latency_hist_hi_us, o.latency_hist_bins) {}
   };
 
+  // Per-shard counter contributions. Relaxed atomics: only the
+  // shard's actor writes them, but counters() may read concurrently;
+  // exact at quiescence. Kept per shard (not global) so snapshots can
+  // persist each shard's contribution and recovery can rebuild totals
+  // exactly.
+  struct ShardCounters {
+    std::atomic<std::uint64_t> groups_created{0};
+    std::atomic<std::uint64_t> groups_destroyed{0};
+    std::atomic<std::uint64_t> arrivals{0};
+    std::atomic<std::uint64_t> completions_strict{0};
+    std::atomic<std::uint64_t> completions_quorum{0};
+    std::atomic<std::uint64_t> completions_late{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> releases_strict{0};
+    std::atomic<std::uint64_t> releases_quorum{0};
+    std::atomic<std::uint64_t> slot_grants{0};
+    std::atomic<std::uint64_t> slot_evictions{0};
+    std::atomic<std::uint64_t> slot_parks{0};
+    std::atomic<std::uint64_t> ready_enqueues{0};
+    std::atomic<std::uint64_t> polls{0};
+    std::atomic<std::uint64_t> owed_outstanding{0};
+  };
+
   struct Shard {
     std::mutex mu;
     std::vector<Op> inbox;
@@ -264,6 +336,8 @@ class BarrierService {
     // currently draining this shard.
     std::uint32_t first_slot = 0;  // base of this shard's slot ID range
     std::uint64_t epoch_counter = 0;
+    std::uint64_t last_seq = 0;           // highest processed journal seq
+    std::uint64_t ops_since_snapshot = 0;
     std::unordered_map<GroupId, GroupState> groups;
     std::unique_ptr<SlotScheduler> slots_sched;
     std::vector<Slot> slots;  // local index = id - first_slot
@@ -271,6 +345,7 @@ class BarrierService {
                         std::greater<DeadlineEntry>>
         deadlines;
     std::vector<ClassAcc> classes;  // indexed by class_id
+    ShardCounters counters;
   };
 
   void enqueue(Op op);
@@ -308,6 +383,14 @@ class BarrierService {
 
   void finish_ops(std::size_t n);
 
+  // Durability plumbing (no-ops when Options::durability is default).
+  void flush_journal();
+  void maybe_snapshot(Shard& sh, std::size_t s);
+  [[nodiscard]] ShardSnapshot build_snapshot(Shard& sh, std::size_t s);
+  void restore_snapshot(Shard& sh, std::size_t s, const ShardSnapshot& snap);
+  void replay_op(const JournalRecord& rec, Shard& sh, std::size_t s);
+  void resettle_cancel(const RecoverOptions& ro);
+
   Options opts_;
   std::uint32_t slots_per_shard_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -333,26 +416,23 @@ class BarrierService {
   std::vector<std::string> class_names_;
   std::unordered_map<std::string, std::uint32_t> class_ids_;
 
-  // Relaxed totals; exact at quiescence.
-  struct AtomicCounters {
-    std::atomic<std::uint64_t> groups_created{0};
-    std::atomic<std::uint64_t> groups_destroyed{0};
-    std::atomic<std::uint64_t> arrivals{0};
-    std::atomic<std::uint64_t> completions_strict{0};
-    std::atomic<std::uint64_t> completions_quorum{0};
-    std::atomic<std::uint64_t> completions_late{0};
-    std::atomic<std::uint64_t> cancelled{0};
-    std::atomic<std::uint64_t> rejected{0};
-    std::atomic<std::uint64_t> releases_strict{0};
-    std::atomic<std::uint64_t> releases_quorum{0};
-    std::atomic<std::uint64_t> slot_grants{0};
-    std::atomic<std::uint64_t> slot_evictions{0};
-    std::atomic<std::uint64_t> slot_parks{0};
-    std::atomic<std::uint64_t> ready_enqueues{0};
-    std::atomic<std::uint64_t> polls{0};
-    std::atomic<std::uint64_t> owed_outstanding{0};
-  };
-  AtomicCounters counters_;
+  // Durability layer. journal_ is null when durability is off. The
+  // journal mutex is held across the record append AND the inbox push
+  // (see enqueue), pinning per-shard journal order to inbox order —
+  // the invariant replay depends on. next_seq_ continues from the
+  // journal's recovered last_seq, so sequence numbers are strictly
+  // increasing across incarnations.
+  std::unique_ptr<Journal> journal_;
+  std::shared_ptr<SnapshotStore> snapshot_store_;
+  std::uint64_t snapshot_interval_ = 0;
+  std::mutex journal_mu_;
+  std::uint64_t next_seq_ = 0;  // last assigned (pre-incremented)
+  bool ops_submitted_ = false;  // recover() must precede any op
+  // True only during recover()'s single-threaded replay: suppresses
+  // every emission (log lines, callbacks, latency samples) while
+  // counters and state rebuild. Written before any worker task exists.
+  bool quiet_replay_ = false;
+  RecoveryReport recovery_;
 };
 
 }  // namespace imbar::service

@@ -1,0 +1,88 @@
+// Little-endian wire codec shared by the durability layer's two
+// on-disk formats (service/journal.hpp records, service/snapshot.hpp
+// blobs). Writers append to a std::string; the Reader is bounded and
+// latches ok()=false on the first short read, so decoders can issue
+// every read unconditionally and check once at the end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace imbar::service::codec {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+/// u32 length prefix + raw bytes.
+inline void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounded little-endian reader. Reads past the end return 0/empty and
+/// latch ok() false; done() additionally requires exact consumption.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Reader(std::string_view bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8() {
+    return static_cast<std::uint8_t>(take(1) ? data_[at_ - 1] : 0);
+  }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+      v = (v << 8) | static_cast<std::uint8_t>(data_[at_ - 4 + i]);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+      v = (v << 8) | static_cast<std::uint8_t>(data_[at_ - 8 + i]);
+    return v;
+  }
+
+  std::string str(std::size_t n) {
+    if (!take(n)) return {};
+    return std::string(data_ + at_ - n, n);
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - at_; }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool done() const noexcept { return ok_ && at_ == size_; }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || size_ - at_ < n) {
+      ok_ = false;
+      return false;
+    }
+    at_ += n;
+    return true;
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace imbar::service::codec

@@ -2,7 +2,9 @@
 
 #include <cstddef>
 #include <map>
+#include <set>
 #include <sstream>
+#include <tuple>
 
 namespace imbar::service {
 
@@ -57,6 +59,7 @@ struct GroupReplay {
   std::uint64_t next_phase = 0;       // next phase expected to release
   std::uint64_t current_arrivals = 0; // applied arrivals of next_phase
   bool holds_slot = false;
+  std::set<std::uint64_t> members_this_phase;  // exactly-once per phase
 };
 
 }  // namespace
@@ -64,6 +67,12 @@ struct GroupReplay {
 LogAudit audit_completion_log(const std::string& merged) {
   LogAudit audit;
   std::map<std::uint64_t, GroupReplay> groups;
+  // Per group id: the last epoch any incarnation used (strict
+  // monotonicity across creates, including across recoveries).
+  std::map<std::uint64_t, std::uint64_t> last_epoch;
+  // Every (group, epoch, phase) ever released — the cross-crash
+  // exactly-once ledger (epochs never repeat, so entries never could).
+  std::set<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> released;
 
   auto violate = [&audit](std::size_t lineno, const std::string& what) {
     audit.violations.push_back("line " + std::to_string(lineno + 1) + ": " +
@@ -98,6 +107,12 @@ LogAudit audit_completion_log(const std::string& merged) {
         continue;
       }
       if (gr.live) violate(lineno, "create of live group g" + toks[2]);
+      std::uint64_t& prev_epoch = last_epoch[g];
+      if (e <= prev_epoch)
+        violate(lineno, "epoch not strictly increasing (e" +
+                            std::to_string(e) + " after e" +
+                            std::to_string(prev_epoch) + "): " + line);
+      prev_epoch = e;
       gr = GroupReplay{};
       gr.live = true;
       gr.epoch = e;
@@ -125,6 +140,8 @@ LogAudit audit_completion_log(const std::string& merged) {
                             ", expected " + std::to_string(gr.next_phase));
       if (m >= gr.participants)
         violate(lineno, "arrival member out of range: " + line);
+      if (!gr.members_this_phase.insert(m).second)
+        violate(lineno, "member applied twice in one phase: " + line);
       if (++gr.current_arrivals > gr.participants)
         violate(lineno, "more arrivals than participants: " + line);
       ++audit.arrivals;
@@ -152,10 +169,25 @@ LogAudit audit_completion_log(const std::string& merged) {
       } else {
         violate(lineno, "unknown release mode: " + line);
       }
+      if (!released.emplace(g, gr.epoch, p).second)
+        violate(lineno, "phase released twice (duplicate completion): " +
+                            line);
       ++gr.next_phase;
       gr.current_arrivals = 0;
+      gr.members_this_phase.clear();
     } else if (ev == "L") {
       ++audit.lates;
+    } else if (ev == "K") {
+      std::uint64_t c = 0;
+      if (toks.size() < 4 || !num_after(toks[3], 'c', c)) {
+        violate(lineno, "malformed recovery cancel: " + line);
+        continue;
+      }
+      // Recovery settled the phase's in-flight arrivals kCancelled:
+      // the phase did not release, and those members may re-arrive.
+      gr.current_arrivals = 0;
+      gr.members_this_phase.clear();
+      audit.recovery_cancels += c;
     } else if (ev == "G") {
       if (gr.holds_slot) violate(lineno, "double slot grant: " + line);
       gr.holds_slot = true;

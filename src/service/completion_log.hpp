@@ -12,14 +12,21 @@
 // Line grammar (one event per line, shard-prefixed):
 //   s<shard> C g<id> e<epoch> n<parts> q<quorum> class=<name>   create
 //   s<shard> X g<id> <reason>                                   rejected op
-//   s<shard> G g<id> t<slot>                                    slot grant
-//   s<shard> E g<id> t<slot>                                    idle eviction
-//   s<shard> P g<id> t<slot>                                    voluntary park
+//   s<shard> G g<id>                                            slot grant
+//   s<shard> E g<id>                                            idle eviction
+//   s<shard> P g<id>                                            voluntary park
 //   s<shard> W g<id>                                            queued for slot
 //   s<shard> A g<id> p<phase> m<member>                         arrival applied
 //   s<shard> R g<id> p<phase> <strict|quorum> a<arrivals>       phase release
 //   s<shard> L g<id> m<member> o<owed-left>                     late reconcile
 //   s<shard> D g<id> e<epoch> c<cancelled>                      destroy
+//   s<shard> K g<id> c<cancelled>                               recovery cancel
+//
+// Physical slot ids never appear: recovery re-derives slot
+// assignments (the free list can hold holes at a crash, so the exact
+// ids are not reproducible — and not events). K is emitted only by
+// recover() under ResettlePolicy::kCancel, when restored in-flight
+// arrivals are settled kCancelled instead of re-applied.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +52,13 @@ class CompletionLog {
   /// All lines, shards concatenated in index order, '\n'-terminated.
   [[nodiscard]] std::string merged() const;
 
+  /// One shard's lines in append order (crash harnesses capture these
+  /// before a simulated crash). Requires quiescence, like merged().
+  [[nodiscard]] const std::vector<std::string>& lines(
+      std::size_t shard) const {
+    return lines_.at(shard);
+  }
+
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return lines_.size();
   }
@@ -65,6 +79,7 @@ struct LogAudit {
   std::uint64_t releases_quorum = 0;
   std::uint64_t arrivals = 0;
   std::uint64_t lates = 0;
+  std::uint64_t recovery_cancels = 0;  // K-line cancelled arrivals
   std::vector<std::string> violations;
 };
 
@@ -78,7 +93,18 @@ struct LogAudit {
 ///     with no phase released twice;
 ///   * no phase accumulates more than n applied arrivals;
 ///   * grants and parks/evictions alternate per group (a group never
-///     holds two slots, never releases a slot it does not hold).
+///     holds two slots, never releases a slot it does not hold);
+///   * per group id, epochs strictly increase across creates — a
+///     recreate never reuses or rolls back an incarnation number,
+///     even across a crash/recover boundary;
+///   * exactly-once across crashes: no (group, epoch, phase) releases
+///     twice, and no member's arrival applies twice within one phase
+///     (a `K` recovery cancel resets the phase's applied set — those
+///     arrivals were settled kCancelled, so a re-arrival is legal).
+/// The last two checks are what makes auditing a *merged*
+/// crashed-and-recovered log meaningful: if recovery ever re-emitted
+/// an acknowledged completion or re-applied a journaled arrival, the
+/// duplicate appears here as a violation.
 [[nodiscard]] LogAudit audit_completion_log(const std::string& merged);
 
 }  // namespace imbar::service

@@ -1,0 +1,91 @@
+// Durability configuration and recovery vocabulary for
+// BarrierService. The moving parts:
+//
+//   * the op Journal (service/journal.hpp): every submitted op is
+//     framed into the journal *before* it is pushed to its shard's
+//     inbox, under one mutex, so journal order == per-shard inbox
+//     order and "acknowledged" == "durable";
+//   * per-shard Snapshots (service/snapshot.hpp): taken by the shard
+//     actor every `snapshot_interval` processed ops, bounding replay
+//     length;
+//   * BarrierService::recover(): load each shard's snapshot (falling
+//     back to full replay if missing or corrupt), then quietly replay
+//     journal records with seq > snapshot.last_seq — emissions
+//     (log lines, completion callbacks, handle writes, latency folds)
+//     are suppressed during replay because those effects already
+//     happened in the previous incarnation; state and counters are
+//     rebuilt exactly.
+//
+// The crash model is *clean crashes at op boundaries*: the harness
+// drains, captures, destroys the service, optionally injects storage
+// faults, and recovers over the same backends. Under that model the
+// merged event log (pre-crash capture + post-recovery lines) is
+// byte-identical to a never-crashed run — the headline differential
+// in tests/test_kill_restart.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/journal.hpp"
+#include "service/snapshot.hpp"
+#include "service/storage.hpp"
+#include "service/types.hpp"
+
+namespace imbar::service {
+
+/// Attach a durability layer to a BarrierService (Options::durability).
+/// Default-constructed = durability off (the journal pointer gates it).
+struct DurabilityOptions {
+  /// Journal byte storage; non-null enables journaling + recover().
+  std::shared_ptr<StorageBackend> journal;
+  /// Snapshot store; null disables snapshots (recovery replays the
+  /// whole journal).
+  std::shared_ptr<SnapshotStore> snapshots;
+  /// Ops a shard processes between snapshots; 0 = never snapshot.
+  std::uint64_t snapshot_interval = 0;
+  /// Journal appends per storage flush (group commit). 1 = flush per
+  /// record; larger values batch, and drain() always flushes.
+  std::uint64_t flush_every = 1;
+};
+
+/// What recover() does with arrivals that were in flight (journaled
+/// but their phase not yet released) at the crash.
+enum class ResettlePolicy : std::uint8_t {
+  /// Restore them as pending waiters: they deliver normally when their
+  /// phase releases after recovery. The default — it is what makes the
+  /// crashed/recovered event log byte-identical to the uncrashed one.
+  kReapply = 0,
+  /// Deliver kCancelled for each at recovery time (counted in
+  /// cancelled_on_recovery, logged as a `K` line). For deployments
+  /// whose clients re-submit in-flight work after a crash and must not
+  /// see double deliveries.
+  kCancel = 1,
+};
+
+struct RecoverOptions {
+  ResettlePolicy resettle = ResettlePolicy::kReapply;
+  /// Completion sink bound to every restored group. Callbacks are
+  /// process state and cannot be journaled; Completion carries the
+  /// group id, so one fan-in sink replaces the per-group closures.
+  CompletionFn on_complete;
+};
+
+/// What one recover() call found and did (BarrierService::last_recovery).
+struct RecoveryReport {
+  bool performed = false;
+  std::uint64_t journal_generation = 0;  // this incarnation's generation
+  std::uint64_t replayed_ops = 0;        // journal records replayed
+  std::uint64_t skipped_ops = 0;         // records covered by snapshots
+  std::uint64_t truncated_records = 0;   // invalid journal tail frames
+  std::uint64_t truncated_bytes = 0;
+  std::uint64_t snapshots_loaded = 0;
+  std::uint64_t snapshot_fallbacks = 0;  // corrupt/unusable snapshots
+  std::uint64_t cancelled_on_recovery = 0;  // ResettlePolicy::kCancel only
+  std::uint64_t recover_us = 0;          // total wall time
+  std::vector<std::uint64_t> shard_recover_us;  // per-shard rebuild time
+  std::vector<std::uint64_t> shard_replayed;    // per-shard replay length
+};
+
+}  // namespace imbar::service

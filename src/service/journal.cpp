@@ -1,0 +1,224 @@
+#include "service/journal.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "service/codec.hpp"
+#include "util/checksum.hpp"
+
+namespace imbar::service {
+
+namespace {
+
+using codec::put_u8;
+using codec::put_u32;
+using codec::put_u64;
+using codec::Reader;
+
+// Sanity bound on one record: a create with a pathological class name
+// is still far below this; anything larger is framing garbage.
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+// Payload codec (the frame header is handled by encode()/open()).
+std::string encode_payload(const JournalRecord& r) {
+  std::string p;
+  put_u8(p, static_cast<std::uint8_t>(r.type));
+  switch (r.type) {
+    case JournalRecord::Type::kGeneration:
+      put_u64(p, r.generation);
+      put_u64(p, r.shards);
+      break;
+    case JournalRecord::Type::kCreate:
+      put_u64(p, r.seq);
+      put_u64(p, r.group);
+      put_u64(p, r.t_ns);
+      put_u32(p, r.participants);
+      put_u64(p, r.quorum);
+      put_u64(p, static_cast<std::uint64_t>(r.budget_ns));
+      put_u64(p, r.hysteresis);
+      put_u32(p, static_cast<std::uint32_t>(r.group_class.size()));
+      p.append(r.group_class);
+      break;
+    case JournalRecord::Type::kDestroy:
+      put_u64(p, r.seq);
+      put_u64(p, r.group);
+      break;
+    case JournalRecord::Type::kArrive:
+      put_u64(p, r.seq);
+      put_u64(p, r.group);
+      put_u32(p, r.member);
+      put_u64(p, r.t_ns);
+      break;
+    case JournalRecord::Type::kArriveAll:
+    case JournalRecord::Type::kPoll:
+      put_u64(p, r.seq);
+      put_u64(p, r.group);
+      put_u64(p, r.t_ns);
+      break;
+  }
+  return p;
+}
+
+bool decode_payload(const std::string& payload, JournalRecord& out) {
+  Reader rd(payload.data(), payload.size());
+  const std::uint8_t type = rd.u8();
+  if (!rd.ok() || type > static_cast<std::uint8_t>(JournalRecord::Type::kPoll))
+    return false;
+  out = JournalRecord{};
+  out.type = static_cast<JournalRecord::Type>(type);
+  switch (out.type) {
+    case JournalRecord::Type::kGeneration:
+      out.generation = rd.u64();
+      out.shards = rd.u64();
+      break;
+    case JournalRecord::Type::kCreate: {
+      out.seq = rd.u64();
+      out.group = rd.u64();
+      out.t_ns = rd.u64();
+      out.participants = rd.u32();
+      out.quorum = rd.u64();
+      out.budget_ns = static_cast<std::int64_t>(rd.u64());
+      out.hysteresis = rd.u64();
+      const std::uint32_t len = rd.u32();
+      if (!rd.ok() || len > kMaxPayload) return false;
+      out.group_class = rd.str(len);
+      break;
+    }
+    case JournalRecord::Type::kDestroy:
+      out.seq = rd.u64();
+      out.group = rd.u64();
+      break;
+    case JournalRecord::Type::kArrive:
+      out.seq = rd.u64();
+      out.group = rd.u64();
+      out.member = rd.u32();
+      out.t_ns = rd.u64();
+      break;
+    case JournalRecord::Type::kArriveAll:
+    case JournalRecord::Type::kPoll:
+      out.seq = rd.u64();
+      out.group = rd.u64();
+      out.t_ns = rd.u64();
+      break;
+  }
+  // A payload with trailing bytes is as malformed as a short one.
+  return rd.done();
+}
+
+}  // namespace
+
+Journal::Journal(std::shared_ptr<StorageBackend> storage,
+                 std::uint64_t flush_every)
+    : storage_(std::move(storage)),
+      flush_every_(flush_every == 0 ? 1 : flush_every) {
+  if (!storage_)
+    throw std::invalid_argument("Journal: null storage backend");
+}
+
+std::string Journal::encode(const JournalRecord& rec) {
+  const std::string payload = encode_payload(rec);
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload));
+  frame.append(payload);
+  return frame;
+}
+
+JournalOpenReport Journal::open(std::uint64_t shards) {
+  if (opened_) throw std::logic_error("Journal: open() called twice");
+  opened_ = true;
+
+  JournalOpenReport report;
+  const std::string bytes = storage_->read_all();
+  std::size_t at = 0;
+  std::size_t valid_end = 0;  // end offset of the last valid frame
+  std::uint64_t last_seq = 0;
+  std::uint64_t last_generation = 0;
+  bool bad_tail = false;
+
+  while (bytes.size() - at >= 8) {
+    Reader hdr(bytes.data() + at, 8);
+    const std::uint32_t len = hdr.u32();
+    const std::uint32_t crc = hdr.u32();
+    if (len > kMaxPayload || bytes.size() - at - 8 < len) {
+      bad_tail = true;  // length garbage or torn frame
+      break;
+    }
+    const std::string payload = bytes.substr(at + 8, len);
+    if (crc32(payload) != crc) {
+      bad_tail = true;  // checksum mismatch: partial flush / bit rot
+      break;
+    }
+    JournalRecord rec;
+    if (!decode_payload(payload, rec)) {
+      bad_tail = true;  // checksummed but undecodable: framing bug
+      break;
+    }
+    if (rec.type == JournalRecord::Type::kGeneration) {
+      if (rec.generation <= last_generation)
+        throw std::runtime_error(
+            "Journal: generation records not strictly increasing");
+      if (rec.shards != shards)
+        throw std::runtime_error(
+            "Journal: shard count mismatch (journal " +
+            std::to_string(rec.shards) + ", service " +
+            std::to_string(shards) +
+            "): recovery requires the original shard layout");
+      last_generation = rec.generation;
+      ++report.generations;
+    } else {
+      if (rec.seq <= last_seq) {
+        bad_tail = true;  // replayed/duplicated tail — not an op stream
+        break;
+      }
+      if (report.generations == 0) {
+        bad_tail = true;  // ops before any generation frame
+        break;
+      }
+      last_seq = rec.seq;
+      records_.push_back(std::move(rec));
+      ++report.records;
+    }
+    at += 8 + len;
+    valid_end = at;
+  }
+  if (!bad_tail && at < bytes.size()) bad_tail = true;  // sub-header tail
+
+  if (bad_tail) {
+    report.truncated_records = 1;
+    report.truncated_bytes =
+        static_cast<std::uint64_t>(bytes.size() - valid_end);
+    storage_->truncate(valid_end);
+  }
+  report.last_seq = last_seq;
+
+  generation_ = last_generation + 1;
+  report.generation = generation_;
+  JournalRecord gen;
+  gen.type = JournalRecord::Type::kGeneration;
+  gen.generation = generation_;
+  gen.shards = shards;
+  storage_->append(encode(gen));
+  storage_->flush();
+  return report;
+}
+
+void Journal::append(const JournalRecord& rec) {
+  if (!opened_) throw std::logic_error("Journal: append before open()");
+  storage_->append(encode(rec));
+  ++appended_;
+  if (++unflushed_ >= flush_every_) {
+    storage_->flush();
+    unflushed_ = 0;
+  }
+}
+
+void Journal::flush() {
+  if (unflushed_ > 0 || !opened_) {
+    storage_->flush();
+    unflushed_ = 0;
+  }
+}
+
+}  // namespace imbar::service

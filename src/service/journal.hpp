@@ -1,0 +1,127 @@
+// Append-only operation journal for the barrier virtualization
+// service — the write-ahead half of crash consistency.
+//
+// Every client-visible operation (create/destroy/arrive/arrive_all/
+// poll) is encoded as one framed record when it is submitted, before
+// any shard processes it. A record frame is
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//
+// (little-endian), so recovery can walk the file record by record and
+// stop at the first frame that is short (torn tail), fails its
+// checksum (bit rot / partial flush), or decodes to garbage — the
+// invalid tail is truncated, never silently replayed
+// (tests/test_journal.cpp pins each corruption class).
+//
+// Records are *epoch-framed*: each process incarnation opens the
+// journal by appending a generation record (generation counter +
+// service shard count), so replay can verify that the op stream is a
+// well-ordered concatenation of incarnations — sequence numbers
+// strictly increase across the whole file, and a shard-count mismatch
+// (which would rewire the group -> shard map and invalidate every
+// per-shard ordering claim) is rejected at open instead of corrupting
+// state at replay.
+//
+// The journal is not thread-safe; BarrierService serializes access
+// under its journal mutex (which also pins the per-shard inbox order
+// to the journal order — see barrier_service.cpp::enqueue).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/storage.hpp"
+
+namespace imbar::service {
+
+struct JournalRecord {
+  enum class Type : std::uint8_t {
+    kGeneration = 0,  // process incarnation marker (generation, shards)
+    kCreate = 1,
+    kDestroy = 2,
+    kArrive = 3,
+    kArriveAll = 4,
+    kPoll = 5,
+  };
+
+  Type type = Type::kArrive;
+  std::uint64_t seq = 0;    // global submission order, strictly increasing
+  std::uint64_t group = 0;  // group id (kPoll: target shard index)
+  std::uint32_t member = 0;
+  std::uint64_t t_ns = 0;   // submit / sweep timestamp, replayed verbatim
+  // kCreate payload (GroupOptions minus the process-local callback).
+  std::uint32_t participants = 0;
+  std::uint64_t quorum = 0;
+  std::int64_t budget_ns = 0;
+  std::uint64_t hysteresis = 1;
+  std::string group_class;
+  // kGeneration payload.
+  std::uint64_t generation = 0;
+  std::uint64_t shards = 0;
+};
+
+/// What open() found and did. truncated_* report the invalid tail (at
+/// most one per open — scanning stops at the first bad frame).
+struct JournalOpenReport {
+  std::uint64_t records = 0;          // valid op records recovered
+  std::uint64_t generations = 0;      // prior process incarnations
+  std::uint64_t last_seq = 0;         // highest recovered op seq
+  std::uint64_t truncated_records = 0;  // bad frames dropped (0 or 1)
+  std::uint64_t truncated_bytes = 0;    // bytes the truncation removed
+  std::uint64_t generation = 1;       // generation this open started
+};
+
+class Journal {
+ public:
+  /// `flush_every`: journal appends per backend flush (group commit).
+  /// 1 = flush per record (the durable default); larger values batch
+  /// and rely on the caller flushing at quiesce (BarrierService::drain
+  /// does).
+  explicit Journal(std::shared_ptr<StorageBackend> storage,
+                   std::uint64_t flush_every = 1);
+
+  /// Scan the durable bytes, truncate any invalid tail, verify the
+  /// generation framing against `shards`, then append (and flush) this
+  /// incarnation's generation record. Must be called exactly once,
+  /// before any append(). Throws std::runtime_error on a shard-count
+  /// mismatch or a non-monotone generation sequence (structural
+  /// corruption truncation cannot repair).
+  JournalOpenReport open(std::uint64_t shards);
+
+  /// The op records open() recovered (generation marks excluded), in
+  /// file = submission order.
+  [[nodiscard]] const std::vector<JournalRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Release the recovered records' memory once replay is done.
+  void drop_records() { std::vector<JournalRecord>().swap(records_); }
+
+  /// Append one op record (caller assigns seq). Flushes per policy.
+  void append(const JournalRecord& rec);
+
+  /// Force buffered records durable (drain-time group commit).
+  void flush();
+
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+  [[nodiscard]] bool opened() const noexcept { return opened_; }
+  [[nodiscard]] StorageBackend& storage() noexcept { return *storage_; }
+
+  /// Encode one record as a framed byte string (exposed for tests that
+  /// build journals byte by byte).
+  [[nodiscard]] static std::string encode(const JournalRecord& rec);
+
+ private:
+  std::shared_ptr<StorageBackend> storage_;
+  std::uint64_t flush_every_ = 1;
+  std::uint64_t unflushed_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t generation_ = 1;
+  bool opened_ = false;
+  std::vector<JournalRecord> records_;
+};
+
+}  // namespace imbar::service

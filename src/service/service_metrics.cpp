@@ -50,6 +50,27 @@ void fold_service_metrics(const BarrierService& service,
     registry.merge_labeled(p + "latency_us", "class=" + cs.name,
                            cs.latency_us, cs.stats);
   }
+
+  const RecoveryReport& rec = service.last_recovery();
+  if (rec.performed) {
+    const std::string r = std::string(kRecoveryMetricsPrefix) + ".";
+    registry.set_counter(r + "journal_generation", rec.journal_generation);
+    registry.set_counter(r + "replayed_ops", rec.replayed_ops);
+    registry.set_counter(r + "skipped_ops", rec.skipped_ops);
+    registry.set_counter(r + "truncated_records", rec.truncated_records);
+    registry.set_counter(r + "truncated_bytes", rec.truncated_bytes);
+    registry.set_counter(r + "snapshots_loaded", rec.snapshots_loaded);
+    registry.set_counter(r + "snapshot_fallbacks", rec.snapshot_fallbacks);
+    registry.set_counter(r + "cancelled_on_recovery",
+                         rec.cancelled_on_recovery);
+    // Per-shard distributions: rebuild latency, and how many journal
+    // records each shard had to replay past its snapshot (the
+    // snapshot-lag the interval knob controls).
+    for (std::uint64_t us : rec.shard_recover_us)
+      registry.observe(r + "recover_us", static_cast<double>(us), 0.0, 1.0e6);
+    for (std::uint64_t n : rec.shard_replayed)
+      registry.observe(r + "snapshot_lag", static_cast<double>(n), 0.0, 1.0e6);
+  }
 }
 
 std::string service_soak_json(const std::string& name,
@@ -125,6 +146,52 @@ std::string service_soak_json(const std::string& name,
     w.kv("p50_us", cs.latency_us.quantile(0.50));
     w.kv("p90_us", cs.latency_us.quantile(0.90));
     w.kv("p99_us", cs.latency_us.quantile(0.99));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string recovery_soak_json(const std::string& name,
+                               const obs::BenchRow& params,
+                               const RecoveryReport& report,
+                               const std::vector<obs::BenchRow>& rows,
+                               const PhaseLog* phases) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", obs::kRecoverySchema);
+  w.kv("name", name);
+  w.key("params").begin_object();
+  for (const obs::BenchCell& cell : params) write_cell(w, cell);
+  w.end_object();
+  if (phases != nullptr) {
+    w.key("phases").begin_array();
+    for (const PhaseLog::Phase& ph : phases->phases()) {
+      w.begin_object();
+      w.kv("name", ph.name);
+      w.kv("elapsed_s", ph.elapsed_s);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  w.key("recovery").begin_object();
+  w.kv("journal_generation", report.journal_generation);
+  w.kv("replayed_ops", report.replayed_ops);
+  w.kv("skipped_ops", report.skipped_ops);
+  w.kv("truncated_records", report.truncated_records);
+  w.kv("truncated_bytes", report.truncated_bytes);
+  w.kv("snapshots_loaded", report.snapshots_loaded);
+  w.kv("snapshot_fallbacks", report.snapshot_fallbacks);
+  w.kv("cancelled_on_recovery", report.cancelled_on_recovery);
+  w.kv("recover_us", report.recover_us);
+  w.end_object();
+
+  w.key("rows").begin_array();
+  for (const obs::BenchRow& row : rows) {
+    w.begin_object();
+    for (const obs::BenchCell& cell : row) write_cell(w, cell);
     w.end_object();
   }
   w.end_array();

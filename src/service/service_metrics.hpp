@@ -32,7 +32,17 @@ namespace imbar::service {
 /// Prefix shared by every service metric.
 inline constexpr const char* kServiceMetricsPrefix = "service.v1";
 
-/// Fold counters and per-class latency families into `registry`.
+/// Prefix of the crash-recovery metrics family, folded only when the
+/// service actually recovered (last_recovery().performed).
+inline constexpr const char* kRecoveryMetricsPrefix = "service.recovery.v1";
+
+/// Fold counters and per-class latency families into `registry`. When
+/// the service performed a recover(), additionally folds the
+/// "service.recovery.v1.*" counters (replayed/skipped ops, journal
+/// truncation, snapshot loads and fallbacks, recovery cancels,
+/// journal generation) and two histograms: recover_us (per-shard
+/// rebuild time) and snapshot_lag (per-shard replayed-op count — how
+/// far each snapshot trailed the journal tail at the crash).
 void fold_service_metrics(const BarrierService& service,
                           obs::MetricsRegistry& registry);
 
@@ -41,5 +51,15 @@ void fold_service_metrics(const BarrierService& service,
                                             const obs::BenchRow& params,
                                             const BarrierService& service,
                                             const PhaseLog* phases = nullptr);
+
+/// Serialize the "imbar.recovery.v1" telemetry document
+/// (bench/ext_recovery_soak): bench.v1 shape + a "recovery" object
+/// from `report`, with caller-provided rows (one per soak
+/// configuration). obs::validate_bench_json() validates it.
+[[nodiscard]] std::string recovery_soak_json(
+    const std::string& name, const obs::BenchRow& params,
+    const RecoveryReport& report,
+    const std::vector<obs::BenchRow>& rows,
+    const PhaseLog* phases = nullptr);
 
 }  // namespace imbar::service

@@ -71,6 +71,17 @@ class SlotScheduler {
     return static_cast<std::uint32_t>(free_.size());
   }
 
+  /// Queue contents for shard snapshots (service/snapshot.hpp): the
+  /// ready FIFO front-first and the idle list least-recently-idled
+  /// first. Stale ready entries are included — restoring them verbatim
+  /// is what keeps the post-recovery pop order identical.
+  [[nodiscard]] std::vector<GroupId> ready_contents() const {
+    return std::vector<GroupId>(ready_.begin(), ready_.end());
+  }
+  [[nodiscard]] std::vector<GroupId> idle_contents() const {
+    return std::vector<GroupId>(idle_.begin(), idle_.end());
+  }
+
  private:
   std::uint32_t first_ = 0;
   std::uint32_t count_ = 0;

@@ -1,0 +1,256 @@
+#include "service/snapshot.hpp"
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "service/codec.hpp"
+#include "util/checksum.hpp"
+
+namespace imbar::service {
+
+namespace {
+
+using codec::put_u8;
+using codec::put_u32;
+using codec::put_u64;
+using codec::put_str;
+using codec::Reader;
+
+constexpr std::uint8_t kSnapshotVersion = 1;
+
+// Structure bound: a shard with 10K groups of 64 members is far below
+// any of these; anything larger is a mis-framed blob.
+constexpr std::uint32_t kMaxItems = 1u << 24;
+
+void put_counters(std::string& p, const ServiceCounters& c) {
+  put_u64(p, c.groups_created);
+  put_u64(p, c.groups_destroyed);
+  put_u64(p, c.arrivals);
+  put_u64(p, c.completions_strict);
+  put_u64(p, c.completions_quorum);
+  put_u64(p, c.completions_late);
+  put_u64(p, c.cancelled);
+  put_u64(p, c.rejected);
+  put_u64(p, c.releases_strict);
+  put_u64(p, c.releases_quorum);
+  put_u64(p, c.slot_grants);
+  put_u64(p, c.slot_evictions);
+  put_u64(p, c.slot_parks);
+  put_u64(p, c.ready_enqueues);
+  put_u64(p, c.polls);
+  put_u64(p, c.owed_outstanding);
+}
+
+void get_counters(Reader& rd, ServiceCounters& c) {
+  c.groups_created = rd.u64();
+  c.groups_destroyed = rd.u64();
+  c.arrivals = rd.u64();
+  c.completions_strict = rd.u64();
+  c.completions_quorum = rd.u64();
+  c.completions_late = rd.u64();
+  c.cancelled = rd.u64();
+  c.rejected = rd.u64();
+  c.releases_strict = rd.u64();
+  c.releases_quorum = rd.u64();
+  c.slot_grants = rd.u64();
+  c.slot_evictions = rd.u64();
+  c.slot_parks = rd.u64();
+  c.ready_enqueues = rd.u64();
+  c.polls = rd.u64();
+  c.owed_outstanding = rd.u64();
+}
+
+void put_waiters(std::string& p, const std::vector<WaiterSnapshot>& ws) {
+  put_u32(p, static_cast<std::uint32_t>(ws.size()));
+  for (const WaiterSnapshot& w : ws) {
+    put_u32(p, w.member);
+    put_u64(p, w.submit_ns);
+  }
+}
+
+bool get_waiters(Reader& rd, std::vector<WaiterSnapshot>& out) {
+  const std::uint32_t n = rd.u32();
+  if (!rd.ok() || n > kMaxItems || rd.remaining() / 12 < n) return false;
+  out.resize(n);
+  for (WaiterSnapshot& w : out) {
+    w.member = rd.u32();
+    w.submit_ns = rd.u64();
+  }
+  return rd.ok();
+}
+
+}  // namespace
+
+std::string encode_shard_snapshot(const ShardSnapshot& snap) {
+  std::string p;
+  put_u8(p, kSnapshotVersion);
+  put_u64(p, snap.shard);
+  put_u64(p, snap.last_seq);
+  put_u64(p, snap.epoch_counter);
+  put_counters(p, snap.counters);
+
+  put_u32(p, static_cast<std::uint32_t>(snap.classes.size()));
+  for (const ClassSnapshot& c : snap.classes) {
+    put_str(p, c.name);
+    put_u64(p, c.groups);
+    put_u64(p, c.participants);
+  }
+
+  put_u32(p, static_cast<std::uint32_t>(snap.groups.size()));
+  for (const GroupSnapshot& g : snap.groups) {
+    put_u64(p, g.id);
+    put_u64(p, g.epoch);
+    put_u64(p, g.phase);
+    put_u32(p, g.participants);
+    put_str(p, g.group_class);
+    put_u64(p, g.quorum);
+    put_u64(p, static_cast<std::uint64_t>(g.budget_ns));
+    put_u64(p, g.hysteresis);
+    put_u8(p, g.residency);
+    put_u8(p, g.idle_listed ? 1 : 0);
+    put_u8(p, g.deadline_armed ? 1 : 0);
+    put_u8(p, g.budget_spent ? 1 : 0);
+    put_u64(p, g.deadline_ns);
+    put_u64(p, g.owed_total);
+    put_u32(p, static_cast<std::uint32_t>(g.owed.size()));
+    for (const std::uint32_t o : g.owed) put_u32(p, o);
+    put_waiters(p, g.applied);
+    put_waiters(p, g.backlog);
+  }
+
+  put_u32(p, static_cast<std::uint32_t>(snap.ready.size()));
+  for (const GroupId g : snap.ready) put_u64(p, g);
+  put_u32(p, static_cast<std::uint32_t>(snap.idle.size()));
+  for (const GroupId g : snap.idle) put_u64(p, g);
+
+  std::string frame;
+  frame.reserve(p.size() + 8);
+  put_u32(frame, static_cast<std::uint32_t>(p.size()));
+  put_u32(frame, crc32(p));
+  frame.append(p);
+  return frame;
+}
+
+bool decode_shard_snapshot(std::string_view framed, ShardSnapshot& out) {
+  if (framed.size() < 8) return false;
+  Reader hdr(framed.data(), 8);
+  const std::uint32_t len = hdr.u32();
+  const std::uint32_t crc = hdr.u32();
+  if (framed.size() - 8 != len) return false;  // torn or over-long blob
+  const std::string_view payload = framed.substr(8);
+  if (crc32(payload) != crc) return false;
+
+  Reader rd(payload);
+  if (rd.u8() != kSnapshotVersion) return false;
+  out = ShardSnapshot{};
+  out.shard = rd.u64();
+  out.last_seq = rd.u64();
+  out.epoch_counter = rd.u64();
+  get_counters(rd, out.counters);
+
+  const std::uint32_t n_classes = rd.u32();
+  if (!rd.ok() || n_classes > kMaxItems) return false;
+  out.classes.reserve(n_classes);
+  for (std::uint32_t i = 0; i < n_classes && rd.ok(); ++i) {
+    ClassSnapshot c;
+    const std::uint32_t name_len = rd.u32();
+    if (!rd.ok() || name_len > rd.remaining()) return false;
+    c.name = rd.str(name_len);
+    c.groups = rd.u64();
+    c.participants = rd.u64();
+    out.classes.push_back(std::move(c));
+  }
+
+  const std::uint32_t n_groups = rd.u32();
+  if (!rd.ok() || n_groups > kMaxItems) return false;
+  out.groups.reserve(n_groups);
+  for (std::uint32_t i = 0; i < n_groups && rd.ok(); ++i) {
+    GroupSnapshot g;
+    g.id = rd.u64();
+    g.epoch = rd.u64();
+    g.phase = rd.u64();
+    g.participants = rd.u32();
+    const std::uint32_t name_len = rd.u32();
+    if (!rd.ok() || name_len > rd.remaining()) return false;
+    g.group_class = rd.str(name_len);
+    g.quorum = rd.u64();
+    g.budget_ns = static_cast<std::int64_t>(rd.u64());
+    g.hysteresis = rd.u64();
+    g.residency = rd.u8();
+    g.idle_listed = rd.u8() != 0;
+    g.deadline_armed = rd.u8() != 0;
+    g.budget_spent = rd.u8() != 0;
+    g.deadline_ns = rd.u64();
+    g.owed_total = rd.u64();
+    const std::uint32_t n_owed = rd.u32();
+    if (!rd.ok() || n_owed > kMaxItems || rd.remaining() / 4 < n_owed)
+      return false;
+    g.owed.resize(n_owed);
+    for (std::uint32_t& o : g.owed) o = rd.u32();
+    if (!get_waiters(rd, g.applied)) return false;
+    if (!get_waiters(rd, g.backlog)) return false;
+    if (g.residency > 2) return false;
+    out.groups.push_back(std::move(g));
+  }
+
+  const std::uint32_t n_ready = rd.u32();
+  if (!rd.ok() || n_ready > kMaxItems || rd.remaining() / 8 < n_ready)
+    return false;
+  out.ready.resize(n_ready);
+  for (GroupId& g : out.ready) g = rd.u64();
+  const std::uint32_t n_idle = rd.u32();
+  if (!rd.ok() || n_idle > kMaxItems || rd.remaining() / 8 < n_idle)
+    return false;
+  out.idle.resize(n_idle);
+  for (GroupId& g : out.idle) g = rd.u64();
+
+  // Trailing bytes mean the frame length lied: reject.
+  return rd.done();
+}
+
+void MemSnapshotStore::save(std::size_t shard, const std::string& blob) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (blobs_.size() <= shard) blobs_.resize(shard + 1);
+  blobs_[shard] = blob;
+}
+
+std::string MemSnapshotStore::load(std::size_t shard) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return shard < blobs_.size() ? blobs_[shard] : std::string();
+}
+
+std::string& MemSnapshotStore::blob(std::size_t shard) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (blobs_.size() <= shard) blobs_.resize(shard + 1);
+  return blobs_[shard];
+}
+
+FileSnapshotStore::FileSnapshotStore(std::string prefix)
+    : prefix_(std::move(prefix)) {
+  if (prefix_.empty())
+    throw std::invalid_argument("FileSnapshotStore: empty prefix");
+}
+
+std::string FileSnapshotStore::path_for(std::size_t shard) const {
+  return prefix_ + ".shard" + std::to_string(shard) + ".snap";
+}
+
+void FileSnapshotStore::save(std::size_t shard, const std::string& blob) {
+  const std::string path = path_for(shard);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.flush();
+  if (!out)
+    throw std::runtime_error("FileSnapshotStore: write failed: " + path);
+}
+
+std::string FileSnapshotStore::load(std::size_t shard) {
+  std::ifstream in(path_for(shard), std::ios::binary);
+  if (!in) return {};
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace imbar::service

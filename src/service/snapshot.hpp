@@ -1,0 +1,138 @@
+// Per-shard state snapshots for the service durability layer — the
+// checkpoint half of crash consistency (the journal is the other
+// half; see service/journal.hpp).
+//
+// A ShardSnapshot is everything a shard needs to resume as if every
+// op up to `last_seq` had been replayed: the epoch counter, the
+// shard's counter contributions, per-class creation totals, each live
+// group's full descriptor (epoch/phase, quorum owed-straggler ledger,
+// in-flight waiters in application order), and the ready/idle queue
+// orders. Two things are deliberately NOT persisted:
+//
+//   * physical slot assignments — recovery re-derives them by granting
+//     free slots to active groups smallest-group-id-first. The free
+//     list can have holes at crash time (grant 0,1,2; slot 1's owner
+//     parks), so replaying grants could not reproduce the exact ids
+//     anyway; slot ids are an implementation detail, not events, and
+//     the event log does not mention them.
+//   * latency histograms — they are telemetry about a process
+//     incarnation, not correctness state; they restart at zero.
+//
+// Encoding reuses the journal's framing: u32 payload_len |
+// u32 crc32(payload) | payload, so a torn or bit-flipped snapshot is
+// detected (decode returns false) and recovery falls back to full
+// journal replay (counted as a snapshot_fallback) rather than loading
+// garbage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/types.hpp"
+
+namespace imbar::service {
+
+/// One buffered logical arrival (a slot waiter or backlog entry).
+/// Handles are process state and do not survive a crash, so only the
+/// replayable identity is kept.
+struct WaiterSnapshot {
+  std::uint32_t member = 0;
+  std::uint64_t submit_ns = 0;
+};
+
+struct GroupSnapshot {
+  GroupId id = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t phase = 0;
+  std::uint32_t participants = 0;
+  std::string group_class;
+  std::uint64_t quorum = 0;
+  std::int64_t budget_ns = 0;
+  std::uint64_t hysteresis = 1;
+  std::uint8_t residency = 0;  // Residency enum value
+  bool idle_listed = false;
+  bool deadline_armed = false;
+  bool budget_spent = false;
+  std::uint64_t deadline_ns = 0;
+  std::vector<std::uint32_t> owed;  // per-member quorum debt (may be empty)
+  std::uint64_t owed_total = 0;
+  std::vector<WaiterSnapshot> applied;  // slot waiters, application order
+  std::vector<WaiterSnapshot> backlog;
+};
+
+/// Per-class creation totals (histograms excluded by design).
+struct ClassSnapshot {
+  std::string name;
+  std::uint64_t groups = 0;
+  std::uint64_t participants = 0;
+};
+
+struct ShardSnapshot {
+  std::uint64_t shard = 0;
+  std::uint64_t last_seq = 0;  // ops at or below this are baked in
+  std::uint64_t epoch_counter = 0;
+  ServiceCounters counters;  // this shard's contribution only
+  std::vector<ClassSnapshot> classes;
+  std::vector<GroupSnapshot> groups;  // sorted by id
+  std::vector<GroupId> ready;         // FIFO order (front first)
+  std::vector<GroupId> idle;          // LRU order (least recent first)
+};
+
+/// Encode as one CRC-framed blob (frame format above).
+[[nodiscard]] std::string encode_shard_snapshot(const ShardSnapshot& snap);
+
+/// Decode a framed blob; false on any framing/CRC/structure violation
+/// (the caller falls back to full replay — never partial state).
+[[nodiscard]] bool decode_shard_snapshot(std::string_view framed,
+                                         ShardSnapshot& out);
+
+/// Where snapshots live: one latest blob per shard, overwritten in
+/// place. Like the journal's StorageBackend this is pluggable so tests
+/// can corrupt blobs deterministically.
+class SnapshotStore {
+ public:
+  virtual ~SnapshotStore() = default;
+  /// Replace shard `shard`'s snapshot with `blob`, durably.
+  virtual void save(std::size_t shard, const std::string& blob) = 0;
+  /// The latest blob for `shard`; empty string if none saved.
+  [[nodiscard]] virtual std::string load(std::size_t shard) = 0;
+};
+
+/// In-memory store (tests, soak harnesses). blob() exposes the raw
+/// bytes so corruption tests can flip a byte in place. save()/load()
+/// are mutex-guarded: shard actors snapshot concurrently, and the
+/// backing vector resizes on first save of a new shard.
+class MemSnapshotStore final : public SnapshotStore {
+ public:
+  void save(std::size_t shard, const std::string& blob) override;
+  [[nodiscard]] std::string load(std::size_t shard) override;
+  /// Raw bytes for in-place corruption; only valid while quiesced (no
+  /// concurrent save may move the vector under the reference).
+  [[nodiscard]] std::string& blob(std::size_t shard);
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> blobs_;
+};
+
+/// File-per-shard store: `<prefix>.shard<N>.snap`, written whole on
+/// each save. A crash mid-save leaves a torn file; the CRC frame
+/// catches it and recovery falls back to replay.
+class FileSnapshotStore final : public SnapshotStore {
+ public:
+  explicit FileSnapshotStore(std::string prefix);
+
+  void save(std::size_t shard, const std::string& blob) override;
+  [[nodiscard]] std::string load(std::size_t shard) override;
+
+  [[nodiscard]] std::string path_for(std::size_t shard) const;
+
+ private:
+  std::string prefix_;
+};
+
+}  // namespace imbar::service

@@ -1,0 +1,95 @@
+#include "service/storage.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+namespace imbar::service {
+
+FileBackend::FileBackend(std::string path) : path_(std::move(path)) {
+  if (path_.empty())
+    throw std::invalid_argument("FileBackend: empty path");
+}
+
+void FileBackend::append(std::string_view bytes) { buffer_.append(bytes); }
+
+void FileBackend::flush() {
+  if (buffer_.empty()) return;
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  out.flush();
+  if (!out)
+    throw std::runtime_error("FileBackend: write failed: " + path_);
+  buffer_.clear();
+}
+
+std::string FileBackend::read_all() {
+  flush();
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return {};  // nothing written yet
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void FileBackend::truncate(std::size_t size) {
+  flush();
+  std::string kept = read_all();
+  if (kept.size() <= size) return;
+  kept.resize(size);
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(kept.data(), static_cast<std::streamsize>(kept.size()));
+  if (!out)
+    throw std::runtime_error("FileBackend: truncate failed: " + path_);
+}
+
+std::size_t FileBackend::durable_size() {
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  if (!in) return 0;
+  const auto at = in.tellg();
+  return at < 0 ? 0 : static_cast<std::size_t>(at);
+}
+
+void FaultyMemBackend::flush() {
+  if (faults_.partial_flush_armed) {
+    faults_.partial_flush_armed = false;
+    const std::size_t keep =
+        std::min(faults_.partial_flush_keep, buffer_.size());
+    durable_.append(buffer_.data(), keep);
+    buffer_.clear();  // the device acked; the tail is simply gone
+    return;
+  }
+  durable_.append(buffer_);
+  buffer_.clear();
+}
+
+std::string FaultyMemBackend::read_all() {
+  std::string out = durable_;
+  if (faults_.corrupt_armed) {
+    faults_.corrupt_armed = false;
+    if (faults_.corrupt_at < out.size())
+      out[faults_.corrupt_at] = static_cast<char>(
+          static_cast<std::uint8_t>(out[faults_.corrupt_at]) ^
+          faults_.corrupt_mask);
+  }
+  if (faults_.short_read_limit > 0 && out.size() > faults_.short_read_limit)
+    out.resize(faults_.short_read_limit);
+  return out;
+}
+
+void FaultyMemBackend::truncate(std::size_t size) {
+  if (durable_.size() > size) durable_.resize(size);
+}
+
+void FaultyMemBackend::crash() {
+  if (faults_.torn_tail_armed) {
+    faults_.torn_tail_armed = false;
+    const std::size_t keep = std::min(faults_.torn_tail_keep, buffer_.size());
+    durable_.append(buffer_.data(), keep);
+  }
+  buffer_.clear();
+}
+
+}  // namespace imbar::service

@@ -1,0 +1,127 @@
+// Pluggable byte storage for the service durability layer.
+//
+// The Journal and the snapshot stores (service/journal.hpp,
+// service/snapshot.hpp) never touch the filesystem directly; they
+// write through a StorageBackend, which models the only three facts a
+// crash-consistency argument needs about a device:
+//
+//   * append() buffers bytes; nothing buffered survives a crash;
+//   * flush() moves the buffered bytes into the durable prefix;
+//   * a real device can still lie — a "flushed" tail may come back
+//     torn (partial sector), short, or not at all.
+//
+// FileBackend is the production implementation (append-only file,
+// explicit flush). FaultyMemBackend is the test double: it keeps the
+// durable/buffered distinction in memory and injects exactly the lies
+// above on demand — torn final writes, partial flushes, short reads —
+// so the recovery path's detection and truncation logic is testable
+// deterministically, without a real power cut.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace imbar::service {
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Buffer `bytes` after everything appended so far. Buffered bytes
+  /// are NOT durable until flush() returns.
+  virtual void append(std::string_view bytes) = 0;
+
+  /// Make every buffered byte durable.
+  virtual void flush() = 0;
+
+  /// The durable contents, from offset 0. What a recovery sees after
+  /// a crash (buffered-but-unflushed bytes are gone by definition;
+  /// fault-injecting backends may return less).
+  [[nodiscard]] virtual std::string read_all() = 0;
+
+  /// Discard every durable byte at or beyond `size` (torn-tail
+  /// truncation on recovery). No-op if already smaller.
+  virtual void truncate(std::size_t size) = 0;
+
+  /// Durable size in bytes (excludes the unflushed buffer).
+  [[nodiscard]] virtual std::size_t durable_size() = 0;
+
+  /// Simulate losing the process: drop the unflushed buffer. File
+  /// backends flush instead (the OS page cache outlives the process;
+  /// what FileBackend buffers is our own batching, which a real crash
+  /// of a real deployment would lose — tests that need that loss use
+  /// FaultyMemBackend).
+  virtual void crash() = 0;
+};
+
+/// Append-only file storage. The file is opened lazily on first use
+/// and recreated by truncate(); read_all() flushes first so the view
+/// is self-consistent within one process.
+class FileBackend final : public StorageBackend {
+ public:
+  explicit FileBackend(std::string path);
+
+  void append(std::string_view bytes) override;
+  void flush() override;
+  [[nodiscard]] std::string read_all() override;
+  void truncate(std::size_t size) override;
+  [[nodiscard]] std::size_t durable_size() override;
+  void crash() override { flush(); }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::string buffer_;  // appended, not yet written through
+};
+
+/// In-memory backend with deterministic fault injection. The durable
+/// prefix and the unflushed buffer are explicit, so tests control
+/// exactly which bytes a simulated crash retains.
+class FaultyMemBackend final : public StorageBackend {
+ public:
+  struct Faults {
+    /// On the next crash(), keep this many bytes of the unflushed
+    /// buffer as if a final sector write tore mid-record. 0 = drop the
+    /// whole buffer (the default crash semantics).
+    std::size_t torn_tail_keep = 0;
+    bool torn_tail_armed = false;
+    /// On the next flush(), persist only this many of the buffered
+    /// bytes and silently drop the rest — a device acknowledging a
+    /// flush it did not complete.
+    std::size_t partial_flush_keep = 0;
+    bool partial_flush_armed = false;
+    /// Cap read_all() at this many bytes (a short read); 0 = no cap.
+    std::size_t short_read_limit = 0;
+    /// XOR this mask into the durable byte at `corrupt_at` on the next
+    /// read_all() — in-place rot that a checksum must catch.
+    std::size_t corrupt_at = 0;
+    std::uint8_t corrupt_mask = 0;
+    bool corrupt_armed = false;
+  };
+
+  FaultyMemBackend() = default;
+
+  void append(std::string_view bytes) override { buffer_.append(bytes); }
+  void flush() override;
+  [[nodiscard]] std::string read_all() override;
+  void truncate(std::size_t size) override;
+  [[nodiscard]] std::size_t durable_size() override { return durable_.size(); }
+  void crash() override;
+
+  Faults& faults() noexcept { return faults_; }
+  [[nodiscard]] std::size_t buffered_size() const noexcept {
+    return buffer_.size();
+  }
+  /// Raw durable bytes (test assertions).
+  [[nodiscard]] const std::string& durable() const noexcept { return durable_; }
+
+ private:
+  std::string durable_;
+  std::string buffer_;
+  Faults faults_{};
+};
+
+}  // namespace imbar::service

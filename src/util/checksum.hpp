@@ -1,0 +1,58 @@
+// CRC-32 (ISO-HDLC polynomial, the zlib/PNG variant) for the service
+// durability layer's record framing.
+//
+// Every journal record and snapshot blob carries a checksum of its
+// payload so recovery can tell a torn tail or a bit-flipped region
+// from valid data (service/journal.hpp). Software table-driven — the
+// durability layer checksums kilobytes on the recovery path, not the
+// hot path, so portability beats hardware CRC instructions here.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace imbar {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental update: feed `crc32_init()` (or a previous return value)
+/// plus the next chunk.
+[[nodiscard]] constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+[[nodiscard]] inline std::uint32_t crc32_update(std::uint32_t state,
+                                                std::string_view bytes) noexcept {
+  for (const char ch : bytes) {
+    const auto b = static_cast<std::uint8_t>(ch);
+    state = detail::kCrc32Table[(state ^ b) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of `bytes` (matches zlib's crc32(0, ...)).
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes) noexcept {
+  return crc32_final(crc32_update(crc32_init(), bytes));
+}
+
+}  // namespace imbar

@@ -1,0 +1,399 @@
+// Durability primitives under deterministic storage lies: frame
+// round-trips, torn tails, partial flushes, short reads, bit rot,
+// generation framing, and the snapshot codec. Every corruption class
+// must be *detected and truncated* at open — never silently replayed.
+// Runs under `ctest -L recovery`.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/journal.hpp"
+#include "service/snapshot.hpp"
+#include "service/storage.hpp"
+#include "util/checksum.hpp"
+
+namespace imbar::service {
+namespace {
+
+JournalRecord arrive_rec(std::uint64_t seq, std::uint64_t group,
+                         std::uint32_t member) {
+  JournalRecord r;
+  r.type = JournalRecord::Type::kArrive;
+  r.seq = seq;
+  r.group = group;
+  r.member = member;
+  r.t_ns = 1000 + seq;
+  return r;
+}
+
+JournalRecord create_rec(std::uint64_t seq, std::uint64_t group) {
+  JournalRecord r;
+  r.type = JournalRecord::Type::kCreate;
+  r.seq = seq;
+  r.group = group;
+  r.participants = 4;
+  r.quorum = 2;
+  r.budget_ns = 0;
+  r.hysteresis = 1;
+  r.group_class = "quorum";
+  return r;
+}
+
+TEST(ChecksumTest, Crc32KnownVector) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST(JournalTest, RoundTripAllRecordTypes) {
+  auto backend = std::make_shared<FaultyMemBackend>();
+  {
+    Journal j(backend);
+    const JournalOpenReport rep = j.open(4);
+    EXPECT_EQ(rep.records, 0u);
+    EXPECT_EQ(rep.generation, 1u);
+    j.append(create_rec(1, 7));
+    j.append(arrive_rec(2, 7, 3));
+    JournalRecord all;
+    all.type = JournalRecord::Type::kArriveAll;
+    all.seq = 3;
+    all.group = 7;
+    all.t_ns = 42;
+    j.append(all);
+    JournalRecord poll;
+    poll.type = JournalRecord::Type::kPoll;
+    poll.seq = 4;
+    poll.group = 2;  // shard index for polls
+    poll.t_ns = 43;
+    j.append(poll);
+    JournalRecord destroy;
+    destroy.type = JournalRecord::Type::kDestroy;
+    destroy.seq = 5;
+    destroy.group = 7;
+    j.append(destroy);
+    j.flush();
+  }
+  Journal j2(backend);
+  const JournalOpenReport rep = j2.open(4);
+  EXPECT_EQ(rep.records, 5u);
+  EXPECT_EQ(rep.generations, 1u);
+  EXPECT_EQ(rep.last_seq, 5u);
+  EXPECT_EQ(rep.truncated_records, 0u);
+  EXPECT_EQ(rep.generation, 2u);
+  ASSERT_EQ(j2.records().size(), 5u);
+  const JournalRecord& c = j2.records()[0];
+  EXPECT_EQ(c.type, JournalRecord::Type::kCreate);
+  EXPECT_EQ(c.group, 7u);
+  EXPECT_EQ(c.participants, 4u);
+  EXPECT_EQ(c.quorum, 2u);
+  EXPECT_EQ(c.group_class, "quorum");
+  const JournalRecord& a = j2.records()[1];
+  EXPECT_EQ(a.type, JournalRecord::Type::kArrive);
+  EXPECT_EQ(a.member, 3u);
+  EXPECT_EQ(a.t_ns, 1002u);
+  EXPECT_EQ(j2.records()[4].type, JournalRecord::Type::kDestroy);
+}
+
+TEST(JournalTest, TornTailTruncatedNotReplayed) {
+  auto backend = std::make_shared<FaultyMemBackend>();
+  {
+    Journal j(backend);
+    j.open(2);
+    j.append(arrive_rec(1, 0, 0));
+    j.append(arrive_rec(2, 0, 1));
+    j.flush();
+    // A final record whose sector write tears mid-frame at the crash:
+    // keep only 5 bytes of it.
+    backend->append(Journal::encode(arrive_rec(3, 0, 2)));
+    backend->faults().torn_tail_keep = 5;
+    backend->faults().torn_tail_armed = true;
+    backend->crash();
+  }
+  const std::size_t torn_size = backend->durable_size();
+  Journal j2(backend);
+  const JournalOpenReport rep = j2.open(2);
+  EXPECT_EQ(rep.records, 2u);  // the torn record is gone, prefix intact
+  EXPECT_EQ(rep.last_seq, 2u);
+  EXPECT_EQ(rep.truncated_records, 1u);
+  EXPECT_EQ(rep.truncated_bytes, 5u);
+  // open() dropped the 5 torn bytes, then appended its own generation
+  // frame on the clean prefix.
+  JournalRecord gen;
+  gen.type = JournalRecord::Type::kGeneration;
+  gen.generation = 2;
+  gen.shards = 2;
+  EXPECT_EQ(backend->durable_size(),
+            torn_size - 5 + Journal::encode(gen).size());
+}
+
+TEST(JournalTest, PartialFlushChecksumCaught) {
+  auto backend = std::make_shared<FaultyMemBackend>();
+  Journal j(backend);
+  j.open(2);
+  j.append(arrive_rec(1, 0, 0));
+  j.flush();
+  const std::size_t good = backend->durable_size();
+  // The device acknowledges the next flush but persists only part of
+  // the record — a lying flush, not a torn append.
+  const std::string frame = Journal::encode(arrive_rec(2, 0, 1));
+  backend->append(frame);
+  backend->faults().partial_flush_keep = frame.size() - 3;
+  backend->faults().partial_flush_armed = true;
+  backend->flush();
+  backend->crash();
+
+  Journal j2(backend);
+  const JournalOpenReport rep = j2.open(2);
+  EXPECT_EQ(rep.records, 1u);
+  EXPECT_EQ(rep.truncated_records, 1u);
+  // open() truncated the lying flush's fragment, then appended its own
+  // generation frame on the clean prefix.
+  JournalRecord gen;
+  gen.type = JournalRecord::Type::kGeneration;
+  gen.generation = 2;
+  gen.shards = 2;
+  EXPECT_EQ(backend->durable_size(), good + Journal::encode(gen).size());
+}
+
+TEST(JournalTest, BitFlipStopsReplayAtCorruption) {
+  auto backend = std::make_shared<FaultyMemBackend>();
+  Journal j(backend);
+  j.open(2);
+  for (std::uint64_t s = 1; s <= 4; ++s) j.append(arrive_rec(s, 0, 0));
+  j.flush();
+  // Flip one payload bit of the third op record (after the generation
+  // frame + two good records).
+  const std::size_t gen_size = backend->durable_size() -
+                               4 * Journal::encode(arrive_rec(1, 0, 0)).size();
+  const std::size_t rec_size = Journal::encode(arrive_rec(1, 0, 0)).size();
+  backend->faults().corrupt_at = gen_size + 2 * rec_size + 12;  // payload byte
+  backend->faults().corrupt_mask = 0x40;
+  backend->faults().corrupt_armed = true;
+  backend->crash();
+
+  Journal j2(backend);
+  const JournalOpenReport rep = j2.open(2);
+  // Replay stops at the flipped record; it and everything after it are
+  // truncated, never replayed as garbage.
+  EXPECT_EQ(rep.records, 2u);
+  EXPECT_EQ(rep.last_seq, 2u);
+  EXPECT_EQ(rep.truncated_records, 1u);
+  EXPECT_EQ(rep.truncated_bytes, 2 * rec_size);
+}
+
+TEST(JournalTest, ShortReadTruncatesTail) {
+  auto backend = std::make_shared<FaultyMemBackend>();
+  Journal j(backend);
+  j.open(2);
+  for (std::uint64_t s = 1; s <= 3; ++s) j.append(arrive_rec(s, 0, 0));
+  j.flush();
+  const std::size_t rec_size = Journal::encode(arrive_rec(1, 0, 0)).size();
+  // The device returns fewer bytes than it acknowledged: cut the read
+  // mid-way through the final record.
+  backend->faults().short_read_limit = backend->durable_size() - rec_size + 2;
+  backend->crash();
+
+  Journal j2(backend);
+  const JournalOpenReport rep = j2.open(2);
+  EXPECT_EQ(rep.records, 2u);
+  EXPECT_EQ(rep.truncated_records, 1u);
+}
+
+TEST(JournalTest, SequenceRegressionTruncates) {
+  // A duplicated tail (backup restored over a longer journal) shows up
+  // as a non-monotone seq — not a valid op stream past that point.
+  auto backend = std::make_shared<FaultyMemBackend>();
+  {
+    Journal j(backend);
+    j.open(2);
+    j.append(arrive_rec(1, 0, 0));
+    j.append(arrive_rec(2, 0, 1));
+    j.flush();
+  }
+  backend->append(Journal::encode(arrive_rec(2, 0, 1)));  // replayed frame
+  backend->flush();
+  Journal j2(backend);
+  const JournalOpenReport rep = j2.open(2);
+  EXPECT_EQ(rep.records, 2u);
+  EXPECT_EQ(rep.truncated_records, 1u);
+}
+
+TEST(JournalTest, OpsBeforeGenerationTruncated) {
+  auto backend = std::make_shared<FaultyMemBackend>();
+  backend->append(Journal::encode(arrive_rec(1, 0, 0)));
+  backend->flush();
+  Journal j(backend);
+  const JournalOpenReport rep = j.open(2);
+  EXPECT_EQ(rep.records, 0u);
+  EXPECT_EQ(rep.truncated_records, 1u);
+}
+
+TEST(JournalTest, ShardCountMismatchThrows) {
+  auto backend = std::make_shared<FaultyMemBackend>();
+  {
+    Journal j(backend);
+    j.open(4);
+    j.append(arrive_rec(1, 0, 0));
+    j.flush();
+  }
+  Journal j2(backend);
+  EXPECT_THROW(j2.open(8), std::runtime_error);
+}
+
+TEST(JournalTest, GenerationRegressionThrows) {
+  auto backend = std::make_shared<FaultyMemBackend>();
+  JournalRecord g1;
+  g1.type = JournalRecord::Type::kGeneration;
+  g1.generation = 5;
+  g1.shards = 2;
+  JournalRecord g2 = g1;
+  g2.generation = 3;  // goes backwards: structural corruption
+  backend->append(Journal::encode(g1));
+  backend->append(Journal::encode(g2));
+  backend->flush();
+  Journal j(backend);
+  EXPECT_THROW(j.open(2), std::runtime_error);
+}
+
+TEST(JournalTest, GenerationsAdvanceAcrossIncarnations) {
+  auto backend = std::make_shared<FaultyMemBackend>();
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    Journal j(backend);
+    const JournalOpenReport rep = j.open(2);
+    EXPECT_EQ(rep.generation, i);
+    EXPECT_EQ(rep.generations, i - 1);
+    j.flush();
+  }
+}
+
+TEST(JournalTest, OpenTwiceThrows) {
+  Journal j(std::make_shared<FaultyMemBackend>());
+  j.open(1);
+  EXPECT_THROW(j.open(1), std::logic_error);
+}
+
+TEST(JournalTest, AppendBeforeOpenThrows) {
+  Journal j(std::make_shared<FaultyMemBackend>());
+  EXPECT_THROW(j.append(arrive_rec(1, 0, 0)), std::logic_error);
+}
+
+TEST(FileBackendTest, PersistsAcrossInstances) {
+  const std::string path = ::testing::TempDir() + "imbar_journal_test.bin";
+  std::remove(path.c_str());
+  {
+    Journal j(std::make_shared<FileBackend>(path));
+    j.open(2);
+    j.append(arrive_rec(1, 9, 0));
+    j.flush();
+  }
+  Journal j2(std::make_shared<FileBackend>(path));
+  const JournalOpenReport rep = j2.open(2);
+  EXPECT_EQ(rep.records, 1u);
+  EXPECT_EQ(j2.records()[0].group, 9u);
+  std::remove(path.c_str());
+}
+
+ShardSnapshot sample_snapshot() {
+  ShardSnapshot s;
+  s.shard = 1;
+  s.last_seq = 99;
+  s.epoch_counter = 12;
+  s.counters.arrivals = 40;
+  s.counters.releases_quorum = 3;
+  s.counters.owed_outstanding = 6;
+  ClassSnapshot cls;
+  cls.name = "quorum";
+  cls.groups = 2;
+  cls.participants = 8;
+  s.classes.push_back(cls);
+  GroupSnapshot g;
+  g.id = 5;
+  g.epoch = 3;
+  g.phase = 7;
+  g.participants = 4;
+  g.group_class = "quorum";
+  g.quorum = 2;
+  g.budget_ns = 0;
+  g.residency = 2;  // Active
+  g.owed = {0, 0, 3, 3};
+  g.owed_total = 6;
+  g.applied.push_back({1, 123456});
+  g.backlog.push_back({2, 123999});
+  s.groups.push_back(g);
+  s.ready = {9, 13};
+  s.idle = {17};
+  return s;
+}
+
+TEST(SnapshotCodecTest, RoundTrip) {
+  const ShardSnapshot s = sample_snapshot();
+  const std::string blob = encode_shard_snapshot(s);
+  ShardSnapshot out;
+  ASSERT_TRUE(decode_shard_snapshot(blob, out));
+  EXPECT_EQ(out.shard, 1u);
+  EXPECT_EQ(out.last_seq, 99u);
+  EXPECT_EQ(out.epoch_counter, 12u);
+  EXPECT_EQ(out.counters.arrivals, 40u);
+  EXPECT_EQ(out.counters.owed_outstanding, 6u);
+  ASSERT_EQ(out.classes.size(), 1u);
+  EXPECT_EQ(out.classes[0].name, "quorum");
+  ASSERT_EQ(out.groups.size(), 1u);
+  EXPECT_EQ(out.groups[0].id, 5u);
+  EXPECT_EQ(out.groups[0].phase, 7u);
+  EXPECT_EQ(out.groups[0].owed, (std::vector<std::uint32_t>{0, 0, 3, 3}));
+  ASSERT_EQ(out.groups[0].applied.size(), 1u);
+  EXPECT_EQ(out.groups[0].applied[0].member, 1u);
+  EXPECT_EQ(out.groups[0].applied[0].submit_ns, 123456u);
+  ASSERT_EQ(out.groups[0].backlog.size(), 1u);
+  EXPECT_EQ(out.ready, (std::vector<GroupId>{9, 13}));
+  EXPECT_EQ(out.idle, (std::vector<GroupId>{17}));
+}
+
+TEST(SnapshotCodecTest, EveryByteFlipIsDetectedOrEquivalent) {
+  // Flip each byte of the frame in turn: decode must either fail (CRC
+  // or structure) — it must never crash or silently accept a frame
+  // whose payload bytes changed.
+  const std::string blob = encode_shard_snapshot(sample_snapshot());
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    std::string bad = blob;
+    bad[i] = static_cast<char>(bad[i] ^ 0x20);
+    ShardSnapshot out;
+    EXPECT_FALSE(decode_shard_snapshot(bad, out)) << "byte " << i;
+  }
+}
+
+TEST(SnapshotCodecTest, TruncationAndTrailingBytesRejected) {
+  const std::string blob = encode_shard_snapshot(sample_snapshot());
+  ShardSnapshot out;
+  for (std::size_t keep : {std::size_t(0), std::size_t(4), blob.size() - 1})
+    EXPECT_FALSE(decode_shard_snapshot(blob.substr(0, keep), out));
+  EXPECT_FALSE(decode_shard_snapshot(blob + "x", out));
+}
+
+TEST(SnapshotStoreTest, MemAndFileStoresRoundTrip) {
+  MemSnapshotStore mem;
+  EXPECT_TRUE(mem.load(3).empty());
+  mem.save(3, "abc");
+  EXPECT_EQ(mem.load(3), "abc");
+  mem.save(3, "def");
+  EXPECT_EQ(mem.load(3), "def");
+  mem.blob(3)[0] = 'X';
+  EXPECT_EQ(mem.load(3), "Xef");
+
+  const std::string prefix = ::testing::TempDir() + "imbar_snap_test";
+  FileSnapshotStore fs(prefix);
+  EXPECT_TRUE(fs.load(0).empty());
+  fs.save(0, "hello");
+  EXPECT_EQ(fs.load(0), "hello");
+  fs.save(0, "hi");  // overwritten whole, not appended
+  EXPECT_EQ(fs.load(0), "hi");
+  std::remove(fs.path_for(0).c_str());
+}
+
+}  // namespace
+}  // namespace imbar::service

@@ -312,6 +312,55 @@ TEST(ServiceSlots, IdleHoldersAreEvictedForNewArrivals) {
   EXPECT_NE(svc.completion_log().find("E g0"), std::string::npos);
 }
 
+TEST(ServiceSlots, DestroyWhileQueuedNeitherLeaksSlotNorStarves) {
+  // Starvation edge: a group destroyed while sitting in the shard's
+  // FIFO ready queue must drop out cleanly — its backlog cancels, the
+  // slot is NOT granted to the corpse, and the next queued group is
+  // served as if the destroyed one had never queued.
+  auto o = small_opts(/*shards=*/1, /*slots=*/1, /*workers=*/2,
+                      /*record_log=*/true);
+  BarrierService svc(o);
+  GroupOptions go;
+  go.participants = 2;
+  for (GroupId g = 0; g < 3; ++g) svc.create_group(g, go);
+  svc.arrive(0, 0);  // g0 takes the slot
+  svc.arrive(1, 0);  // g1 queues
+  svc.arrive(2, 0);  // g2 queues behind g1
+  svc.drain();
+  EXPECT_EQ(svc.counters().ready_enqueues, 2u);
+
+  svc.destroy_group(1);  // g1 dies while queued
+  svc.arrive(0, 1);      // g0 releases; the slot must skip g1, serve g2
+  svc.arrive(2, 1);
+  svc.drain();
+  const ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.releases_strict, 2u);  // g0 and g2; g1 never released
+  EXPECT_EQ(c.cancelled, 1u);        // g1's queued arrival
+  EXPECT_EQ(c.groups_destroyed, 1u);
+
+  const std::string log = svc.completion_log();
+  const LogAudit audit = audit_completion_log(log);
+  EXPECT_TRUE(audit.violations.empty())
+      << "first violation: "
+      << (audit.violations.empty() ? "" : audit.violations.front());
+  EXPECT_EQ(log.find("G g1"), std::string::npos)
+      << "slot granted to a destroyed group";
+  EXPECT_NE(log.find("G g2"), std::string::npos) << "next waiter starved";
+
+  // The slot was returned, not leaked: a fresh group can still get it.
+  GroupOptions solo;
+  solo.participants = 1;
+  svc.create_group(3, solo);
+  svc.arrive(3, 0);
+  // Deadline-budgeted teardown: a leaked slot would wedge this drain,
+  // and the diagnostic names the stuck shard instead of timing out
+  // the whole suite.
+  const auto stuck = svc.drain_for(std::chrono::seconds(30));
+  ASSERT_FALSE(stuck.has_value())
+      << "teardown stuck with " << stuck->pending_ops << " pending op(s)";
+  EXPECT_EQ(svc.counters().releases_strict, 3u);
+}
+
 TEST(ServiceBulk, ArriveAllReleasesOnePhase) {
   BarrierService svc(small_opts());
   GroupOptions go;
@@ -366,6 +415,39 @@ TEST(ServiceAudit, MixedWorkloadLogIsConsistent) {
   EXPECT_EQ(audit.releases_strict, c.releases_strict);
   EXPECT_EQ(audit.releases_quorum, c.releases_quorum);
   EXPECT_EQ(audit.lates, c.completions_late);
+}
+
+TEST(ServiceAudit, EpochRegressionIsFlagged) {
+  // Regression guard for the per-group epoch-monotonicity check: a
+  // recovery bug that re-created a group under a stale epoch would
+  // alias its (group, epoch, phase) completions with the previous
+  // incarnation's, so the audit must refuse non-increasing epochs.
+  const std::string ok =
+      "s0 C g1 e1 n2 q0 class=a\n"
+      "s0 D g1 e1 c0\n"
+      "s0 C g1 e2 n2 q0 class=a\n"
+      "s0 D g1 e2 c0\n";
+  EXPECT_TRUE(audit_completion_log(ok).violations.empty());
+
+  const std::string repeated =
+      "s0 C g1 e1 n2 q0 class=a\n"
+      "s0 D g1 e1 c0\n"
+      "s0 C g1 e1 n2 q0 class=a\n";
+  const LogAudit rep = audit_completion_log(repeated);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations.front().find("epoch not strictly increasing"),
+            std::string::npos)
+      << rep.violations.front();
+
+  const std::string regressed =
+      "s0 C g2 e5 n2 q0 class=a\n"
+      "s0 D g2 e5 c0\n"
+      "s0 C g2 e3 n2 q0 class=a\n";
+  const LogAudit reg = audit_completion_log(regressed);
+  ASSERT_EQ(reg.violations.size(), 1u);
+  EXPECT_NE(reg.violations.front().find("epoch not strictly increasing"),
+            std::string::npos)
+      << reg.violations.front();
 }
 
 TEST(ServiceStats, PerClassAccountingMatches) {
@@ -448,6 +530,31 @@ TEST(ServiceJson, SoakDocumentValidates) {
   ASSERT_EQ(classes->array.size(), 1u);
   EXPECT_EQ(classes->array[0].find("class")->string, "doc");
   EXPECT_EQ(classes->array[0].find("count")->number, 2.0);
+}
+
+TEST(ServiceLifecycle, DrainForNamesTheStuckShard) {
+  // A wedged completion callback must turn a bounded drain into a
+  // per-shard diagnostic, not a suite-wide hang: drain_for() gives up
+  // after its budget and reports where the backlog is queued.
+  BarrierService svc(small_opts(/*shards=*/2, /*slots=*/4, /*workers=*/1));
+  std::atomic<bool> unblock{false};
+  GroupOptions go;
+  go.participants = 1;
+  go.on_complete = [&](const Completion&) {
+    while (!unblock.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  svc.create_group(0, go);
+  svc.arrive(0, 0);  // releases instantly; the callback wedges the worker
+  svc.arrive(0, 0);  // backlog behind the wedged op
+  const auto diag = svc.drain_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_GE(diag->pending_ops, 1u);
+  EXPECT_EQ(diag->shard_inbox_depths.size(), 2u);
+
+  unblock.store(true, std::memory_order_release);
+  EXPECT_FALSE(svc.drain_for(std::chrono::seconds(60)).has_value());
+  EXPECT_EQ(svc.counters().releases_strict, 2u);
 }
 
 TEST(ServiceLifecycle, DestructorDrainsOutstandingOps) {

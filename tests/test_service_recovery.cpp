@@ -1,0 +1,443 @@
+// BarrierService crash recovery: snapshot round-trips through live
+// state, replay rebuilds counters and ledgers exactly, corrupt
+// snapshots fall back to full replay, both resettle policies settle
+// in-flight arrivals correctly, and the recovery metrics/telemetry
+// exporters emit what the schema validator demands. Runs under
+// `ctest -L recovery`.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/micro_harness.hpp"
+#include "service/barrier_service.hpp"
+#include "service/completion_log.hpp"
+#include "service/service_metrics.hpp"
+
+namespace imbar::service {
+namespace {
+
+struct Durable {
+  std::shared_ptr<FaultyMemBackend> journal =
+      std::make_shared<FaultyMemBackend>();
+  std::shared_ptr<MemSnapshotStore> snapshots =
+      std::make_shared<MemSnapshotStore>();
+
+  BarrierService::Options options(std::uint64_t snapshot_interval = 0,
+                                  std::size_t shards = 2,
+                                  std::size_t workers = 2) const {
+    BarrierService::Options o;
+    o.shards = shards;
+    o.slots = 8;
+    o.workers = workers;
+    o.record_log = true;
+    o.durability.journal = journal;
+    o.durability.snapshots = snapshots;
+    o.durability.snapshot_interval = snapshot_interval;
+    return o;
+  }
+};
+
+/// Thread-safe completion tally (shard workers deliver concurrently).
+struct Tally {
+  std::mutex mu;
+  std::vector<Completion> all;
+  CompletionFn sink() {
+    return [this](const Completion& c) {
+      std::lock_guard<std::mutex> lk(mu);
+      all.push_back(c);
+    };
+  }
+  std::size_t count(CompletionKind k) {
+    std::lock_guard<std::mutex> lk(mu);
+    std::size_t n = 0;
+    for (const Completion& c : all)
+      if (c.kind == k) ++n;
+    return n;
+  }
+};
+
+/// Accumulates per-shard log lines across incarnations and merges them
+/// the way CompletionLog::merged() would — what a crash harness audits.
+struct LogCapture {
+  std::vector<std::vector<std::string>> lines;
+  explicit LogCapture(std::size_t shards) : lines(shards) {}
+  void capture(const BarrierService& svc) {
+    for (std::size_t s = 0; s < lines.size(); ++s) {
+      const std::vector<std::string> seg = svc.shard_log_lines(s);
+      lines[s].insert(lines[s].end(), seg.begin(), seg.end());
+    }
+  }
+  [[nodiscard]] std::string merged() const {
+    std::string out;
+    for (const auto& shard : lines)
+      for (const std::string& l : shard) {
+        out += l;
+        out += '\n';
+      }
+    return out;
+  }
+};
+
+bool counters_equal(const ServiceCounters& a, const ServiceCounters& b) {
+  return a.groups_created == b.groups_created &&
+         a.groups_destroyed == b.groups_destroyed &&
+         a.arrivals == b.arrivals &&
+         a.completions_strict == b.completions_strict &&
+         a.completions_quorum == b.completions_quorum &&
+         a.completions_late == b.completions_late &&
+         a.cancelled == b.cancelled && a.rejected == b.rejected &&
+         a.releases_strict == b.releases_strict &&
+         a.releases_quorum == b.releases_quorum &&
+         a.slot_grants == b.slot_grants &&
+         a.slot_evictions == b.slot_evictions &&
+         a.slot_parks == b.slot_parks &&
+         a.ready_enqueues == b.ready_enqueues && a.polls == b.polls &&
+         a.owed_outstanding == b.owed_outstanding;
+}
+
+/// A mixed workload: strict groups released twice, one quorum group
+/// left with owed stragglers, one group left mid-phase.
+void run_prefix_workload(BarrierService& svc, const CompletionFn& sink) {
+  for (GroupId g = 0; g < 6; ++g) {
+    GroupOptions o;
+    o.participants = 3;
+    o.group_class = g == 0 ? "quorum" : "strict";
+    if (g == 0) {
+      o.quorum.quorum = 2;
+      o.quorum.deadline_budget = std::chrono::nanoseconds(0);
+    }
+    o.on_complete = sink;
+    svc.create_group(g, o);
+  }
+  for (std::size_t round = 0; round < 2; ++round)
+    for (GroupId g = 1; g < 6; ++g) svc.arrive_all(g);
+  // Quorum group: members 0,1 release each phase; member 2 goes owed.
+  for (std::size_t round = 0; round < 2; ++round) {
+    svc.arrive(0, 0);
+    svc.arrive(0, 1);
+  }
+  // Leave group 5 mid-phase: two of three arrived, in flight at crash.
+  svc.arrive(5, 0);
+  svc.arrive(5, 1);
+}
+
+TEST(ServiceRecoveryTest, PreconditionsEnforced) {
+  {
+    BarrierService svc;  // no durability configured
+    EXPECT_THROW(svc.recover(), std::logic_error);
+    EXPECT_FALSE(svc.last_recovery().performed);
+  }
+  Durable d;
+  {
+    BarrierService svc(d.options());
+    svc.recover();
+    EXPECT_THROW(svc.recover(), std::logic_error);  // twice
+  }
+  {
+    BarrierService svc(d.options());
+    GroupOptions o;
+    o.participants = 1;
+    svc.create_group(1, o);
+    EXPECT_THROW(svc.recover(), std::logic_error);  // op already submitted
+    svc.drain();
+  }
+}
+
+TEST(ServiceRecoveryTest, ReplayRebuildsCountersAndLedgersExactly) {
+  Durable d;
+  Tally tally;
+  LogCapture logs(2);
+  ServiceCounters before;
+  std::uint64_t deliveries_before = 0;
+  {
+    BarrierService svc(d.options());
+    run_prefix_workload(svc, tally.sink());
+    svc.drain();
+    before = svc.counters();
+    logs.capture(svc);
+  }
+  d.journal->crash();
+  deliveries_before = tally.all.size();
+
+  BarrierService svc(d.options());
+  RecoverOptions ro;
+  ro.on_complete = tally.sink();
+  const RecoveryReport& rep = svc.recover(ro);
+  EXPECT_TRUE(rep.performed);
+  EXPECT_EQ(rep.journal_generation, 2u);
+  EXPECT_GT(rep.replayed_ops, 0u);
+  EXPECT_EQ(rep.truncated_records, 0u);
+  // Quiet replay: counters identical, but nothing was re-delivered and
+  // no log lines were re-emitted.
+  EXPECT_TRUE(counters_equal(before, svc.counters()));
+  EXPECT_EQ(tally.all.size(), deliveries_before);
+  EXPECT_TRUE(svc.completion_log().empty());
+
+  // The restored state is live: finish group 5's phase, reconcile the
+  // quorum straggler, destroy everything.
+  svc.arrive(5, 2);
+  svc.arrive(0, 2);
+  svc.arrive(0, 2);
+  svc.drain();
+  EXPECT_EQ(svc.counters().owed_outstanding, 0u);
+  for (GroupId g = 0; g < 6; ++g) svc.destroy_group(g);
+  svc.drain();
+  const ServiceCounters after = svc.counters();
+  EXPECT_EQ(after.groups_destroyed, 6u);
+  EXPECT_EQ(after.cancelled, 0u);  // every waiter settled before destroy
+  // Audit the merged pre-crash + post-recovery log, the artifact the
+  // crash-consistency claim is stated over.
+  logs.capture(svc);
+  const LogAudit audit = audit_completion_log(logs.merged());
+  EXPECT_TRUE(audit.violations.empty())
+      << (audit.violations.empty() ? "" : audit.violations.front());
+  EXPECT_EQ(audit.creates, 6u);
+  EXPECT_EQ(audit.destroys, 6u);
+}
+
+TEST(ServiceRecoveryTest, SnapshotsBoundReplay) {
+  Durable d;
+  Tally tally;
+  ServiceCounters before;
+  {
+    BarrierService svc(d.options(/*snapshot_interval=*/4));
+    run_prefix_workload(svc, tally.sink());
+    svc.drain();
+    before = svc.counters();
+  }
+  d.journal->crash();
+
+  BarrierService svc(d.options(/*snapshot_interval=*/4));
+  const RecoveryReport& rep = svc.recover();
+  EXPECT_GT(rep.snapshots_loaded, 0u);
+  EXPECT_EQ(rep.snapshot_fallbacks, 0u);
+  EXPECT_GT(rep.skipped_ops, 0u);  // the snapshot covered a prefix
+  EXPECT_TRUE(counters_equal(before, svc.counters()));
+  svc.drain();
+}
+
+TEST(ServiceRecoveryTest, CorruptSnapshotFallsBackToFullReplay) {
+  Durable d;
+  Tally tally;
+  ServiceCounters before;
+  {
+    BarrierService svc(d.options(/*snapshot_interval=*/4));
+    run_prefix_workload(svc, tally.sink());
+    svc.drain();
+    before = svc.counters();
+  }
+  d.journal->crash();
+  // Rot one byte in every shard's snapshot blob: all must be detected.
+  for (std::size_t s = 0; s < 2; ++s) {
+    std::string& blob = d.snapshots->blob(s);
+    if (!blob.empty()) blob[blob.size() / 2] ^= 0x10;
+  }
+
+  BarrierService svc(d.options(/*snapshot_interval=*/4));
+  const RecoveryReport& rep = svc.recover();
+  EXPECT_GT(rep.snapshot_fallbacks, 0u);
+  EXPECT_EQ(rep.skipped_ops, 0u);  // nothing trusted, everything replayed
+  EXPECT_TRUE(counters_equal(before, svc.counters()));
+  svc.drain();
+}
+
+TEST(ServiceRecoveryTest, ReapplyDeliversInFlightArrivalsOnce) {
+  Durable d;
+  Tally tally;
+  {
+    BarrierService svc(d.options());
+    GroupOptions o;
+    o.participants = 3;
+    o.on_complete = tally.sink();
+    svc.create_group(9, o);
+    svc.arrive(9, 0);
+    svc.arrive(9, 1);
+    svc.drain();
+  }
+  d.journal->crash();
+  EXPECT_EQ(tally.all.size(), 0u);  // phase never released pre-crash
+
+  BarrierService svc(d.options());
+  RecoverOptions ro;
+  ro.on_complete = tally.sink();
+  svc.recover(ro);
+  svc.arrive(9, 2);
+  svc.drain();
+  // The restored waiters and the new arrival deliver exactly once each.
+  EXPECT_EQ(tally.count(CompletionKind::kReleased), 3u);
+  EXPECT_EQ(tally.all.size(), 3u);
+  EXPECT_EQ(svc.counters().completions_strict, 3u);
+}
+
+TEST(ServiceRecoveryTest, CancelPolicySettlesInFlightAsCancelled) {
+  Durable d;
+  Tally tally;
+  LogCapture logs(2);
+  {
+    BarrierService svc(d.options());
+    GroupOptions o;
+    o.participants = 3;
+    o.on_complete = tally.sink();
+    svc.create_group(9, o);
+    svc.arrive(9, 0);
+    svc.arrive(9, 1);
+    svc.drain();
+    logs.capture(svc);
+  }
+  d.journal->crash();
+
+  BarrierService svc(d.options());
+  RecoverOptions ro;
+  ro.resettle = ResettlePolicy::kCancel;
+  ro.on_complete = tally.sink();
+  const RecoveryReport& rep = svc.recover(ro);
+  EXPECT_EQ(rep.cancelled_on_recovery, 2u);
+  EXPECT_EQ(tally.count(CompletionKind::kCancelled), 2u);
+  EXPECT_EQ(svc.counters().cancelled, 2u);
+  // The cancelled members may legally re-arrive; the phase needs all
+  // three again.
+  svc.arrive(9, 0);
+  svc.arrive(9, 1);
+  svc.arrive(9, 2);
+  svc.drain();
+  EXPECT_EQ(tally.count(CompletionKind::kReleased), 3u);
+  // The K line is part of the recovered incarnation's log, and the
+  // merged-log audit accepts the re-arrivals because of it.
+  logs.capture(svc);
+  const std::string log = logs.merged();
+  EXPECT_NE(log.find(" K g9 c2"), std::string::npos) << log;
+  const LogAudit audit = audit_completion_log(log);
+  EXPECT_TRUE(audit.violations.empty())
+      << (audit.violations.empty() ? "" : audit.violations.front());
+  EXPECT_EQ(audit.recovery_cancels, 2u);
+}
+
+TEST(ServiceRecoveryTest, OwedLedgerSurvivesCrash) {
+  Durable d;
+  Tally tally;
+  {
+    BarrierService svc(d.options());
+    GroupOptions o;
+    o.participants = 4;
+    o.quorum.quorum = 2;
+    o.quorum.deadline_budget = std::chrono::nanoseconds(0);
+    o.on_complete = tally.sink();
+    svc.create_group(3, o);
+    for (std::size_t round = 0; round < 3; ++round) {
+      svc.arrive(3, 0);
+      svc.arrive(3, 1);
+    }
+    svc.drain();
+    EXPECT_EQ(svc.counters().owed_outstanding, 6u);  // 2 stragglers x 3
+  }
+  d.journal->crash();
+
+  BarrierService svc(d.options());
+  RecoverOptions ro;
+  ro.on_complete = tally.sink();
+  svc.recover(ro);
+  EXPECT_EQ(svc.counters().owed_outstanding, 6u);
+  EXPECT_EQ(svc.counters().releases_quorum, 3u);
+  for (std::size_t round = 0; round < 3; ++round) {
+    svc.arrive(3, 2);
+    svc.arrive(3, 3);
+  }
+  svc.drain();
+  EXPECT_EQ(svc.counters().owed_outstanding, 0u);
+  EXPECT_EQ(tally.count(CompletionKind::kLate), 6u);
+}
+
+TEST(ServiceRecoveryTest, TornJournalTailSurfacesInReport) {
+  Durable d;
+  {
+    BarrierService svc(d.options());
+    GroupOptions o;
+    o.participants = 1;
+    svc.create_group(1, o);
+    svc.arrive(1, 0);
+    svc.drain();
+  }
+  // Crash tears the last durable frame: chop bytes off the journal.
+  d.journal->crash();
+  d.journal->truncate(d.journal->durable_size() - 3);
+
+  BarrierService svc(d.options());
+  const RecoveryReport& rep = svc.recover();
+  EXPECT_EQ(rep.truncated_records, 1u);
+  EXPECT_GT(rep.truncated_bytes, 0u);
+  // The arrive record was torn; only the create survives.
+  EXPECT_EQ(svc.counters().groups_created, 1u);
+  EXPECT_EQ(svc.counters().arrivals, 0u);
+  svc.drain();
+}
+
+TEST(ServiceRecoveryTest, MetricsFoldAndSoakDocument) {
+  Durable d;
+  Tally tally;
+  {
+    BarrierService svc(d.options(/*snapshot_interval=*/4));
+    run_prefix_workload(svc, tally.sink());
+    svc.drain();
+  }
+  d.journal->crash();
+
+  BarrierService svc(d.options(/*snapshot_interval=*/4));
+  RecoverOptions ro;
+  ro.on_complete = tally.sink();
+  const RecoveryReport& rep = svc.recover(ro);
+  svc.drain();
+
+  obs::MetricsRegistry reg;
+  fold_service_metrics(svc, reg);
+  EXPECT_EQ(reg.counter("service.recovery.v1.replayed_ops"),
+            rep.replayed_ops);
+  EXPECT_EQ(reg.counter("service.recovery.v1.skipped_ops"), rep.skipped_ops);
+  EXPECT_EQ(reg.counter("service.recovery.v1.journal_generation"), 2u);
+  EXPECT_EQ(reg.counter("service.recovery.v1.snapshots_loaded"),
+            rep.snapshots_loaded);
+
+  obs::BenchRow params;
+  params.push_back(obs::BenchCell::num("groups", 6.0));
+  std::vector<obs::BenchRow> rows;
+  obs::BenchRow row;
+  row.push_back(obs::BenchCell::num("workers", 2.0));
+  row.push_back(obs::BenchCell::num(
+      "replayed_ops", static_cast<double>(rep.replayed_ops)));
+  rows.push_back(row);
+  const std::string doc =
+      recovery_soak_json("test_recovery", params, rep, rows);
+  const obs::json::Value parsed = obs::json::parse(doc);
+  EXPECT_EQ(obs::validate_bench_json(parsed), 1u);
+  EXPECT_EQ(parsed.find("schema")->string, obs::kRecoverySchema);
+
+  // A recovery-schema document missing its recovery object must fail.
+  std::string forged = obs::bench_json("test_recovery", params, rows);
+  const std::size_t at = forged.find(obs::kBenchSchema);
+  ASSERT_NE(at, std::string::npos);
+  forged.replace(at, std::string(obs::kBenchSchema).size(),
+                 obs::kRecoverySchema);
+  EXPECT_THROW(obs::validate_bench_json(obs::json::parse(forged)),
+               std::runtime_error);
+}
+
+TEST(ServiceRecoveryTest, NoMetricsFamilyWithoutRecovery) {
+  BarrierService svc;
+  GroupOptions o;
+  o.participants = 1;
+  svc.create_group(1, o);
+  svc.arrive(1, 0);
+  svc.drain();
+  obs::MetricsRegistry reg;
+  fold_service_metrics(svc, reg);
+  EXPECT_EQ(reg.counter("service.recovery.v1.replayed_ops"), 0u);
+}
+
+}  // namespace
+}  // namespace imbar::service
